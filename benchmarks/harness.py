@@ -1,0 +1,84 @@
+"""Shared harness for the paper-reproduction benchmarks.
+
+Each ``test_figXX_*`` module regenerates one table or figure of the paper
+from the simulated machine: it runs the relevant implementations, prints
+the same rows/series the paper reports, and stores the measurements as JSON
+under ``benchmarks/results/`` (consumed by EXPERIMENTS.md).
+
+"Time" is always simulated (makespan cycles at 2.2 GHz), never Python wall
+time — see DESIGN.md §2 for the hardware substitution.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import SimMachine
+from repro.apps import APPS
+from repro.runtime import LoopResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Thread counts for speedup sweeps (the paper's x-axis, Fig. 11b).
+SWEEP_THREADS = [1, 4, 8, 16, 24, 40]
+
+
+def make_state(app: str, size: str):
+    spec = APPS[app]
+    return spec.make_small() if size == "small" else spec.make_large()
+
+
+def run(app: str, impl: str, threads: int, size: str = "small") -> LoopResult:
+    """Run one implementation on a fresh state; validates the result."""
+    spec = APPS[app]
+    state = make_state(app, size)
+    result = spec.run(state, impl, SimMachine(threads))
+    spec.validate(state)
+    return result
+
+
+def baseline_seconds(app: str, size: str = "small") -> float:
+    """Best-serial running time (the paper's speedup baseline, §5.1)."""
+    return run(app, "serial-best", 1, size).elapsed_seconds
+
+
+def speedups(
+    app: str,
+    impls: list[str],
+    threads_list: list[int],
+    size: str = "small",
+    base: float | None = None,
+) -> dict[str, list[float]]:
+    """Speedup series per implementation over ``threads_list``."""
+    if base is None:
+        base = baseline_seconds(app, size)
+    series: dict[str, list[float]] = {}
+    for impl in impls:
+        if not APPS[app].has_impl(impl):
+            continue
+        series[impl] = [
+            base / run(app, impl, threads, size).elapsed_seconds
+            for threads in threads_list
+        ]
+    return series
+
+
+def save_results(name: str, payload: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def print_series_table(
+    title: str, threads_list: list[int], series: dict[str, list[float]]
+) -> None:
+    print(f"\n=== {title} ===")
+    header = f"{'threads':>8} " + " ".join(f"{impl:>14}" for impl in series)
+    print(header)
+    for i, threads in enumerate(threads_list):
+        row = f"{threads:>8} " + " ".join(
+            f"{values[i]:>13.2f}x" for values in series.values()
+        )
+        print(row)

@@ -1,0 +1,154 @@
+"""Ablations of the KDG design choices (beyond the paper's figures).
+
+Quantifies, on the simulated machine, the design decisions DESIGN.md calls
+out:
+
+* **Asynchrony** (§3.6.3): AVI under the asynchronous explicit KDG vs the
+  same executor forced into bulk-synchronous rounds.
+* **Read/write intents**: Kruskal with directional rw-sets vs the paper's
+  single-set (all-write) model — the all-write model serializes every edge
+  touching a large component.
+* **Windowing** (§3.6.1): MST's IKDG with the adaptive policy vs a pinned
+  small window vs no windowing (one huge window).
+* **Level windowing**: BFS's IKDG with level windows vs adaptive windows.
+"""
+
+from repro import SimMachine
+from repro.apps import APPS
+from repro.core.algorithm import OrderedAlgorithm
+from repro.runtime import AdaptiveWindow, run_ikdg, run_kdg_rna
+
+from .harness import make_state, save_results
+
+THREADS = 16
+
+
+def test_ablation_asynchrony(benchmark):
+    """Removing barriers (async executor) must speed AVI up."""
+
+    def sweep():
+        spec = APPS["avi"]
+        state = make_state("avi", "small")
+        rounds = run_kdg_rna(
+            spec.algorithm(state), SimMachine(THREADS), asynchronous=False
+        )
+        state = make_state("avi", "small")
+        asynchronous = run_kdg_rna(spec.algorithm(state), SimMachine(THREADS))
+        return {
+            "rounds_seconds": rounds.elapsed_seconds,
+            "async_seconds": asynchronous.elapsed_seconds,
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("ablation_async", result)
+    gain = result["rounds_seconds"] / result["async_seconds"]
+    print(f"\nAVI async vs rounds: {gain:.2f}x faster without barriers")
+    assert gain > 1.2
+
+
+def _all_write_algorithm(algorithm: OrderedAlgorithm) -> OrderedAlgorithm:
+    """Wrap an algorithm so every declared location becomes a write."""
+    original_visit = algorithm.visit_rw_sets
+
+    def visit(item, ctx):
+        original_visit(item, ctx)
+        for loc in ctx.rw_set:
+            ctx.write(loc)
+
+    return OrderedAlgorithm(
+        name=algorithm.name + "-allwrite",
+        initial_items=algorithm.initial_items,
+        priority=algorithm.priority,
+        visit_rw_sets=visit,
+        apply_update=algorithm.apply_update,
+        properties=algorithm.properties,
+        safe_source_test=algorithm.safe_source_test,
+        safe_test_work=algorithm.safe_test_work,
+        level_of=algorithm.level_of,
+        memory_bound_fraction=algorithm.memory_bound_fraction,
+    )
+
+
+def test_ablation_read_write_intents(benchmark):
+    """Directional rw-sets unlock Kruskal's big-component tail."""
+
+    def sweep():
+        # A reduced grid: the all-write arm degenerates to ~1 commit/round
+        # on the giant-component tail, so its wall cost grows quadratically.
+        from repro.apps.mst import make_grid_state
+
+        spec = APPS["mst"]
+        state = make_grid_state(36, 36, seed=2)
+        directional = run_ikdg(spec.algorithm(state), SimMachine(THREADS))
+        state = make_grid_state(36, 36, seed=2)
+        allwrite = run_ikdg(
+            _all_write_algorithm(spec.algorithm(state)), SimMachine(THREADS)
+        )
+        return {
+            "directional_seconds": directional.elapsed_seconds,
+            "directional_rounds": directional.rounds,
+            "allwrite_seconds": allwrite.elapsed_seconds,
+            "allwrite_rounds": allwrite.rounds,
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("ablation_rw", result)
+    gain = result["allwrite_seconds"] / result["directional_seconds"]
+    print(
+        f"\nMST read/write intents: {gain:.1f}x faster, rounds "
+        f"{result['allwrite_rounds']} -> {result['directional_rounds']}"
+    )
+    assert gain > 2.0  # on the full small input the gain exceeds 100x
+    assert result["directional_rounds"] < result["allwrite_rounds"]
+
+
+def test_ablation_window_policy(benchmark):
+    """Adaptive windows beat both a starved window and no windowing."""
+
+    def sweep():
+        spec = APPS["mst"]
+        out = {}
+        policies = {
+            "adaptive": AdaptiveWindow(),
+            "pinned-small": AdaptiveWindow(initial=32, max_size=32),
+            "unwindowed": AdaptiveWindow(initial=1 << 20),
+        }
+        for label, policy in policies.items():
+            state = make_state("mst", "small")
+            result = run_ikdg(
+                spec.algorithm(state), SimMachine(THREADS), window_policy=policy
+            )
+            out[label] = result.elapsed_seconds
+        return out
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("ablation_window", result)
+    print("\nMST window policy (simulated seconds):")
+    for label, seconds in result.items():
+        print(f"  {label:<14} {seconds * 1e3:9.3f}ms")
+    assert result["adaptive"] < result["pinned-small"]
+    # An unwindowed KDG re-marks every pending task every round.
+    assert result["adaptive"] < result["unwindowed"]
+
+
+def test_ablation_level_windows(benchmark):
+    """BFS: level windowing vs generic adaptive windowing."""
+
+    def sweep():
+        spec = APPS["bfs"]
+        state = make_state("bfs", "large")
+        level = run_ikdg(
+            spec.algorithm(state), SimMachine(THREADS), level_windows=True
+        )
+        state = make_state("bfs", "large")
+        adaptive = run_ikdg(spec.algorithm(state), SimMachine(THREADS))
+        return {
+            "level_seconds": level.elapsed_seconds,
+            "adaptive_seconds": adaptive.elapsed_seconds,
+        }
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("ablation_level_windows", result)
+    gain = result["adaptive_seconds"] / result["level_seconds"]
+    print(f"\nBFS level windows: {gain:.2f}x vs adaptive windows")
+    assert gain > 1.0

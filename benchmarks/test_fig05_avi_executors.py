@@ -1,0 +1,44 @@
+"""Figure 5: AVI speedup under four parallelization strategies.
+
+The paper compares, on AVI, the KDG runtime against the hand-written
+edge-flipping DAG (Manual), priority-level (level-by-level) execution, and
+Kulkarni-style speculation, over 1-24 threads.  Expected shape: KDG and
+Manual scale well and track each other; Priority-Levels is far below 1x
+(1.38 tasks per level); Speculation stays flat (commit-queue bound).
+"""
+
+from .harness import print_series_table, run, save_results
+
+THREADS = [1, 2, 4, 8, 16, 24]
+IMPLS = {
+    "KDG": "kdg-auto",
+    "Manual": "kdg-manual",
+    "Priority-Levels": "level-by-level",
+    "Speculation": "speculation",
+}
+
+
+def test_fig05_avi_executor_comparison(benchmark):
+    base = run("avi", "serial", 1).elapsed_seconds
+
+    def sweep():
+        series = {}
+        for label, impl in IMPLS.items():
+            series[label] = [
+                base / run("avi", impl, threads).elapsed_seconds
+                for threads in THREADS
+            ]
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series_table("Figure 5: AVI speedup (small mesh)", THREADS, series)
+    save_results("fig05", {"threads": THREADS, "series": series})
+
+    kdg, manual = series["KDG"], series["Manual"]
+    levels, speculation = series["Priority-Levels"], series["Speculation"]
+    # Paper shapes: KDG/Manual scale; the other two never take off.
+    assert kdg[-1] > 8.0, "KDG should scale well on AVI"
+    assert manual[-1] > 8.0
+    assert max(levels) < 1.0, "priority-levels collapses on AVI"
+    assert max(speculation) < 4.0, "speculation is commit-queue bound"
+    assert kdg[-1] > 2.5 * max(speculation)

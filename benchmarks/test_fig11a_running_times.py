@@ -1,0 +1,62 @@
+"""Figure 11a: inputs and best running times for all seven applications.
+
+The paper's table reports, per application and input size, the *best*
+(simulated) running time of the serial baseline and of the KDG-Auto,
+KDG-Manual and third-party (Other) parallel implementations — best over
+thread counts, as in the paper.  Expected shape: every KDG-Auto beats
+serial; KDG-Manual is at least comparable to Other where Other exists.
+"""
+
+from repro.apps import APPS, PAPER_IMPLS
+
+from .harness import run, save_results
+
+PARALLEL_THREADS = (8, 40)
+SIZES = ("small", "large")
+
+
+def test_fig11a_running_times(benchmark):
+    def sweep():
+        table = {}
+        for app in APPS:
+            table[app] = {}
+            for size in SIZES:
+                row = {}
+                for impl in PAPER_IMPLS:
+                    if not APPS[app].has_impl(impl):
+                        row[impl] = None
+                        continue
+                    if impl == "serial":
+                        row[impl] = run(app, "serial-best", 1, size).elapsed_seconds
+                    else:
+                        row[impl] = min(
+                            run(app, impl, threads, size).elapsed_seconds
+                            for threads in PARALLEL_THREADS
+                        )
+                table[app][size] = row
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("fig11a", {"threads": list(PARALLEL_THREADS), "table": table})
+
+    print("\n=== Figure 11a: best running times (simulated seconds) ===")
+    header = f"{'app':<10} {'size':<6} " + " ".join(
+        f"{impl:>12}" for impl in PAPER_IMPLS
+    )
+    print(header)
+    for app, sizes in table.items():
+        for size, row in sizes.items():
+            cells = " ".join(
+                f"{row[impl]:>12.4f}" if row[impl] is not None else f"{'-':>12}"
+                for impl in PAPER_IMPLS
+            )
+            print(f"{app:<10} {size:<6} {cells}")
+
+    for app, sizes in table.items():
+        for size, row in sizes.items():
+            serial = row["serial"]
+            assert row["kdg-auto"] < serial, (
+                f"{app}/{size}: KDG-Auto slower than serial"
+            )
+            if row["kdg-manual"] is not None:
+                assert row["kdg-manual"] < serial

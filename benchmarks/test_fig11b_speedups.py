@@ -1,0 +1,50 @@
+"""Figure 11b: speedup vs. thread count for all seven applications.
+
+The paper plots, per application (small input), the speedup of KDG-Auto,
+KDG-Manual and the third-party implementation relative to the best serial
+time, over 1-40 threads.  Expected shapes: AVI/LU/Tree scale well; MST and
+DES scale moderately; Billiards is parallelism-limited at our reduced ball
+count; BFS-small (road-like) stays low for all implementations.
+"""
+
+import pytest
+
+from repro.apps import APPS
+
+from .harness import SWEEP_THREADS, baseline_seconds, print_series_table, run, save_results
+
+IMPLS = ["kdg-auto", "kdg-manual", "other"]
+_collected: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("app", list(APPS))
+def test_fig11b_speedup_curve(app, benchmark):
+    base = baseline_seconds(app)
+
+    def sweep():
+        series = {}
+        for impl in IMPLS:
+            if not APPS[app].has_impl(impl):
+                continue
+            series[impl] = [
+                base / run(app, impl, threads).elapsed_seconds
+                for threads in SWEEP_THREADS
+            ]
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series_table(f"Figure 11b: {app} (small input)", SWEEP_THREADS, series)
+    _collected[app] = {"threads": SWEEP_THREADS, "series": series}
+    save_results("fig11b", _collected)
+
+    auto = series["kdg-auto"]
+    # Parallel speedup must improve from 1 thread toward the sweet spot.
+    assert max(auto) > auto[0]
+    if app in ("avi", "lu", "treesum"):
+        assert max(auto) > 8.0, f"{app}: KDG-Auto should scale"
+    if app in ("mst", "des"):
+        assert max(auto) > 3.0
+    # The hand-tuned KDG is never dramatically worse than automatic.
+    manual = series.get("kdg-manual")
+    if manual:
+        assert max(manual) > 0.7 * max(auto)

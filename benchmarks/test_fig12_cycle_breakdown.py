@@ -1,0 +1,88 @@
+"""Figure 12: breakdown of total cycles for the automatic KDG runtime.
+
+The paper profiles AVI, Billiards, DES and MST under their KDG-Auto
+executors and buckets all cycles (summed over threads) into SAFETY_TEST /
+EXECUTE / SCHEDULE / OTHER, for the serial baseline (S) and 1-40 threads.
+Expected shapes: SCHEDULE (KDG maintenance) is a large share and grows
+with thread count; unstable-source apps (Billiards, DES) show a
+SAFETY_TEST component; DES scales worst (low parallelism, §5.2).
+"""
+
+from repro import SimMachine
+from repro.apps import APPS
+from repro.machine import Category
+
+from .harness import make_state, save_results
+
+FIG12_APPS = ["avi", "billiards", "des", "mst"]
+THREADS = [1, 10, 20, 30, 40]
+BUCKETS = [Category.SAFETY_TEST, Category.EXECUTE, Category.SCHEDULE, Category.OTHER]
+
+
+def _bucketed(stats) -> dict[str, float]:
+    """Collapse the profile into the paper's four buckets.
+
+    Idle/commit/abort cycles fold into OTHER (the profiler's 'cost that
+    could not be categorized'), except idle on the serial run (none).
+    """
+    raw = stats.breakdown()
+    out = {bucket.value: raw[bucket] for bucket in BUCKETS}
+    out[Category.OTHER.value] += raw[Category.IDLE]
+    return out
+
+
+def test_fig12_cycle_breakdown(benchmark):
+    def sweep():
+        table: dict[str, dict[str, dict[str, float]]] = {}
+        for app in FIG12_APPS:
+            spec = APPS[app]
+            table[app] = {}
+            state = make_state(app, "small")
+            serial = spec.run(state, "serial", SimMachine(1))
+            spec.validate(state)
+            table[app]["S"] = _bucketed(serial.stats)
+            for threads in THREADS:
+                state = make_state(app, "small")
+                result = spec.run(state, "kdg-auto", SimMachine(threads))
+                spec.validate(state)
+                table[app][str(threads)] = _bucketed(result.stats)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("fig12", table)
+
+    print("\n=== Figure 12: total-cycle breakdown (billions -> millions here) ===")
+    for app, columns in table.items():
+        print(f"\n{app}:")
+        print(f"{'threads':>8} " + " ".join(f"{b.value:>13}" for b in BUCKETS))
+        for label, buckets in columns.items():
+            cells = " ".join(f"{buckets[b.value] / 1e6:>12.2f}M" for b in BUCKETS)
+            print(f"{label:>8} {cells}")
+
+    for app, columns in table.items():
+        # KDG maintenance (SCHEDULE) grows with the number of threads,
+        # "with the exception of DES" (§5.2 — low parallelism makes its
+        # in-flight graph shrink), which we reproduce.
+        if app == "des":
+            assert (
+                columns["40"][Category.SCHEDULE.value]
+                >= 0.75 * columns["1"][Category.SCHEDULE.value]
+            )
+        else:
+            assert (
+                columns["40"][Category.SCHEDULE.value]
+                >= columns["1"][Category.SCHEDULE.value]
+            )
+        # EXECUTE cycles also grow with threads (bandwidth, §5.2).
+        assert (
+            columns["40"][Category.EXECUTE.value]
+            >= 0.95 * columns["1"][Category.EXECUTE.value]
+        )
+    for app in ("billiards", "des"):
+        assert table[app]["40"][Category.SAFETY_TEST.value] > 0, (
+            f"{app} is unstable-source: its profile must show SAFETY_TEST"
+        )
+    for app in ("avi", "mst"):
+        assert table[app]["40"][Category.SAFETY_TEST.value] == 0.0, (
+            f"{app} is stable-source: no safe-source test should run"
+        )

@@ -1,0 +1,62 @@
+"""Figure 13: speculative-executor time breakdown.
+
+The paper profiles the speculation executor on AVI, DES and MST at 1-8
+threads and breaks each thread's time into Abort / Commit / Schedule /
+Execute.  Expected shapes: the Execute share shrinks as threads are added
+while Commit (waiting on the in-order commit queue) grows to dominate —
+"threads spend most of their time waiting to commit".
+"""
+
+from repro import SimMachine
+from repro.apps import APPS
+from repro.machine import Category
+
+from .harness import make_state, save_results
+
+FIG13_APPS = ["avi", "des", "mst"]
+THREADS = [1, 2, 4, 8]
+BUCKETS = [Category.ABORT, Category.COMMIT, Category.SCHEDULE, Category.EXECUTE]
+
+
+def _shares(stats) -> dict[str, float]:
+    """Fraction of busy time per bucket (idle folded into commit-wait as
+    the paper's per-thread time bars do not show idle separately)."""
+    raw = stats.breakdown()
+    merged = {bucket.value: raw[bucket] for bucket in BUCKETS}
+    merged[Category.COMMIT.value] += raw[Category.IDLE]
+    total = sum(merged.values()) or 1.0
+    return {k: v / total for k, v in merged.items()}
+
+
+def test_fig13_speculation_breakdown(benchmark):
+    def sweep():
+        table: dict[str, dict[str, dict[str, float]]] = {}
+        for app in FIG13_APPS:
+            spec = APPS[app]
+            table[app] = {}
+            for threads in THREADS:
+                state = make_state(app, "small")
+                result = spec.run(state, "speculation", SimMachine(threads))
+                spec.validate(state)
+                table[app][str(threads)] = _shares(result.stats)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("fig13", table)
+
+    print("\n=== Figure 13: speculation time breakdown (share of thread time) ===")
+    for app, columns in table.items():
+        print(f"\n{app}:")
+        print(f"{'threads':>8} " + " ".join(f"{b.value:>10}" for b in BUCKETS))
+        for label, buckets in columns.items():
+            cells = " ".join(f"{buckets[b.value]:>9.1%}" for b in BUCKETS)
+            print(f"{label:>8} {cells}")
+
+    for app, columns in table.items():
+        execute_1 = columns["1"][Category.EXECUTE.value]
+        execute_8 = columns["8"][Category.EXECUTE.value]
+        commit_1 = columns["1"][Category.COMMIT.value]
+        commit_8 = columns["8"][Category.COMMIT.value]
+        assert execute_8 < execute_1, f"{app}: Execute share must shrink"
+        assert commit_8 > commit_1, f"{app}: commit-queue share must grow"
+        assert commit_8 > 0.3, f"{app}: threads should mostly wait to commit"

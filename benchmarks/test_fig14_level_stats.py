@@ -1,0 +1,75 @@
+"""Figure 14: parallelism exposed by the level-by-level executor.
+
+The paper reports, per application, the number of priority levels (a
+critical-path measure) and the average number of tasks per level (a
+parallelism measure).  Expected shapes, mirroring the paper's table:
+
+* AVI and Billiards: time-stamps are real numbers, so levels are almost
+  all singletons (~1 task/level) — level-by-level exposes no parallelism.
+* BFS: few fat levels on the random graph, many thin ones on the road-like
+  grid.
+* MST: one level per distinct edge weight, each with many edges.
+* DES: integer-ish event times give moderate level sizes.
+* Tree: one level per depth, each huge.
+"""
+
+from repro import SimMachine
+from repro.apps import APPS, bfs
+
+from .harness import make_state, save_results
+
+FIG14_ROWS = [
+    ("avi", "small", None),
+    ("bfs-random", "large", None),
+    ("bfs-road", "small", None),
+    ("billiards", "small", None),
+    ("des", "small", None),
+    ("mst", "small", None),
+    ("treesum", "small", None),
+]
+
+
+def _run_level(app_key: str, size: str):
+    if app_key == "bfs-random":
+        spec, state = APPS["bfs"], bfs.make_random_state(16000, seed=3)
+    elif app_key == "bfs-road":
+        spec, state = APPS["bfs"], make_state("bfs", "small")
+    else:
+        spec, state = APPS[app_key], make_state(app_key, size)
+    result = spec.run(state, "level-by-level", SimMachine(8))
+    spec.validate(state)
+    return result
+
+
+def test_fig14_level_statistics(benchmark):
+    def sweep():
+        table = {}
+        for app_key, size, _ in FIG14_ROWS:
+            result = _run_level(app_key, size)
+            table[app_key] = {
+                "num_levels": result.metrics["num_levels"],
+                "avg_tasks_per_level": result.metrics["avg_tasks_per_level"],
+            }
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_results("fig14", table)
+
+    print("\n=== Figure 14: level-by-level parallelism ===")
+    print(f"{'application':<14} {'#levels':>10} {'avg tasks/level':>18}")
+    for app_key, row in table.items():
+        print(
+            f"{app_key:<14} {row['num_levels']:>10} "
+            f"{row['avg_tasks_per_level']:>18.2f}"
+        )
+
+    # Paper shapes.
+    assert table["avi"]["avg_tasks_per_level"] < 2.0
+    assert table["billiards"]["avg_tasks_per_level"] < 2.0
+    assert table["bfs-random"]["num_levels"] < 40
+    assert table["bfs-random"]["avg_tasks_per_level"] > 500
+    assert table["bfs-road"]["num_levels"] > 10 * table["bfs-random"]["num_levels"]
+    assert table["mst"]["num_levels"] <= 110  # ~one per distinct weight
+    assert table["mst"]["avg_tasks_per_level"] > 50
+    assert table["treesum"]["num_levels"] < 40
+    assert table["treesum"]["avg_tasks_per_level"] > 100

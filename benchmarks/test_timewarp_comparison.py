@@ -1,0 +1,50 @@
+"""Conservative KDG vs optimistic Time Warp on DES (the paper's §6 contrast).
+
+The paper argues the KDG's conservative scheduling avoids Time Warp's
+speculation costs.  This benchmark quantifies the trade on the 8-bit tree
+multiplier: Time Warp is competitive at moderate thread counts (its
+optimism finds the same parallelism without safe-source tests) but pays
+state saving on every event and collapses into rollback thrash when
+over-committed, while the KDG curves stay monotone.
+"""
+
+from .harness import print_series_table, run, save_results
+
+THREADS = [1, 8, 16, 24, 40]
+IMPLS = {
+    "KDG-Auto": "kdg-auto",
+    "KDG-Manual": "kdg-manual",
+    "Chandy-Misra": "other",
+    "Time-Warp": "time-warp",
+}
+
+
+def test_timewarp_vs_kdg(benchmark):
+    base = run("des", "serial", 1).elapsed_seconds
+
+    def sweep():
+        series = {}
+        rollbacks = []
+        for label, impl in IMPLS.items():
+            column = []
+            for threads in THREADS:
+                result = run("des", impl, threads)
+                column.append(base / result.elapsed_seconds)
+                if impl == "time-warp":
+                    rollbacks.append(result.metrics["rollbacks"])
+            series[label] = column
+        return series, rollbacks
+
+    series, rollbacks = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_series_table("DES: conservative KDG vs Time Warp", THREADS, series)
+    print(f"Time Warp rollbacks per thread count: {dict(zip(THREADS, rollbacks))}")
+    save_results(
+        "timewarp", {"threads": THREADS, "series": series, "rollbacks": rollbacks}
+    )
+
+    timewarp = series["Time-Warp"]
+    # Rollbacks rise steeply with over-commitment...
+    assert rollbacks[-1] > 10 * max(1, rollbacks[1])
+    # ...and the curve stops improving (thrash), unlike the manual KDG.
+    assert timewarp[-1] < timewarp[-2] * 1.1
+    assert series["KDG-Manual"][-1] >= series["KDG-Manual"][1]

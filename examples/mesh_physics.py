@@ -1,0 +1,71 @@
+"""Asynchronous variational integration of a 2-D mesh (the paper's §2 AVI).
+
+Reproduces the paper's motivating experiment (Figure 5) as a runnable
+example: a triangulated membrane where each element advances with its own
+time step.  Compares the automatic KDG executor against the hand-written
+edge-flipping DAG, level-by-level execution, and speculation — then shows
+why level-by-level collapses (time-stamps are nearly all distinct).
+
+Run:  python examples/mesh_physics.py
+"""
+
+from repro import SimMachine
+from repro.apps import avi
+
+GRID = (20, 20)  # 800 triangles
+END_TIME = 0.4
+THREADS = 16
+
+
+def fresh_state() -> avi.AVIState:
+    return avi.make_state(*GRID, end_time=END_TIME, seed=42)
+
+
+def main() -> None:
+    probe = fresh_state()
+    print(
+        f"AVI membrane: {probe.mesh.num_elements} elements, "
+        f"{probe.mesh.num_vertices} vertices, end time {END_TIME}"
+    )
+    print(
+        f"element time steps: min {probe.step.min():.4f} "
+        f"max {probe.step.max():.4f} (asynchronous by construction)"
+    )
+
+    runs = [
+        ("serial (priority queue)", "serial", 1),
+        ("KDG-Auto (async RNA)", "kdg-auto", THREADS),
+        ("KDG-Manual (edge flips)", "kdg-manual", THREADS),
+        ("Priority-Levels", "level-by-level", THREADS),
+        ("Speculation", "speculation", THREADS),
+    ]
+    baseline = None
+    reference = None
+    print(f"\n{'implementation':<26} {'updates':>8} {'sim time':>12} {'speedup':>9}")
+    for label, impl, threads in runs:
+        state = fresh_state()
+        result = avi.SPEC.run(state, impl, SimMachine(threads))
+        state.validate()
+        snapshot = state.snapshot()
+        if reference is None:
+            reference = snapshot
+        assert snapshot == reference, f"{label} diverged from serial physics!"
+        if baseline is None:
+            baseline = result.elapsed_seconds
+        extra = ""
+        if impl == "level-by-level":
+            extra = (
+                f"   ({result.metrics['num_levels']} levels, "
+                f"{result.metrics['avg_tasks_per_level']:.2f} tasks/level)"
+            )
+        print(
+            f"{label:<26} {result.executed:>8} "
+            f"{result.elapsed_seconds * 1e3:>10.3f}ms "
+            f"{baseline / result.elapsed_seconds:>8.2f}x{extra}"
+        )
+
+    print("\nall executors produced bit-identical displacement fields.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — Kinetic Dependence Graphs (ASPLOS 2015) in Python.
+
+A reproduction of Hassaan, Nguyen & Pingali, *Kinetic Dependence Graphs*,
+ASPLOS 2015: the KDG abstraction, the ordered-foreach programming model, the
+explicit (KDG-RNA) and implicit (IKDG) executors with property-driven
+optimizations, comparison executors (serial, level-by-level, speculation),
+and the paper's seven applications — all running on a deterministic
+simulated multicore (see DESIGN.md for the hardware substitution).
+
+Quickstart::
+
+    from repro import for_each_ordered, AlgorithmProperties, SimMachine
+
+    result = for_each_ordered(
+        initial_items=events,
+        priority=lambda e: e.time,
+        visit_rw_sets=lambda e, ctx: ctx.write(("cell", e.cell)),
+        apply_update=body,
+        properties=AlgorithmProperties(stable_source=True,
+                                       structure_based_rw_sets=True),
+        machine=SimMachine(num_threads=16),
+    )
+    print(result.elapsed_seconds, result.breakdown())
+"""
+
+from .core import (
+    KDG,
+    AlgorithmProperties,
+    BodyContext,
+    LivenessViolation,
+    OrderedAlgorithm,
+    RWSetContext,
+    RWSetViolation,
+    SafetyViolation,
+    SourceView,
+    Task,
+    TaskFactory,
+    TaskGraph,
+    for_each_ordered,
+)
+from .core.verify import PropertyReport, verify_properties
+from .machine import Category, CostModel, CycleStats, SimMachine
+from .runtime import (
+    EXECUTORS,
+    AdaptiveWindow,
+    LoopResult,
+    choose_executor,
+    run_ikdg,
+    run_kdg_rna,
+    run_level_by_level,
+    run_serial,
+    run_speculation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveWindow",
+    "AlgorithmProperties",
+    "BodyContext",
+    "Category",
+    "CostModel",
+    "CycleStats",
+    "EXECUTORS",
+    "KDG",
+    "LivenessViolation",
+    "LoopResult",
+    "OrderedAlgorithm",
+    "PropertyReport",
+    "RWSetContext",
+    "RWSetViolation",
+    "SafetyViolation",
+    "SimMachine",
+    "SourceView",
+    "Task",
+    "TaskFactory",
+    "TaskGraph",
+    "choose_executor",
+    "for_each_ordered",
+    "run_ikdg",
+    "run_kdg_rna",
+    "run_level_by_level",
+    "run_serial",
+    "run_speculation",
+    "verify_properties",
+]

@@ -1,0 +1,17 @@
+"""The paper's seven benchmark applications (§4), under a uniform harness."""
+
+from . import avi, bfs, billiards, des, lu, mst, treesum
+from .common import PAPER_IMPLS, AppSpec
+
+#: Registry in the order of the paper's Figure 11a.
+APPS: dict[str, AppSpec] = {
+    "avi": avi.SPEC,
+    "mst": mst.SPEC,
+    "billiards": billiards.SPEC,
+    "lu": lu.SPEC,
+    "des": des.SPEC,
+    "bfs": bfs.SPEC,
+    "treesum": treesum.SPEC,
+}
+
+__all__ = ["APPS", "AppSpec", "PAPER_IMPLS"]

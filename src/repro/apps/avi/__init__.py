@@ -1,0 +1,34 @@
+"""AVI — asynchronous variational integrators (§2.1, §4.1).
+
+Paper inputs: 42 K (small) / 166 K (large) element meshes.  Scaled here to
+512 / 1 536 elements (~5 K / ~15 K elemental updates); the executor-shape
+comparison (Figure 5) is preserved because time-stamps are still almost
+all distinct.
+"""
+
+from ..common import AppSpec
+from .app import AVI_PROPERTIES, make_algorithm, make_state
+from .manual import run_manual
+from .simulation import AVIState
+
+
+def _small() -> AVIState:
+    return make_state(16, 16, end_time=0.5, seed=1)
+
+
+def _large() -> AVIState:
+    return make_state(32, 24, end_time=0.5, seed=1)
+
+
+SPEC = AppSpec(
+    name="avi",
+    make_small=_small,
+    make_large=_large,
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    run_manual=run_manual,
+    run_other=None,  # the paper found no usable third-party AVI (§4.1)
+)
+
+__all__ = ["AVIState", "AVI_PROPERTIES", "SPEC", "make_algorithm", "make_state", "run_manual"]

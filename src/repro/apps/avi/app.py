@@ -1,0 +1,75 @@
+"""AVI in the ordered programming model (Figures 2 and 7).
+
+Work items are ``(element, time)`` pairs ordered by ``(time, element)``
+(the element id is the paper's tie-break ``≺``, folded into the priority so
+every executor serializes identically).  The rw-set of an update is the
+element's three vertices plus its own clock.  AVI is stable-source,
+monotonic and has structure-based rw-sets (a child updates the same
+element), so the automatic runtime selects the asynchronous KDG-RNA
+executor with subrules R and A only (§4.1).
+"""
+
+from __future__ import annotations
+
+from ...core.algorithm import OrderedAlgorithm
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...galois.mesh import TriangularMesh
+from .simulation import AVI_ELEMENT_WORK, AVIState
+
+AVI_PROPERTIES = AlgorithmProperties(
+    stable_source=True,
+    monotonic=True,
+    structure_based_rw_sets=True,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.25
+
+
+def make_state(
+    nx: int, ny: int, end_time: float = 0.5, seed: int = 0
+) -> AVIState:
+    """A structured-mesh AVI problem of ``2·nx·ny`` elements."""
+    return AVIState(TriangularMesh.structured(nx, ny), end_time=end_time, seed=seed)
+
+
+def make_algorithm(state: AVIState) -> OrderedAlgorithm:
+    """Bind an :class:`AVIState` to the ordered loop."""
+    mesh = state.mesh
+
+    def priority(item: tuple[int, float]) -> tuple[float, int]:
+        elem, time = item
+        return (time, elem)
+
+    def level_of(item: tuple[int, float]) -> float:
+        return item[1]  # priority levels are time-stamps (Fig. 14)
+
+    def visit_rw_sets(item: tuple[int, float], ctx: RWSetContext) -> None:
+        elem, _ = item
+        for v in mesh.vertices_of(elem):
+            ctx.write(("vertex", v))
+        ctx.write(("element", elem))
+
+    def apply_update(item: tuple[int, float], ctx: BodyContext) -> None:
+        elem, time = item
+        for v in mesh.vertices_of(elem):
+            ctx.access(("vertex", v))
+        ctx.access(("element", elem))
+        state.element_update(elem)
+        ctx.work(AVI_ELEMENT_WORK)
+        new_time = time + state.step[elem]
+        state.next_time[elem] = new_time
+        if new_time < state.end_time:
+            ctx.push((elem, float(new_time)))
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="avi",
+        initial_items=state.initial_items(),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AVI_PROPERTIES,
+        level_of=level_of,
+    )

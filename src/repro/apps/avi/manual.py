@@ -1,0 +1,103 @@
+"""Hand-specialized AVI executor: the edge-flipping dependence DAG (§4.1).
+
+A variation of Huang et al.'s parallel AVI: one DAG node per element, one
+edge per pair of vertex-sharing elements, directed toward the later
+time-stamp.  Executing an element updates its node *in place* — bump its
+time-stamp and flip incident edges — because the child task has the same
+rw-set and a later time (the paper's in-place update-rule optimization).
+
+No rw-sets are ever computed and no task objects are allocated; edges are
+predecessor *counts* flipped in O(degree).  This is the KDG-Manual line of
+Figures 5 and 11.
+"""
+
+from __future__ import annotations
+
+from ...machine import Category, SimMachine, simulate_async
+from ...runtime.base import LoopResult, inflate_execute
+from .app import MEM_FRACTION
+from .simulation import AVI_ELEMENT_WORK, AVIState
+
+#: Cycle cost of flipping one dependence edge in the manual DAG.
+EDGE_FLIP_COST = 10.0
+
+
+def run_manual(state: AVIState, machine: SimMachine) -> LoopResult:
+    """Run AVI with the edge-flipping DAG on the simulated machine."""
+    mesh = state.mesh
+    cm = machine.cost_model
+    num_elements = mesh.num_elements
+    neighbors = [mesh.element_neighbors(e) for e in range(num_elements)]
+
+    active = [bool(state.next_time[e] < state.end_time) for e in range(num_elements)]
+
+    def key(elem: int) -> tuple[float, int]:
+        return (float(state.next_time[elem]), elem)
+
+    # Initial DAG: predecessor counts under the (time, element) order.
+    pred_count = [0] * num_elements
+    build_costs = []
+    for e in range(num_elements):
+        if not active[e]:
+            continue
+        count = 0
+        for n in neighbors[e]:
+            if active[n] and key(n) < key(e):
+                count += 1
+        pred_count[e] = count
+        build_costs.append(
+            {Category.SCHEDULE: cm.graph_add_edge * max(1, len(neighbors[e]))}
+        )
+    machine.run_phase(build_costs)
+
+    executed = {"count": 0}
+
+    def step(elem: int) -> tuple[dict[Category, float], list[int]]:
+        time = float(state.next_time[elem])
+        old_key = (time, elem)
+        state.element_update(elem)
+        executed["count"] += 1
+        new_time = time + state.step[elem]
+        state.next_time[elem] = new_time
+        exposed: list[int] = []
+        flips = 0
+        if new_time >= state.end_time:
+            # Retire the node: every edge out of it disappears.
+            active[elem] = False
+            for n in neighbors[elem]:
+                if active[n] and old_key < key(n):
+                    pred_count[n] -= 1
+                    flips += 1
+                    if pred_count[n] == 0:
+                        exposed.append(n)
+        else:
+            # In-place update: new time-stamp, flip edges that now point in.
+            new_key = (float(new_time), elem)
+            for n in neighbors[elem]:
+                if not active[n]:
+                    continue
+                if not new_key < key(n):  # edge elem→n flips to n→elem
+                    pred_count[elem] += 1
+                    pred_count[n] -= 1
+                    flips += 1
+                    if pred_count[n] == 0:
+                        exposed.append(n)
+            if pred_count[elem] == 0:
+                exposed.append(elem)
+        breakdown = {
+            Category.EXECUTE: inflate_execute(
+                machine, cm.work_cost(AVI_ELEMENT_WORK), MEM_FRACTION
+            )
+            + cm.worklist_cost(machine.num_threads),
+            Category.SCHEDULE: EDGE_FLIP_COST * max(1, flips),
+        }
+        return breakdown, exposed
+
+    initial = [e for e in range(num_elements) if active[e] and pred_count[e] == 0]
+    simulate_async(machine, initial, key, step)
+    return LoopResult(
+        algorithm="avi",
+        executor="manual-edge-flip",
+        machine=machine,
+        executed=executed["count"],
+    )

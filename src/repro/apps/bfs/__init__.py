@@ -1,0 +1,41 @@
+"""BFS (§4.6).
+
+Paper inputs: USA road network |V| = 23 M (small), uniform random
+|V| = 67 M (large).  Scaled here to a 250×250 grid (road stand-in: ~500
+levels) and a 64 000-node random graph (~15 fat levels).
+"""
+
+from ..common import AppSpec
+from .app import (
+    BFS_PROPERTIES,
+    BFSState,
+    make_algorithm,
+    make_grid_state,
+    make_random_state,
+)
+from .manual import run_manual, run_other
+
+SPEC = AppSpec(
+    name="bfs",
+    make_small=lambda: make_grid_state(250, 250, seed=3),
+    make_large=lambda: make_random_state(64000, avg_degree=4.0, seed=3),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="linear",
+    run_serial_best=run_manual,
+    run_manual=run_manual,
+    run_other=run_other,
+    auto_options={"level_windows": True},
+)
+
+__all__ = [
+    "BFSState",
+    "BFS_PROPERTIES",
+    "SPEC",
+    "make_algorithm",
+    "make_grid_state",
+    "make_random_state",
+    "run_manual",
+    "run_other",
+]

@@ -1,0 +1,113 @@
+"""Breadth-first search in the ordered model (§4.6).
+
+A task ``(n, L)`` updates node ``n``'s distance label to ``L``; updates must
+appear to execute in increasing distance order.  BFS is *not* stable-source
+(a shorter-distance update for a node can be created after a longer one is
+already a source), so the safe-source test admits a source only when its
+level equals the current global minimum — exactly the insight behind
+level-by-level BFS.  The automatic runtime uses IKDG with the level
+windowing strategy (§3.6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm, SourceView
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...core.task import Task
+from ...galois.graphs import CSRGraph
+from ...inputs.graphs import grid2d, random_graph
+
+BFS_PROPERTIES = AlgorithmProperties(
+    monotonic=True,
+    structure_based_rw_sets=True,
+    stable_source=False,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.9
+
+#: Base ops per update plus ops per scanned neighbor.  BFS on large graphs
+#: is memory-latency bound (the paper's serial rate is ~120 cycles/node), so
+#: these model cache-missing node and edge accesses, not ALU work.
+NODE_WORK = 90.0
+EDGE_WORK = 25.0
+
+
+class BFSState:
+    """Graph, BFS source, and the distance labels being computed."""
+
+    def __init__(self, graph: CSRGraph, source: int = 0):
+        self.graph = graph
+        self.source = source
+        self.dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+
+    def snapshot(self) -> bytes:
+        return self.dist.tobytes()
+
+    def validate(self) -> None:
+        assert self.dist[self.source] == 0
+        dist = self.dist
+        for u in range(self.graph.num_nodes):
+            if dist[u] < 0:
+                continue
+            for v in self.graph.neighbors(u):
+                assert dist[v] >= 0, f"neighbor {v} of reached node {u} unreached"
+                assert abs(dist[u] - dist[v]) <= 1, "BFS triangle inequality broken"
+
+
+def make_grid_state(nx: int, ny: int, seed: int = 0) -> BFSState:
+    """Road-network stand-in: a 2-D grid (thousands of BFS levels)."""
+    graph, _, _ = grid2d(nx, ny, seed=seed)
+    return BFSState(graph, source=0)
+
+
+def make_random_state(num_nodes: int, avg_degree: float = 4.0, seed: int = 0) -> BFSState:
+    """The paper's Random input: low diameter, few fat levels."""
+    graph, _, _ = random_graph(num_nodes, avg_degree=avg_degree, seed=seed)
+    return BFSState(graph, source=0)
+
+
+def make_algorithm(state: BFSState) -> OrderedAlgorithm:
+    graph, dist = state.graph, state.dist
+
+    def priority(item: tuple[int, int]) -> tuple[int, int]:
+        node, level = item
+        return (level, node)
+
+    def level_of(item: tuple[int, int]) -> int:
+        return item[1]
+
+    def visit_rw_sets(item: tuple[int, int], ctx: RWSetContext) -> None:
+        ctx.write(("node", item[0]))
+
+    def apply_update(item: tuple[int, int], ctx: BodyContext) -> None:
+        node, level = item
+        ctx.access(("node", node))
+        ctx.work(NODE_WORK)
+        if dist[node] != -1 and dist[node] <= level:
+            return  # stale update
+        dist[node] = level
+        for neighbor in graph.neighbors(node):
+            ctx.work(EDGE_WORK)
+            labelled = dist[neighbor]
+            if labelled == -1 or labelled > level + 1:
+                ctx.push((int(neighbor), level + 1))
+
+    def safe_source_test(task: Task, view: SourceView) -> bool:
+        # Safe exactly at the current global minimum level.
+        return view.min_priority is not None and task.priority[0] == view.min_priority[0]
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="bfs",
+        initial_items=[(state.source, 0)],
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=BFS_PROPERTIES,
+        safe_source_test=safe_source_test,
+        level_of=level_of,
+    )

@@ -1,0 +1,86 @@
+"""Hand-specialized BFS executors (§4.6).
+
+``run_manual`` is the two-frontier level-synchronous BFS the paper
+describes ("only two levels need to be maintained at a time"): no task
+objects, no marking — just the current and next frontier arrays with one
+barrier per level.
+
+``run_other`` reimplements the shape of Leiserson & Schardl's bag-based
+work-efficient parallel BFS: the same level-synchronous structure, but the
+frontier is split into chunks ("pennants") handed to threads wholesale,
+which amortizes scheduling to one operation per chunk rather than per node.
+"""
+
+from __future__ import annotations
+
+from ...machine import Category, SimMachine
+from ...runtime.base import LoopResult, inflate_execute
+from .app import EDGE_WORK, MEM_FRACTION, NODE_WORK, BFSState
+
+#: Bag chunk (pennant) size for the Leiserson–Schardl style executor.
+BAG_CHUNK = 128
+
+
+def _level_sync(
+    state: BFSState, machine: SimMachine, chunk_size: int, schedule_per: str
+) -> tuple[int, int]:
+    """Shared level-synchronous core; returns (nodes visited, levels)."""
+    cm = machine.cost_model
+    graph, dist = state.graph, state.dist
+    dist[state.source] = 0
+    frontier = [state.source]
+    visited = 1
+    levels = 0
+    while frontier:
+        levels += 1
+        next_frontier: list[int] = []
+        costs = []
+        for u in frontier:
+            cost = NODE_WORK
+            for v in graph.neighbors(u):
+                cost += EDGE_WORK
+                if dist[v] == -1:
+                    dist[v] = dist[u] + 1
+                    next_frontier.append(int(v))
+                    visited += 1
+            item = {Category.EXECUTE: inflate_execute(machine, cm.work_cost(cost), MEM_FRACTION)}
+            if schedule_per == "node":
+                # Array-based frontier: a fetch-and-add slot claim per node.
+                item[Category.SCHEDULE] = 6.0
+            costs.append(item)
+        if schedule_per == "chunk":
+            # One scheduling operation per pennant, not per node.
+            chunks = max(1, (len(frontier) + chunk_size - 1) // chunk_size)
+            for _ in range(chunks):
+                costs.append({Category.SCHEDULE: cm.worklist_cost(machine.num_threads)})
+        machine.run_phase(costs, chunk_size=chunk_size)
+        frontier = next_frontier
+    return visited, levels
+
+
+def run_manual(state: BFSState, machine: SimMachine) -> LoopResult:
+    """Two-frontier level-synchronous BFS."""
+    visited, levels = _level_sync(state, machine, chunk_size=16, schedule_per="node")
+    return LoopResult(
+        algorithm="bfs",
+        executor="manual-two-level",
+        machine=machine,
+        executed=visited,
+        rounds=levels,
+        metrics={"num_levels": levels},
+    )
+
+
+def run_other(state: BFSState, machine: SimMachine) -> LoopResult:
+    """Bag-of-pennants level-synchronous BFS (Leiserson & Schardl style)."""
+    visited, levels = _level_sync(
+        state, machine, chunk_size=BAG_CHUNK, schedule_per="chunk"
+    )
+    return LoopResult(
+        algorithm="bfs",
+        executor="bag-bfs",
+        machine=machine,
+        executed=visited,
+        rounds=levels,
+        metrics={"num_levels": levels},
+    )

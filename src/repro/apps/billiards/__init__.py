@@ -1,0 +1,32 @@
+"""Billiards (§4.3).
+
+Paper inputs: 7 K balls on a 7K×7K table (small), 15 K balls on 15K×15K
+(large).  Scaled here to 256 and 512 balls on proportionally sized tables.
+Available parallelism in billiards is proportional to the number of balls,
+so the scaled speedups are lower than the paper's (see EXPERIMENTS.md).
+"""
+
+from ..common import AppSpec
+from .app import BILLIARDS_PROPERTIES, make_algorithm, make_state
+from .manual import run_manual
+from .simulation import BilliardsState
+
+SPEC = AppSpec(
+    name="billiards",
+    make_small=lambda: make_state(256, end_time=20.0, seed=6),
+    make_large=lambda: make_state(512, end_time=12.0, seed=6),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    run_manual=run_manual,
+    run_other=None,  # no third-party comparator in the paper (§4.3)
+)
+
+__all__ = [
+    "BILLIARDS_PROPERTIES",
+    "BilliardsState",
+    "SPEC",
+    "make_algorithm",
+    "make_state",
+    "run_manual",
+]

@@ -1,0 +1,78 @@
+"""Billiards in the ordered programming model (§4.3).
+
+Tasks are predicted collision events ordered by time; the rw-set of an
+event is the ball (or two balls) involved.  Billiards is unstable-source:
+processing an early collision can speed a ball up and invalidate a later
+event that is currently a source.  The safe-source test is the
+maximum-velocity (bounded-lag) test: an event is safe if no third ball
+could possibly reach its participants before it fires, or if it is the
+globally earliest event.  The test reads global state (every ball), so it
+is not local — the automatic runtime selects IKDG with windowing, which
+also suits the fact that many non-source predictions turn stale (§4.3).
+"""
+
+from __future__ import annotations
+
+from ...core.algorithm import OrderedAlgorithm, SourceView
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...core.task import Task
+from .simulation import BALL, PREDICT_WORK_PER_BALL, BilliardsState, Event
+
+BILLIARDS_PROPERTIES = AlgorithmProperties(
+    monotonic=True,
+    structure_based_rw_sets=True,
+    stable_source=False,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.3
+
+
+def make_state(
+    n_balls: int, table_size: float | None = None, end_time: float = 30.0, seed: int = 0
+) -> BilliardsState:
+    """An ``n × n`` table of ``n²``-ish balls, as in the paper's inputs."""
+    if table_size is None:
+        table_size = float(max(8, int(n_balls**0.5 * 3)))
+    return BilliardsState(n_balls, table_size, end_time, seed=seed)
+
+
+def make_algorithm(state: BilliardsState) -> OrderedAlgorithm:
+    def priority(item: Event) -> Event:
+        return item  # (time, kind, a, other, ...) is already a total order
+
+    def level_of(item: Event) -> float:
+        return item[0]
+
+    def visit_rw_sets(item: Event, ctx: RWSetContext) -> None:
+        _, kind, a, other, _, _, _ = item
+        ctx.write(("ball", a))
+        if kind == BALL:
+            ctx.write(("ball", other))
+
+    def apply_update(item: Event, ctx: BodyContext) -> None:
+        ctx.access(("ball", item[2]))
+        if item[1] == BALL:
+            ctx.access(("ball", item[3]))
+        new_events, work = state.process(item)
+        ctx.work(work)
+        for event in new_events:
+            ctx.push(event)
+
+    def safe_source_test(task: Task, view: SourceView) -> bool:
+        earlier = [s.item for s in view.sources if s.item < task.item]
+        return state.is_safe_against_sources(task.item, earlier)
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="billiards",
+        initial_items=state.initial_events(),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=BILLIARDS_PROPERTIES,
+        safe_source_test=safe_source_test,
+        safe_test_work=PREDICT_WORK_PER_BALL * state.n,
+        level_of=level_of,
+    )

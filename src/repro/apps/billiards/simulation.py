@@ -1,0 +1,324 @@
+"""Elastic billiard-ball simulation state and event physics (§4.3).
+
+Classic event-driven molecular-dynamics structure (Alder & Wainwright,
+Lubachevsky): every ball carries its own clock and advances lazily; events
+are *predicted* collisions (ball-ball or ball-wall) stamped with the
+collision counters of the balls involved.  A popped event whose stamps are
+stale is void — but it re-predicts the still-fresh ball, which keeps every
+ball covered by a pending prediction (the progress invariant).
+
+The physical trajectory is deterministic across executors: conflicting
+events are ordered by the runtime, and void events re-predict from the
+state at their own serialization point.  Only the number of void
+predictions may vary between schedules.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...inputs.bodies import billiard_table
+
+#: Work: ops per candidate ball scanned during prediction; collision math.
+PREDICT_WORK_PER_BALL = 12.0
+COLLISION_WORK = 60.0
+
+#: Event kinds: ball-ball and ball-wall.
+BALL, WALL = "ball", "wall"
+
+#: Event item: (time, kind, a, other, stamp_a, stamp_other, owner)
+#: ``owner`` is the ball whose prediction created the event (re-predicted
+#: when the event turns out void).
+Event = tuple[float, str, int, int, int, int, int]
+
+
+class BilliardsState:
+    """Balls on a square table, with lazy per-ball clocks."""
+
+    def __init__(
+        self,
+        n_balls: int,
+        table_size: float,
+        end_time: float,
+        radius: float = 0.5,
+        max_speed: float = 1.0,
+        seed: int = 0,
+    ):
+        self.n = n_balls
+        self.table = table_size
+        self.radius = radius
+        self.end_time = end_time
+        pos, vel = billiard_table(n_balls, table_size, radius, max_speed, seed)
+        self.pos = pos
+        self.vel = vel
+        self.ball_time = np.zeros(n_balls)
+        self.stamp = np.zeros(n_balls, dtype=np.int64)
+        # Speed bound for the safe-source test.  Energy conservation gives
+        # the loose bound sqrt(2E); in practice (Maxwell-Boltzmann-like
+        # mixing) speeds stay within a few times the initial maximum, so we
+        # use 4x with a runtime assertion in process() — a violation would
+        # make the test unsound, so it fails loudly instead.
+        self.vmax = 4.0 * float(np.sqrt((vel**2).sum(axis=1)).max())
+        self.initial_energy = float((vel**2).sum())
+        self.collisions = 0
+        self.wall_bounces = 0
+        self.void_events = 0
+
+    # ------------------------------------------------------------------
+    # Kinematics
+    # ------------------------------------------------------------------
+    def advance(self, ball: int, time: float) -> None:
+        dt = time - self.ball_time[ball]
+        if dt < -1e-9:
+            raise RuntimeError(f"ball {ball} moving backwards in time")
+        if dt > 0:
+            self.pos[ball] += self.vel[ball] * dt
+            self.ball_time[ball] = time
+
+    def position_at(self, ball: int, time: float) -> np.ndarray:
+        return self.pos[ball] + self.vel[ball] * (time - self.ball_time[ball])
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _wall_hit(self, ball: int) -> tuple[float, int]:
+        """Earliest wall hit (absolute time, wall id) for ``ball``."""
+        best_t, best_w = math.inf, -1
+        r, table = self.radius, self.table
+        for axis in range(2):
+            v = self.vel[ball][axis]
+            x = self.pos[ball][axis]
+            if v < 0:
+                tau = (r - x) / v
+                wall = 0 if axis == 0 else 2
+            elif v > 0:
+                tau = (table - r - x) / v
+                wall = 1 if axis == 0 else 3
+            else:
+                continue
+            hit = self.ball_time[ball] + tau
+            if tau >= 0 and hit < best_t:
+                best_t, best_w = hit, wall
+        return best_t, best_w
+
+    def _pair_hit(self, a: int, b: int) -> float:
+        """Absolute time when balls ``a`` and ``b`` touch (inf if never)."""
+        t0 = max(self.ball_time[a], self.ball_time[b])
+        pa = self.position_at(a, t0)
+        pb = self.position_at(b, t0)
+        dp = pb - pa
+        dv = self.vel[b] - self.vel[a]
+        b_coef = float(dp @ dv)
+        if b_coef >= 0:
+            return math.inf  # separating
+        a_coef = float(dv @ dv)
+        if a_coef <= 1e-18:
+            return math.inf
+        c_coef = float(dp @ dp) - (2 * self.radius) ** 2
+        disc = b_coef * b_coef - a_coef * c_coef
+        if disc <= 0:
+            return math.inf
+        tau = (-b_coef - math.sqrt(disc)) / a_coef
+        if tau < -1e-9:
+            return math.inf
+        return t0 + max(tau, 0.0)
+
+    def _all_pair_hits(self, ball: int) -> np.ndarray:
+        """Vectorized ``_pair_hit`` against every other ball (inf = never)."""
+        t0 = np.maximum(self.ball_time[ball], self.ball_time)
+        pa = self.pos[ball] + self.vel[ball] * (t0 - self.ball_time[ball])[:, None]
+        pb = self.pos + self.vel * (t0 - self.ball_time)[:, None]
+        dp = pb - pa
+        dv = self.vel - self.vel[ball]
+        b_coef = (dp * dv).sum(axis=1)
+        a_coef = (dv * dv).sum(axis=1)
+        c_coef = (dp * dp).sum(axis=1) - (2 * self.radius) ** 2
+        hits = np.full(self.n, np.inf)
+        candidates = (b_coef < 0) & (a_coef > 1e-18)
+        disc = np.where(candidates, b_coef * b_coef - a_coef * c_coef, -1.0)
+        candidates &= disc > 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            tau = (-b_coef - np.sqrt(np.where(disc > 0, disc, 0.0))) / np.where(
+                a_coef > 0, a_coef, 1.0
+            )
+        candidates &= tau >= -1e-9
+        hits[candidates] = t0[candidates] + np.maximum(tau[candidates], 0.0)
+        hits[ball] = np.inf
+        return hits
+
+    def predict(self, ball: int) -> Event | None:
+        """Earliest future event for ``ball``; None when past end time."""
+        best_t, best_w = self._wall_hit(ball)
+        kind, other = WALL, best_w
+        hits = self._all_pair_hits(ball)
+        candidate = int(hits.argmin())
+        if hits[candidate] < best_t:
+            best_t, kind, other = float(hits[candidate]), BALL, candidate
+        if best_t >= self.end_time or other < 0:
+            return None
+        if kind == WALL:
+            return (best_t, WALL, ball, other, int(self.stamp[ball]), 0, ball)
+        return (
+            best_t,
+            BALL,
+            min(ball, other),
+            max(ball, other),
+            int(self.stamp[min(ball, other)]),
+            int(self.stamp[max(ball, other)]),
+            ball,
+        )
+
+    def initial_events(self) -> list[Event]:
+        events = [self.predict(ball) for ball in range(self.n)]
+        return [e for e in events if e is not None]
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def is_stale(self, event: Event) -> bool:
+        time, kind, a, other, stamp_a, stamp_other, _ = event
+        if self.stamp[a] != stamp_a:
+            return True
+        return kind == BALL and self.stamp[other] != stamp_other
+
+    def process(self, event: Event) -> tuple[list[Event], float]:
+        """Execute one event; returns (new predictions, work done)."""
+        time, kind, a, other, stamp_a, stamp_other, owner = event
+        work = COLLISION_WORK
+        if self.is_stale(event):
+            # Void.  Re-predict the owner only if *its* stamp still matches:
+            # then this event was the owner's only pending coverage (the
+            # progress invariant); otherwise the owner re-predicted already
+            # when it collided.
+            self.void_events += 1
+            new_events = []
+            owner_stamp = stamp_a if owner == a else stamp_other
+            if self.stamp[owner] == owner_stamp:
+                fresh = self.predict(owner)
+                work += PREDICT_WORK_PER_BALL * self.n
+                if fresh is not None:
+                    new_events.append(fresh)
+            return new_events, work
+        if kind == WALL:
+            self.advance(a, time)
+            axis = 0 if other in (0, 1) else 1
+            self.vel[a][axis] = -self.vel[a][axis]
+            self.stamp[a] += 1
+            self.wall_bounces += 1
+            affected = [a]
+        else:
+            self.advance(a, time)
+            self.advance(other, time)
+            normal = self.pos[other] - self.pos[a]
+            norm = float(np.sqrt(normal @ normal))
+            if norm > 0:
+                normal = normal / norm
+                exchange = float((self.vel[other] - self.vel[a]) @ normal)
+                # Equal masses: exchange the normal velocity components.
+                self.vel[a] += exchange * normal
+                self.vel[other] -= exchange * normal
+                for ball in (a, other):
+                    speed = float(np.sqrt(self.vel[ball] @ self.vel[ball]))
+                    if speed > self.vmax:
+                        raise RuntimeError(
+                            f"ball {ball} exceeded the declared speed bound"
+                        )
+            self.stamp[a] += 1
+            self.stamp[other] += 1
+            self.collisions += 1
+            affected = [a, other]
+        new_events = []
+        for ball in affected:
+            fresh = self.predict(ball)
+            work += PREDICT_WORK_PER_BALL * self.n
+            if fresh is not None:
+                new_events.append(fresh)
+        return new_events, work
+
+    # ------------------------------------------------------------------
+    # Safe-source test (max-velocity / bounded-lag, §4.3)
+    # ------------------------------------------------------------------
+    def is_safe_against_sources(self, event: Event, earlier: list[Event]) -> bool:
+        """The paper's safe-source test: max-velocity check on source pairs.
+
+        ``event`` is safe if, for every earlier source ``e'``, the balls of
+        ``e'`` could not reach the balls of ``event`` before it fires even
+        at maximum velocity (both parties closing at ``vmax`` each).  Any
+        influence chain must begin at some currently earlier source, so a
+        positive margin against every earlier source guarantees the event
+        cannot be invalidated.
+        """
+        t = event[0]
+        mine = self._involved_positions(event)
+        for other in earlier:
+            if not other[0] < t and not other < event:
+                continue
+            reach = 2.0 * self.vmax * (t - other[0])
+            theirs = self._involved_positions(other)
+            for p in mine:
+                for q in theirs:
+                    d = p - q
+                    if float(np.sqrt(d @ d)) - 2 * self.radius <= reach:
+                        return False
+        return True
+
+    def _involved_positions(self, event: Event) -> list[np.ndarray]:
+        time, kind, a, other, _, _, _ = event
+        involved = (a,) if kind == WALL else (a, other)
+        return [self.position_at(ball, time) for ball in involved]
+
+    def reach_gap(self, event: Event, min_time: float) -> float:
+        """Worst-case slack before any third ball could disturb this event.
+
+        A third ball x follows its recorded straight-line trajectory at
+        least until ``min_time`` (its next pending event cannot be earlier
+        than the global minimum), so its position is extrapolated exactly to
+        ``ref = max(ball_time[x], min_time)``; beyond that it can close in
+        at no more than ``vmax``.  If every x still has positive slack, no
+        earlier event can invalidate this one (the paper's max-velocity
+        test).
+        """
+        time, kind, a, other, _, _, _ = event
+        involved = (a,) if kind == WALL else (a, other)
+        pos_involved = [self.position_at(ball, time) for ball in involved]
+        gap = math.inf
+        for x in range(self.n):
+            if x in involved:
+                continue
+            ref = max(float(self.ball_time[x]), min_time)
+            pos_x = self.position_at(x, ref) if ref > self.ball_time[x] else self.pos[x]
+            travel = self.vmax * max(0.0, time - ref)
+            for p in pos_involved:
+                d = pos_x - p
+                slack = float(np.sqrt(d @ d)) - 2 * self.radius - travel
+                gap = min(gap, slack)
+        return gap
+
+    def is_safe_event(self, event: Event, min_time: float) -> bool:
+        if event[0] <= min_time + 1e-12:
+            return True  # the globally earliest event is always safe
+        return self.reach_gap(event, min_time) > 0.0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple[bytes, bytes, bytes]:
+        """Final positions/velocities at end time (deterministic physics)."""
+        final = self.pos + self.vel * (self.end_time - self.ball_time)[:, None]
+        return (final.tobytes(), self.vel.tobytes(), self.stamp.tobytes())
+
+    def validate(self) -> None:
+        energy = float((self.vel**2).sum())
+        assert abs(energy - self.initial_energy) < 1e-6 * max(1.0, self.initial_energy), (
+            "kinetic energy not conserved"
+        )
+        final = self.pos + self.vel * (self.end_time - self.ball_time)[:, None]
+        r = self.radius
+        assert (final > r - 1e-6).all() and (final < self.table - r + 1e-6).all(), (
+            "ball escaped the table"
+        )
+        # No two balls may overlap at the end time.
+        for a in range(self.n):
+            for b in range(a + 1, self.n):
+                d = final[b] - final[a]
+                assert float(d @ d) > (2 * r - 1e-6) ** 2, f"balls {a},{b} overlap"

@@ -1,0 +1,108 @@
+"""Common application harness used by tests, examples and benchmarks.
+
+Each application registers an :class:`AppSpec` exposing, uniformly, the four
+implementations the paper compares (§5.1):
+
+* ``serial``      — the optimized serial baseline (priority queue).
+* ``kdg-auto``    — our programming model + property-selected KDG executor.
+* ``kdg-manual``  — the KDG specialized by hand inside the application.
+* ``other``       — a reimplementation of the third-party parallel code
+  (absent for AVI and Billiards, as in the paper).
+
+plus the study executors ``level-by-level`` and ``speculation`` used in
+Figures 5, 12, 13 and 14.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.algorithm import OrderedAlgorithm
+from ..machine import SimMachine
+from ..runtime import EXECUTORS, LoopResult, choose_executor
+
+#: The implementations Figure 11 compares.
+PAPER_IMPLS = ("serial", "kdg-auto", "kdg-manual", "other")
+
+
+@dataclass
+class AppSpec:
+    """One benchmark application and its implementations."""
+
+    name: str
+    make_small: Callable[[], Any]
+    make_large: Callable[[], Any]
+    #: Build the OrderedAlgorithm over a state object (fresh per run).
+    algorithm: Callable[[Any], OrderedAlgorithm]
+    #: Deterministic digest of final application state (equality oracle).
+    snapshot: Callable[[Any], Any]
+    #: Domain invariants checked after a run (raises AssertionError).
+    validate: Callable[[Any], None]
+    run_manual: Callable[[Any, SimMachine], LoopResult] | None = None
+    run_other: Callable[[Any, SimMachine], LoopResult] | None = None
+    #: Extra options for the auto executor (e.g. IKDG window mode).
+    auto_options: dict[str, Any] = field(default_factory=dict)
+    #: Serial baseline cost model (§5.1): "heap" for priority-queue serial
+    #: codes (AVI, Billiards, DES), "linear" for sorted/structural loops
+    #: (MST, LU, BFS, tree traversal).
+    serial_baseline: str = "heap"
+    #: Paper-grade *best* serial implementation, when the ordered-task
+    #: serial loop is not it (e.g. BFS, where the optimized serial code
+    #: processes each node once while the task formulation re-visits).
+    #: Run on a 1-thread machine; defaults to the ordered serial executor.
+    run_serial_best: Callable[[Any, SimMachine], LoopResult] | None = None
+    #: Additional named implementations beyond the paper's four (e.g. the
+    #: Time Warp comparator for DES).
+    extra_impls: dict[str, Callable[[Any, SimMachine], LoopResult]] = field(
+        default_factory=dict
+    )
+
+    def auto_executor(self) -> str:
+        """The executor §3.6's rules select for this app's properties."""
+        probe = self.algorithm(self.make_tiny())
+        return choose_executor(probe.properties)
+
+    def make_tiny(self) -> Any:
+        """Smallest state, for property probes; defaults to small."""
+        return self.make_small()
+
+    def run(self, state: Any, impl: str, machine: SimMachine, **options: Any) -> LoopResult:
+        """Run one implementation over ``state`` on ``machine``."""
+        if impl == "serial":
+            options.setdefault("baseline", self.serial_baseline)
+            return EXECUTORS["serial"](self.algorithm(state), machine=machine, **options)
+        if impl == "serial-best":
+            if self.run_serial_best is not None:
+                return self.run_serial_best(state, machine, **options)
+            options.setdefault("baseline", self.serial_baseline)
+            return EXECUTORS["serial"](self.algorithm(state), machine=machine, **options)
+        if impl == "kdg-auto":
+            name = self.auto_executor()
+            merged = {**self.auto_options, **options}
+            return EXECUTORS[name](self.algorithm(state), machine=machine, **merged)
+        if impl == "kdg-manual":
+            if self.run_manual is None:
+                raise ValueError(f"{self.name} has no manual executor")
+            return self.run_manual(state, machine, **options)
+        if impl == "other":
+            if self.run_other is None:
+                raise ValueError(f"{self.name} has no third-party implementation")
+            return self.run_other(state, machine, **options)
+        if impl in self.extra_impls:
+            return self.extra_impls[impl](state, machine, **options)
+        if impl in EXECUTORS:
+            return EXECUTORS[impl](self.algorithm(state), machine=machine, **options)
+        raise ValueError(f"unknown implementation {impl!r}")
+
+    def has_impl(self, impl: str) -> bool:
+        if impl == "kdg-manual":
+            return self.run_manual is not None
+        if impl == "other":
+            return self.run_other is not None
+        return (
+            impl in ("serial", "serial-best", "kdg-auto")
+            or impl in EXECUTORS
+            or impl in self.extra_impls
+        )

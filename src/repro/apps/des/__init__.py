@@ -1,0 +1,42 @@
+"""DES (§4.5).
+
+Paper inputs: 12-bit tree multiplier (small), 64-bit Kogge–Stone adder
+(large).  Scaled here to an 8-bit tree multiplier and a 32-bit Kogge–Stone
+adder with random stimulus vectors.
+"""
+
+from ..common import AppSpec
+from .app import (
+    DES_PROPERTIES,
+    make_adder_state,
+    make_algorithm,
+    make_multiplier_state,
+)
+from .manual import run_manual, run_other
+from .timewarp import TimeWarpDES, run_timewarp
+from .simulation import DESState
+
+SPEC = AppSpec(
+    name="des",
+    make_small=lambda: make_multiplier_state(8, vectors=8, seed=4),
+    make_large=lambda: make_adder_state(32, vectors=12, seed=4),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    run_manual=run_manual,
+    run_other=run_other,
+    extra_impls={"time-warp": run_timewarp},
+)
+
+__all__ = [
+    "DESState",
+    "DES_PROPERTIES",
+    "SPEC",
+    "make_adder_state",
+    "make_algorithm",
+    "make_multiplier_state",
+    "run_manual",
+    "run_other",
+    "run_timewarp",
+    "TimeWarpDES",
+]

@@ -1,0 +1,90 @@
+"""DES in the ordered programming model (§4.5).
+
+A task consumes one event at one station (gate); its rw-set is the target
+station.  Events must appear to be processed in global time-stamp order,
+but the Chandy–Misra insight makes a *local* safe-source test possible:
+with FIFO links, a station that can bound every input channel's clock may
+process its earliest event regardless of global time.  DES is therefore
+unstable-source with a local test, monotonic (gate delays are positive) and
+structure-based — the automatic runtime selects the *asynchronous* explicit
+KDG executor, just like AVI (§4.5).
+"""
+
+from __future__ import annotations
+
+from ...core.algorithm import OrderedAlgorithm, SourceView
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...core.task import Task
+from ...inputs.circuits import Circuit, kogge_stone_adder, tree_multiplier
+from .simulation import DESState, Event
+
+DES_PROPERTIES = AlgorithmProperties(
+    monotonic=True,
+    structure_based_rw_sets=True,
+    local_safe_source_test=True,
+    stable_source=False,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.7
+
+#: Extra cycles one Chandy–Misra port scan costs.
+SAFE_TEST_WORK = 30.0
+
+
+def _random_vectors(circuit: Circuit, count: int, seed: int) -> list[dict[str, int]]:
+    import numpy as np
+
+    rng = np.random.RandomState(seed)
+    names = sorted(circuit.inputs)
+    return [
+        {name: int(rng.randint(0, 2)) for name in names} for _ in range(count)
+    ]
+
+
+def make_adder_state(bits: int, vectors: int = 12, seed: int = 0) -> DESState:
+    """The paper's DES-large family: a Kogge–Stone adder."""
+    circuit = kogge_stone_adder(bits)
+    return DESState(circuit, _random_vectors(circuit, vectors, seed))
+
+
+def make_multiplier_state(bits: int, vectors: int = 8, seed: int = 0) -> DESState:
+    """The paper's DES-small family: a tree multiplier."""
+    circuit = tree_multiplier(bits)
+    return DESState(circuit, _random_vectors(circuit, vectors, seed))
+
+
+def make_algorithm(state: DESState) -> OrderedAlgorithm:
+    def priority(item: Event) -> tuple[float, int, int, int]:
+        time, gate, port, eid, _, _ = item
+        return (time, gate, port, eid)
+
+    def level_of(item: Event) -> float:
+        return item[0]
+
+    def visit_rw_sets(item: Event, ctx: RWSetContext) -> None:
+        ctx.write(("gate", item[1]))
+
+    def apply_update(item: Event, ctx: BodyContext) -> None:
+        ctx.access(("gate", item[1]))
+        emitted, work = state.process_event(item)
+        ctx.work(work)
+        for child in emitted:
+            ctx.push(child)
+
+    def safe_source_test(task: Task, view: SourceView) -> bool:
+        return state.is_safe_event(task.item)
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="des",
+        initial_items=state.initial_events,
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=DES_PROPERTIES,
+        safe_source_test=safe_source_test,
+        safe_test_work=SAFE_TEST_WORK,
+        level_of=level_of,
+    )

@@ -1,0 +1,84 @@
+"""Hand-specialized DES executors (§4.5).
+
+``run_manual`` exploits the fact that a DES event's rw-set is exactly one
+station: the KDG degenerates to one priority queue per station whose head
+is the station's source.  No task graph, no rw-set machinery — an
+event-driven schedule over station heads filtered by the Chandy–Misra test.
+
+``run_other`` is the Chandy–Misra comparator (Lonestar's implementation):
+identical scheduling, but stations emit explicit *null messages* when their
+output does not change, advancing downstream channel clocks eagerly at the
+price of many extra messages.
+"""
+
+from __future__ import annotations
+
+from ...machine import Category, SimMachine, simulate_async
+from ...runtime.base import LoopResult, inflate_execute
+from .app import MEM_FRACTION
+from .simulation import DESState, Event
+
+#: Cycle cost of one per-station priority-queue operation.
+STATION_PQ_COST = 20.0
+
+
+def _event_key(item: Event) -> tuple[float, int, int, int]:
+    return (item[0], item[1], item[2], item[3])
+
+
+def _run_station_queues(state: DESState, machine: SimMachine, label: str) -> LoopResult:
+    cm = machine.cost_model
+    released: set[int] = set()
+    executed = {"count": 0}
+
+    def release_head(gate: int, exposed: list[Event]) -> None:
+        head = state.station_head(gate)
+        if head is None or head[3] in released:
+            return
+        if state.is_safe_event(head):
+            released.add(head[3])
+            exposed.append(head)
+
+    def step(item: Event) -> tuple[dict, list[Event]]:
+        emitted, work = state.process_event(item)
+        executed["count"] += 1
+        exposed: list[Event] = []
+        affected = {item[1]}
+        affected.update(child[1] for child in emitted)
+        for gate in sorted(affected):
+            release_head(gate, exposed)
+        breakdown = {
+            Category.EXECUTE: inflate_execute(machine, cm.work_cost(work), MEM_FRACTION)
+            + cm.worklist_cost(machine.num_threads),
+            Category.SCHEDULE: STATION_PQ_COST * (1 + len(emitted)),
+            Category.SAFETY_TEST: (cm.safe_test_base + 10.0) * max(1, len(affected)),
+        }
+        return breakdown, exposed
+
+    initial: list[Event] = []
+    for gate in range(state.circuit.num_gates):
+        release_head(gate, initial)
+    simulate_async(machine, initial, _event_key, step)
+    leftovers = sum(
+        len(q) for queues in state.pending for q in queues
+    )
+    if leftovers:
+        raise RuntimeError(f"DES {label} stalled with {leftovers} events pending")
+    return LoopResult(
+        algorithm="des",
+        executor=label,
+        machine=machine,
+        executed=executed["count"],
+        metrics={"null_events": state.null_events},
+    )
+
+
+def run_manual(state: DESState, machine: SimMachine) -> LoopResult:
+    """Per-station priority queues; sources are station heads."""
+    return _run_station_queues(state, machine, "manual-station-pq")
+
+
+def run_other(state: DESState, machine: SimMachine) -> LoopResult:
+    """Chandy–Misra with explicit null messages."""
+    state.emit_nulls = True
+    return _run_station_queues(state, machine, "chandy-misra")

@@ -1,0 +1,212 @@
+"""Discrete-event gate-level simulation state (§4.5).
+
+Stations are logic gates; events travel along FIFO links with per-gate
+delay.  A task is the consumption of one event by its target gate.  Three
+event kinds exist:
+
+* ``val``   — a value change on a wire; consuming it may re-evaluate the
+  gate and emit new events.
+* ``null``  — a Chandy–Misra null message: advances the receiving port's
+  channel clock without carrying data (only the CM comparator emits these).
+* ``flush`` — an end-of-simulation null: after the last stimulus vector the
+  testbench flushes every input, and each gate forwards one flush once all
+  its ports have flushed.  This closes every channel, so the local
+  safe-source test can always eventually fire (termination).
+
+Per-port channel clocks hold the latest time seen on a link.  Emission
+times are strictly increasing per link (an epsilon bump breaks exact ties),
+which makes ``clock ≥ t`` a sound guarantee that no earlier event can still
+arrive — the basis of the Chandy–Misra safe-source test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...inputs.circuits import GATE_FUNCS, Circuit
+
+#: Minimum spacing between events on one link (breaks glitch-pair ties).
+LINK_EPS = 1e-7
+
+#: Work: base ops per event plus ops per input port re-read.
+EVENT_WORK_BASE = 25.0
+EVENT_WORK_PER_PORT = 10.0
+
+#: Event kinds.
+VAL, NULL, FLUSH = "val", "null", "flush"
+
+#: Event item layout: (time, gate, port, eid, kind, value)
+Event = tuple[float, int, int, int, str, int]
+
+
+class DESState:
+    """Circuit + per-station simulation and channel state."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        vectors: list[dict[str, int]],
+        period: float = 50.0,
+        emit_nulls: bool = False,
+    ):
+        self.circuit = circuit
+        self.vectors = vectors
+        self.period = period
+        self.emit_nulls = emit_nulls
+        n = circuit.num_gates
+        self.nports = [max(1, len(g.fanin)) for g in circuit.gates]
+        self.input_vals = [[0] * self.nports[g.gid] for g in circuit.gates]
+        self.port_clock = [[0.0] * self.nports[g.gid] for g in circuit.gates]
+        self.flushed = [[False] * self.nports[g.gid] for g in circuit.gates]
+        self.pending: list[list[deque]] = [
+            [deque() for _ in range(self.nports[g.gid])] for g in circuit.gates
+        ]
+        self.last_arrival = [[-1.0] * self.nports[g.gid] for g in circuit.gates]
+        self.output_val = self._initial_outputs()
+        self.events_processed = 0
+        self.null_events = 0
+        self._next_eid = 0
+        self.initial_events = self._build_stimulus()
+
+    # ------------------------------------------------------------------
+    def _initial_outputs(self) -> list[int]:
+        """Steady-state outputs with every primary input at 0."""
+        values = [0] * self.circuit.num_gates
+        for gid in self.circuit._topological_order():
+            gate = self.circuit.gates[gid]
+            if gate.kind != "INPUT":
+                values[gid] = GATE_FUNCS[gate.kind](
+                    [values[src] for src in gate.fanin]
+                )
+        return values
+
+    def _arrive(self, time: float, gate: int, port: int, kind: str, value: int) -> Event:
+        """Enqueue an event on a link; returns the task item to push."""
+        time = max(time, self.last_arrival[gate][port] + LINK_EPS)
+        self.last_arrival[gate][port] = time
+        if kind == FLUSH:
+            # A flush is the last event this channel will ever carry: close
+            # it (clock = ∞), so sibling ports stop waiting on it.
+            self.port_clock[gate][port] = float("inf")
+        else:
+            self.port_clock[gate][port] = time
+        eid = self._next_eid
+        self._next_eid += 1
+        item: Event = (time, gate, port, eid, kind, value)
+        self.pending[gate][port].append(item)
+        return item
+
+    def _build_stimulus(self) -> list[Event]:
+        """Initial tasks: value changes per vector, then the final flush."""
+        items: list[Event] = []
+        current = {name: 0 for name in self.circuit.inputs}
+        for k, vector in enumerate(self.vectors):
+            t = k * self.period
+            for name, gid in self.circuit.inputs.items():
+                value = int(vector.get(name, current[name]))
+                if value != current[name]:
+                    current[name] = value
+                    items.append(self._arrive(t, gid, 0, VAL, value))
+        t_end = len(self.vectors) * self.period
+        for gid in self.circuit.inputs.values():
+            items.append(self._arrive(t_end, gid, 0, FLUSH, 0))
+        return items
+
+    # ------------------------------------------------------------------
+    def process_event(self, item: Event) -> tuple[list[Event], float]:
+        """Consume one event; returns (emitted task items, work done)."""
+        time, gate_id, port, eid, kind, value = item
+        queue = self.pending[gate_id][port]
+        if not queue or queue[0][3] != eid:
+            raise RuntimeError(
+                f"event {eid} executed out of FIFO order at gate {gate_id}"
+            )
+        queue.popleft()
+        gate = self.circuit.gates[gate_id]
+        self.events_processed += 1
+        work = EVENT_WORK_BASE + EVENT_WORK_PER_PORT * self.nports[gate_id]
+        emitted: list[Event] = []
+        if kind == FLUSH:
+            self.flushed[gate_id][port] = True
+            if all(self.flushed[gate_id]):
+                for tgt, tport in gate.fanout:
+                    emitted.append(
+                        self._arrive(time + gate.delay, tgt, tport, FLUSH, 0)
+                    )
+        elif kind == NULL:
+            self.null_events += 1  # channel clock already advanced on arrival
+        else:
+            self.input_vals[gate_id][port] = value
+            new_out = GATE_FUNCS[gate.kind](self.input_vals[gate_id][: max(1, len(gate.fanin))])
+            if new_out != self.output_val[gate_id]:
+                self.output_val[gate_id] = new_out
+                for tgt, tport in gate.fanout:
+                    emitted.append(
+                        self._arrive(time + gate.delay, tgt, tport, VAL, new_out)
+                    )
+            elif self.emit_nulls:
+                # Chandy–Misra: advance downstream clocks explicitly.
+                for tgt, tport in gate.fanout:
+                    emitted.append(
+                        self._arrive(time + gate.delay, tgt, tport, NULL, 0)
+                    )
+        return emitted, work
+
+    # ------------------------------------------------------------------
+    def is_safe_event(self, item: Event) -> bool:
+        """The Chandy–Misra local safe-source test (§4.5).
+
+        ``item`` may be processed iff it is the earliest pending event at
+        its station and every other port either has a pending event (whose
+        head is later) or a channel clock at/after ``item``'s time.
+        """
+        time, gate_id, port, eid, _, _ = item
+        for q in range(self.nports[gate_id]):
+            queue = self.pending[gate_id][q]
+            if queue:
+                head = queue[0]
+                if (head[0], q, head[3]) < (time, port, eid):
+                    return False
+            elif self.port_clock[gate_id][q] < time:
+                return False
+        return True
+
+    def station_head(self, gate_id: int) -> Event | None:
+        """Earliest pending event at a station (None when idle)."""
+        best: Event | None = None
+        for q in range(self.nports[gate_id]):
+            queue = self.pending[gate_id][q]
+            if queue:
+                head = queue[0]
+                if best is None or (head[0], head[1], head[2], head[3]) < (
+                    best[0],
+                    best[1],
+                    best[2],
+                    best[3],
+                ):
+                    best = head
+        return best
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """Final wire values (comparators may differ in event counts)."""
+        return (
+            tuple(self.output_val),
+            tuple(tuple(vals) for vals in self.input_vals),
+        )
+
+    def output_values(self) -> dict[str, int]:
+        return {name: self.output_val[gid] for name, gid in self.circuit.outputs.items()}
+
+    def validate(self) -> None:
+        """All queues drained; outputs equal the functional oracle."""
+        for gate_id in range(self.circuit.num_gates):
+            for queue in self.pending[gate_id]:
+                assert not queue, f"unconsumed events at gate {gate_id}"
+        final_vector = {name: 0 for name in self.circuit.inputs}
+        for vector in self.vectors:
+            final_vector.update({k: int(v) for k, v in vector.items()})
+        oracle = self.circuit.evaluate(final_vector)
+        assert self.output_values() == oracle, (
+            f"DES outputs {self.output_values()} != oracle {oracle}"
+        )

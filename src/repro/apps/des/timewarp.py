@@ -1,0 +1,303 @@
+"""Time Warp: optimistic parallel DES (Jefferson [21], the paper's §6).
+
+The paper contrasts the KDG's *conservative* scheduling with Time Warp's
+speculation: stations process events eagerly in local-time order and, when
+a straggler (an event earlier than the station's local virtual time)
+arrives, the station **rolls back** — restoring a state snapshot, sending
+anti-messages that annihilate or cascade-undo everything it wrongly sent,
+and reprocessing.  No safe-source test, no dependence graph, but state
+saving on every event and wasted work on every rollback.
+
+This is a faithful logical implementation (snapshots, anti-message
+cascades, annihilation) driven by the simulated machine: workers grab the
+globally earliest unprocessed event; semantic application happens at
+completion time, so in-flight overlap between neighboring stations is what
+produces stragglers, exactly as wall-clock races do in a real Time Warp.
+
+The final circuit state is identical to the conservative executors' — the
+test suite checks it — only the schedule and the overhead differ.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ...inputs.circuits import GATE_FUNCS
+from ...machine import Category, SimMachine
+from ...runtime.base import LoopResult, inflate_execute
+from .app import MEM_FRACTION
+from .simulation import EVENT_WORK_BASE, EVENT_WORK_PER_PORT, LINK_EPS, DESState
+
+#: Time Warp cost constants (cycles).
+STATE_SAVE_COST = 45.0
+ROLLBACK_BASE = 120.0
+ROLLBACK_PER_EVENT = 80.0
+ANTI_MESSAGE_COST = 30.0
+
+#: TW event tuple: (time, gate, port, eid, value) — values only, no flushes.
+TWEvent = tuple[float, int, int, int, int]
+
+
+def _key(event: TWEvent) -> tuple[float, int, int, int]:
+    return (event[0], event[1], event[2], event[3])
+
+
+@dataclass
+class _Processed:
+    """One optimistically processed event, with everything needed to undo it."""
+
+    event: TWEvent
+    saved_inputs: list[int]
+    saved_output: int
+    emitted: list[TWEvent] = field(default_factory=list)
+
+
+class TimeWarpDES:
+    """Optimistic gate-level simulator with rollback."""
+
+    def __init__(self, state: DESState):
+        # Reuse the conservative state object's circuit and stimulus plan,
+        # but keep private station state (Time Warp has no channel clocks).
+        self.circuit = state.circuit
+        self.vectors = state.vectors
+        self.period = state.period
+        self.nports = list(state.nports)
+        self.input_vals = [[0] * n for n in self.nports]
+        self.output_val = self._initial_outputs()
+        self.processed: list[list[_Processed]] = [[] for _ in self.circuit.gates]
+        self._next_eid = 0
+        self._last_emit: dict[tuple[int, int], float] = {}
+        self.unprocessed: list[tuple[tuple, TWEvent]] = []
+        self.annihilated: set[int] = set()
+        self.events_processed = 0
+        self.rollbacks = 0
+        self.events_undone = 0
+        self.anti_messages = 0
+        for event in self._build_stimulus():
+            heapq.heappush(self.unprocessed, (_key(event), event))
+
+    # ------------------------------------------------------------------
+    def _initial_outputs(self) -> list[int]:
+        values = [0] * self.circuit.num_gates
+        for gid in self.circuit._topological_order():
+            gate = self.circuit.gates[gid]
+            if gate.kind != "INPUT":
+                values[gid] = GATE_FUNCS[gate.kind]([values[s] for s in gate.fanin])
+        return values
+
+    def _make_event(self, time: float, gate: int, port: int, value: int) -> TWEvent:
+        link = (gate, port)
+        time = max(time, self._last_emit.get(link, -1.0) + LINK_EPS)
+        self._last_emit[link] = time
+        eid = self._next_eid
+        self._next_eid += 1
+        return (time, gate, port, eid, value)
+
+    def _build_stimulus(self) -> list[TWEvent]:
+        events = []
+        current = {name: 0 for name in self.circuit.inputs}
+        for k, vector in enumerate(self.vectors):
+            t = k * self.period
+            for name, gid in self.circuit.inputs.items():
+                value = int(vector.get(name, current[name]))
+                if value != current[name]:
+                    current[name] = value
+                    events.append(self._make_event(t, gid, 0, value))
+        return events
+
+    # ------------------------------------------------------------------
+    def lvt(self, gate: int) -> tuple:
+        """Local virtual time: key of the last processed event at ``gate``."""
+        history = self.processed[gate]
+        return _key(history[-1].event) if history else (-1.0, -1, -1, -1)
+
+    def _apply(self, event: TWEvent) -> tuple[list[TWEvent], float]:
+        """Process one event at its station (state must be time-consistent)."""
+        time, gate_id, port, eid, value = event
+        gate = self.circuit.gates[gate_id]
+        record = _Processed(
+            event,
+            saved_inputs=list(self.input_vals[gate_id]),
+            saved_output=self.output_val[gate_id],
+        )
+        self.input_vals[gate_id][port] = value
+        new_out = GATE_FUNCS[gate.kind](
+            self.input_vals[gate_id][: max(1, len(gate.fanin))]
+        )
+        work = EVENT_WORK_BASE + EVENT_WORK_PER_PORT * self.nports[gate_id]
+        if new_out != self.output_val[gate_id]:
+            self.output_val[gate_id] = new_out
+            for tgt, tport in gate.fanout:
+                child = self._make_event(time + gate.delay, tgt, tport, new_out)
+                record.emitted.append(child)
+                heapq.heappush(self.unprocessed, (_key(child), child))
+        self.processed[gate_id].append(record)
+        self.events_processed += 1
+        return list(record.emitted), work
+
+    def _rollback(self, gate_id: int, before: tuple, annihilate_eid: int | None) -> float:
+        """Undo processed events at ``gate_id`` with key ≥ ``before``.
+
+        Undone events re-enter the pool (except an annihilated one); their
+        emissions are cancelled with anti-messages, possibly cascading.
+        Returns the cycles this rollback costs.
+        """
+        history = self.processed[gate_id]
+        if not history or _key(history[-1].event) < before:
+            return 0.0
+        self.rollbacks += 1
+        cost = ROLLBACK_BASE
+        undone: list[_Processed] = []
+        while history and _key(history[-1].event) >= before:
+            undone.append(history.pop())
+        # Restore the state from before the earliest undone event.
+        self.input_vals[gate_id] = list(undone[-1].saved_inputs)
+        self.output_val[gate_id] = undone[-1].saved_output
+        for record in undone:
+            self.events_undone += 1
+            cost += ROLLBACK_PER_EVENT
+            eid = record.event[3]
+            if eid == annihilate_eid:
+                pass  # the anti-message and this positive copy annihilate
+            else:
+                heapq.heappush(self.unprocessed, (_key(record.event), record.event))
+            for child in record.emitted:
+                cost += self._send_anti_message(child)
+        return cost
+
+    def _send_anti_message(self, event: TWEvent) -> float:
+        """Cancel ``event`` wherever its positive copy currently is."""
+        self.anti_messages += 1
+        cost = ANTI_MESSAGE_COST
+        eid = event[3]
+        target = event[1]
+        history = self.processed[target]
+        if history and _key(history[-1].event) >= _key(event):
+            processed_eids = {record.event[3] for record in history}
+            if eid in processed_eids:
+                cost += self._rollback(target, _key(event), annihilate_eid=eid)
+                return cost
+        # Not processed (yet): annihilate it in the pool, lazily.
+        self.annihilated.add(eid)
+        return cost
+
+    # ------------------------------------------------------------------
+    def receive(self, event: TWEvent) -> tuple[list[TWEvent], float, float]:
+        """Deliver one event: rollback if straggler, then apply.
+
+        Returns (emissions, execute_cycles, rollback_cycles).
+        """
+        gate_id = event[1]
+        rollback_cost = 0.0
+        if _key(event) < self.lvt(gate_id):
+            rollback_cost = self._rollback(gate_id, _key(event), annihilate_eid=None)
+        emitted, work = self._apply(event)
+        return emitted, work, rollback_cost
+
+    def snapshot(self) -> tuple:
+        return (
+            tuple(self.output_val),
+            tuple(tuple(vals) for vals in self.input_vals),
+        )
+
+    def output_values(self) -> dict[str, int]:
+        return {
+            name: self.output_val[gid] for name, gid in self.circuit.outputs.items()
+        }
+
+
+def run_timewarp(state: DESState, machine: SimMachine) -> LoopResult:
+    """Run Time Warp DES on the simulated machine.
+
+    Workers take the globally earliest unprocessed events; application
+    happens at completion, so concurrent in-flight events at neighboring
+    stations race — the source of stragglers and rollbacks.
+    """
+    cm = machine.cost_model
+    engine = TimeWarpDES(state)
+    idle = list(range(machine.num_threads))
+    heapq.heapify(idle)
+    thread_clock = [0.0] * machine.num_threads
+    in_flight: list[tuple[float, int, int, TWEvent]] = []  # (wall, seq, tid, ev)
+    now = 0.0
+    seq = 0
+
+    def pop_live() -> TWEvent | None:
+        while engine.unprocessed:
+            _, event = heapq.heappop(engine.unprocessed)
+            if event[3] in engine.annihilated:
+                engine.annihilated.discard(event[3])
+                continue
+            return event
+        return None
+
+    while True:
+        # Dispatch as many events as there are idle workers.
+        while idle:
+            event = pop_live()
+            if event is None:
+                break
+            tid = heapq.heappop(idle)
+            if thread_clock[tid] < now:
+                machine.stats.charge(tid, Category.IDLE, now - thread_clock[tid])
+                thread_clock[tid] = now
+            # The shared event pool is a priority queue (plus contention).
+            dispatch = cm.pq_cost(len(engine.unprocessed) + 1) + cm.worklist_cost(
+                machine.num_threads
+            )
+            duration = (
+                dispatch
+                + STATE_SAVE_COST
+                + inflate_execute(
+                    machine,
+                    EVENT_WORK_BASE + EVENT_WORK_PER_PORT * engine.nports[event[1]],
+                    MEM_FRACTION,
+                )
+            )
+            machine.stats.charge(tid, Category.SCHEDULE, dispatch + STATE_SAVE_COST)
+            heapq.heappush(in_flight, (thread_clock[tid] + duration, seq, tid, event))
+            seq += 1
+        if not in_flight:
+            break
+        wall, _, tid, event = heapq.heappop(in_flight)
+        now = max(now, wall)
+        if event[3] in engine.annihilated:
+            # Annihilated while in flight: the work was wasted.
+            engine.annihilated.discard(event[3])
+            machine.stats.charge(tid, Category.ABORT, wall - thread_clock[tid])
+            thread_clock[tid] = wall
+        else:
+            _, work, rollback_cost = engine.receive(event)
+            machine.stats.charge(tid, Category.EXECUTE, wall - thread_clock[tid])
+            thread_clock[tid] = wall
+            if rollback_cost:
+                machine.stats.charge(tid, Category.ABORT, rollback_cost)
+                thread_clock[tid] += rollback_cost
+        heapq.heappush(idle, tid)
+
+    end = max(max(thread_clock), now)
+    for tid in range(machine.num_threads):
+        if thread_clock[tid] < end:
+            machine.stats.charge(tid, Category.IDLE, end - thread_clock[tid])
+        machine.set_clock(tid, end)
+
+    # Publish the optimistic engine's final wires back into the state so the
+    # standard snapshot/validate infrastructure sees them.
+    state.output_val = list(engine.output_val)
+    state.input_vals = [list(v) for v in engine.input_vals]
+    state.events_processed = engine.events_processed
+    for queues in state.pending:  # TW consumed the stimulus via its own pool
+        for queue in queues:
+            queue.clear()
+    return LoopResult(
+        algorithm="des",
+        executor="time-warp",
+        machine=machine,
+        executed=engine.events_processed,
+        metrics={
+            "rollbacks": engine.rollbacks,
+            "events_undone": engine.events_undone,
+            "anti_messages": engine.anti_messages,
+        },
+    )

@@ -1,0 +1,24 @@
+"""Sparse blocked LU (§4.4).
+
+Paper inputs: 12K×12K / 140 K nnz (small), 23K×23K / 1.1 M nnz (large).
+Scaled here to 32×32 blocks of 20×20 (small) and 40×40 blocks of 24×24
+(large), banded plus random off-band blocks with symbolic fill.
+"""
+
+from ..common import AppSpec
+from .app import LU_PROPERTIES, LUState, make_algorithm, make_state
+from .manual import run_manual, run_other
+
+SPEC = AppSpec(
+    name="lu",
+    make_small=lambda: make_state(32, 20, bandwidth=2, density=0.08, seed=5),
+    make_large=lambda: make_state(40, 24, bandwidth=2, density=0.08, seed=5),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="linear",
+    run_manual=run_manual,
+    run_other=run_other,
+)
+
+__all__ = ["LUState", "LU_PROPERTIES", "SPEC", "make_algorithm", "make_state", "run_manual", "run_other"]

@@ -1,0 +1,180 @@
+"""Sparse blocked LU in the ordered programming model (§4.4).
+
+Following the paper's KDG formulation: the *initial* tasks are the type I
+(diagonal) updates, whose rw-set covers every nonzero block of the trailing
+submatrix; executing ``lu0(k)`` spawns the stage-``k`` type II tasks, and
+each row-solve ``fwd(k,j)`` spawns the ``bmod(i,j,k)`` type III updates in
+its column.  A type II task's rw-set covers the blocks its children will
+write, so children's rw-sets are subsets of their parent's
+(structure-based), every source is safe (stable-source), and the automatic
+runtime picks the asynchronous KDG-RNA executor with subrules R and A —
+"as in the case of AVI" (§4.4).
+
+A symbolic-factorization pre-pass allocates fill blocks first, so the block
+pattern is static during the ordered loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...inputs.matrices import BlockMatrix, sparse_blocked_matrix, symbolic_fill
+from . import kernels
+
+LU_PROPERTIES = AlgorithmProperties(
+    stable_source=True,
+    monotonic=True,
+    structure_based_rw_sets=True,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.15
+
+#: Task kinds, in intra-stage priority order.
+LU0, FWD, BDIV, BMOD = "lu0", "fwd", "bdiv", "bmod"
+
+
+class LUState:
+    """The block matrix being factored plus its pristine copy."""
+
+    def __init__(self, matrix: BlockMatrix):
+        self.original = matrix.copy()
+        self.mat = matrix
+        self.fill_blocks = symbolic_fill(self.mat)
+        self.tasks_run = {LU0: 0, FWD: 0, BDIV: 0, BMOD: 0}
+
+    @property
+    def num_blocks(self) -> int:
+        return self.mat.num_blocks
+
+    def row_blocks(self, k: int) -> list[int]:
+        """Nonzero column indices j > k in block row k."""
+        return [j for j in range(k + 1, self.num_blocks) if self.mat[k, j] is not None]
+
+    def col_blocks(self, k: int) -> list[int]:
+        """Nonzero row indices i > k in block column k."""
+        return [i for i in range(k + 1, self.num_blocks) if self.mat[i, k] is not None]
+
+    def trailing_nonzeros(self, k: int) -> list[tuple[int, int]]:
+        return [
+            (i, j)
+            for i in range(k, self.num_blocks)
+            for j in range(k, self.num_blocks)
+            if self.mat[i, j] is not None
+        ]
+
+    def snapshot(self) -> bytes:
+        return self.mat.to_dense().tobytes()
+
+    def validate(self, tolerance: float = 1e-8) -> None:
+        """Reconstruct L·U and compare against the original matrix."""
+        n = self.num_blocks
+        b = self.mat.block_size
+        size = n * b
+        lower = np.zeros((size, size))
+        upper = np.zeros((size, size))
+        for i in range(n):
+            for j in range(n):
+                block = self.mat[i, j]
+                if block is None:
+                    continue
+                rows = slice(i * b, (i + 1) * b)
+                cols = slice(j * b, (j + 1) * b)
+                if i == j:
+                    l_blk, u_blk = kernels.unpack_lu(block)
+                    lower[rows, cols] = l_blk
+                    upper[rows, cols] = u_blk
+                elif i > j:
+                    lower[rows, cols] = block
+                else:
+                    upper[rows, cols] = block
+        dense = self.original.to_dense()
+        error = np.abs(lower @ upper - dense).max()
+        scale = max(1.0, np.abs(dense).max())
+        assert error / scale < tolerance, f"LU residual too large: {error:.3e}"
+
+
+def make_state(
+    num_blocks: int, block_size: int, bandwidth: int = 2, density: float = 0.08, seed: int = 0
+) -> LUState:
+    return LUState(
+        sparse_blocked_matrix(num_blocks, block_size, bandwidth, density, seed=seed)
+    )
+
+
+def make_algorithm(state: LUState) -> OrderedAlgorithm:
+    mat = state.mat
+
+    def priority(item: tuple) -> tuple[int, int, int, int]:
+        kind = item[0]
+        if kind == LU0:
+            return (item[1], 0, 0, 0)
+        if kind == FWD:  # ("fwd", k, j)
+            return (item[1], 1, 0, item[2])
+        if kind == BDIV:  # ("bdiv", k, i)
+            return (item[1], 1, 1, item[2])
+        # ("bmod", k, i, j)
+        return (item[1], 2, item[2], item[3])
+
+    def level_of(item: tuple) -> tuple[int, int]:
+        return priority(item)[:2]
+
+    def visit_rw_sets(item: tuple, ctx: RWSetContext) -> None:
+        kind = item[0]
+        if kind == LU0:
+            k = item[1]
+            for loc in state.trailing_nonzeros(k):
+                ctx.write(("block",) + loc)
+        elif kind == FWD:
+            _, k, j = item
+            ctx.write(("block", k, j))
+            for i in state.col_blocks(k):
+                ctx.write(("block", i, j))
+        elif kind == BDIV:
+            _, k, i = item
+            ctx.write(("block", i, k))
+            for j in state.row_blocks(k):
+                ctx.write(("block", i, j))
+        else:
+            _, k, i, j = item
+            ctx.write(("block", i, j))
+
+    def apply_update(item: tuple, ctx: BodyContext) -> None:
+        kind = item[0]
+        state.tasks_run[kind] += 1
+        if kind == LU0:
+            k = item[1]
+            ctx.access(("block", k, k))
+            ctx.work(kernels.lu0(mat[k, k]))
+            for j in state.row_blocks(k):
+                ctx.push((FWD, k, j))
+            for i in state.col_blocks(k):
+                ctx.push((BDIV, k, i))
+        elif kind == FWD:
+            _, k, j = item
+            ctx.access(("block", k, j))
+            ctx.work(kernels.fwd(mat[k, k], mat[k, j]))
+            for i in state.col_blocks(k):
+                ctx.push((BMOD, k, i, j))
+        elif kind == BDIV:
+            _, k, i = item
+            ctx.access(("block", i, k))
+            ctx.work(kernels.bdiv(mat[k, k], mat[i, k]))
+        else:
+            _, k, i, j = item
+            ctx.access(("block", i, j))
+            ctx.work(kernels.bmod(mat[i, k], mat[k, j], mat[i, j]))
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="lu",
+        initial_items=[(LU0, k) for k in range(state.num_blocks)],
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=LU_PROPERTIES,
+        level_of=level_of,
+    )

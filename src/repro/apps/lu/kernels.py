@@ -1,0 +1,58 @@
+"""Dense block kernels for right-looking LU without pivoting (§4.4).
+
+These are the four BOTS ``sparselu`` kernels:
+
+* ``lu0``  — factor a diagonal block in place (packed L\\U, unit lower).
+* ``fwd``  — forward-solve a row block:   U-part  ``A_kj ← L_kk⁻¹ A_kj``.
+* ``bdiv`` — back-solve a column block:   L-part  ``A_ik ← A_ik U_kk⁻¹``.
+* ``bmod`` — trailing update:             ``A_ij ← A_ij − A_ik A_kj``.
+
+Each returns its floating-point operation count for the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def lu0(block: np.ndarray) -> float:
+    """In-place LU of a diagonal block (no pivoting)."""
+    n = block.shape[0]
+    for c in range(n - 1):
+        pivot = block[c, c]
+        if pivot == 0.0:
+            raise ZeroDivisionError("zero pivot: matrix not LU-factorable without pivoting")
+        block[c + 1 :, c] /= pivot
+        block[c + 1 :, c + 1 :] -= np.outer(block[c + 1 :, c], block[c, c + 1 :])
+    return (2.0 / 3.0) * n**3
+
+
+def fwd(diag: np.ndarray, block: np.ndarray) -> float:
+    """Forward substitution with the packed unit-lower factor of ``diag``."""
+    n = diag.shape[0]
+    for r in range(1, n):
+        block[r, :] -= diag[r, :r] @ block[:r, :]
+    return float(n**3)
+
+
+def bdiv(diag: np.ndarray, block: np.ndarray) -> float:
+    """Back substitution with the upper factor of ``diag`` (right solve)."""
+    n = diag.shape[0]
+    for c in range(n):
+        block[:, c] -= block[:, :c] @ diag[:c, c]
+        block[:, c] /= diag[c, c]
+    return float(n**3)
+
+
+def bmod(a_ik: np.ndarray, a_kj: np.ndarray, a_ij: np.ndarray) -> float:
+    """Trailing-submatrix update."""
+    a_ij -= a_ik @ a_kj
+    n = a_ik.shape[0]
+    return 2.0 * n**3
+
+
+def unpack_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split a packed diagonal block into (unit-lower L, upper U)."""
+    lower = np.tril(packed, -1) + np.eye(packed.shape[0])
+    upper = np.triu(packed)
+    return lower, upper

@@ -1,0 +1,99 @@
+"""Hand-specialized LU executors (§4.4).
+
+Both follow the BOTS ``sparselu`` level-by-level structure: for each
+diagonal stage ``k``, the diagonal factorization runs serially, then one
+parallel phase performs the row/column solves (type II) and a second
+parallel phase performs the trailing updates (type III), with a barrier
+between phases.
+
+``run_manual`` is our in-application version; ``run_other`` is the BOTS
+comparator, which additionally pays an OpenMP-style task-creation overhead
+per spawned task (BOTS spawns one task per block).
+"""
+
+from __future__ import annotations
+
+from ...machine import Category, SimMachine
+from ...runtime.base import LoopResult, inflate_execute
+from . import kernels
+from .app import MEM_FRACTION, LUState
+
+#: OpenMP task-spawn overhead modeled for the BOTS comparator.
+OMP_TASK_SPAWN = 180.0
+
+
+def _level_by_level_lu(
+    state: LUState, machine: SimMachine, spawn_overhead: float, label: str
+) -> LoopResult:
+    cm = machine.cost_model
+    mat = state.mat
+    executed = 0
+    stages = 0
+    for k in range(state.num_blocks):
+        stages += 1
+        # Serial diagonal factorization on one thread.
+        flops = kernels.lu0(mat[k, k])
+        state.tasks_run["lu0"] += 1
+        machine.run_phase(
+            [{Category.EXECUTE: inflate_execute(machine, cm.work_cost(flops), MEM_FRACTION)}]
+        )
+        executed += 1
+
+        # Phase 1: row and column solves in parallel.
+        phase1 = []
+        for j in state.row_blocks(k):
+            flops = kernels.fwd(mat[k, k], mat[k, j])
+            state.tasks_run["fwd"] += 1
+            phase1.append(
+                {
+                    Category.EXECUTE: inflate_execute(machine, cm.work_cost(flops), MEM_FRACTION),
+                    Category.SCHEDULE: spawn_overhead
+                    + cm.worklist_cost(machine.num_threads),
+                }
+            )
+            executed += 1
+        for i in state.col_blocks(k):
+            flops = kernels.bdiv(mat[k, k], mat[i, k])
+            state.tasks_run["bdiv"] += 1
+            phase1.append(
+                {
+                    Category.EXECUTE: inflate_execute(machine, cm.work_cost(flops), MEM_FRACTION),
+                    Category.SCHEDULE: spawn_overhead
+                    + cm.worklist_cost(machine.num_threads),
+                }
+            )
+            executed += 1
+        machine.run_phase(phase1)
+
+        # Phase 2: trailing updates in parallel.
+        phase2 = []
+        for i in state.col_blocks(k):
+            for j in state.row_blocks(k):
+                flops = kernels.bmod(mat[i, k], mat[k, j], mat[i, j])
+                state.tasks_run["bmod"] += 1
+                phase2.append(
+                    {
+                        Category.EXECUTE: inflate_execute(machine, cm.work_cost(flops), MEM_FRACTION),
+                        Category.SCHEDULE: spawn_overhead
+                        + cm.worklist_cost(machine.num_threads),
+                    }
+                )
+                executed += 1
+        machine.run_phase(phase2)
+    return LoopResult(
+        algorithm="lu",
+        executor=label,
+        machine=machine,
+        executed=executed,
+        rounds=stages,
+    )
+
+
+def run_manual(state: LUState, machine: SimMachine) -> LoopResult:
+    """BOTS-style level-by-level LU without per-task spawn overhead."""
+    return _level_by_level_lu(state, machine, 0.0, "manual-level-lu")
+
+
+def run_other(state: LUState, machine: SimMachine) -> LoopResult:
+    """The BOTS comparator with OpenMP task-spawn overheads."""
+    return _level_by_level_lu(state, machine, OMP_TASK_SPAWN, "bots-sparselu")

@@ -1,0 +1,39 @@
+"""Kruskal MST (§4.2).
+
+Paper inputs: 2-D grid |V| = 16 M (small), uniform random |V| = 67 M
+(large).  Scaled here to a 90×90 grid (~16 K edges) and a 6 000-node random
+graph (~12 K edges).
+"""
+
+from ..common import AppSpec
+from .app import (
+    MST_PROPERTIES,
+    MSTState,
+    make_algorithm,
+    make_grid_state,
+    make_random_state,
+)
+from .manual import run_manual, run_other
+
+SPEC = AppSpec(
+    name="mst",
+    make_small=lambda: make_grid_state(90, 90, seed=2),
+    make_large=lambda: make_random_state(6000, avg_degree=4.0, seed=2),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="linear",
+    run_manual=run_manual,
+    run_other=run_other,
+)
+
+__all__ = [
+    "MSTState",
+    "MST_PROPERTIES",
+    "SPEC",
+    "make_algorithm",
+    "make_grid_state",
+    "make_random_state",
+    "run_manual",
+    "run_other",
+]

@@ -1,0 +1,137 @@
+"""Kruskal's minimum-weight spanning tree in the ordered model (§4.2).
+
+Tasks are edges, ordered by ``(weight, edge id)``.  The rw-set of an edge
+is the pair of *components* its endpoints currently belong to — computed
+with a compression-free find so the cautious prefix stays read-only.  Edge
+contraction (union) grows the rw-sets of pending edges, so Kruskal does
+*not* have non-increasing rw-sets; it is stable-source and creates no new
+tasks, which sends the automatic runtime to the IKDG executor with
+windowing (§4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...galois.unionfind import UnionFind
+from ...inputs.graphs import grid2d, random_graph
+
+MST_PROPERTIES = AlgorithmProperties(
+    stable_source=True,
+    monotonic=True,
+    no_new_tasks=True,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.8
+
+#: Representative op counts for the cost model.  Union-find on large graphs
+#: chases pointers through DRAM (the paper's serial rate is ~600
+#: cycles/edge), so a find is modeled at cache-miss cost.
+FIND_WORK = 180.0
+UNION_WORK = 60.0
+
+
+class MSTState:
+    """Input edges plus the union-find forest and the accumulated MST."""
+
+    def __init__(self, num_nodes: int, edges: list[tuple[int, int]], weights: np.ndarray):
+        self.num_nodes = num_nodes
+        #: (weight, u, v, edge id) — the edge id is the tie-break ``≺``.
+        self.items = [
+            (float(w), int(u), int(v), eid)
+            for eid, ((u, v), w) in enumerate(zip(edges, weights))
+        ]
+        self.uf = UnionFind(num_nodes)
+        self.mst_weight = 0.0
+        self.mst_edges: list[int] = []
+
+    def contract(self, u: int, v: int) -> bool:
+        """Edge contraction via union-find (identical across executors)."""
+        return self.uf.union(u, v)
+
+    def snapshot(self) -> tuple[float, tuple[int, ...], tuple[int, ...]]:
+        return (
+            self.mst_weight,
+            tuple(sorted(self.mst_edges)),
+            tuple(self.uf.snapshot()),
+        )
+
+    def validate(self) -> None:
+        """The result must be a spanning forest with |V| - #components edges."""
+        expected = self.num_nodes - self.uf.num_components
+        assert len(self.mst_edges) == expected, (
+            f"{len(self.mst_edges)} tree edges for {expected} merges"
+        )
+        assert np.isfinite(self.mst_weight) and self.mst_weight >= 0
+
+
+def make_grid_state(nx: int, ny: int, seed: int = 0) -> MSTState:
+    """The paper's MST-small family: a 2-D grid."""
+    _, edges, weights = grid2d(nx, ny, seed=seed)
+    return MSTState(nx * ny, edges, weights)
+
+
+def make_random_state(num_nodes: int, avg_degree: float = 4.0, seed: int = 0) -> MSTState:
+    """The paper's MST-large family: a uniform random graph."""
+    _, edges, weights = random_graph(num_nodes, avg_degree=avg_degree, seed=seed)
+    return MSTState(num_nodes, edges, weights)
+
+
+def make_algorithm(state: MSTState) -> OrderedAlgorithm:
+    uf = state.uf
+
+    def priority(item: tuple[float, int, int, int]) -> tuple[float, int]:
+        w, _, _, eid = item
+        return (w, eid)
+
+    def level_of(item: tuple[float, int, int, int]) -> float:
+        return item[0]  # priority levels are edge weights (Fig. 14)
+
+    def visit_rw_sets(item: tuple[float, int, int, int], ctx: RWSetContext) -> None:
+        _, u, v, _ = item
+        # Read-only find: the cautious prefix must not compress paths.
+        ru = uf.find_no_compress(u)
+        rv = uf.find_no_compress(v)
+        if ru == rv:
+            # Already connected: the task only observes the component.
+            ctx.read(("comp", ru))
+            return
+        # Mirror union-by-rank: contraction re-points (writes) the
+        # lower-rank root and merely hangs off (reads) the higher-rank one;
+        # equal ranks also bump the surviving root's rank (write both).
+        # This is what lets many edges attach to one large component
+        # concurrently, as in PBBS's reservation scheme.
+        if uf.rank[ru] < uf.rank[rv]:
+            ctx.write(("comp", ru))
+            ctx.read(("comp", rv))
+        elif uf.rank[rv] < uf.rank[ru]:
+            ctx.write(("comp", rv))
+            ctx.read(("comp", ru))
+        else:
+            ctx.write(("comp", ru))
+            ctx.write(("comp", rv))
+
+    def apply_update(item: tuple[float, int, int, int], ctx: BodyContext) -> None:
+        w, u, v, eid = item
+        ctx.access(("comp", uf.find_no_compress(u)))
+        ctx.access(("comp", uf.find_no_compress(v)))
+        ctx.work(2 * FIND_WORK)
+        if state.contract(u, v):
+            ctx.work(UNION_WORK)
+            state.mst_weight += w
+            state.mst_edges.append(eid)
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="mst",
+        initial_items=state.items,
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=MST_PROPERTIES,
+        level_of=level_of,
+    )

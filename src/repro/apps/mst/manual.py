@@ -1,0 +1,190 @@
+"""Hand-specialized Kruskal executors (§4.2).
+
+``run_manual`` inlines the IKDG into the application: edges are pre-sorted,
+reservations are priority-writes on component representatives, and there is
+no task-object or rw-set machinery — only the two finds the algorithm needs
+anyway.  It keeps our adaptive window policy.
+
+``run_other`` reimplements the Blelloch et al. PBBS algorithm the paper
+compares against: the same deterministic reservations, but with a
+fixed-size prefix policy and the classic light/heavy edge split — heavy
+edges are filtered against the partial forest before being processed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ...machine import Category, SimMachine
+from ...runtime.base import LoopResult, inflate_execute
+from ...runtime.windowing import AdaptiveWindow
+from .app import FIND_WORK, MEM_FRACTION, UNION_WORK, MSTState
+
+#: ``next_size(current, committed, threads) -> next window size``
+SizePolicy = Callable[[int, int, int], int]
+
+
+def _reservation_rounds(
+    state: MSTState,
+    machine: SimMachine,
+    items: list[tuple[float, int, int, int]],
+    initial_size: int,
+    next_size: SizePolicy,
+) -> tuple[int, int]:
+    """Windowed priority-write reservation loop over pre-sorted ``items``.
+
+    Returns ``(edges_processed, rounds)``.
+    """
+    cm = machine.cost_model
+    uf = state.uf
+    start = 0
+    processed = 0
+    rounds = 0
+    size = initial_size
+    carry: list[tuple[float, int, int, int]] = []  # losers of the last round
+    while start < len(items) or carry:
+        rounds += 1
+        take = max(0, size - len(carry))
+        window = carry + items[start : start + take]
+        start += take
+        # Phase I: reserve component representatives (priority-write).  As
+        # in PBBS, only the root being re-pointed needs exclusive ownership
+        # (both on a rank tie); the surviving root is shared read-only, so
+        # many edges can hang onto one large component in the same round.
+        # Self-loop edges are dropped without reserving anything.
+        res_all: dict[int, tuple[float, int]] = {}
+        res_writer: dict[int, tuple[float, int]] = {}
+        phase1 = []
+        sides: list[tuple[tuple[int, ...], tuple[int, ...]] | None] = []
+        for w, u, v, eid in window:
+            ru, rv = uf.find_no_compress(u), uf.find_no_compress(v)
+            key = (w, eid)
+            if ru == rv:
+                sides.append(None)  # self-loop: no reservation needed
+                phase1.append(
+                    {Category.EXECUTE: inflate_execute(machine, 2 * FIND_WORK, MEM_FRACTION)}
+                )
+                continue
+            if uf.rank[ru] < uf.rank[rv]:
+                writes, reads = (ru,), (rv,)
+            elif uf.rank[rv] < uf.rank[ru]:
+                writes, reads = (rv,), (ru,)
+            else:
+                writes, reads = (ru, rv), ()
+            sides.append((writes, reads))
+            for rep in writes + reads:
+                held = res_all.get(rep)
+                if held is None or key < held:
+                    res_all[rep] = key
+            for rep in writes:
+                held = res_writer.get(rep)
+                if held is None or key < held:
+                    res_writer[rep] = key
+            phase1.append(
+                {
+                    Category.SCHEDULE: 3 * cm.mark_cas,
+                    Category.EXECUTE: inflate_execute(machine, 2 * FIND_WORK, MEM_FRACTION),
+                }
+            )
+        machine.run_phase(phase1)
+        # Phase II: winners contract; losers carry to the next round.
+        carry = []
+        committed = 0
+        phase2 = []
+        for (w, u, v, eid), side in zip(window, sides):
+            key = (w, eid)
+            if side is None:
+                # Self-loop: drop (check cost only, already paid in phase I).
+                processed += 1
+                committed += 1
+                continue
+            writes, reads = side
+            wins = all(res_all.get(rep) == key for rep in writes) and all(
+                res_writer.get(rep) is None or res_writer[rep] > key for rep in reads
+            )
+            if wins:
+                state.contract(u, v)
+                state.mst_weight += w
+                state.mst_edges.append(eid)
+                processed += 1
+                committed += 1
+                phase2.append(
+                    {
+                        Category.EXECUTE: inflate_execute(
+                            machine, 2 * FIND_WORK + UNION_WORK, MEM_FRACTION
+                        ),
+                        Category.SCHEDULE: 2 * cm.mark_reset,
+                    }
+                )
+            else:
+                carry.append((w, u, v, eid))
+                phase2.append({Category.SCHEDULE: cm.mark_reset})
+        machine.run_phase(phase2)
+        size = next_size(size, committed, machine.num_threads)
+    return processed, rounds
+
+
+def _sorted_items(state: MSTState, machine: SimMachine) -> list:
+    cm = machine.cost_model
+    items = sorted(state.items, key=lambda it: (it[0], it[3]))
+    # Parallel sample-sort stand-in: n log n comparison work spread out.
+    machine.run_phase(
+        [{Category.SCHEDULE: cm.pq_cost(len(items))} for _ in items]
+    )
+    return items
+
+
+def run_manual(state: MSTState, machine: SimMachine) -> LoopResult:
+    """IKDG inlined into Kruskal, with the adaptive window policy."""
+    items = _sorted_items(state, machine)
+    policy = AdaptiveWindow()
+    processed, rounds = _reservation_rounds(
+        state,
+        machine,
+        items,
+        policy.first_size(machine.num_threads),
+        policy.next_size,
+    )
+    return LoopResult(
+        algorithm="mst",
+        executor="manual-ikdg",
+        machine=machine,
+        executed=processed,
+        rounds=rounds,
+    )
+
+
+def run_other(state: MSTState, machine: SimMachine) -> LoopResult:
+    """Blelloch et al. style: light/heavy split + fixed-size prefixes."""
+    cm = machine.cost_model
+    items = _sorted_items(state, machine)
+    # Light/heavy split at 3·|V| lightest edges (PBBS heuristic).
+    cut = min(len(items), 3 * state.num_nodes)
+    light, heavy = items[:cut], items[cut:]
+
+    def fixed(size: int, committed: int, threads: int) -> int:
+        return size
+
+    prefix = max(1024, 64 * machine.num_threads)
+    processed, rounds = _reservation_rounds(state, machine, light, prefix, fixed)
+    # Filter heavy edges against the partial forest, then process the rest.
+    uf = state.uf
+    survivors = []
+    filter_costs = []
+    for w, u, v, eid in heavy:
+        if uf.find_no_compress(u) != uf.find_no_compress(v):
+            survivors.append((w, u, v, eid))
+        filter_costs.append(
+            {Category.EXECUTE: inflate_execute(machine, 2 * FIND_WORK, MEM_FRACTION)}
+        )
+        processed += 1  # filtered edges count as processed work items
+    machine.run_phase(filter_costs)
+    done, more_rounds = _reservation_rounds(state, machine, survivors, prefix, fixed)
+    processed += done
+    return LoopResult(
+        algorithm="mst",
+        executor="pbbs-kruskal",
+        machine=machine,
+        executed=processed,
+        rounds=rounds + more_rounds,
+    )

@@ -1,0 +1,31 @@
+"""Bottom-up tree traversal: Barnes–Hut center of mass (§4.7).
+
+Paper inputs: 40 M / 100 M Plummer-distributed bodies.  Scaled here to
+20 K / 60 K bodies in a quadtree with 8-body leaves.
+"""
+
+from ..common import AppSpec
+from .app import TREE_PROPERTIES, TreeSumState, make_algorithm, make_state
+from .manual import run_manual, run_other
+
+SPEC = AppSpec(
+    name="treesum",
+    make_small=lambda: make_state(20000, leaf_size=8, seed=7),
+    make_large=lambda: make_state(60000, leaf_size=8, seed=7),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="linear",
+    run_manual=run_manual,
+    run_other=run_other,
+)
+
+__all__ = [
+    "SPEC",
+    "TREE_PROPERTIES",
+    "TreeSumState",
+    "make_algorithm",
+    "make_state",
+    "run_manual",
+    "run_other",
+]

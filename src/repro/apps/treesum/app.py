@@ -1,0 +1,98 @@
+"""Bottom-up tree traversal in the ordered model (§4.7).
+
+One task per tree node, ordered deeper-first (a linear extension of the
+paper's partial order "children before parents"); the rw-set of a node's
+task writes the node and reads its children.  The application is
+stable-source, monotonic, creates no tasks and has non-increasing rw-sets —
+a conventional task graph — so the automatic runtime uses the explicit KDG
+with subrule R only, running asynchronously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...inputs.bodies import plummer_bodies
+from .tree import QuadTree
+
+TREE_PROPERTIES = AlgorithmProperties(
+    stable_source=True,
+    monotonic=True,
+    no_new_tasks=True,
+    structure_based_rw_sets=True,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 1.0
+
+
+class TreeSumState:
+    """A quadtree whose center-of-mass summary is being computed."""
+
+    def __init__(self, num_bodies: int, leaf_size: int = 8, seed: int = 0):
+        positions, masses = plummer_bodies(num_bodies, seed=seed)
+        self.tree = QuadTree(positions, masses, leaf_size=leaf_size)
+        self.tree.reset_summary()
+        self.num_bodies = num_bodies
+
+    def snapshot(self) -> tuple[bytes, bytes]:
+        return (self.tree.mass.tobytes(), self.tree.com.tobytes())
+
+    def validate(self) -> None:
+        tree = self.tree
+        assert abs(tree.mass[0] - tree.masses.sum()) < 1e-9, "root mass wrong"
+        expected_com = (
+            tree.positions * tree.masses[:, None]
+        ).sum(axis=0) / tree.masses.sum()
+        assert np.allclose(tree.com[0], expected_com, atol=1e-9), "root COM wrong"
+        for node in range(tree.num_nodes):
+            if not tree.is_leaf(node):
+                child_mass = sum(tree.mass[c] for c in tree.children[node])
+                assert abs(tree.mass[node] - child_mass) < 1e-9
+
+
+def make_state(num_bodies: int, leaf_size: int = 8, seed: int = 0) -> TreeSumState:
+    return TreeSumState(num_bodies, leaf_size=leaf_size, seed=seed)
+
+
+def make_algorithm(state: TreeSumState) -> OrderedAlgorithm:
+    tree = state.tree
+    max_depth = tree.max_depth()
+
+    def priority(node: int) -> tuple[int, int]:
+        # Deeper nodes first: a linear extension of child-before-parent.
+        return (max_depth - tree.depth[node], node)
+
+    def level_of(node: int) -> int:
+        return max_depth - tree.depth[node]
+
+    def visit_rw_sets(node: int, ctx: RWSetContext) -> None:
+        ctx.write(("node", node))
+        for child in tree.children[node]:
+            ctx.read(("node", child))
+
+    def apply_update(node: int, ctx: BodyContext) -> None:
+        ctx.access(("node", node))
+        if tree.is_leaf(node):
+            ctx.work(tree.summarize_leaf(node))
+        else:
+            for child in tree.children[node]:
+                ctx.access(("node", child))
+            ctx.work(tree.summarize_internal(node))
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="treesum",
+        initial_items=list(range(tree.num_nodes)),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=TREE_PROPERTIES,
+        level_of=level_of,
+        # §4.7: dependences are exactly child -> parent, so rw-set
+        # computation is disabled and the KDG is wired from the tree.
+        dependences=lambda node: list(tree.children[node]),
+    )

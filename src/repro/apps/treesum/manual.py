@@ -1,0 +1,72 @@
+"""Hand-specialized tree traversal executors (§4.7).
+
+``run_manual`` embeds the task graph in the tree itself ("because they are
+isomorphic"): each internal node carries a pending-children counter set up
+during tree construction; leaves start ready and a node is exposed when its
+last child completes.  No rw-sets, no task objects.
+
+``run_other`` reimplements the Cilk-style parallel recursion the paper
+compares against: the same child-before-parent dependence structure driven
+by fork-join, with a spawn/steal overhead per task instead of the counter
+update.
+"""
+
+from __future__ import annotations
+
+from ...machine import Category, SimMachine, simulate_async
+from ...runtime.base import LoopResult, inflate_execute
+from .app import MEM_FRACTION, TreeSumState
+
+#: Cycle costs: atomic decrement of a pending counter; Cilk spawn + steal.
+COUNTER_DECREMENT = 12.0
+CILK_SPAWN = 35.0
+
+
+def _tree_schedule(
+    state: TreeSumState, machine: SimMachine, per_task_overhead: float, label: str
+) -> LoopResult:
+    tree = state.tree
+    cm = machine.cost_model
+    pending = [len(tree.children[n]) for n in range(tree.num_nodes)]
+    executed = {"count": 0}
+    max_depth = tree.max_depth()
+
+    def key(node: int) -> tuple[int, int]:
+        return (max_depth - tree.depth[node], node)
+
+    def step(node: int) -> tuple[dict, list[int]]:
+        if tree.is_leaf(node):
+            work = tree.summarize_leaf(node)
+        else:
+            work = tree.summarize_internal(node)
+        executed["count"] += 1
+        exposed = []
+        parent = tree.parent[node]
+        if parent >= 0:
+            pending[parent] -= 1
+            if pending[parent] == 0:
+                exposed.append(parent)
+        breakdown = {
+            Category.EXECUTE: inflate_execute(machine, cm.work_cost(work), MEM_FRACTION),
+            Category.SCHEDULE: per_task_overhead + COUNTER_DECREMENT,
+        }
+        return breakdown, exposed
+
+    leaves = [n for n in range(tree.num_nodes) if tree.is_leaf(n)]
+    simulate_async(machine, leaves, key, step)
+    return LoopResult(
+        algorithm="treesum",
+        executor=label,
+        machine=machine,
+        executed=executed["count"],
+    )
+
+
+def run_manual(state: TreeSumState, machine: SimMachine) -> LoopResult:
+    """Task graph embedded in the tree (pending-children counters)."""
+    return _tree_schedule(state, machine, 0.0, "manual-embedded-dag")
+
+
+def run_other(state: TreeSumState, machine: SimMachine) -> LoopResult:
+    """Cilk-style parallel recursion with spawn overheads."""
+    return _tree_schedule(state, machine, CILK_SPAWN, "cilk-recursion")

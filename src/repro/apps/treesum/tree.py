@@ -1,0 +1,108 @@
+"""Quadtree over Plummer-distributed bodies for Barnes–Hut (§4.7).
+
+Built bulk top-down with numpy-assisted partitioning: a node with more than
+``leaf_size`` bodies splits into four quadrants.  The center-of-mass pass
+(the paper's bottom-up traversal benchmark) fills ``mass`` and ``com`` from
+the leaves upward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class QuadTree:
+    """Array-of-lists quadtree: children, depth, and per-leaf body buckets."""
+
+    def __init__(self, positions: np.ndarray, masses: np.ndarray, leaf_size: int = 8):
+        if len(positions) != len(masses):
+            raise ValueError("positions and masses must have equal length")
+        if leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        self.positions = positions
+        self.masses = masses
+        self.leaf_size = leaf_size
+        self.children: list[list[int]] = []
+        self.parent: list[int] = []
+        self.depth: list[int] = []
+        self.bodies: list[np.ndarray] = []  # body index arrays (leaves only)
+        self.com = None  # filled by the traversal
+        self.mass = None
+        self._build()
+
+    def _new_node(self, parent: int, depth: int) -> int:
+        nid = len(self.children)
+        self.children.append([])
+        self.parent.append(parent)
+        self.depth.append(depth)
+        self.bodies.append(np.empty(0, dtype=np.int64))
+        return nid
+
+    def _build(self) -> None:
+        pos = self.positions
+        lo = pos.min(axis=0) - 1e-9
+        hi = pos.max(axis=0) + 1e-9
+        root = self._new_node(-1, 0)
+        all_bodies = np.arange(len(pos), dtype=np.int64)
+        stack = [(root, all_bodies, lo, hi)]
+        while stack:
+            node, members, lo_n, hi_n = stack.pop()
+            if len(members) <= self.leaf_size:
+                self.bodies[node] = members
+                continue
+            mid = (lo_n + hi_n) / 2.0
+            right = pos[members, 0] >= mid[0]
+            top = pos[members, 1] >= mid[1]
+            for quadrant in range(4):
+                mask = (right == bool(quadrant & 1)) & (top == bool(quadrant & 2))
+                selected = members[mask]
+                if len(selected) == 0:
+                    continue
+                q_lo = np.array(
+                    [mid[0] if quadrant & 1 else lo_n[0], mid[1] if quadrant & 2 else lo_n[1]]
+                )
+                q_hi = np.array(
+                    [hi_n[0] if quadrant & 1 else mid[0], hi_n[1] if quadrant & 2 else mid[1]]
+                )
+                child = self._new_node(node, self.depth[node] + 1)
+                self.children[node].append(child)
+                stack.append((child, selected, q_lo, q_hi))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.children)
+
+    def is_leaf(self, node: int) -> bool:
+        return not self.children[node]
+
+    def leaves(self) -> list[int]:
+        return [n for n in range(self.num_nodes) if self.is_leaf(n)]
+
+    def max_depth(self) -> int:
+        return max(self.depth)
+
+    def reset_summary(self) -> None:
+        self.com = np.zeros((self.num_nodes, 2))
+        self.mass = np.zeros(self.num_nodes)
+
+    def summarize_leaf(self, node: int) -> float:
+        """Center of mass of a leaf bucket; returns op count."""
+        members = self.bodies[node]
+        m = self.masses[members]
+        total = float(m.sum())
+        self.mass[node] = total
+        if total > 0:
+            self.com[node] = (self.positions[members] * m[:, None]).sum(axis=0) / total
+        return 120.0 * max(1, len(members))
+
+    def summarize_internal(self, node: int) -> float:
+        """Combine children centers of mass; returns op count."""
+        total = 0.0
+        acc = np.zeros(2)
+        for child in self.children[node]:
+            total += self.mass[child]
+            acc += self.mass[child] * self.com[child]
+        self.mass[node] = total
+        if total > 0:
+            self.com[node] = acc / total
+        return 150.0 * max(1, len(self.children[node]))

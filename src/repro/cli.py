@@ -1,0 +1,99 @@
+"""Command-line interface: run any paper application/executor combination.
+
+Examples::
+
+    python -m repro run avi --impl kdg-auto --threads 16
+    python -m repro run mst --impl speculation --threads 8 --size large
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import SimMachine
+from .apps import APPS
+from .machine import Category
+
+EXTRA_IMPLS = ("serial", "serial-best", "kdg-rna", "ikdg", "level-by-level", "speculation")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Kinetic Dependence Graphs (ASPLOS 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one application/implementation")
+    run.add_argument("app", choices=sorted(APPS))
+    run.add_argument("--impl", default="kdg-auto",
+                     help="serial, serial-best, kdg-auto, kdg-manual, other, "
+                          "kdg-rna, ikdg, level-by-level, speculation")
+    run.add_argument("--threads", type=int, default=8)
+    run.add_argument("--size", choices=("small", "large"), default="small")
+    run.add_argument("--validate", action="store_true",
+                     help="also compare against the serial execution")
+
+    sub.add_parser("list", help="list applications and their implementations")
+    return parser
+
+
+def cmd_list() -> int:
+    print(f"{'app':<10} {'auto executor':<10} {'manual':>7} {'other':>6}")
+    for name, spec in APPS.items():
+        print(
+            f"{name:<10} {spec.auto_executor():<10} "
+            f"{'yes' if spec.has_impl('kdg-manual') else '-':>7} "
+            f"{'yes' if spec.has_impl('other') else '-':>6}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = APPS[args.app]
+    if not spec.has_impl(args.impl) and args.impl not in EXTRA_IMPLS:
+        print(f"error: {args.app} has no implementation {args.impl!r}",
+              file=sys.stderr)
+        return 2
+    state = spec.make_small() if args.size == "small" else spec.make_large()
+    threads = 1 if args.impl in ("serial", "serial-best") else args.threads
+    result = spec.run(state, args.impl, SimMachine(threads))
+    spec.validate(state)
+
+    print(f"app        : {args.app} ({args.size})")
+    print(f"executor   : {result.executor} @ {threads} threads")
+    print(f"tasks      : {result.executed}")
+    if result.rounds:
+        print(f"rounds     : {result.rounds}")
+    print(f"sim time   : {result.elapsed_seconds * 1e3:.3f} ms "
+          f"({result.elapsed_cycles:.0f} cycles)")
+    breakdown = result.breakdown()
+    total = sum(breakdown.values()) or 1.0
+    print("breakdown  :")
+    for category, cycles in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        if cycles:
+            print(f"  {category.value:<12} {cycles:>14.0f}  ({cycles / total:6.1%} of thread time)")
+    for key, value in result.metrics.items():
+        print(f"metric     : {key} = {value}")
+
+    if args.validate:
+        oracle_state = spec.make_small() if args.size == "small" else spec.make_large()
+        spec.run(oracle_state, "serial", SimMachine(1))
+        matches = spec.snapshot(oracle_state) == spec.snapshot(state)
+        print(f"serializable: {'OK — matches serial bit-for-bit' if matches else 'MISMATCH'}")
+        if not matches:
+            return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Core KDG abstraction: tasks, dependence graphs, the ordered loop."""
+
+from .algorithm import OrderedAlgorithm, SourceView
+from .context import BodyContext, RWSetContext, RWSetViolation
+from .kdg import KDG, LivenessViolation, OpCounts, SafetyViolation
+from .ordered_loop import for_each_ordered
+from .properties import AlgorithmProperties
+from .rwsets import RWSetIndex
+from .task import Task, TaskFactory
+from .verify import PropertyReport, verify_properties
+from .taskgraph import TaskGraph
+
+__all__ = [
+    "AlgorithmProperties",
+    "BodyContext",
+    "KDG",
+    "LivenessViolation",
+    "OpCounts",
+    "OrderedAlgorithm",
+    "RWSetContext",
+    "RWSetIndex",
+    "RWSetViolation",
+    "SafetyViolation",
+    "SourceView",
+    "Task",
+    "TaskFactory",
+    "TaskGraph",
+    "PropertyReport",
+    "for_each_ordered",
+    "verify_properties",
+]

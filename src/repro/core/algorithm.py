@@ -1,0 +1,105 @@
+"""The ordered-algorithm specification bound to the ordered foreach loop.
+
+An :class:`OrderedAlgorithm` is everything the paper's
+``Runtime::for_each_ordered`` call carries (Figure 7): the initial items, a
+priority function (the ``orderedby`` clause), the rw-set visitor prefix, the
+loop body, declared algorithm properties, and — for unstable-source
+algorithms — a safe-source test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .context import BodyContext, RWSetContext
+from .properties import AlgorithmProperties
+from .task import Task, TaskFactory
+
+
+@dataclass
+class SourceView:
+    """Runtime information handed to a safe-source test ``P(G, σ, w)``.
+
+    ``sources`` are the current sources of the (possibly windowed) KDG and
+    ``min_priority`` is the earliest priority among *all* pending tasks.
+    Application state σ is reached through the test's closure, as in the
+    paper's C++ programs.
+    """
+
+    sources: list[Task]
+    min_priority: Any
+
+
+#: ``P(task, view) -> bool``: may the source execute now?
+SafeSourceTest = Callable[[Task, SourceView], bool]
+
+
+@dataclass
+class OrderedAlgorithm:
+    """A program in the ordered programming model (§3.1)."""
+
+    name: str
+    initial_items: Sequence[Any]
+    priority: Callable[[Any], Any]
+    visit_rw_sets: Callable[[Any, RWSetContext], None]
+    apply_update: Callable[[Any, BodyContext], None]
+    properties: AlgorithmProperties = field(default_factory=AlgorithmProperties)
+    safe_source_test: SafeSourceTest | None = None
+    #: Extra cycles one safe-source test costs (on top of the model's base).
+    safe_test_work: float = 0.0
+    #: Memory-bound share of task execution (0 = compute-bound, 1 = pure
+    #: pointer chasing).  Inflates EXECUTE cycles with thread count on the
+    #: simulated machine (shared bandwidth; the paper's §5.2 observation).
+    memory_bound_fraction: float = 0.0
+    #: Priority *level* of an item (Fig. 14 grouping; e.g. the BFS distance
+    #: or the AVI time-stamp, without the tie-break).  Defaults to the full
+    #: priority.
+    level_of: Callable[[Any], Any] | None = None
+    #: Optional §4.7-style hint for conventional task graphs: a function
+    #: mapping an item to the items it depends on.  When set (and the
+    #: algorithm creates no new tasks), the explicit KDG is wired directly
+    #: from these edges and rw-set computation is disabled entirely ("we
+    #: disable the computation of rw-sets", tree traversal).
+    dependences: Callable[[Any], list[Any]] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.properties.stable_source and self.safe_source_test is None:
+            raise ValueError(
+                f"{self.name}: unstable-source algorithms require a "
+                "safe_source_test (Liveness would be unverifiable)"
+            )
+
+    def task_factory(self) -> TaskFactory:
+        return TaskFactory(self.priority)
+
+    def level(self, task: Task) -> Any:
+        """The priority level a task belongs to (level-by-level grouping)."""
+        if self.level_of is None:
+            return task.priority
+        return self.level_of(task.item)
+
+    def compute_rw_set(self, task: Task) -> tuple[Any, ...]:
+        """Run the cautious read-only prefix; binds and returns the rw-set.
+
+        Sets ``task.rw_set`` (all locations) and ``task.write_set`` (write
+        intents) as a side effect, since every caller needs both.
+        """
+        ctx = RWSetContext()
+        self.visit_rw_sets(task.item, ctx)
+        task.rw_set = ctx.rw_set
+        task.write_set = ctx.write_set
+        return ctx.rw_set
+
+    def execute_body(self, task: Task, checked: bool = False) -> BodyContext:
+        """Run the loop body; returns the context holding pushes and work."""
+        ctx = BodyContext(declared=task.rw_set, checked=checked)
+        self.apply_update(task.item, ctx)
+        return ctx
+
+    def is_safe(self, task: Task, view: SourceView) -> bool:
+        """Apply ``P``; stable-source algorithms accept every source."""
+        if self.safe_source_test is None:
+            return True
+        return self.safe_source_test(task, view)

@@ -1,0 +1,93 @@
+"""Execution contexts: rw-set declaration and the cautious loop body.
+
+The programming model splits each loop body into a read-only prefix that
+declares the rw-set (``visitRWsets`` in Figure 7) and a suffix that performs
+the update.  :class:`RWSetContext` records the prefix's declarations;
+:class:`BodyContext` gives the suffix a worklist handle, a work meter for
+the cost model, and — in checked mode — enforcement that every shared
+access was declared (the paper's cautiousness requirement made executable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class RWSetViolation(RuntimeError):
+    """A task touched a shared location outside its declared rw-set."""
+
+
+class RWSetContext:
+    """Collects the locations a task declares it will read or write.
+
+    Read and write intents are tracked separately (the paper's
+    ``Runtime::read`` / ``Runtime::write``): two tasks conflict on a
+    location only if at least one of them *writes* it, which is what lets
+    e.g. many Kruskal tasks share a large component read-only.
+    """
+
+    __slots__ = ("_locations", "_seen", "_writes")
+
+    def __init__(self) -> None:
+        self._locations: list[Any] = []
+        self._seen: set[Any] = set()
+        self._writes: set[Any] = set()
+
+    def read(self, location: Any) -> None:
+        """Declare intent to read ``location`` (any hashable id)."""
+        if location not in self._seen:
+            self._seen.add(location)
+            self._locations.append(location)
+
+    def write(self, location: Any) -> None:
+        """Declare intent to write ``location`` (upgrades a prior read)."""
+        self.read(location)
+        self._writes.add(location)
+
+    @property
+    def rw_set(self) -> tuple[Any, ...]:
+        """All declared locations, in first-declaration order."""
+        return tuple(self._locations)
+
+    @property
+    def write_set(self) -> frozenset:
+        """The subset of locations declared for writing."""
+        return frozenset(self._writes)
+
+
+class BodyContext:
+    """Handle passed to the loop body (the paper's worklist handle ``W&``)."""
+
+    __slots__ = ("_pushed", "_work", "_declared", "checked")
+
+    def __init__(self, declared: tuple[Any, ...] = (), checked: bool = False):
+        self._pushed: list[Any] = []
+        self._work = 0.0
+        self._declared = frozenset(declared) if checked else frozenset()
+        self.checked = checked
+
+    def push(self, item: Any) -> None:
+        """Create a new task for ``item`` (the ordered loop's ``wlHandle.push``)."""
+        self._pushed.append(item)
+
+    def work(self, ops: float) -> None:
+        """Meter ``ops`` units of application work for the cost model."""
+        if ops < 0:
+            raise ValueError("work must be non-negative")
+        self._work += ops
+
+    def access(self, location: Any) -> None:
+        """Touch a shared location; in checked mode it must be declared."""
+        if self.checked and location not in self._declared:
+            raise RWSetViolation(
+                f"access to undeclared location {location!r}; declared set has "
+                f"{len(self._declared)} locations"
+            )
+
+    @property
+    def pushed(self) -> list[Any]:
+        return self._pushed
+
+    @property
+    def work_done(self) -> float:
+        return self._work

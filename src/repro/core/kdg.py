@@ -1,0 +1,164 @@
+"""The Kinetic Dependence Graph: ⟨G, P, U⟩ (Definition 6).
+
+This module materializes the *explicit* KDG: the task graph ``G``
+(:class:`~repro.core.taskgraph.TaskGraph`) plus the rw-set index ``B``
+(:class:`~repro.core.rwsets.RWSetIndex`), with the generic ``AddTask`` /
+``RemoveTask`` procedures of Figure 6.  The safe-source test ``P`` and the
+update rule ``U`` live in the executors; this class supplies the mechanics
+they share and, optionally, *checks the Safety property at runtime*: while a
+task is marked as an executing safe source, any new in-edge to it raises
+:class:`SafetyViolation`.
+
+Mutators return :class:`OpCounts` so executors can charge graph maintenance
+to the cost model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from .rwsets import RWSetIndex
+from .task import Task
+from .taskgraph import TaskGraph
+
+
+class SafetyViolation(RuntimeError):
+    """The update rule created an incoming edge to an executing safe source."""
+
+
+class LivenessViolation(RuntimeError):
+    """No earliest-priority task passed the safe-source test."""
+
+
+@dataclass
+class OpCounts:
+    """Structural operations performed by a KDG mutation (for cost charging)."""
+
+    node_ops: int = 0
+    edge_ops: int = 0
+    rw_ops: int = 0
+
+    def __iadd__(self, other: "OpCounts") -> "OpCounts":
+        self.node_ops += other.node_ops
+        self.edge_ops += other.edge_ops
+        self.rw_ops += other.rw_ops
+        return self
+
+
+class KDG:
+    """Explicit KDG state: task graph ``G`` + rw-set index ``B``."""
+
+    def __init__(self, check_safety: bool = False):
+        self.graph = TaskGraph()
+        self.rwsets = RWSetIndex()
+        self.check_safety = check_safety
+        self._protected: set[Task] = set()
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def not_empty(self) -> bool:
+        return self.graph.notEmpty()
+
+    # ------------------------------------------------------------------
+    # Figure 6: AddTask / RemoveTask
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        task: Task,
+        rw_set: Iterable[Any],
+        writes: frozenset | None = None,
+    ) -> OpCounts:
+        """Insert ``task`` with ``rw_set``, wiring dependence edges by the
+        total order on ``(priority, tid)`` (the paper's ``t`` and ``≺``).
+
+        Two tasks sharing a location depend on each other only if at least
+        one *writes* it.  ``writes=None`` treats every location as written
+        (the conservative single-set model of the paper's Figure 6).
+        """
+        ops = OpCounts()
+        locations = tuple(rw_set)
+        task.rw_set = locations
+        task.write_set = frozenset(locations) if writes is None else writes
+        ops.node_ops += self.graph.add_node(task)
+        ops.rw_ops += self.rwsets.add(task, locations)
+        key = task.key()
+        conflicts: dict[Task, None] = {}
+        for loc in locations:
+            i_write = loc in task.write_set
+            for other in self.rwsets.tasks_at(loc):
+                if other is task or other in conflicts:
+                    continue
+                if i_write or other.writes(loc):
+                    conflicts[other] = None
+        for other in conflicts:
+            if other.key() < key:
+                ops.edge_ops += self.graph.add_edge(other, task)
+            else:
+                if self.check_safety and other in self._protected:
+                    raise SafetyViolation(
+                        f"in-edge added to executing safe source {other!r} "
+                        f"by {task!r}"
+                    )
+                ops.edge_ops += self.graph.add_edge(task, other)
+        return ops
+
+    def remove_task(self, task: Task) -> tuple[list[Task], OpCounts]:
+        """Remove ``task`` (subrule **R**); returns its former neighbors."""
+        ops = OpCounts()
+        neighbors, graph_ops = self.graph.remove_node(task)
+        ops.node_ops += 1
+        ops.edge_ops += graph_ops - 1
+        if task in self.rwsets:
+            ops.rw_ops += self.rwsets.remove(task)
+        return neighbors, ops
+
+    def refresh_task(self, task: Task, rw_set: Iterable[Any]) -> OpCounts:
+        """Subrule **N** for one neighbor: re-register with a new rw-set.
+
+        The caller must have re-run the cautious prefix (so ``task.write_set``
+        is current) before calling this.
+        """
+        writes = task.write_set
+        _, removed = self.remove_task(task)
+        added = self.add_task(task, rw_set, writes)
+        removed += added
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries and safety instrumentation
+    # ------------------------------------------------------------------
+    def sources(self) -> list[Task]:
+        return self.graph.sources()
+
+    def protect(self, task: Task) -> None:
+        """Mark ``task`` as an executing safe source (Safety check)."""
+        self._protected.add(task)
+
+    def unprotect(self, task: Task) -> None:
+        self._protected.discard(task)
+
+    def earliest(self) -> Task | None:
+        """The minimal task under the total order (None when empty)."""
+        best: Task | None = None
+        for task in self.graph.nodes():
+            if best is None or task.key() < best.key():
+                best = task
+        return best
+
+    def assert_liveness(self, safe: Iterable[Task]) -> None:
+        """Liveness: some earliest-*priority* task must be safe (§3.3)."""
+        safe_set = set(safe)
+        if not self.graph.notEmpty():
+            return
+        min_priority = min(task.priority for task in self.graph.nodes())
+        earliest_priority = [
+            task for task in self.graph.nodes() if task.priority == min_priority
+        ]
+        if not any(task in safe_set for task in earliest_priority):
+            raise LivenessViolation(
+                f"none of the {len(earliest_priority)} earliest-priority tasks "
+                "passed the safe-source test"
+            )

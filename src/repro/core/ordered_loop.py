@@ -1,0 +1,61 @@
+"""``for_each_ordered``: the ordered set iterator (§3.1, Figure 7).
+
+The public entry point of the programming model.  The caller supplies the
+initial work items, the ``orderedby`` priority function, the rw-set visitor
+prefix, the loop body, declared algorithm properties and (for
+unstable-source algorithms) a safe-source test; the runtime builds the KDG
+and executes the loop on the requested simulated machine.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from .algorithm import OrderedAlgorithm, SafeSourceTest
+from .context import BodyContext, RWSetContext
+from .properties import AlgorithmProperties
+
+
+def for_each_ordered(
+    initial_items: Sequence[Any],
+    priority: Callable[[Any], Any],
+    visit_rw_sets: Callable[[Any, RWSetContext], None],
+    apply_update: Callable[[Any, BodyContext], None],
+    properties: AlgorithmProperties | None = None,
+    safe_source_test: SafeSourceTest | None = None,
+    safe_test_work: float = 0.0,
+    name: str = "ordered-loop",
+    executor: str = "auto",
+    machine=None,
+    **executor_options: Any,
+):
+    """Run an ordered loop; returns a :class:`~repro.runtime.LoopResult`.
+
+    ``executor`` is ``"auto"`` (property-driven selection, §3.6) or one of
+    ``"serial"``, ``"kdg-rna"``, ``"ikdg"``, ``"level-by-level"``,
+    ``"speculation"``.  Remaining keyword arguments are passed through to
+    the chosen executor (e.g. ``checked=True`` for rw-set enforcement,
+    ``window_policy=...`` for IKDG).
+    """
+    from ..runtime import EXECUTORS, choose_executor  # runtime imports core
+
+    algorithm = OrderedAlgorithm(
+        name=name,
+        initial_items=initial_items,
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=properties if properties is not None else AlgorithmProperties(),
+        safe_source_test=safe_source_test,
+        safe_test_work=safe_test_work,
+    )
+    if executor == "auto":
+        executor = choose_executor(algorithm.properties)
+    try:
+        run = EXECUTORS[executor]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {sorted(EXECUTORS)}"
+        ) from None
+    return run(algorithm, machine=machine, **executor_options)

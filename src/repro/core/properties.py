@@ -1,0 +1,57 @@
+"""Algorithm properties (§3.2) that drive KDG executor optimization.
+
+Programmers declare these flags on the ordered loop (the paper's
+``Runtime::is_stable_source`` etc.); the runtime uses them to drop subrules,
+phases and barriers (§3.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AlgorithmProperties:
+    """Declared properties of an ordered algorithm.
+
+    Attributes mirror the paper's Definitions 1-4 plus the §3.6 hints:
+
+    * ``stable_source`` — every source of the KDG is a safe source
+      (Definition 1); removes the safe-source test and its phase.
+    * ``monotonic`` — child priority ≥ parent priority (Definition 2);
+      level-by-level windowing is only sound for monotonic algorithms.
+    * ``non_increasing_rw_sets`` — execution never adds locations to other
+      tasks' rw-sets (Definition 3); removes subrule **N**.
+    * ``structure_based_rw_sets`` — rw-sets are data-independent or inherited
+      from the parent (Definition 4); removes the execute/update barrier,
+      enabling the asynchronous executor.
+    * ``no_new_tasks`` — tasks never create tasks ("No-Adds", §3.6.2);
+      removes subrule **A**.
+    * ``local_safe_source_test`` — the safe-source test reads only state in
+      the task's own rw-set (§3.6.3); lets the test fuse with execution.
+    """
+
+    stable_source: bool = False
+    monotonic: bool = False
+    non_increasing_rw_sets: bool = False
+    structure_based_rw_sets: bool = False
+    no_new_tasks: bool = False
+    local_safe_source_test: bool = False
+
+    def __post_init__(self) -> None:
+        if self.structure_based_rw_sets and not self.non_increasing_rw_sets:
+            # Definition 4 is a strengthening of Definition 3.
+            object.__setattr__(self, "non_increasing_rw_sets", True)
+
+    @property
+    def conventional_task_graph(self) -> bool:
+        """No-adds + non-increasing: the KDG degenerates to a classic DAG."""
+        return self.no_new_tasks and self.non_increasing_rw_sets
+
+    @property
+    def supports_asynchronous(self) -> bool:
+        """Stable-source + structure-based (or a local safe test) runs with
+        no rounds and no barriers (§3.6.3)."""
+        if not self.structure_based_rw_sets:
+            return False
+        return self.stable_source or self.local_safe_source_test

@@ -1,0 +1,63 @@
+"""The bipartite task ↔ location graph ``B`` of the explicit KDG (§3.4).
+
+``B`` associates every pending task with the abstract locations in its
+rw-set; the tasks sharing a location are exactly the candidates for
+dependence edges in ``G``.  Location ids are arbitrary hashables chosen by
+the application (e.g. ``("vertex", 17)``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from .task import Task
+
+
+class RWSetIndex:
+    """Bipartite graph between pending tasks and abstract locations."""
+
+    def __init__(self) -> None:
+        self._tasks_at: dict[Any, dict[Task, None]] = {}
+        self._locs_of: dict[Task, tuple[Any, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._locs_of)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._locs_of
+
+    def add(self, task: Task, locations: Iterable[Any]) -> int:
+        """Register ``task`` with its rw-set; returns edge ops performed."""
+        if task in self._locs_of:
+            raise ValueError(f"task already registered: {task!r}")
+        locs = tuple(locations)
+        self._locs_of[task] = locs
+        for loc in locs:
+            self._tasks_at.setdefault(loc, {})[task] = None
+        return 1 + len(locs)
+
+    def remove(self, task: Task) -> int:
+        """Unregister ``task``; returns edge ops performed."""
+        locs = self._locs_of.pop(task)
+        for loc in locs:
+            bucket = self._tasks_at[loc]
+            del bucket[task]
+            if not bucket:
+                del self._tasks_at[loc]
+        return 1 + len(locs)
+
+    def rw_set(self, task: Task) -> tuple[Any, ...]:
+        return self._locs_of[task]
+
+    def tasks_at(self, location: Any) -> list[Task]:
+        """Pending tasks whose rw-set contains ``location``."""
+        return list(self._tasks_at.get(location, ()))
+
+    def tasks_sharing(self, locations: Iterable[Any]) -> list[Task]:
+        """Distinct tasks sharing any of ``locations`` (deterministic order)."""
+        seen: dict[Task, None] = {}
+        for loc in locations:
+            for task in self._tasks_at.get(loc, ()):
+                seen[task] = None
+        return list(seen)

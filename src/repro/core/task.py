@@ -1,0 +1,58 @@
+"""Tasks and priority ordering for the ordered programming model.
+
+A task is one iteration of the ordered foreach loop (§3.1).  Its priority is
+the value of the ``orderedby`` clause; ties are broken by a deterministic
+creation id, which implements the paper's arbitrary total order ``≺``.
+Applications whose final state depends on the order of same-priority
+overlapping tasks must fold their own tie-breaker into the priority itself
+(all bundled apps do), so every executor serializes identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Task:
+    """One ordered-loop iteration: a work item plus its priority."""
+
+    __slots__ = ("item", "priority", "tid", "rw_set", "write_set")
+
+    def __init__(self, item: Any, priority: Any, tid: int):
+        self.item = item
+        self.priority = priority
+        self.tid = tid
+        #: Declared rw-set (tuple of hashable locations); filled by executors.
+        self.rw_set: tuple[Any, ...] = ()
+        #: The subset of ``rw_set`` declared for writing.
+        self.write_set: frozenset = frozenset()
+
+    def writes(self, location: Any) -> bool:
+        return location in self.write_set
+
+    def key(self) -> tuple[Any, int]:
+        """Total order: priority first, creation id as tie-breaker (``≺``)."""
+        return (self.priority, self.tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task(item={self.item!r}, priority={self.priority!r}, tid={self.tid})"
+
+
+class TaskFactory:
+    """Creates tasks with monotonically increasing creation ids."""
+
+    def __init__(self, priority_fn):
+        self._priority_fn = priority_fn
+        self._next_tid = 0
+
+    def make(self, item: Any) -> Task:
+        task = Task(item, self._priority_fn(item), self._next_tid)
+        self._next_tid += 1
+        return task
+
+    def make_all(self, items) -> list[Task]:
+        return [self.make(item) for item in items]
+
+    @property
+    def created(self) -> int:
+        return self._next_tid

@@ -1,0 +1,120 @@
+"""The task (dependence) graph ``G`` of the explicit KDG (Definition 5).
+
+Nodes are :class:`~repro.core.task.Task` objects; an edge ``w1 → w2`` means
+``w1`` must commit before ``w2``.  Sources (no in-edges) are maintained
+incrementally.  Adjacency uses insertion-ordered dicts so iteration — and
+therefore the whole runtime — is deterministic.
+
+Mutators return the number of structural operations performed so executors
+can charge the cost model for graph maintenance (SCHEDULE cycles).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .task import Task
+
+
+class TaskGraph:
+    """Directed acyclic dependence graph with incremental source tracking."""
+
+    def __init__(self) -> None:
+        self._in: dict[Task, dict[Task, None]] = {}
+        self._out: dict[Task, dict[Task, None]] = {}
+        self._sources: dict[Task, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._in)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._in
+
+    def notEmpty(self) -> bool:  # noqa: N802 - paper's spelling (Fig. 6)
+        return bool(self._in)
+
+    def add_node(self, task: Task) -> int:
+        if task in self._in:
+            raise ValueError(f"task already in graph: {task!r}")
+        self._in[task] = {}
+        self._out[task] = {}
+        self._sources[task] = None
+        return 1
+
+    def add_edge(self, src: Task, dst: Task) -> int:
+        """Add ``src → dst``; idempotent. Returns ops performed (0 or 1)."""
+        if src is dst:
+            raise ValueError("self-dependence is not allowed")
+        if dst in self._out[src]:
+            return 0
+        self._out[src][dst] = None
+        self._in[dst][src] = None
+        self._sources.pop(dst, None)
+        return 1
+
+    def remove_node(self, task: Task) -> tuple[list[Task], int]:
+        """Remove ``task`` and incident edges (subrule **R**).
+
+        Returns ``(neighbors, ops)`` where neighbors are the tasks that were
+        adjacent (in either direction), in deterministic order.
+        """
+        ops = 1
+        neighbors: dict[Task, None] = {}
+        for pred in self._in.pop(task):
+            del self._out[pred][task]
+            neighbors[pred] = None
+            ops += 1
+        for succ in self._out.pop(task):
+            del self._in[succ][task]
+            neighbors[succ] = None
+            if not self._in[succ]:
+                self._sources[succ] = None
+            ops += 1
+        self._sources.pop(task, None)
+        return list(neighbors), ops
+
+    def in_degree(self, task: Task) -> int:
+        return len(self._in[task])
+
+    def is_source(self, task: Task) -> bool:
+        return task in self._sources
+
+    def sources(self) -> list[Task]:
+        """Tasks with no predecessors, in insertion order."""
+        return list(self._sources)
+
+    def neighbors(self, task: Task) -> list[Task]:
+        """All adjacent tasks (union of predecessors and successors)."""
+        seen: dict[Task, None] = {}
+        for pred in self._in[task]:
+            seen[pred] = None
+        for succ in self._out[task]:
+            seen[succ] = None
+        return list(seen)
+
+    def successors(self, task: Task) -> list[Task]:
+        return list(self._out[task])
+
+    def predecessors(self, task: Task) -> list[Task]:
+        return list(self._in[task])
+
+    def nodes(self) -> Iterator[Task]:
+        return iter(self._in)
+
+    def check_acyclic(self) -> bool:
+        """Kahn's algorithm over a copy; True iff the graph is a DAG.
+
+        Diagnostic used by tests and debug mode — the runtime never needs it
+        because edges always point from earlier to later total-order keys.
+        """
+        indeg = {t: len(preds) for t, preds in self._in.items()}
+        stack = [t for t, d in indeg.items() if d == 0]
+        visited = 0
+        while stack:
+            t = stack.pop()
+            visited += 1
+            for succ in self._out[t]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    stack.append(succ)
+        return visited == len(self._in)

@@ -1,0 +1,122 @@
+"""Empirical verification of declared algorithm properties.
+
+The paper notes that "compiler analysis of the application code can
+determine some of these algorithmic properties" (§3.6); lacking a compiler,
+this module *tests* the declarations dynamically: it runs a bounded prefix
+of the algorithm serially, observing task creation and rw-set evolution,
+and reports which declared properties the observed execution contradicts.
+
+This is a falsifier, not a prover — a clean report means the properties
+held on the sampled prefix, not in general.  It is cheap enough to run in
+CI against every application (see ``tests/test_core_verify.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..galois.priorityqueue import BinaryHeap
+from .algorithm import OrderedAlgorithm
+from .task import Task
+
+
+@dataclass
+class PropertyReport:
+    """Observed violations of each declared property (empty = consistent)."""
+
+    monotonic: list[str] = field(default_factory=list)
+    structure_based_rw_sets: list[str] = field(default_factory=list)
+    non_increasing_rw_sets: list[str] = field(default_factory=list)
+    no_new_tasks: list[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not (
+            self.monotonic
+            or self.structure_based_rw_sets
+            or self.non_increasing_rw_sets
+            or self.no_new_tasks
+        )
+
+    def violations(self) -> dict[str, list[str]]:
+        return {
+            name: msgs
+            for name, msgs in vars(self).items()
+            if msgs
+        }
+
+
+def verify_properties(
+    algorithm: OrderedAlgorithm, max_tasks: int = 500
+) -> PropertyReport:
+    """Execute up to ``max_tasks`` tasks serially, checking declarations.
+
+    Mutates the algorithm's application state (run it on a throwaway state).
+    Only declared properties are checked; undeclared ones are not inferred.
+    """
+    props = algorithm.properties
+    report = PropertyReport()
+    factory = algorithm.task_factory()
+    initial = factory.make_all(algorithm.initial_items)
+    heap = BinaryHeap(Task.key, initial)
+    pending: dict[int, Task] = {t.tid: t for t in initial}
+    # Definition 4, clause (i): a task whose rw-set is not covered by its
+    # parent's must have a *state-independent* rw-set — record it at
+    # creation and re-check at execution time.
+    recorded_rw: dict[int, set] = {}
+    if props.structure_based_rw_sets:
+        for task in initial:
+            recorded_rw[task.tid] = set(algorithm.compute_rw_set(task))
+
+    executed = 0
+    while heap and executed < max_tasks:
+        task = heap.pop()
+        del pending[task.tid]
+        parent_rw = set(algorithm.compute_rw_set(task))
+        if props.structure_based_rw_sets and task.tid in recorded_rw:
+            if parent_rw != recorded_rw.pop(task.tid):
+                report.structure_based_rw_sets.append(
+                    f"rw-set of {task.item!r} changed between creation and "
+                    "execution (neither clause of Definition 4 holds)"
+                )
+
+        # non-increasing: snapshot other pending tasks' rw-sets before...
+        watch: dict[int, set] = {}
+        if props.non_increasing_rw_sets and len(pending) <= 64:
+            for other in pending.values():
+                watch[other.tid] = set(algorithm.compute_rw_set(other))
+
+        ctx = algorithm.execute_body(task)
+        executed += 1
+
+        if ctx.pushed and props.no_new_tasks:
+            report.no_new_tasks.append(
+                f"task {task.item!r} created {len(ctx.pushed)} new task(s)"
+            )
+        for item in ctx.pushed:
+            child = factory.make(item)
+            heap.push(child)
+            pending[child.tid] = child
+            if props.monotonic and child.priority < task.priority:
+                report.monotonic.append(
+                    f"child {item!r} (priority {child.priority!r}) precedes "
+                    f"parent {task.item!r} ({task.priority!r})"
+                )
+            if props.structure_based_rw_sets:
+                child_rw = set(algorithm.compute_rw_set(child))
+                if not child_rw <= parent_rw:
+                    # Fall back to clause (i): re-check at execution time.
+                    recorded_rw[child.tid] = child_rw
+
+        # ...and after: did this execution add locations to them?
+        for tid, before in watch.items():
+            other = pending.get(tid)
+            if other is None:
+                continue
+            after = set(algorithm.compute_rw_set(other))
+            if not after <= before:
+                report.non_increasing_rw_sets.append(
+                    f"executing {task.item!r} grew the rw-set of "
+                    f"{other.item!r} by {sorted(map(repr, after - before))[:3]}"
+                )
+    return report

@@ -1,0 +1,21 @@
+"""Galois-style library substrate: graphs, meshes, worklists, union-find."""
+
+from .bucketed import BucketedWorklist
+from .graphs import CSRGraph
+from .mesh import TriangularMesh
+from .priorityqueue import BinaryHeap, PairingHeap
+from .tracked import TrackedArray
+from .unionfind import UnionFind
+from .worklist import OrderedWorklist, PerThreadWorklists
+
+__all__ = [
+    "BinaryHeap",
+    "BucketedWorklist",
+    "CSRGraph",
+    "OrderedWorklist",
+    "PairingHeap",
+    "PerThreadWorklists",
+    "TrackedArray",
+    "TriangularMesh",
+    "UnionFind",
+]

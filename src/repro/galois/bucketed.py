@@ -1,0 +1,82 @@
+"""OBIM-style bucketed worklist.
+
+Galois' ordered-by-integer-metric (OBIM) worklist keeps one bucket (FIFO)
+per priority *level* and serves buckets in level order.  Transfers are O(1)
+amortized — no heap — which is what makes level-by-level windowing cheap
+for algorithms like BFS whose priorities form few discrete levels.
+
+Items within a bucket keep insertion order; callers that need a total order
+inside a level (the KDG executors do, via task keys) sort the popped level
+themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable, Iterable
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class BucketedWorklist(Generic[T]):
+    """Per-level FIFO buckets served in increasing level order."""
+
+    def __init__(self, level_of: Callable[[T], Any], items: Iterable[T] = ()):
+        self.level_of = level_of
+        self._buckets: dict[Any, deque[T]] = {}
+        self._level_heap: list[Any] = []
+        self._size = 0
+        for item in items:
+            self.push(item)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push(self, item: T) -> None:
+        level = self.level_of(item)
+        bucket = self._buckets.get(level)
+        if bucket is None:
+            bucket = deque()
+            self._buckets[level] = bucket
+            heapq.heappush(self._level_heap, level)
+        bucket.append(item)
+        self._size += 1
+
+    def _front_level(self) -> Any:
+        while self._level_heap:
+            level = self._level_heap[0]
+            bucket = self._buckets.get(level)
+            if bucket:
+                return level
+            heapq.heappop(self._level_heap)
+            self._buckets.pop(level, None)
+        raise IndexError("empty bucketed worklist")
+
+    def current_level(self) -> Any:
+        """The earliest non-empty level."""
+        return self._front_level()
+
+    def peek(self) -> T:
+        return self._buckets[self._front_level()][0]
+
+    def pop(self) -> T:
+        level = self._front_level()
+        item = self._buckets[level].popleft()
+        self._size -= 1
+        return item
+
+    def pop_level(self) -> tuple[Any, list[T]]:
+        """Remove and return the entire earliest level."""
+        level = self._front_level()
+        bucket = self._buckets.pop(level)
+        items = list(bucket)
+        self._size -= len(items)
+        return level, items
+
+    def num_levels(self) -> int:
+        return sum(1 for bucket in self._buckets.values() if bucket)

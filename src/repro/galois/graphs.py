@@ -1,0 +1,101 @@
+"""Graph data structures from the Galois library that the apps build on.
+
+:class:`CSRGraph` is a compressed-sparse-row immutable graph used by BFS and
+MST; it mirrors Galois' ``LC_CSR_Graph``.  Node data lives in parallel
+arrays owned by the application.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+
+class CSRGraph:
+    """Immutable directed graph in compressed sparse row form.
+
+    For undirected use, add each edge in both directions (see
+    :meth:`from_undirected_edges`).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        row_starts: np.ndarray,
+        column_ids: np.ndarray,
+        edge_weights: np.ndarray | None = None,
+    ):
+        if len(row_starts) != num_nodes + 1:
+            raise ValueError("row_starts must have num_nodes + 1 entries")
+        if row_starts[0] != 0 or row_starts[-1] != len(column_ids):
+            raise ValueError("row_starts endpoints are inconsistent")
+        self.num_nodes = num_nodes
+        self.row_starts = row_starts
+        self.column_ids = column_ids
+        self.edge_weights = edge_weights
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        weights: Iterable[float] | np.ndarray | None = None,
+    ) -> "CSRGraph":
+        """Build from a directed edge list (stable within each source node)."""
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        sources = edge_array[:, 0].astype(np.int64)
+        targets = edge_array[:, 1].astype(np.int64)
+        if len(sources) and (sources.min() < 0 or sources.max() >= num_nodes):
+            raise ValueError("edge source out of range")
+        if len(targets) and (targets.min() < 0 or targets.max() >= num_nodes):
+            raise ValueError("edge target out of range")
+        order = np.argsort(sources, kind="stable")
+        sources, targets = sources[order], targets[order]
+        counts = np.bincount(sources, minlength=num_nodes)
+        row_starts = np.concatenate(([0], np.cumsum(counts)))
+        weight_array = None
+        if weights is not None:
+            weight_array = np.asarray(
+                list(weights) if not isinstance(weights, np.ndarray) else weights,
+                dtype=np.float64,
+            )[order]
+        return cls(num_nodes, row_starts, targets, weight_array)
+
+    @classmethod
+    def from_undirected_edges(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        weights: Iterable[float] | None = None,
+    ) -> "CSRGraph":
+        """Build a symmetric graph: every edge is added in both directions."""
+        edge_list = list(edges)
+        both = edge_list + [(b, a) for a, b in edge_list]
+        weight_list = None
+        if weights is not None:
+            weight_list = list(weights)
+            weight_list = weight_list + weight_list
+        return cls.from_edges(num_nodes, both, weight_list)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.column_ids)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        start, end = self.row_starts[node], self.row_starts[node + 1]
+        return self.column_ids[start:end]
+
+    def out_degree(self, node: int) -> int:
+        return int(self.row_starts[node + 1] - self.row_starts[node])
+
+    def edge_range(self, node: int) -> range:
+        """Edge indices out of ``node`` (index into column_ids/edge_weights)."""
+        return range(int(self.row_starts[node]), int(self.row_starts[node + 1]))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for node in range(self.num_nodes):
+            for eid in self.edge_range(node):
+                yield node, int(self.column_ids[eid])

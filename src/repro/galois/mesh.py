@@ -1,0 +1,83 @@
+"""2-D triangular meshes for the AVI application.
+
+The paper discretizes the simulation domain into a triangle mesh; tasks are
+elemental updates whose rw-sets are the element's vertices.  The mesh is
+static topology (AVI never remeshes), so adjacency is precomputed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TriangularMesh:
+    """Static triangle mesh: vertex positions plus element connectivity."""
+
+    def __init__(self, positions: np.ndarray, triangles: np.ndarray):
+        positions = np.asarray(positions, dtype=np.float64)
+        triangles = np.asarray(triangles, dtype=np.int64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError("positions must be (num_vertices, 2)")
+        if triangles.ndim != 2 or triangles.shape[1] != 3:
+            raise ValueError("triangles must be (num_elements, 3)")
+        if triangles.size and triangles.max() >= len(positions):
+            raise ValueError("triangle vertex id out of range")
+        self.positions = positions
+        self.triangles = triangles
+        self.vertex_elements: list[list[int]] = [[] for _ in range(len(positions))]
+        for eid, tri in enumerate(triangles):
+            for v in tri:
+                self.vertex_elements[int(v)].append(eid)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.positions)
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.triangles)
+
+    def vertices_of(self, elem: int) -> tuple[int, int, int]:
+        a, b, c = self.triangles[elem]
+        return int(a), int(b), int(c)
+
+    def element_neighbors(self, elem: int) -> list[int]:
+        """Elements sharing at least one vertex with ``elem`` (sorted, unique)."""
+        seen: set[int] = set()
+        for v in self.triangles[elem]:
+            seen.update(self.vertex_elements[int(v)])
+        seen.discard(elem)
+        return sorted(seen)
+
+    def element_area(self, elem: int) -> float:
+        a, b, c = self.triangles[elem]
+        pa, pb, pc = self.positions[a], self.positions[b], self.positions[c]
+        return abs(
+            (pb[0] - pa[0]) * (pc[1] - pa[1]) - (pc[0] - pa[0]) * (pb[1] - pa[1])
+        ) / 2.0
+
+    @classmethod
+    def structured(cls, nx: int, ny: int) -> "TriangularMesh":
+        """Unit-square grid of ``nx × ny`` cells, each split into 2 triangles."""
+        if nx < 1 or ny < 1:
+            raise ValueError("grid dimensions must be >= 1")
+        xs = np.linspace(0.0, 1.0, nx + 1)
+        ys = np.linspace(0.0, 1.0, ny + 1)
+        positions = np.array([(x, y) for y in ys for x in xs])
+
+        def vid(ix: int, iy: int) -> int:
+            return iy * (nx + 1) + ix
+
+        triangles = []
+        for iy in range(ny):
+            for ix in range(nx):
+                v00, v10 = vid(ix, iy), vid(ix + 1, iy)
+                v01, v11 = vid(ix, iy + 1), vid(ix + 1, iy + 1)
+                # Alternate the diagonal so the mesh is not degenerate-regular.
+                if (ix + iy) % 2 == 0:
+                    triangles.append((v00, v10, v11))
+                    triangles.append((v00, v11, v01))
+                else:
+                    triangles.append((v00, v10, v01))
+                    triangles.append((v10, v11, v01))
+        return cls(positions, np.array(triangles))

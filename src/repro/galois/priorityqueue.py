@@ -1,0 +1,163 @@
+"""Priority queues used by the serial baseline and the runtime worklists.
+
+Two implementations:
+
+* :class:`BinaryHeap` — array-backed binary min-heap with lazy deletion,
+  matching the priority queue the paper's optimized serial baselines use.
+* :class:`PairingHeap` — a classic pairing heap supporting O(1) amortized
+  meld/insert, used where queues are merged (per-station queues in the
+  manual DES executor).
+
+Both order items by a caller-supplied key and break ties by insertion
+sequence so that iteration order is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Iterable
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class BinaryHeap(Generic[T]):
+    """Min-heap with a deterministic total order and lazy removal."""
+
+    def __init__(self, key: Callable[[T], Any], items: Iterable[T] = ()):
+        self._key = key
+        self._counter = itertools.count()
+        self._heap: list[tuple[Any, int, T]] = [
+            (key(item), next(self._counter), item) for item in items
+        ]
+        heapq.heapify(self._heap)
+        self._removed: set[int] = set()
+        self._live = len(self._heap)
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, item: T) -> int:
+        """Insert ``item``; returns a ticket usable with :meth:`remove`."""
+        ticket = next(self._counter)
+        heapq.heappush(self._heap, (self._key(item), ticket, item))
+        self._live += 1
+        return ticket
+
+    def _compact(self) -> None:
+        while self._heap and self._heap[0][1] in self._removed:
+            _, ticket, _ = heapq.heappop(self._heap)
+            self._removed.discard(ticket)
+
+    def peek(self) -> T:
+        if not self._live:
+            raise IndexError("peek from empty heap")
+        self._compact()
+        return self._heap[0][2]
+
+    def pop(self) -> T:
+        if not self._live:
+            raise IndexError("pop from empty heap")
+        self._compact()
+        _, _, item = heapq.heappop(self._heap)
+        self._live -= 1
+        return item
+
+    def remove(self, ticket: int) -> None:
+        """Lazily remove the entry created with ``ticket``."""
+        self._removed.add(ticket)
+        self._live -= 1
+
+    def drain(self) -> Iterable[T]:
+        """Pop everything, in priority order."""
+        while self:
+            yield self.pop()
+
+
+class _PairingNode(Generic[T]):
+    __slots__ = ("item", "key", "child", "sibling")
+
+    def __init__(self, item: T, key: Any):
+        self.item = item
+        self.key = key
+        self.child: _PairingNode[T] | None = None
+        self.sibling: _PairingNode[T] | None = None
+
+
+class PairingHeap(Generic[T]):
+    """Pairing heap with O(1) amortized insert and meld."""
+
+    def __init__(self, key: Callable[[T], Any], items: Iterable[T] = ()):
+        self._key = key
+        self._counter = itertools.count()
+        self._root: _PairingNode[T] | None = None
+        self._size = 0
+        for item in items:
+            self.push(item)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def _merge(
+        self, a: _PairingNode[T] | None, b: _PairingNode[T] | None
+    ) -> _PairingNode[T] | None:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if b.key < a.key:
+            a, b = b, a
+        b.sibling = a.child
+        a.child = b
+        return a
+
+    def push(self, item: T) -> None:
+        node = _PairingNode(item, (self._key(item), next(self._counter)))
+        self._root = self._merge(self._root, node)
+        self._size += 1
+
+    def peek(self) -> T:
+        if self._root is None:
+            raise IndexError("peek from empty heap")
+        return self._root.item
+
+    def pop(self) -> T:
+        if self._root is None:
+            raise IndexError("pop from empty heap")
+        item = self._root.item
+        self._root = self._merge_pairs(self._root.child)
+        self._size -= 1
+        return item
+
+    def _merge_pairs(self, node: _PairingNode[T] | None) -> _PairingNode[T] | None:
+        # Iterative two-pass pairing to avoid recursion-depth limits.
+        pairs: list[_PairingNode[T]] = []
+        while node is not None:
+            nxt = node.sibling
+            node.sibling = None
+            if nxt is not None:
+                nxt2 = nxt.sibling
+                nxt.sibling = None
+                pairs.append(self._merge(node, nxt))  # type: ignore[arg-type]
+                node = nxt2
+            else:
+                pairs.append(node)
+                node = None
+        result: _PairingNode[T] | None = None
+        for paired in reversed(pairs):
+            result = self._merge(paired, result)
+        return result
+
+    def meld(self, other: "PairingHeap[T]") -> None:
+        """Absorb ``other`` (which becomes empty) in O(1)."""
+        self._root = self._merge(self._root, other._root)
+        self._size += other._size
+        other._root = None
+        other._size = 0

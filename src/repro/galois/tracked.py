@@ -1,0 +1,99 @@
+"""Conflict-aware data wrappers in the style of Galois library structures.
+
+The paper's programming model requires "concurrent data structures from the
+Galois library ... which contain hooks into our runtime so that the runtime
+can monitor accesses of a task to shared data" (§3.1).  These wrappers are
+those hooks: they bind a store to the current task's context, so reads and
+writes are *declared* (in the cautious prefix) or *checked* (in the body)
+without the application peppering ``ctx.read/write/access`` calls itself.
+
+Usage::
+
+    values = TrackedArray("value", [0.0] * n)
+
+    def visit_rw_sets(item, ctx):
+        with values.declaring(ctx):
+            values.touch(item.node)          # declares a write intent
+
+    def apply_update(item, ctx):
+        with values.accessing(ctx):
+            values[item.node] += 1.0         # checked against the rw-set
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any
+
+from ..core.context import BodyContext, RWSetContext
+
+
+class TrackedArray:
+    """A named array whose element accesses flow through task contexts."""
+
+    def __init__(self, name: str, values: list[Any]):
+        self.name = name
+        self._values = list(values)
+        self._declare_ctx: RWSetContext | None = None
+        self._access_ctx: BodyContext | None = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def location(self, index: int) -> tuple[str, int]:
+        """The abstract location id of one element."""
+        return (self.name, index)
+
+    # ------------------------------------------------------------------
+    # Context binding
+    # ------------------------------------------------------------------
+    @contextmanager
+    def declaring(self, ctx: RWSetContext):
+        """Bind the cautious prefix: touches become declarations."""
+        self._declare_ctx = ctx
+        try:
+            yield self
+        finally:
+            self._declare_ctx = None
+
+    @contextmanager
+    def accessing(self, ctx: BodyContext):
+        """Bind the loop body: element accesses are checked."""
+        self._access_ctx = ctx
+        try:
+            yield self
+        finally:
+            self._access_ctx = None
+
+    # ------------------------------------------------------------------
+    # Declarations (prefix)
+    # ------------------------------------------------------------------
+    def touch(self, index: int) -> None:
+        """Declare a write intent on one element (prefix only)."""
+        if self._declare_ctx is None:
+            raise RuntimeError(f"{self.name}: touch() outside declaring()")
+        self._declare_ctx.write(self.location(index))
+
+    def observe(self, index: int) -> Any:
+        """Declare a read intent and return the value (prefix only)."""
+        if self._declare_ctx is None:
+            raise RuntimeError(f"{self.name}: observe() outside declaring()")
+        self._declare_ctx.read(self.location(index))
+        return self._values[index]
+
+    # ------------------------------------------------------------------
+    # Checked element access (body)
+    # ------------------------------------------------------------------
+    def __getitem__(self, index: int) -> Any:
+        if self._access_ctx is not None:
+            self._access_ctx.access(self.location(index))
+        return self._values[index]
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        if self._access_ctx is not None:
+            self._access_ctx.access(self.location(index))
+        self._values[index] = value
+
+    def raw(self) -> list[Any]:
+        """The underlying storage (snapshotting; bypasses tracking)."""
+        return self._values

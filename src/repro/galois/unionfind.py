@@ -1,0 +1,58 @@
+"""Union-find (disjoint sets) with union by rank and path compression.
+
+Substrate for Kruskal's MST: edge contraction is implemented as component
+union, exactly as the paper's §4.2 describes.  ``find_no_compress`` exists
+for the rw-set pass, which must be side-effect free (cautious tasks read
+before any write — compression is a write).
+"""
+
+from __future__ import annotations
+
+
+class UnionFind:
+    """Disjoint-set forest over the integers ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self.parent = list(range(n))
+        self.rank = [0] * n
+        self.num_components = n
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s component, with path halving."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def find_no_compress(self, x: int) -> int:
+        """Representative of ``x``'s component without mutating the forest."""
+        parent = self.parent
+        while parent[x] != x:
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``; False if already joined."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.num_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def snapshot(self) -> list[int]:
+        """Canonical representative of every element (comparison oracle)."""
+        return [self.find(x) for x in range(len(self.parent))]

@@ -1,0 +1,95 @@
+"""Worklists in the style of the Galois runtime.
+
+:class:`OrderedWorklist` is the shared priority-ordered worklist the KDG
+executors schedule from.  :class:`PerThreadWorklists` models the per-thread
+priority queues used by the manual Billiards executor to reduce safe-source
+test invocations (§4.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any, Generic, TypeVar
+
+from .priorityqueue import BinaryHeap
+
+T = TypeVar("T")
+
+
+class OrderedWorklist(Generic[T]):
+    """A shared, priority-ordered worklist (earliest priority first)."""
+
+    def __init__(self, key: Callable[[T], Any], items: Iterable[T] = ()):
+        self.key = key
+        self._heap: BinaryHeap[T] = BinaryHeap(key, items)
+        self.pushes = 0
+        self.pops = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, item: T) -> None:
+        self.pushes += 1
+        self._heap.push(item)
+
+    def pop(self) -> T:
+        self.pops += 1
+        return self._heap.pop()
+
+    def peek(self) -> T:
+        return self._heap.peek()
+
+    def pop_prefix(self, max_items: int) -> list[T]:
+        """Pop up to ``max_items`` earliest-priority items (a priority prefix)."""
+        if max_items < 0:
+            raise ValueError("max_items must be >= 0")
+        out: list[T] = []
+        while self._heap and len(out) < max_items:
+            out.append(self.pop())
+        return out
+
+    def pop_level(self) -> tuple[Any, list[T]]:
+        """Pop every item whose priority equals the current minimum.
+
+        Returns ``(level_key, items)``.  Used by the level-by-level executor;
+        the level key is the priority of the earliest item.
+        """
+        if not self._heap:
+            raise IndexError("pop_level from empty worklist")
+        first = self.pop()
+        level = self.key(first)
+        items = [first]
+        while self._heap and self.key(self._heap.peek()) == level:
+            items.append(self.pop())
+        return level, items
+
+
+class PerThreadWorklists(Generic[T]):
+    """One ordered worklist per simulated thread, with owner hashing."""
+
+    def __init__(self, num_threads: int, key: Callable[[T], Any]):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self.queues = [OrderedWorklist(key) for _ in range(num_threads)]
+
+    def push(self, item: T, owner: int) -> None:
+        self.queues[owner % self.num_threads].push(item)
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def global_min(self) -> T | None:
+        """Earliest item across all queues (None when all are empty)."""
+        best: T | None = None
+        best_key: Any = None
+        for queue in self.queues:
+            if queue:
+                item = queue.peek()
+                item_key = queue.key(item)
+                if best is None or item_key < best_key:
+                    best, best_key = item, item_key
+        return best

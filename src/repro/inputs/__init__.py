@@ -1,0 +1,20 @@
+"""Workload generators mirroring the paper's evaluation inputs (Fig. 11a)."""
+
+from .bodies import billiard_table, plummer_bodies
+from .circuits import Circuit, Gate, kogge_stone_adder, tree_multiplier
+from .graphs import grid2d, random_graph
+from .matrices import BlockMatrix, sparse_blocked_matrix, symbolic_fill
+
+__all__ = [
+    "BlockMatrix",
+    "Circuit",
+    "Gate",
+    "billiard_table",
+    "grid2d",
+    "kogge_stone_adder",
+    "plummer_bodies",
+    "random_graph",
+    "sparse_blocked_matrix",
+    "symbolic_fill",
+    "tree_multiplier",
+]

@@ -1,0 +1,75 @@
+"""Body distributions: Plummer spheres (tree traversal) and billiard tables.
+
+The paper's tree-traversal input is bodies under a Plummer distribution
+[Plummer 1911], the standard Barnes–Hut benchmark input; Billiards inputs
+are ``n`` balls on an ``n × n`` table with random velocities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def plummer_bodies(n: int, seed: int = 0, dims: int = 2) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n`` body positions and masses from a Plummer model.
+
+    Radius is drawn by inverting the Plummer cumulative mass profile
+    ``r = (u^{-2/3} - 1)^{-1/2}``, direction uniformly on the sphere/circle.
+    Returns ``(positions[n, dims], masses[n])`` with unit total mass.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.RandomState(seed)
+    u = rng.uniform(1e-6, 1.0 - 1e-6, size=n)
+    radius = (u ** (-2.0 / 3.0) - 1.0) ** (-0.5)
+    radius = np.minimum(radius, 10.0)  # clip the far tail, as BH codes do
+    if dims == 2:
+        theta = rng.uniform(0, 2 * np.pi, size=n)
+        positions = np.stack([radius * np.cos(theta), radius * np.sin(theta)], axis=1)
+    elif dims == 3:
+        z = rng.uniform(-1, 1, size=n)
+        theta = rng.uniform(0, 2 * np.pi, size=n)
+        s = np.sqrt(1 - z * z)
+        positions = np.stack(
+            [radius * s * np.cos(theta), radius * s * np.sin(theta), radius * z], axis=1
+        )
+    else:
+        raise ValueError("dims must be 2 or 3")
+    masses = np.full(n, 1.0 / n)
+    return positions, masses
+
+
+def billiard_table(
+    n_balls: int,
+    table_size: float,
+    radius: float = 0.5,
+    max_speed: float = 1.0,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Place ``n_balls`` non-overlapping balls with random velocities.
+
+    Balls are laid out on a jittered grid (guaranteeing no initial overlap)
+    with velocities uniform in ``[-max_speed, max_speed]²``.  Returns
+    ``(positions[n, 2], velocities[n, 2])``.
+    """
+    if n_balls < 1:
+        raise ValueError("n_balls must be >= 1")
+    rng = np.random.RandomState(seed)
+    side = int(np.ceil(np.sqrt(n_balls)))
+    pitch = (table_size - 2 * radius) / side
+    if pitch <= 2 * radius:
+        raise ValueError("table too small for this many balls")
+    jitter = (pitch - 2 * radius) / 2 * 0.8
+    positions = np.empty((n_balls, 2))
+    k = 0
+    for iy in range(side):
+        for ix in range(side):
+            if k == n_balls:
+                break
+            cx = radius + (ix + 0.5) * pitch
+            cy = radius + (iy + 0.5) * pitch
+            positions[k, 0] = cx + rng.uniform(-jitter, jitter)
+            positions[k, 1] = cy + rng.uniform(-jitter, jitter)
+            k += 1
+    velocities = rng.uniform(-max_speed, max_speed, size=(n_balls, 2))
+    return positions, velocities

@@ -1,0 +1,179 @@
+"""Gate-level circuit generators for discrete-event simulation (§4.5).
+
+The paper's DES inputs are a 12-bit tree multiplier (small) and a 64-bit
+Kogge–Stone adder (large).  Both are generated here as gate netlists:
+
+* :func:`kogge_stone_adder` — the classic parallel-prefix adder.
+* :func:`tree_multiplier` — partial products reduced by an adder tree
+  (ripple-carry adders arranged in a binary tree), a standard tree
+  multiplier structure.
+
+A :class:`Circuit` is a DAG of :class:`Gate` objects; primary inputs are
+INPUT gates driven by stimulus events.  Every gate has a positive integer
+delay so event time-stamps are strictly increasing (DES is monotonic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Boolean gate evaluation functions, by type name.
+GATE_FUNCS = {
+    "INPUT": lambda ins: ins[0] if ins else 0,
+    "BUF": lambda ins: ins[0],
+    "NOT": lambda ins: 1 - ins[0],
+    "AND": lambda ins: int(all(ins)),
+    "OR": lambda ins: int(any(ins)),
+    "XOR": lambda ins: sum(ins) % 2,
+    "NAND": lambda ins: 1 - int(all(ins)),
+    "NOR": lambda ins: 1 - int(any(ins)),
+}
+
+
+@dataclass
+class Gate:
+    """One gate: its function, fan-in wiring and fan-out destinations."""
+
+    gid: int
+    kind: str
+    #: Driving gates, one per input port (empty for INPUT gates).
+    fanin: list[int] = field(default_factory=list)
+    #: ``(target gate, target port)`` pairs this gate drives.
+    fanout: list[tuple[int, int]] = field(default_factory=list)
+    delay: int = 1
+
+
+class Circuit:
+    """An acyclic gate network with named primary inputs and outputs."""
+
+    def __init__(self) -> None:
+        self.gates: list[Gate] = []
+        self.inputs: dict[str, int] = {}
+        self.outputs: dict[str, int] = {}
+
+    def add_gate(self, kind: str, fanin: list[int] | None = None, delay: int = 1) -> int:
+        if kind not in GATE_FUNCS:
+            raise ValueError(f"unknown gate kind {kind!r}")
+        gid = len(self.gates)
+        gate = Gate(gid, kind, list(fanin or []), delay=delay)
+        self.gates.append(gate)
+        for port, src in enumerate(gate.fanin):
+            self.gates[src].fanout.append((gid, port))
+        return gid
+
+    def add_input(self, name: str) -> int:
+        gid = self.add_gate("INPUT")
+        self.inputs[name] = gid
+        return gid
+
+    def mark_output(self, name: str, gid: int) -> None:
+        self.outputs[name] = gid
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def evaluate(self, input_values: dict[str, int]) -> dict[str, int]:
+        """Zero-delay functional evaluation (oracle for DES correctness)."""
+        values = [0] * len(self.gates)
+        order = self._topological_order()
+        for gid in order:
+            gate = self.gates[gid]
+            if gate.kind == "INPUT":
+                name = next(n for n, g in self.inputs.items() if g == gid)
+                values[gid] = int(input_values.get(name, 0))
+            else:
+                values[gid] = GATE_FUNCS[gate.kind]([values[s] for s in gate.fanin])
+        return {name: values[gid] for name, gid in self.outputs.items()}
+
+    def _topological_order(self) -> list[int]:
+        indeg = [len(g.fanin) for g in self.gates]
+        stack = [g.gid for g in self.gates if indeg[g.gid] == 0]
+        order: list[int] = []
+        while stack:
+            gid = stack.pop()
+            order.append(gid)
+            for tgt, _ in self.gates[gid].fanout:
+                indeg[tgt] -= 1
+                if indeg[tgt] == 0:
+                    stack.append(tgt)
+        if len(order) != len(self.gates):
+            raise ValueError("circuit contains a cycle")
+        return order
+
+
+def _full_adder(c: Circuit, a: int, b: int, cin: int) -> tuple[int, int]:
+    """Returns ``(sum, carry)`` gate ids."""
+    axb = c.add_gate("XOR", [a, b])
+    s = c.add_gate("XOR", [axb, cin])
+    ab = c.add_gate("AND", [a, b])
+    axb_cin = c.add_gate("AND", [axb, cin])
+    cout = c.add_gate("OR", [ab, axb_cin])
+    return s, cout
+
+
+def kogge_stone_adder(bits: int) -> Circuit:
+    """An n-bit Kogge–Stone parallel-prefix adder (the paper's DES-large)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    c = Circuit()
+    a = [c.add_input(f"a{i}") for i in range(bits)]
+    b = [c.add_input(f"b{i}") for i in range(bits)]
+    # Generate/propagate.
+    g = [c.add_gate("AND", [a[i], b[i]]) for i in range(bits)]
+    p = [c.add_gate("XOR", [a[i], b[i]]) for i in range(bits)]
+    # Parallel-prefix combine: (g, p) ∘ (g', p') = (g + p·g', p·p').
+    gk, pk = list(g), list(p)
+    dist = 1
+    while dist < bits:
+        ng, np_ = list(gk), list(pk)
+        for i in range(dist, bits):
+            t = c.add_gate("AND", [pk[i], gk[i - dist]])
+            ng[i] = c.add_gate("OR", [gk[i], t])
+            np_[i] = c.add_gate("AND", [pk[i], pk[i - dist]])
+        gk, pk = ng, np_
+        dist *= 2
+    # Sum bits: s_i = p_i xor carry_{i-1}; carry_{i-1} = gk[i-1].
+    c.mark_output("s0", p[0])
+    for i in range(1, bits):
+        c.mark_output(f"s{i}", c.add_gate("XOR", [p[i], gk[i - 1]]))
+    c.mark_output(f"s{bits}", gk[bits - 1])  # carry out
+    return c
+
+
+def tree_multiplier(bits: int) -> Circuit:
+    """An n-bit multiplier: AND partial products + binary adder tree.
+
+    Partial product rows are summed pairwise by ripple-carry adders arranged
+    as a balanced binary tree (the paper's DES-small "tree multiplier").
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    c = Circuit()
+    a = [c.add_input(f"a{i}") for i in range(bits)]
+    b = [c.add_input(f"b{i}") for i in range(bits)]
+    zero = c.add_gate("AND", [a[0], c.add_gate("NOT", [a[0]])])  # constant 0
+    width = 2 * bits
+    # Partial product rows, shifted: row j = (a AND b_j) << j.
+    rows: list[list[int]] = []
+    for j in range(bits):
+        row = [zero] * width
+        for i in range(bits):
+            row[i + j] = c.add_gate("AND", [a[i], b[j]])
+        rows.append(row)
+    # Reduce rows pairwise with ripple-carry adders (a binary tree).
+    while len(rows) > 1:
+        next_rows: list[list[int]] = []
+        for k in range(0, len(rows) - 1, 2):
+            x, y = rows[k], rows[k + 1]
+            out = [zero] * width
+            carry = zero
+            for i in range(width):
+                out[i], carry = _full_adder(c, x[i], y[i], carry)
+            next_rows.append(out)
+        if len(rows) % 2:
+            next_rows.append(rows[-1])
+        rows = next_rows
+    for i in range(width):
+        c.mark_output(f"p{i}", rows[0][i])
+    return c

@@ -1,0 +1,82 @@
+"""Graph input generators mirroring the paper's BFS/MST input families.
+
+The paper uses a USA road network and a 2-D grid (high diameter, low
+degree) and uniform random graphs (low diameter).  We generate the same
+families at reduced scale:
+
+* :func:`grid2d` — the 2-D grid used for MST-small and a road-network
+  stand-in for BFS-small (thousands of BFS levels).
+* :func:`random_graph` — uniform random multigraph-free graph with a target
+  average degree (few BFS levels, like the paper's Random graph).
+
+Weights are small integers, as in the paper (MST levels ≈ distinct weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..galois.graphs import CSRGraph
+
+
+def grid2d(
+    nx: int, ny: int, max_weight: int = 100, seed: int = 0
+) -> tuple[CSRGraph, list[tuple[int, int]], np.ndarray]:
+    """A 2-D grid graph with integer edge weights.
+
+    Returns ``(csr, edge_list, weights)`` where the CSR graph is symmetric
+    and the edge list holds each undirected edge once.
+    """
+    rng = np.random.RandomState(seed)
+    num_nodes = nx * ny
+
+    def vid(ix: int, iy: int) -> int:
+        return iy * nx + ix
+
+    edges: list[tuple[int, int]] = []
+    for iy in range(ny):
+        for ix in range(nx):
+            if ix + 1 < nx:
+                edges.append((vid(ix, iy), vid(ix + 1, iy)))
+            if iy + 1 < ny:
+                edges.append((vid(ix, iy), vid(ix, iy + 1)))
+    weights = rng.randint(1, max_weight + 1, size=len(edges)).astype(np.float64)
+    csr = CSRGraph.from_undirected_edges(num_nodes, edges, weights)
+    return csr, edges, weights
+
+
+def random_graph(
+    num_nodes: int, avg_degree: float = 4.0, max_weight: int = 100, seed: int = 0
+) -> tuple[CSRGraph, list[tuple[int, int]], np.ndarray]:
+    """A uniform random graph with ~``avg_degree × n / 2`` distinct edges.
+
+    Duplicate and self edges are filtered, so the realized degree is very
+    slightly below the target.  A spanning backbone (random permutation
+    chain) guarantees connectivity, as BFS/MST comparisons assume.
+    """
+    rng = np.random.RandomState(seed)
+    num_edges = int(num_nodes * avg_degree / 2)
+    perm = rng.permutation(num_nodes)
+    seen: set[tuple[int, int]] = set()
+    edges: list[tuple[int, int]] = []
+    for i in range(num_nodes - 1):  # connectivity backbone
+        a, b = int(perm[i]), int(perm[i + 1])
+        edge = (min(a, b), max(a, b))
+        seen.add(edge)
+        edges.append(edge)
+    while len(edges) < num_edges:
+        remaining = num_edges - len(edges)
+        pairs = rng.randint(0, num_nodes, size=(remaining + 16, 2))
+        for a, b in pairs:
+            if a == b:
+                continue
+            edge = (int(min(a, b)), int(max(a, b)))
+            if edge in seen:
+                continue
+            seen.add(edge)
+            edges.append(edge)
+            if len(edges) == num_edges:
+                break
+    weights = rng.randint(1, max_weight + 1, size=len(edges)).astype(np.float64)
+    csr = CSRGraph.from_undirected_edges(num_nodes, edges, weights)
+    return csr, edges, weights

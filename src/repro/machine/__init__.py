@@ -1,0 +1,15 @@
+"""Simulated multicore substrate (substitute for the paper's 40-core Xeon)."""
+
+from .async_sim import simulate_async
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .simcore import SimMachine
+from .stats import Category, CycleStats
+
+__all__ = [
+    "Category",
+    "CostModel",
+    "CycleStats",
+    "DEFAULT_COST_MODEL",
+    "SimMachine",
+    "simulate_async",
+]

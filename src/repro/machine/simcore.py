@@ -1,0 +1,131 @@
+"""The simulated multicore: per-thread clocks and bulk-synchronous phases.
+
+``SimMachine`` is the substitute for the paper's 40-core Xeon (DESIGN.md §2).
+Executors run their semantics once, in Python, and charge cycle costs here.
+Two usage patterns:
+
+* **Bulk-synchronous phases** (`run_phase`): a list of per-item cost
+  breakdowns is distributed over threads with greedy least-loaded chunk
+  scheduling (modeling Galois' dynamic work distribution), then a global
+  barrier aligns all thread clocks.  Used by the round-based KDG-RNA and
+  IKDG executors and the level-by-level executor.
+* **Direct charging** (`charge` / `charge_serial`): used by the serial
+  executor and by the event-driven asynchronous simulator
+  (:mod:`repro.machine.async_sim`), which manages thread clocks itself and
+  deposits them via `set_clock`.
+
+The *makespan* (`elapsed_cycles`) is the maximum thread clock and is the
+"running time" every benchmark reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Mapping
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .stats import Category, CycleStats
+
+#: A per-item cost breakdown: cycles charged per category.
+CostBreakdown = Mapping[Category, float]
+
+
+class SimMachine:
+    """A deterministic simulated shared-memory multicore."""
+
+    def __init__(self, num_threads: int, cost_model: CostModel | None = None):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self.cost_model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        self.stats = CycleStats(num_threads)
+        self.clocks = [0.0] * num_threads
+        self.barrier_count = 0
+        self.phase_count = 0
+
+    # ------------------------------------------------------------------
+    # Low-level charging
+    # ------------------------------------------------------------------
+    def charge(self, tid: int, category: Category, cycles: float) -> None:
+        """Charge ``cycles`` to thread ``tid``, advancing its clock."""
+        self.stats.charge(tid, category, cycles)
+        self.clocks[tid] += cycles
+
+    def charge_serial(self, category: Category, cycles: float) -> None:
+        """Charge thread 0 (serial execution)."""
+        self.charge(0, category, cycles)
+
+    def set_clock(self, tid: int, value: float) -> None:
+        """Set a thread clock directly (used by the async simulator)."""
+        if value < self.clocks[tid]:
+            raise ValueError("thread clocks cannot move backwards")
+        self.clocks[tid] = value
+
+    # ------------------------------------------------------------------
+    # Bulk-synchronous phases
+    # ------------------------------------------------------------------
+    def run_phase(
+        self,
+        item_costs: Iterable[CostBreakdown],
+        chunk_size: int = 1,
+        barrier: bool = True,
+    ) -> None:
+        """Distribute per-item costs over threads, then (optionally) barrier.
+
+        Items are assigned in order, ``chunk_size`` at a time, to the
+        currently least-loaded thread — a deterministic stand-in for dynamic
+        (work-stealing) scheduling.  Each item's cycles are charged to the
+        thread that received it under the item's own categories.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.phase_count += 1
+        # Heap of (clock, tid) so ties resolve by thread id (deterministic).
+        heap = [(self.clocks[tid], tid) for tid in range(self.num_threads)]
+        heapq.heapify(heap)
+        chunk: list[CostBreakdown] = []
+        for cost in item_costs:
+            chunk.append(cost)
+            if len(chunk) == chunk_size:
+                self._assign_chunk(heap, chunk)
+                chunk = []
+        if chunk:
+            self._assign_chunk(heap, chunk)
+        if barrier:
+            self.global_barrier()
+
+    def _assign_chunk(
+        self, heap: list[tuple[float, int]], chunk: list[CostBreakdown]
+    ) -> None:
+        clock, tid = heapq.heappop(heap)
+        for cost in chunk:
+            for category, cycles in cost.items():
+                if cycles:
+                    self.stats.charge(tid, category, cycles)
+                    clock += cycles
+        self.clocks[tid] = clock
+        heapq.heappush(heap, (clock, tid))
+
+    def global_barrier(self) -> None:
+        """Align all threads at max clock; charge idle time and barrier cost."""
+        self.barrier_count += 1
+        target = max(self.clocks)
+        cost = self.cost_model.barrier_cost(self.num_threads)
+        for tid in range(self.num_threads):
+            idle = target - self.clocks[tid]
+            if idle > 0:
+                self.stats.charge(tid, Category.IDLE, idle)
+            if cost > 0:
+                self.stats.charge(tid, Category.OTHER, cost)
+            self.clocks[tid] = target + cost
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def elapsed_cycles(self) -> float:
+        """Makespan: the maximum simulated thread clock."""
+        return max(self.clocks)
+
+    def elapsed_seconds(self) -> float:
+        """Makespan converted at the modeled clock frequency."""
+        return self.cost_model.cycles_to_seconds(self.elapsed_cycles())

@@ -1,0 +1,94 @@
+"""Cycle accounting for the simulated machine.
+
+The paper's Figure 12 breaks total cycles (summed over all threads) into
+SAFETY_TEST / EXECUTE / SCHEDULE / OTHER, and Figure 13 breaks speculative
+execution time into Abort / Commit / Schedule / Execute.  ``CycleStats``
+records per-thread, per-category cycle counts so both breakdowns can be
+regenerated from a single run.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Category(str, Enum):
+    """Where a simulated cycle was spent (labels match the paper's figures)."""
+
+    SAFETY_TEST = "SAFETY_TEST"
+    EXECUTE = "EXECUTE"
+    SCHEDULE = "SCHEDULE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    IDLE = "IDLE"
+    OTHER = "OTHER"
+
+
+class CycleStats:
+    """Per-thread, per-category cycle counters."""
+
+    def __init__(self, num_threads: int):
+        if num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self._cycles = [dict.fromkeys(Category, 0.0) for _ in range(num_threads)]
+
+    def charge(self, tid: int, category: Category, cycles: float) -> None:
+        """Add ``cycles`` to thread ``tid`` under ``category``."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle charge: {cycles}")
+        self._cycles[tid][category] += cycles
+
+    def thread_total(self, tid: int, *, include_idle: bool = True) -> float:
+        row = self._cycles[tid]
+        return sum(
+            c for cat, c in row.items() if include_idle or cat is not Category.IDLE
+        )
+
+    def total(self, category: Category | None = None) -> float:
+        """Total cycles over all threads, optionally for one category."""
+        if category is None:
+            return sum(sum(row.values()) for row in self._cycles)
+        return sum(row[category] for row in self._cycles)
+
+    def breakdown(self) -> dict[Category, float]:
+        """Aggregate cycles per category, summed over all threads."""
+        out = dict.fromkeys(Category, 0.0)
+        for row in self._cycles:
+            for cat, c in row.items():
+                out[cat] += c
+        return out
+
+    def fractions(self, categories: list[Category] | None = None) -> dict[Category, float]:
+        """Per-category share of the total, over ``categories`` (default: all)."""
+        bd = self.breakdown()
+        if categories is not None:
+            bd = {cat: bd[cat] for cat in categories}
+        denom = sum(bd.values())
+        if denom == 0:
+            return {cat: 0.0 for cat in bd}
+        return {cat: c / denom for cat, c in bd.items()}
+
+    def reclassify(
+        self, tid: int, source: Category, target: Category, cycles: float
+    ) -> None:
+        """Move up to ``cycles`` already-charged cycles between categories.
+
+        Used when work turns out to have been wasted (e.g. a committed-queue
+        task is aborted: its EXECUTE cycles become ABORT cycles).
+        """
+        moved = min(cycles, self._cycles[tid][source])
+        self._cycles[tid][source] -= moved
+        self._cycles[tid][target] += moved
+
+    def merge(self, other: "CycleStats") -> None:
+        """Fold another stats object (same thread count) into this one."""
+        if other.num_threads != self.num_threads:
+            raise ValueError("cannot merge stats with different thread counts")
+        for tid in range(self.num_threads):
+            for cat, c in other._cycles[tid].items():
+                self._cycles[tid][cat] += c
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bd = {cat.value: round(c, 1) for cat, c in self.breakdown().items() if c}
+        return f"CycleStats(threads={self.num_threads}, {bd})"

@@ -1,0 +1,54 @@
+"""KDG runtime: executors for the ordered programming model.
+
+``choose_executor`` implements the paper's §3.6 selection comments: declared
+algorithm properties pick an optimized executor; with no properties the
+runtime falls back to IKDG with windowing.
+"""
+
+from __future__ import annotations
+
+from ..core.properties import AlgorithmProperties
+from .base import LoopResult, MinTracker
+from .ikdg import run_ikdg
+from .kdg_rna import run_kdg_rna
+from .level_by_level import run_level_by_level
+from .serial import run_serial
+from .speculation import run_speculation
+from .windowing import AdaptiveWindow
+
+EXECUTORS = {
+    "serial": run_serial,
+    "kdg-rna": run_kdg_rna,
+    "ikdg": run_ikdg,
+    "level-by-level": run_level_by_level,
+    "speculation": run_speculation,
+}
+
+
+def choose_executor(properties: AlgorithmProperties) -> str:
+    """Pick the executor the declared properties justify (§3.6).
+
+    The explicit KDG pays off when its maintenance is cheap and barrier-free:
+    structure-based rw-sets with stable sources or a local safe-source test
+    (the asynchronous executor — AVI, DES, LU) or a conventional task graph
+    (tree traversal).  Everything else — changing rw-sets (Kruskal), global
+    safe-source tests (Billiards), level-structured priorities (BFS) — falls
+    back to IKDG with windowing, the paper's default.
+    """
+    if properties.supports_asynchronous or properties.conventional_task_graph:
+        return "kdg-rna"
+    return "ikdg"
+
+
+__all__ = [
+    "AdaptiveWindow",
+    "EXECUTORS",
+    "LoopResult",
+    "MinTracker",
+    "choose_executor",
+    "run_ikdg",
+    "run_kdg_rna",
+    "run_level_by_level",
+    "run_serial",
+    "run_speculation",
+]

@@ -1,0 +1,113 @@
+"""Shared executor machinery: results, cost helpers, min-priority tracking.
+
+Every executor takes an :class:`~repro.core.algorithm.OrderedAlgorithm` and
+a :class:`~repro.machine.SimMachine`, runs the algorithm's semantics exactly
+once (so application state is exact), charges simulated cycles, and returns
+a :class:`LoopResult`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.algorithm import OrderedAlgorithm
+from ..core.task import Task
+from ..machine import Category, CycleStats, SimMachine
+
+
+@dataclass
+class LoopResult:
+    """Outcome of one ordered-loop execution."""
+
+    algorithm: str
+    executor: str
+    machine: SimMachine
+    executed: int
+    rounds: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def stats(self) -> CycleStats:
+        return self.machine.stats
+
+    @property
+    def elapsed_cycles(self) -> float:
+        return self.machine.elapsed_cycles()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.machine.elapsed_seconds()
+
+    def breakdown(self) -> dict[Category, float]:
+        return self.machine.stats.breakdown()
+
+
+class MinTracker:
+    """Lazy-deletion heap tracking the minimum key among live tasks.
+
+    Used to supply ``SourceView.min_priority`` without scanning the whole
+    task graph every round.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[Any, int]] = []
+        self._live: dict[int, Task] = {}
+        self._seq = 0
+
+    def add(self, task: Task) -> None:
+        self._live[task.tid] = task
+        heapq.heappush(self._heap, (task.key(), task.tid))
+
+    def remove(self, task: Task) -> None:
+        self._live.pop(task.tid, None)
+
+    def min_task(self) -> Task | None:
+        while self._heap:
+            _, tid = self._heap[0]
+            task = self._live.get(tid)
+            if task is None:
+                heapq.heappop(self._heap)
+            else:
+                return task
+        return None
+
+    def min_priority(self) -> Any:
+        task = self.min_task()
+        return None if task is None else task.priority
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+
+def rw_visit_cost(algorithm: OrderedAlgorithm, machine: SimMachine, n_locs: int) -> float:
+    """Cycles to run the read-only prefix over ``n_locs`` locations."""
+    return machine.cost_model.rw_visit * max(1, n_locs)
+
+
+def inflate_execute(machine: SimMachine, cycles: float, memory_fraction: float) -> float:
+    """Apply the shared-bandwidth slowdown to execution cycles."""
+    return cycles * machine.cost_model.bandwidth_slowdown(
+        machine.num_threads, memory_fraction
+    )
+
+
+def execute_task(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine,
+    task: Task,
+    checked: bool = False,
+) -> tuple[list[Any], float]:
+    """Run the loop body; returns ``(new_items, execute_cycles)``.
+
+    Execution cycles include the algorithm's memory-bandwidth inflation at
+    the machine's thread count.
+    """
+    ctx = algorithm.execute_body(task, checked=checked)
+    cycles = inflate_execute(
+        machine,
+        machine.cost_model.work_cost(ctx.work_done),
+        algorithm.memory_bound_fraction,
+    )
+    return ctx.pushed, cycles

@@ -1,0 +1,213 @@
+"""The implicit KDG executor (IKDG, §3.5) with adaptive windowing.
+
+IKDG never materializes the task graph.  Each round, over a priority-prefix
+window of pending tasks:
+
+* **Phase I** — every task computes its rw-set and priority-marks each of
+  its locations with an atomic min (CAS loop): the location ends up holding
+  the earliest task that touched it.
+* **Phase II** — a task owning *all* of its marks has precedence over every
+  overlapping task, hence is a source; the safe-source test filters sources.
+* **Phase III** — safe sources execute, marks are reset, new tasks enter the
+  window (if their priority falls inside it — the prefix condition) or the
+  backlog.
+
+For stable-source algorithms phases II and III fuse (one barrier less,
+§3.6.3).  This executor is the runtime's default when no properties are
+declared, and the one the paper selects for MST, Billiards, BFS and LU.
+"""
+
+from __future__ import annotations
+
+from ..core.algorithm import OrderedAlgorithm, SourceView
+from ..core.kdg import LivenessViolation
+from ..core.task import Task
+from ..galois.bucketed import BucketedWorklist
+from ..galois.worklist import OrderedWorklist
+from ..machine import Category, SimMachine
+from .base import LoopResult, execute_task, rw_visit_cost
+from .windowing import AdaptiveWindow
+
+
+def run_ikdg(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine | None = None,
+    checked: bool = False,
+    window_policy: AdaptiveWindow | None = None,
+    level_windows: bool = False,
+    chunk_size: int = 1,
+) -> LoopResult:
+    """Run ``algorithm`` under the implicit (marking-based) KDG executor.
+
+    ``level_windows=True`` selects the level-by-level windowing strategy of
+    §3.6.1 (used for BFS): each window is exactly the tasks of the earliest
+    priority level, as given by the algorithm's ``level_of``.
+    ``chunk_size`` is the paper's §3.7 scheduling hint: work items are
+    handed to threads in chunks to amortize worklist traffic.
+    """
+    if machine is None:
+        machine = SimMachine(1)
+    cm = machine.cost_model
+    props = algorithm.properties
+    policy = window_policy if window_policy is not None else AdaptiveWindow()
+    factory = algorithm.task_factory()
+
+    initial_tasks = factory.make_all(algorithm.initial_items)
+    if level_windows:
+        # OBIM-style bucketed worklist: O(1) transfers per level.
+        backlog = BucketedWorklist(algorithm.level, initial_tasks)
+        machine.run_phase(
+            [{Category.SCHEDULE: cm.worklist_op} for _ in range(len(backlog))]
+        )
+    else:
+        backlog = OrderedWorklist(Task.key, initial_tasks)
+        machine.run_phase(
+            [{Category.SCHEDULE: cm.pq_cost(len(backlog))} for _ in range(len(backlog))]
+        )
+    window: dict[Task, None] = {}
+    window_size = policy.first_size(machine.num_threads)
+    fuse_test_with_execute = props.stable_source
+
+    executed = 0
+    rounds = 0
+    round_sizes: list[int] = []
+    while window or backlog:
+        rounds += 1
+        # Refill the window from the backlog (a priority prefix).
+        refill_costs = []
+        if level_windows:
+            # One full priority level per window (§3.6.1).
+            current_level = None
+            if window:
+                current_level = min(algorithm.level(t) for t in window)
+            if backlog and (
+                current_level is None or backlog.current_level() <= current_level
+            ):
+                _, level_tasks = backlog.pop_level()
+                for task in level_tasks:
+                    window[task] = None
+                    refill_costs.append({Category.SCHEDULE: cm.worklist_op})
+        else:
+            while len(window) < window_size and backlog:
+                task = backlog.pop()
+                window[task] = None
+                refill_costs.append({Category.SCHEDULE: cm.pq_cost(len(backlog))})
+        if refill_costs:
+            machine.run_phase(refill_costs, barrier=False)
+        window_max_key = max(task.key() for task in window)
+        round_sizes.append(len(window))
+
+        # Phase I: compute rw-sets and priority-mark every location.  Two
+        # mark tables implement the read/write distinction: a writer must be
+        # earliest among *all* touchers of the location, a reader only needs
+        # no earlier *writer* (read-read sharing does not conflict).
+        marks_all: dict[object, Task] = {}
+        marks_writer: dict[object, Task] = {}
+        mark_costs = []
+        min_task: Task | None = None
+        for task in window:
+            rw = algorithm.compute_rw_set(task)
+            key = task.key()
+            if min_task is None or key < min_task.key():
+                min_task = task
+            cas = 0
+            for loc in rw:
+                holder = marks_all.get(loc)
+                if holder is None or key < holder.key():
+                    marks_all[loc] = task
+                cas += 1
+                if loc in task.write_set:
+                    holder = marks_writer.get(loc)
+                    if holder is None or key < holder.key():
+                        marks_writer[loc] = task
+                    cas += 1
+            mark_costs.append(
+                {
+                    Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
+                    + cm.mark_cas * cas
+                }
+            )
+        machine.run_phase(mark_costs, chunk_size=chunk_size)
+
+        # Phase II: mark owners are sources; apply the safe-source test.
+        def is_mark_owner(task: Task) -> bool:
+            key = task.key()
+            for loc in task.rw_set:
+                if loc in task.write_set:
+                    if marks_all[loc] is not task:
+                        return False
+                else:
+                    writer = marks_writer.get(loc)
+                    if writer is not None and writer.key() < key:
+                        return False
+            return True
+
+        sources = []
+        check_costs = []
+        for task in window:
+            check_costs.append({Category.SCHEDULE: cm.mark_reset * len(task.rw_set)})
+            if is_mark_owner(task):
+                sources.append(task)
+        safe: list[Task]
+        if props.stable_source:
+            safe = sources
+        else:
+            view = SourceView(sources, min_task.priority if min_task else None)
+            test_cost = cm.safe_test_base + algorithm.safe_test_work
+            safe = []
+            for task in sources:
+                check_costs.append({Category.SAFETY_TEST: test_cost})
+                if algorithm.is_safe(task, view):
+                    safe.append(task)
+        if not safe:
+            raise LivenessViolation(
+                f"{algorithm.name}: IKDG round with {len(window)} window tasks "
+                f"and {len(sources)} sources produced no safe source"
+            )
+        if not fuse_test_with_execute:
+            machine.run_phase(check_costs)
+            check_costs = []
+
+        # Phase III: execute safe sources, reset marks, route new tasks.
+        safe.sort(key=Task.key)
+        exec_costs = list(check_costs)
+        for task in safe:
+            new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
+            del window[task]
+            cost = {
+                Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
+                Category.SCHEDULE: cm.mark_reset * len(task.rw_set),
+            }
+            for item in new_items:
+                child = factory.make(item)
+                # Prefix condition: a child earlier than the window's latest
+                # priority must be handled within the current window.
+                if level_windows:
+                    if algorithm.level(child) == algorithm.level(task):
+                        window[child] = None
+                    else:
+                        backlog.push(child)
+                elif child.key() <= window_max_key:
+                    window[child] = None
+                else:
+                    backlog.push(child)
+                cost[Category.SCHEDULE] += cm.pq_cost(len(backlog))
+            exec_costs.append(cost)
+            executed += 1
+        machine.run_phase(exec_costs, chunk_size=chunk_size)
+        marks_all.clear()
+        marks_writer.clear()
+        window_size = policy.next_size(window_size, len(safe), machine.num_threads)
+
+    return LoopResult(
+        algorithm=algorithm.name,
+        executor="ikdg",
+        machine=machine,
+        executed=executed,
+        rounds=rounds,
+        metrics={
+            "tasks_created": factory.created,
+            "final_window_size": window_size,
+            "mean_round_size": sum(round_sizes) / len(round_sizes) if round_sizes else 0,
+        },
+    )

@@ -1,0 +1,333 @@
+"""The explicit KDG executor (KDG-RNA, §3.4) and its optimized variants.
+
+The baseline executor proceeds in rounds of three bulk-synchronous phases
+(Figure 6): (1) apply the safe-source test to the sources of ``G``;
+(2) execute the safe sources and remove them (subrule **R**); (3) repair the
+KDG — recompute neighbor rw-sets (subrule **N**) and insert newly created
+tasks (subrule **A**).
+
+Declared algorithm properties strip this down (§3.6):
+
+* ``stable_source``        — phase 1 disappears (every source is safe).
+* ``no_new_tasks``         — subrule **A** disappears.
+* ``non_increasing_rw_sets`` — subrule **N** disappears.
+* ``local_safe_source_test`` — phase 1 fuses with phase 2 (one barrier less).
+* ``structure_based_rw_sets`` — the phase-2/phase-3 barrier disappears; with
+  stable sources (or a local test) the executor becomes fully
+  **asynchronous**: an event-driven schedule with no rounds at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.algorithm import OrderedAlgorithm, SourceView
+from ..core.kdg import KDG, LivenessViolation, OpCounts
+from ..core.task import Task
+from ..machine import Category, SimMachine, simulate_async
+from .base import LoopResult, MinTracker, execute_task, rw_visit_cost
+
+
+def _ops_cycles(machine: SimMachine, ops: OpCounts) -> float:
+    cm = machine.cost_model
+    return (
+        ops.node_ops * cm.graph_add_node
+        + ops.edge_ops * cm.graph_add_edge
+        + ops.rw_ops * cm.graph_remove_edge
+    )
+
+
+def _safe_test_cost(algorithm: OrderedAlgorithm, machine: SimMachine) -> float:
+    return machine.cost_model.safe_test_base + algorithm.safe_test_work
+
+
+def _build_kdg(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine,
+    kdg: KDG,
+    tracker: MinTracker,
+    tasks: list[Task],
+) -> None:
+    """General-BuildTaskGraph: compute rw-sets and wire the initial graph.
+
+    With an explicit ``dependences`` hint and no task creation (§4.7, tree
+    traversal), rw-set computation is disabled and edges are wired directly.
+    """
+    cm = machine.cost_model
+    if algorithm.dependences is not None and algorithm.properties.no_new_tasks:
+        by_item = {task.item: task for task in tasks}
+        for task in tasks:
+            kdg.graph.add_node(task)
+            tracker.add(task)
+        costs = []
+        for task in tasks:
+            edge_ops = 0
+            for dep_item in algorithm.dependences(task.item):
+                pred = by_item.get(dep_item)
+                if pred is not None:
+                    edge_ops += kdg.graph.add_edge(pred, task)
+            costs.append(
+                {Category.SCHEDULE: cm.graph_add_node + edge_ops * cm.graph_add_edge}
+            )
+        machine.run_phase(costs)
+        return
+    costs = []
+    for task in tasks:
+        rw = algorithm.compute_rw_set(task)
+        ops = kdg.add_task(task, rw, task.write_set)
+        tracker.add(task)
+        costs.append(
+            {
+                Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
+                + _ops_cycles(machine, ops)
+            }
+        )
+    machine.run_phase(costs)
+
+
+def run_kdg_rna(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine | None = None,
+    checked: bool = False,
+    check_safety: bool = False,
+    asynchronous: bool | None = None,
+    chunk_size: int = 1,
+) -> LoopResult:
+    """Run ``algorithm`` under the explicit KDG executor.
+
+    ``asynchronous=None`` picks the asynchronous variant automatically when
+    the declared properties allow it (§3.6.3).  ``chunk_size`` is the §3.7
+    scheduling hint for the bulk-synchronous phases (ignored by the
+    asynchronous variant, whose dispatch is per-task).
+    """
+    if machine is None:
+        machine = SimMachine(1)
+    props = algorithm.properties
+    if asynchronous is None:
+        asynchronous = props.supports_asynchronous
+    if asynchronous:
+        if not props.supports_asynchronous:
+            raise ValueError(
+                f"{algorithm.name}: asynchronous KDG-RNA requires "
+                "structure-based rw-sets and stable sources or a local test"
+            )
+        return _run_async(algorithm, machine, checked, check_safety)
+    return _run_rounds(algorithm, machine, checked, check_safety, chunk_size)
+
+
+# ----------------------------------------------------------------------
+# Round-based executor (Figure 6, KDG-RNA-Executor)
+# ----------------------------------------------------------------------
+def _run_rounds(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine,
+    checked: bool,
+    check_safety: bool,
+    chunk_size: int = 1,
+) -> LoopResult:
+    cm = machine.cost_model
+    props = algorithm.properties
+    factory = algorithm.task_factory()
+    kdg = KDG(check_safety=check_safety)
+    tracker = MinTracker()
+    _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
+
+    executed = 0
+    rounds = 0
+    # Which barriers survive the property-driven fusions (§3.6.3).
+    fuse_test_with_execute = props.stable_source or props.local_safe_source_test
+    fuse_execute_with_update = props.structure_based_rw_sets
+
+    while kdg.not_empty():
+        rounds += 1
+        sources = kdg.sources()
+
+        # Phase 1: safe-source test.
+        if props.stable_source:
+            safe = sources
+            test_costs: list[dict[Category, float]] = []
+        else:
+            view = SourceView(sources, tracker.min_priority())
+            safe = [w for w in sources if algorithm.is_safe(w, view)]
+            test_costs = [
+                {Category.SAFETY_TEST: _safe_test_cost(algorithm, machine)}
+                for _ in sources
+            ]
+            if not fuse_test_with_execute and test_costs:
+                machine.run_phase(test_costs)
+                test_costs = []
+        if not safe:
+            raise LivenessViolation(
+                f"{algorithm.name}: no safe source among {len(sources)} sources "
+                f"({len(kdg)} tasks pending)"
+            )
+        safe.sort(key=Task.key)
+        if check_safety:
+            for w in safe:
+                kdg.protect(w)
+
+        # Phase 2: execute safe sources; subrule R.
+        exec_costs: list[dict[Category, float]] = list(test_costs)
+        records: list[tuple[Task, list[Any], list[Task]]] = []
+        for w in safe:
+            new_items, exec_cycles = execute_task(algorithm, machine, w, checked)
+            neighbors, ops = kdg.remove_task(w)
+            tracker.remove(w)
+            records.append((w, new_items, neighbors))
+            exec_costs.append(
+                {
+                    Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
+                    Category.SCHEDULE: _ops_cycles(machine, ops),
+                }
+            )
+            executed += 1
+        if not fuse_execute_with_update:
+            machine.run_phase(exec_costs, chunk_size=chunk_size)
+            exec_costs = []
+
+        # Phase 3: subrules N and A.
+        update_costs: list[dict[Category, float]] = list(exec_costs)
+        if not props.non_increasing_rw_sets:
+            refreshed: dict[Task, None] = {}
+            for _, _, neighbors in records:
+                for n in neighbors:
+                    if n in kdg.graph:
+                        refreshed[n] = None
+            for n in refreshed:
+                rw = algorithm.compute_rw_set(n)
+                ops = kdg.refresh_task(n, rw)
+                update_costs.append(
+                    {
+                        Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
+                        + _ops_cycles(machine, ops)
+                    }
+                )
+        if not props.no_new_tasks:
+            for _, new_items, _ in records:
+                for item in new_items:
+                    child = factory.make(item)
+                    rw = algorithm.compute_rw_set(child)
+                    ops = kdg.add_task(child, rw, child.write_set)
+                    tracker.add(child)
+                    update_costs.append(
+                        {
+                            Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
+                            + _ops_cycles(machine, ops)
+                        }
+                    )
+        machine.run_phase(update_costs, chunk_size=chunk_size)
+        if check_safety:
+            for w in safe:
+                kdg.unprotect(w)
+
+    return LoopResult(
+        algorithm=algorithm.name,
+        executor="kdg-rna",
+        machine=machine,
+        executed=executed,
+        rounds=rounds,
+        metrics={"tasks_created": factory.created},
+    )
+
+
+# ----------------------------------------------------------------------
+# Asynchronous executor (§3.6.3): no rounds, no barriers
+# ----------------------------------------------------------------------
+def _run_async(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine,
+    checked: bool,
+    check_safety: bool,
+) -> LoopResult:
+    cm = machine.cost_model
+    props = algorithm.properties
+    factory = algorithm.task_factory()
+    kdg = KDG(check_safety=check_safety)
+    tracker = MinTracker()
+    _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
+
+    released: set[Task] = set()
+    parked: set[Task] = set()
+    test_charges = {"count": 0}
+
+    def try_release(candidates: list[Task]) -> list[Task]:
+        """Apply the safe-source test; park failures, release passes."""
+        exposed = []
+        for cand in candidates:
+            if cand in released or cand not in kdg.graph:
+                continue
+            if not kdg.graph.is_source(cand):
+                continue
+            if props.stable_source:
+                safe = True
+            else:
+                test_charges["count"] += 1
+                view = SourceView([cand], tracker.min_priority())
+                safe = algorithm.is_safe(cand, view)
+            if safe:
+                released.add(cand)
+                parked.discard(cand)
+                if check_safety:
+                    kdg.protect(cand)
+                exposed.append(cand)
+            else:
+                parked.add(cand)
+        return exposed
+
+    def step(task: Task) -> tuple[dict[Category, float], list[Task]]:
+        breakdown = {
+            Category.SCHEDULE: cm.worklist_cost(machine.num_threads),
+            Category.EXECUTE: 0.0,
+            Category.SAFETY_TEST: 0.0,
+        }
+        if check_safety:
+            kdg.unprotect(task)
+        new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
+        breakdown[Category.EXECUTE] += exec_cycles
+        neighbors, ops = kdg.remove_task(task)
+        tracker.remove(task)
+        breakdown[Category.SCHEDULE] += _ops_cycles(machine, ops)
+
+        children: list[Task] = []
+        for item in new_items:
+            child = factory.make(item)
+            rw = algorithm.compute_rw_set(child)
+            child_ops = kdg.add_task(child, rw, child.write_set)
+            tracker.add(child)
+            children.append(child)
+            breakdown[Category.SCHEDULE] += rw_visit_cost(
+                algorithm, machine, len(rw)
+            ) + _ops_cycles(machine, child_ops)
+
+        candidates: dict[Task, None] = {}
+        for n in neighbors:
+            candidates[n] = None
+        for c in children:
+            candidates[c] = None
+            for n in kdg.graph.neighbors(c):
+                if n in parked:
+                    candidates[n] = None
+        before = test_charges["count"]
+        exposed = try_release(list(candidates))
+        breakdown[Category.SAFETY_TEST] += (
+            test_charges["count"] - before
+        ) * _safe_test_cost(algorithm, machine)
+        return breakdown, exposed
+
+    initial = try_release(kdg.sources())
+    executed = simulate_async(machine, initial, Task.key, step)
+    if kdg.not_empty():
+        raise LivenessViolation(
+            f"{algorithm.name}: asynchronous executor stalled with "
+            f"{len(kdg)} tasks pending ({len(parked)} parked)"
+        )
+    return LoopResult(
+        algorithm=algorithm.name,
+        executor="kdg-rna-async",
+        machine=machine,
+        executed=executed,
+        metrics={
+            "tasks_created": factory.created,
+            "safe_tests": test_charges["count"],
+        },
+    )

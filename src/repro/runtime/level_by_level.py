@@ -1,0 +1,148 @@
+"""Level-by-level (priority-level) executor (§2.3, §3.6.1, Figure 14).
+
+All tasks whose priority equals the current global minimum form a level and
+are executed before the clock advances.  Within a level, tasks may still
+conflict (share rw-set locations), so each level runs marking sub-rounds —
+mark owners execute, losers retry — exactly the IKDG with a one-level
+window.  Soundness requires the algorithm to be *monotonic* (children never
+have earlier priority than their level) and every earliest-priority source
+to be safe, which the executor checks.
+
+The executor records the statistics of Figure 14: the number of priority
+levels (a critical-path measure) and the average number of tasks per level
+(a parallelism measure).
+"""
+
+from __future__ import annotations
+
+from ..core.algorithm import OrderedAlgorithm
+from ..core.task import Task
+from ..galois.worklist import OrderedWorklist
+from ..machine import Category, SimMachine
+from .base import LoopResult, execute_task, rw_visit_cost
+
+
+def run_level_by_level(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine | None = None,
+    checked: bool = False,
+) -> LoopResult:
+    """Run ``algorithm`` level by level, recording level statistics."""
+    if machine is None:
+        machine = SimMachine(1)
+    if not algorithm.properties.monotonic:
+        raise ValueError(
+            f"{algorithm.name}: level-by-level execution requires monotonicity"
+        )
+    cm = machine.cost_model
+    factory = algorithm.task_factory()
+    worklist: OrderedWorklist[Task] = OrderedWorklist(
+        Task.key, factory.make_all(algorithm.initial_items)
+    )
+    machine.run_phase(
+        [{Category.SCHEDULE: cm.pq_cost(len(worklist))} for _ in range(len(worklist))]
+    )
+
+    executed = 0
+    num_levels = 0
+    sub_rounds = 0
+    tasks_per_level: list[int] = []
+
+    while worklist:
+        # Gather the current priority level (the level key strips tie-breaks).
+        level_key = algorithm.level(worklist.peek())
+        level_tasks: list[Task] = []
+        while worklist and algorithm.level(worklist.peek()) == level_key:
+            level_tasks.append(worklist.pop())
+        num_levels += 1
+        level_count = 0
+
+        while level_tasks:
+            sub_rounds += 1
+            # Marking sub-round: owners of all their marks execute (readers
+            # only need no earlier writer — same scheme as the IKDG).
+            marks_all: dict[object, Task] = {}
+            marks_writer: dict[object, Task] = {}
+            mark_costs = []
+            for task in level_tasks:
+                rw = algorithm.compute_rw_set(task)
+                key = task.key()
+                cas = 0
+                for loc in rw:
+                    holder = marks_all.get(loc)
+                    if holder is None or key < holder.key():
+                        marks_all[loc] = task
+                    cas += 1
+                    if loc in task.write_set:
+                        holder = marks_writer.get(loc)
+                        if holder is None or key < holder.key():
+                            marks_writer[loc] = task
+                        cas += 1
+                mark_costs.append(
+                    {
+                        Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
+                        + cm.mark_cas * cas
+                    }
+                )
+            machine.run_phase(mark_costs)
+
+            def is_mark_owner(task: Task) -> bool:
+                key = task.key()
+                for loc in task.rw_set:
+                    if loc in task.write_set:
+                        if marks_all[loc] is not task:
+                            return False
+                    else:
+                        writer = marks_writer.get(loc)
+                        if writer is not None and writer.key() < key:
+                            return False
+                return True
+
+            winners = [t for t in level_tasks if is_mark_owner(t)]
+            losers = [t for t in level_tasks if not is_mark_owner(t)]
+            winners.sort(key=Task.key)
+            exec_costs = []
+            next_batch: list[Task] = list(losers)
+            for task in winners:
+                new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
+                cost = {
+                    Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
+                    Category.SCHEDULE: cm.mark_reset * len(task.rw_set),
+                }
+                for item in new_items:
+                    child = factory.make(item)
+                    child_level = algorithm.level(child)
+                    if child_level < level_key:
+                        raise ValueError(
+                            f"{algorithm.name}: monotonicity violated — child "
+                            f"level {child_level!r} precedes level "
+                            f"{level_key!r}"
+                        )
+                    if child_level == level_key:
+                        next_batch.append(child)
+                    else:
+                        worklist.push(child)
+                    cost[Category.SCHEDULE] += cm.pq_cost(len(worklist))
+                exec_costs.append(cost)
+                executed += 1
+                level_count += 1
+            machine.run_phase(exec_costs)
+            marks_all.clear()
+            marks_writer.clear()
+            level_tasks = next_batch
+        tasks_per_level.append(level_count)
+
+    avg_tasks = executed / num_levels if num_levels else 0.0
+    return LoopResult(
+        algorithm=algorithm.name,
+        executor="level-by-level",
+        machine=machine,
+        executed=executed,
+        rounds=sub_rounds,
+        metrics={
+            "num_levels": num_levels,
+            "avg_tasks_per_level": avg_tasks,
+            "max_tasks_per_level": max(tasks_per_level) if tasks_per_level else 0,
+            "tasks_created": factory.created,
+        },
+    )

@@ -1,0 +1,307 @@
+"""Speculative (optimistic) executor with in-order commit (§2.3, Fig. 13).
+
+Models the Kulkarni-style ordered speculation the paper compares against:
+threads take the earliest pending tasks, execute them optimistically while
+holding locks on their rw-sets, and a task commits only once every
+earlier-priority live task has committed — through a serial commit queue.
+A conflict between two in-flight tasks aborts the later one (wasting its
+work plus undo-log overhead); a task that would conflict with an earlier
+in-flight task parks until that task commits.
+
+Implementation is two-pass: a serial *trace* pass records each task's
+priority, rw-set, work and children (so application state is exact and
+identical to the serial executor), then an event-driven replay simulates
+the speculative schedule, charging EXECUTE (useful work), ABORT (wasted
+work + undo), COMMIT (commit-queue wait + commit operation), SCHEDULE and
+IDLE cycles.  Children become visible when their parent *commits*, matching
+in-order commit semantics and avoiding cascading squashes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.algorithm import OrderedAlgorithm
+from ..core.task import Task
+from ..galois.priorityqueue import BinaryHeap
+from ..machine import Category, SimMachine
+from .base import LoopResult
+
+
+@dataclass
+class _TraceNode:
+    tid: int
+    key: tuple[Any, int]
+    rw_set: tuple[Any, ...]
+    write_set: frozenset
+    work: float
+    children: list[int] = field(default_factory=list)
+
+
+def _build_trace(
+    algorithm: OrderedAlgorithm, checked: bool
+) -> tuple[dict[int, _TraceNode], list[int]]:
+    """Serial pass: execute in priority order, recording the task DAG."""
+    factory = algorithm.task_factory()
+    initial_tasks = factory.make_all(algorithm.initial_items)
+    heap = BinaryHeap(lambda t: t.key(), initial_tasks)
+    roots = [t.tid for t in initial_tasks]
+    nodes: dict[int, _TraceNode] = {}
+    while heap:
+        task = heap.pop()
+        rw = algorithm.compute_rw_set(task)
+        ctx = algorithm.execute_body(task, checked=checked)
+        node = _TraceNode(task.tid, task.key(), rw, task.write_set, ctx.work_done)
+        nodes[task.tid] = node
+        for item in ctx.pushed:
+            child = factory.make(item)
+            node.children.append(child.tid)
+            heap.push(child)
+    return nodes, roots
+
+
+class _Replay:
+    """Event-driven replay of the trace under speculative execution."""
+
+    def __init__(
+        self,
+        nodes: dict[int, _TraceNode],
+        roots: list[int],
+        machine: SimMachine,
+        memory_fraction: float = 0.0,
+    ):
+        self.nodes = nodes
+        self.machine = machine
+        self.cm = machine.cost_model
+        self.exec_inflation = machine.cost_model.bandwidth_slowdown(
+            machine.num_threads, memory_fraction
+        )
+        self.seq = 0
+        self.events: list[tuple[float, int, str, Any]] = []
+        self.pending: list[tuple[tuple[Any, int], int]] = []
+        self.state: dict[int, str] = {}
+        self.live: list[tuple[tuple[Any, int], int]] = []
+        self.parked: dict[int, list[int]] = {}
+        # loc -> holder tids; readers share, writers exclude.
+        self.locks: dict[Any, dict[int, None]] = {}
+        self.thread_of: dict[int, int] = {}
+        self.exec_gen: dict[int, int] = {}
+        self.start_time: dict[int, float] = {}
+        self.finish_time: dict[int, float] = {}
+        self.idle: list[int] = list(range(machine.num_threads))
+        heapq.heapify(self.idle)
+        self.thread_clock = [0.0] * machine.num_threads
+        self.commit_free_at = 0.0
+        self.committing: int | None = None
+        self.commits = 0
+        self.aborts = 0
+        for tid in roots:
+            self._make_live(tid)
+
+    # -- helpers -------------------------------------------------------
+    def _push_event(self, time: float, kind: str, payload: Any) -> None:
+        heapq.heappush(self.events, (time, self.seq, kind, payload))
+        self.seq += 1
+
+    def _make_live(self, tid: int) -> None:
+        key = self.nodes[tid].key
+        heapq.heappush(self.live, (key, tid))
+        heapq.heappush(self.pending, (key, tid))
+        self.state[tid] = "pending"
+        self.exec_gen.setdefault(tid, 0)
+
+    def _charge(
+        self,
+        thread: int,
+        now: float,
+        category: Category,
+        cycles: float,
+        gap_category: Category = Category.IDLE,
+    ) -> None:
+        """Charge busy cycles; any gap since the thread's clock is charged to
+        ``gap_category`` (idle by default)."""
+        gap = now - self.thread_clock[thread]
+        if gap > 1e-12:
+            self.machine.stats.charge(thread, gap_category, gap)
+            self.thread_clock[thread] = now
+        self.machine.stats.charge(thread, category, cycles)
+        self.thread_clock[thread] += cycles
+
+    def _min_live(self) -> int | None:
+        while self.live:
+            key, tid = self.live[0]
+            if self.state.get(tid) == "committed":
+                heapq.heappop(self.live)
+            else:
+                return tid
+        return None
+
+    # -- core actions --------------------------------------------------
+    def _dispatch(self, now: float) -> None:
+        while self.idle and self.pending:
+            key, tid = self.pending[0]
+            if self.state.get(tid) != "pending":
+                heapq.heappop(self.pending)
+                continue
+            node = self.nodes[tid]
+            conflicts = set()
+            for loc in node.rw_set:
+                holders = self.locks.get(loc)
+                if not holders:
+                    continue
+                i_write = loc in node.write_set
+                for holder in holders:
+                    if holder == tid:
+                        continue
+                    if i_write or loc in self.nodes[holder].write_set:
+                        conflicts.add(holder)
+            earlier = [c for c in conflicts if self.nodes[c].key < key]
+            if earlier:
+                # Park on the earliest blocker; resume when it commits.
+                heapq.heappop(self.pending)
+                blocker = min(earlier, key=lambda c: self.nodes[c].key)
+                self.parked.setdefault(blocker, []).append(tid)
+                self.state[tid] = "parked"
+                continue
+            heapq.heappop(self.pending)
+            thread = heapq.heappop(self.idle)
+            self._charge(
+                thread, now, Category.SCHEDULE, self.cm.worklist_cost(self.machine.num_threads)
+            )
+            for victim in sorted(conflicts, key=lambda c: self.nodes[c].key):
+                self._abort(victim, now, blocker=tid)
+            for loc in node.rw_set:
+                self.locks.setdefault(loc, {})[tid] = None
+            self.state[tid] = "running"
+            self.thread_of[tid] = thread
+            self.start_time[tid] = self.thread_clock[thread]
+            # Speculative execution writes an undo log as it goes (the
+            # paper: "the overhead of copying state and storing undo
+            # actions is significant").
+            duration = (
+                self.cm.work_cost(node.work) * self.exec_inflation
+                + self.cm.undo_log_per_work * node.work
+                + self.cm.rw_visit * len(node.rw_set)
+            )
+            finish = self.thread_clock[thread] + duration
+            self._push_event(finish, "finish", (tid, self.exec_gen[tid]))
+
+    def _abort(self, victim: int, now: float, blocker: int) -> None:
+        """Abort a later in-flight task that conflicts with ``blocker``."""
+        self.aborts += 1
+        node = self.nodes[victim]
+        thread = self.thread_of.pop(victim)
+        overhead = self.cm.abort_base + self.cm.undo_log_per_work * node.work
+        if self.state[victim] == "running":
+            self.exec_gen[victim] += 1  # cancel its finish event
+            # Partial execution so far (thread clock is at its start) is waste.
+            self._charge(thread, now, Category.ABORT, overhead, gap_category=Category.ABORT)
+        else:  # waiting in the commit queue: its full execution is waste
+            self.machine.stats.reclassify(
+                thread, Category.EXECUTE, Category.ABORT, self.cm.work_cost(node.work)
+            )
+            self._charge(thread, now, Category.ABORT, overhead, gap_category=Category.COMMIT)
+        for loc in node.rw_set:
+            holders = self.locks.get(loc)
+            if holders is not None:
+                holders.pop(victim, None)
+                if not holders:
+                    del self.locks[loc]
+        self._push_event(self.thread_clock[thread], "thread-free", thread)
+        self.parked.setdefault(blocker, []).append(victim)
+        self.state[victim] = "parked"
+
+    def _try_commit(self, now: float) -> None:
+        if self.committing is not None:
+            return
+        tid = self._min_live()
+        if tid is None or self.state.get(tid) != "waiting":
+            return
+        start = max(now, self.commit_free_at, self.finish_time[tid])
+        done = start + self.cm.commit_op
+        self.commit_free_at = done
+        self.committing = tid
+        self.state[tid] = "committing"
+        self._push_event(done, "commit-done", tid)
+
+    # -- event loop ----------------------------------------------------
+    def run(self) -> int:
+        now = 0.0
+        self._dispatch(now)
+        self._try_commit(now)
+        while self.events:
+            now, _, kind, payload = heapq.heappop(self.events)
+            if kind == "finish":
+                tid, gen = payload
+                if gen != self.exec_gen[tid] or self.state.get(tid) != "running":
+                    continue
+                self.state[tid] = "waiting"
+                self.finish_time[tid] = now
+                thread = self.thread_of[tid]
+                # Thread clock sits at the task's start; the span to ``now``
+                # is its (so far useful) execution.
+                self._charge(thread, now, Category.EXECUTE, 0.0, gap_category=Category.EXECUTE)
+                self._try_commit(now)
+            elif kind == "commit-done":
+                tid = payload
+                self.commits += 1
+                self.committing = None
+                self.state[tid] = "committed"
+                node = self.nodes[tid]
+                thread = self.thread_of.pop(tid)
+                wait = max(0.0, now - self.finish_time[tid])
+                self._charge(thread, self.finish_time[tid], Category.COMMIT, wait)
+                for loc in node.rw_set:
+                    holders = self.locks.get(loc)
+                    if holders is not None:
+                        holders.pop(tid, None)
+                        if not holders:
+                            del self.locks[loc]
+                push_cost = self.cm.pq_cost(len(self.pending) + 1)
+                for child in node.children:
+                    self._make_live(child)
+                    self._charge(thread, self.thread_clock[thread], Category.SCHEDULE, push_cost)
+                heapq.heappush(self.idle, thread)
+                for parked in self.parked.pop(tid, []):
+                    key = self.nodes[parked].key
+                    heapq.heappush(self.pending, (key, parked))
+                    self.state[parked] = "pending"
+                self._try_commit(now)
+                self._dispatch(max(now, self.thread_clock[thread]))
+            elif kind == "thread-free":
+                heapq.heappush(self.idle, payload)
+                self._dispatch(max(now, self.thread_clock[payload]))
+            self._dispatch(now)
+            self._try_commit(now)
+        if self._min_live() is not None:
+            raise RuntimeError("speculation replay deadlocked")
+        end = max(self.thread_clock)
+        for thread in range(self.machine.num_threads):
+            gap = end - self.thread_clock[thread]
+            if gap > 0:
+                self.machine.stats.charge(thread, Category.IDLE, gap)
+                self.thread_clock[thread] = end
+            self.machine.set_clock(thread, self.thread_clock[thread])
+        return self.commits
+
+
+def run_speculation(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine | None = None,
+    checked: bool = False,
+) -> LoopResult:
+    """Run ``algorithm`` under the speculative executor."""
+    if machine is None:
+        machine = SimMachine(1)
+    nodes, roots = _build_trace(algorithm, checked)
+    replay = _Replay(nodes, roots, machine, algorithm.memory_bound_fraction)
+    executed = replay.run()
+    return LoopResult(
+        algorithm=algorithm.name,
+        executor="speculation",
+        machine=machine,
+        executed=executed,
+        metrics={"aborts": replay.aborts, "commits": replay.commits},
+    )

@@ -1,0 +1,41 @@
+"""Windowing policies (§3.6.1).
+
+Rather than build the KDG over every pending task, executors may restrict it
+to a *priority prefix* — the window.  The window grows adaptively when
+threads lack work.  Level-by-level execution is the degenerate windowing
+strategy whose window is exactly one priority level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdaptiveWindow:
+    """Grow-on-starvation window sizing.
+
+    A round that commits fewer than ``target_per_thread × threads`` tasks
+    indicates starvation, so the next window doubles (up to ``max_size``).
+    The window never shrinks: rw-set marking costs grow only linearly with
+    window size, while starvation serializes the whole round.
+    """
+
+    initial: int = 64
+    max_size: int = 1 << 22
+    target_per_thread: int = 4
+    growth: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.initial < 1:
+            raise ValueError("initial window must be >= 1")
+        if self.growth <= 1.0:
+            raise ValueError("growth factor must exceed 1")
+
+    def first_size(self, num_threads: int) -> int:
+        return min(self.max_size, max(self.initial, num_threads))
+
+    def next_size(self, current: int, committed: int, num_threads: int) -> int:
+        if committed < self.target_per_thread * num_threads:
+            return min(self.max_size, int(current * self.growth))
+        return current

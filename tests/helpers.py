@@ -1,0 +1,70 @@
+"""Shared test helpers: tiny workloads and a toy ordered algorithm."""
+
+from __future__ import annotations
+
+from repro import AlgorithmProperties, OrderedAlgorithm
+from repro.apps import avi, bfs, billiards, des, lu, mst, treesum
+
+#: Tiny state builders per app: fast enough for the full executor matrix.
+TINY_STATES = {
+    "avi": lambda: avi.make_state(6, 6, end_time=0.3, seed=11),
+    "mst": lambda: mst.make_grid_state(12, 12, seed=11),
+    "billiards": lambda: billiards.make_state(24, end_time=10.0, seed=11),
+    "lu": lambda: lu.make_state(8, 6, seed=11),
+    "des": lambda: des.make_adder_state(8, vectors=4, seed=11),
+    "bfs": lambda: bfs.make_grid_state(16, 16, seed=11),
+    "treesum": lambda: treesum.make_state(800, leaf_size=8, seed=11),
+}
+
+
+class ChainCounter:
+    """Toy app: ``cells`` counters, each bumped by a chain of ordered tasks.
+
+    Task ``(step, cell)`` adds ``step`` to its cell's sum and pushes
+    ``(step + 1, cell)`` until ``steps`` per cell are done.  Tasks on the
+    same cell conflict; tasks on different cells are independent.  The
+    final sums are a simple serializability oracle.
+    """
+
+    def __init__(self, cells: int = 4, steps: int = 6, work: float = 40.0):
+        self.cells = cells
+        self.steps = steps
+        self.work = work
+        self.sums = [0] * cells
+        self.history: list[tuple[int, int]] = []
+
+    def algorithm(self, **overrides) -> OrderedAlgorithm:
+        properties = overrides.pop(
+            "properties",
+            AlgorithmProperties(
+                stable_source=True,
+                monotonic=True,
+                structure_based_rw_sets=True,
+            ),
+        )
+
+        def visit(item, ctx):
+            ctx.write(("cell", item[1]))
+
+        def body(item, ctx):
+            step, cell = item
+            ctx.access(("cell", cell))
+            ctx.work(self.work)
+            self.sums[cell] += step
+            self.history.append(item)
+            if step + 1 <= self.steps:
+                ctx.push((step + 1, cell))
+
+        return OrderedAlgorithm(
+            name="chain-counter",
+            initial_items=[(1, c) for c in range(self.cells)],
+            priority=lambda item: (item[0], item[1]),
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=properties,
+            **overrides,
+        )
+
+    def expected_sums(self) -> list[int]:
+        total = self.steps * (self.steps + 1) // 2
+        return [total] * self.cells

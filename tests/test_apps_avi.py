@@ -1,0 +1,80 @@
+"""Domain tests for the AVI application."""
+
+import numpy as np
+import pytest
+
+from repro import SimMachine
+from repro.apps import avi
+from repro.runtime import run_serial
+
+
+@pytest.fixture()
+def small_state():
+    return avi.make_state(5, 5, end_time=0.3, seed=3)
+
+
+class TestAVIState:
+    def test_heterogeneous_steps(self, small_state):
+        # Steps must differ (this is what starves level-by-level).
+        assert len(np.unique(small_state.step)) > small_state.step.size // 2
+
+    def test_initial_items_cover_all_elements(self, small_state):
+        items = small_state.initial_items()
+        elems = {e for e, _ in items}
+        assert elems == set(range(small_state.mesh.num_elements))
+
+    def test_element_update_touches_only_its_vertices(self, small_state):
+        before_disp = small_state.disp.copy()
+        before_vel = small_state.vel.copy()
+        small_state.element_update(0)
+        touched = set(small_state.mesh.vertices_of(0))
+        for v in range(small_state.mesh.num_vertices):
+            if v not in touched:
+                assert (small_state.disp[v] == before_disp[v]).all()
+                assert (small_state.vel[v] == before_vel[v]).all()
+
+    def test_update_counts(self, small_state):
+        small_state.element_update(3)
+        small_state.element_update(3)
+        assert small_state.updates_done[3] == 2
+
+
+class TestAVIRun:
+    def test_serial_run_advances_all_elements(self, small_state):
+        result = run_serial(avi.make_algorithm(small_state), SimMachine(1))
+        small_state.validate()
+        assert result.executed == int(small_state.updates_done.sum())
+
+    def test_element_times_strictly_ordered_per_element(self, small_state):
+        # Every element's next_time must exceed end_time - one step.
+        run_serial(avi.make_algorithm(small_state), SimMachine(1))
+        slack = small_state.next_time - small_state.end_time
+        assert (slack >= 0).all()
+        assert (slack <= small_state.step + 1e-12).all()
+
+    def test_displacements_bounded(self, small_state):
+        run_serial(avi.make_algorithm(small_state), SimMachine(1))
+        assert np.abs(small_state.disp).max() < 1.0  # no blow-up
+
+    def test_priority_embeds_tie_break(self):
+        state = avi.make_state(3, 3, end_time=0.2)
+        algorithm = avi.make_algorithm(state)
+        assert algorithm.priority((7, 0.5)) == (0.5, 7)
+
+    def test_rw_set_is_vertices_plus_element(self):
+        state = avi.make_state(3, 3, end_time=0.2)
+        algorithm = avi.make_algorithm(state)
+        task = algorithm.task_factory().make((0, 0.1))
+        rw = algorithm.compute_rw_set(task)
+        vertices = {("vertex", v) for v in state.mesh.vertices_of(0)}
+        assert set(rw) == vertices | {("element", 0)}
+
+    def test_manual_executes_same_update_count(self, small_state):
+        reference = avi.make_state(5, 5, end_time=0.3, seed=3)
+        run_serial(avi.make_algorithm(reference), SimMachine(1))
+        result = avi.run_manual(small_state, SimMachine(4))
+        assert result.executed == int(reference.updates_done.sum())
+
+    def test_properties_choose_async_rna(self):
+        assert avi.AVI_PROPERTIES.supports_asynchronous
+        assert avi.AVI_PROPERTIES.monotonic

@@ -1,0 +1,85 @@
+"""Tests for the application harness (AppSpec) and the registry."""
+
+import pytest
+
+from repro import SimMachine
+from repro.apps import APPS, PAPER_IMPLS
+from repro.runtime import EXECUTORS
+
+from .helpers import TINY_STATES
+
+
+class TestRegistry:
+    def test_all_seven_apps_registered(self):
+        assert set(APPS) == {"avi", "mst", "billiards", "lu", "des", "bfs", "treesum"}
+
+    def test_paper_impls(self):
+        assert PAPER_IMPLS == ("serial", "kdg-auto", "kdg-manual", "other")
+
+    def test_every_app_has_manual(self):
+        for spec in APPS.values():
+            assert spec.has_impl("kdg-manual"), spec.name
+
+    def test_other_absent_exactly_for_avi_and_billiards(self):
+        missing = {name for name, spec in APPS.items() if not spec.has_impl("other")}
+        assert missing == {"avi", "billiards"}  # the paper's "-" entries
+
+
+class TestAutoExecutorSelection:
+    """§4's executor choices, per application."""
+
+    @pytest.mark.parametrize(
+        "app,expected",
+        [
+            ("avi", "kdg-rna"),       # async RNA (stable + structure-based)
+            ("lu", "kdg-rna"),        # same as AVI (§4.4)
+            ("des", "kdg-rna"),       # async via local safe test
+            ("treesum", "kdg-rna"),   # conventional task graph
+            ("mst", "ikdg"),          # changing rw-sets
+            ("billiards", "ikdg"),    # global safe test + stale events
+            ("bfs", "ikdg"),          # level windowing
+        ],
+    )
+    def test_choice_matches_paper(self, app, expected):
+        assert APPS[app].auto_executor() == expected
+
+
+class TestRunDispatch:
+    def test_unknown_impl_rejected(self):
+        with pytest.raises(ValueError, match="unknown implementation"):
+            APPS["avi"].run(TINY_STATES["avi"](), "warp-drive", SimMachine(1))
+
+    def test_missing_other_rejected(self):
+        with pytest.raises(ValueError, match="third-party"):
+            APPS["avi"].run(TINY_STATES["avi"](), "other", SimMachine(2))
+
+    def test_named_executor_dispatch(self):
+        state = TINY_STATES["mst"]()
+        result = APPS["mst"].run(state, "speculation", SimMachine(2))
+        assert result.executor == "speculation"
+
+    def test_serial_best_defaults_to_serial(self):
+        state = TINY_STATES["mst"]()  # no run_serial_best override
+        result = APPS["mst"].run(state, "serial-best", SimMachine(1))
+        assert result.executor == "serial"
+
+    def test_bfs_serial_best_is_two_level(self):
+        state = TINY_STATES["bfs"]()
+        result = APPS["bfs"].run(state, "serial-best", SimMachine(1))
+        assert result.executor == "manual-two-level"
+
+    def test_executors_registry_complete(self):
+        assert set(EXECUTORS) == {
+            "serial", "kdg-rna", "ikdg", "level-by-level", "speculation",
+        }
+
+    @pytest.mark.parametrize("app", sorted(TINY_STATES))
+    def test_small_and_large_states_build(self, app):
+        # Builders must work (sizes themselves are exercised in benchmarks).
+        spec = APPS[app]
+        assert spec.make_small() is not None
+
+    def test_memory_fractions_declared(self):
+        for name, spec in APPS.items():
+            algorithm = spec.algorithm(TINY_STATES[name]())
+            assert 0.0 < algorithm.memory_bound_fraction <= 1.0, name

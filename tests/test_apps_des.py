@@ -1,0 +1,130 @@
+"""Domain tests for DES: circuit arithmetic as the functional oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SimMachine
+from repro.apps import des
+from repro.inputs import kogge_stone_adder, tree_multiplier
+from repro.runtime import run_serial
+
+
+def drive(circuit, vectors):
+    """Run the DES ordered loop over the given stimulus; return outputs."""
+    state = des.DESState(circuit, vectors)
+    run_serial(des.make_algorithm(state), SimMachine(1))
+    state.validate()
+    return state.output_values()
+
+
+def bits_of(value, n, prefix):
+    return {f"{prefix}{i}": (value >> i) & 1 for i in range(n)}
+
+
+class TestCircuitGenerators:
+    @pytest.mark.parametrize("bits", [1, 4, 8])
+    def test_adder_functional_eval(self, bits):
+        circuit = kogge_stone_adder(bits)
+        a, b = 2**bits - 1, 1  # worst-case carry chain
+        out = circuit.evaluate({**bits_of(a, bits, "a"), **bits_of(b, bits, "b")})
+        total = sum(out[f"s{i}"] << i for i in range(bits + 1))
+        assert total == a + b
+
+    @pytest.mark.parametrize("bits", [1, 3, 6])
+    def test_multiplier_functional_eval(self, bits):
+        circuit = tree_multiplier(bits)
+        a, b = (2**bits - 1), (2**bits - 2) or 1
+        out = circuit.evaluate({**bits_of(a, bits, "a"), **bits_of(b, bits, "b")})
+        product = sum(out[f"p{i}"] << i for i in range(2 * bits))
+        assert product == a * b
+
+    def test_circuit_is_acyclic(self):
+        kogge_stone_adder(8)._topological_order()  # raises on a cycle
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_adder_random_inputs(self, a, b):
+        circuit = kogge_stone_adder(8)
+        out = circuit.evaluate({**bits_of(a, 8, "a"), **bits_of(b, 8, "b")})
+        assert sum(out[f"s{i}"] << i for i in range(9)) == a + b
+
+
+class TestDESSimulation:
+    def test_single_vector_adder(self):
+        circuit = kogge_stone_adder(6)
+        out = drive(circuit, [{**bits_of(37, 6, "a"), **bits_of(21, 6, "b")}])
+        assert sum(out[f"s{i}"] << i for i in range(7)) == 58
+
+    def test_vector_sequence_settles_to_last(self):
+        circuit = kogge_stone_adder(5)
+        vectors = [
+            {**bits_of(3, 5, "a"), **bits_of(4, 5, "b")},
+            {**bits_of(17, 5, "a"), **bits_of(9, 5, "b")},
+        ]
+        out = drive(circuit, vectors)
+        assert sum(out[f"s{i}"] << i for i in range(6)) == 26
+
+    def test_multiplier_simulation(self):
+        circuit = tree_multiplier(4)
+        out = drive(circuit, [{**bits_of(13, 4, "a"), **bits_of(11, 4, "b")}])
+        assert sum(out[f"p{i}"] << i for i in range(8)) == 143
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=10, deadline=None)
+    def test_des_adder_random(self, a, b):
+        circuit = kogge_stone_adder(4)
+        out = drive(circuit, [{**bits_of(a, 4, "a"), **bits_of(b, 4, "b")}])
+        assert sum(out[f"s{i}"] << i for i in range(5)) == a + b
+
+    def test_event_times_strictly_increase_per_link(self):
+        state = des.make_adder_state(4, vectors=3, seed=1)
+        run_serial(des.make_algorithm(state), SimMachine(1))
+        # After the run, every link's last arrival is finite and queues empty.
+        for gate in range(state.circuit.num_gates):
+            for q in state.pending[gate]:
+                assert not q
+
+    def test_flush_closes_channels(self):
+        state = des.make_adder_state(4, vectors=2, seed=1)
+        run_serial(des.make_algorithm(state), SimMachine(1))
+        for gate_id in range(state.circuit.num_gates):
+            assert all(state.flushed[gate_id]), f"gate {gate_id} not flushed"
+            assert all(c == float("inf") for c in state.port_clock[gate_id])
+
+    def test_safe_test_requires_all_ports_bounded(self):
+        state = des.make_adder_state(4, vectors=2, seed=1)
+        # Find a 2-input gate and craft its pending state.
+        gate = next(
+            g.gid for g in state.circuit.gates if len(g.fanin) == 2
+        )
+        event = state._arrive(5.0, gate, 0, des.simulation.VAL, 1)
+        assert not state.is_safe_event(event)  # port 1 clock is 0 < 5
+        state.port_clock[gate][1] = 10.0
+        assert state.is_safe_event(event)
+
+    def test_out_of_order_consumption_rejected(self):
+        state = des.make_adder_state(4, vectors=2, seed=1)
+        gate = state.circuit.inputs["a0"]
+        first = state.pending[gate][0][0]
+        second = state.pending[gate][0][-1]
+        if first is not second:
+            with pytest.raises(RuntimeError, match="FIFO"):
+                state.process_event(second)
+
+    def test_chandy_misra_emits_nulls(self):
+        state = des.make_multiplier_state(4, vectors=4, seed=2)
+        result = des.run_other(state, SimMachine(2))
+        state.validate()
+        assert result.metrics["null_events"] > 0
+
+    def test_manual_no_nulls(self):
+        state = des.make_multiplier_state(4, vectors=4, seed=2)
+        result = des.run_manual(state, SimMachine(2))
+        state.validate()
+        assert result.metrics["null_events"] == 0
+
+    def test_properties_select_async(self):
+        assert des.DES_PROPERTIES.supports_asynchronous
+        assert des.DES_PROPERTIES.local_safe_source_test
+        assert not des.DES_PROPERTIES.stable_source

@@ -1,0 +1,246 @@
+"""Domain tests for LU, Billiards and tree traversal."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SimMachine
+from repro.apps import billiards, lu, treesum
+from repro.apps.lu import kernels
+from repro.inputs import sparse_blocked_matrix, symbolic_fill
+from repro.runtime import run_serial
+
+
+class TestLUKernels:
+    def test_lu0_factorization(self):
+        rng = np.random.RandomState(0)
+        a = rng.rand(6, 6) + 6 * np.eye(6)
+        packed = a.copy()
+        kernels.lu0(packed)
+        lower, upper = kernels.unpack_lu(packed)
+        assert np.allclose(lower @ upper, a)
+
+    def test_lu0_zero_pivot_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            kernels.lu0(np.zeros((3, 3)))
+
+    def test_fwd_solves_lower_system(self):
+        rng = np.random.RandomState(1)
+        a = rng.rand(5, 5) + 5 * np.eye(5)
+        packed = a.copy()
+        kernels.lu0(packed)
+        lower, _ = kernels.unpack_lu(packed)
+        b = rng.rand(5, 5)
+        x = b.copy()
+        kernels.fwd(packed, x)
+        assert np.allclose(lower @ x, b)
+
+    def test_bdiv_solves_upper_system(self):
+        rng = np.random.RandomState(2)
+        a = rng.rand(5, 5) + 5 * np.eye(5)
+        packed = a.copy()
+        kernels.lu0(packed)
+        _, upper = kernels.unpack_lu(packed)
+        b = rng.rand(5, 5)
+        x = b.copy()
+        kernels.bdiv(packed, x)
+        assert np.allclose(x @ upper, b)
+
+    def test_bmod_update(self):
+        rng = np.random.RandomState(3)
+        a_ik, a_kj = rng.rand(4, 4), rng.rand(4, 4)
+        a_ij = rng.rand(4, 4)
+        expected = a_ij - a_ik @ a_kj
+        kernels.bmod(a_ik, a_kj, a_ij)
+        assert np.allclose(a_ij, expected)
+
+
+class TestLUApp:
+    def test_symbolic_fill_allocates(self):
+        mat = sparse_blocked_matrix(10, 4, bandwidth=1, extra_density=0.2, seed=1)
+        before = mat.nnz_blocks()
+        fill = symbolic_fill(mat)
+        assert mat.nnz_blocks() == before + fill
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_factorization_residual(self, seed):
+        state = lu.make_state(8, 5, seed=seed)
+        run_serial(lu.make_algorithm(state), SimMachine(1))
+        state.validate()  # checks ||LU - A|| small
+
+    def test_task_mix(self):
+        state = lu.make_state(6, 4, seed=0)
+        result = run_serial(lu.make_algorithm(state), SimMachine(1))
+        assert state.tasks_run["lu0"] == 6
+        assert result.executed == sum(state.tasks_run.values())
+        assert state.tasks_run["bmod"] >= state.tasks_run["fwd"]
+
+    def test_manual_matches_serial_factors(self):
+        a = lu.make_state(7, 4, seed=4)
+        run_serial(lu.make_algorithm(a), SimMachine(1))
+        b = lu.make_state(7, 4, seed=4)
+        lu.run_manual(b, SimMachine(4))
+        assert a.snapshot() == b.snapshot()
+
+    def test_rw_set_nesting(self):
+        """Child rw-sets must be subsets of the parent's (structure-based)."""
+        state = lu.make_state(6, 4, seed=0)
+        algorithm = lu.make_algorithm(state)
+        factory = algorithm.task_factory()
+        parent = factory.make(("lu0", 2))
+        parent_rw = set(algorithm.compute_rw_set(parent))
+        for j in state.row_blocks(2):
+            child = factory.make(("fwd", 2, j))
+            assert set(algorithm.compute_rw_set(child)) <= parent_rw
+        for i in state.col_blocks(2):
+            child = factory.make(("bdiv", 2, i))
+            assert set(algorithm.compute_rw_set(child)) <= parent_rw
+
+    def test_priorities_order_stages_and_types(self):
+        state = lu.make_state(5, 4, seed=0)
+        algorithm = lu.make_algorithm(state)
+        p = algorithm.priority
+        assert p(("lu0", 0)) < p(("fwd", 0, 1)) < p(("bmod", 0, 1, 1)) < p(("lu0", 1))
+
+
+class TestBilliards:
+    @pytest.fixture()
+    def state(self):
+        return billiards.make_state(16, end_time=8.0, seed=2)
+
+    def test_energy_conserved(self, state):
+        initial = float((state.vel**2).sum())
+        run_serial(billiards.make_algorithm(state), SimMachine(1))
+        assert float((state.vel**2).sum()) == pytest.approx(initial)
+
+    def test_balls_stay_on_table(self, state):
+        run_serial(billiards.make_algorithm(state), SimMachine(1))
+        state.validate()
+
+    def test_collisions_happen(self, state):
+        run_serial(billiards.make_algorithm(state), SimMachine(1))
+        assert state.collisions + state.wall_bounces > 0
+
+    def test_momentum_changes_only_via_walls(self):
+        # On a huge table (no wall hits within the horizon), total momentum
+        # is conserved by ball-ball collisions.
+        state = billiards.BilliardsState(
+            12, table_size=200.0, end_time=5.0, seed=3
+        )
+        initial = state.vel.sum(axis=0).copy()
+        run_serial(billiards.make_algorithm(state), SimMachine(1))
+        if state.wall_bounces == 0:
+            assert np.allclose(state.vel.sum(axis=0), initial)
+
+    def test_pair_hit_symmetry(self, state):
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert state._pair_hit(a, b) == state._pair_hit(b, a)
+
+    def test_pair_hit_separating_never(self):
+        state = billiards.BilliardsState(2, table_size=50.0, end_time=10.0, seed=0)
+        state.pos[0] = [10.0, 10.0]
+        state.pos[1] = [12.0, 10.0]
+        state.vel[0] = [-1.0, 0.0]
+        state.vel[1] = [1.0, 0.0]
+        assert state._pair_hit(0, 1) == math.inf
+
+    def test_head_on_collision_time(self):
+        state = billiards.BilliardsState(2, table_size=50.0, end_time=10.0, seed=0)
+        state.pos[0] = [10.0, 10.0]
+        state.pos[1] = [15.0, 10.0]
+        state.vel[0] = [1.0, 0.0]
+        state.vel[1] = [-1.0, 0.0]
+        # Gap = 5 - 2r = 4, closing speed 2 -> hit at t = 2.
+        assert state._pair_hit(0, 1) == pytest.approx(2.0)
+
+    def test_stale_event_voids_and_repredicts(self):
+        state = billiards.make_state(8, end_time=15.0, seed=4)
+        event = state.predict(0)
+        assert event is not None
+        state.stamp[event[2]] += 1  # invalidate
+        new_events, _ = state.process(event)
+        assert state.void_events == 1
+        # The owner's stamp did not change only if owner != event[2]...
+        # either way processing must not crash and may re-predict.
+        assert isinstance(new_events, list)
+
+    def test_safe_against_sources_blocks_nearby(self):
+        state = billiards.BilliardsState(3, table_size=60.0, end_time=50.0, seed=0)
+        state.pos[:] = [[10.0, 10.0], [12.0, 10.0], [40.0, 40.0]]
+        state.vel[:] = [[0.5, 0.0], [0.0, 0.0], [0.0, 0.1]]
+        near = (5.0, billiards.simulation.BALL, 0, 1, 0, 0, 0)
+        far_early = (1.0, billiards.simulation.WALL, 2, 0, 0, 0, 2)
+        # Ball 2 is 40 units away; it cannot disturb the (0,1) event at t=5.
+        assert state.is_safe_against_sources(near, [far_early])
+        # But an earlier event *right next to* the pair is disqualifying.
+        close_early = (4.9, billiards.simulation.WALL, 1, 0, 0, 0, 1)
+        later = (5.0, billiards.simulation.BALL, 0, 1, 0, 0, 0)
+        assert not state.is_safe_against_sources(later, [close_early])
+
+
+class TestTreeSum:
+    def test_tree_partitions_bodies(self):
+        state = treesum.make_state(500, leaf_size=4, seed=1)
+        leaf_members = np.concatenate(
+            [state.tree.bodies[n] for n in state.tree.leaves()]
+        )
+        assert sorted(leaf_members.tolist()) == list(range(500))
+
+    def test_leaf_size_respected(self):
+        state = treesum.make_state(300, leaf_size=4, seed=2)
+        for n in state.tree.leaves():
+            assert len(state.tree.bodies[n]) <= 4
+
+    def test_serial_summary_correct(self):
+        state = treesum.make_state(400, leaf_size=8, seed=3)
+        run_serial(treesum.make_algorithm(state), SimMachine(1))
+        state.validate()
+
+    def test_manual_matches_serial(self):
+        a = treesum.make_state(400, leaf_size=8, seed=3)
+        run_serial(treesum.make_algorithm(a), SimMachine(1))
+        b = treesum.make_state(400, leaf_size=8, seed=3)
+        treesum.run_manual(b, SimMachine(4))
+        assert a.snapshot() == b.snapshot()
+
+    def test_cilk_other_matches_serial(self):
+        a = treesum.make_state(400, leaf_size=8, seed=3)
+        run_serial(treesum.make_algorithm(a), SimMachine(1))
+        b = treesum.make_state(400, leaf_size=8, seed=3)
+        treesum.run_other(b, SimMachine(4))
+        assert a.snapshot() == b.snapshot()
+
+    def test_priority_is_deeper_first(self):
+        state = treesum.make_state(200, leaf_size=4, seed=0)
+        algorithm = treesum.make_algorithm(state)
+        deepest = max(range(state.tree.num_nodes), key=lambda n: state.tree.depth[n])
+        assert algorithm.priority(deepest) < algorithm.priority(0)  # root last
+
+    def test_conventional_task_graph_properties(self):
+        assert treesum.TREE_PROPERTIES.conventional_task_graph
+        assert treesum.TREE_PROPERTIES.supports_asynchronous
+
+
+class TestBilliardsPerBallTest:
+    """The stricter per-ball bounded-lag test (kept as an alternative P)."""
+
+    def test_earliest_event_always_safe(self):
+        state = billiards.make_state(12, end_time=10.0, seed=1)
+        event = min(state.initial_events())
+        assert state.is_safe_event(event, min_time=event[0])
+
+    def test_far_future_event_unsafe(self):
+        state = billiards.make_state(12, end_time=50.0, seed=1)
+        events = sorted(state.initial_events())
+        if len(events) > 1 and events[-1][0] > events[0][0] + 5.0:
+            assert not state.is_safe_event(events[-1], min_time=events[0][0])
+
+    def test_reach_gap_decreases_with_lag(self):
+        state = billiards.make_state(12, end_time=20.0, seed=2)
+        event = sorted(state.initial_events())[-1]
+        tight = state.reach_gap(event, min_time=event[0])
+        loose = state.reach_gap(event, min_time=event[0] - 5.0)
+        assert loose <= tight

@@ -1,0 +1,157 @@
+"""Domain tests for Kruskal MST and BFS, with networkx as the oracle."""
+
+import networkx as nx
+import pytest
+
+from repro import SimMachine
+from repro.apps import bfs, mst
+from repro.runtime import run_serial
+
+
+def nx_graph(state: mst.MSTState) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(state.num_nodes))
+    for w, u, v, eid in state.items:
+        # networkx keeps one edge per pair; keep the lighter (Kruskal would).
+        if not g.has_edge(u, v) or g[u][v]["weight"] > w:
+            g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestMST:
+    @pytest.mark.parametrize("maker", [
+        lambda: mst.make_grid_state(8, 8, seed=1),
+        lambda: mst.make_grid_state(10, 4, seed=2),
+        lambda: mst.make_random_state(80, avg_degree=5.0, seed=3),
+    ])
+    def test_weight_matches_networkx(self, maker):
+        state = maker()
+        oracle_weight = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_tree(nx_graph(state)).edges(data=True)
+        )
+        run_serial(mst.make_algorithm(state), SimMachine(1))
+        assert state.mst_weight == pytest.approx(oracle_weight)
+
+    def test_tree_edge_count(self):
+        state = mst.make_grid_state(7, 7, seed=0)
+        run_serial(mst.make_algorithm(state), SimMachine(1))
+        assert len(state.mst_edges) == state.num_nodes - 1
+        assert state.uf.num_components == 1
+
+    def test_manual_matches_serial_weight(self):
+        a = mst.make_grid_state(9, 9, seed=4)
+        run_serial(mst.make_algorithm(a), SimMachine(1))
+        b = mst.make_grid_state(9, 9, seed=4)
+        mst.run_manual(b, SimMachine(4))
+        assert b.mst_weight == a.mst_weight
+        assert sorted(b.mst_edges) == sorted(a.mst_edges)
+
+    def test_other_matches_serial_weight(self):
+        a = mst.make_random_state(60, seed=5)
+        run_serial(mst.make_algorithm(a), SimMachine(1))
+        b = mst.make_random_state(60, seed=5)
+        mst.run_other(b, SimMachine(4))
+        assert b.mst_weight == a.mst_weight
+
+    def test_rw_set_directional(self):
+        state = mst.make_grid_state(4, 4, seed=0)
+        algorithm = mst.make_algorithm(state)
+        task = algorithm.task_factory().make(state.items[0])
+        rw = algorithm.compute_rw_set(task)
+        # Fresh singletons have equal rank: both roots written.
+        assert len(rw) == 2
+        assert task.write_set == frozenset(rw)
+
+    def test_self_loop_declared_read_only(self):
+        state = mst.make_grid_state(4, 4, seed=0)
+        w, u, v, eid = state.items[0]
+        state.contract(u, v)
+        algorithm = mst.make_algorithm(state)
+        task = algorithm.task_factory().make((w, u, v, eid))
+        rw = algorithm.compute_rw_set(task)
+        assert len(rw) == 1
+        assert task.write_set == frozenset()
+
+    def test_unequal_rank_writes_smaller_root(self):
+        state = mst.make_grid_state(4, 4, seed=0)
+        # Build a rank-2 component around node 0.
+        state.contract(0, 1)
+        state.contract(2, 3)
+        state.contract(0, 2)
+        big_root = state.uf.find(0)
+        lone = 8
+        algorithm = mst.make_algorithm(state)
+        task = algorithm.task_factory().make((1.0, lone, 0, 999))
+        algorithm.compute_rw_set(task)
+        assert task.write_set == frozenset({("comp", lone)})
+        assert ("comp", big_root) in task.rw_set
+
+    def test_properties(self):
+        assert mst.MST_PROPERTIES.stable_source
+        assert mst.MST_PROPERTIES.no_new_tasks
+        assert not mst.MST_PROPERTIES.non_increasing_rw_sets
+
+
+class TestBFS:
+    @pytest.mark.parametrize("maker", [
+        lambda: bfs.make_grid_state(9, 9, seed=1),
+        lambda: bfs.make_random_state(120, avg_degree=4.0, seed=2),
+    ])
+    def test_distances_match_networkx(self, maker):
+        state = maker()
+        g = nx.Graph()
+        g.add_nodes_from(range(state.graph.num_nodes))
+        g.add_edges_from(state.graph.edges())
+        oracle = nx.single_source_shortest_path_length(g, state.source)
+        run_serial(bfs.make_algorithm(state), SimMachine(1))
+        for node in range(state.graph.num_nodes):
+            expected = oracle.get(node, -1)
+            assert state.dist[node] == expected, f"node {node}"
+
+    def test_manual_matches_serial(self):
+        a = bfs.make_grid_state(11, 7, seed=3)
+        run_serial(bfs.make_algorithm(a), SimMachine(1))
+        b = bfs.make_grid_state(11, 7, seed=3)
+        bfs.run_manual(b, SimMachine(4))
+        assert (a.dist == b.dist).all()
+
+    def test_other_matches_serial(self):
+        a = bfs.make_random_state(100, seed=4)
+        run_serial(bfs.make_algorithm(a), SimMachine(1))
+        b = bfs.make_random_state(100, seed=4)
+        bfs.run_other(b, SimMachine(4))
+        assert (a.dist == b.dist).all()
+
+    def test_grid_has_many_levels_random_few(self):
+        grid = bfs.make_grid_state(20, 20, seed=0)
+        bfs.run_manual(grid, SimMachine(1))
+        random_graph = bfs.make_random_state(400, seed=0)
+        result = bfs.run_manual(random_graph, SimMachine(1))
+        grid_levels = int(grid.dist.max()) + 1
+        random_levels = int(random_graph.dist.max()) + 1
+        assert grid_levels > 3 * random_levels
+        assert result.metrics["num_levels"] == random_levels
+
+    def test_safe_test_admits_only_min_level(self):
+        state = bfs.make_grid_state(5, 5, seed=0)
+        algorithm = bfs.make_algorithm(state)
+        factory = algorithm.task_factory()
+        from repro.core import SourceView
+
+        deep = factory.make((1, 3))   # node 1 at level 3
+        deeper = factory.make((2, 4))
+        view = SourceView([deep, deeper], min_priority=(1, 0))
+        assert not algorithm.is_safe(deep, view)  # global min level is 1
+        view_at_level = SourceView([deep], min_priority=(3, 1))
+        assert algorithm.is_safe(deep, view_at_level)
+
+    def test_stale_update_is_noop(self):
+        state = bfs.make_grid_state(4, 4, seed=0)
+        run_serial(bfs.make_algorithm(state), SimMachine(1))
+        dist_before = state.dist.copy()
+        algorithm = bfs.make_algorithm(state)
+        from repro.core.context import BodyContext
+
+        algorithm.apply_update((0, 99), BodyContext())  # worse label
+        assert (state.dist == dist_before).all()

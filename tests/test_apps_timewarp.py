@@ -1,0 +1,75 @@
+"""Tests for the Time Warp optimistic DES comparator."""
+
+import pytest
+
+from repro import SimMachine
+from repro.apps import des
+from repro.machine import Category
+
+
+def fresh(bits=6, vectors=5, seed=3):
+    return des.make_adder_state(bits, vectors=vectors, seed=seed)
+
+
+class TestTimeWarpCorrectness:
+    def test_single_thread_matches_serial(self):
+        reference = fresh()
+        des.SPEC.run(reference, "serial", SimMachine(1))
+        tw = fresh()
+        result = des.SPEC.run(tw, "time-warp", SimMachine(1))
+        tw.validate()
+        assert tw.snapshot() == reference.snapshot()
+        assert result.metrics["rollbacks"] == 0  # in-order at 1 thread
+
+    @pytest.mark.parametrize("threads", [4, 16, 40])
+    def test_parallel_matches_serial(self, threads):
+        reference = fresh()
+        des.SPEC.run(reference, "serial", SimMachine(1))
+        tw = fresh()
+        des.SPEC.run(tw, "time-warp", SimMachine(threads))
+        tw.validate()
+        assert tw.snapshot() == reference.snapshot()
+
+    def test_multiplier_circuit(self):
+        reference = des.make_multiplier_state(6, vectors=5, seed=9)
+        des.SPEC.run(reference, "serial", SimMachine(1))
+        tw = des.make_multiplier_state(6, vectors=5, seed=9)
+        des.SPEC.run(tw, "time-warp", SimMachine(24))
+        tw.validate()
+        assert tw.snapshot() == reference.snapshot()
+
+
+class TestTimeWarpBehavior:
+    def test_rollbacks_grow_with_overcommitment(self):
+        low = fresh(bits=8, vectors=8)
+        r_low = des.SPEC.run(low, "time-warp", SimMachine(4))
+        high = fresh(bits=8, vectors=8)
+        r_high = des.SPEC.run(high, "time-warp", SimMachine(40))
+        assert r_high.metrics["rollbacks"] >= r_low.metrics["rollbacks"]
+
+    def test_rollback_cycles_charged_as_abort(self):
+        state = fresh(bits=8, vectors=8)
+        result = des.SPEC.run(state, "time-warp", SimMachine(40))
+        if result.metrics["rollbacks"]:
+            assert result.breakdown()[Category.ABORT] > 0
+
+    def test_every_undone_event_reprocessed(self):
+        state = fresh(bits=8, vectors=8)
+        baseline = fresh(bits=8, vectors=8)
+        base = des.SPEC.run(baseline, "time-warp", SimMachine(1))
+        result = des.SPEC.run(state, "time-warp", SimMachine(40))
+        # Committed (net) events == the in-order count; the rest was redone.
+        assert (
+            result.executed - result.metrics["events_undone"] <= base.executed
+        )
+        assert result.executed >= base.executed
+
+    def test_anti_messages_accompany_rollbacks(self):
+        state = fresh(bits=8, vectors=8)
+        result = des.SPEC.run(state, "time-warp", SimMachine(40))
+        if result.metrics["events_undone"]:
+            assert result.metrics["anti_messages"] > 0
+
+    def test_registered_as_extra_impl(self):
+        assert des.SPEC.has_impl("time-warp")
+        assert "time-warp" in des.SPEC.extra_impls

@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for app in ("avi", "mst", "billiards", "lu", "des", "bfs", "treesum"):
+            assert app in out
+
+    def test_run_prints_summary(self, capsys):
+        assert main(["run", "treesum", "--impl", "kdg-manual", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sim time" in out
+        assert "EXECUTE" in out
+
+    def test_run_with_validation(self, capsys):
+        assert main(
+            ["run", "mst", "--impl", "ikdg", "--threads", "3", "--validate"]
+        ) == 0
+        assert "matches serial bit-for-bit" in capsys.readouterr().out
+
+    def test_run_serial_forces_one_thread(self, capsys):
+        assert main(["run", "lu", "--impl", "serial", "--threads", "16"]) == 0
+        assert "@ 1 threads" in capsys.readouterr().out
+
+    def test_missing_impl_errors(self, capsys):
+        assert main(["run", "avi", "--impl", "other"]) == 2
+        assert "no implementation" in capsys.readouterr().err
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-app"])

@@ -1,0 +1,163 @@
+"""Unit tests for the KDG (rw-set index, edge wiring, safety, liveness)."""
+
+import pytest
+
+from repro.core import KDG, LivenessViolation, SafetyViolation, Task
+from repro.core.rwsets import RWSetIndex
+
+
+class TestRWSetIndex:
+    def test_add_and_lookup(self):
+        index = RWSetIndex()
+        t = Task("a", 0, 0)
+        index.add(t, ["x", "y"])
+        assert index.rw_set(t) == ("x", "y")
+        assert index.tasks_at("x") == [t]
+        assert t in index
+
+    def test_duplicate_add_rejected(self):
+        index = RWSetIndex()
+        t = Task("a", 0, 0)
+        index.add(t, ["x"])
+        with pytest.raises(ValueError):
+            index.add(t, ["y"])
+
+    def test_remove_clears_buckets(self):
+        index = RWSetIndex()
+        t = Task("a", 0, 0)
+        index.add(t, ["x"])
+        index.remove(t)
+        assert index.tasks_at("x") == []
+        assert len(index) == 0
+
+    def test_tasks_sharing_deduplicates(self):
+        index = RWSetIndex()
+        t1, t2 = Task("a", 0, 0), Task("b", 1, 1)
+        index.add(t1, ["x", "y"])
+        index.add(t2, ["y", "z"])
+        assert index.tasks_sharing(["x", "y", "z"]) == [t1, t2]
+
+    def test_ops_counted(self):
+        index = RWSetIndex()
+        t = Task("a", 0, 0)
+        assert index.add(t, ["x", "y", "z"]) == 4  # node + 3 locations
+        assert index.remove(t) == 4
+
+
+class TestKDGEdgeWiring:
+    def test_shared_location_creates_edge_by_key(self):
+        kdg = KDG()
+        early, late = Task("e", 1, 0), Task("l", 2, 1)
+        kdg.add_task(late, ["x"])
+        kdg.add_task(early, ["x"])
+        assert kdg.graph.successors(early) == [late]
+        assert kdg.sources() == [early]
+
+    def test_disjoint_tasks_both_sources(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])
+        kdg.add_task(b, ["y"])
+        assert set(kdg.sources()) == {a, b}
+
+    def test_tie_broken_by_tid(self):
+        kdg = KDG()
+        first, second = Task("f", 1, 0), Task("s", 1, 1)
+        kdg.add_task(second, ["x"])
+        kdg.add_task(first, ["x"])
+        assert kdg.sources() == [first]
+
+    def test_default_all_writes(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])  # writes=None -> conservative
+        kdg.add_task(b, ["x"])
+        assert not kdg.graph.is_source(b)
+
+    def test_read_read_no_conflict(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"], writes=frozenset())
+        kdg.add_task(b, ["x"], writes=frozenset())
+        assert set(kdg.sources()) == {a, b}
+
+    def test_read_write_conflicts(self):
+        kdg = KDG()
+        reader, writer = Task("r", 1, 0), Task("w", 2, 1)
+        kdg.add_task(reader, ["x"], writes=frozenset())
+        kdg.add_task(writer, ["x"], writes=frozenset({"x"}))
+        assert kdg.sources() == [reader]
+
+    def test_remove_task_returns_neighbors(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])
+        kdg.add_task(b, ["x"])
+        neighbors, _ = kdg.remove_task(a)
+        assert neighbors == [b]
+        assert kdg.sources() == [b]
+
+    def test_refresh_task_rewires(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])
+        kdg.add_task(b, ["x"])
+        b.write_set = frozenset({"y"})
+        kdg.refresh_task(b, ["y"])
+        assert set(kdg.sources()) == {a, b}
+
+    def test_earliest(self):
+        kdg = KDG()
+        a, b = Task("a", 5, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])
+        kdg.add_task(b, ["y"])
+        assert kdg.earliest() is b
+        kdg.remove_task(b)
+        assert kdg.earliest() is a
+
+    def test_earliest_empty(self):
+        assert KDG().earliest() is None
+
+
+class TestSafetyAndLiveness:
+    def test_protected_source_raises_on_incoming_edge(self):
+        kdg = KDG(check_safety=True)
+        source = Task("s", 5, 0)
+        kdg.add_task(source, ["x"])
+        kdg.protect(source)
+        intruder = Task("i", 1, 1)  # earlier task sharing the location
+        with pytest.raises(SafetyViolation):
+            kdg.add_task(intruder, ["x"])
+
+    def test_unprotected_allows_edge(self):
+        kdg = KDG(check_safety=True)
+        source = Task("s", 5, 0)
+        kdg.add_task(source, ["x"])
+        kdg.protect(source)
+        kdg.unprotect(source)
+        kdg.add_task(Task("i", 1, 1), ["x"])  # no exception
+
+    def test_safety_check_disabled_by_default(self):
+        kdg = KDG()
+        source = Task("s", 5, 0)
+        kdg.add_task(source, ["x"])
+        kdg.protect(source)
+        kdg.add_task(Task("i", 1, 1), ["x"])  # silently allowed
+
+    def test_liveness_ok_when_earliest_priority_safe(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])
+        kdg.add_task(b, ["x"])
+        kdg.assert_liveness([a])
+
+    def test_liveness_violated(self):
+        kdg = KDG()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        kdg.add_task(a, ["x"])
+        kdg.add_task(b, ["y"])
+        with pytest.raises(LivenessViolation):
+            kdg.assert_liveness([b])
+
+    def test_liveness_trivial_when_empty(self):
+        KDG().assert_liveness([])

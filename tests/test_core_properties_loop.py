@@ -1,0 +1,132 @@
+"""Unit tests for algorithm properties, the spec object, and the loop API."""
+
+import pytest
+
+from repro import AlgorithmProperties, SimMachine, for_each_ordered
+from repro.core import OrderedAlgorithm
+from repro.runtime import choose_executor
+
+from .helpers import ChainCounter
+
+
+class TestAlgorithmProperties:
+    def test_defaults_all_false(self):
+        p = AlgorithmProperties()
+        assert not p.stable_source
+        assert not p.monotonic
+        assert not p.conventional_task_graph
+        assert not p.supports_asynchronous
+
+    def test_structure_based_implies_non_increasing(self):
+        p = AlgorithmProperties(structure_based_rw_sets=True)
+        assert p.non_increasing_rw_sets
+
+    def test_conventional_task_graph(self):
+        p = AlgorithmProperties(no_new_tasks=True, non_increasing_rw_sets=True)
+        assert p.conventional_task_graph
+
+    def test_async_requires_structure_based(self):
+        p = AlgorithmProperties(stable_source=True)
+        assert not p.supports_asynchronous
+
+    def test_async_with_stable_source(self):
+        p = AlgorithmProperties(stable_source=True, structure_based_rw_sets=True)
+        assert p.supports_asynchronous
+
+    def test_async_with_local_test(self):
+        p = AlgorithmProperties(
+            local_safe_source_test=True, structure_based_rw_sets=True
+        )
+        assert p.supports_asynchronous
+
+
+class TestChooseExecutor:
+    def test_default_falls_back_to_ikdg(self):
+        assert choose_executor(AlgorithmProperties(stable_source=True)) == "ikdg"
+
+    def test_async_capable_chooses_rna(self):
+        p = AlgorithmProperties(stable_source=True, structure_based_rw_sets=True)
+        assert choose_executor(p) == "kdg-rna"
+
+    def test_conventional_graph_chooses_rna(self):
+        p = AlgorithmProperties(
+            stable_source=True, no_new_tasks=True, non_increasing_rw_sets=True
+        )
+        assert choose_executor(p) == "kdg-rna"
+
+    def test_structure_based_alone_not_enough(self):
+        # Billiards: structure-based but global safe test -> IKDG.
+        p = AlgorithmProperties(monotonic=True, structure_based_rw_sets=True)
+        assert choose_executor(p) == "ikdg"
+
+
+class TestOrderedAlgorithmSpec:
+    def test_unstable_requires_safe_test(self):
+        with pytest.raises(ValueError):
+            OrderedAlgorithm(
+                name="bad",
+                initial_items=[],
+                priority=lambda x: x,
+                visit_rw_sets=lambda item, ctx: None,
+                apply_update=lambda item, ctx: None,
+                properties=AlgorithmProperties(stable_source=False),
+            )
+
+    def test_compute_rw_set_binds_task(self):
+        app = ChainCounter()
+        algorithm = app.algorithm()
+        task = algorithm.task_factory().make((1, 2))
+        rw = algorithm.compute_rw_set(task)
+        assert rw == (("cell", 2),)
+        assert task.rw_set == rw
+        assert task.write_set == frozenset(rw)
+
+    def test_level_defaults_to_priority(self):
+        algorithm = ChainCounter().algorithm()
+        task = algorithm.task_factory().make((3, 1))
+        assert algorithm.level(task) == task.priority
+
+    def test_level_of_override(self):
+        algorithm = ChainCounter().algorithm(level_of=lambda item: item[0])
+        task = algorithm.task_factory().make((3, 1))
+        assert algorithm.level(task) == 3
+
+
+class TestForEachOrdered:
+    def test_runs_and_returns_result(self):
+        app = ChainCounter(cells=3, steps=4)
+        result = for_each_ordered(
+            initial_items=[(1, c) for c in range(3)],
+            priority=lambda item: (item[0], item[1]),
+            visit_rw_sets=lambda item, ctx: ctx.write(("cell", item[1])),
+            apply_update=app.algorithm().apply_update,
+            properties=app.algorithm().properties,
+            name="chain",
+            machine=SimMachine(2),
+        )
+        assert result.executed == 3 * 4
+        assert result.elapsed_cycles > 0
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            for_each_ordered(
+                initial_items=[],
+                priority=lambda x: x,
+                visit_rw_sets=lambda i, c: None,
+                apply_update=lambda i, c: None,
+                properties=AlgorithmProperties(stable_source=True),
+                executor="bogus",
+            )
+
+    def test_explicit_executor_honored(self):
+        app = ChainCounter(cells=2, steps=2)
+        algorithm = app.algorithm()
+        result = for_each_ordered(
+            initial_items=algorithm.initial_items,
+            priority=algorithm.priority,
+            visit_rw_sets=algorithm.visit_rw_sets,
+            apply_update=algorithm.apply_update,
+            properties=algorithm.properties,
+            executor="serial",
+        )
+        assert result.executor == "serial"

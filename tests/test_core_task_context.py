@@ -1,0 +1,92 @@
+"""Unit tests for tasks, factories and execution contexts."""
+
+import pytest
+
+from repro.core import RWSetViolation, Task, TaskFactory
+from repro.core.context import BodyContext, RWSetContext
+
+
+class TestTask:
+    def test_key_orders_by_priority_then_tid(self):
+        early = Task("a", 1, 5)
+        late = Task("b", 2, 0)
+        tie = Task("c", 1, 9)
+        assert early.key() < late.key()
+        assert early.key() < tie.key()
+
+    def test_writes_defaults_empty(self):
+        task = Task("a", 0, 0)
+        assert not task.writes("x")
+        task.write_set = frozenset({"x"})
+        assert task.writes("x")
+
+
+class TestTaskFactory:
+    def test_monotonic_tids(self):
+        factory = TaskFactory(lambda item: item)
+        tasks = factory.make_all([10, 20, 30])
+        assert [t.tid for t in tasks] == [0, 1, 2]
+        assert factory.make(40).tid == 3
+        assert factory.created == 4
+
+    def test_priority_function_applied(self):
+        factory = TaskFactory(lambda item: -item)
+        assert factory.make(7).priority == -7
+
+
+class TestRWSetContext:
+    def test_collects_in_declaration_order(self):
+        ctx = RWSetContext()
+        ctx.write("b")
+        ctx.read("a")
+        assert ctx.rw_set == ("b", "a")
+
+    def test_deduplicates(self):
+        ctx = RWSetContext()
+        ctx.read("x")
+        ctx.write("x")
+        ctx.read("x")
+        assert ctx.rw_set == ("x",)
+
+    def test_write_set_tracks_writes_only(self):
+        ctx = RWSetContext()
+        ctx.read("r")
+        ctx.write("w")
+        assert ctx.write_set == frozenset({"w"})
+
+    def test_write_upgrades_read(self):
+        ctx = RWSetContext()
+        ctx.read("x")
+        ctx.write("x")
+        assert "x" in ctx.write_set
+
+
+class TestBodyContext:
+    def test_push_collects(self):
+        ctx = BodyContext()
+        ctx.push("item1")
+        ctx.push("item2")
+        assert ctx.pushed == ["item1", "item2"]
+
+    def test_work_accumulates(self):
+        ctx = BodyContext()
+        ctx.work(10)
+        ctx.work(2.5)
+        assert ctx.work_done == 12.5
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            BodyContext().work(-1)
+
+    def test_unchecked_access_is_noop(self):
+        BodyContext().access("anything")
+
+    def test_checked_access_requires_declaration(self):
+        ctx = BodyContext(declared=("a", "b"), checked=True)
+        ctx.access("a")
+        with pytest.raises(RWSetViolation):
+            ctx.access("c")
+
+    def test_checked_flag_exposed(self):
+        assert BodyContext(checked=True).checked
+        assert not BodyContext().checked

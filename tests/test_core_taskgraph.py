@@ -1,0 +1,138 @@
+"""Unit and property tests for the task graph G."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Task, TaskGraph
+
+
+def tasks(n):
+    return [Task(i, i, i) for i in range(n)]
+
+
+class TestTaskGraph:
+    def test_empty(self):
+        g = TaskGraph()
+        assert len(g) == 0
+        assert not g.notEmpty()
+        assert g.sources() == []
+
+    def test_add_node_becomes_source(self):
+        g = TaskGraph()
+        (t,) = tasks(1)
+        g.add_node(t)
+        assert g.sources() == [t]
+        assert g.is_source(t)
+        assert t in g
+
+    def test_duplicate_node_rejected(self):
+        g = TaskGraph()
+        (t,) = tasks(1)
+        g.add_node(t)
+        with pytest.raises(ValueError):
+            g.add_node(t)
+
+    def test_edge_removes_target_from_sources(self):
+        g = TaskGraph()
+        a, b = tasks(2)
+        g.add_node(a)
+        g.add_node(b)
+        g.add_edge(a, b)
+        assert g.sources() == [a]
+        assert g.in_degree(b) == 1
+
+    def test_edge_idempotent(self):
+        g = TaskGraph()
+        a, b = tasks(2)
+        g.add_node(a)
+        g.add_node(b)
+        assert g.add_edge(a, b) == 1
+        assert g.add_edge(a, b) == 0
+        assert g.in_degree(b) == 1
+
+    def test_self_edge_rejected(self):
+        g = TaskGraph()
+        (a,) = tasks(1)
+        g.add_node(a)
+        with pytest.raises(ValueError):
+            g.add_edge(a, a)
+
+    def test_remove_node_exposes_successors(self):
+        g = TaskGraph()
+        a, b, c = tasks(3)
+        for t in (a, b, c):
+            g.add_node(t)
+        g.add_edge(a, b)
+        g.add_edge(a, c)
+        neighbors, _ = g.remove_node(a)
+        assert set(neighbors) == {b, c}
+        assert set(g.sources()) == {b, c}
+
+    def test_remove_node_with_shared_successor(self):
+        g = TaskGraph()
+        a, b, c = tasks(3)
+        for t in (a, b, c):
+            g.add_node(t)
+        g.add_edge(a, c)
+        g.add_edge(b, c)
+        g.remove_node(a)
+        assert not g.is_source(c)
+        g.remove_node(b)
+        assert g.is_source(c)
+
+    def test_neighbors_union_of_directions(self):
+        g = TaskGraph()
+        a, b, c = tasks(3)
+        for t in (a, b, c):
+            g.add_node(t)
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        assert set(g.neighbors(b)) == {a, c}
+        assert g.predecessors(b) == [a]
+        assert g.successors(b) == [c]
+
+    def test_check_acyclic_true_for_dag(self):
+        g = TaskGraph()
+        ts = tasks(4)
+        for t in ts:
+            g.add_node(t)
+        g.add_edge(ts[0], ts[1])
+        g.add_edge(ts[1], ts[2])
+        g.add_edge(ts[0], ts[3])
+        assert g.check_acyclic()
+
+    def test_check_acyclic_false_for_cycle(self):
+        g = TaskGraph()
+        a, b = tasks(2)
+        g.add_node(a)
+        g.add_node(b)
+        g.add_edge(a, b)
+        g.add_edge(b, a)  # the graph type allows it; the checker catches it
+        assert not g.check_acyclic()
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40))
+    def test_key_ordered_edges_always_acyclic(self, pairs):
+        """Wiring every edge from earlier key to later key keeps G a DAG."""
+        g = TaskGraph()
+        ts = tasks(10)
+        for t in ts:
+            g.add_node(t)
+        for i, j in pairs:
+            if i == j:
+                continue
+            a, b = (ts[i], ts[j]) if ts[i].key() < ts[j].key() else (ts[j], ts[i])
+            g.add_edge(a, b)
+        assert g.check_acyclic()
+
+    @given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=30))
+    def test_sources_match_in_degree(self, pairs):
+        g = TaskGraph()
+        ts = tasks(8)
+        for t in ts:
+            g.add_node(t)
+        for i, j in pairs:
+            if i < j:
+                g.add_edge(ts[i], ts[j])
+        expected = {t for t in ts if g.in_degree(t) == 0}
+        assert set(g.sources()) == expected

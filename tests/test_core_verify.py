@@ -1,0 +1,117 @@
+"""Tests for the empirical property verifier — and CI-level verification
+that every bundled application's declared properties hold on a sample."""
+
+import pytest
+
+from repro import AlgorithmProperties
+from repro.core import OrderedAlgorithm
+from repro.core.verify import verify_properties
+from repro.apps import APPS
+
+from .helpers import TINY_STATES, ChainCounter
+
+
+class TestVerifier:
+    def test_honest_algorithm_is_consistent(self):
+        report = verify_properties(ChainCounter().algorithm())
+        assert report.consistent
+        assert report.violations() == {}
+
+    def test_detects_non_monotonic_children(self):
+        def body(item, ctx):
+            if item == 5:
+                ctx.push(1)
+
+        algorithm = OrderedAlgorithm(
+            name="back-in-time",
+            initial_items=[5],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("c"),
+            apply_update=body,
+            properties=AlgorithmProperties(stable_source=True, monotonic=True),
+        )
+        report = verify_properties(algorithm)
+        assert report.monotonic
+        assert not report.consistent
+
+    def test_detects_false_no_new_tasks(self):
+        def body(item, ctx):
+            if item == 0:
+                ctx.push(1)
+
+        algorithm = OrderedAlgorithm(
+            name="secret-spawner",
+            initial_items=[0],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("c"),
+            apply_update=body,
+            properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+        )
+        assert verify_properties(algorithm).no_new_tasks
+
+    def test_detects_growing_rw_sets(self):
+        # Executing task 0 flips a switch that grows task 1's rw-set.
+        state = {"grown": False}
+
+        def visit(item, ctx):
+            ctx.write(("c", item))
+            if item == 1 and state["grown"]:
+                ctx.write(("c", 99))
+
+        def body(item, ctx):
+            if item == 0:
+                state["grown"] = True
+
+        algorithm = OrderedAlgorithm(
+            name="grower",
+            initial_items=[0, 1],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=AlgorithmProperties(
+                stable_source=True, non_increasing_rw_sets=True,
+            ),
+        )
+        assert verify_properties(algorithm).non_increasing_rw_sets
+
+    def test_detects_state_dependent_nonsubset_rw(self):
+        # Child rw is neither a subset of the parent's nor state-independent.
+        state = {"flip": False}
+
+        def visit(item, ctx):
+            if item == "child" and state["flip"]:
+                ctx.write("elsewhere")
+            else:
+                ctx.write(("c", item))
+
+        def body(item, ctx):
+            if item == "root":
+                ctx.push("child")
+            if item == "bystander":
+                state["flip"] = True
+
+        algorithm = OrderedAlgorithm(
+            name="shapeshifter",
+            initial_items=["root", "bystander"],
+            priority=lambda x: {"root": 0, "bystander": 1, "child": 2}[x],
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=AlgorithmProperties(
+                stable_source=True, structure_based_rw_sets=True,
+            ),
+        )
+        assert verify_properties(algorithm).structure_based_rw_sets
+
+    def test_sample_limit_respected(self):
+        app = ChainCounter(cells=2, steps=100)
+        verify_properties(app.algorithm(), max_tasks=10)
+        # Only ~10 of 200 chain steps ran.
+        assert sum(app.sums) < 2 * 100 * 101 // 2
+
+
+@pytest.mark.parametrize("app", sorted(TINY_STATES))
+def test_bundled_apps_declarations_hold(app):
+    """Every shipped application's declared properties survive sampling."""
+    algorithm = APPS[app].algorithm(TINY_STATES[app]())
+    report = verify_properties(algorithm, max_tasks=400)
+    assert report.consistent, report.violations()

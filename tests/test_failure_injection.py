@@ -1,0 +1,141 @@
+"""Failure injection: the runtime must catch property violations loudly.
+
+The KDG's guarantees rest on the properties applications declare.  These
+tests hand the runtime *lying* algorithms and check that the built-in
+verifiers (Safety check, Liveness check, cautiousness enforcement,
+monotonicity check) catch them instead of silently computing wrong answers.
+"""
+
+import pytest
+
+from repro import AlgorithmProperties, SimMachine
+from repro.core import (
+    LivenessViolation,
+    OrderedAlgorithm,
+    RWSetViolation,
+    SafetyViolation,
+)
+from repro.runtime import run_ikdg, run_kdg_rna, run_level_by_level, run_serial
+
+
+def falsely_stable_algorithm():
+    """Claims stable-source, but a parent spawns an *earlier* conflicting
+    task than a pending source — the classic unstable-source hazard."""
+
+    def visit(item, ctx):
+        ctx.write(("cell", item[1]))
+
+    def body(item, ctx):
+        priority, cell = item
+        if priority == 1:
+            # Parent on cell 'x' creates a task on cell 'y' at priority 2,
+            # before the pending (3, 'y') task that is already a source.
+            ctx.push((2, "y"))
+
+    return OrderedAlgorithm(
+        name="liar",
+        initial_items=[(1, "x"), (3, "y")],
+        priority=lambda item: item[0],
+        visit_rw_sets=visit,
+        apply_update=body,
+        properties=AlgorithmProperties(
+            stable_source=True, monotonic=True, structure_based_rw_sets=True
+        ),
+    )
+
+
+class TestSafetyCheck:
+    def test_async_executor_detects_false_stability(self):
+        with pytest.raises(SafetyViolation):
+            run_kdg_rna(
+                falsely_stable_algorithm(), SimMachine(2), check_safety=True
+            )
+
+    def test_violation_unnoticed_without_check(self):
+        # Without the checker the executor silently mis-serializes — this
+        # documents why check_safety exists.
+        run_kdg_rna(falsely_stable_algorithm(), SimMachine(2))
+
+
+class TestLivenessCheck:
+    def test_rounds_raise_on_dead_test(self):
+        algorithm = OrderedAlgorithm(
+            name="deadlock",
+            initial_items=[1, 2],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("cell"),
+            apply_update=lambda item, ctx: None,
+            properties=AlgorithmProperties(monotonic=True),
+            safe_source_test=lambda task, view: False,
+        )
+        with pytest.raises(LivenessViolation):
+            run_kdg_rna(algorithm, SimMachine(2), asynchronous=False)
+        with pytest.raises(LivenessViolation):
+            run_ikdg(algorithm, SimMachine(2))
+
+
+class TestCautiousness:
+    def test_undeclared_write_caught_in_checked_mode(self):
+        def visit(item, ctx):
+            ctx.write(("cell", item))
+
+        def sloppy_body(item, ctx):
+            ctx.access(("cell", item))
+            ctx.access(("cell", item + 100))  # not declared!
+
+        algorithm = OrderedAlgorithm(
+            name="sloppy",
+            initial_items=[0, 1],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=sloppy_body,
+            properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+        )
+        with pytest.raises(RWSetViolation):
+            run_ikdg(algorithm, SimMachine(2), checked=True)
+        with pytest.raises(RWSetViolation):
+            run_serial(algorithm, checked=True)
+
+
+class TestMonotonicityCheck:
+    def test_level_executor_rejects_earlier_children(self):
+        def body(item, ctx):
+            if item == 5:
+                ctx.push(1)  # earlier than its own level: not monotonic
+
+        algorithm = OrderedAlgorithm(
+            name="time-traveler",
+            initial_items=[5],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("cell"),
+            apply_update=body,
+            properties=AlgorithmProperties(stable_source=True, monotonic=True),
+        )
+        with pytest.raises(ValueError, match="monotonicity violated"):
+            run_level_by_level(algorithm, SimMachine(2))
+
+    def test_level_executor_requires_monotonic_flag(self):
+        algorithm = OrderedAlgorithm(
+            name="unflagged",
+            initial_items=[1],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: None,
+            apply_update=lambda item, ctx: None,
+            properties=AlgorithmProperties(stable_source=True),
+        )
+        with pytest.raises(ValueError, match="monotonicity"):
+            run_level_by_level(algorithm, SimMachine(1))
+
+
+class TestAsyncPreconditions:
+    def test_async_refused_without_structure_based(self):
+        algorithm = OrderedAlgorithm(
+            name="not-structural",
+            initial_items=[1],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: None,
+            apply_update=lambda item, ctx: None,
+            properties=AlgorithmProperties(stable_source=True),
+        )
+        with pytest.raises(ValueError, match="asynchronous"):
+            run_kdg_rna(algorithm, SimMachine(2), asynchronous=True)

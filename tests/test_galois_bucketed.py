@@ -1,0 +1,74 @@
+"""Tests for the OBIM-style bucketed worklist."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.galois import BucketedWorklist
+
+
+class TestBucketedWorklist:
+    def test_empty(self):
+        wl = BucketedWorklist(level_of=lambda x: x)
+        assert len(wl) == 0
+        assert not wl
+        with pytest.raises(IndexError):
+            wl.pop()
+        with pytest.raises(IndexError):
+            wl.peek()
+        with pytest.raises(IndexError):
+            wl.current_level()
+
+    def test_serves_levels_in_order(self):
+        wl = BucketedWorklist(level_of=lambda x: x[0],
+                              items=[(2, "c"), (1, "a"), (2, "d"), (1, "b")])
+        assert wl.current_level() == 1
+        level, items = wl.pop_level()
+        assert level == 1
+        assert items == [(1, "a"), (1, "b")]  # FIFO within the bucket
+        assert wl.current_level() == 2
+
+    def test_pop_single(self):
+        wl = BucketedWorklist(level_of=lambda x: x, items=[3, 1, 2, 1])
+        assert wl.pop() == 1
+        assert wl.pop() == 1
+        assert wl.pop() == 2
+        assert len(wl) == 1
+
+    def test_push_to_lower_level_reorders(self):
+        wl = BucketedWorklist(level_of=lambda x: x, items=[5])
+        wl.push(2)
+        assert wl.peek() == 2
+
+    def test_reopened_level(self):
+        wl = BucketedWorklist(level_of=lambda x: x, items=[1, 2])
+        wl.pop_level()
+        wl.push(1)  # the level-1 bucket was removed; reopen it
+        assert wl.current_level() == 1
+        assert wl.pop() == 1
+
+    def test_num_levels(self):
+        wl = BucketedWorklist(level_of=lambda x: x % 3, items=[0, 1, 2, 3, 4])
+        assert wl.num_levels() == 3
+
+    @given(st.lists(st.integers(0, 9)))
+    def test_pop_sequence_is_level_sorted_stable(self, values):
+        wl = BucketedWorklist(level_of=lambda x: x[0],
+                              items=list(enumerate_levels(values)))
+        out = [wl.pop() for _ in range(len(values))]
+        # Stable sort by level == expected pop order.
+        assert out == sorted(enumerate_levels(values), key=lambda p: p[0])
+
+    @given(st.lists(st.integers(0, 5), min_size=1))
+    def test_pop_level_partitions(self, values):
+        wl = BucketedWorklist(level_of=lambda x: x, items=values)
+        seen = []
+        while wl:
+            level, items = wl.pop_level()
+            assert all(v == level for v in items)
+            seen.extend(items)
+        assert sorted(seen) == sorted(values)
+
+
+def enumerate_levels(values):
+    return [(v, i) for i, v in enumerate(values)]

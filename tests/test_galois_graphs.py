@@ -1,0 +1,129 @@
+"""Unit and property tests for CSR graphs and meshes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.galois import CSRGraph, TriangularMesh
+
+
+class TestCSRGraph:
+    def test_from_edges_basic(self):
+        g = CSRGraph.from_edges(3, [(0, 1), (0, 2), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert list(g.neighbors(0)) == [1, 2]
+        assert g.out_degree(1) == 1
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(4, [])
+        assert g.num_edges == 0
+        assert list(g.neighbors(0)) == []
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(2, 0)])
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_edges(2, [(0, 5)])
+
+    def test_weights_follow_edges(self):
+        g = CSRGraph.from_edges(3, [(1, 2), (0, 1)], weights=[9.0, 4.0])
+        eid = next(iter(g.edge_range(0)))
+        assert g.edge_weights[eid] == 4.0
+
+    def test_undirected_doubles_edges(self):
+        g = CSRGraph.from_undirected_edges(3, [(0, 1)], weights=[7.0])
+        assert g.num_edges == 2
+        assert list(g.neighbors(0)) == [1]
+        assert list(g.neighbors(1)) == [0]
+        assert all(w == 7.0 for w in g.edge_weights)
+
+    def test_inconsistent_row_starts_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, np.array([0, 1]), np.array([0]))
+
+    def test_edges_iterator_roundtrip(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        g = CSRGraph.from_edges(3, edges)
+        assert sorted(g.edges()) == sorted(edges)
+
+    @given(
+        st.integers(2, 12).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))),
+            )
+        )
+    )
+    def test_degree_sum_equals_edges(self, n_and_edges):
+        n, edges = n_and_edges
+        g = CSRGraph.from_edges(n, edges)
+        assert sum(g.out_degree(v) for v in range(n)) == len(edges)
+
+    @given(
+        st.integers(2, 10).flatmap(
+            lambda n: st.tuples(
+                st.just(n),
+                st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))),
+            )
+        )
+    )
+    def test_neighbors_match_edge_list(self, n_and_edges):
+        n, edges = n_and_edges
+        g = CSRGraph.from_edges(n, edges)
+        for v in range(n):
+            expected = sorted(b for a, b in edges if a == v)
+            assert sorted(g.neighbors(v).tolist()) == expected
+
+
+class TestTriangularMesh:
+    def test_structured_counts(self):
+        mesh = TriangularMesh.structured(3, 2)
+        assert mesh.num_vertices == 4 * 3
+        assert mesh.num_elements == 2 * 3 * 2
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMesh.structured(0, 3)
+
+    def test_vertex_ids_in_range(self):
+        mesh = TriangularMesh.structured(4, 4)
+        assert mesh.triangles.max() < mesh.num_vertices
+
+    def test_total_area_is_unit_square(self):
+        mesh = TriangularMesh.structured(5, 7)
+        total = sum(mesh.element_area(e) for e in range(mesh.num_elements))
+        assert total == pytest.approx(1.0)
+
+    def test_neighbors_symmetric(self):
+        mesh = TriangularMesh.structured(4, 3)
+        for e in range(mesh.num_elements):
+            for n in mesh.element_neighbors(e):
+                assert e in mesh.element_neighbors(n)
+
+    def test_neighbors_share_vertex(self):
+        mesh = TriangularMesh.structured(4, 3)
+        for e in range(mesh.num_elements):
+            mine = set(mesh.vertices_of(e))
+            for n in mesh.element_neighbors(e):
+                assert mine & set(mesh.vertices_of(n))
+
+    def test_not_own_neighbor(self):
+        mesh = TriangularMesh.structured(3, 3)
+        for e in range(mesh.num_elements):
+            assert e not in mesh.element_neighbors(e)
+
+    def test_vertex_elements_inverse(self):
+        mesh = TriangularMesh.structured(3, 3)
+        for v in range(mesh.num_vertices):
+            for e in mesh.vertex_elements[v]:
+                assert v in mesh.vertices_of(e)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            TriangularMesh(np.zeros((3, 3)), np.zeros((1, 3), dtype=int))
+        with pytest.raises(ValueError):
+            TriangularMesh(np.zeros((3, 2)), np.array([[0, 1, 5]]))

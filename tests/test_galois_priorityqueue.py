@@ -1,0 +1,121 @@
+"""Unit and property tests for the priority queues."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.galois import BinaryHeap, PairingHeap
+
+
+class TestBinaryHeap:
+    def test_empty(self):
+        heap = BinaryHeap(key=lambda x: x)
+        assert len(heap) == 0
+        assert not heap
+
+    def test_pop_in_key_order(self):
+        heap = BinaryHeap(key=lambda x: x, items=[3, 1, 2])
+        assert [heap.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_peek_does_not_remove(self):
+        heap = BinaryHeap(key=lambda x: x, items=[5, 2])
+        assert heap.peek() == 2
+        assert len(heap) == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap(key=lambda x: x).pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            BinaryHeap(key=lambda x: x).peek()
+
+    def test_stable_ties_by_insertion_order(self):
+        heap = BinaryHeap(key=lambda x: x[0])
+        heap.push((1, "first"))
+        heap.push((1, "second"))
+        assert heap.pop() == (1, "first")
+        assert heap.pop() == (1, "second")
+
+    def test_lazy_removal_by_ticket(self):
+        heap = BinaryHeap(key=lambda x: x)
+        heap.push(1)
+        ticket = heap.push(2)
+        heap.push(3)
+        heap.remove(ticket)
+        assert len(heap) == 2
+        assert list(heap.drain()) == [1, 3]
+
+    def test_remove_head_then_peek(self):
+        heap = BinaryHeap(key=lambda x: x)
+        ticket = heap.push(1)
+        heap.push(5)
+        heap.remove(ticket)
+        assert heap.peek() == 5
+
+    def test_custom_key(self):
+        heap = BinaryHeap(key=lambda s: -len(s), items=["a", "abc", "ab"])
+        assert heap.pop() == "abc"
+
+    @given(st.lists(st.integers()))
+    def test_drains_sorted(self, values):
+        heap = BinaryHeap(key=lambda x: x, items=values)
+        assert list(heap.drain()) == sorted(values)
+
+    @given(st.lists(st.integers(), min_size=1), st.data())
+    def test_interleaved_push_pop_matches_sorted(self, values, data):
+        heap = BinaryHeap(key=lambda x: x)
+        reference = []
+        for v in values:
+            heap.push(v)
+            reference.append(v)
+            if data.draw(st.booleans()):
+                assert heap.pop() == min(reference)
+                reference.remove(min(reference))
+        assert list(heap.drain()) == sorted(reference)
+
+
+class TestPairingHeap:
+    def test_empty(self):
+        heap = PairingHeap(key=lambda x: x)
+        assert len(heap) == 0
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+
+    def test_pop_in_key_order(self):
+        heap = PairingHeap(key=lambda x: x, items=[4, 1, 3, 2])
+        assert [heap.pop() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_stable_ties(self):
+        heap = PairingHeap(key=lambda x: x[0])
+        heap.push((0, "a"))
+        heap.push((0, "b"))
+        assert heap.pop()[1] == "a"
+
+    def test_meld(self):
+        a = PairingHeap(key=lambda x: x, items=[1, 5])
+        b = PairingHeap(key=lambda x: x, items=[2, 4])
+        a.meld(b)
+        assert len(a) == 4
+        assert len(b) == 0
+        assert [a.pop() for _ in range(4)] == [1, 2, 4, 5]
+
+    def test_large_sequence_no_recursion_error(self):
+        heap = PairingHeap(key=lambda x: x, items=list(range(5000, 0, -1)))
+        assert heap.pop() == 1
+
+    @given(st.lists(st.integers()))
+    def test_drains_sorted(self, values):
+        heap = PairingHeap(key=lambda x: x, items=values)
+        out = [heap.pop() for _ in range(len(values))]
+        assert out == sorted(values)
+
+    @given(st.lists(st.integers()), st.lists(st.integers()))
+    def test_meld_equals_union(self, left, right):
+        a = PairingHeap(key=lambda x: x, items=left)
+        b = PairingHeap(key=lambda x: x, items=right)
+        a.meld(b)
+        out = [a.pop() for _ in range(len(left) + len(right))]
+        assert out == sorted(left + right)

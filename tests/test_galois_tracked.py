@@ -1,0 +1,111 @@
+"""Tests for conflict-aware tracked data structures."""
+
+import pytest
+
+from repro import AlgorithmProperties, SimMachine
+from repro.core import OrderedAlgorithm, RWSetViolation
+from repro.core.context import BodyContext, RWSetContext
+from repro.galois import TrackedArray
+from repro.runtime import run_ikdg, run_serial
+
+
+class TestTrackedArray:
+    def test_touch_declares_write(self):
+        arr = TrackedArray("a", [0, 0, 0])
+        ctx = RWSetContext()
+        with arr.declaring(ctx):
+            arr.touch(1)
+        assert ctx.rw_set == (("a", 1),)
+        assert ("a", 1) in ctx.write_set
+
+    def test_observe_declares_read_and_returns(self):
+        arr = TrackedArray("a", [7, 8, 9])
+        ctx = RWSetContext()
+        with arr.declaring(ctx):
+            assert arr.observe(2) == 9
+        assert ctx.rw_set == (("a", 2),)
+        assert ctx.write_set == frozenset()
+
+    def test_touch_outside_declaring_rejected(self):
+        arr = TrackedArray("a", [0])
+        with pytest.raises(RuntimeError, match="outside declaring"):
+            arr.touch(0)
+
+    def test_checked_access_enforced(self):
+        arr = TrackedArray("a", [0, 0])
+        body = BodyContext(declared=(("a", 0),), checked=True)
+        with arr.accessing(body):
+            arr[0] = 5
+            with pytest.raises(RWSetViolation):
+                arr[1] = 6
+
+    def test_untracked_access_outside_context(self):
+        arr = TrackedArray("a", [1, 2])
+        assert arr[0] == 1  # plain access when unbound
+        arr[1] = 5
+        assert arr.raw() == [1, 5]
+
+    def test_context_unbinds_on_exit(self):
+        arr = TrackedArray("a", [0])
+        with arr.declaring(RWSetContext()):
+            pass
+        with pytest.raises(RuntimeError):
+            arr.touch(0)
+
+    def test_end_to_end_with_executor(self):
+        """A whole ordered loop written against TrackedArray."""
+        values = TrackedArray("cell", [0] * 6)
+
+        def visit(item, ctx):
+            with values.declaring(ctx):
+                values.touch(item % 6)
+
+        def body(item, ctx):
+            ctx.work(30)
+            with values.accessing(ctx):
+                values[item % 6] += item
+
+        algorithm = OrderedAlgorithm(
+            name="tracked-loop",
+            initial_items=list(range(24)),
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=AlgorithmProperties(
+                stable_source=True, monotonic=True, no_new_tasks=True,
+                structure_based_rw_sets=True,
+            ),
+        )
+        run_ikdg(algorithm, SimMachine(4), checked=True)
+        expected = [sum(i for i in range(24) if i % 6 == c) for c in range(6)]
+        assert values.raw() == expected
+
+    def test_serial_matches_parallel(self):
+        def build():
+            values = TrackedArray("cell", [0] * 4)
+
+            def visit(item, ctx):
+                with values.declaring(ctx):
+                    values.touch(item % 4)
+
+            def body(item, ctx):
+                with values.accessing(ctx):
+                    values[item % 4] = values[item % 4] * 2 + item
+
+            return values, OrderedAlgorithm(
+                name="t",
+                initial_items=list(range(12)),
+                priority=lambda x: x,
+                visit_rw_sets=visit,
+                apply_update=body,
+                properties=AlgorithmProperties(
+                    stable_source=True, monotonic=True, no_new_tasks=True,
+                    structure_based_rw_sets=True,
+                ),
+            )
+
+        serial_values, serial_algorithm = build()
+        run_serial(serial_algorithm)
+        parallel_values, parallel_algorithm = build()
+        run_ikdg(parallel_algorithm, SimMachine(3))
+        assert parallel_values.raw() == serial_values.raw()

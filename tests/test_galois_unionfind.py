@@ -1,0 +1,93 @@
+"""Unit and property tests for union-find."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.galois import UnionFind
+
+
+class TestUnionFind:
+    def test_initial_singletons(self):
+        uf = UnionFind(5)
+        assert uf.num_components == 5
+        assert [uf.find(i) for i in range(5)] == list(range(5))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert uf.num_components == 3
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.num_components == 3
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_find_no_compress_is_pure(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(2, 3)
+        before = list(uf.parent)
+        rep = uf.find_no_compress(0)
+        assert uf.parent == before, "find_no_compress mutated the forest"
+        assert rep == uf.find(0)
+
+    def test_find_compresses(self):
+        uf = UnionFind(8)
+        for i in range(7):
+            uf.union(i, i + 1)
+        uf.find(0)
+        # After compression the path from 0 is short.
+        assert uf.parent[0] == uf.find_no_compress(0) or uf.parent[uf.parent[0]] == uf.find_no_compress(0)
+
+    def test_snapshot_canonical(self):
+        uf = UnionFind(4)
+        uf.union(0, 3)
+        snap = uf.snapshot()
+        assert snap[0] == snap[3]
+        assert snap[1] != snap[2]
+
+    def test_union_by_rank_direction(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)  # rank(r01) = 1
+        uf.union(2, 3)  # rank(r23) = 1
+        uf.union(0, 2)  # equal ranks -> surviving root rank bumps to 2
+        root = uf.find(0)
+        assert uf.rank[root] == 2
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19))))
+    def test_matches_naive_partition(self, unions):
+        uf = UnionFind(20)
+        naive = {i: {i} for i in range(20)}
+        for a, b in unions:
+            uf.union(a, b)
+            sa = next(s for s in naive.values() if a in s)
+            sb = next(s for s in naive.values() if b in s)
+            if sa is not sb:
+                sa |= sb
+                for member in sb:
+                    naive[member] = sa
+        for i in range(20):
+            for j in range(20):
+                assert uf.connected(i, j) == (j in naive[i])
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_component_count_invariant(self, unions):
+        uf = UnionFind(16)
+        for a, b in unions:
+            uf.union(a, b)
+        assert uf.num_components == len(set(uf.snapshot()))

@@ -1,0 +1,73 @@
+"""Unit tests for ordered worklists."""
+
+import pytest
+
+from repro.galois import OrderedWorklist, PerThreadWorklists
+
+
+class TestOrderedWorklist:
+    def test_pops_in_priority_order(self):
+        wl = OrderedWorklist(key=lambda x: x, items=[3, 1, 2])
+        assert [wl.pop(), wl.pop(), wl.pop()] == [1, 2, 3]
+
+    def test_counters(self):
+        wl = OrderedWorklist(key=lambda x: x)
+        wl.push(1)
+        wl.push(2)
+        wl.pop()
+        assert wl.pushes == 2
+        assert wl.pops == 1
+
+    def test_pop_prefix(self):
+        wl = OrderedWorklist(key=lambda x: x, items=[5, 1, 4, 2, 3])
+        assert wl.pop_prefix(3) == [1, 2, 3]
+        assert len(wl) == 2
+
+    def test_pop_prefix_exhausts(self):
+        wl = OrderedWorklist(key=lambda x: x, items=[2, 1])
+        assert wl.pop_prefix(10) == [1, 2]
+        assert not wl
+
+    def test_pop_prefix_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OrderedWorklist(key=lambda x: x).pop_prefix(-1)
+
+    def test_pop_level_groups_equal_keys(self):
+        wl = OrderedWorklist(key=lambda x: x[0], items=[(1, "a"), (2, "c"), (1, "b")])
+        level, items = wl.pop_level()
+        assert level == 1
+        assert sorted(i[1] for i in items) == ["a", "b"]
+        assert len(wl) == 1
+
+    def test_pop_level_empty_raises(self):
+        with pytest.raises(IndexError):
+            OrderedWorklist(key=lambda x: x).pop_level()
+
+    def test_peek(self):
+        wl = OrderedWorklist(key=lambda x: -x, items=[1, 9, 5])
+        assert wl.peek() == 9
+
+
+class TestPerThreadWorklists:
+    def test_owner_hashing(self):
+        wls = PerThreadWorklists(2, key=lambda x: x)
+        wls.push(10, owner=0)
+        wls.push(20, owner=1)
+        wls.push(30, owner=2)  # wraps to queue 0
+        assert len(wls.queues[0]) == 2
+        assert len(wls.queues[1]) == 1
+        assert len(wls) == 3
+
+    def test_global_min(self):
+        wls = PerThreadWorklists(3, key=lambda x: x)
+        wls.push(7, owner=0)
+        wls.push(3, owner=1)
+        wls.push(5, owner=2)
+        assert wls.global_min() == 3
+
+    def test_global_min_empty(self):
+        assert PerThreadWorklists(2, key=lambda x: x).global_min() is None
+
+    def test_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            PerThreadWorklists(0, key=lambda x: x)

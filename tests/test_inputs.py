@@ -1,0 +1,161 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import UnionFind
+from repro.inputs import (
+    billiard_table,
+    grid2d,
+    kogge_stone_adder,
+    plummer_bodies,
+    random_graph,
+    sparse_blocked_matrix,
+    symbolic_fill,
+    tree_multiplier,
+)
+
+
+class TestGraphGenerators:
+    def test_grid_edge_count(self):
+        _, edges, weights = grid2d(5, 4)
+        # 4*(5-1) horizontal per row... (nx-1)*ny + nx*(ny-1)
+        assert len(edges) == 4 * 4 + 5 * 3
+        assert len(weights) == len(edges)
+
+    def test_grid_weights_integer_valued(self):
+        _, _, weights = grid2d(6, 6, max_weight=50, seed=1)
+        assert np.all(weights == np.round(weights))
+        assert weights.min() >= 1 and weights.max() <= 50
+
+    def test_grid_connected(self):
+        _, edges, _ = grid2d(7, 5)
+        uf = UnionFind(35)
+        for u, v in edges:
+            uf.union(u, v)
+        assert uf.num_components == 1
+
+    def test_random_graph_connected(self):
+        _, edges, _ = random_graph(200, avg_degree=3.0, seed=2)
+        uf = UnionFind(200)
+        for u, v in edges:
+            uf.union(u, v)
+        assert uf.num_components == 1
+
+    def test_random_graph_no_duplicates_or_self_loops(self):
+        _, edges, _ = random_graph(150, avg_degree=5.0, seed=3)
+        assert len(set(edges)) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_random_graph_edge_count(self):
+        _, edges, _ = random_graph(400, avg_degree=4.0, seed=0)
+        assert len(edges) == 800
+
+    def test_determinism(self):
+        a = grid2d(6, 6, seed=9)[2]
+        b = grid2d(6, 6, seed=9)[2]
+        assert (a == b).all()
+
+
+class TestBodies:
+    def test_plummer_unit_mass(self):
+        _, masses = plummer_bodies(1000, seed=1)
+        assert masses.sum() == pytest.approx(1.0)
+
+    def test_plummer_centrally_concentrated(self):
+        positions, _ = plummer_bodies(3000, seed=2)
+        radii = np.sqrt((positions**2).sum(axis=1))
+        assert np.median(radii) < radii.max() / 3
+
+    def test_plummer_3d(self):
+        positions, _ = plummer_bodies(100, seed=0, dims=3)
+        assert positions.shape == (100, 3)
+
+    def test_plummer_bad_dims(self):
+        with pytest.raises(ValueError):
+            plummer_bodies(10, dims=4)
+
+    def test_billiard_table_no_overlap(self):
+        pos, _ = billiard_table(40, 30.0, radius=0.5, seed=4)
+        for a in range(40):
+            for b in range(a + 1, 40):
+                d = pos[b] - pos[a]
+                assert float(d @ d) > 1.0**2  # > (2r)^2
+
+    def test_billiard_table_in_bounds(self):
+        pos, _ = billiard_table(30, 25.0, radius=0.5, seed=5)
+        assert (pos > 0.5).all() and (pos < 24.5).all()
+
+    def test_billiard_table_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            billiard_table(100, 5.0)
+
+
+class TestMatrices:
+    def test_band_present(self):
+        mat = sparse_blocked_matrix(8, 3, bandwidth=1, extra_density=0.0, seed=0)
+        for i in range(8):
+            assert mat[i, i] is not None
+            if i + 1 < 8:
+                assert mat[i, i + 1] is not None
+
+    def test_diagonal_dominance(self):
+        mat = sparse_blocked_matrix(6, 4, seed=1)
+        dense = mat.to_dense()
+        for r in range(dense.shape[0]):
+            assert abs(dense[r, r]) > np.abs(np.delete(dense[r], r)).sum() * 0.5
+
+    def test_to_dense_roundtrip(self):
+        mat = sparse_blocked_matrix(5, 3, seed=2)
+        dense = mat.to_dense()
+        for i, j in mat.nonzero_blocks():
+            block = dense[i * 3 : (i + 1) * 3, j * 3 : (j + 1) * 3]
+            assert (block == mat[i, j]).all()
+
+    def test_copy_independent(self):
+        mat = sparse_blocked_matrix(4, 2, seed=3)
+        dup = mat.copy()
+        dup[0, 0][0, 0] = 999.0
+        assert mat[0, 0][0, 0] != 999.0
+
+    def test_symbolic_fill_closure(self):
+        """After fill, no bmod ever targets a missing block."""
+        mat = sparse_blocked_matrix(9, 2, bandwidth=1, extra_density=0.3, seed=4)
+        symbolic_fill(mat)
+        n = mat.num_blocks
+        for k in range(n):
+            for i in range(k + 1, n):
+                if mat[i, k] is None:
+                    continue
+                for j in range(k + 1, n):
+                    if mat[k, j] is not None:
+                        assert mat[i, j] is not None
+
+
+class TestCircuits:
+    def test_gate_counts_grow_with_width(self):
+        assert kogge_stone_adder(16).num_gates > kogge_stone_adder(4).num_gates
+        assert tree_multiplier(8).num_gates > tree_multiplier(4).num_gates
+
+    def test_unknown_gate_kind_rejected(self):
+        from repro.inputs import Circuit
+
+        with pytest.raises(ValueError):
+            Circuit().add_gate("FLUX")
+
+    def test_inputs_and_outputs_registered(self):
+        c = kogge_stone_adder(4)
+        assert set(c.inputs) == {f"{p}{i}" for p in "ab" for i in range(4)}
+        assert set(c.outputs) == {f"s{i}" for i in range(5)}
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=20, deadline=None)
+    def test_multiplier_matches_python(self, a, b):
+        bits = 6
+        c = tree_multiplier(bits)
+        vec = {f"a{i}": (a >> i) & 1 for i in range(bits)}
+        vec.update({f"b{i}": (b >> i) & 1 for i in range(bits)})
+        out = c.evaluate(vec)
+        assert sum(out[f"p{i}"] << i for i in range(2 * bits)) == a * b

@@ -1,0 +1,108 @@
+"""Unit tests for the event-driven list-scheduling simulator."""
+
+import pytest
+
+from repro.machine import Category, SimMachine, simulate_async
+
+
+def make_step(durations, children=None, exposed_log=None):
+    """A step function from a duration table and a child map."""
+    children = children or {}
+
+    def step(task):
+        if exposed_log is not None:
+            exposed_log.append(task)
+        return {Category.EXECUTE: float(durations[task])}, children.get(task, [])
+
+    return step
+
+
+class TestSimulateAsync:
+    def test_independent_tasks_run_in_parallel(self):
+        m = SimMachine(4)
+        n = simulate_async(m, ["a", "b", "c", "d"], key=lambda t: t,
+                           step=make_step({t: 100 for t in "abcd"}))
+        assert n == 4
+        assert m.elapsed_cycles() == 100.0
+
+    def test_serial_chain_takes_sum(self):
+        m = SimMachine(4)
+        durations = {0: 10, 1: 20, 2: 30}
+        children = {0: [1], 1: [2]}
+        n = simulate_async(m, [0], key=lambda t: t, step=make_step(durations, children))
+        assert n == 3
+        assert m.elapsed_cycles() == 60.0
+
+    def test_fewer_threads_than_tasks(self):
+        m = SimMachine(2)
+        simulate_async(m, list(range(4)), key=lambda t: t,
+                       step=make_step({t: 100 for t in range(4)}))
+        assert m.elapsed_cycles() == 200.0
+
+    def test_priority_order_among_available(self):
+        m = SimMachine(1)
+        order = []
+        simulate_async(m, [3, 1, 2], key=lambda t: t,
+                       step=make_step({1: 5, 2: 5, 3: 5}, exposed_log=order))
+        assert order == [1, 2, 3]
+
+    def test_released_children_wait_for_completion(self):
+        # Parent takes 100; the child can only start at t=100, even though
+        # a thread is idle the whole time.
+        m = SimMachine(2)
+        simulate_async(m, ["p"], key=lambda t: t,
+                       step=make_step({"p": 100, "q": 50}, {"p": ["q"]}))
+        assert m.elapsed_cycles() == 150.0
+
+    def test_diamond_dependence_makespan(self):
+        # p -> (a, b) run in parallel; makespan = p + max(a, b).
+        m = SimMachine(2)
+        simulate_async(m, ["p"], key=lambda t: t,
+                       step=make_step({"p": 10, "a": 100, "b": 40}, {"p": ["a", "b"]}))
+        assert m.elapsed_cycles() == 110.0
+
+    def test_idle_time_accounted(self):
+        m = SimMachine(2)
+        simulate_async(m, ["p"], key=lambda t: t,
+                       step=make_step({"p": 100, "q": 50}, {"p": ["q"]}))
+        # Thread 1 idles the first 100 cycles and the final straggler wait.
+        assert m.stats.total(Category.IDLE) > 0
+
+    def test_clocks_aligned_at_end(self):
+        m = SimMachine(3)
+        simulate_async(m, ["a"], key=lambda t: t, step=make_step({"a": 42}))
+        assert m.clocks[0] == m.clocks[1] == m.clocks[2] == 42.0
+
+    def test_empty_initial_set(self):
+        m = SimMachine(2)
+        assert simulate_async(m, [], key=lambda t: t, step=make_step({})) == 0
+        assert m.elapsed_cycles() == 0.0
+
+    def test_breakdown_categories_preserved(self):
+        m = SimMachine(1)
+
+        def step(task):
+            return {Category.EXECUTE: 10.0, Category.SCHEDULE: 4.0}, []
+
+        simulate_async(m, ["x"], key=lambda t: t, step=step)
+        assert m.stats.total(Category.EXECUTE) == 10.0
+        assert m.stats.total(Category.SCHEDULE) == 4.0
+
+    def test_work_conservation(self):
+        # Total busy cycles equal the sum of step durations regardless of
+        # the thread count.
+        durations = {t: 10 * (t + 1) for t in range(6)}
+        for threads in (1, 2, 4):
+            m = SimMachine(threads)
+            simulate_async(m, list(durations), key=lambda t: t,
+                           step=make_step(durations))
+            assert m.stats.total(Category.EXECUTE) == pytest.approx(
+                sum(durations.values())
+            )
+
+    def test_makespan_never_below_critical_path(self):
+        m = SimMachine(8)
+        durations = {"p": 50, "c": 60, "g": 70}
+        simulate_async(m, ["p"], key=lambda t: t,
+                       step=make_step(durations, {"p": ["c"], "c": ["g"]}))
+        assert m.elapsed_cycles() == 180.0

@@ -1,0 +1,51 @@
+"""Unit tests for the cycle-cost model (repro.machine.costmodel)."""
+
+import pytest
+
+from repro.machine import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_default_instance_shared(self):
+        assert DEFAULT_COST_MODEL == CostModel()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.mark_cas = 1.0  # type: ignore[misc]
+
+    def test_pq_cost_grows_with_size(self):
+        cm = CostModel()
+        assert cm.pq_cost(10) < cm.pq_cost(1000) < cm.pq_cost(100000)
+
+    def test_pq_cost_positive_for_empty(self):
+        assert CostModel().pq_cost(0) > 0
+
+    def test_barrier_free_on_one_thread(self):
+        assert CostModel().barrier_cost(1) == 0.0
+
+    def test_barrier_grows_with_threads(self):
+        cm = CostModel()
+        assert 0 < cm.barrier_cost(2) < cm.barrier_cost(8) < cm.barrier_cost(40)
+
+    def test_worklist_contention_grows_with_threads(self):
+        cm = CostModel()
+        assert cm.worklist_cost(1) < cm.worklist_cost(40)
+        assert cm.worklist_cost(1) == cm.worklist_op
+
+    def test_cas_cost_scales_with_contenders(self):
+        cm = CostModel()
+        assert cm.cas_cost(1) == cm.mark_cas
+        assert cm.cas_cost(4) == 4 * cm.mark_cas
+        assert cm.cas_cost(0) == cm.mark_cas  # clamps to at least one
+
+    def test_work_cost_linear(self):
+        cm = CostModel(cycles_per_work=2.0)
+        assert cm.work_cost(10) == 20.0
+
+    def test_cycles_to_seconds_uses_frequency(self):
+        cm = CostModel(frequency_hz=2.2e9)
+        assert cm.cycles_to_seconds(2.2e9) == pytest.approx(1.0)
+
+    def test_custom_model_overrides(self):
+        cm = CostModel(barrier_base=0.0, barrier_per_thread=1.0)
+        assert cm.barrier_cost(10) == 10.0

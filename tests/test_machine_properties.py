@@ -1,0 +1,87 @@
+"""Property tests for the simulated machine (conservation laws)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Category, CostModel, SimMachine, simulate_async
+
+FLAT = CostModel(barrier_base=0.0, barrier_per_thread=0.0)
+
+costs = st.lists(st.floats(1.0, 1000.0), max_size=30)
+
+
+class TestRunPhaseProperties:
+    @given(costs, st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_busy_cycles_conserved(self, items, threads):
+        """Every charged cycle lands in exactly one category."""
+        m = SimMachine(threads, FLAT)
+        m.run_phase([{Category.EXECUTE: c} for c in items])
+        assert m.stats.total(Category.EXECUTE) == pytest.approx(sum(items))
+
+    @given(costs, st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, items, threads):
+        """max(item, total/threads) <= makespan <= total."""
+        m = SimMachine(threads, FLAT)
+        m.run_phase([{Category.EXECUTE: c} for c in items])
+        total = sum(items)
+        longest = max(items) if items else 0.0
+        assert m.elapsed_cycles() <= total + 1e-6
+        assert m.elapsed_cycles() >= max(longest, total / threads) - 1e-6
+
+    @given(costs)
+    @settings(max_examples=30, deadline=None)
+    def test_single_thread_is_serial_sum(self, items):
+        m = SimMachine(1, FLAT)
+        m.run_phase([{Category.EXECUTE: c} for c in items])
+        assert m.elapsed_cycles() == pytest.approx(sum(items))
+
+    @given(costs, st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_idle_accounts_for_imbalance(self, items, threads):
+        """threads x makespan = busy + idle (+barrier overhead, zero here)."""
+        m = SimMachine(threads, FLAT)
+        m.run_phase([{Category.EXECUTE: c} for c in items])
+        lhs = threads * m.elapsed_cycles()
+        rhs = m.stats.total()
+        assert lhs == pytest.approx(rhs)
+
+
+class TestAsyncProperties:
+    @given(
+        st.dictionaries(st.integers(0, 15), st.floats(1.0, 500.0), min_size=1),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_independent_tasks_conservation(self, durations, threads):
+        m = SimMachine(threads)
+
+        def step(task):
+            return {Category.EXECUTE: durations[task]}, []
+
+        n = simulate_async(m, list(durations), key=lambda t: t, step=step)
+        assert n == len(durations)
+        assert m.stats.total(Category.EXECUTE) == pytest.approx(sum(durations.values()))
+        total = sum(durations.values())
+        longest = max(durations.values())
+        assert m.elapsed_cycles() >= max(longest, total / threads) - 1e-6
+        assert m.elapsed_cycles() <= total + 1e-6
+
+    @given(
+        st.lists(st.floats(1.0, 100.0), min_size=1, max_size=12),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_chain_takes_exactly_sum(self, durations, threads):
+        """A dependence chain cannot be sped up by threads."""
+        m = SimMachine(threads)
+        table = dict(enumerate(durations))
+
+        def step(task):
+            children = [task + 1] if task + 1 in table else []
+            return {Category.EXECUTE: table[task]}, children
+
+        simulate_async(m, [0], key=lambda t: t, step=step)
+        assert m.elapsed_cycles() == pytest.approx(sum(durations))

@@ -1,0 +1,117 @@
+"""Unit tests for the simulated machine (repro.machine.simcore)."""
+
+import pytest
+
+from repro.machine import Category, CostModel, SimMachine
+
+FLAT = CostModel(barrier_base=0.0, barrier_per_thread=0.0)
+
+
+def exec_cost(cycles):
+    return {Category.EXECUTE: float(cycles)}
+
+
+class TestCharging:
+    def test_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            SimMachine(0)
+
+    def test_charge_advances_clock_and_stats(self):
+        m = SimMachine(2)
+        m.charge(1, Category.EXECUTE, 100.0)
+        assert m.clocks == [0.0, 100.0]
+        assert m.stats.total(Category.EXECUTE) == 100.0
+
+    def test_charge_serial_uses_thread_zero(self):
+        m = SimMachine(3)
+        m.charge_serial(Category.SCHEDULE, 10.0)
+        assert m.clocks[0] == 10.0
+
+    def test_set_clock_monotonic(self):
+        m = SimMachine(1)
+        m.set_clock(0, 5.0)
+        with pytest.raises(ValueError):
+            m.set_clock(0, 1.0)
+
+    def test_elapsed_is_max_clock(self):
+        m = SimMachine(2)
+        m.charge(0, Category.EXECUTE, 10.0)
+        m.charge(1, Category.EXECUTE, 30.0)
+        assert m.elapsed_cycles() == 30.0
+
+    def test_elapsed_seconds(self):
+        m = SimMachine(1, CostModel(frequency_hz=1e9))
+        m.charge(0, Category.EXECUTE, 1e9)
+        assert m.elapsed_seconds() == pytest.approx(1.0)
+
+
+class TestRunPhase:
+    def test_even_distribution(self):
+        m = SimMachine(4, FLAT)
+        m.run_phase([exec_cost(100)] * 8)
+        # 8 equal items over 4 threads: 2 each, makespan 200.
+        assert m.elapsed_cycles() == 200.0
+
+    def test_greedy_least_loaded(self):
+        m = SimMachine(2, FLAT)
+        # 300 goes to t0; 100,100 land on t1; final 100 on whichever is
+        # shorter (t1 at 200) -> makespan 300.
+        m.run_phase([exec_cost(300), exec_cost(100), exec_cost(100), exec_cost(100)])
+        assert m.elapsed_cycles() == 300.0
+
+    def test_single_thread_serializes(self):
+        m = SimMachine(1, FLAT)
+        m.run_phase([exec_cost(50)] * 4)
+        assert m.elapsed_cycles() == 200.0
+
+    def test_barrier_aligns_clocks(self):
+        m = SimMachine(2, FLAT)
+        m.run_phase([exec_cost(100)])
+        assert m.clocks[0] == m.clocks[1] == 100.0
+
+    def test_barrier_charges_idle(self):
+        m = SimMachine(2, FLAT)
+        m.run_phase([exec_cost(100)])
+        assert m.stats.total(Category.IDLE) == 100.0  # the empty thread waits
+
+    def test_barrier_cost_added(self):
+        cm = CostModel(barrier_base=10.0, barrier_per_thread=0.0)
+        m = SimMachine(2, cm)
+        m.run_phase([exec_cost(100)])
+        assert m.elapsed_cycles() == 110.0
+        assert m.barrier_count == 1
+
+    def test_no_barrier_option(self):
+        m = SimMachine(2, FLAT)
+        m.run_phase([exec_cost(100)], barrier=False)
+        assert m.clocks[0] == 100.0
+        assert m.clocks[1] == 0.0
+
+    def test_chunked_assignment_keeps_chunk_together(self):
+        m = SimMachine(2, FLAT)
+        # chunk_size 2: (100,100) to t0, (100,100) to t1 -> makespan 200.
+        m.run_phase([exec_cost(100)] * 4, chunk_size=2)
+        assert m.elapsed_cycles() == 200.0
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError):
+            SimMachine(1).run_phase([], chunk_size=0)
+
+    def test_mixed_categories_in_one_item(self):
+        m = SimMachine(1, FLAT)
+        m.run_phase([{Category.EXECUTE: 10.0, Category.SCHEDULE: 5.0}])
+        assert m.stats.total(Category.EXECUTE) == 10.0
+        assert m.stats.total(Category.SCHEDULE) == 5.0
+        assert m.elapsed_cycles() == 15.0
+
+    def test_phase_count_increments(self):
+        m = SimMachine(1, FLAT)
+        m.run_phase([])
+        m.run_phase([])
+        assert m.phase_count == 2
+
+    def test_empty_phase_on_multithread_still_barriers(self):
+        cm = CostModel(barrier_base=7.0, barrier_per_thread=0.0)
+        m = SimMachine(4, cm)
+        m.run_phase([])
+        assert m.elapsed_cycles() == 7.0

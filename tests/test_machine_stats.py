@@ -1,0 +1,105 @@
+"""Unit tests for cycle accounting (repro.machine.stats)."""
+
+import pytest
+
+from repro.machine import Category, CycleStats
+
+
+class TestCategory:
+    def test_labels_match_paper_figures(self):
+        assert Category.SAFETY_TEST.value == "SAFETY_TEST"
+        assert Category.EXECUTE.value == "EXECUTE"
+        assert Category.SCHEDULE.value == "SCHEDULE"
+        assert Category.COMMIT.value == "COMMIT"
+        assert Category.ABORT.value == "ABORT"
+
+    def test_is_string_enum(self):
+        assert isinstance(Category.EXECUTE, str)
+
+
+class TestCycleStats:
+    def test_requires_positive_thread_count(self):
+        with pytest.raises(ValueError):
+            CycleStats(0)
+
+    def test_initial_totals_zero(self):
+        stats = CycleStats(4)
+        assert stats.total() == 0.0
+        assert all(v == 0.0 for v in stats.breakdown().values())
+
+    def test_charge_accumulates(self):
+        stats = CycleStats(2)
+        stats.charge(0, Category.EXECUTE, 100.0)
+        stats.charge(0, Category.EXECUTE, 50.0)
+        stats.charge(1, Category.SCHEDULE, 30.0)
+        assert stats.total(Category.EXECUTE) == 150.0
+        assert stats.total(Category.SCHEDULE) == 30.0
+        assert stats.total() == 180.0
+
+    def test_negative_charge_rejected(self):
+        stats = CycleStats(1)
+        with pytest.raises(ValueError):
+            stats.charge(0, Category.EXECUTE, -1.0)
+
+    def test_thread_total_excluding_idle(self):
+        stats = CycleStats(1)
+        stats.charge(0, Category.EXECUTE, 10.0)
+        stats.charge(0, Category.IDLE, 5.0)
+        assert stats.thread_total(0) == 15.0
+        assert stats.thread_total(0, include_idle=False) == 10.0
+
+    def test_breakdown_sums_threads(self):
+        stats = CycleStats(3)
+        for tid in range(3):
+            stats.charge(tid, Category.EXECUTE, 10.0)
+        assert stats.breakdown()[Category.EXECUTE] == 30.0
+
+    def test_fractions_sum_to_one(self):
+        stats = CycleStats(2)
+        stats.charge(0, Category.EXECUTE, 75.0)
+        stats.charge(1, Category.COMMIT, 25.0)
+        fractions = stats.fractions()
+        assert fractions[Category.EXECUTE] == pytest.approx(0.75)
+        assert fractions[Category.COMMIT] == pytest.approx(0.25)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_restricted_categories(self):
+        stats = CycleStats(1)
+        stats.charge(0, Category.EXECUTE, 60.0)
+        stats.charge(0, Category.IDLE, 40.0)
+        only_exec = stats.fractions([Category.EXECUTE, Category.COMMIT])
+        assert only_exec[Category.EXECUTE] == pytest.approx(1.0)
+        assert Category.IDLE not in only_exec
+
+    def test_fractions_of_empty_stats(self):
+        stats = CycleStats(1)
+        assert all(v == 0.0 for v in stats.fractions().values())
+
+    def test_reclassify_moves_cycles(self):
+        stats = CycleStats(1)
+        stats.charge(0, Category.EXECUTE, 100.0)
+        stats.reclassify(0, Category.EXECUTE, Category.ABORT, 40.0)
+        assert stats.total(Category.EXECUTE) == 60.0
+        assert stats.total(Category.ABORT) == 40.0
+        assert stats.total() == 100.0
+
+    def test_reclassify_clamps_to_available(self):
+        stats = CycleStats(1)
+        stats.charge(0, Category.EXECUTE, 10.0)
+        stats.reclassify(0, Category.EXECUTE, Category.ABORT, 99.0)
+        assert stats.total(Category.EXECUTE) == 0.0
+        assert stats.total(Category.ABORT) == 10.0
+
+    def test_merge(self):
+        a = CycleStats(2)
+        b = CycleStats(2)
+        a.charge(0, Category.EXECUTE, 10.0)
+        b.charge(0, Category.EXECUTE, 5.0)
+        b.charge(1, Category.SCHEDULE, 7.0)
+        a.merge(b)
+        assert a.total(Category.EXECUTE) == 15.0
+        assert a.total(Category.SCHEDULE) == 7.0
+
+    def test_merge_rejects_mismatched_threads(self):
+        with pytest.raises(ValueError):
+            CycleStats(2).merge(CycleStats(3))

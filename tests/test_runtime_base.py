@@ -1,0 +1,80 @@
+"""Tests for shared executor machinery (LoopResult, MinTracker, inflation)."""
+
+import pytest
+
+from repro import SimMachine
+from repro.core import Task
+from repro.machine import Category, CostModel
+from repro.runtime.base import LoopResult, MinTracker, inflate_execute
+
+
+class TestMinTracker:
+    def test_empty(self):
+        tracker = MinTracker()
+        assert tracker.min_task() is None
+        assert tracker.min_priority() is None
+        assert len(tracker) == 0
+
+    def test_min_by_key(self):
+        tracker = MinTracker()
+        a, b = Task("a", 5, 0), Task("b", 2, 1)
+        tracker.add(a)
+        tracker.add(b)
+        assert tracker.min_task() is b
+        assert tracker.min_priority() == 2
+
+    def test_lazy_removal(self):
+        tracker = MinTracker()
+        a, b = Task("a", 1, 0), Task("b", 2, 1)
+        tracker.add(a)
+        tracker.add(b)
+        tracker.remove(a)
+        assert tracker.min_task() is b
+        assert len(tracker) == 1
+
+    def test_remove_absent_is_noop(self):
+        tracker = MinTracker()
+        tracker.remove(Task("x", 0, 99))
+
+    def test_tie_break_by_tid(self):
+        tracker = MinTracker()
+        first, second = Task("f", 3, 0), Task("s", 3, 1)
+        tracker.add(second)
+        tracker.add(first)
+        assert tracker.min_task() is first
+
+
+class TestInflateExecute:
+    def test_no_inflation_on_one_thread(self):
+        machine = SimMachine(1)
+        assert inflate_execute(machine, 100.0, 1.0) == 100.0
+
+    def test_no_inflation_for_compute_bound(self):
+        machine = SimMachine(40)
+        assert inflate_execute(machine, 100.0, 0.0) == 100.0
+
+    def test_memory_bound_grows_with_threads(self):
+        cm = CostModel(bandwidth_penalty_per_thread=0.025)
+        at8 = inflate_execute(SimMachine(8, cm), 100.0, 1.0)
+        at40 = inflate_execute(SimMachine(40, cm), 100.0, 1.0)
+        assert 100.0 < at8 < at40
+
+    def test_partial_fraction_interpolates(self):
+        cm = CostModel(bandwidth_penalty_per_thread=0.1)
+        machine = SimMachine(11, cm)  # stretch = 2.0 for the memory share
+        assert inflate_execute(machine, 100.0, 0.5) == pytest.approx(150.0)
+
+
+class TestLoopResult:
+    def test_derived_fields(self):
+        machine = SimMachine(2)
+        machine.charge(0, Category.EXECUTE, 2.2e9)
+        result = LoopResult("app", "exec", machine, executed=5)
+        assert result.elapsed_cycles == 2.2e9
+        assert result.elapsed_seconds == pytest.approx(1.0)
+        assert result.breakdown()[Category.EXECUTE] == 2.2e9
+        assert result.stats is machine.stats
+
+    def test_metrics_default_empty(self):
+        result = LoopResult("a", "e", SimMachine(1), executed=0)
+        assert result.metrics == {}

@@ -1,0 +1,164 @@
+"""Unit tests for the implicit KDG executor and its windowing."""
+
+import pytest
+
+from repro import AlgorithmProperties, SimMachine
+from repro.core import LivenessViolation, OrderedAlgorithm
+from repro.runtime import AdaptiveWindow, run_ikdg, run_serial
+
+from .helpers import ChainCounter
+
+
+class TestAdaptiveWindow:
+    def test_first_size_at_least_threads(self):
+        policy = AdaptiveWindow(initial=4)
+        assert policy.first_size(16) == 16
+
+    def test_grows_when_starved(self):
+        policy = AdaptiveWindow()
+        assert policy.next_size(64, committed=2, num_threads=8) == 128
+
+    def test_stays_when_fed(self):
+        policy = AdaptiveWindow(target_per_thread=4)
+        assert policy.next_size(64, committed=64, num_threads=8) == 64
+
+    def test_capped_at_max(self):
+        policy = AdaptiveWindow(max_size=100)
+        assert policy.next_size(80, committed=0, num_threads=8) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveWindow(initial=0)
+        with pytest.raises(ValueError):
+            AdaptiveWindow(growth=1.0)
+
+
+class TestIKDG:
+    def test_matches_serial_state(self):
+        serial = ChainCounter(cells=4, steps=6)
+        run_serial(serial.algorithm())
+        parallel = ChainCounter(cells=4, steps=6)
+        result = run_ikdg(parallel.algorithm(), SimMachine(3))
+        assert parallel.sums == serial.sums
+        assert result.executed == 24
+
+    def test_conflicting_tasks_serialize_in_priority_order(self):
+        app = ChainCounter(cells=1, steps=5)
+        run_ikdg(app.algorithm(), SimMachine(4))
+        assert app.history == sorted(app.history)
+
+    def test_small_window_forces_more_rounds(self):
+        few = ChainCounter(cells=16, steps=1)
+        many = ChainCounter(cells=16, steps=1)
+        small = run_ikdg(
+            few.algorithm(), SimMachine(2),
+            window_policy=AdaptiveWindow(initial=2, growth=1.001, max_size=2),
+        )
+        large = run_ikdg(
+            many.algorithm(), SimMachine(2),
+            window_policy=AdaptiveWindow(initial=64),
+        )
+        assert small.rounds > large.rounds
+
+    def test_prefix_condition_pulls_child_into_window(self):
+        """A child earlier than the window max must run inside the window."""
+        # Cell chains with interleaved priorities: children (step+1) have
+        # priority below other cells' initial tasks when steps differ.
+        app = ChainCounter(cells=2, steps=3)
+        result = run_ikdg(app.algorithm(), SimMachine(2))
+        assert app.sums == app.expected_sums()
+        assert result.metrics["tasks_created"] == 6
+
+    def test_unstable_safe_test_filters(self):
+        app = ChainCounter(cells=4, steps=2)
+
+        def safe_test(task, view):
+            return task.item[1] % 2 == 0 or task.priority == view.min_priority
+
+        algorithm = app.algorithm(
+            properties=AlgorithmProperties(
+                monotonic=True, structure_based_rw_sets=True
+            ),
+            safe_source_test=safe_test,
+        )
+        run_ikdg(algorithm, SimMachine(4))
+        assert app.sums == app.expected_sums()
+
+    def test_liveness_violation(self):
+        app = ChainCounter(cells=2, steps=1)
+        algorithm = app.algorithm(
+            properties=AlgorithmProperties(monotonic=True),
+            safe_source_test=lambda task, view: False,
+        )
+        with pytest.raises(LivenessViolation):
+            run_ikdg(algorithm, SimMachine(2))
+
+    def test_read_read_sharing_executes_in_one_round(self):
+        """Pure readers of one location must not serialize."""
+        done = []
+        algorithm = OrderedAlgorithm(
+            name="readers",
+            initial_items=list(range(8)),
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.read("shared"),
+            apply_update=lambda item, ctx: done.append(item),
+            properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+        )
+        result = run_ikdg(algorithm, SimMachine(8))
+        assert len(done) == 8
+        assert result.rounds == 1
+
+    def test_writer_blocks_later_readers(self):
+        order = []
+
+        def visit(item, ctx):
+            if item == 0:
+                ctx.write("shared")
+            else:
+                ctx.read("shared")
+
+        algorithm = OrderedAlgorithm(
+            name="write-then-read",
+            initial_items=[0, 1, 2],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=lambda item, ctx: order.append(item),
+            properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+        )
+        run_ikdg(algorithm, SimMachine(4))
+        assert order[0] == 0
+
+    def test_earlier_reader_blocks_writer(self):
+        order = []
+
+        def visit(item, ctx):
+            if item == 2:
+                ctx.write("shared")
+            else:
+                ctx.read("shared")
+
+        algorithm = OrderedAlgorithm(
+            name="read-then-write",
+            initial_items=[0, 1, 2],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=lambda item, ctx: order.append(item),
+            properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+        )
+        run_ikdg(algorithm, SimMachine(4))
+        assert order[-1] == 2
+
+    def test_level_windows(self):
+        app = ChainCounter(cells=4, steps=3)
+        algorithm = app.algorithm(level_of=lambda item: item[0])
+        result = run_ikdg(algorithm, SimMachine(4), level_windows=True)
+        assert app.sums == app.expected_sums()
+        # One window per chain step.
+        assert result.rounds == 3
+
+    def test_metrics_reported(self):
+        app = ChainCounter(cells=2, steps=2)
+        result = run_ikdg(app.algorithm(), SimMachine(2))
+        assert result.metrics["tasks_created"] == 4
+        assert result.metrics["final_window_size"] >= 1
+        assert result.metrics["mean_round_size"] > 0

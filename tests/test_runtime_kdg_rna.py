@@ -1,0 +1,189 @@
+"""Unit tests for the explicit KDG executor (rounds and async variants)."""
+
+import pytest
+
+from repro import AlgorithmProperties, SimMachine
+from repro.core import LivenessViolation, OrderedAlgorithm
+from repro.runtime import run_kdg_rna, run_serial
+
+from .helpers import ChainCounter
+
+
+def chain_properties(**kw):
+    base = dict(stable_source=True, monotonic=True, structure_based_rw_sets=True)
+    base.update(kw)
+    return AlgorithmProperties(**base)
+
+
+class TestRoundBased:
+    def test_matches_serial_state(self):
+        serial = ChainCounter(cells=4, steps=6)
+        run_serial(serial.algorithm())
+        parallel = ChainCounter(cells=4, steps=6)
+        result = run_kdg_rna(
+            parallel.algorithm(), SimMachine(3), asynchronous=False
+        )
+        assert parallel.sums == serial.sums
+        assert result.executed == serial.steps * serial.cells
+        assert result.rounds == serial.steps  # one chain step per round
+
+    def test_independent_chains_in_same_round(self):
+        app = ChainCounter(cells=6, steps=3)
+        result = run_kdg_rna(app.algorithm(), SimMachine(6), asynchronous=False)
+        # All 6 cells progress together: rounds = steps, not steps*cells.
+        assert result.rounds == 3
+
+    def test_safety_check_mode_passes_for_stable_app(self):
+        app = ChainCounter(cells=3, steps=3)
+        run_kdg_rna(app.algorithm(), SimMachine(2), asynchronous=False,
+                    check_safety=True)
+        assert app.sums == app.expected_sums()
+
+    def test_unstable_app_uses_safe_source_test(self):
+        # Only even cells may run (except the earliest task, kept for
+        # liveness); the test records invocations.
+        app = ChainCounter(cells=4, steps=2)
+        tested = []
+
+        def safe_test(task, view):
+            tested.append(task.item)
+            return task.item[1] % 2 == 0 or task.priority == view.min_priority
+
+        algorithm = app.algorithm(
+            properties=chain_properties(stable_source=False),
+            safe_source_test=safe_test,
+        )
+        run_kdg_rna(algorithm, SimMachine(4), asynchronous=False)
+        assert app.sums == app.expected_sums()
+        assert tested, "safe-source test was never applied"
+
+    def test_liveness_violation_raised(self):
+        app = ChainCounter(cells=2, steps=1)
+        algorithm = app.algorithm(
+            properties=chain_properties(stable_source=False),
+            safe_source_test=lambda task, view: False,
+        )
+        with pytest.raises(LivenessViolation):
+            run_kdg_rna(algorithm, SimMachine(2), asynchronous=False)
+
+    def test_subrule_n_recomputes_neighbor_rw_sets(self):
+        """A neighbor's rw-set changes after execution; subrule N rewires."""
+        # Tasks: t0 writes "x"; t1's rw-set is "x" before t0 runs and "y"
+        # after.  Without subrule N, t1 would be re-run with a stale set.
+        state = {"flag": False, "order": []}
+
+        def visit(item, ctx):
+            if item == 0:
+                ctx.write("x")
+            else:
+                ctx.write("x" if not state["flag"] else "y")
+
+        def body(item, ctx):
+            state["order"].append(item)
+            if item == 0:
+                state["flag"] = True
+            ctx.work(10)
+
+        algorithm = OrderedAlgorithm(
+            name="shifting",
+            initial_items=[0, 1],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+        )
+        result = run_kdg_rna(algorithm, SimMachine(2), asynchronous=False)
+        assert state["order"] == [0, 1]
+        assert result.executed == 2
+
+
+class TestAsync:
+    def test_auto_selects_async_for_capable_properties(self):
+        app = ChainCounter()
+        result = run_kdg_rna(app.algorithm(), SimMachine(2))
+        assert result.executor == "kdg-rna-async"
+
+    def test_async_rejected_without_properties(self):
+        app = ChainCounter()
+        algorithm = app.algorithm(properties=AlgorithmProperties(stable_source=True))
+        with pytest.raises(ValueError):
+            run_kdg_rna(algorithm, SimMachine(2), asynchronous=True)
+
+    def test_async_matches_serial_state(self):
+        serial = ChainCounter(cells=5, steps=7)
+        run_serial(serial.algorithm())
+        parallel = ChainCounter(cells=5, steps=7)
+        run_kdg_rna(parallel.algorithm(), SimMachine(4))
+        assert parallel.sums == serial.sums
+
+    def test_async_faster_than_rounds_for_chains(self):
+        """Chains of unequal length: rounds wait at barriers, async doesn't."""
+        rounds_app = ChainCounter(cells=8, steps=10, work=500.0)
+        rounds = run_kdg_rna(rounds_app.algorithm(), SimMachine(8),
+                             asynchronous=False)
+        async_app = ChainCounter(cells=8, steps=10, work=500.0)
+        asynchronous = run_kdg_rna(async_app.algorithm(), SimMachine(8))
+        assert asynchronous.elapsed_cycles < rounds.elapsed_cycles
+
+    def test_async_scales_with_threads(self):
+        one = ChainCounter(cells=8, steps=8, work=400.0)
+        r1 = run_kdg_rna(one.algorithm(), SimMachine(1))
+        eight = ChainCounter(cells=8, steps=8, work=400.0)
+        r8 = run_kdg_rna(eight.algorithm(), SimMachine(8))
+        assert r8.elapsed_cycles < r1.elapsed_cycles / 3
+
+    def test_async_with_local_safe_test(self):
+        app = ChainCounter(cells=3, steps=4)
+        calls = []
+
+        def local_test(task, view):
+            calls.append(task.item)
+            return True
+
+        algorithm = app.algorithm(
+            properties=chain_properties(
+                stable_source=False, local_safe_source_test=True
+            ),
+            safe_source_test=local_test,
+        )
+        result = run_kdg_rna(algorithm, SimMachine(2))
+        assert result.executor == "kdg-rna-async"
+        assert app.sums == app.expected_sums()
+        assert calls
+
+    def test_async_stall_raises_liveness(self):
+        app = ChainCounter(cells=2, steps=1)
+        algorithm = app.algorithm(
+            properties=chain_properties(
+                stable_source=False, local_safe_source_test=True
+            ),
+            safe_source_test=lambda task, view: False,
+        )
+        with pytest.raises(LivenessViolation):
+            run_kdg_rna(algorithm, SimMachine(2))
+
+    def test_dependence_hint_skips_rw_sets(self):
+        """§4.7: explicit dependences wire the DAG without rw-set visits."""
+        visits = []
+        done = []
+
+        def visit(item, ctx):
+            visits.append(item)
+            ctx.write(("n", item))
+
+        algorithm = OrderedAlgorithm(
+            name="chain-dag",
+            initial_items=[0, 1, 2],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=lambda item, ctx: done.append(item),
+            properties=AlgorithmProperties(
+                stable_source=True,
+                no_new_tasks=True,
+                structure_based_rw_sets=True,
+            ),
+            dependences=lambda item: [item - 1] if item > 0 else [],
+        )
+        run_kdg_rna(algorithm, SimMachine(2))
+        assert done == [0, 1, 2]
+        assert visits == [], "rw-sets computed despite the dependence hint"

@@ -1,0 +1,141 @@
+"""Unit tests for the level-by-level and speculation executors."""
+
+import pytest
+
+from repro import AlgorithmProperties, SimMachine
+from repro.machine import Category
+from repro.runtime import run_level_by_level, run_serial, run_speculation
+
+from .helpers import ChainCounter
+
+
+class TestLevelByLevel:
+    def test_matches_serial_state(self):
+        serial = ChainCounter(cells=4, steps=5)
+        run_serial(serial.algorithm())
+        parallel = ChainCounter(cells=4, steps=5)
+        result = run_level_by_level(
+            parallel.algorithm(level_of=lambda item: item[0]), SimMachine(4)
+        )
+        assert parallel.sums == serial.sums
+        assert result.executed == 20
+
+    def test_level_statistics(self):
+        app = ChainCounter(cells=4, steps=5)
+        result = run_level_by_level(
+            app.algorithm(level_of=lambda item: item[0]), SimMachine(2)
+        )
+        assert result.metrics["num_levels"] == 5
+        assert result.metrics["avg_tasks_per_level"] == pytest.approx(4.0)
+        assert result.metrics["max_tasks_per_level"] == 4
+
+    def test_requires_monotonicity(self):
+        app = ChainCounter()
+        algorithm = app.algorithm(
+            properties=AlgorithmProperties(stable_source=True)
+        )
+        with pytest.raises(ValueError, match="monotonicity"):
+            run_level_by_level(algorithm, SimMachine(2))
+
+    def test_without_level_of_each_priority_is_a_level(self):
+        app = ChainCounter(cells=3, steps=2)
+        result = run_level_by_level(app.algorithm(), SimMachine(2))
+        # Priorities (step, cell) are all distinct: 6 levels of 1 task.
+        assert result.metrics["num_levels"] == 6
+        assert result.metrics["avg_tasks_per_level"] == pytest.approx(1.0)
+
+    def test_same_level_conflicts_resolved_by_subrounds(self):
+        # All tasks share one cell and one level: marking sub-rounds must
+        # serialize them correctly.
+        from repro.core import OrderedAlgorithm
+
+        order = []
+        algorithm = OrderedAlgorithm(
+            name="one-level",
+            initial_items=[2, 0, 1],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("cell"),
+            apply_update=lambda item, ctx: order.append(item),
+            properties=AlgorithmProperties(stable_source=True, monotonic=True,
+                                           no_new_tasks=True),
+            level_of=lambda item: 0,
+        )
+        result = run_level_by_level(algorithm, SimMachine(4))
+        assert order == [0, 1, 2]
+        assert result.metrics["num_levels"] == 1
+        assert result.rounds == 3  # one sub-round per conflicting task
+
+    def test_barrier_cost_hurts_many_levels(self):
+        """Fine-grained levels (AVI-like) make level-by-level slow."""
+        fine = ChainCounter(cells=2, steps=20, work=50.0)
+        fine_result = run_level_by_level(
+            fine.algorithm(level_of=lambda item: item[0]), SimMachine(8)
+        )
+        serial = ChainCounter(cells=2, steps=20, work=50.0)
+        serial_result = run_serial(serial.algorithm())
+        assert fine_result.elapsed_cycles > serial_result.elapsed_cycles
+
+
+class TestSpeculation:
+    def test_matches_serial_state(self):
+        serial = ChainCounter(cells=4, steps=5)
+        run_serial(serial.algorithm())
+        spec = ChainCounter(cells=4, steps=5)
+        result = run_speculation(spec.algorithm(), SimMachine(4))
+        assert spec.sums == serial.sums
+        assert result.executed == 20
+        assert result.metrics["commits"] == 20
+
+    def test_execution_order_is_serial_order(self):
+        app = ChainCounter(cells=3, steps=4)
+        run_speculation(app.algorithm(), SimMachine(4))
+        assert app.history == sorted(app.history)
+
+    def test_no_aborts_for_disjoint_tasks(self):
+        app = ChainCounter(cells=6, steps=1)
+        result = run_speculation(app.algorithm(), SimMachine(6))
+        assert result.metrics["aborts"] == 0
+
+    def test_conflicting_tasks_cause_aborts_or_parks(self):
+        # All tasks on one cell, plenty of threads: later tasks grabbed
+        # speculatively conflict with the earliest.
+        app = ChainCounter(cells=1, steps=1)
+        from repro.core import AlgorithmProperties, OrderedAlgorithm
+
+        body_calls = []
+        algorithm = OrderedAlgorithm(
+            name="conflict",
+            initial_items=list(range(6)),
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("hot"),
+            apply_update=lambda item, ctx: (ctx.work(200), body_calls.append(item)),
+            properties=AlgorithmProperties(stable_source=True, monotonic=True,
+                                           no_new_tasks=True),
+        )
+        result = run_speculation(algorithm, SimMachine(6))
+        assert body_calls == list(range(6))
+        # Hot conflicts show up as aborts and/or commit-queue time.
+        breakdown = result.breakdown()
+        assert result.metrics["aborts"] > 0 or breakdown[Category.COMMIT] > 0
+
+    def test_commit_queue_time_grows_with_threads(self):
+        small = ChainCounter(cells=16, steps=4, work=60.0)
+        r2 = run_speculation(small.algorithm(), SimMachine(2))
+        big = ChainCounter(cells=16, steps=4, work=60.0)
+        r8 = run_speculation(big.algorithm(), SimMachine(8))
+        frac2 = r2.stats.fractions()[Category.COMMIT]
+        frac8 = r8.stats.fractions()[Category.COMMIT]
+        assert frac8 >= frac2
+
+    def test_single_thread_has_no_aborts(self):
+        app = ChainCounter(cells=2, steps=4)
+        result = run_speculation(app.algorithm(), SimMachine(1))
+        assert result.metrics["aborts"] == 0
+
+    def test_work_conserved_in_execute_category(self):
+        app = ChainCounter(cells=3, steps=3, work=100.0)
+        result = run_speculation(app.algorithm(), SimMachine(2))
+        executed_plus_aborted = result.breakdown()[Category.EXECUTE] + result.breakdown()[
+            Category.ABORT
+        ]
+        assert executed_plus_aborted >= 9 * 100.0

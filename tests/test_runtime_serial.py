@@ -1,0 +1,68 @@
+"""Unit tests for the serial baseline executor."""
+
+import pytest
+
+from repro import SimMachine
+from repro.runtime import run_serial
+
+from .helpers import ChainCounter
+
+
+class TestRunSerial:
+    def test_executes_everything_in_priority_order(self):
+        app = ChainCounter(cells=3, steps=5)
+        result = run_serial(app.algorithm())
+        assert result.executed == 15
+        assert app.sums == app.expected_sums()
+        # History must be sorted by (step, cell): global priority order.
+        assert app.history == sorted(app.history)
+
+    def test_rejects_multithread_machine(self):
+        app = ChainCounter()
+        with pytest.raises(ValueError):
+            run_serial(app.algorithm(), SimMachine(2))
+
+    def test_charges_execute_and_schedule(self):
+        from repro.machine import Category
+
+        app = ChainCounter(cells=2, steps=2, work=100.0)
+        result = run_serial(app.algorithm())
+        assert result.stats.total(Category.EXECUTE) == pytest.approx(4 * 100.0)
+        assert result.stats.total(Category.SCHEDULE) > 0
+
+    def test_linear_baseline_cheaper_than_heap(self):
+        heap_app = ChainCounter(cells=8, steps=20)
+        heap_cycles = run_serial(heap_app.algorithm(), baseline="heap").elapsed_cycles
+        lin_app = ChainCounter(cells=8, steps=20)
+        lin_cycles = run_serial(lin_app.algorithm(), baseline="linear").elapsed_cycles
+        assert lin_cycles < heap_cycles
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            run_serial(ChainCounter().algorithm(), baseline="quantum")
+
+    def test_checked_mode_enforces_rw_sets(self):
+        from repro.core import AlgorithmProperties, OrderedAlgorithm, RWSetViolation
+
+        def visit(item, ctx):
+            ctx.write(("cell", 0))
+
+        def bad_body(item, ctx):
+            ctx.access(("cell", 99))  # undeclared
+
+        algorithm = OrderedAlgorithm(
+            name="bad",
+            initial_items=[1],
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=bad_body,
+            properties=AlgorithmProperties(stable_source=True),
+        )
+        with pytest.raises(RWSetViolation):
+            run_serial(algorithm, checked=True)
+
+    def test_result_metadata(self):
+        result = run_serial(ChainCounter(cells=1, steps=1).algorithm())
+        assert result.algorithm == "chain-counter"
+        assert result.executor == "serial"
+        assert result.elapsed_seconds > 0
