@@ -71,6 +71,36 @@ def save_results(name: str, payload: dict) -> Path:
     return path
 
 
+def load_baseline(name: str, *, required: bool = False) -> dict | None:
+    """Load stored results ``benchmarks/results/<name>.json``, tolerantly.
+
+    Baselines are build artifacts, not checked in — a fresh clone has none.
+    A missing or unparseable file returns ``None`` (or, with
+    ``required=True`` inside a test, skips the test with a message naming
+    the producing benchmark) instead of raising.
+    """
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.is_file():
+        message = (
+            f"no stored baseline {path.name}; run the producing benchmark "
+            f"(pytest benchmarks/ -k {name}) first"
+        )
+        if required:
+            import pytest
+
+            pytest.skip(message)
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        message = f"stored baseline {path.name} unreadable: {exc}"
+        if required:
+            import pytest
+
+            pytest.skip(message)
+        return None
+
+
 def print_series_table(
     title: str, threads_list: list[int], series: dict[str, list[float]]
 ) -> None:

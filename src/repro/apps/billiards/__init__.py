@@ -20,6 +20,11 @@ SPEC = AppSpec(
     validate=lambda state: state.validate(),
     run_manual=run_manual,
     run_other=None,  # no third-party comparator in the paper (§4.3)
+    # Void (stale) predictions re-predict from the state at their own
+    # serialization point; only their *number* varies between schedules
+    # (simulation.py), so the committed-task multiset is schedule-dependent
+    # even though the physical trajectory is deterministic.
+    deterministic_task_set=False,
 )
 
 __all__ = [

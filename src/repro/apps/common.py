@@ -58,6 +58,18 @@ class AppSpec:
     extra_impls: dict[str, Callable[[Any, SimMachine], LoopResult]] = field(
         default_factory=dict
     )
+    #: Whether the multiset of committed tasks is the same for every
+    #: serializable schedule.  False for apps whose bodies re-issue work
+    #: based on state observed at their serialization point — billiards
+    #: void predictions vary in number between schedules — in which case
+    #: the oracle compares final-state digests but not task multisets.
+    deterministic_task_set: bool = True
+    #: Canonicalize a task priority for cross-executor comparison.  Some
+    #: apps embed a creation counter in the priority as a FIFO tie-break
+    #: (DES event ids); creation order is schedule-dependent, so the oracle
+    #: strips it before comparing task multisets and last-writer digests.
+    #: ``None`` compares priorities verbatim.
+    oracle_task_key: Callable[[Any], Any] | None = None
 
     def auto_executor(self) -> str:
         """The executor §3.6's rules select for this app's properties."""

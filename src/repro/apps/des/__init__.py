@@ -26,6 +26,10 @@ SPEC = AppSpec(
     run_manual=run_manual,
     run_other=run_other,
     extra_impls={"time-warp": run_timewarp},
+    # DES priorities are (time, gate, port, eid); eid is a global creation
+    # counter used only as a FIFO tie-break, and creation order is
+    # schedule-dependent.  The logical event (time, gate, port) is not.
+    oracle_task_key=lambda priority: priority[:3],
 )
 
 __all__ = [

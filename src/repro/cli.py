@@ -4,13 +4,17 @@ Examples::
 
     python -m repro run avi --impl kdg-auto --threads 16
     python -m repro run mst --impl speculation --threads 8 --size large
+    python -m repro oracle billiards --seeds 0 1 2 --threads 4
+    python -m repro oracle --all --json
     python -m repro list
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from . import SimMachine
 from .apps import APPS
@@ -35,6 +39,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--size", choices=("small", "large"), default="small")
     run.add_argument("--validate", action="store_true",
                      help="also compare against the serial execution")
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="differential serializability oracle: every executor vs. serial",
+    )
+    oracle.add_argument("apps", nargs="*", metavar="app",
+                        help=f"apps to check ({', '.join(sorted(APPS))}; "
+                             f"default: all)")
+    oracle.add_argument("--all", action="store_true", dest="all_apps",
+                        help="check every registered app")
+    oracle.add_argument("--seeds", type=int, nargs="+", default=[0, 1],
+                        help="input seeds (default: 0 1)")
+    oracle.add_argument("--threads", type=int, default=3)
+    oracle.add_argument("--executors", nargs="+", default=None,
+                        help="subset of oracle executors (default: all six)")
+    oracle.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON report per (app, seed) to stdout")
+    oracle.add_argument("--export-dir", type=Path, default=None,
+                        help="write each executor's trace as JSON under DIR")
 
     sub.add_parser("list", help="list applications and their implementations")
     return parser
@@ -88,10 +111,69 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_oracle(args: argparse.Namespace) -> int:
+    from .oracle import ORACLE_EXECUTORS, diff_executors
+
+    apps = args.apps or sorted(APPS)
+    if args.all_apps:
+        apps = sorted(APPS)
+    unknown = [a for a in apps if a not in APPS]
+    if unknown:
+        print(f"error: unknown app(s) {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    executors = None if args.executors is None else tuple(args.executors)
+    if executors is not None:
+        bad = [e for e in executors if e not in ORACLE_EXECUTORS]
+        if bad:
+            print(f"error: unknown executor(s) {', '.join(bad)} "
+                  f"(choose from {', '.join(ORACLE_EXECUTORS)})",
+                  file=sys.stderr)
+            return 2
+    export_dir: Path | None = args.export_dir
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for app in apps:
+        for seed in args.seeds:
+            report = diff_executors(
+                app, seed=seed, threads=args.threads, executors=executors,
+                keep_traces=export_dir is not None,
+            )
+            if export_dir is not None:
+                for verdict in report.verdicts:
+                    if verdict.trace is None:
+                        continue
+                    path = export_dir / f"{app}-s{seed}-{verdict.executor}.json"
+                    path.write_text(verdict.trace.to_json())
+            if args.as_json:
+                print(json.dumps(report.to_dict(), default=repr))
+            else:
+                for verdict in report.verdicts:
+                    mark = {"ok": "ok  ", "skip": "skip", "fail": "FAIL"}[verdict.status]
+                    line = (f"{mark} {app:<10} seed={seed} "
+                            f"{verdict.executor:<15} tasks={verdict.executed}")
+                    if verdict.status == "skip":
+                        line += f"  ({verdict.reason})"
+                    first = verdict.first_violation()
+                    if first is not None:
+                        line += f"\n     [{first.kind}] {first.message}"
+                    print(line)
+            if not report.ok:
+                failures += 1
+    if failures:
+        print(f"oracle: {failures} (app, seed) combination(s) diverged",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "oracle":
+        return cmd_oracle(args)
     return cmd_run(args)
 
 

@@ -89,11 +89,18 @@ class _PairingNode(Generic[T]):
 
 
 class PairingHeap(Generic[T]):
-    """Pairing heap with O(1) amortized insert and meld."""
+    """Pairing heap with O(1) amortized insert and meld.
+
+    The tie-break counter is shared across instances so that melding two
+    heaps preserves a single global insertion order among equal keys —
+    a per-heap counter would make the post-meld order of ties depend on
+    which heap each entry came from.
+    """
+
+    _counter = itertools.count()
 
     def __init__(self, key: Callable[[T], Any], items: Iterable[T] = ()):
         self._key = key
-        self._counter = itertools.count()
         self._root: _PairingNode[T] | None = None
         self._size = 0
         for item in items:

@@ -35,6 +35,8 @@ from .stats import Category
 StepFn = Callable[[Any], tuple[dict[Category, float], list[Any]]]
 #: Priority key: smaller = earlier.  Must totally order tasks.
 KeyFn = Callable[[Any], Any]
+#: ``on_assign(task, thread_id)``: called as a worker picks up a task.
+AssignFn = Callable[[Any, int], None]
 
 
 def simulate_async(
@@ -42,12 +44,15 @@ def simulate_async(
     initial: Iterable[Any],
     key: KeyFn,
     step: StepFn,
+    on_assign: AssignFn | None = None,
 ) -> int:
     """Run an asynchronous schedule on ``machine``; return tasks executed.
 
     ``initial`` are the sources available at time zero.  ``step`` executes a
     task (application code plus update rule), returning its cycle-cost
-    breakdown and the tasks it newly exposed as sources.
+    breakdown and the tasks it newly exposed as sources.  ``on_assign`` is
+    invoked with ``(task, thread_id)`` just before each ``step`` so callers
+    can attribute the task to the simulated worker that ran it.
     """
     seq = 0
     available: list[tuple[Any, int, Any]] = []  # (priority key, seq, task)
@@ -68,6 +73,8 @@ def simulate_async(
         while available and idle:
             tid = heapq.heappop(idle)
             _, _, task = heapq.heappop(available)
+            if on_assign is not None:
+                on_assign(task, tid)
             breakdown, exposed = step(task)
             executed += 1
             idle_time = now - thread_clock[tid]

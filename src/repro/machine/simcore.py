@@ -69,13 +69,17 @@ class SimMachine:
         item_costs: Iterable[CostBreakdown],
         chunk_size: int = 1,
         barrier: bool = True,
-    ) -> None:
+    ) -> list[int]:
         """Distribute per-item costs over threads, then (optionally) barrier.
 
         Items are assigned in order, ``chunk_size`` at a time, to the
         currently least-loaded thread — a deterministic stand-in for dynamic
         (work-stealing) scheduling.  Each item's cycles are charged to the
         thread that received it under the item's own categories.
+
+        Returns the thread id assigned to each item, in input order, so
+        callers (the execution-trace oracle) can attribute per-item work —
+        e.g. task commits — to simulated threads.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -83,22 +87,28 @@ class SimMachine:
         # Heap of (clock, tid) so ties resolve by thread id (deterministic).
         heap = [(self.clocks[tid], tid) for tid in range(self.num_threads)]
         heapq.heapify(heap)
+        assigned: list[int] = []
         chunk: list[CostBreakdown] = []
         for cost in item_costs:
             chunk.append(cost)
             if len(chunk) == chunk_size:
-                self._assign_chunk(heap, chunk)
+                self._assign_chunk(heap, chunk, assigned)
                 chunk = []
         if chunk:
-            self._assign_chunk(heap, chunk)
+            self._assign_chunk(heap, chunk, assigned)
         if barrier:
             self.global_barrier()
+        return assigned
 
     def _assign_chunk(
-        self, heap: list[tuple[float, int]], chunk: list[CostBreakdown]
+        self,
+        heap: list[tuple[float, int]],
+        chunk: list[CostBreakdown],
+        assigned: list[int],
     ) -> None:
         clock, tid = heapq.heappop(heap)
         for cost in chunk:
+            assigned.append(tid)
             for category, cycles in cost.items():
                 if cycles:
                     self.stats.charge(tid, category, cycles)

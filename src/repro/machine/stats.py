@@ -25,19 +25,38 @@ class Category(str, Enum):
 
 
 class CycleStats:
-    """Per-thread, per-category cycle counters."""
+    """Per-thread, per-category cycle counters (plus commit attribution)."""
 
     def __init__(self, num_threads: int):
         if num_threads < 1:
             raise ValueError("num_threads must be >= 1")
         self.num_threads = num_threads
         self._cycles = [dict.fromkeys(Category, 0.0) for _ in range(num_threads)]
+        self._commits = [0] * num_threads
 
     def charge(self, tid: int, category: Category, cycles: float) -> None:
         """Add ``cycles`` to thread ``tid`` under ``category``."""
         if cycles < 0:
             raise ValueError(f"negative cycle charge: {cycles}")
         self._cycles[tid][category] += cycles
+
+    def record_commit(self, tid: int, count: int = 1) -> None:
+        """Attribute ``count`` committed tasks to thread ``tid``.
+
+        Executors call this once per committed task so the execution-trace
+        oracle (and Fig. 12-style load-balance questions) can see which
+        simulated thread retired each task.
+        """
+        if count < 0:
+            raise ValueError(f"negative commit count: {count}")
+        self._commits[tid] += count
+
+    def commits_by_thread(self) -> list[int]:
+        """Committed-task count per thread, indexed by thread id."""
+        return list(self._commits)
+
+    def total_commits(self) -> int:
+        return sum(self._commits)
 
     def thread_total(self, tid: int, *, include_idle: bool = True) -> float:
         row = self._cycles[tid]
@@ -88,6 +107,7 @@ class CycleStats:
         for tid in range(self.num_threads):
             for cat, c in other._cycles[tid].items():
                 self._cycles[tid][cat] += c
+            self._commits[tid] += other._commits[tid]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bd = {cat.value: round(c, 1) for cat, c in self.breakdown().items() if c}

@@ -1,0 +1,37 @@
+"""Execution-trace oracle: serializability checking and differential tests.
+
+The correctness backbone for every executor: record the committed schedule
+(:mod:`~repro.oracle.trace`), verify it is conflict-serializable in
+priority order (:mod:`~repro.oracle.check`), and differentially test all
+executors against the serial reference on seeded inputs
+(:mod:`~repro.oracle.diff`).  Exposed on the command line as
+``python -m repro oracle``.
+"""
+
+from .check import CheckReport, Violation, check_trace, diff_traces
+from .diff import (
+    ORACLE_EXECUTORS,
+    DiffReport,
+    ExecutorVerdict,
+    diff_executors,
+    run_traced,
+)
+from .trace import ExecutionTrace, TraceEvent, TraceRecorder
+from .workloads import ORACLE_STATES, make_oracle_state
+
+__all__ = [
+    "CheckReport",
+    "DiffReport",
+    "ExecutionTrace",
+    "ExecutorVerdict",
+    "ORACLE_EXECUTORS",
+    "ORACLE_STATES",
+    "TraceEvent",
+    "TraceRecorder",
+    "Violation",
+    "check_trace",
+    "diff_executors",
+    "diff_traces",
+    "make_oracle_state",
+    "run_traced",
+]

@@ -1,0 +1,219 @@
+"""Serializability checking over recorded execution traces.
+
+Given an :class:`~repro.oracle.trace.ExecutionTrace`, :func:`check_trace`
+rebuilds the conflict structure from the recorded rw-sets and verifies that
+the commit order is **conflict-serializable in priority order**: for every
+pair of conflicting tasks (they share a location at least one writes) that
+were *pending simultaneously*, the task earlier under the total order
+``≺ = (priority, tid)`` must commit first.  This is the paper's safe-source
+property seen from the schedule side — a task may only commit while no
+conflicting earlier-priority task is pending — and since every pending task
+eventually commits, a violation always surfaces as such a pair committing
+out of ``≺`` order.  Two refinements make the check exact rather than
+over-strict:
+
+* **Creation gating** — a task pushed *after* a later-priority task
+  committed never overlapped it in time; such pairs are not violations
+  (the trace records each child at its parent's commit, so lifetimes are
+  reconstructible).
+* **Kinetic rw-sets** — when the algorithm's rw-sets are not
+  structure-based (Definition 4), location identities are state-dependent
+  snapshots (Kruskal's union-find component ids), so commit-time rw-sets
+  of two tasks are not comparable; the conflict-order and last-writer
+  checks are skipped (``trace.rw_stable``) and correctness rests on the
+  task-set and final-state digests.
+
+:func:`diff_traces` compares an executor's trace against the serial
+reference: the multiset of committed priorities must match (same logical
+tasks executed — task creation *ids* legitimately differ between executors,
+so ids are not compared) and the per-location last-writer digests must
+agree (same final state, location by location).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from .trace import ExecutionTrace, TraceEvent
+
+
+@dataclass
+class Violation:
+    """One detected inconsistency, with the events that witness it."""
+
+    kind: str                 # "conflict-order" | "round-order" | "task-set" | "digest"
+    message: str
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def excerpt(self) -> list[dict[str, Any]]:
+        """Minimized trace excerpt: just the witnessing events, as dicts."""
+        return [
+            {
+                "seq": e.seq,
+                "tid": e.tid,
+                "priority": repr(e.priority),
+                "round": e.round,
+                "thread": e.thread,
+                "rw_set": [repr(loc) for loc in e.rw_set],
+                "writes": sorted(repr(loc) for loc in e.write_set),
+            }
+            for e in self.events
+        ]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one trace (optionally against a reference)."""
+
+    algorithm: str
+    executor: str
+    violations: list[Violation] = field(default_factory=list)
+    checked_conflicts: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            note = "" if self.checked_conflicts else " (no rw info; digests only)"
+            return f"{self.algorithm}/{self.executor}: serializable{note}"
+        first = self.violations[0]
+        return (
+            f"{self.algorithm}/{self.executor}: {len(self.violations)} "
+            f"violation(s); first: [{first.kind}] {first.message}"
+        )
+
+
+def check_trace(trace: ExecutionTrace, max_violations: int = 10) -> CheckReport:
+    """Verify the commit order is conflict-serializable and priority-consistent.
+
+    One pass in commit order keeps, per location, the already-committed
+    touchers and writers.  A newly committed event conflicts with a prior
+    committed event on a location when at least one of the two writes it; a
+    conflicting prior with a *later* ``≺`` key that committed while the new
+    event was already alive (creation gating) is a safe-source violation —
+    the earlier-priority task was pending when the later one committed.
+    """
+    report = CheckReport(trace.algorithm, trace.executor)
+    report.checked_conflicts = trace.has_rw_info and trace.rw_stable
+    created = trace.creation_seqs()
+    # Per location, committed events so far (all touchers / writers only).
+    touchers: dict[Any, list[TraceEvent]] = {}
+    writers: dict[Any, list[TraceEvent]] = {}
+    last_round = 0
+    for event in trace.events:
+        if event.round < last_round:
+            report.violations.append(
+                Violation(
+                    "round-order",
+                    f"commit in round {event.round} after round {last_round}",
+                    [event],
+                )
+            )
+        last_round = max(last_round, event.round)
+        if not report.checked_conflicts:
+            continue
+        born = created[event.tid]
+        for loc in event.rw_set:
+            priors = touchers.get(loc, ()) if event.writes(loc) else writers.get(loc, ())
+            for prior in priors:
+                if prior.key > event.key and prior.seq > born:
+                    report.violations.append(
+                        Violation(
+                            "conflict-order",
+                            f"task {event.tid} (priority {event.priority!r}) "
+                            f"committed at seq {event.seq} after conflicting "
+                            f"later-priority task {prior.tid} "
+                            f"(priority {prior.priority!r}, seq {prior.seq}) "
+                            f"committed while it was pending, "
+                            f"on location {loc!r}",
+                            [prior, event],
+                        )
+                    )
+                    if len(report.violations) >= max_violations:
+                        return report
+            touchers.setdefault(loc, []).append(event)
+            if event.writes(loc):
+                writers.setdefault(loc, []).append(event)
+    return report
+
+
+def diff_traces(
+    reference: ExecutionTrace,
+    trace: ExecutionTrace,
+    max_violations: int = 10,
+    compare_tasks: bool = True,
+    task_key: Any = None,
+) -> CheckReport:
+    """Diff an executor's trace against the serial reference trace.
+
+    ``compare_tasks=False`` skips the committed-task multiset and
+    last-writer comparisons for apps whose task set is legitimately
+    schedule-dependent (billiards: the *number* of void re-predictions
+    varies between serializable schedules while the physics does not).
+    Such apps are still held to the final-state snapshot and the
+    per-trace serializability check.
+
+    ``task_key`` canonicalizes priorities before comparison for apps
+    whose priorities embed a schedule-dependent creation counter as a
+    tie-break (DES event ids); ``None`` compares priorities verbatim.
+    """
+    report = CheckReport(trace.algorithm, trace.executor)
+    if not compare_tasks:
+        report.checked_conflicts = False
+        return report
+    keyed = (lambda p: p) if task_key is None else task_key
+    ref_tasks = Counter(_hashable(keyed(e.priority)) for e in reference.events)
+    got_tasks = Counter(_hashable(keyed(e.priority)) for e in trace.events)
+    if ref_tasks != got_tasks:
+        missing = ref_tasks - got_tasks
+        extra = got_tasks - ref_tasks
+        report.violations.append(
+            Violation(
+                "task-set",
+                f"committed-task multiset differs from serial: "
+                f"{sum(missing.values())} missing "
+                f"(e.g. {list(missing)[:3]!r}), "
+                f"{sum(extra.values())} extra (e.g. {list(extra)[:3]!r})",
+            )
+        )
+    if (
+        reference.has_rw_info
+        and trace.has_rw_info
+        and reference.rw_stable
+        and trace.rw_stable
+    ):
+        ref_writers = reference.last_writers()
+        got_writers = trace.last_writers()
+        for loc in ref_writers.keys() | got_writers.keys():
+            ref_event = ref_writers.get(loc)
+            got_event = got_writers.get(loc)
+            ref_pri = None if ref_event is None else keyed(ref_event.priority)
+            got_pri = None if got_event is None else keyed(got_event.priority)
+            if _hashable(ref_pri) != _hashable(got_pri):
+                report.violations.append(
+                    Violation(
+                        "digest",
+                        f"last writer of {loc!r} differs: serial wrote it "
+                        f"last at priority {ref_pri!r}, {trace.executor} "
+                        f"at {got_pri!r}",
+                        [e for e in (ref_event, got_event) if e is not None],
+                    )
+                )
+                if len(report.violations) >= max_violations:
+                    break
+    else:
+        report.checked_conflicts = False
+    return report
+
+
+def _hashable(value: Any) -> Any:
+    """Priorities are usually hashable tuples/numbers; fall back to repr."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,270 @@
+"""Differential testing harness: every executor vs. the serial oracle.
+
+For one app and one seeded tiny input (:mod:`repro.oracle.workloads`), the
+harness runs the serial reference and each parallel executor on fresh
+copies of the same state, each with a :class:`~repro.oracle.trace.TraceRecorder`
+attached, and checks three things per executor:
+
+1. the recorded schedule is conflict-serializable in priority order
+   (:func:`repro.oracle.check.check_trace`);
+2. the trace matches the serial reference — same committed-task multiset,
+   same per-location last-writer digests
+   (:func:`repro.oracle.check.diff_traces`); skipped for apps that declare
+   ``deterministic_task_set=False`` (billiards, whose void re-prediction
+   count is schedule-dependent);
+3. the final application state snapshot equals the serial snapshot
+   bit-for-bit, and the app's domain invariants hold.
+
+Executor/property mismatches (e.g. the asynchronous KDG on an algorithm
+without structure-based rw-sets) are reported as *skipped*, not failures.
+The report carries the first divergence with a minimized trace excerpt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..apps import APPS
+from ..machine import SimMachine
+from ..runtime import (
+    run_ikdg,
+    run_kdg_rna,
+    run_level_by_level,
+    run_serial,
+    run_speculation,
+)
+from .check import CheckReport, Violation, check_trace, diff_traces
+from .trace import ExecutionTrace, TraceRecorder
+from .workloads import make_oracle_state
+
+#: The six executors the oracle compares (§3.4–§3.6 and the two study
+#: executors).  ``kdg-rna`` is forced round-based; ``kdg-rna-async`` is the
+#: barrier-free §3.6.3 variant, skipped where properties disallow it.
+ORACLE_EXECUTORS = (
+    "serial",
+    "kdg-rna",
+    "kdg-rna-async",
+    "ikdg",
+    "level-by-level",
+    "speculation",
+)
+
+
+def run_traced(
+    app: str,
+    executor: str,
+    state: Any,
+    threads: int = 3,
+    checked: bool = False,
+) -> tuple[Any, ExecutionTrace]:
+    """Run ``executor`` over ``state`` with a trace recorder attached.
+
+    Returns ``(LoopResult, ExecutionTrace)``.  Raises ``ValueError`` when
+    the app's declared properties rule the executor out (callers treat that
+    as a skip).
+    """
+    spec = APPS[app]
+    algorithm = spec.algorithm(state)
+    recorder = TraceRecorder()
+    if executor == "serial":
+        machine = SimMachine(1)
+        result = run_serial(
+            algorithm, machine, checked=checked,
+            baseline=spec.serial_baseline, recorder=recorder,
+        )
+    elif executor == "kdg-rna":
+        machine = SimMachine(threads)
+        result = run_kdg_rna(
+            algorithm, machine, checked=checked, asynchronous=False,
+            recorder=recorder,
+        )
+    elif executor == "kdg-rna-async":
+        machine = SimMachine(threads)
+        result = run_kdg_rna(
+            algorithm, machine, checked=checked, asynchronous=True,
+            recorder=recorder,
+        )
+    elif executor == "ikdg":
+        machine = SimMachine(threads)
+        result = run_ikdg(algorithm, machine, checked=checked, recorder=recorder)
+    elif executor == "level-by-level":
+        machine = SimMachine(threads)
+        result = run_level_by_level(
+            algorithm, machine, checked=checked, recorder=recorder
+        )
+    elif executor == "speculation":
+        machine = SimMachine(threads)
+        result = run_speculation(algorithm, machine, checked=checked, recorder=recorder)
+    else:
+        raise ValueError(f"unknown oracle executor {executor!r}")
+    trace = recorder.trace(
+        algorithm.name,
+        result.executor,
+        machine.num_threads,
+        rw_stable=algorithm.properties.structure_based_rw_sets,
+    )
+    return result, trace
+
+
+@dataclass
+class ExecutorVerdict:
+    """One executor's outcome against the serial oracle."""
+
+    app: str
+    executor: str
+    seed: int
+    threads: int
+    status: str = "ok"            # "ok" | "fail" | "skip"
+    reason: str = ""
+    executed: int = 0
+    violations: list[Violation] = field(default_factory=list)
+    snapshot_matches: bool | None = None
+    trace: ExecutionTrace | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def first_violation(self) -> Violation | None:
+        return self.violations[0] if self.violations else None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "app": self.app,
+            "executor": self.executor,
+            "seed": self.seed,
+            "threads": self.threads,
+            "status": self.status,
+            "executed": self.executed,
+            "snapshot_matches": self.snapshot_matches,
+        }
+        if self.reason:
+            out["reason"] = self.reason
+        first = self.first_violation()
+        if first is not None:
+            out["first_divergence"] = {
+                "kind": first.kind,
+                "message": first.message,
+                "trace_excerpt": first.excerpt(),
+            }
+            out["total_violations"] = len(self.violations)
+        return out
+
+
+@dataclass
+class DiffReport:
+    """All executors' verdicts for one (app, seed, threads)."""
+
+    app: str
+    seed: int
+    threads: int
+    verdicts: list[ExecutorVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(v.status != "fail" for v in self.verdicts)
+
+    def first_divergence(self) -> ExecutorVerdict | None:
+        for verdict in self.verdicts:
+            if verdict.status == "fail":
+                return verdict
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app,
+            "seed": self.seed,
+            "threads": self.threads,
+            "ok": self.ok,
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+def diff_executors(
+    app: str,
+    seed: int = 0,
+    threads: int = 3,
+    executors: tuple[str, ...] | None = None,
+    checked: bool = False,
+    keep_traces: bool = False,
+) -> DiffReport:
+    """Run ``app`` under every oracle executor on one seeded input and diff.
+
+    ``keep_traces=True`` attaches each executor's :class:`ExecutionTrace`
+    to its verdict (for JSON export); otherwise traces are dropped after
+    checking to keep memory flat across sweeps.
+    """
+    spec = APPS[app]
+    executors = ORACLE_EXECUTORS if executors is None else executors
+    report = DiffReport(app=app, seed=seed, threads=threads)
+
+    # Serial reference: trace + snapshot every executor is diffed against.
+    ref_state = make_oracle_state(app, seed)
+    ref_result, ref_trace = run_traced(app, "serial", ref_state, checked=checked)
+    spec.validate(ref_state)
+    ref_snapshot = spec.snapshot(ref_state)
+    ref_verdict = ExecutorVerdict(
+        app, "serial", seed, 1, executed=ref_result.executed,
+        snapshot_matches=True, trace=ref_trace if keep_traces else None,
+    )
+    ref_check = check_trace(ref_trace)
+    if not ref_check.ok:
+        ref_verdict.status = "fail"
+        ref_verdict.violations = ref_check.violations
+    report.verdicts.append(ref_verdict)
+
+    for executor in executors:
+        if executor == "serial":
+            continue
+        verdict = ExecutorVerdict(app, executor, seed, threads)
+        report.verdicts.append(verdict)
+        state = make_oracle_state(app, seed)
+        try:
+            result, trace = run_traced(app, executor, state, threads, checked=checked)
+        except ValueError as exc:
+            # Properties rule this executor out for this app (e.g. the
+            # asynchronous KDG without structure-based rw-sets).
+            verdict.status = "skip"
+            verdict.reason = str(exc)
+            continue
+        verdict.executed = result.executed
+        if keep_traces:
+            verdict.trace = trace
+        try:
+            spec.validate(state)
+        except AssertionError as exc:
+            verdict.violations.append(
+                Violation("digest", f"domain invariant violated: {exc}")
+            )
+        snapshot = spec.snapshot(state)
+        verdict.snapshot_matches = snapshot == ref_snapshot
+        if not verdict.snapshot_matches:
+            verdict.violations.append(
+                Violation(
+                    "digest",
+                    f"final-state snapshot differs from the serial execution "
+                    f"({app}/{executor}@{threads} threads, seed {seed})",
+                )
+            )
+        verdict.violations.extend(check_trace(trace).violations)
+        verdict.violations.extend(
+            diff_traces(
+                ref_trace,
+                trace,
+                compare_tasks=spec.deterministic_task_set,
+                task_key=spec.oracle_task_key,
+            ).violations
+        )
+        if verdict.violations:
+            verdict.status = "fail"
+    return report
+
+
+def check_reports(report: DiffReport) -> list[CheckReport]:
+    """Convenience: re-package verdicts as per-executor check reports."""
+    out = []
+    for verdict in report.verdicts:
+        cr = CheckReport(report.app, verdict.executor, list(verdict.violations))
+        out.append(cr)
+    return out

@@ -1,0 +1,243 @@
+"""Execution traces: what a KDG executor actually committed, in what order.
+
+The paper's correctness argument (§2, §4) is that every executor's schedule
+is *equivalent to the serial priority-order execution*.  The repo's apps can
+only witness that through final-state snapshots; this module records the
+schedule itself.  A :class:`TraceRecorder` is threaded through every
+executor (an optional ``recorder=`` keyword) and receives one event per
+*committed* task: its priority, commit round, simulated thread, rw-set and
+the children it pushed.  The resulting :class:`ExecutionTrace` is what the
+serializability checker (:mod:`repro.oracle.check`) and the differential
+harness (:mod:`repro.oracle.diff`) consume, and it exports to JSON for
+offline inspection (``repro oracle --export-dir``).
+
+Recording is passive: a recorder never changes task creation order, rw-set
+computation, or cycle charging, so a traced run is bit-for-bit the same
+execution as an untraced one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.task import Task
+
+#: Sentinel thread id for commits whose thread is patched in after the
+#: simulated phase assigns items to threads (see ``set_thread``).
+UNASSIGNED = -1
+
+
+@dataclass
+class TraceEvent:
+    """One committed task, in commit order."""
+
+    seq: int                      # position in the global commit order
+    tid: int                      # task creation id (the ≺ tie-breaker)
+    priority: Any                 # the orderedby value
+    round: int                    # executor round / sub-round (0 = no rounds)
+    thread: int                   # simulated thread that retired the task
+    rw_set: tuple[Any, ...]       # declared locations (empty if never computed)
+    write_set: frozenset          # subset of rw_set declared for writing
+    pushed: list[int] = field(default_factory=list)  # tids of pushed children
+
+    @property
+    def key(self) -> tuple[Any, int]:
+        """The total order ``≺``: priority first, creation id tie-break."""
+        return (self.priority, self.tid)
+
+    def writes(self, location: Any) -> bool:
+        return location in self.write_set
+
+
+@dataclass
+class ExecutionTrace:
+    """A full committed schedule for one (algorithm, executor) run."""
+
+    algorithm: str
+    executor: str
+    threads: int
+    events: list[TraceEvent]
+    #: Whether recorded rw-sets are stable location identities (Definition 4,
+    #: ``structure_based_rw_sets``).  Kinetic rw-sets — Kruskal's union-find
+    #: component ids — are snapshots of a *moving* conflict structure, so
+    #: commit-time rw-sets of two tasks taken at different times cannot be
+    #: compared; conflict-order and last-writer checks are skipped for them.
+    rw_stable: bool = True
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def creation_seqs(self) -> dict[int, int]:
+        """Task tid -> commit seq of the task that pushed it (-1 = initial).
+
+        A task exists (is pending) from its creation seq to its own commit;
+        the safe-source check only considers windows where both tasks of a
+        conflicting pair were alive.
+        """
+        created: dict[int, int] = {}
+        for event in self.events:
+            for child in event.pushed:
+                created[child] = event.seq
+        return {e.tid: created.get(e.tid, -1) for e in self.events}
+
+    @property
+    def has_rw_info(self) -> bool:
+        """Whether any event carries a non-empty rw-set.
+
+        Conventional-task-graph runs (§4.7 ``dependences`` hint) disable
+        rw-set computation entirely; their traces can only be checked on
+        final-state digests, not conflict order.
+        """
+        return any(event.rw_set for event in self.events)
+
+    def last_writers(self) -> dict[Any, TraceEvent]:
+        """Per-location, the event that committed the last write (by commit
+        order) — the trace-level final-state digest."""
+        writers: dict[Any, TraceEvent] = {}
+        for event in self.events:
+            for loc in event.write_set:
+                writers[loc] = event
+        return writers
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (see EXPERIMENTS.md for the schema)."""
+        return {
+            "schema": "repro.oracle.trace/v1",
+            "algorithm": self.algorithm,
+            "executor": self.executor,
+            "threads": self.threads,
+            "rw_stable": self.rw_stable,
+            "executed": len(self.events),
+            "events": [
+                {
+                    "seq": e.seq,
+                    "tid": e.tid,
+                    "priority": _jsonable(e.priority),
+                    "round": e.round,
+                    "thread": e.thread,
+                    "rw_set": [_jsonable(loc) for loc in e.rw_set],
+                    "write_set": sorted(
+                        (_jsonable(loc) for loc in e.write_set), key=repr
+                    ),
+                    "pushed": list(e.pushed),
+                }
+                for e in self.events
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _jsonable(value: Any) -> Any:
+    """Map a priority/location onto JSON types, falling back to ``repr``."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, frozenset):
+        return sorted((_jsonable(v) for v in value), key=repr)
+    try:  # numpy scalars and friends
+        return value.item()
+    except AttributeError:
+        return repr(value)
+
+
+class TraceRecorder:
+    """Collects commit events from an executor run.
+
+    Executors call, in this order per task:
+
+    * :meth:`commit` when the task's update is applied and it leaves the
+      pending set (the commit point);
+    * :meth:`push` for every child task it creates;
+    * :meth:`set_thread` once the bulk-synchronous phase has assigned the
+      task's execution to a simulated thread (round-based executors only —
+      event-driven executors know the thread at commit time).
+
+    ``begin_round`` advances the round counter used for subsequent commits.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._by_tid: dict[int, TraceEvent] = {}
+        self.round_no = 0
+
+    def begin_round(self) -> None:
+        self.round_no += 1
+
+    def commit(
+        self,
+        task: Task,
+        thread: int = UNASSIGNED,
+        round_no: int | None = None,
+    ) -> TraceEvent:
+        """Record that ``task`` committed (in call order)."""
+        return self.commit_raw(
+            tid=task.tid,
+            priority=task.priority,
+            rw_set=tuple(task.rw_set),
+            write_set=task.write_set,
+            thread=thread,
+            round_no=round_no,
+        )
+
+    def commit_raw(
+        self,
+        *,
+        tid: int,
+        priority: Any,
+        rw_set: tuple[Any, ...],
+        write_set: frozenset,
+        thread: int = UNASSIGNED,
+        round_no: int | None = None,
+    ) -> TraceEvent:
+        """Record a commit from explicit fields (for trace-replay executors
+        that no longer hold :class:`Task` objects, e.g. speculation)."""
+        if tid in self._by_tid:
+            raise ValueError(f"task {tid} committed twice")
+        event = TraceEvent(
+            seq=len(self.events),
+            tid=tid,
+            priority=priority,
+            round=self.round_no if round_no is None else round_no,
+            thread=thread,
+            rw_set=rw_set,
+            write_set=frozenset(write_set),
+        )
+        self.events.append(event)
+        self._by_tid[tid] = event
+        return event
+
+    def push(self, parent: Task, child: Task) -> None:
+        """Record that ``parent`` pushed ``child`` (parent must have
+        committed already — children appear at their parent's commit)."""
+        self.push_tid(parent.tid, child.tid)
+
+    def push_tid(self, parent_tid: int, child_tid: int) -> None:
+        event = self._by_tid.get(parent_tid)
+        if event is None:
+            raise ValueError(f"push from uncommitted task {parent_tid}")
+        event.pushed.append(child_tid)
+
+    def set_thread(self, tid: int, thread: int) -> None:
+        """Patch the committing thread once a phase assignment is known."""
+        self._by_tid[tid].thread = thread
+
+    def trace(
+        self,
+        algorithm: str,
+        executor: str,
+        threads: int,
+        rw_stable: bool = True,
+    ) -> ExecutionTrace:
+        """Finalize into an :class:`ExecutionTrace`."""
+        return ExecutionTrace(
+            algorithm=algorithm,
+            executor=executor,
+            threads=threads,
+            events=self.events,
+            rw_stable=rw_stable,
+        )

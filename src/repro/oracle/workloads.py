@@ -1,0 +1,38 @@
+"""Seeded tiny workloads for the differential oracle.
+
+Each builder returns a fresh application state small enough to run the full
+executor matrix in milliseconds, deterministically derived from ``seed`` —
+the differential harness sweeps seeds to vary meshes, graphs, matrices and
+event mixes.  These live in the package (not under ``tests/``) so the
+``repro oracle`` CLI, CI smoke jobs and the test suite all draw from the
+same inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..apps import avi, bfs, billiards, des, lu, mst, treesum
+
+#: ``app -> seed -> fresh state``; sizes chosen so one (app, executor, seed)
+#: run is a few milliseconds of Python.
+ORACLE_STATES = {
+    "avi": lambda seed: avi.make_state(5, 5, end_time=0.25, seed=seed),
+    "mst": lambda seed: mst.make_grid_state(9, 9, seed=seed),
+    "billiards": lambda seed: billiards.make_state(18, end_time=8.0, seed=seed),
+    "lu": lambda seed: lu.make_state(7, 5, seed=seed),
+    "des": lambda seed: des.make_adder_state(7, vectors=3, seed=seed),
+    "bfs": lambda seed: bfs.make_grid_state(12, 12, seed=seed),
+    "treesum": lambda seed: treesum.make_state(500, leaf_size=8, seed=seed),
+}
+
+
+def make_oracle_state(app: str, seed: int) -> Any:
+    """A fresh seeded tiny state for ``app``."""
+    try:
+        builder = ORACLE_STATES[app]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {app!r}; choose from {sorted(ORACLE_STATES)}"
+        ) from None
+    return builder(seed)

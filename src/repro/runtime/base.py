@@ -81,6 +81,27 @@ class MinTracker:
         return len(self._live)
 
 
+def attribute_commits(
+    machine: SimMachine,
+    recorder,
+    committed: list[tuple[Task, int]],
+    assigned: list[int],
+) -> None:
+    """Attribute phase-executed commits to their simulated threads.
+
+    ``committed`` pairs each committed task with its item index in the cost
+    list just run through :meth:`SimMachine.run_phase`; ``assigned`` is that
+    phase's per-item thread assignment.  Updates the machine's per-thread
+    commit counters and, when a trace ``recorder`` is attached, patches the
+    recorded events' thread ids.
+    """
+    for task, index in committed:
+        thread = assigned[index]
+        machine.stats.record_commit(thread)
+        if recorder is not None:
+            recorder.set_thread(task.tid, thread)
+
+
 def rw_visit_cost(algorithm: OrderedAlgorithm, machine: SimMachine, n_locs: int) -> float:
     """Cycles to run the read-only prefix over ``n_locs`` locations."""
     return machine.cost_model.rw_visit * max(1, n_locs)

@@ -25,7 +25,7 @@ from ..core.task import Task
 from ..galois.bucketed import BucketedWorklist
 from ..galois.worklist import OrderedWorklist
 from ..machine import Category, SimMachine
-from .base import LoopResult, execute_task, rw_visit_cost
+from .base import LoopResult, attribute_commits, execute_task, rw_visit_cost
 from .windowing import AdaptiveWindow
 
 
@@ -36,6 +36,7 @@ def run_ikdg(
     window_policy: AdaptiveWindow | None = None,
     level_windows: bool = False,
     chunk_size: int = 1,
+    recorder=None,
 ) -> LoopResult:
     """Run ``algorithm`` under the implicit (marking-based) KDG executor.
 
@@ -44,6 +45,7 @@ def run_ikdg(
     priority level, as given by the algorithm's ``level_of``.
     ``chunk_size`` is the paper's §3.7 scheduling hint: work items are
     handed to threads in chunks to amortize worklist traffic.
+    ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
     """
     if machine is None:
         machine = SimMachine(1)
@@ -171,7 +173,10 @@ def run_ikdg(
         # Phase III: execute safe sources, reset marks, route new tasks.
         safe.sort(key=Task.key)
         exec_costs = list(check_costs)
+        committed: list[tuple[Task, int]] = []  # (task, index into exec_costs)
         for task in safe:
+            if recorder is not None:
+                recorder.commit(task, round_no=rounds)
             new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
             del window[task]
             cost = {
@@ -180,6 +185,8 @@ def run_ikdg(
             }
             for item in new_items:
                 child = factory.make(item)
+                if recorder is not None:
+                    recorder.push(task, child)
                 # Prefix condition: a child earlier than the window's latest
                 # priority must be handled within the current window.
                 if level_windows:
@@ -192,9 +199,11 @@ def run_ikdg(
                 else:
                     backlog.push(child)
                 cost[Category.SCHEDULE] += cm.pq_cost(len(backlog))
+            committed.append((task, len(exec_costs)))
             exec_costs.append(cost)
             executed += 1
-        machine.run_phase(exec_costs, chunk_size=chunk_size)
+        assigned = machine.run_phase(exec_costs, chunk_size=chunk_size)
+        attribute_commits(machine, recorder, committed, assigned)
         marks_all.clear()
         marks_writer.clear()
         window_size = policy.next_size(window_size, len(safe), machine.num_threads)

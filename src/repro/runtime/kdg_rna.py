@@ -25,7 +25,7 @@ from ..core.algorithm import OrderedAlgorithm, SourceView
 from ..core.kdg import KDG, LivenessViolation, OpCounts
 from ..core.task import Task
 from ..machine import Category, SimMachine, simulate_async
-from .base import LoopResult, MinTracker, execute_task, rw_visit_cost
+from .base import LoopResult, MinTracker, attribute_commits, execute_task, rw_visit_cost
 
 
 def _ops_cycles(machine: SimMachine, ops: OpCounts) -> float:
@@ -92,13 +92,15 @@ def run_kdg_rna(
     check_safety: bool = False,
     asynchronous: bool | None = None,
     chunk_size: int = 1,
+    recorder=None,
 ) -> LoopResult:
     """Run ``algorithm`` under the explicit KDG executor.
 
     ``asynchronous=None`` picks the asynchronous variant automatically when
     the declared properties allow it (§3.6.3).  ``chunk_size`` is the §3.7
     scheduling hint for the bulk-synchronous phases (ignored by the
-    asynchronous variant, whose dispatch is per-task).
+    asynchronous variant, whose dispatch is per-task).  ``recorder`` is an
+    optional :class:`repro.oracle.TraceRecorder`.
     """
     if machine is None:
         machine = SimMachine(1)
@@ -111,8 +113,8 @@ def run_kdg_rna(
                 f"{algorithm.name}: asynchronous KDG-RNA requires "
                 "structure-based rw-sets and stable sources or a local test"
             )
-        return _run_async(algorithm, machine, checked, check_safety)
-    return _run_rounds(algorithm, machine, checked, check_safety, chunk_size)
+        return _run_async(algorithm, machine, checked, check_safety, recorder)
+    return _run_rounds(algorithm, machine, checked, check_safety, chunk_size, recorder)
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +126,7 @@ def _run_rounds(
     checked: bool,
     check_safety: bool,
     chunk_size: int = 1,
+    recorder=None,
 ) -> LoopResult:
     cm = machine.cost_model
     props = algorithm.properties
@@ -169,11 +172,15 @@ def _run_rounds(
         # Phase 2: execute safe sources; subrule R.
         exec_costs: list[dict[Category, float]] = list(test_costs)
         records: list[tuple[Task, list[Any], list[Task]]] = []
+        committed: list[tuple[Task, int]] = []  # (task, cost-list index)
         for w in safe:
+            if recorder is not None:
+                recorder.commit(w, round_no=rounds)
             new_items, exec_cycles = execute_task(algorithm, machine, w, checked)
             neighbors, ops = kdg.remove_task(w)
             tracker.remove(w)
             records.append((w, new_items, neighbors))
+            committed.append((w, len(exec_costs)))
             exec_costs.append(
                 {
                     Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
@@ -182,8 +189,10 @@ def _run_rounds(
             )
             executed += 1
         if not fuse_execute_with_update:
-            machine.run_phase(exec_costs, chunk_size=chunk_size)
+            assigned = machine.run_phase(exec_costs, chunk_size=chunk_size)
+            attribute_commits(machine, recorder, committed, assigned)
             exec_costs = []
+            committed = []
 
         # Phase 3: subrules N and A.
         update_costs: list[dict[Category, float]] = list(exec_costs)
@@ -203,9 +212,11 @@ def _run_rounds(
                     }
                 )
         if not props.no_new_tasks:
-            for _, new_items, _ in records:
+            for parent, new_items, _ in records:
                 for item in new_items:
                     child = factory.make(item)
+                    if recorder is not None:
+                        recorder.push(parent, child)
                     rw = algorithm.compute_rw_set(child)
                     ops = kdg.add_task(child, rw, child.write_set)
                     tracker.add(child)
@@ -215,7 +226,10 @@ def _run_rounds(
                             + _ops_cycles(machine, ops)
                         }
                     )
-        machine.run_phase(update_costs, chunk_size=chunk_size)
+        assigned = machine.run_phase(update_costs, chunk_size=chunk_size)
+        # Fused execute/update: the commit entries are a prefix of this
+        # phase's cost list, so their indices are still valid here.
+        attribute_commits(machine, recorder, committed, assigned)
         if check_safety:
             for w in safe:
                 kdg.unprotect(w)
@@ -238,6 +252,7 @@ def _run_async(
     machine: SimMachine,
     checked: bool,
     check_safety: bool,
+    recorder=None,
 ) -> LoopResult:
     cm = machine.cost_model
     props = algorithm.properties
@@ -249,6 +264,8 @@ def _run_async(
     released: set[Task] = set()
     parked: set[Task] = set()
     test_charges = {"count": 0}
+    # The worker the simulator hands the current task to (see on_assign).
+    current_thread = {"tid": 0}
 
     def try_release(candidates: list[Task]) -> list[Task]:
         """Apply the safe-source test; park failures, release passes."""
@@ -287,10 +304,15 @@ def _run_async(
         neighbors, ops = kdg.remove_task(task)
         tracker.remove(task)
         breakdown[Category.SCHEDULE] += _ops_cycles(machine, ops)
+        machine.stats.record_commit(current_thread["tid"])
+        if recorder is not None:
+            recorder.commit(task, thread=current_thread["tid"])
 
         children: list[Task] = []
         for item in new_items:
             child = factory.make(item)
+            if recorder is not None:
+                recorder.push(task, child)
             rw = algorithm.compute_rw_set(child)
             child_ops = kdg.add_task(child, rw, child.write_set)
             tracker.add(child)
@@ -314,8 +336,11 @@ def _run_async(
         ) * _safe_test_cost(algorithm, machine)
         return breakdown, exposed
 
+    def on_assign(task: Task, tid: int) -> None:
+        current_thread["tid"] = tid
+
     initial = try_release(kdg.sources())
-    executed = simulate_async(machine, initial, Task.key, step)
+    executed = simulate_async(machine, initial, Task.key, step, on_assign=on_assign)
     if kdg.not_empty():
         raise LivenessViolation(
             f"{algorithm.name}: asynchronous executor stalled with "

@@ -19,15 +19,19 @@ from ..core.algorithm import OrderedAlgorithm
 from ..core.task import Task
 from ..galois.worklist import OrderedWorklist
 from ..machine import Category, SimMachine
-from .base import LoopResult, execute_task, rw_visit_cost
+from .base import LoopResult, attribute_commits, execute_task, rw_visit_cost
 
 
 def run_level_by_level(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
     checked: bool = False,
+    recorder=None,
 ) -> LoopResult:
-    """Run ``algorithm`` level by level, recording level statistics."""
+    """Run ``algorithm`` level by level, recording level statistics.
+
+    ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
+    """
     if machine is None:
         machine = SimMachine(1)
     if not algorithm.properties.monotonic:
@@ -102,8 +106,11 @@ def run_level_by_level(
             losers = [t for t in level_tasks if not is_mark_owner(t)]
             winners.sort(key=Task.key)
             exec_costs = []
+            committed: list[tuple[Task, int]] = []
             next_batch: list[Task] = list(losers)
             for task in winners:
+                if recorder is not None:
+                    recorder.commit(task, round_no=sub_rounds)
                 new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
                 cost = {
                     Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
@@ -111,6 +118,8 @@ def run_level_by_level(
                 }
                 for item in new_items:
                     child = factory.make(item)
+                    if recorder is not None:
+                        recorder.push(task, child)
                     child_level = algorithm.level(child)
                     if child_level < level_key:
                         raise ValueError(
@@ -123,10 +132,12 @@ def run_level_by_level(
                     else:
                         worklist.push(child)
                     cost[Category.SCHEDULE] += cm.pq_cost(len(worklist))
+                committed.append((task, len(exec_costs)))
                 exec_costs.append(cost)
                 executed += 1
                 level_count += 1
-            machine.run_phase(exec_costs)
+            assigned = machine.run_phase(exec_costs)
+            attribute_commits(machine, recorder, committed, assigned)
             marks_all.clear()
             marks_writer.clear()
             level_tasks = next_batch

@@ -28,8 +28,14 @@ def run_serial(
     machine: SimMachine | None = None,
     checked: bool = False,
     baseline: str = "heap",
+    recorder=None,
 ) -> LoopResult:
-    """Execute ``algorithm`` serially in priority order."""
+    """Execute ``algorithm`` serially in priority order.
+
+    ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`; with
+    one attached, rw-sets are computed (uncharged, as in checked mode) so
+    the reference trace carries conflict information.
+    """
     if machine is None:
         machine = SimMachine(1)
     if machine.num_threads != 1:
@@ -53,15 +59,22 @@ def run_serial(
             machine.charge_serial(Category.SCHEDULE, cm.pq_cost(len(heap)))
         else:
             machine.charge_serial(Category.SCHEDULE, LINEAR_DISPATCH)
-        if checked:
-            # Checked mode needs the declared rw-set; the serial baseline
-            # itself never computes rw-sets, so no cycles are charged.
+        if checked or recorder is not None:
+            # Checked mode (and tracing) needs the declared rw-set; the
+            # serial baseline itself never computes rw-sets, so no cycles
+            # are charged.
             task.rw_set = algorithm.compute_rw_set(task)
         new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
         machine.charge_serial(Category.EXECUTE, exec_cycles)
+        machine.stats.record_commit(0)
         executed += 1
+        if recorder is not None:
+            recorder.commit(task, thread=0, round_no=executed)
         for item in new_items:
-            heap.push(factory.make(item))
+            child = factory.make(item)
+            heap.push(child)
+            if recorder is not None:
+                recorder.push(task, child)
             push_cost = cm.pq_cost(len(heap)) if baseline == "heap" else LINEAR_DISPATCH
             machine.charge_serial(Category.SCHEDULE, push_cost)
 

@@ -71,9 +71,11 @@ class _Replay:
         roots: list[int],
         machine: SimMachine,
         memory_fraction: float = 0.0,
+        recorder=None,
     ):
         self.nodes = nodes
         self.machine = machine
+        self.recorder = recorder
         self.cm = machine.cost_model
         self.exec_inflation = machine.cost_model.bandwidth_slowdown(
             machine.num_threads, memory_fraction
@@ -251,6 +253,17 @@ class _Replay:
                 self.state[tid] = "committed"
                 node = self.nodes[tid]
                 thread = self.thread_of.pop(tid)
+                self.machine.stats.record_commit(thread)
+                if self.recorder is not None:
+                    self.recorder.commit_raw(
+                        tid=node.tid,
+                        priority=node.key[0],
+                        rw_set=node.rw_set,
+                        write_set=node.write_set,
+                        thread=thread,
+                    )
+                    for child in node.children:
+                        self.recorder.push_tid(node.tid, child)
                 wait = max(0.0, now - self.finish_time[tid])
                 self._charge(thread, self.finish_time[tid], Category.COMMIT, wait)
                 for loc in node.rw_set:
@@ -291,12 +304,20 @@ def run_speculation(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
     checked: bool = False,
+    recorder=None,
 ) -> LoopResult:
-    """Run ``algorithm`` under the speculative executor."""
+    """Run ``algorithm`` under the speculative executor.
+
+    ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`; events
+    are emitted in commit order during the replay (in-order commit), using
+    the rw-sets captured by the serial trace pass.
+    """
     if machine is None:
         machine = SimMachine(1)
     nodes, roots = _build_trace(algorithm, checked)
-    replay = _Replay(nodes, roots, machine, algorithm.memory_bound_fraction)
+    replay = _Replay(
+        nodes, roots, machine, algorithm.memory_bound_fraction, recorder=recorder
+    )
     executed = replay.run()
     return LoopResult(
         algorithm=algorithm.name,

@@ -1,0 +1,58 @@
+"""Smoke tests for the benchmark harness, especially baseline loading.
+
+``benchmarks/results/*.json`` are build artifacts — a fresh clone has
+none, and a previously-aborted benchmark can leave a truncated file.
+:func:`benchmarks.harness.load_baseline` must tolerate both instead of
+raising mid-collection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks import harness
+
+
+class TestLoadBaseline:
+    def test_missing_baseline_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        assert harness.load_baseline("fig99") is None
+
+    def test_missing_baseline_required_skips_with_message(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        with pytest.raises(pytest.skip.Exception, match="fig99"):
+            harness.load_baseline("fig99", required=True)
+
+    def test_roundtrip_through_save_results(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        payload = {"threads": [1, 4], "series": {"serial": [1.0, 1.0]}}
+        path = harness.save_results("fig42", payload)
+        assert path.parent == tmp_path
+        assert harness.load_baseline("fig42") == payload
+        assert harness.load_baseline("fig42", required=True) == payload
+
+    def test_corrupt_baseline_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        (tmp_path / "fig13.json").write_text('{"truncated": ')
+        assert harness.load_baseline("fig13") is None
+        with pytest.raises(pytest.skip.Exception, match="unreadable"):
+            harness.load_baseline("fig13", required=True)
+
+    def test_directory_shadowing_name_returns_none(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(harness, "RESULTS_DIR", tmp_path)
+        (tmp_path / "fig7.json").mkdir()
+        assert harness.load_baseline("fig7") is None
+
+
+class TestHarnessRun:
+    def test_run_validates_and_returns_result(self):
+        result = harness.run("treesum", "serial", 1)
+        assert result.executed > 0
+        assert result.executor == "serial"
+
+    def test_make_state_sizes_differ(self):
+        small = harness.make_state("lu", "small")
+        large = harness.make_state("lu", "large")
+        assert small.snapshot() != large.snapshot()

@@ -102,6 +102,68 @@ class TestVerifier:
         )
         assert verify_properties(algorithm).structure_based_rw_sets
 
+    def _growing_rw_algorithm(self, bystanders: int) -> OrderedAlgorithm:
+        """Task 0's execution grows task 1's rw-set; ``bystanders`` extra
+        independent tasks pad the pending set."""
+        state = {"grown": False}
+
+        def visit(item, ctx):
+            ctx.write(("c", item))
+            if item == 1 and state["grown"]:
+                ctx.write(("c", 99))
+
+        def body(item, ctx):
+            if item == 0:
+                state["grown"] = True
+
+        return OrderedAlgorithm(
+            name="grower",
+            initial_items=list(range(2 + bystanders)),
+            priority=lambda x: x,
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=AlgorithmProperties(
+                stable_source=True, non_increasing_rw_sets=True,
+            ),
+        )
+
+    def test_rw_watch_runs_below_pending_cap(self):
+        # 2 + 60 initial tasks: 61 pending when task 0 executes — watched.
+        report = verify_properties(self._growing_rw_algorithm(60), max_tasks=2)
+        assert report.non_increasing_rw_sets
+
+    def test_rw_watch_capped_above_64_pending(self):
+        # 2 + 70 initial tasks: 71 pending when task 0 executes — the
+        # verifier caps the O(pending²) snapshotting at 64 pending tasks,
+        # so the same growth goes unobserved (a falsifier, not a prover).
+        report = verify_properties(self._growing_rw_algorithm(70), max_tasks=2)
+        assert not report.non_increasing_rw_sets
+        assert report.consistent
+
+    def test_state_independent_nonsubset_child_rw_accepted(self):
+        # Definition 4, clause (i): the child's rw-set is *not* covered by
+        # its parent's, but it is state-independent — recorded at creation
+        # and unchanged at execution, so the declaration stands.
+        def visit(item, ctx):
+            ctx.write(("c", item))
+
+        def body(item, ctx):
+            if item == "root":
+                ctx.push("child")
+
+        algorithm = OrderedAlgorithm(
+            name="clause-i",
+            initial_items=["root"],
+            priority=lambda x: {"root": 0, "child": 1}[x],
+            visit_rw_sets=visit,
+            apply_update=body,
+            properties=AlgorithmProperties(
+                stable_source=True, structure_based_rw_sets=True,
+            ),
+        )
+        report = verify_properties(algorithm)
+        assert report.consistent, report.violations()
+
     def test_sample_limit_respected(self):
         app = ChainCounter(cells=2, steps=100)
         verify_properties(app.algorithm(), max_tasks=10)

@@ -103,3 +103,38 @@ class TestCycleStats:
     def test_merge_rejects_mismatched_threads(self):
         with pytest.raises(ValueError):
             CycleStats(2).merge(CycleStats(3))
+
+
+class TestCommitCounters:
+    def test_initially_zero(self):
+        stats = CycleStats(3)
+        assert stats.commits_by_thread() == [0, 0, 0]
+        assert stats.total_commits() == 0
+
+    def test_record_commit_accumulates_per_thread(self):
+        stats = CycleStats(2)
+        stats.record_commit(0)
+        stats.record_commit(1, count=3)
+        stats.record_commit(1)
+        assert stats.commits_by_thread() == [1, 4]
+        assert stats.total_commits() == 5
+
+    def test_negative_count_rejected(self):
+        stats = CycleStats(1)
+        with pytest.raises(ValueError):
+            stats.record_commit(0, count=-1)
+
+    def test_commits_by_thread_returns_copy(self):
+        stats = CycleStats(1)
+        stats.record_commit(0)
+        snapshot = stats.commits_by_thread()
+        snapshot[0] = 99
+        assert stats.commits_by_thread() == [1]
+
+    def test_merge_adds_commits(self):
+        a, b = CycleStats(2), CycleStats(2)
+        a.record_commit(0)
+        b.record_commit(0)
+        b.record_commit(1, count=2)
+        a.merge(b)
+        assert a.commits_by_thread() == [2, 2]

@@ -1,0 +1,241 @@
+"""Cross-executor equivalence tests driven by the serializability oracle.
+
+Every bundled app runs under all six oracle executors on seeded tiny
+inputs; the oracle must report every real executor serializable and
+equivalent to the serial reference.  A deliberately corrupted schedule
+(two conflicting commits swapped out of priority order) must be flagged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import SimMachine
+from repro.apps import APPS
+from repro.oracle import (
+    ORACLE_EXECUTORS,
+    TraceRecorder,
+    check_trace,
+    diff_executors,
+    diff_traces,
+    run_traced,
+)
+from repro.oracle.workloads import ORACLE_STATES, make_oracle_state
+from repro.runtime import run_serial
+
+from .helpers import ChainCounter
+
+SEEDS = (0, 1, 2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("app", sorted(ORACLE_STATES))
+def test_all_executors_serializable_and_equivalent(app, seed):
+    """The acceptance gate: every executor × app × seed passes the oracle."""
+    report = diff_executors(app, seed=seed, threads=3)
+    failed = [v for v in report.verdicts if v.status == "fail"]
+    assert report.ok, [v.to_dict() for v in failed]
+    # Every executor either ran or was ruled out by declared properties;
+    # at minimum serial + four parallel executors must actually run.
+    ran = [v for v in report.verdicts if v.status == "ok"]
+    assert len(ran) >= 5
+    for verdict in ran:
+        assert verdict.snapshot_matches
+        assert verdict.executed > 0
+    for verdict in report.verdicts:
+        if verdict.status == "skip":
+            assert verdict.executor == "kdg-rna-async"
+            assert verdict.reason
+
+
+def test_oracle_covers_all_registered_apps():
+    assert set(ORACLE_STATES) == set(APPS)
+
+
+def test_executor_list_matches_module():
+    assert ORACLE_EXECUTORS == (
+        "serial", "kdg-rna", "kdg-rna-async", "ikdg",
+        "level-by-level", "speculation",
+    )
+
+
+def test_unknown_app_and_executor_raise():
+    with pytest.raises(ValueError):
+        make_oracle_state("nonesuch", 0)
+    with pytest.raises(ValueError):
+        run_traced("avi", "nonesuch", make_oracle_state("avi", 0))
+
+
+def _serial_chain_trace(cells=2, steps=4):
+    """Record a serial ChainCounter run (same-cell tasks conflict)."""
+    app = ChainCounter(cells=cells, steps=steps)
+    algorithm = app.algorithm()
+    recorder = TraceRecorder()
+    run_serial(algorithm, SimMachine(1), recorder=recorder)
+    assert app.sums == app.expected_sums()
+    return recorder.trace("chain-counter", "serial", 1)
+
+
+class TestCorruptedSchedule:
+    """The oracle must flag an injected out-of-order commit."""
+
+    def test_honest_serial_trace_is_clean(self):
+        trace = _serial_chain_trace()
+        report = check_trace(trace)
+        assert report.ok, report.summary()
+        assert report.checked_conflicts
+
+    def test_swapped_conflicting_commits_flagged(self):
+        trace = _serial_chain_trace()
+        # Find two commits on the same cell (they conflict: both write it)
+        # and swap their positions — a commit out of priority order.
+        by_cell = {}
+        pair = None
+        for index, event in enumerate(trace.events):
+            cell = event.rw_set[0]
+            if cell in by_cell:
+                pair = (by_cell[cell], index)
+                break
+            by_cell[cell] = index
+        assert pair is not None
+        i, j = pair
+        events = list(trace.events)
+        events[i], events[j] = events[j], events[i]
+        # Renumber seq and round so only the *commit order* is corrupted.
+        corrupted = dataclasses.replace(
+            trace,
+            events=[
+                dataclasses.replace(e, seq=s, round=0)
+                for s, e in enumerate(events)
+            ],
+        )
+        report = check_trace(corrupted)
+        assert not report.ok
+        assert any(v.kind == "conflict-order" for v in report.violations)
+        first = report.violations[0]
+        # The excerpt names both witnessing commits, minimized to dicts.
+        excerpt = first.excerpt()
+        assert len(excerpt) == 2
+        assert {"seq", "tid", "priority", "rw_set", "writes"} <= set(excerpt[0])
+
+    def test_swapped_independent_commits_not_flagged(self):
+        """Commits on different cells never conflict — swap is legal."""
+        trace = _serial_chain_trace(cells=3, steps=3)
+        events = list(trace.events)
+        # The first tasks of cells 0 and 1 are adjacent and independent.
+        assert events[0].rw_set != events[1].rw_set
+        events[0], events[1] = events[1], events[0]
+        reordered = dataclasses.replace(
+            trace,
+            events=[
+                dataclasses.replace(e, seq=s, round=0)
+                for s, e in enumerate(events)
+            ],
+        )
+        assert check_trace(reordered).ok
+
+    def test_dropped_commit_breaks_task_set(self):
+        trace = _serial_chain_trace()
+        truncated = dataclasses.replace(trace, events=trace.events[:-1])
+        report = diff_traces(trace, truncated)
+        assert any(v.kind == "task-set" for v in report.violations)
+
+    def test_task_key_canonicalization(self):
+        """A schedule-dependent tie-break stripped by ``task_key`` does not
+        produce task-set noise (the DES event-id situation)."""
+        trace = _serial_chain_trace()
+        renumbered = dataclasses.replace(
+            trace,
+            events=[
+                dataclasses.replace(e, priority=(e.priority, 1000 + e.seq))
+                for e in trace.events
+            ],
+        )
+        base = dataclasses.replace(
+            trace,
+            events=[
+                dataclasses.replace(e, priority=(e.priority, 2000 + e.seq))
+                for e in trace.events
+            ],
+        )
+        noisy = diff_traces(base, renumbered)
+        assert any(v.kind == "task-set" for v in noisy.violations)
+        clean = diff_traces(base, renumbered, task_key=lambda p: p[0])
+        assert clean.ok
+
+    def test_compare_tasks_false_skips_multiset(self):
+        trace = _serial_chain_trace()
+        truncated = dataclasses.replace(trace, events=trace.events[:-1])
+        report = diff_traces(trace, truncated, compare_tasks=False)
+        assert report.ok
+        assert not report.checked_conflicts
+
+
+class TestTraceRecorder:
+    def test_double_commit_rejected(self):
+        trace = _serial_chain_trace()
+        recorder = TraceRecorder()
+        recorder.commit_raw(tid=0, priority=1, rw_set=(), write_set=frozenset())
+        with pytest.raises(ValueError):
+            recorder.commit_raw(tid=0, priority=1, rw_set=(), write_set=frozenset())
+        assert trace.events  # recorded independently
+
+    def test_push_from_uncommitted_parent_rejected(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            recorder.push_tid(7, 8)
+
+    def test_threads_attributed_to_real_threads(self):
+        """Round-based executors patch in phase thread assignments; no
+        committed event may be left on the UNASSIGNED sentinel."""
+        for executor in ORACLE_EXECUTORS:
+            state = make_oracle_state("avi", 0)
+            try:
+                _, trace = run_traced("avi", executor, state, threads=3)
+            except ValueError:
+                continue
+            threads = 1 if executor == "serial" else 3
+            for event in trace.events:
+                assert 0 <= event.thread < threads, (executor, event)
+
+    def test_commit_counts_match_trace(self):
+        state = make_oracle_state("lu", 0)
+        result, trace = run_traced("lu", "ikdg", state, threads=3)
+        per_thread = result.machine.stats.commits_by_thread()
+        assert sum(per_thread) == len(trace.events) == result.executed
+        from collections import Counter
+
+        by_thread = Counter(e.thread for e in trace.events)
+        assert [by_thread.get(t, 0) for t in range(3)] == per_thread
+
+
+class TestTraceExport:
+    def test_json_schema_roundtrip(self):
+        state = make_oracle_state("bfs", 0)
+        _, trace = run_traced("bfs", "kdg-rna", state, threads=2)
+        payload = json.loads(trace.to_json())
+        assert payload["schema"] == "repro.oracle.trace/v1"
+        assert payload["executor"] == "kdg-rna"
+        assert payload["threads"] == 2
+        assert payload["executed"] == len(trace.events)
+        event = payload["events"][0]
+        assert set(event) == {
+            "seq", "tid", "priority", "round", "thread",
+            "rw_set", "write_set", "pushed",
+        }
+        json.dumps(payload)  # fully JSON-serializable
+
+    def test_report_to_dict_carries_first_divergence(self):
+        trace = _serial_chain_trace()
+        truncated = dataclasses.replace(trace, events=trace.events[:-1])
+        report = diff_executors("avi", seed=0, threads=2,
+                                executors=("serial", "ikdg"))
+        as_dict = report.to_dict()
+        assert as_dict["ok"] is True
+        assert [v["executor"] for v in as_dict["verdicts"]] == ["serial", "ikdg"]
+        # And a failing diff serializes its first divergence.
+        violations = diff_traces(trace, truncated).violations
+        assert violations and violations[0].kind == "task-set"

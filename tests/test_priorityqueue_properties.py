@@ -1,0 +1,234 @@
+"""Property-based invariant tests for the runtime's priority structures.
+
+Random operation interleavings against a sorted-list reference model:
+
+* :class:`repro.galois.priorityqueue.BinaryHeap` — push/pop/peek plus
+  ticketed lazy removal, including re-adding an item equal to a removed
+  one (the lazy-deletion hazard: a stale heap entry must never shadow a
+  live re-added entry);
+* :class:`repro.galois.priorityqueue.PairingHeap` — push/pop/meld;
+* :class:`repro.runtime.base.MinTracker` — add/remove with tid-keyed
+  liveness, including remove-then-re-add of the *same* tid.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.task import Task
+from repro.galois.priorityqueue import BinaryHeap, PairingHeap
+from repro.runtime.base import MinTracker
+
+# Small key ranges force ties, exercising the insertion-order tie-break.
+KEYS = st.integers(min_value=0, max_value=7)
+
+# An op is ("push", key) | ("pop",) | ("peek",) | ("remove", index) where
+# index selects one of the still-live tickets (modulo their count).
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), KEYS),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("peek")),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=63)),
+    ),
+    max_size=80,
+)
+
+
+class TestBinaryHeapModel:
+    @given(ops=OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_sorted_list_model(self, ops):
+        heap = BinaryHeap(lambda pair: pair[0])
+        # Model: live entries as (key, insertion_seq, item); pops take min.
+        model: list[tuple[int, int, tuple]] = []
+        tickets: dict[int, tuple[int, int, tuple]] = {}
+        seq = 0
+        for op in ops:
+            if op[0] == "push":
+                item = (op[1], seq)
+                ticket = heap.push(item)
+                entry = (op[1], seq, item)
+                model.append(entry)
+                tickets[ticket] = entry
+                seq += 1
+            elif op[0] == "pop":
+                if not model:
+                    with pytest.raises(IndexError):
+                        heap.pop()
+                    continue
+                expected = min(model)
+                model.remove(expected)
+                tickets = {
+                    t: e for t, e in tickets.items() if e is not expected
+                }
+                assert heap.pop() == expected[2]
+            elif op[0] == "peek":
+                if not model:
+                    with pytest.raises(IndexError):
+                        heap.peek()
+                    continue
+                assert heap.peek() == min(model)[2]
+            else:  # remove a live ticket
+                if not tickets:
+                    continue
+                ticket = sorted(tickets)[op[1] % len(tickets)]
+                entry = tickets.pop(ticket)
+                model.remove(entry)
+                heap.remove(ticket)
+            assert len(heap) == len(model)
+            assert bool(heap) == bool(model)
+        assert list(heap.drain()) == [e[2] for e in sorted(model)]
+
+    def test_removed_entry_does_not_shadow_equal_readd(self):
+        """Lazy deletion: remove an entry, re-add an equal-keyed item — the
+        stale tombstone must not swallow the new entry."""
+        heap = BinaryHeap(lambda pair: pair[0])
+        ticket = heap.push((1, "old"))
+        heap.push((2, "later"))
+        heap.remove(ticket)
+        heap.push((1, "new"))
+        assert len(heap) == 2
+        assert heap.peek() == (1, "new")
+        assert list(heap.drain()) == [(1, "new"), (2, "later")]
+
+    def test_remove_after_equal_push_keeps_the_other(self):
+        heap = BinaryHeap(lambda pair: pair[0])
+        first = heap.push((5, "a"))
+        heap.push((5, "b"))
+        heap.remove(first)
+        assert heap.pop() == (5, "b")
+        assert not heap
+
+
+class TestPairingHeapModel:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("push"), KEYS),
+                st.tuples(st.just("pop")),
+                st.tuples(st.just("peek")),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_sorted_list_model(self, ops):
+        heap = PairingHeap(lambda pair: pair[0])
+        model: list[tuple[int, int, tuple]] = []
+        seq = 0
+        for op in ops:
+            if op[0] == "push":
+                item = (op[1], seq)
+                heap.push(item)
+                model.append((op[1], seq, item))
+                seq += 1
+            elif op[0] == "pop":
+                if not model:
+                    with pytest.raises(IndexError):
+                        heap.pop()
+                    continue
+                expected = min(model)
+                model.remove(expected)
+                assert heap.pop() == expected[2]
+            else:
+                if not model:
+                    with pytest.raises(IndexError):
+                        heap.peek()
+                    continue
+                assert heap.peek() == min(model)[2]
+            assert len(heap) == len(model)
+
+    @given(
+        left=st.lists(KEYS, max_size=20),
+        right=st.lists(KEYS, max_size=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_meld_drains_in_global_order(self, left, right):
+        a = PairingHeap(lambda pair: pair[0])
+        b = PairingHeap(lambda pair: pair[0])
+        seq = 0
+        model = []
+        for key in left:
+            a.push((key, seq)); model.append((key, seq)); seq += 1
+        for key in right:
+            b.push((key, seq)); model.append((key, seq)); seq += 1
+        a.meld(b)
+        assert len(b) == 0 and not b
+        assert len(a) == len(model)
+        drained = [a.pop() for _ in range(len(a))]
+        assert drained == sorted(model)
+
+
+def _task(tid: int, priority: int) -> Task:
+    return Task(item=("t", tid), priority=priority, tid=tid)
+
+
+class TestMinTrackerModel:
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("add"), KEYS),
+                st.tuples(st.just("remove"), st.integers(0, 63)),
+                st.tuples(st.just("readd"), st.integers(0, 63)),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_live_set_model(self, ops):
+        tracker = MinTracker()
+        live: dict[int, Task] = {}
+        removed: list[Task] = []
+        next_tid = 0
+        for op in ops:
+            if op[0] == "add":
+                task = _task(next_tid, op[1])
+                next_tid += 1
+                tracker.add(task)
+                live[task.tid] = task
+            elif op[0] == "remove":
+                if not live:
+                    continue
+                tid = sorted(live)[op[1] % len(live)]
+                task = live.pop(tid)
+                tracker.remove(task)
+                removed.append(task)
+            else:  # re-add a previously removed tid (lazy-deletion hazard)
+                if not removed:
+                    continue
+                task = removed[op[1] % len(removed)]
+                if task.tid in live:
+                    continue
+                tracker.add(task)
+                live[task.tid] = task
+            assert len(tracker) == len(live)
+            if live:
+                expected = min(live.values(), key=Task.key)
+                assert tracker.min_task() is expected
+                assert tracker.min_priority() == expected.priority
+            else:
+                assert tracker.min_task() is None
+                assert tracker.min_priority() is None
+
+    def test_readd_of_removed_tid_is_live_again(self):
+        tracker = MinTracker()
+        early, late = _task(0, 1), _task(1, 5)
+        tracker.add(early)
+        tracker.add(late)
+        tracker.remove(early)
+        assert tracker.min_task() is late
+        tracker.add(early)  # the stale heap entry must serve the re-add
+        assert tracker.min_task() is early
+        assert len(tracker) == 2
+
+    def test_remove_is_idempotent(self):
+        tracker = MinTracker()
+        task = _task(0, 3)
+        tracker.add(task)
+        tracker.remove(task)
+        tracker.remove(task)
+        assert len(tracker) == 0
+        assert tracker.min_task() is None
