@@ -70,11 +70,17 @@ class AppSpec:
     #: strips it before comparing task multisets and last-writer digests.
     #: ``None`` compares priorities verbatim.
     oracle_task_key: Callable[[Any], Any] | None = None
+    #: Cached result of :meth:`auto_executor` — the property-driven choice
+    #: depends only on the algorithm's declarations, never on state, but
+    #: probing it builds (and throws away) a full application state.
+    _auto_name: str | None = field(default=None, repr=False, compare=False)
 
     def auto_executor(self) -> str:
         """The executor §3.6's rules select for this app's properties."""
-        probe = self.algorithm(self.make_tiny())
-        return choose_executor(probe.properties)
+        if self._auto_name is None:
+            probe = self.algorithm(self.make_tiny())
+            self._auto_name = choose_executor(probe.properties)
+        return self._auto_name
 
     def make_tiny(self) -> Any:
         """Smallest state, for property probes; defaults to small."""

@@ -1,0 +1,35 @@
+"""Wall-clock performance layer: microbenchmarks, baselines, regressions.
+
+The simulated machine measures the *paper's* metric (makespan cycles);
+this package measures the *reproduction's* own cost — real Python wall
+time through the executor hot paths — so optimizations are driven by data
+and regressions are caught in CI.  See ``repro bench --help`` and
+EXPERIMENTS.md ("Wall-clock benchmarks").
+"""
+
+from .report import (
+    DEFAULT_BASELINE,
+    DEFAULT_THRESHOLD,
+    SCHEMA,
+    compare,
+    load_baseline_section,
+    run_suite,
+    update_baseline_file,
+    write_results,
+)
+from .suite import BENCHES
+from .timing import best_of, timed_payload
+
+__all__ = [
+    "BENCHES",
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+    "SCHEMA",
+    "best_of",
+    "compare",
+    "load_baseline_section",
+    "run_suite",
+    "timed_payload",
+    "update_baseline_file",
+    "write_results",
+]

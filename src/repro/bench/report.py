@@ -1,0 +1,189 @@
+"""Bench results: schema, baseline comparison, regression detection.
+
+``BENCH_results.json`` schema (``repro-bench/v1``)::
+
+    {
+      "schema": "repro-bench/v1",
+      "quick": bool,                 # workload scale (quick vs full)
+      "repeats": int,
+      "host": {"python": "...", "platform": "..."},
+      "benchmarks": {
+        "<name>": {
+          "group": "hotpath" | "e2e",
+          "wall_seconds": float,     # best-of-repeats wall time
+          "ops": float, "per_op_ns": float,
+          "all_seconds": [float, ...],
+          "sim_cycles": float,       # executor/e2e benches only — the
+          "executed": int            # simulated makespan; must be constant
+        }, ...                       # across code changes (schedule proof)
+      },
+      "comparison": {                # present when a baseline was loaded
+        "baseline_quick": bool, "threshold": float,
+        "per_benchmark": {"<name>": {"baseline_wall": f, "speedup": f}},
+        "aggregate_speedup_hotpath": float,   # geomean over group=hotpath
+        "aggregate_speedup_e2e": float,
+        "aggregate_speedup_all": float,
+        "regressions": ["<name>", ...],       # wall > threshold * baseline
+        "schedule_changes": ["<name>", ...]   # sim_cycles != baseline
+      }
+    }
+
+Wall-clock numbers are machine-dependent; the committed baseline
+(``benchmarks/perf/BASELINE.json``) stores one ``quick`` and one ``full``
+section, and comparisons only ever pair sections of the same scale.
+Simulated-cycle equality is machine-*independent* and is checked strictly:
+any drift means an "optimization" changed the schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+from pathlib import Path
+from typing import Any
+
+from .suite import BENCHES
+
+SCHEMA = "repro-bench/v1"
+
+#: Default committed baseline location (resolved from the source tree).
+DEFAULT_BASELINE = Path(__file__).resolve().parents[3] / "benchmarks" / "perf" / "BASELINE.json"
+
+#: Default regression threshold: fail when a benchmark's wall time exceeds
+#: this multiple of its baseline.  Generous by default because baselines
+#: travel across machines; CI overrides per its own noise floor.
+DEFAULT_THRESHOLD = 1.5
+
+
+def run_suite(
+    quick: bool = False,
+    repeats: int | None = None,
+    name_filter: str | None = None,
+    verbose: bool = True,
+) -> dict[str, Any]:
+    """Run (a filtered subset of) the suite; returns the results document."""
+    if repeats is None:
+        repeats = 3 if quick else 5
+    selected = {
+        name: b
+        for name, b in sorted(BENCHES.items())
+        if name_filter is None or name_filter in name
+    }
+    if not selected:
+        raise ValueError(f"no benchmarks match filter {name_filter!r}")
+    benchmarks: dict[str, Any] = {}
+    for name, b in selected.items():
+        payload = b.fn(quick, repeats)
+        payload["group"] = b.group
+        benchmarks[name] = payload
+        if verbose:
+            extra = ""
+            if "sim_cycles" in payload:
+                extra = f"  sim={payload['sim_cycles']:.0f}cy"
+            print(
+                f"  {name:<28} {payload['wall_seconds'] * 1e3:>9.2f} ms "
+                f"({payload['per_op_ns']:>10.0f} ns/op){extra}"
+            )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "host": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def _geomean(values: list[float]) -> float | None:
+    values = [v for v in values if v > 0]
+    if not values:
+        return None
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def compare(
+    results: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> dict[str, Any]:
+    """Compare a results document against a same-scale baseline section."""
+    per_benchmark: dict[str, Any] = {}
+    regressions: list[str] = []
+    schedule_changes: list[str] = []
+    speedups_by_group: dict[str, list[float]] = {}
+    base_benches = baseline.get("benchmarks", {})
+    for name, payload in results["benchmarks"].items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        base_wall = base["wall_seconds"]
+        wall = payload["wall_seconds"]
+        speedup = base_wall / wall if wall > 0 else float("inf")
+        entry: dict[str, Any] = {"baseline_wall": base_wall, "speedup": speedup}
+        if wall > threshold * base_wall:
+            regressions.append(name)
+            entry["regression"] = True
+        if "sim_cycles" in payload and "sim_cycles" in base:
+            if payload["sim_cycles"] != base["sim_cycles"]:
+                schedule_changes.append(name)
+                entry["baseline_sim_cycles"] = base["sim_cycles"]
+        per_benchmark[name] = entry
+        speedups_by_group.setdefault(payload["group"], []).append(speedup)
+    all_speedups = [s for group in speedups_by_group.values() for s in group]
+    return {
+        "baseline_quick": baseline.get("quick"),
+        "threshold": threshold,
+        "per_benchmark": per_benchmark,
+        "aggregate_speedup_hotpath": _geomean(speedups_by_group.get("hotpath", [])),
+        "aggregate_speedup_e2e": _geomean(speedups_by_group.get("e2e", [])),
+        "aggregate_speedup_all": _geomean(all_speedups),
+        "regressions": regressions,
+        "schedule_changes": schedule_changes,
+    }
+
+
+def load_baseline_section(path: Path, quick: bool) -> dict[str, Any] | None:
+    """Load the matching-scale section of a committed baseline file."""
+    if not path.is_file():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return doc.get("quick_suite" if quick else "full_suite")
+
+
+def update_baseline_file(path: Path, results: dict[str, Any]) -> None:
+    """Merge ``results`` into the baseline file's matching-scale section.
+
+    A filtered run only refreshes the benchmarks it ran; the other scale's
+    section is preserved untouched.
+    """
+    doc: dict[str, Any] = {"schema": SCHEMA}
+    if path.is_file():
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            pass
+    section_key = "quick_suite" if results["quick"] else "full_suite"
+    section = doc.get(section_key) or {
+        "schema": SCHEMA,
+        "quick": results["quick"],
+        "repeats": results["repeats"],
+        "host": results["host"],
+        "benchmarks": {},
+    }
+    section["host"] = results["host"]
+    section["repeats"] = results["repeats"]
+    section["benchmarks"].update(results["benchmarks"])
+    doc[section_key] = section
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def write_results(path: Path, results: dict[str, Any]) -> None:
+    path.write_text(json.dumps(results, indent=1, sort_keys=True) + "\n")

@@ -1,0 +1,368 @@
+"""The wall-clock microbenchmark suite over the runtime's hot paths.
+
+Each benchmark times one hot path the executors live in — task-key
+ordering, bulk-synchronous phase dispatch, rw-set index and task-graph
+maintenance, whole-executor inner loops — plus end-to-end application runs
+(wall seconds *and* simulated cycles, so schedule invariance is checked on
+every comparison: optimizations may move wall time but never cycles).
+
+Benchmarks are registered in ``BENCHES`` under stable names
+(``micro/...``, ``exec/...``, ``e2e/...``); groups drive aggregation
+(``hotpath`` feeds the headline speedup, ``e2e`` is reported alongside).
+All workloads are seeded/deterministic — no RNG, no wall-clock dependence —
+so two runs on one machine time exactly the same work.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.algorithm import OrderedAlgorithm
+from ..core.kdg import KDG
+from ..core.properties import AlgorithmProperties
+from ..core.rwsets import RWSetIndex
+from ..core.task import Task, TaskFactory
+from ..core.taskgraph import TaskGraph
+from ..machine import Category, SimMachine
+from ..runtime import (
+    run_ikdg,
+    run_kdg_rna,
+    run_level_by_level,
+    run_serial,
+    run_speculation,
+)
+from .timing import timed_payload
+
+#: Threads used by executor and end-to-end benchmarks.  Kept below the
+#: adaptive window's ``initial / target_per_thread`` crossover so windowing
+#: behaves identically before and after the first-window bugfix.
+BENCH_THREADS = 8
+
+
+@dataclass(frozen=True)
+class Bench:
+    """One registered benchmark: ``fn(quick, repeats) -> payload dict``."""
+
+    name: str
+    group: str
+    fn: Callable[[bool, int], dict[str, Any]]
+
+
+BENCHES: dict[str, Bench] = {}
+
+
+def bench(name: str, group: str):
+    def register(fn: Callable[[bool, int], dict[str, Any]]):
+        if name in BENCHES:
+            raise ValueError(f"duplicate benchmark name: {name}")
+        BENCHES[name] = Bench(name, group, fn)
+        return fn
+
+    return register
+
+
+def _size(quick: bool, small: int, full: int) -> int:
+    return small if quick else full
+
+
+# ----------------------------------------------------------------------
+# micro/ — data-structure hot paths
+# ----------------------------------------------------------------------
+@bench("micro/task_key", "hotpath")
+def bench_task_key(quick: bool, repeats: int) -> dict[str, Any]:
+    """Task total-order keys: the comparison fuel of every worklist/sort."""
+    n = _size(quick, 2_000, 8_000)
+    factory = TaskFactory(lambda item: (item * 7919) % 977)
+    tasks = factory.make_all(range(n))
+    key = Task.key
+    passes = 5
+
+    def run() -> int:
+        acc = 0
+        for _ in range(passes):
+            for task in tasks:
+                acc += key(task)[1]
+        sorted(tasks, key=key)
+        sorted(tasks, key=key)
+        return acc
+
+    return timed_payload(run, repeats, ops=n * passes + 2 * n)
+
+
+@bench("micro/run_phase_1t", "hotpath")
+def bench_run_phase_1t(quick: bool, repeats: int) -> dict[str, Any]:
+    """Single-thread bulk-synchronous phase dispatch (serial-ish configs)."""
+    n = _size(quick, 5_000, 20_000)
+    costs = [{Category.SCHEDULE: 25.0} for _ in range(n)]
+
+    def run() -> None:
+        machine = SimMachine(1)
+        machine.run_phase(costs, barrier=False)
+
+    return timed_payload(run, repeats, ops=n)
+
+
+@bench("micro/run_phase_8t", "hotpath")
+def bench_run_phase_8t(quick: bool, repeats: int) -> dict[str, Any]:
+    """Multi-thread phase dispatch with greedy least-loaded chunking."""
+    n = _size(quick, 5_000, 20_000)
+    costs = [{Category.SCHEDULE: 20.0 + (i % 7)} for i in range(n)]
+
+    def run() -> None:
+        machine = SimMachine(BENCH_THREADS)
+        machine.run_phase(costs, chunk_size=4)
+
+    return timed_payload(run, repeats, ops=n)
+
+
+@bench("micro/rwset_index", "hotpath")
+def bench_rwset_index(quick: bool, repeats: int) -> dict[str, Any]:
+    """RWSetIndex add/remove churn with overlapping location buckets."""
+    n = _size(quick, 600, 2_400)
+    factory = TaskFactory(lambda item: item)
+    tasks = factory.make_all(range(n))
+    rw_sets = [
+        tuple(("loc", (i + offset) % 96) for offset in (0, 5, 11, 17, 23, 31, 41, 53))
+        for i in range(n)
+    ]
+
+    def run() -> None:
+        index = RWSetIndex()
+        for task, locs in zip(tasks, rw_sets):
+            index.add(task, locs)
+        for task in tasks:
+            index.remove(task)
+
+    return timed_payload(run, repeats, ops=2 * n)
+
+
+@bench("micro/taskgraph", "hotpath")
+def bench_taskgraph(quick: bool, repeats: int) -> dict[str, Any]:
+    """TaskGraph node/edge insertion and removal (subrule R churn)."""
+    n = _size(quick, 1_500, 6_000)
+    factory = TaskFactory(lambda item: item)
+    tasks = factory.make_all(range(n))
+
+    def run() -> None:
+        graph = TaskGraph()
+        for task in tasks:
+            graph.add_node(task)
+        for i in range(1, n):
+            graph.add_edge(tasks[i - 1], tasks[i])
+            if i >= 4:
+                graph.add_edge(tasks[i - 4], tasks[i])
+        for task in tasks:
+            graph.remove_node(task)
+
+    return timed_payload(run, repeats, ops=4 * n)
+
+
+@bench("micro/kdg_add_remove", "hotpath")
+def bench_kdg_add_remove(quick: bool, repeats: int) -> dict[str, Any]:
+    """Explicit-KDG AddTask/RemoveTask with conflict-edge wiring."""
+    n = _size(quick, 400, 1_600)
+    factory = TaskFactory(lambda item: item)
+    tasks = factory.make_all(range(n))
+    rw_sets = [
+        tuple(("cell", (i + offset) % 128) for offset in (0, 7, 13, 29))
+        for i in range(n)
+    ]
+    writes = [frozenset(rw[:2]) for rw in rw_sets]
+
+    def run() -> None:
+        kdg = KDG()
+        for task, rw, wr in zip(tasks, rw_sets, writes):
+            kdg.add_task(task, rw, wr)
+        for task in tasks:
+            kdg.remove_task(task)
+
+    return timed_payload(run, repeats, ops=2 * n)
+
+
+# ----------------------------------------------------------------------
+# exec/ — whole-executor inner loops on synthetic workloads
+# ----------------------------------------------------------------------
+def _independent_algorithm(n: int) -> OrderedAlgorithm:
+    """n tasks, disjoint rw-sets: pure scheduling overhead, zero conflicts."""
+    return OrderedAlgorithm(
+        name="bench-indep",
+        initial_items=list(range(n)),
+        priority=lambda x: x,
+        visit_rw_sets=lambda item, ctx: ctx.write(("cell", item)),
+        apply_update=lambda item, ctx: ctx.work(5.0),
+        properties=AlgorithmProperties(
+            stable_source=True,
+            monotonic=True,
+            no_new_tasks=True,
+            structure_based_rw_sets=True,
+        ),
+    )
+
+
+def _chain_algorithm(n: int, chains: int) -> OrderedAlgorithm:
+    """n tasks over ``chains`` write-locations: long conflict chains, so the
+    window carries tasks across many rounds (rw-set recomputation churn)."""
+    return OrderedAlgorithm(
+        name="bench-chains",
+        initial_items=list(range(n)),
+        priority=lambda x: x,
+        visit_rw_sets=lambda item, ctx: ctx.write(("lock", item % chains)),
+        apply_update=lambda item, ctx: ctx.work(4.0),
+        properties=AlgorithmProperties(
+            stable_source=True,
+            monotonic=True,
+            no_new_tasks=True,
+            structure_based_rw_sets=True,
+        ),
+    )
+
+
+def _level_algorithm(n: int, per_level: int) -> OrderedAlgorithm:
+    """Discrete priority levels with intra-level conflicts (BFS-shaped)."""
+    return OrderedAlgorithm(
+        name="bench-levels",
+        initial_items=list(range(n)),
+        priority=lambda x: x // per_level,
+        visit_rw_sets=lambda item, ctx: ctx.write(("slot", item % 16)),
+        apply_update=lambda item, ctx: ctx.work(4.0),
+        properties=AlgorithmProperties(
+            stable_source=True,
+            monotonic=True,
+            no_new_tasks=True,
+            structure_based_rw_sets=True,
+        ),
+    )
+
+
+def _exec_payload(run_fn, repeats: int, ops: int) -> dict[str, Any]:
+    holder: dict[str, Any] = {}
+
+    def run() -> None:
+        holder["result"] = run_fn()
+
+    payload = timed_payload(run, repeats, ops=ops)
+    result = holder["result"]
+    payload["sim_cycles"] = result.elapsed_cycles
+    payload["executed"] = result.executed
+    return payload
+
+
+@bench("exec/ikdg_independent", "hotpath")
+def bench_ikdg_independent(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 800, 3_000)
+    return _exec_payload(
+        lambda: run_ikdg(_independent_algorithm(n), SimMachine(BENCH_THREADS)),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/ikdg_chains", "hotpath")
+def bench_ikdg_chains(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 512, 2_048)
+    return _exec_payload(
+        lambda: run_ikdg(_chain_algorithm(n, 64), SimMachine(BENCH_THREADS)),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/kdg_rna_rounds", "hotpath")
+def bench_kdg_rna_rounds(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 384, 1_536)
+    return _exec_payload(
+        lambda: run_kdg_rna(
+            _chain_algorithm(n, 48), SimMachine(BENCH_THREADS), asynchronous=False
+        ),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/kdg_rna_async", "hotpath")
+def bench_kdg_rna_async(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 384, 1_536)
+    return _exec_payload(
+        lambda: run_kdg_rna(
+            _chain_algorithm(n, 48), SimMachine(BENCH_THREADS), asynchronous=True
+        ),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/level_by_level", "hotpath")
+def bench_level_by_level(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 512, 2_048)
+    return _exec_payload(
+        lambda: run_level_by_level(
+            _level_algorithm(n, 64), SimMachine(BENCH_THREADS)
+        ),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/serial", "hotpath")
+def bench_serial(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 1_000, 4_000)
+    return _exec_payload(
+        lambda: run_serial(_independent_algorithm(n)),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/speculation", "hotpath")
+def bench_speculation(quick: bool, repeats: int) -> dict[str, Any]:
+    n = _size(quick, 256, 1_024)
+    return _exec_payload(
+        lambda: run_speculation(_chain_algorithm(n, 32), SimMachine(BENCH_THREADS)),
+        repeats,
+        ops=n,
+    )
+
+
+# ----------------------------------------------------------------------
+# e2e/ — the seven paper applications, wall seconds + simulated cycles
+# ----------------------------------------------------------------------
+def _register_e2e(app: str, impl: str) -> None:
+    @bench(f"e2e/{app}/{impl}", "e2e")
+    def bench_e2e(quick: bool, repeats: int, app=app, impl=impl) -> dict[str, Any]:
+        from ..apps import APPS
+        from ..oracle.workloads import make_oracle_state
+
+        spec = APPS[app]
+        make_state = (lambda: make_oracle_state(app, 0)) if quick else spec.make_small
+        holder: dict[str, Any] = {}
+
+        def run(state: Any) -> None:
+            holder["result"] = spec.run(state, impl, SimMachine(BENCH_THREADS))
+
+        payload = timed_payload(run, repeats, ops=1, setup=make_state)
+        result = holder["result"]
+        payload["ops"] = result.executed
+        payload["per_op_ns"] = (
+            (payload["wall_seconds"] / result.executed) * 1e9 if result.executed else 0.0
+        )
+        payload["sim_cycles"] = result.elapsed_cycles
+        payload["executed"] = result.executed
+        payload["executor"] = result.executor
+        return payload
+
+
+def _register_all_e2e() -> None:
+    # Deferred app import keeps `repro.bench` import-light for unit tests.
+    from ..apps import APPS
+
+    for app in sorted(APPS):
+        _register_e2e(app, "kdg-auto")
+    # Structure-based apps driven through the windowed IKDG: exercises the
+    # rw-set memoization fast path that kdg-auto (async KDG) never hits.
+    for app in ("avi", "lu"):
+        _register_e2e(app, "ikdg")
+
+
+_register_all_e2e()

@@ -1,0 +1,80 @@
+"""Wall-clock timing primitives for the performance suite.
+
+Measurements use ``time.perf_counter`` around one full workload execution
+and report the *best* of N repeats — the standard defence against scheduler
+noise and transient interference (the minimum is the closest observable to
+the true cost of the code; means and medians fold noise in).  The garbage
+collector is disabled around each timed region so collection pauses land
+between measurements, not inside them.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from collections.abc import Callable
+from typing import Any
+
+
+def best_of(
+    fn: Callable[..., Any],
+    repeats: int,
+    setup: Callable[[], Any] | None = None,
+    warmup: int = 1,
+) -> tuple[float, list[float]]:
+    """Time ``fn`` ``repeats`` times; return ``(best_seconds, all_seconds)``.
+
+    ``setup`` (untimed) builds a fresh argument for each run — used by
+    benchmarks whose workload mutates state, e.g. end-to-end app runs.
+    ``warmup`` runs are executed and discarded first so allocator warm-up
+    and bytecode specialization don't pollute the first sample.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        arg = setup() if setup is not None else None
+        if setup is not None:
+            fn(arg)
+        else:
+            fn()
+    times: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeats):
+            arg = setup() if setup is not None else None
+            gc.collect()
+            if gc_was_enabled:
+                gc.disable()
+            start = time.perf_counter()
+            if setup is not None:
+                fn(arg)
+            else:
+                fn()
+            elapsed = time.perf_counter() - start
+            if gc_was_enabled:
+                gc.enable()
+            times.append(elapsed)
+    finally:
+        if gc_was_enabled and not gc.isenabled():
+            gc.enable()
+    return min(times), times
+
+
+def timed_payload(
+    run: Callable[..., Any],
+    repeats: int,
+    ops: float,
+    setup: Callable[[], Any] | None = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """Standard benchmark payload: best wall seconds plus per-op cost."""
+    best, times = best_of(run, repeats, setup=setup)
+    payload: dict[str, Any] = {
+        "wall_seconds": best,
+        "ops": ops,
+        "per_op_ns": (best / ops) * 1e9 if ops else 0.0,
+        "repeats": repeats,
+        "all_seconds": times,
+    }
+    payload.update(extra)
+    return payload

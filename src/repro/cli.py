@@ -6,6 +6,7 @@ Examples::
     python -m repro run mst --impl speculation --threads 8 --size large
     python -m repro oracle billiards --seeds 0 1 2 --threads 4
     python -m repro oracle --all --json
+    python -m repro bench --quick
     python -m repro list
 """
 
@@ -58,6 +59,35 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit one JSON report per (app, seed) to stdout")
     oracle.add_argument("--export-dir", type=Path, default=None,
                         help="write each executor's trace as JSON under DIR")
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark suite (hot paths + end-to-end apps)",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="scaled-down workloads (CI smoke)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repeats per benchmark "
+                            "(default: 3 quick, 5 full)")
+    bench.add_argument("--filter", dest="name_filter", default=None,
+                       help="only run benchmarks whose name contains this")
+    bench.add_argument("--output", type=Path, default=Path("BENCH_results.json"),
+                       help="results file (default: ./BENCH_results.json)")
+    bench.add_argument("--baseline", type=Path, default=None,
+                       help="baseline file (default: benchmarks/perf/BASELINE.json)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="write this run into the baseline file instead "
+                            "of comparing against it")
+    bench.add_argument("--threshold", type=float, default=None,
+                       help="fail when wall time exceeds THRESHOLD x baseline "
+                            "(default: 1.5)")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="fail when the aggregate hot-path speedup vs. the "
+                            "baseline is below this factor")
+    bench.add_argument("--no-compare", action="store_true",
+                       help="skip the baseline comparison")
+    bench.add_argument("--list", action="store_true", dest="list_benches",
+                       help="list benchmark names and exit")
 
     sub.add_parser("list", help="list applications and their implementations")
     return parser
@@ -168,12 +198,92 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        BENCHES,
+        DEFAULT_BASELINE,
+        DEFAULT_THRESHOLD,
+        compare,
+        load_baseline_section,
+        run_suite,
+        update_baseline_file,
+        write_results,
+    )
+
+    if args.list_benches:
+        for name, b in sorted(BENCHES.items()):
+            print(f"{name:<30} [{b.group}]")
+        return 0
+
+    mode = "quick" if args.quick else "full"
+    print(f"running wall-clock suite ({mode}) ...")
+    try:
+        results = run_suite(
+            quick=args.quick, repeats=args.repeats, name_filter=args.name_filter
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    if args.update_baseline:
+        update_baseline_file(baseline_path, results)
+        write_results(args.output, results)
+        print(f"baseline updated: {baseline_path}")
+        print(f"results written : {args.output}")
+        return 0
+
+    exit_code = 0
+    if not args.no_compare:
+        section = load_baseline_section(baseline_path, args.quick)
+        if section is None:
+            print(f"no {mode} baseline at {baseline_path}; comparison skipped "
+                  f"(run `repro bench {'--quick ' if args.quick else ''}"
+                  f"--update-baseline` to create one)")
+        else:
+            threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+            cmp = compare(results, section, threshold=threshold)
+            results["comparison"] = cmp
+            for label, key in (("hot-path", "aggregate_speedup_hotpath"),
+                               ("end-to-end", "aggregate_speedup_e2e"),
+                               ("overall", "aggregate_speedup_all")):
+                value = cmp[key]
+                if value is not None:
+                    print(f"aggregate {label:<10} speedup vs baseline: {value:.2f}x")
+            if cmp["schedule_changes"]:
+                print("SCHEDULE CHANGED (simulated cycles differ from baseline):",
+                      file=sys.stderr)
+                for name in cmp["schedule_changes"]:
+                    print(f"  {name}", file=sys.stderr)
+                exit_code = 1
+            if cmp["regressions"]:
+                print(f"REGRESSIONS (wall > {threshold:.2f}x baseline):",
+                      file=sys.stderr)
+                for name in cmp["regressions"]:
+                    entry = cmp["per_benchmark"][name]
+                    print(f"  {name}: {entry['speedup']:.2f}x "
+                          f"(baseline {entry['baseline_wall'] * 1e3:.2f} ms)",
+                          file=sys.stderr)
+                exit_code = 1
+            hotpath = cmp["aggregate_speedup_hotpath"]
+            if (args.min_speedup is not None and hotpath is not None
+                    and hotpath < args.min_speedup):
+                print(f"hot-path speedup {hotpath:.2f}x below required "
+                      f"{args.min_speedup:.2f}x", file=sys.stderr)
+                exit_code = 1
+    write_results(args.output, results)
+    print(f"results written : {args.output}")
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "oracle":
         return cmd_oracle(args)
+    if args.command == "bench":
+        return cmd_bench(args)
     return cmd_run(args)
 
 

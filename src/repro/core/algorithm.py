@@ -85,12 +85,27 @@ class OrderedAlgorithm:
 
         Sets ``task.rw_set`` (all locations) and ``task.write_set`` (write
         intents) as a side effect, since every caller needs both.
+
+        For ``structure_based_rw_sets`` algorithms (Definition 4) the rw-set
+        is data-independent, so the visitor result is memoized on the task:
+        round-based executors re-mark carried-over window tasks every round
+        and would otherwise re-run the visitor each time.  Kinetic
+        algorithms (rw-sets that move under execution) never take the cache;
+        code that re-registers a task after neighbors ran must call
+        :meth:`invalidate_rw_set` first (subrule **N** does).
         """
+        if task.rw_valid and self.properties.structure_based_rw_sets:
+            return task.rw_set
         ctx = RWSetContext()
         self.visit_rw_sets(task.item, ctx)
         task.rw_set = ctx.rw_set
         task.write_set = ctx.write_set
+        task.rw_valid = True
         return ctx.rw_set
+
+    def invalidate_rw_set(self, task: Task) -> None:
+        """Drop a task's memoized rw-set (kinetic refresh, subrule **N**)."""
+        task.rw_valid = False
 
     def execute_body(self, task: Task, checked: bool = False) -> BodyContext:
         """Run the loop body; returns the context holding pushes and work."""

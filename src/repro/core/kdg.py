@@ -79,30 +79,38 @@ class KDG:
         (the conservative single-set model of the paper's Figure 6).
         """
         ops = OpCounts()
-        locations = tuple(rw_set)
+        locations = rw_set if type(rw_set) is tuple else tuple(rw_set)
         task.rw_set = locations
-        task.write_set = frozenset(locations) if writes is None else writes
+        write_set = frozenset(locations) if writes is None else writes
+        task.write_set = write_set
         ops.node_ops += self.graph.add_node(task)
         ops.rw_ops += self.rwsets.add(task, locations)
-        key = task.key()
+        key = task.sort_key
         conflicts: dict[Task, None] = {}
+        tasks_at_view = self.rwsets.tasks_at_view
         for loc in locations:
-            i_write = loc in task.write_set
-            for other in self.rwsets.tasks_at(loc):
+            bucket = tasks_at_view(loc)
+            if len(bucket) < 2:  # only this task touches the location
+                continue
+            i_write = loc in write_set
+            for other in bucket:
                 if other is task or other in conflicts:
                     continue
-                if i_write or other.writes(loc):
+                if i_write or loc in other.write_set:
                     conflicts[other] = None
+        preds: list[Task] = []
+        succs: list[Task] = []
         for other in conflicts:
-            if other.key() < key:
-                ops.edge_ops += self.graph.add_edge(other, task)
+            if other.sort_key < key:
+                preds.append(other)
             else:
                 if self.check_safety and other in self._protected:
                     raise SafetyViolation(
                         f"in-edge added to executing safe source {other!r} "
                         f"by {task!r}"
                     )
-                ops.edge_ops += self.graph.add_edge(task, other)
+                succs.append(other)
+        ops.edge_ops += self.graph.wire_edges(task, preds, succs)
         return ops
 
     def remove_task(self, task: Task) -> tuple[list[Task], OpCounts]:
@@ -144,7 +152,7 @@ class KDG:
         """The minimal task under the total order (None when empty)."""
         best: Task | None = None
         for task in self.graph.nodes():
-            if best is None or task.key() < best.key():
+            if best is None or task.sort_key < best.sort_key:
                 best = task
         return best
 

@@ -31,20 +31,28 @@ class RWSetIndex:
         """Register ``task`` with its rw-set; returns edge ops performed."""
         if task in self._locs_of:
             raise ValueError(f"task already registered: {task!r}")
-        locs = tuple(locations)
+        # Callers overwhelmingly pass the task's already-tupled rw-set;
+        # re-tupling it was measurable churn on the AddTask hot path.
+        locs = locations if type(locations) is tuple else tuple(locations)
         self._locs_of[task] = locs
+        tasks_at = self._tasks_at
         for loc in locs:
-            self._tasks_at.setdefault(loc, {})[task] = None
+            bucket = tasks_at.get(loc)
+            if bucket is None:
+                tasks_at[loc] = {task: None}
+            else:
+                bucket[task] = None
         return 1 + len(locs)
 
     def remove(self, task: Task) -> int:
         """Unregister ``task``; returns edge ops performed."""
         locs = self._locs_of.pop(task)
+        tasks_at = self._tasks_at
         for loc in locs:
-            bucket = self._tasks_at[loc]
+            bucket = tasks_at[loc]
             del bucket[task]
             if not bucket:
-                del self._tasks_at[loc]
+                del tasks_at[loc]
         return 1 + len(locs)
 
     def rw_set(self, task: Task) -> tuple[Any, ...]:
@@ -53,6 +61,16 @@ class RWSetIndex:
     def tasks_at(self, location: Any) -> list[Task]:
         """Pending tasks whose rw-set contains ``location``."""
         return list(self._tasks_at.get(location, ()))
+
+    def tasks_at_view(self, location: Any):
+        """Zero-copy view of the tasks at ``location`` (insertion-ordered).
+
+        Returns the internal bucket mapping (or an empty tuple); callers
+        must treat it as read-only and not hold it across mutations.  The
+        conflict scan in ``KDG.add_task`` runs once per location per task —
+        the list copy :meth:`tasks_at` makes was pure allocation churn.
+        """
+        return self._tasks_at.get(location, ())
 
     def tasks_sharing(self, locations: Iterable[Any]) -> list[Task]:
         """Distinct tasks sharing any of ``locations`` (deterministic order)."""

@@ -10,32 +10,47 @@ overlapping tasks must fold their own tie-breaker into the priority itself
 
 from __future__ import annotations
 
+import operator
 from typing import Any
 
 
 class Task:
     """One ordered-loop iteration: a work item plus its priority."""
 
-    __slots__ = ("item", "priority", "tid", "rw_set", "write_set")
+    __slots__ = ("item", "priority", "tid", "sort_key", "rw_set", "write_set", "rw_valid")
 
     def __init__(self, item: Any, priority: Any, tid: int):
         self.item = item
         self.priority = priority
         self.tid = tid
+        #: The total-order key ``(priority, tid)``, computed once: priority
+        #: and tid are immutable after construction, and ``key()`` is the
+        #: single hottest call in every executor's inner loop.
+        self.sort_key: tuple[Any, int] = (priority, tid)
         #: Declared rw-set (tuple of hashable locations); filled by executors.
         self.rw_set: tuple[Any, ...] = ()
         #: The subset of ``rw_set`` declared for writing.
         self.write_set: frozenset = frozenset()
+        #: Whether ``rw_set``/``write_set`` hold a cached visitor result
+        #: (set by :meth:`OrderedAlgorithm.compute_rw_set`, cleared by its
+        #: ``invalidate_rw_set``).  Only trusted for structure-based
+        #: algorithms, whose rw-sets cannot change under execution.
+        self.rw_valid: bool = False
 
     def writes(self, location: Any) -> bool:
         return location in self.write_set
 
     def key(self) -> tuple[Any, int]:
         """Total order: priority first, creation id as tie-breaker (``≺``)."""
-        return (self.priority, self.tid)
+        return self.sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Task(item={self.item!r}, priority={self.priority!r}, tid={self.tid})"
+
+
+#: C-level key extractor for sorts/heaps over tasks — avoids a Python
+#: method call per comparison element.
+SORT_KEY = operator.attrgetter("sort_key")
 
 
 class TaskFactory:

@@ -42,15 +42,71 @@ class TaskGraph:
         return 1
 
     def add_edge(self, src: Task, dst: Task) -> int:
-        """Add ``src → dst``; idempotent. Returns ops performed (0 or 1)."""
+        """Add ``src → dst``; idempotent. Returns ops performed (0 or 1).
+
+        Both endpoints must already be nodes; an unknown task raises
+        ``ValueError`` naming it (matching :meth:`add_node`'s style) so
+        executor bugs surface with a diagnosable message instead of a bare
+        ``KeyError``.
+        """
         if src is dst:
             raise ValueError("self-dependence is not allowed")
-        if dst in self._out[src]:
+        try:
+            out_src = self._out[src]
+        except KeyError:
+            raise ValueError(f"source task not in graph: {src!r}") from None
+        if dst in out_src:
             return 0
-        self._out[src][dst] = None
-        self._in[dst][src] = None
+        try:
+            in_dst = self._in[dst]
+        except KeyError:
+            raise ValueError(f"destination task not in graph: {dst!r}") from None
+        out_src[dst] = None
+        in_dst[src] = None
         self._sources.pop(dst, None)
         return 1
+
+    def wire_edges(self, task: Task, preds: list[Task], succs: list[Task]) -> int:
+        """Bulk :meth:`add_edge` around one task: ``pred → task → succ``.
+
+        Semantically identical to calling ``add_edge(pred, task)`` /
+        ``add_edge(task, succ)`` edge by edge (idempotent, same
+        ``ValueError`` on unknown endpoints) but with one call for the whole
+        batch — ``KDG.add_task`` wires every conflict edge of a new task
+        through here, and the per-edge call overhead dominated its profile.
+        """
+        _in, _out = self._in, self._out
+        in_task = _in.get(task)
+        if in_task is None:
+            name = "destination" if preds else "source"
+            raise ValueError(f"{name} task not in graph: {task!r}")
+        out_task = _out[task]
+        sources = self._sources
+        ops = 0
+        for src in preds:
+            if src is task:
+                raise ValueError("self-dependence is not allowed")
+            out_src = _out.get(src)
+            if out_src is None:
+                raise ValueError(f"source task not in graph: {src!r}")
+            if task not in out_src:
+                out_src[task] = None
+                in_task[src] = None
+                ops += 1
+        if in_task:
+            sources.pop(task, None)
+        for dst in succs:
+            if dst is task:
+                raise ValueError("self-dependence is not allowed")
+            in_dst = _in.get(dst)
+            if in_dst is None:
+                raise ValueError(f"destination task not in graph: {dst!r}")
+            if dst not in out_task:
+                out_task[dst] = None
+                in_dst[task] = None
+                sources.pop(dst, None)
+                ops += 1
+        return ops
 
     def remove_node(self, task: Task) -> tuple[list[Task], int]:
         """Remove ``task`` and incident edges (subrule **R**).
@@ -58,23 +114,32 @@ class TaskGraph:
         Returns ``(neighbors, ops)`` where neighbors are the tasks that were
         adjacent (in either direction), in deterministic order.
         """
-        ops = 1
-        neighbors: dict[Task, None] = {}
-        for pred in self._in.pop(task):
-            del self._out[pred][task]
-            neighbors[pred] = None
-            ops += 1
-        for succ in self._out.pop(task):
-            del self._in[succ][task]
-            neighbors[succ] = None
-            if not self._in[succ]:
-                self._sources[succ] = None
-            ops += 1
-        self._sources.pop(task, None)
-        return list(neighbors), ops
+        _in, _out = self._in, self._out
+        preds = _in.pop(task)
+        succs = _out.pop(task)
+        ops = 1 + len(preds) + len(succs)
+        # KDG edges follow the total order, so preds and succs are disjoint
+        # and concatenation suffices; the O(1) membership check only guards
+        # the 2-cycles the generic graph type tolerates for diagnostics.
+        neighbors: list[Task] = list(preds)
+        for pred in preds:
+            del _out[pred][task]
+        sources = self._sources
+        for succ in succs:
+            in_succ = _in[succ]
+            del in_succ[task]
+            if not in_succ:
+                sources[succ] = None
+            if succ not in preds:
+                neighbors.append(succ)
+        sources.pop(task, None)
+        return neighbors, ops
 
     def in_degree(self, task: Task) -> int:
-        return len(self._in[task])
+        preds = self._in.get(task)
+        if preds is None:
+            raise ValueError(f"task not in graph: {task!r}")
+        return len(preds)
 
     def is_source(self, task: Task) -> bool:
         return task in self._sources
@@ -85,12 +150,12 @@ class TaskGraph:
 
     def neighbors(self, task: Task) -> list[Task]:
         """All adjacent tasks (union of predecessors and successors)."""
-        seen: dict[Task, None] = {}
-        for pred in self._in[task]:
-            seen[pred] = None
-        for succ in self._out[task]:
-            seen[succ] = None
-        return list(seen)
+        preds = self._in.get(task)
+        if preds is None:
+            raise ValueError(f"task not in graph: {task!r}")
+        out = list(preds)
+        out.extend(self._out[task])
+        return out
 
     def successors(self, task: Task) -> list[Task]:
         return list(self._out[task])

@@ -60,19 +60,27 @@ def verify_properties(
     initial = factory.make_all(algorithm.initial_items)
     heap = BinaryHeap(Task.key, initial)
     pending: dict[int, Task] = {t.tid: t for t in initial}
+
+    def fresh_rw(t: Task) -> set:
+        # The falsifier must observe what the visitor reports *now*; the
+        # runtime memoizes rw-sets for declared structure-based algorithms,
+        # which would mask exactly the violations we are probing for.
+        algorithm.invalidate_rw_set(t)
+        return set(algorithm.compute_rw_set(t))
+
     # Definition 4, clause (i): a task whose rw-set is not covered by its
     # parent's must have a *state-independent* rw-set — record it at
     # creation and re-check at execution time.
     recorded_rw: dict[int, set] = {}
     if props.structure_based_rw_sets:
         for task in initial:
-            recorded_rw[task.tid] = set(algorithm.compute_rw_set(task))
+            recorded_rw[task.tid] = fresh_rw(task)
 
     executed = 0
     while heap and executed < max_tasks:
         task = heap.pop()
         del pending[task.tid]
-        parent_rw = set(algorithm.compute_rw_set(task))
+        parent_rw = fresh_rw(task)
         if props.structure_based_rw_sets and task.tid in recorded_rw:
             if parent_rw != recorded_rw.pop(task.tid):
                 report.structure_based_rw_sets.append(
@@ -84,7 +92,7 @@ def verify_properties(
         watch: dict[int, set] = {}
         if props.non_increasing_rw_sets and len(pending) <= 64:
             for other in pending.values():
-                watch[other.tid] = set(algorithm.compute_rw_set(other))
+                watch[other.tid] = fresh_rw(other)
 
         ctx = algorithm.execute_body(task)
         executed += 1
@@ -103,7 +111,7 @@ def verify_properties(
                     f"parent {task.item!r} ({task.priority!r})"
                 )
             if props.structure_based_rw_sets:
-                child_rw = set(algorithm.compute_rw_set(child))
+                child_rw = fresh_rw(child)
                 if not child_rw <= parent_rw:
                     # Fall back to clause (i): re-check at execution time.
                     recorded_rw[child.tid] = child_rw
@@ -113,7 +121,7 @@ def verify_properties(
             other = pending.get(tid)
             if other is None:
                 continue
-            after = set(algorithm.compute_rw_set(other))
+            after = fresh_rw(other)
             if not after <= before:
                 report.non_increasing_rw_sets.append(
                     f"executing {task.item!r} grew the rw-set of "

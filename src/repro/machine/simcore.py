@@ -84,18 +84,110 @@ class SimMachine:
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
         self.phase_count += 1
-        # Heap of (clock, tid) so ties resolve by thread id (deterministic).
-        heap = [(self.clocks[tid], tid) for tid in range(self.num_threads)]
-        heapq.heapify(heap)
         assigned: list[int] = []
-        chunk: list[CostBreakdown] = []
-        for cost in item_costs:
-            chunk.append(cost)
-            if len(chunk) == chunk_size:
-                self._assign_chunk(heap, chunk, assigned)
-                chunk = []
-        if chunk:
-            self._assign_chunk(heap, chunk, assigned)
+        rows = self.stats.rows()
+        if self.num_threads == 1:
+            # Single-thread shortcut: every item lands on thread 0 in input
+            # order regardless of chunking, so the least-loaded heap is pure
+            # overhead.  Charge order (hence float accumulation) is
+            # identical to the general path.
+            row = rows[0]
+            append = assigned.append
+            clock = self.clocks[0]
+            for cost in item_costs:
+                append(0)
+                for category, cycles in cost.items():
+                    if cycles:
+                        row[category] += cycles
+                        clock += cycles
+            self.clocks[0] = clock
+        else:
+            # Heap of (clock, tid) so ties resolve by thread id (deterministic).
+            heap = [(self.clocks[tid], tid) for tid in range(self.num_threads)]
+            heapq.heapify(heap)
+            if chunk_size == 1:
+                # Inlined single-item chunks: same charges in the same
+                # order as _assign_chunk, minus a call + tuple per item.
+                heappush, heappop = heapq.heappush, heapq.heappop
+                append = assigned.append
+                clocks = self.clocks
+                for cost in item_costs:
+                    clock, tid = heappop(heap)
+                    append(tid)
+                    row = rows[tid]
+                    for category, cycles in cost.items():
+                        if cycles:
+                            row[category] += cycles
+                            clock += cycles
+                    clocks[tid] = clock
+                    heappush(heap, (clock, tid))
+            else:
+                chunk: list[CostBreakdown] = []
+                for cost in item_costs:
+                    chunk.append(cost)
+                    if len(chunk) == chunk_size:
+                        self._assign_chunk(heap, chunk, assigned)
+                        chunk = []
+                if chunk:
+                    self._assign_chunk(heap, chunk, assigned)
+        if barrier:
+            self.global_barrier()
+        return assigned
+
+    def run_phase_scalar(
+        self,
+        category: Category,
+        item_cycles: Iterable[float],
+        chunk_size: int = 1,
+        barrier: bool = True,
+    ) -> list[int]:
+        """Fast path for phases whose items each cost a single category.
+
+        Bit-for-bit equivalent to
+        ``run_phase([{category: c} for c in item_cycles], ...)`` — the same
+        cycles are charged to the same threads in the same order — without
+        allocating one dict per item.  Used by executors for their uniform
+        phases (worklist refills, rw-set marking, graph build), which
+        profiling shows dominate phase-dispatch cost.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.phase_count += 1
+        assigned: list[int] = []
+        rows = self.stats.rows()
+        append = assigned.append
+        if self.num_threads == 1:
+            row = rows[0]
+            clock = self.clocks[0]
+            for cycles in item_cycles:
+                append(0)
+                if cycles:
+                    row[category] += cycles
+                    clock += cycles
+            self.clocks[0] = clock
+        else:
+            heap = [(self.clocks[tid], tid) for tid in range(self.num_threads)]
+            heapq.heapify(heap)
+            heappush, heappop = heapq.heappush, heapq.heappop
+            clocks = self.clocks
+            if chunk_size == 1:
+                for cycles in item_cycles:
+                    clock, tid = heappop(heap)
+                    append(tid)
+                    if cycles:
+                        rows[tid][category] += cycles
+                        clock += cycles
+                    clocks[tid] = clock
+                    heappush(heap, (clock, tid))
+            else:
+                chunk: list[float] = []
+                for cycles in item_cycles:
+                    chunk.append(cycles)
+                    if len(chunk) == chunk_size:
+                        self._assign_chunk_scalar(heap, category, chunk, assigned)
+                        chunk = []
+                if chunk:
+                    self._assign_chunk_scalar(heap, category, chunk, assigned)
         if barrier:
             self.global_barrier()
         return assigned
@@ -103,16 +195,36 @@ class SimMachine:
     def _assign_chunk(
         self,
         heap: list[tuple[float, int]],
-        chunk: list[CostBreakdown],
+        chunk: Iterable[CostBreakdown],
         assigned: list[int],
     ) -> None:
         clock, tid = heapq.heappop(heap)
+        row = self.stats.rows()[tid]
+        append = assigned.append
         for cost in chunk:
-            assigned.append(tid)
+            append(tid)
             for category, cycles in cost.items():
                 if cycles:
-                    self.stats.charge(tid, category, cycles)
+                    row[category] += cycles
                     clock += cycles
+        self.clocks[tid] = clock
+        heapq.heappush(heap, (clock, tid))
+
+    def _assign_chunk_scalar(
+        self,
+        heap: list[tuple[float, int]],
+        category: Category,
+        chunk: list[float],
+        assigned: list[int],
+    ) -> None:
+        clock, tid = heapq.heappop(heap)
+        row = self.stats.rows()[tid]
+        append = assigned.append
+        for cycles in chunk:
+            append(tid)
+            if cycles:
+                row[category] += cycles
+                clock += cycles
         self.clocks[tid] = clock
         heapq.heappush(heap, (clock, tid))
 

@@ -40,6 +40,15 @@ class CycleStats:
             raise ValueError(f"negative cycle charge: {cycles}")
         self._cycles[tid][category] += cycles
 
+    def rows(self) -> list[dict["Category", float]]:
+        """The mutable per-thread counter rows, indexed by thread id.
+
+        The machine's phase loops accumulate into these directly — one dict
+        ``+=`` instead of a :meth:`charge` call per item-category.  Callers
+        own the non-negativity guarantee that :meth:`charge` checks.
+        """
+        return self._cycles
+
     def record_commit(self, tid: int, count: int = 1) -> None:
         """Attribute ``count`` committed tasks to thread ``tid``.
 

@@ -9,6 +9,7 @@ a :class:`LoopResult`.
 from __future__ import annotations
 
 import heapq
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -58,7 +59,7 @@ class MinTracker:
 
     def add(self, task: Task) -> None:
         self._live[task.tid] = task
-        heapq.heappush(self._heap, (task.key(), task.tid))
+        heapq.heappush(self._heap, (task.sort_key, task.tid))
 
     def remove(self, task: Task) -> None:
         self._live.pop(task.tid, None)
@@ -132,3 +133,26 @@ def execute_task(
         algorithm.memory_bound_fraction,
     )
     return ctx.pushed, cycles
+
+
+def bind_execute_task(
+    algorithm: OrderedAlgorithm, machine: SimMachine, checked: bool = False
+) -> Callable[[Task], tuple[list[Any], float]]:
+    """Per-run closure over :func:`execute_task`'s run constants.
+
+    The work scale and bandwidth inflation are fixed for a whole run;
+    executors call this once and pay one body call plus two multiplies per
+    task.  The multiplication order matches :func:`execute_task` exactly,
+    so charged cycles are bit-identical.
+    """
+    execute_body = algorithm.execute_body
+    cycles_per_work = machine.cost_model.cycles_per_work
+    inflation = machine.cost_model.bandwidth_slowdown(
+        machine.num_threads, algorithm.memory_bound_fraction
+    )
+
+    def run_task(task: Task) -> tuple[list[Any], float]:
+        ctx = execute_body(task, checked=checked)
+        return ctx.pushed, (ctx.work_done * cycles_per_work) * inflation
+
+    return run_task

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from ..core.algorithm import OrderedAlgorithm, SourceView
 from ..core.kdg import LivenessViolation
-from ..core.task import Task
+from ..core.task import SORT_KEY, Task
 from ..galois.bucketed import BucketedWorklist
 from ..galois.worklist import OrderedWorklist
 from ..machine import Category, SimMachine
-from .base import LoopResult, attribute_commits, execute_task, rw_visit_cost
+from .base import LoopResult, attribute_commits, bind_execute_task
 from .windowing import AdaptiveWindow
 
 
@@ -58,13 +58,13 @@ def run_ikdg(
     if level_windows:
         # OBIM-style bucketed worklist: O(1) transfers per level.
         backlog = BucketedWorklist(algorithm.level, initial_tasks)
-        machine.run_phase(
-            [{Category.SCHEDULE: cm.worklist_op} for _ in range(len(backlog))]
+        machine.run_phase_scalar(
+            Category.SCHEDULE, [cm.worklist_op] * len(backlog)
         )
     else:
-        backlog = OrderedWorklist(Task.key, initial_tasks)
-        machine.run_phase(
-            [{Category.SCHEDULE: cm.pq_cost(len(backlog))} for _ in range(len(backlog))]
+        backlog = OrderedWorklist(SORT_KEY, initial_tasks)
+        machine.run_phase_scalar(
+            Category.SCHEDULE, [cm.pq_cost(len(backlog))] * len(backlog)
         )
     window: dict[Task, None] = {}
     window_size = policy.first_size(machine.num_threads)
@@ -73,10 +73,18 @@ def run_ikdg(
     executed = 0
     rounds = 0
     round_sizes: list[int] = []
+    # Hot-loop constants, bound once: these run per task per round.
+    run_task = bind_execute_task(algorithm, machine, checked)
+    compute_rw_set = algorithm.compute_rw_set
+    rw_visit = cm.rw_visit
+    mark_cas = cm.mark_cas
+    mark_reset = cm.mark_reset
+    pq_cost = cm.pq_cost
+
     while window or backlog:
         rounds += 1
         # Refill the window from the backlog (a priority prefix).
-        refill_costs = []
+        refill_costs: list[float] = []
         if level_windows:
             # One full priority level per window (§3.6.1).
             current_level = None
@@ -88,15 +96,24 @@ def run_ikdg(
                 _, level_tasks = backlog.pop_level()
                 for task in level_tasks:
                     window[task] = None
-                    refill_costs.append({Category.SCHEDULE: cm.worklist_op})
+                    refill_costs.append(cm.worklist_op)
         else:
             while len(window) < window_size and backlog:
                 task = backlog.pop()
                 window[task] = None
-                refill_costs.append({Category.SCHEDULE: cm.pq_cost(len(backlog))})
+                refill_costs.append(pq_cost(len(backlog)))
         if refill_costs:
-            machine.run_phase(refill_costs, barrier=False)
-        window_max_key = max(task.key() for task in window)
+            machine.run_phase_scalar(Category.SCHEDULE, refill_costs, barrier=False)
+        if not window:
+            # A healthy refill never leaves the window empty while work is
+            # pending; reaching this means a window policy returned a
+            # non-positive size or ``level_of`` misclassified every task.
+            raise LivenessViolation(
+                f"{algorithm.name}: IKDG round {rounds} produced an empty "
+                f"window with {len(backlog)} backlog task(s) pending "
+                f"(window_size={window_size}, level_windows={level_windows})"
+            )
+        window_max_key = max(task.sort_key for task in window)
         round_sizes.append(len(window))
 
         # Phase I: compute rw-sets and priority-mark every location.  Two
@@ -105,49 +122,49 @@ def run_ikdg(
         # no earlier *writer* (read-read sharing does not conflict).
         marks_all: dict[object, Task] = {}
         marks_writer: dict[object, Task] = {}
-        mark_costs = []
+        mark_costs: list[float] = []
         min_task: Task | None = None
+        min_key = None
         for task in window:
-            rw = algorithm.compute_rw_set(task)
-            key = task.key()
-            if min_task is None or key < min_task.key():
-                min_task = task
+            rw = compute_rw_set(task)
+            key = task.sort_key
+            if min_key is None or key < min_key:
+                min_task, min_key = task, key
             cas = 0
+            write_set = task.write_set
             for loc in rw:
                 holder = marks_all.get(loc)
-                if holder is None or key < holder.key():
+                if holder is None or key < holder.sort_key:
                     marks_all[loc] = task
                 cas += 1
-                if loc in task.write_set:
+                if loc in write_set:
                     holder = marks_writer.get(loc)
-                    if holder is None or key < holder.key():
+                    if holder is None or key < holder.sort_key:
                         marks_writer[loc] = task
                     cas += 1
-            mark_costs.append(
-                {
-                    Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
-                    + cm.mark_cas * cas
-                }
-            )
-        machine.run_phase(mark_costs, chunk_size=chunk_size)
+            mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
+        machine.run_phase_scalar(
+            Category.SCHEDULE, mark_costs, chunk_size=chunk_size
+        )
 
         # Phase II: mark owners are sources; apply the safe-source test.
         def is_mark_owner(task: Task) -> bool:
-            key = task.key()
+            key = task.sort_key
+            write_set = task.write_set
             for loc in task.rw_set:
-                if loc in task.write_set:
+                if loc in write_set:
                     if marks_all[loc] is not task:
                         return False
                 else:
                     writer = marks_writer.get(loc)
-                    if writer is not None and writer.key() < key:
+                    if writer is not None and writer.sort_key < key:
                         return False
             return True
 
         sources = []
-        check_costs = []
+        check_costs: list[dict[Category, float]] = []
         for task in window:
-            check_costs.append({Category.SCHEDULE: cm.mark_reset * len(task.rw_set)})
+            check_costs.append({Category.SCHEDULE: mark_reset * len(task.rw_set)})
             if is_mark_owner(task):
                 sources.append(task)
         safe: list[Task]
@@ -171,17 +188,18 @@ def run_ikdg(
             check_costs = []
 
         # Phase III: execute safe sources, reset marks, route new tasks.
-        safe.sort(key=Task.key)
+        safe.sort(key=SORT_KEY)
+        worklist_cycles = cm.worklist_cost(machine.num_threads)
         exec_costs = list(check_costs)
         committed: list[tuple[Task, int]] = []  # (task, index into exec_costs)
         for task in safe:
             if recorder is not None:
                 recorder.commit(task, round_no=rounds)
-            new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
+            new_items, exec_cycles = run_task(task)
             del window[task]
             cost = {
-                Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
-                Category.SCHEDULE: cm.mark_reset * len(task.rw_set),
+                Category.EXECUTE: exec_cycles + worklist_cycles,
+                Category.SCHEDULE: mark_reset * len(task.rw_set),
             }
             for item in new_items:
                 child = factory.make(item)
@@ -194,11 +212,11 @@ def run_ikdg(
                         window[child] = None
                     else:
                         backlog.push(child)
-                elif child.key() <= window_max_key:
+                elif child.sort_key <= window_max_key:
                     window[child] = None
                 else:
                     backlog.push(child)
-                cost[Category.SCHEDULE] += cm.pq_cost(len(backlog))
+                cost[Category.SCHEDULE] += pq_cost(len(backlog))
             committed.append((task, len(exec_costs)))
             exec_costs.append(cost)
             executed += 1

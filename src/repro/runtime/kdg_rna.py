@@ -23,9 +23,15 @@ from typing import Any
 
 from ..core.algorithm import OrderedAlgorithm, SourceView
 from ..core.kdg import KDG, LivenessViolation, OpCounts
-from ..core.task import Task
+from ..core.task import SORT_KEY, Task
 from ..machine import Category, SimMachine, simulate_async
-from .base import LoopResult, MinTracker, attribute_commits, execute_task, rw_visit_cost
+from .base import (
+    LoopResult,
+    MinTracker,
+    attribute_commits,
+    bind_execute_task,
+    rw_visit_cost,
+)
 
 
 def _ops_cycles(machine: SimMachine, ops: OpCounts) -> float:
@@ -56,33 +62,33 @@ def _build_kdg(
     cm = machine.cost_model
     if algorithm.dependences is not None and algorithm.properties.no_new_tasks:
         by_item = {task.item: task for task in tasks}
+        add_node = kdg.graph.add_node
+        add_edge = kdg.graph.add_edge
         for task in tasks:
-            kdg.graph.add_node(task)
+            add_node(task)
             tracker.add(task)
-        costs = []
+        graph_add_node = cm.graph_add_node
+        graph_add_edge = cm.graph_add_edge
+        costs: list[float] = []
         for task in tasks:
             edge_ops = 0
             for dep_item in algorithm.dependences(task.item):
                 pred = by_item.get(dep_item)
                 if pred is not None:
-                    edge_ops += kdg.graph.add_edge(pred, task)
-            costs.append(
-                {Category.SCHEDULE: cm.graph_add_node + edge_ops * cm.graph_add_edge}
-            )
-        machine.run_phase(costs)
+                    edge_ops += add_edge(pred, task)
+            costs.append(graph_add_node + edge_ops * graph_add_edge)
+        machine.run_phase_scalar(Category.SCHEDULE, costs)
         return
+    compute_rw_set = algorithm.compute_rw_set
+    add_task = kdg.add_task
+    rw_visit = cm.rw_visit
     costs = []
     for task in tasks:
-        rw = algorithm.compute_rw_set(task)
-        ops = kdg.add_task(task, rw, task.write_set)
+        rw = compute_rw_set(task)
+        ops = add_task(task, rw, task.write_set)
         tracker.add(task)
-        costs.append(
-            {
-                Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
-                + _ops_cycles(machine, ops)
-            }
-        )
-    machine.run_phase(costs)
+        costs.append(rw_visit * max(1, len(rw)) + _ops_cycles(machine, ops))
+    machine.run_phase_scalar(Category.SCHEDULE, costs)
 
 
 def run_kdg_rna(
@@ -137,6 +143,7 @@ def _run_rounds(
 
     executed = 0
     rounds = 0
+    run_task = bind_execute_task(algorithm, machine, checked)
     # Which barriers survive the property-driven fusions (§3.6.3).
     fuse_test_with_execute = props.stable_source or props.local_safe_source_test
     fuse_execute_with_update = props.structure_based_rw_sets
@@ -164,7 +171,7 @@ def _run_rounds(
                 f"{algorithm.name}: no safe source among {len(sources)} sources "
                 f"({len(kdg)} tasks pending)"
             )
-        safe.sort(key=Task.key)
+        safe.sort(key=SORT_KEY)
         if check_safety:
             for w in safe:
                 kdg.protect(w)
@@ -176,7 +183,7 @@ def _run_rounds(
         for w in safe:
             if recorder is not None:
                 recorder.commit(w, round_no=rounds)
-            new_items, exec_cycles = execute_task(algorithm, machine, w, checked)
+            new_items, exec_cycles = run_task(w)
             neighbors, ops = kdg.remove_task(w)
             tracker.remove(w)
             records.append((w, new_items, neighbors))
@@ -203,6 +210,9 @@ def _run_rounds(
                     if n in kdg.graph:
                         refreshed[n] = None
             for n in refreshed:
+                # Subrule N re-runs the cautious prefix: drop any memoized
+                # rw-set so kinetic algorithms see fresh data.
+                algorithm.invalidate_rw_set(n)
                 rw = algorithm.compute_rw_set(n)
                 ops = kdg.refresh_task(n, rw)
                 update_costs.append(
@@ -261,19 +271,29 @@ def _run_async(
     tracker = MinTracker()
     _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
 
+    run_task = bind_execute_task(algorithm, machine, checked)
     released: set[Task] = set()
     parked: set[Task] = set()
     test_charges = {"count": 0}
     # The worker the simulator hands the current task to (see on_assign).
     current_thread = {"tid": 0}
+    # Hot-loop constants, bound once: these run per task dispatch.
+    graph = kdg.graph
+    is_source = graph.is_source
+    compute_rw_set = algorithm.compute_rw_set
+    rw_visit = cm.rw_visit
+    worklist_cycles = cm.worklist_cost(machine.num_threads)
+    graph_add_node = cm.graph_add_node
+    graph_add_edge = cm.graph_add_edge
+    graph_remove_edge = cm.graph_remove_edge
 
     def try_release(candidates: list[Task]) -> list[Task]:
         """Apply the safe-source test; park failures, release passes."""
         exposed = []
         for cand in candidates:
-            if cand in released or cand not in kdg.graph:
+            if cand in released or cand not in graph:
                 continue
-            if not kdg.graph.is_source(cand):
+            if not is_source(cand):
                 continue
             if props.stable_source:
                 safe = True
@@ -293,17 +313,21 @@ def _run_async(
 
     def step(task: Task) -> tuple[dict[Category, float], list[Task]]:
         breakdown = {
-            Category.SCHEDULE: cm.worklist_cost(machine.num_threads),
+            Category.SCHEDULE: worklist_cycles,
             Category.EXECUTE: 0.0,
             Category.SAFETY_TEST: 0.0,
         }
         if check_safety:
             kdg.unprotect(task)
-        new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
+        new_items, exec_cycles = run_task(task)
         breakdown[Category.EXECUTE] += exec_cycles
         neighbors, ops = kdg.remove_task(task)
         tracker.remove(task)
-        breakdown[Category.SCHEDULE] += _ops_cycles(machine, ops)
+        breakdown[Category.SCHEDULE] += (
+            ops.node_ops * graph_add_node
+            + ops.edge_ops * graph_add_edge
+            + ops.rw_ops * graph_remove_edge
+        )
         machine.stats.record_commit(current_thread["tid"])
         if recorder is not None:
             recorder.commit(task, thread=current_thread["tid"])
@@ -313,20 +337,22 @@ def _run_async(
             child = factory.make(item)
             if recorder is not None:
                 recorder.push(task, child)
-            rw = algorithm.compute_rw_set(child)
+            rw = compute_rw_set(child)
             child_ops = kdg.add_task(child, rw, child.write_set)
             tracker.add(child)
             children.append(child)
-            breakdown[Category.SCHEDULE] += rw_visit_cost(
-                algorithm, machine, len(rw)
-            ) + _ops_cycles(machine, child_ops)
+            breakdown[Category.SCHEDULE] += rw_visit * max(1, len(rw)) + (
+                child_ops.node_ops * graph_add_node
+                + child_ops.edge_ops * graph_add_edge
+                + child_ops.rw_ops * graph_remove_edge
+            )
 
         candidates: dict[Task, None] = {}
         for n in neighbors:
             candidates[n] = None
         for c in children:
             candidates[c] = None
-            for n in kdg.graph.neighbors(c):
+            for n in graph.neighbors(c):
                 if n in parked:
                     candidates[n] = None
         before = test_charges["count"]
@@ -340,7 +366,7 @@ def _run_async(
         current_thread["tid"] = tid
 
     initial = try_release(kdg.sources())
-    executed = simulate_async(machine, initial, Task.key, step, on_assign=on_assign)
+    executed = simulate_async(machine, initial, SORT_KEY, step, on_assign=on_assign)
     if kdg.not_empty():
         raise LivenessViolation(
             f"{algorithm.name}: asynchronous executor stalled with "

@@ -16,10 +16,10 @@ levels (a critical-path measure) and the average number of tasks per level
 from __future__ import annotations
 
 from ..core.algorithm import OrderedAlgorithm
-from ..core.task import Task
+from ..core.task import SORT_KEY, Task
 from ..galois.worklist import OrderedWorklist
 from ..machine import Category, SimMachine
-from .base import LoopResult, attribute_commits, execute_task, rw_visit_cost
+from .base import LoopResult, attribute_commits, bind_execute_task
 
 
 def run_level_by_level(
@@ -41,16 +41,24 @@ def run_level_by_level(
     cm = machine.cost_model
     factory = algorithm.task_factory()
     worklist: OrderedWorklist[Task] = OrderedWorklist(
-        Task.key, factory.make_all(algorithm.initial_items)
+        SORT_KEY, factory.make_all(algorithm.initial_items)
     )
-    machine.run_phase(
-        [{Category.SCHEDULE: cm.pq_cost(len(worklist))} for _ in range(len(worklist))]
+    machine.run_phase_scalar(
+        Category.SCHEDULE, [cm.pq_cost(len(worklist))] * len(worklist)
     )
 
     executed = 0
     num_levels = 0
     sub_rounds = 0
     tasks_per_level: list[int] = []
+    # Hot-loop constants, bound once.
+    run_task = bind_execute_task(algorithm, machine, checked)
+    compute_rw_set = algorithm.compute_rw_set
+    rw_visit = cm.rw_visit
+    mark_cas = cm.mark_cas
+    mark_reset = cm.mark_reset
+    pq_cost = cm.pq_cost
+    worklist_cycles = cm.worklist_cost(machine.num_threads)
 
     while worklist:
         # Gather the current priority level (the level key strips tie-breaks).
@@ -67,54 +75,53 @@ def run_level_by_level(
             # only need no earlier writer — same scheme as the IKDG).
             marks_all: dict[object, Task] = {}
             marks_writer: dict[object, Task] = {}
-            mark_costs = []
+            mark_costs: list[float] = []
             for task in level_tasks:
-                rw = algorithm.compute_rw_set(task)
-                key = task.key()
+                rw = compute_rw_set(task)
+                key = task.sort_key
                 cas = 0
+                write_set = task.write_set
                 for loc in rw:
                     holder = marks_all.get(loc)
-                    if holder is None or key < holder.key():
+                    if holder is None or key < holder.sort_key:
                         marks_all[loc] = task
                     cas += 1
-                    if loc in task.write_set:
+                    if loc in write_set:
                         holder = marks_writer.get(loc)
-                        if holder is None or key < holder.key():
+                        if holder is None or key < holder.sort_key:
                             marks_writer[loc] = task
                         cas += 1
-                mark_costs.append(
-                    {
-                        Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
-                        + cm.mark_cas * cas
-                    }
-                )
-            machine.run_phase(mark_costs)
+                mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
+            machine.run_phase_scalar(Category.SCHEDULE, mark_costs)
 
             def is_mark_owner(task: Task) -> bool:
-                key = task.key()
+                key = task.sort_key
+                write_set = task.write_set
                 for loc in task.rw_set:
-                    if loc in task.write_set:
+                    if loc in write_set:
                         if marks_all[loc] is not task:
                             return False
                     else:
                         writer = marks_writer.get(loc)
-                        if writer is not None and writer.key() < key:
+                        if writer is not None and writer.sort_key < key:
                             return False
                 return True
 
-            winners = [t for t in level_tasks if is_mark_owner(t)]
-            losers = [t for t in level_tasks if not is_mark_owner(t)]
-            winners.sort(key=Task.key)
+            winners = []
+            losers = []
+            for t in level_tasks:
+                (winners if is_mark_owner(t) else losers).append(t)
+            winners.sort(key=SORT_KEY)
             exec_costs = []
             committed: list[tuple[Task, int]] = []
             next_batch: list[Task] = list(losers)
             for task in winners:
                 if recorder is not None:
                     recorder.commit(task, round_no=sub_rounds)
-                new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
+                new_items, exec_cycles = run_task(task)
                 cost = {
-                    Category.EXECUTE: exec_cycles + cm.worklist_cost(machine.num_threads),
-                    Category.SCHEDULE: cm.mark_reset * len(task.rw_set),
+                    Category.EXECUTE: exec_cycles + worklist_cycles,
+                    Category.SCHEDULE: mark_reset * len(task.rw_set),
                 }
                 for item in new_items:
                     child = factory.make(item)
@@ -131,7 +138,7 @@ def run_level_by_level(
                         next_batch.append(child)
                     else:
                         worklist.push(child)
-                    cost[Category.SCHEDULE] += cm.pq_cost(len(worklist))
+                    cost[Category.SCHEDULE] += pq_cost(len(worklist))
                 committed.append((task, len(exec_costs)))
                 exec_costs.append(cost)
                 executed += 1

@@ -15,9 +15,10 @@ from __future__ import annotations
 import math
 
 from ..core.algorithm import OrderedAlgorithm
+from ..core.task import SORT_KEY
 from ..galois.priorityqueue import BinaryHeap
 from ..machine import Category, SimMachine
-from .base import LoopResult, execute_task
+from .base import LoopResult, bind_execute_task
 
 #: Per-item dispatch cost of a sorted-sequence serial loop.
 LINEAR_DISPATCH = 8.0
@@ -44,7 +45,7 @@ def run_serial(
         raise ValueError(f"unknown serial baseline {baseline!r}")
     cm = machine.cost_model
     factory = algorithm.task_factory()
-    heap = BinaryHeap(lambda t: t.key(), factory.make_all(algorithm.initial_items))
+    heap = BinaryHeap(SORT_KEY, factory.make_all(algorithm.initial_items))
     if baseline == "heap":
         machine.charge_serial(Category.SCHEDULE, cm.pq_cost(len(heap)) * len(heap))
     else:
@@ -53,30 +54,44 @@ def run_serial(
         machine.charge_serial(Category.SCHEDULE, 4.0 * count * math.log2(count + 1))
 
     executed = 0
+    # Hot-loop constants, bound once: one dispatch + one commit per task.
+    # Cycles accumulate straight into thread 0's counter row and clock —
+    # the same order of float additions charge_serial would perform.
+    run_task = bind_execute_task(algorithm, machine, checked)
+    is_heap = baseline == "heap"
+    pq_cost = cm.pq_cost
+    row = machine.stats.rows()[0]
+    clock = machine.clocks[0]
+    record_commit = machine.stats.record_commit
+    pop = heap.pop
+    push = heap.push
+    need_rw = checked or recorder is not None
     while heap:
-        task = heap.pop()
-        if baseline == "heap":
-            machine.charge_serial(Category.SCHEDULE, cm.pq_cost(len(heap)))
-        else:
-            machine.charge_serial(Category.SCHEDULE, LINEAR_DISPATCH)
-        if checked or recorder is not None:
+        task = pop()
+        dispatch = pq_cost(len(heap)) if is_heap else LINEAR_DISPATCH
+        row[Category.SCHEDULE] += dispatch
+        clock += dispatch
+        if need_rw:
             # Checked mode (and tracing) needs the declared rw-set; the
             # serial baseline itself never computes rw-sets, so no cycles
             # are charged.
             task.rw_set = algorithm.compute_rw_set(task)
-        new_items, exec_cycles = execute_task(algorithm, machine, task, checked)
-        machine.charge_serial(Category.EXECUTE, exec_cycles)
-        machine.stats.record_commit(0)
+        new_items, exec_cycles = run_task(task)
+        row[Category.EXECUTE] += exec_cycles
+        clock += exec_cycles
+        record_commit(0)
         executed += 1
         if recorder is not None:
             recorder.commit(task, thread=0, round_no=executed)
         for item in new_items:
             child = factory.make(item)
-            heap.push(child)
+            push(child)
             if recorder is not None:
                 recorder.push(task, child)
-            push_cost = cm.pq_cost(len(heap)) if baseline == "heap" else LINEAR_DISPATCH
-            machine.charge_serial(Category.SCHEDULE, push_cost)
+            push_cost = pq_cost(len(heap)) if is_heap else LINEAR_DISPATCH
+            row[Category.SCHEDULE] += push_cost
+            clock += push_cost
+    machine.clocks[0] = clock
 
     return LoopResult(
         algorithm=algorithm.name,

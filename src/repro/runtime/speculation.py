@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.algorithm import OrderedAlgorithm
-from ..core.task import Task
+from ..core.task import SORT_KEY
 from ..galois.priorityqueue import BinaryHeap
 from ..machine import Category, SimMachine
 from .base import LoopResult
@@ -46,14 +46,16 @@ def _build_trace(
     """Serial pass: execute in priority order, recording the task DAG."""
     factory = algorithm.task_factory()
     initial_tasks = factory.make_all(algorithm.initial_items)
-    heap = BinaryHeap(lambda t: t.key(), initial_tasks)
+    heap = BinaryHeap(SORT_KEY, initial_tasks)
     roots = [t.tid for t in initial_tasks]
     nodes: dict[int, _TraceNode] = {}
+    compute_rw_set = algorithm.compute_rw_set
+    execute_body = algorithm.execute_body
     while heap:
         task = heap.pop()
-        rw = algorithm.compute_rw_set(task)
-        ctx = algorithm.execute_body(task, checked=checked)
-        node = _TraceNode(task.tid, task.key(), rw, task.write_set, ctx.work_done)
+        rw = compute_rw_set(task)
+        ctx = execute_body(task, checked=checked)
+        node = _TraceNode(task.tid, task.sort_key, rw, task.write_set, ctx.work_done)
         nodes[task.tid] = node
         for item in ctx.pushed:
             child = factory.make(item)

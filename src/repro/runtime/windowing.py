@@ -33,7 +33,16 @@ class AdaptiveWindow:
             raise ValueError("growth factor must exceed 1")
 
     def first_size(self, num_threads: int) -> int:
-        return min(self.max_size, max(self.initial, num_threads))
+        """Initial window: at least ``target_per_thread × threads`` tasks.
+
+        Starting below the round's own starvation threshold
+        (``target_per_thread × threads``, see :meth:`next_size`) guarantees
+        the first rounds are starved and merely ramp the window up; sizing
+        the first window to the threshold directly skips that warm-up.
+        """
+        return min(
+            self.max_size, max(self.initial, self.target_per_thread * num_threads)
+        )
 
     def next_size(self, current: int, committed: int, num_threads: int) -> int:
         if committed < self.target_per_thread * num_threads:

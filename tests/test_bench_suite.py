@@ -1,0 +1,240 @@
+"""Tests for the wall-clock benchmark suite (`repro bench`).
+
+These never assert on wall-clock *values* — timing is machine-dependent —
+only on the harness mechanics: registry shape, payload schema, simulated-
+cycle determinism, baseline comparison/regression/schedule-change logic,
+and the CLI wiring.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BENCHES, compare, run_suite
+from repro.bench.report import (
+    SCHEMA,
+    load_baseline_section,
+    update_baseline_file,
+    write_results,
+)
+from repro.bench.timing import best_of, timed_payload
+from repro.cli import main
+
+
+class TestTiming:
+    def test_best_of_returns_min_and_all_samples(self):
+        calls = []
+
+        def fn():
+            calls.append(None)
+
+        best, times = best_of(fn, repeats=3)
+        # 1 warmup + 3 timed.
+        assert len(calls) == 4
+        assert len(times) == 3
+        assert best == min(times)
+
+    def test_best_of_passes_fresh_setup_argument(self):
+        seen = []
+        counter = iter(range(100))
+        best_of(seen.append, repeats=2, setup=lambda: next(counter))
+        # warmup consumed 0; timed runs got 1 and 2.
+        assert seen == [0, 1, 2]
+
+    def test_best_of_rejects_zero_repeats(self):
+        with pytest.raises(ValueError, match="repeats"):
+            best_of(lambda: None, repeats=0)
+
+    def test_timed_payload_schema(self):
+        payload = timed_payload(lambda: None, repeats=2, ops=10, extra_field=7)
+        assert set(payload) >= {
+            "wall_seconds", "ops", "per_op_ns", "repeats", "all_seconds",
+        }
+        assert payload["ops"] == 10
+        assert payload["extra_field"] == 7
+        assert len(payload["all_seconds"]) == 2
+
+
+class TestRegistry:
+    def test_names_and_groups_are_well_formed(self):
+        assert BENCHES
+        for name, b in BENCHES.items():
+            assert b.name == name
+            assert b.group in ("hotpath", "e2e")
+            prefix = name.split("/")[0]
+            assert prefix in ("micro", "exec", "e2e")
+            # e2e group iff e2e/ prefix.
+            assert (b.group == "e2e") == (prefix == "e2e")
+
+    def test_expected_coverage(self):
+        # One executor bench per runtime loop, one e2e bench per app.
+        for name in (
+            "micro/task_key",
+            "exec/ikdg_independent",
+            "exec/kdg_rna_rounds",
+            "exec/kdg_rna_async",
+            "exec/level_by_level",
+            "exec/serial",
+            "exec/speculation",
+        ):
+            assert name in BENCHES
+        e2e_apps = {n.split("/")[1] for n in BENCHES if n.startswith("e2e/")}
+        assert e2e_apps >= {"avi", "bfs", "billiards", "des", "lu", "mst", "treesum"}
+
+
+class TestRunSuite:
+    def test_filtered_quick_run_produces_schema(self):
+        results = run_suite(
+            quick=True, repeats=1, name_filter="micro/task_key", verbose=False
+        )
+        assert results["schema"] == SCHEMA
+        assert results["quick"] is True
+        assert set(results["benchmarks"]) == {"micro/task_key"}
+        payload = results["benchmarks"]["micro/task_key"]
+        assert payload["group"] == "hotpath"
+        assert payload["wall_seconds"] > 0
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(ValueError, match="no benchmarks match"):
+            run_suite(quick=True, repeats=1, name_filter="nope/never", verbose=False)
+
+    def test_executor_bench_sim_cycles_deterministic(self):
+        # The schedule-invariance check rides on sim_cycles being exactly
+        # reproducible run-to-run on the same code.
+        one = BENCHES["exec/ikdg_chains"].fn(True, 1)
+        two = BENCHES["exec/ikdg_chains"].fn(True, 1)
+        assert one["sim_cycles"] == two["sim_cycles"]
+        assert one["executed"] == two["executed"] > 0
+
+
+def _fake_results(**walls):
+    """Results doc with given name -> (wall, sim_cycles|None, group)."""
+    benchmarks = {}
+    for name, (wall, cycles, group) in walls.items():
+        payload = {"wall_seconds": wall, "ops": 1, "per_op_ns": 0.0, "group": group}
+        if cycles is not None:
+            payload["sim_cycles"] = cycles
+        benchmarks[name] = payload
+    return {
+        "schema": SCHEMA,
+        "quick": True,
+        "repeats": 1,
+        "host": {"python": "x", "platform": "y"},
+        "benchmarks": benchmarks,
+    }
+
+
+class TestCompare:
+    def test_speedups_and_aggregates(self):
+        base = _fake_results(a=(2.0, 100.0, "hotpath"), b=(1.0, None, "e2e"))
+        now = _fake_results(a=(1.0, 100.0, "hotpath"), b=(0.5, None, "e2e"))
+        cmp = compare(now, base, threshold=1.5)
+        assert cmp["per_benchmark"]["a"]["speedup"] == pytest.approx(2.0)
+        assert cmp["aggregate_speedup_hotpath"] == pytest.approx(2.0)
+        assert cmp["aggregate_speedup_e2e"] == pytest.approx(2.0)
+        assert cmp["aggregate_speedup_all"] == pytest.approx(2.0)
+        assert cmp["regressions"] == []
+        assert cmp["schedule_changes"] == []
+
+    def test_detects_wall_clock_regression(self):
+        base = _fake_results(a=(1.0, None, "hotpath"))
+        now = _fake_results(a=(1.6, None, "hotpath"))
+        cmp = compare(now, base, threshold=1.5)
+        assert cmp["regressions"] == ["a"]
+        assert cmp["per_benchmark"]["a"]["regression"] is True
+        # Under the threshold: no regression flagged.
+        assert compare(now, base, threshold=2.0)["regressions"] == []
+
+    def test_detects_schedule_change_via_sim_cycles(self):
+        base = _fake_results(a=(1.0, 100.0, "hotpath"))
+        now = _fake_results(a=(0.5, 101.0, "hotpath"))
+        cmp = compare(now, base, threshold=1.5)
+        assert cmp["schedule_changes"] == ["a"]
+        assert cmp["per_benchmark"]["a"]["baseline_sim_cycles"] == 100.0
+
+    def test_benchmarks_missing_from_baseline_are_skipped(self):
+        base = _fake_results(a=(1.0, None, "hotpath"))
+        now = _fake_results(a=(1.0, None, "hotpath"), new=(1.0, None, "hotpath"))
+        cmp = compare(now, base, threshold=1.5)
+        assert "new" not in cmp["per_benchmark"]
+
+
+class TestBaselineFile:
+    def test_roundtrip_and_section_isolation(self, tmp_path):
+        path = tmp_path / "BASELINE.json"
+        quick = _fake_results(a=(1.0, 100.0, "hotpath"))
+        full = dict(_fake_results(a=(4.0, 400.0, "hotpath")), quick=False)
+        update_baseline_file(path, quick)
+        update_baseline_file(path, full)
+        q = load_baseline_section(path, quick=True)
+        f = load_baseline_section(path, quick=False)
+        assert q["benchmarks"]["a"]["wall_seconds"] == 1.0
+        assert f["benchmarks"]["a"]["wall_seconds"] == 4.0
+        # A later quick update merges without clobbering the full section.
+        update_baseline_file(path, _fake_results(b=(2.0, None, "hotpath")))
+        q2 = load_baseline_section(path, quick=True)
+        assert set(q2["benchmarks"]) == {"a", "b"}
+        assert load_baseline_section(path, quick=False)["benchmarks"]["a"][
+            "wall_seconds"
+        ] == 4.0
+
+    def test_missing_or_invalid_baseline_returns_none(self, tmp_path):
+        assert load_baseline_section(tmp_path / "nope.json", quick=True) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline_section(bad, quick=True) is None
+
+
+class TestCLI:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "micro/task_key" in out
+        assert "[hotpath]" in out
+
+    def test_bench_writes_results_file(self, tmp_path):
+        out = tmp_path / "BENCH_results.json"
+        rc = main([
+            "bench", "--quick", "--repeats", "1",
+            "--filter", "micro/task_key",
+            "--output", str(out), "--no-compare",
+        ])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == SCHEMA
+        assert "micro/task_key" in doc["benchmarks"]
+
+    def test_bench_fails_on_schedule_change(self, tmp_path, capsys):
+        # Seed a baseline whose sim_cycles can't match, then compare.
+        out = tmp_path / "res.json"
+        baseline = tmp_path / "base.json"
+        results = run_suite(
+            quick=True, repeats=1, name_filter="exec/serial", verbose=False
+        )
+        doctored = json.loads(json.dumps(results))
+        doctored["benchmarks"]["exec/serial"]["sim_cycles"] += 1.0
+        update_baseline_file(baseline, doctored)
+        rc = main([
+            "bench", "--quick", "--repeats", "1", "--filter", "exec/serial",
+            "--output", str(out), "--baseline", str(baseline),
+        ])
+        assert rc == 1
+        assert "SCHEDULE CHANGE" in capsys.readouterr().err
+
+    def test_bench_update_baseline(self, tmp_path):
+        out = tmp_path / "res.json"
+        baseline = tmp_path / "base.json"
+        rc = main([
+            "bench", "--quick", "--repeats", "1", "--filter", "micro/task_key",
+            "--output", str(out), "--baseline", str(baseline),
+            "--update-baseline",
+        ])
+        assert rc == 0
+        assert load_baseline_section(baseline, quick=True) is not None
+
+    def test_write_results(self, tmp_path):
+        path = tmp_path / "r.json"
+        write_results(path, _fake_results(a=(1.0, None, "hotpath")))
+        assert json.loads(path.read_text())["schema"] == SCHEMA

@@ -58,6 +58,32 @@ class TestTaskGraph:
         with pytest.raises(ValueError):
             g.add_edge(a, a)
 
+    def test_edge_with_unknown_source_names_it(self):
+        g = TaskGraph()
+        a, b = tasks(2)
+        g.add_node(b)
+        with pytest.raises(ValueError, match="source task not in graph"):
+            g.add_edge(a, b)
+
+    def test_edge_with_unknown_destination_names_it(self):
+        g = TaskGraph()
+        a, b = tasks(2)
+        g.add_node(a)
+        with pytest.raises(ValueError, match="destination task not in graph"):
+            g.add_edge(a, b)
+
+    def test_in_degree_of_unknown_task_raises_value_error(self):
+        g = TaskGraph()
+        (a,) = tasks(1)
+        with pytest.raises(ValueError, match="task not in graph"):
+            g.in_degree(a)
+
+    def test_neighbors_of_unknown_task_raises_value_error(self):
+        g = TaskGraph()
+        (a,) = tasks(1)
+        with pytest.raises(ValueError, match="task not in graph"):
+            g.neighbors(a)
+
     def test_remove_node_exposes_successors(self):
         g = TaskGraph()
         a, b, c = tasks(3)

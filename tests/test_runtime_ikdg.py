@@ -10,9 +10,20 @@ from .helpers import ChainCounter
 
 
 class TestAdaptiveWindow:
-    def test_first_size_at_least_threads(self):
+    def test_first_size_targets_per_thread_occupancy(self):
+        # The first window must already meet the starvation threshold of
+        # next_size: target_per_thread × threads, not merely one per thread.
         policy = AdaptiveWindow(initial=4)
-        assert policy.first_size(16) == 16
+        assert policy.first_size(16) == 64
+        assert policy.first_size(1) == 4
+
+    def test_first_size_keeps_larger_initial(self):
+        policy = AdaptiveWindow(initial=256)
+        assert policy.first_size(8) == 256
+
+    def test_first_size_clamped_to_max(self):
+        policy = AdaptiveWindow(initial=4, max_size=24)
+        assert policy.first_size(16) == 24
 
     def test_grows_when_starved(self):
         policy = AdaptiveWindow()
@@ -22,9 +33,25 @@ class TestAdaptiveWindow:
         policy = AdaptiveWindow(target_per_thread=4)
         assert policy.next_size(64, committed=64, num_threads=8) == 64
 
+    def test_committed_exactly_at_target_stays(self):
+        policy = AdaptiveWindow(target_per_thread=4)
+        assert policy.next_size(64, committed=32, num_threads=8) == 64
+
+    def test_one_below_target_grows(self):
+        policy = AdaptiveWindow(target_per_thread=4)
+        assert policy.next_size(64, committed=31, num_threads=8) == 128
+
     def test_capped_at_max(self):
         policy = AdaptiveWindow(max_size=100)
         assert policy.next_size(80, committed=0, num_threads=8) == 100
+
+    def test_growth_truncates_toward_zero(self):
+        policy = AdaptiveWindow(growth=1.5)
+        assert policy.next_size(3, committed=0, num_threads=8) == 4
+
+    def test_at_max_stays_at_max(self):
+        policy = AdaptiveWindow(max_size=128)
+        assert policy.next_size(128, committed=0, num_threads=8) == 128
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -155,6 +182,29 @@ class TestIKDG:
         assert app.sums == app.expected_sums()
         # One window per chain step.
         assert result.rounds == 3
+
+    def test_level_windows_drain_levels_in_order(self):
+        """BucketedWorklist must hand out whole levels, earliest first.
+
+        Children land one level above their parents while same-level work
+        is still pending; the commit history must still be grouped by level
+        — no task of level k+1 may run before level k is fully drained.
+        """
+        app = ChainCounter(cells=3, steps=4)
+        algorithm = app.algorithm(level_of=lambda item: item[0])
+        result = run_ikdg(algorithm, SimMachine(2), level_windows=True)
+        steps = [step for step, _cell in app.history]
+        assert steps == sorted(steps)
+        assert result.rounds == 4
+        assert app.sums == app.expected_sums()
+
+    def test_empty_window_raises_liveness_violation(self):
+        """A window policy that yields no window must fail diagnosably."""
+        app = ChainCounter(cells=2, steps=1)
+        policy = AdaptiveWindow()
+        policy.first_size = lambda num_threads: 0
+        with pytest.raises(LivenessViolation, match="empty window"):
+            run_ikdg(app.algorithm(), SimMachine(2), window_policy=policy)
 
     def test_metrics_reported(self):
         app = ChainCounter(cells=2, steps=2)
