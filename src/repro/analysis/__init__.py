@@ -1,0 +1,40 @@
+"""Static and dynamic checking of declared algorithm properties.
+
+Two complementary tools:
+
+- :mod:`repro.analysis.linter` — an AST-based linter that falsifies
+  declared :class:`~repro.core.properties.AlgorithmProperties` against the
+  source of an application's ``OrderedAlgorithm`` (cautiousness, no-adds,
+  monotonicity, structure-based rw-sets, unused properties).
+- :mod:`repro.analysis.sanitizer` — a runtime access sanitizer every
+  executor can enable via ``sanitize=True``, diffing each committed task's
+  actual accesses against its declared rw-set.
+"""
+
+from .linter import (
+    RULE_CAUTIOUSNESS,
+    RULE_MONOTONIC,
+    RULE_NO_ADDS,
+    RULE_STRUCTURE_BASED,
+    RULE_UNUSED_PROPERTY,
+    RULES,
+    Finding,
+    lint_app,
+    lint_file,
+    lint_source,
+)
+from .sanitizer import AccessSanitizer
+
+__all__ = [
+    "AccessSanitizer",
+    "Finding",
+    "RULES",
+    "RULE_CAUTIOUSNESS",
+    "RULE_MONOTONIC",
+    "RULE_NO_ADDS",
+    "RULE_STRUCTURE_BASED",
+    "RULE_UNUSED_PROPERTY",
+    "lint_app",
+    "lint_file",
+    "lint_source",
+]

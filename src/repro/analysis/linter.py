@@ -1,0 +1,680 @@
+"""Static cautiousness & property linter for ordered-algorithm sources.
+
+The paper's optimization story (§3.2, Definitions 1–4) rests on *declared*
+algorithm properties; until now nothing checked a declaration before the
+executor trusted it.  This module inspects an application module's AST —
+the ``OrderedAlgorithm(...)`` construction, its ``visit_rw_sets`` /
+``apply_update`` function definitions and its ``AlgorithmProperties`` — and
+flags declarations the source code contradicts, each finding anchored to a
+``file:line``.
+
+Rules (ids are stable; tests and the JSON report depend on them):
+
+``cautiousness``
+    A shared-state write (assignment through a closed-over name, a bare
+    mutating call on one, or ``ctx.push``) is reachable before a later
+    ``ctx.access`` declaration on the same control-flow path of the loop
+    body — the body is not cautious (§3.2).  Also fires when the rw-set
+    visitor itself mutates shared state: the prefix must be read-only.
+
+``no-adds``
+    ``ctx.push`` appears in the body of an algorithm declaring
+    ``no_new_tasks`` ("No-Adds", §3.6.2).
+
+``monotonic``
+    A pushed item contains a component computed by subtracting from (or
+    negating) a value derived from the incoming item, so a child's priority
+    can decrease below its parent's (Definition 2).  Heuristic: opaque
+    priority computations inside application state are not analyzed.
+
+``structure-based``
+    Under ``structure_based_rw_sets`` the rw-set visitor reads state the
+    loop body writes, so rw-sets are data-dependent and neither clause of
+    Definition 4 can hold.
+
+``unused-property``
+    A declaration that cannot take effect: a ``safe_source_test`` under
+    ``stable_source`` (the test is never invoked), ``local_safe_source_test``
+    combined with ``stable_source`` (subsumed), or an explicit
+    ``non_increasing_rw_sets`` alongside ``structure_based_rw_sets``
+    (implied by Definition 4).
+
+The linter is a *falsifier on source form*: a clean report means no rule
+fired, not that the properties provably hold.  It never imports or executes
+the linted module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+RULE_CAUTIOUSNESS = "cautiousness"
+RULE_NO_ADDS = "no-adds"
+RULE_MONOTONIC = "monotonic"
+RULE_STRUCTURE_BASED = "structure-based"
+RULE_UNUSED_PROPERTY = "unused-property"
+
+#: rule id -> one-line description (README table, ``repro lint --rules``).
+RULES: dict[str, str] = {
+    RULE_CAUTIOUSNESS: (
+        "a shared-state write or ctx.push is reachable before a later "
+        "ctx.access declaration (the body is not cautious), or the rw-set "
+        "visitor mutates shared state"
+    ),
+    RULE_NO_ADDS: "ctx.push in the body of an algorithm declaring no_new_tasks",
+    RULE_MONOTONIC: (
+        "a pushed item derives a component by subtracting from the incoming "
+        "item, so a child's priority can decrease under monotonic"
+    ),
+    RULE_STRUCTURE_BASED: (
+        "the rw-set visitor reads state the loop body writes, so rw-sets "
+        "are data-dependent under structure_based_rw_sets"
+    ),
+    RULE_UNUSED_PROPERTY: (
+        "a declared property or safe_source_test that cannot take effect"
+    ),
+}
+
+#: Boolean flags of AlgorithmProperties, in declaration order.
+_PROPERTY_FLAGS = (
+    "stable_source",
+    "monotonic",
+    "non_increasing_rw_sets",
+    "structure_based_rw_sets",
+    "no_new_tasks",
+    "local_safe_source_test",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter finding, anchored to a source location."""
+
+    rule: str
+    message: str
+    file: str
+    line: int
+    col: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _root_name(node: ast.AST) -> ast.Name | None:
+    """The base ``Name`` of an attribute/subscript chain, or ``None``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _access_path(node: ast.AST) -> tuple[str, ...] | None:
+    """``state.next_time[elem]`` -> ``("state", "next_time")``; subscripts
+    are transparent (they index *into* the named object)."""
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Name):
+            parts.append(node.id)
+            return tuple(reversed(parts))
+        else:
+            return None
+
+
+def _paths_overlap(a: tuple[str, ...], b: tuple[str, ...]) -> bool:
+    """One path is a prefix of the other (they can alias the same data)."""
+    n = min(len(a), len(b))
+    return a[:n] == b[:n]
+
+
+def _local_names(fn: ast.FunctionDef) -> set[str]:
+    """Parameters plus every name the function binds (stores)."""
+    names = {arg.arg for arg in fn.args.args}
+    names.update(arg.arg for arg in fn.args.posonlyargs)
+    names.update(arg.arg for arg in fn.args.kwonlyargs)
+    if fn.args.vararg:
+        names.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        names.add(fn.args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+            names.add(node.name)
+    return names
+
+
+def _ctx_calls(expr: ast.AST, ctx_name: str, method: str) -> list[ast.Call]:
+    """All ``<ctx>.<method>(...)`` calls inside an expression tree."""
+    out = []
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == ctx_name
+        ):
+            out.append(node)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Extraction: find OrderedAlgorithm(...) constructions in a module
+# ----------------------------------------------------------------------
+@dataclass
+class AlgorithmUnit:
+    """One ``OrderedAlgorithm(...)`` call and its resolved pieces."""
+
+    call: ast.Call
+    properties: dict[str, bool]          # effective (Definition-4 coupling)
+    declared: dict[str, bool]            # exactly as written in the source
+    properties_line: int
+    visit_fn: ast.FunctionDef | None
+    update_fn: ast.FunctionDef | None
+    safe_test_node: ast.expr | None      # value of safe_source_test=, if any
+
+
+def _bool_kwargs(call: ast.Call) -> dict[str, bool]:
+    out: dict[str, bool] = {}
+    for kw in call.keywords:
+        if kw.arg in _PROPERTY_FLAGS and isinstance(kw.value, ast.Constant):
+            out[kw.arg] = bool(kw.value.value)
+    return out
+
+
+def _call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _extract_units(tree: ast.Module) -> list[AlgorithmUnit]:
+    functions: dict[str, ast.FunctionDef] = {}
+    property_calls: dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef):
+            functions[node.name] = node
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _call_name(node.value) == "AlgorithmProperties":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        property_calls[target.id] = node.value
+
+    units: list[AlgorithmUnit] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _call_name(node) == "OrderedAlgorithm"):
+            continue
+        declared: dict[str, bool] = {}
+        properties_line = node.lineno
+        visit_fn = update_fn = None
+        safe_test_node: ast.expr | None = None
+        for kw in node.keywords:
+            if kw.arg == "properties":
+                props_call = None
+                if isinstance(kw.value, ast.Call) and _call_name(kw.value) == "AlgorithmProperties":
+                    props_call = kw.value
+                elif isinstance(kw.value, ast.Name):
+                    props_call = property_calls.get(kw.value.id)
+                if props_call is not None:
+                    declared = _bool_kwargs(props_call)
+                    properties_line = props_call.lineno
+            elif kw.arg == "visit_rw_sets" and isinstance(kw.value, ast.Name):
+                visit_fn = functions.get(kw.value.id)
+            elif kw.arg == "apply_update" and isinstance(kw.value, ast.Name):
+                update_fn = functions.get(kw.value.id)
+            elif kw.arg == "safe_source_test":
+                if not (isinstance(kw.value, ast.Constant) and kw.value.value is None):
+                    safe_test_node = kw.value
+        effective = dict(declared)
+        if effective.get("structure_based_rw_sets"):
+            effective["non_increasing_rw_sets"] = True  # Definition 4 ⊃ 3
+        units.append(
+            AlgorithmUnit(
+                call=node,
+                properties=effective,
+                declared=declared,
+                properties_line=properties_line,
+                visit_fn=visit_fn,
+                update_fn=update_fn,
+                safe_test_node=safe_test_node,
+            )
+        )
+    return units
+
+
+# ----------------------------------------------------------------------
+# Loop-body scan: cautiousness, writes, pushes
+# ----------------------------------------------------------------------
+class _BodyScan:
+    """Control-flow-aware scan of ``apply_update`` (or the visitor).
+
+    Tracks, along each path, whether a shared-state write has already
+    happened ("dirty"); a ``ctx.access`` reached while dirty is a
+    cautiousness violation.  Collects every write path (for the
+    structure-based cross-check) and every push (for no-adds/monotonic).
+    """
+
+    def __init__(self, fn: ast.FunctionDef, file: str):
+        self.fn = fn
+        self.file = file
+        self.locals = _local_names(fn)
+        args = fn.args.posonlyargs + fn.args.args
+        self.ctx_name = args[1].arg if len(args) > 1 else "ctx"
+        self.findings: list[Finding] = []
+        self.pushes: list[ast.Call] = []
+        self.write_paths: dict[tuple[str, ...], int] = {}  # path -> first line
+        self._seen: set[tuple[int, int]] = set()
+
+    # -- events --------------------------------------------------------
+    def _emit(self, node: ast.AST, dirty: tuple[int, str]) -> None:
+        key = (node.lineno, node.col_offset)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        line, what = dirty
+        self.findings.append(
+            Finding(
+                RULE_CAUTIOUSNESS,
+                f"rw-set access declared after {what} at line {line}; the "
+                "read-only prefix must precede every shared-state write",
+                self.file,
+                node.lineno,
+                node.col_offset,
+            )
+        )
+
+    def _is_shared(self, node: ast.AST) -> bool:
+        root = _root_name(node)
+        return root is not None and root.id not in self.locals
+
+    def _record_write(self, node: ast.AST, line: int) -> None:
+        path = _access_path(node)
+        if path is not None:
+            self.write_paths.setdefault(path, line)
+
+    def _eval_expr(
+        self, expr: ast.expr | None, dirty: tuple[int, str] | None
+    ) -> tuple[int, str] | None:
+        """Accesses are checked against the incoming state; pushes dirty it."""
+        if expr is None:
+            return dirty
+        for call in _ctx_calls(expr, self.ctx_name, "access"):
+            if dirty is not None:
+                self._emit(call, dirty)
+        for call in _ctx_calls(expr, self.ctx_name, "push"):
+            self.pushes.append(call)
+            if dirty is None:
+                dirty = (call.lineno, "a ctx.push")
+        return dirty
+
+    # -- statements ----------------------------------------------------
+    def _scan_stmt(
+        self, stmt: ast.stmt, dirty: tuple[int, str] | None
+    ) -> tuple[tuple[int, str] | None, bool]:
+        """Returns ``(dirty, terminated)`` after the statement."""
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return dirty, False
+        if isinstance(stmt, ast.Return):
+            return self._eval_expr(stmt.value, dirty), True
+        if isinstance(stmt, (ast.Break, ast.Continue, ast.Raise)):
+            return dirty, True
+        if isinstance(stmt, ast.If):
+            dirty = self._eval_expr(stmt.test, dirty)
+            d1, t1 = self._scan_body(stmt.body, dirty)
+            d2, t2 = self._scan_body(stmt.orelse, dirty)
+            if t1 and t2:
+                return dirty, True
+            if t1:
+                return d2, False
+            if t2:
+                return d1, False
+            return d1 if d1 is not None else d2, False
+        if isinstance(stmt, (ast.For, ast.While)):
+            head = stmt.iter if isinstance(stmt, ast.For) else stmt.test
+            dirty = self._eval_expr(head, dirty)
+            d1, _ = self._scan_body(stmt.body, dirty)
+            # Second pass with loop-carried state: an access after a write
+            # across iterations is also a violation (duplicates deduped).
+            d2, _ = self._scan_body(stmt.body, d1)
+            out = d2 if d2 is not None else dirty
+            d3, _ = self._scan_body(stmt.orelse, out)
+            return d3 if d3 is not None else out, False
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                dirty = self._eval_expr(item.context_expr, dirty)
+            return self._scan_body(stmt.body, dirty)
+        if isinstance(stmt, ast.Try):
+            dirty, terminated = self._scan_body(stmt.body, dirty)
+            for handler in stmt.handlers:
+                dh, _ = self._scan_body(handler.body, dirty)
+                dirty = dh if dh is not None else dirty
+            dirty, _ = self._scan_body(stmt.orelse, dirty)[0], False
+            df, tf = self._scan_body(stmt.finalbody, dirty)
+            return df if df is not None else dirty, terminated and tf
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            dirty = self._eval_expr(stmt.value, dirty)
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                for elt in elts:
+                    if isinstance(elt, (ast.Attribute, ast.Subscript)) and self._is_shared(elt):
+                        self._record_write(elt, stmt.lineno)
+                        if dirty is None:
+                            dirty = (stmt.lineno, "a shared-state write")
+            return dirty, False
+        if isinstance(stmt, ast.Expr):
+            dirty = self._eval_expr(stmt.value, dirty)
+            # A bare call on a closed-over object is (almost always) a
+            # mutation — why else discard the result?  Calls whose value is
+            # used (assigned, tested, iterated) stay neutral, which keeps
+            # read-only helpers like ``uf.find_no_compress`` clean.
+            value = stmt.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and self._is_shared(value.func)
+                and _root_name(value.func).id != self.ctx_name
+            ):
+                if dirty is None:
+                    dirty = (stmt.lineno, "a mutating call")
+            return dirty, False
+        if isinstance(stmt, ast.Assert):
+            return self._eval_expr(stmt.test, dirty), False
+        return dirty, False
+
+    def _scan_body(
+        self, body: list[ast.stmt], dirty: tuple[int, str] | None
+    ) -> tuple[tuple[int, str] | None, bool]:
+        for stmt in body:
+            dirty, terminated = self._scan_stmt(stmt, dirty)
+            if terminated:
+                return dirty, True
+        return dirty, False
+
+    def scan(self) -> None:
+        self._scan_body(self.fn.body, None)
+
+
+class _VisitorScan(_BodyScan):
+    """The rw-set visitor is the cautious *prefix*: strictly read-only."""
+
+    def scan(self) -> None:
+        for node in ast.walk(self.fn):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)) and self._is_shared(target):
+                        self.findings.append(
+                            Finding(
+                                RULE_CAUTIOUSNESS,
+                                "the rw-set visitor writes shared state; the "
+                                "cautious prefix must be read-only",
+                                self.file,
+                                node.lineno,
+                                node.col_offset,
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Expr)
+                and isinstance(node.value, ast.Call)
+                and isinstance(node.value.func, ast.Attribute)
+                and self._is_shared(node.value.func)
+                and _root_name(node.value.func).id != self.ctx_name
+            ):
+                self.findings.append(
+                    Finding(
+                        RULE_CAUTIOUSNESS,
+                        "the rw-set visitor calls a mutating method on shared "
+                        "state; the cautious prefix must be read-only",
+                        self.file,
+                        node.lineno,
+                        node.col_offset,
+                    )
+                )
+
+    def read_paths(self) -> dict[tuple[str, ...], int]:
+        """Shared attribute/subscript chains the visitor reads."""
+        out: dict[tuple[str, ...], int] = {}
+        for node in ast.walk(self.fn):
+            if not isinstance(node, (ast.Attribute, ast.Subscript)):
+                continue
+            if not isinstance(getattr(node, "ctx", ast.Load()), ast.Load):
+                continue
+            if not self._is_shared(node):
+                continue
+            path = _access_path(node)
+            if path is not None:
+                out.setdefault(path, node.lineno)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Monotonicity heuristic
+# ----------------------------------------------------------------------
+def _item_derived_names(fn: ast.FunctionDef) -> tuple[set[str], dict[str, ast.expr]]:
+    """Names derived from the incoming item, plus a name -> RHS map."""
+    args = fn.args.posonlyargs + fn.args.args
+    derived: set[str] = {args[0].arg} if args else set()
+    rhs: dict[str, ast.expr] = {}
+    assigns = sorted(
+        (n for n in ast.walk(fn) if isinstance(n, ast.Assign)),
+        key=lambda n: n.lineno,
+    )
+    for node in assigns:
+        mentions = any(
+            isinstance(sub, ast.Name) and sub.id in derived
+            for sub in ast.walk(node.value)
+        )
+        for target in node.targets:
+            elts = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+            for elt in elts:
+                if isinstance(elt, ast.Name):
+                    rhs[elt.id] = node.value
+                    if mentions:
+                        derived.add(elt.id)
+    return derived, rhs
+
+
+def _decreasing_subexpr(
+    expr: ast.expr, derived: set[str], rhs: dict[str, ast.expr], depth: int = 0
+) -> ast.expr | None:
+    """A ``Sub``/``USub`` applied to an item-derived value, if any."""
+    if depth > 3:
+        return None
+
+    def is_derived(node: ast.expr) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in derived:
+                return True
+        return False
+
+    for node in ast.walk(expr):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub):
+            if is_derived(node.left):
+                return node
+        elif isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            if is_derived(node.operand):
+                return node
+        elif isinstance(node, ast.Name) and node.id in rhs and node.id not in derived:
+            continue
+    # One level of local resolution: names whose RHS itself decreases.
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in rhs:
+            hit = _decreasing_subexpr(rhs[node.id], derived, rhs, depth + 1)
+            if hit is not None:
+                return hit
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-unit rule application
+# ----------------------------------------------------------------------
+def _lint_unit(unit: AlgorithmUnit, file: str) -> list[Finding]:
+    findings: list[Finding] = []
+    props = unit.properties
+
+    update_scan: _BodyScan | None = None
+    if unit.update_fn is not None:
+        update_scan = _BodyScan(unit.update_fn, file)
+        update_scan.scan()
+        findings.extend(update_scan.findings)
+
+    visitor_scan: _VisitorScan | None = None
+    if unit.visit_fn is not None:
+        visitor_scan = _VisitorScan(unit.visit_fn, file)
+        visitor_scan.scan()
+        findings.extend(visitor_scan.findings)
+
+    if update_scan is not None and props.get("no_new_tasks"):
+        for push in update_scan.pushes:
+            findings.append(
+                Finding(
+                    RULE_NO_ADDS,
+                    "ctx.push in the body of an algorithm declaring "
+                    "no_new_tasks (No-Adds, §3.6.2)",
+                    file,
+                    push.lineno,
+                    push.col_offset,
+                )
+            )
+
+    if update_scan is not None and props.get("monotonic"):
+        derived, rhs = _item_derived_names(unit.update_fn)
+        for push in update_scan.pushes:
+            for arg in push.args:
+                hit = _decreasing_subexpr(arg, derived, rhs)
+                if hit is not None:
+                    findings.append(
+                        Finding(
+                            RULE_MONOTONIC,
+                            "pushed item subtracts from a value derived from "
+                            "the incoming item; the child's priority can "
+                            "precede its parent's (Definition 2)",
+                            file,
+                            hit.lineno,
+                            hit.col_offset,
+                        )
+                    )
+                    break
+
+    if (
+        visitor_scan is not None
+        and update_scan is not None
+        and props.get("structure_based_rw_sets")
+    ):
+        writes = update_scan.write_paths
+        for path, line in sorted(visitor_scan.read_paths().items(), key=lambda kv: kv[1]):
+            for wpath, wline in writes.items():
+                if _paths_overlap(path, wpath):
+                    findings.append(
+                        Finding(
+                            RULE_STRUCTURE_BASED,
+                            f"the rw-set visitor reads {'.'.join(path)}, which "
+                            f"the loop body writes (line {wline}); rw-sets are "
+                            "data-dependent, contradicting "
+                            "structure_based_rw_sets (Definition 4)",
+                            file,
+                            line,
+                            0,
+                        )
+                    )
+                    break
+
+    declared = unit.declared
+    if unit.safe_test_node is not None and declared.get("stable_source"):
+        findings.append(
+            Finding(
+                RULE_UNUSED_PROPERTY,
+                "safe_source_test is never invoked: stable_source declares "
+                "every source safe (Definition 1)",
+                file,
+                unit.safe_test_node.lineno,
+                unit.safe_test_node.col_offset,
+            )
+        )
+    if declared.get("local_safe_source_test") and declared.get("stable_source"):
+        findings.append(
+            Finding(
+                RULE_UNUSED_PROPERTY,
+                "local_safe_source_test is subsumed by stable_source (no "
+                "safe-source test runs at all)",
+                file,
+                unit.properties_line,
+                0,
+            )
+        )
+    if declared.get("non_increasing_rw_sets") and declared.get("structure_based_rw_sets"):
+        findings.append(
+            Finding(
+                RULE_UNUSED_PROPERTY,
+                "non_increasing_rw_sets is implied by structure_based_rw_sets "
+                "(Definition 4 strengthens Definition 3); drop the redundant "
+                "declaration",
+                file,
+                unit.properties_line,
+                0,
+            )
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def lint_source(source: str, file: str = "<string>") -> list[Finding]:
+    """Lint Python source text; returns findings sorted by location."""
+    tree = ast.parse(source, filename=file)
+    findings: list[Finding] = []
+    for unit in _extract_units(tree):
+        findings.extend(_lint_unit(unit, file))
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one Python file."""
+    path = Path(path)
+    return lint_source(path.read_text(), file=str(path))
+
+
+def app_source_path(app: str) -> Path:
+    """The ``app.py`` module a registered application's algorithm lives in."""
+    import repro.apps as apps_pkg
+
+    path = Path(apps_pkg.__file__).parent / app / "app.py"
+    if not path.is_file():
+        raise ValueError(f"no source module for app {app!r} at {path}")
+    return path
+
+
+def lint_app(app: str) -> list[Finding]:
+    """Lint a registered application by name, with repo-relative anchors."""
+    path = app_source_path(app)
+    display = path
+    cwd = Path.cwd()
+    try:
+        display = path.relative_to(cwd)
+    except ValueError:
+        pass
+    return lint_source(path.read_text(), file=str(display))

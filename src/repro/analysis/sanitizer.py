@@ -1,0 +1,92 @@
+"""Runtime access sanitizer: diff actual accesses against declared rw-sets.
+
+The static linter (:mod:`repro.analysis.linter`) checks what it can prove
+from the source; this module checks what actually happened.  Every executor
+accepts a ``sanitize=True`` flag that binds an :class:`AccessSanitizer` into
+its per-task execution closure: the loop body runs with a
+:class:`~repro.core.context.RecordingBodyContext`, and at the commit point
+the recorded accesses are diffed against the task's declared rw-set.  An
+undeclared access raises :class:`~repro.core.context.RWSetViolation` with
+the task, the offending location, the declared set and the executor phase
+attached.
+
+Sanitizing is *observation only*: it charges no simulated cycles, computes
+rw-sets only where the plain run already would (or uncharged where it would
+not, exactly like ``checked`` mode), and never perturbs task creation order
+— a sanitized run's simulated makespan and oracle trace are bit-identical
+to the unsanitized run.
+"""
+
+from __future__ import annotations
+
+from ..core.algorithm import OrderedAlgorithm
+from ..core.context import BodyContext, RWSetContext, RWSetViolation
+from ..core.task import Task
+
+
+class AccessSanitizer:
+    """Per-run recorder that validates every commit against its rw-set.
+
+    Executors construct one per sanitized run with a ``phase`` label naming
+    the execution point commits happen at (e.g. ``"ikdg/phase-III"``), and
+    update ``round_no`` as rounds advance so violations pinpoint *when* the
+    undeclared access happened, not just where.
+    """
+
+    __slots__ = ("algorithm", "phase", "round_no", "checked_tasks", "checked_accesses")
+
+    def __init__(self, algorithm: OrderedAlgorithm, phase: str):
+        self.algorithm = algorithm
+        self.phase = phase
+        #: Executor round at the time of the current commit (0 = no rounds).
+        self.round_no = 0
+        #: Tasks diffed so far (lets tests assert the sanitizer really ran).
+        self.checked_tasks = 0
+        #: Total accesses diffed so far.
+        self.checked_accesses = 0
+
+    def declared_for(self, task: Task) -> frozenset:
+        """The rw-set the executor believes the task declared.
+
+        Normally the task's bound rw-set; when the executor never computed
+        one (the explicit-``dependences`` fast path disables rw-set
+        computation entirely, §4.7) the visitor is re-run on a throwaway
+        context, leaving the task untouched so traces stay bit-identical.
+        """
+        if task.rw_valid:
+            return frozenset(task.rw_set)
+        probe = RWSetContext()
+        self.algorithm.visit_rw_sets(task.item, probe)
+        return frozenset(probe.rw_set)
+
+    def check(self, task: Task, ctx: BodyContext) -> None:
+        """Diff the body's recorded accesses against the declared rw-set.
+
+        Raises :class:`RWSetViolation` on the first undeclared location;
+        over-declaration (declared but never accessed) is sound and ignored.
+        """
+        accessed = ctx.accessed
+        self.checked_tasks += 1
+        self.checked_accesses += len(accessed)
+        if not accessed:
+            return
+        declared = self.declared_for(task)
+        for location in accessed:
+            if location not in declared:
+                where = self.phase
+                if self.round_no:
+                    where = f"{where} (round {self.round_no})"
+                shown = sorted(map(repr, declared))
+                if len(shown) > 8:
+                    shown = shown[:8] + [f"... ({len(declared)} total)"]
+                raise RWSetViolation(
+                    f"{self.algorithm.name}: task {task.item!r} "
+                    f"(priority {task.priority!r}) accessed undeclared "
+                    f"location {location!r} in {where}; declared rw-set is "
+                    f"[{', '.join(shown)}]",
+                    location=location,
+                    declared=declared,
+                    task=task,
+                    priority=task.priority,
+                    phase=self.phase,
+                )

@@ -143,11 +143,13 @@ def make_algorithm(state: LUState) -> OrderedAlgorithm:
             ctx.write(("block", i, j))
 
     def apply_update(item: tuple, ctx: BodyContext) -> None:
+        # Cautiousness: declare every access before the first shared-state
+        # write, so the per-kind counter bumps only after the declaration.
         kind = item[0]
-        state.tasks_run[kind] += 1
         if kind == LU0:
             k = item[1]
             ctx.access(("block", k, k))
+            state.tasks_run[kind] += 1
             ctx.work(kernels.lu0(mat[k, k]))
             for j in state.row_blocks(k):
                 ctx.push((FWD, k, j))
@@ -156,16 +158,19 @@ def make_algorithm(state: LUState) -> OrderedAlgorithm:
         elif kind == FWD:
             _, k, j = item
             ctx.access(("block", k, j))
+            state.tasks_run[kind] += 1
             ctx.work(kernels.fwd(mat[k, k], mat[k, j]))
             for i in state.col_blocks(k):
                 ctx.push((BMOD, k, i, j))
         elif kind == BDIV:
             _, k, i = item
             ctx.access(("block", i, k))
+            state.tasks_run[kind] += 1
             ctx.work(kernels.bdiv(mat[k, k], mat[i, k]))
         else:
             _, k, i, j = item
             ctx.access(("block", i, j))
+            state.tasks_run[kind] += 1
             ctx.work(kernels.bmod(mat[i, k], mat[k, j], mat[i, j]))
 
     return OrderedAlgorithm(

@@ -6,6 +6,8 @@ Examples::
     python -m repro run mst --impl speculation --threads 8 --size large
     python -m repro oracle billiards --seeds 0 1 2 --threads 4
     python -m repro oracle --all --json
+    python -m repro lint --json
+    python -m repro lint lu --dynamic
     python -m repro bench --quick
     python -m repro list
 """
@@ -40,6 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--size", choices=("small", "large"), default="small")
     run.add_argument("--validate", action="store_true",
                      help="also compare against the serial execution")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable the runtime access sanitizer (diffs each "
+                          "body's accesses against its declared rw-set; "
+                          "observation only)")
 
     oracle = sub.add_parser(
         "oracle",
@@ -59,6 +65,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit one JSON report per (app, seed) to stdout")
     oracle.add_argument("--export-dir", type=Path, default=None,
                         help="write each executor's trace as JSON under DIR")
+    oracle.add_argument("--properties", action="store_true", dest="properties",
+                        help="also run the dynamic property falsifier "
+                             "(core/verify.py) per app and fail on any "
+                             "contradicted declaration")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static property linter (and optional dynamic falsifier)",
+    )
+    lint.add_argument("apps", nargs="*", metavar="app",
+                      help=f"apps to lint ({', '.join(sorted(APPS))}; "
+                           f"default: all)")
+    lint.add_argument("--path", type=Path, action="append", default=None,
+                      dest="paths", metavar="FILE",
+                      help="lint a standalone Python file (repeatable)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit one machine-readable JSON report to stdout")
+    lint.add_argument("--rules", action="store_true", dest="list_rules",
+                      help="list rule ids and exit")
+    lint.add_argument("--dynamic", action="store_true",
+                      help="also run the dynamic property falsifier on each "
+                           "app's smallest input")
+    lint.add_argument("--max-tasks", type=int, default=500,
+                      help="task budget for --dynamic (default: 500)")
 
     bench = sub.add_parser(
         "bench",
@@ -110,9 +140,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: {args.app} has no implementation {args.impl!r}",
               file=sys.stderr)
         return 2
+    options: dict = {}
+    if args.sanitize:
+        # Only the ordered-model executors run the sanitizer's recording
+        # context; hand-specialized codes (kdg-manual, other, app extras)
+        # bypass execute_body entirely.
+        sanitizable = args.impl in ("serial", "kdg-auto", "kdg-rna", "ikdg",
+                                    "level-by-level", "speculation") or (
+            args.impl == "serial-best" and spec.run_serial_best is None
+        )
+        if not sanitizable:
+            print(f"error: --sanitize is not supported for --impl {args.impl}",
+                  file=sys.stderr)
+            return 2
+        options["sanitize"] = True
     state = spec.make_small() if args.size == "small" else spec.make_large()
     threads = 1 if args.impl in ("serial", "serial-best") else args.threads
-    result = spec.run(state, args.impl, SimMachine(threads))
+    result = spec.run(state, args.impl, SimMachine(threads), **options)
     spec.validate(state)
 
     print(f"app        : {args.app} ({args.size})")
@@ -130,6 +174,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  {category.value:<12} {cycles:>14.0f}  ({cycles / total:6.1%} of thread time)")
     for key, value in result.metrics.items():
         print(f"metric     : {key} = {value}")
+    if args.sanitize:
+        # The sanitizer raises RWSetViolation on the first undeclared
+        # access, so reaching this line means the run was clean.
+        print("sanitizer  : ok — every access matched the declared rw-set")
 
     if args.validate:
         oracle_state = spec.make_small() if args.size == "small" else spec.make_large()
@@ -139,6 +187,68 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not matches:
             return 1
     return 0
+
+
+def _dynamic_report(app: str, max_tasks: int = 500) -> dict:
+    """Run the dynamic property falsifier on an app's smallest input."""
+    from .core.verify import verify_properties
+
+    spec = APPS[app]
+    algorithm = spec.algorithm(spec.make_tiny())
+    return verify_properties(algorithm, max_tasks=max_tasks).to_json()
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import RULES, lint_app, lint_file
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule, description in RULES.items():
+            print(f"{rule:<{width}}  {description}")
+        return 0
+
+    apps = args.apps or sorted(APPS)
+    unknown = [a for a in apps if a not in APPS]
+    if unknown:
+        print(f"error: unknown app(s) {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    paths = args.paths or []
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        print(f"error: no such file(s) {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    if args.apps or not paths:
+        targets = [(app, lambda a=app: lint_app(a)) for app in apps]
+    else:
+        targets = []  # --path only: don't drag every app in implicitly
+    targets += [(str(p), lambda p=p: lint_file(p)) for p in paths]
+
+    total = 0
+    report: dict = {"schema": "repro-lint/v1", "targets": {}}
+    for name, lint in targets:
+        findings = lint()
+        total += len(findings)
+        entry: dict = {"findings": [f.to_dict() for f in findings]}
+        if args.dynamic and name in APPS:
+            dynamic = _dynamic_report(name, max_tasks=args.max_tasks)
+            entry["dynamic"] = dynamic
+            total += len(dynamic["findings"])
+        report["targets"][name] = entry
+        if not args.as_json:
+            for finding in findings:
+                print(finding)
+            for df in entry.get("dynamic", {}).get("findings", []):
+                print(f"{name}: {df['rule']}: {df['message']}")
+    report["ok"] = total == 0
+    if args.as_json:
+        print(json.dumps(report))
+    elif total == 0:
+        checked = ", ".join(name for name, _ in targets)
+        print(f"lint: no findings ({checked})")
+    else:
+        print(f"lint: {total} finding(s)", file=sys.stderr)
+    return 0 if total == 0 else 1
 
 
 def cmd_oracle(args: argparse.Namespace) -> int:
@@ -165,6 +275,19 @@ def cmd_oracle(args: argparse.Namespace) -> int:
 
     failures = 0
     for app in apps:
+        if args.properties:
+            # Shared findings schema with `repro lint --dynamic`.
+            dynamic = _dynamic_report(app)
+            if args.as_json:
+                print(json.dumps({"app": app, **dynamic}))
+            else:
+                mark = "ok  " if dynamic["consistent"] else "FAIL"
+                print(f"{mark} {app:<10} properties "
+                      f"({len(dynamic['findings'])} finding(s))")
+                for finding in dynamic["findings"]:
+                    print(f"     [{finding['rule']}] {finding['message']}")
+            if not dynamic["consistent"]:
+                failures += 1
         for seed in args.seeds:
             report = diff_executors(
                 app, seed=seed, threads=args.threads, executors=executors,
@@ -282,6 +405,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_list()
     if args.command == "oracle":
         return cmd_oracle(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "bench":
         return cmd_bench(args)
     return cmd_run(args)

@@ -13,7 +13,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from .context import BodyContext, RWSetContext
+from .context import BodyContext, RecordingBodyContext, RWSetContext
 from .properties import AlgorithmProperties
 from .task import Task, TaskFactory
 
@@ -107,9 +107,21 @@ class OrderedAlgorithm:
         """Drop a task's memoized rw-set (kinetic refresh, subrule **N**)."""
         task.rw_valid = False
 
-    def execute_body(self, task: Task, checked: bool = False) -> BodyContext:
-        """Run the loop body; returns the context holding pushes and work."""
-        ctx = BodyContext(declared=task.rw_set, checked=checked)
+    def execute_body(
+        self, task: Task, checked: bool = False, record: bool = False
+    ) -> BodyContext:
+        """Run the loop body; returns the context holding pushes and work.
+
+        ``record=True`` hands the body a :class:`RecordingBodyContext` so the
+        access sanitizer can diff actual accesses against the declared rw-set
+        at the commit point (see :mod:`repro.analysis.sanitizer`).
+        """
+        if record:
+            ctx: BodyContext = RecordingBodyContext(
+                declared=task.rw_set, checked=checked
+            )
+        else:
+            ctx = BodyContext(declared=task.rw_set, checked=checked)
         self.apply_update(task.item, ctx)
         return ctx
 

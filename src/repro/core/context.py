@@ -14,7 +14,31 @@ from typing import Any
 
 
 class RWSetViolation(RuntimeError):
-    """A task touched a shared location outside its declared rw-set."""
+    """A task touched a shared location outside its declared rw-set.
+
+    Beyond the message, the exception carries structured context so
+    sanitizer failures are actionable: the offending ``location``, the
+    ``declared`` rw-set it was missing from, and — when the raising layer
+    knows them — the ``task``, its ``priority`` and the executor ``phase``
+    the access happened in.  Fields are ``None`` when unavailable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        location: Any = None,
+        declared: Any = None,
+        task: Any = None,
+        priority: Any = None,
+        phase: str | None = None,
+    ):
+        super().__init__(message)
+        self.location = location
+        self.declared = tuple(declared) if declared is not None else None
+        self.task = task
+        self.priority = priority
+        self.phase = phase
 
 
 class RWSetContext:
@@ -81,7 +105,9 @@ class BodyContext:
         if self.checked and location not in self._declared:
             raise RWSetViolation(
                 f"access to undeclared location {location!r}; declared set has "
-                f"{len(self._declared)} locations"
+                f"{len(self._declared)} locations",
+                location=location,
+                declared=self._declared,
             )
 
     @property
@@ -91,3 +117,35 @@ class BodyContext:
     @property
     def work_done(self) -> float:
         return self._work
+
+    @property
+    def accessed(self) -> tuple[Any, ...]:
+        """Locations actually touched; only recorded by the sanitizer."""
+        return ()
+
+
+class RecordingBodyContext(BodyContext):
+    """A :class:`BodyContext` that records every ``access`` for diffing.
+
+    The access sanitizer (:class:`repro.analysis.AccessSanitizer`) hands this
+    to the loop body instead of the plain context, then diffs the recorded
+    accesses against the task's declared rw-set at commit time.  Unlike
+    ``checked`` mode it never raises mid-body — the diff at the commit point
+    knows the task and executor phase, so the eventual
+    :class:`RWSetViolation` is fully attributed.  Recording never changes
+    pushes, metered work, or scheduling.
+    """
+
+    __slots__ = ("_accessed",)
+
+    def __init__(self, declared: tuple[Any, ...] = (), checked: bool = False):
+        super().__init__(declared=declared, checked=checked)
+        self._accessed: list[Any] = []
+
+    def access(self, location: Any) -> None:
+        self._accessed.append(location)
+        super().access(location)
+
+    @property
+    def accessed(self) -> tuple[Any, ...]:
+        return tuple(self._accessed)

@@ -45,6 +45,20 @@ class PropertyReport:
             if msgs
         }
 
+    def to_json(self) -> dict:
+        """The shared findings schema used by ``repro lint --dynamic`` and
+        the oracle CLI: each observed contradiction becomes one finding
+        whose rule id is the property name under a ``dynamic-`` prefix."""
+        return {
+            "schema": "repro-findings/v1",
+            "consistent": self.consistent,
+            "findings": [
+                {"rule": f"dynamic-{name.replace('_', '-')}", "message": message}
+                for name, messages in self.violations().items()
+                for message in messages
+            ],
+        }
+
 
 def verify_properties(
     algorithm: OrderedAlgorithm, max_tasks: int = 500

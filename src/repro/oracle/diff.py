@@ -57,12 +57,14 @@ def run_traced(
     state: Any,
     threads: int = 3,
     checked: bool = False,
+    sanitize: bool = False,
 ) -> tuple[Any, ExecutionTrace]:
     """Run ``executor`` over ``state`` with a trace recorder attached.
 
     Returns ``(LoopResult, ExecutionTrace)``.  Raises ``ValueError`` when
     the app's declared properties rule the executor out (callers treat that
-    as a skip).
+    as a skip).  ``sanitize=True`` enables the runtime access sanitizer on
+    the underlying run (observation only; traces stay bit-identical).
     """
     spec = APPS[app]
     algorithm = spec.algorithm(state)
@@ -71,31 +73,35 @@ def run_traced(
         machine = SimMachine(1)
         result = run_serial(
             algorithm, machine, checked=checked,
-            baseline=spec.serial_baseline, recorder=recorder,
+            baseline=spec.serial_baseline, recorder=recorder, sanitize=sanitize,
         )
     elif executor == "kdg-rna":
         machine = SimMachine(threads)
         result = run_kdg_rna(
             algorithm, machine, checked=checked, asynchronous=False,
-            recorder=recorder,
+            recorder=recorder, sanitize=sanitize,
         )
     elif executor == "kdg-rna-async":
         machine = SimMachine(threads)
         result = run_kdg_rna(
             algorithm, machine, checked=checked, asynchronous=True,
-            recorder=recorder,
+            recorder=recorder, sanitize=sanitize,
         )
     elif executor == "ikdg":
         machine = SimMachine(threads)
-        result = run_ikdg(algorithm, machine, checked=checked, recorder=recorder)
+        result = run_ikdg(
+            algorithm, machine, checked=checked, recorder=recorder, sanitize=sanitize
+        )
     elif executor == "level-by-level":
         machine = SimMachine(threads)
         result = run_level_by_level(
-            algorithm, machine, checked=checked, recorder=recorder
+            algorithm, machine, checked=checked, recorder=recorder, sanitize=sanitize
         )
     elif executor == "speculation":
         machine = SimMachine(threads)
-        result = run_speculation(algorithm, machine, checked=checked, recorder=recorder)
+        result = run_speculation(
+            algorithm, machine, checked=checked, recorder=recorder, sanitize=sanitize
+        )
     else:
         raise ValueError(f"unknown oracle executor {executor!r}")
     trace = recorder.trace(

@@ -120,36 +120,56 @@ def execute_task(
     machine: SimMachine,
     task: Task,
     checked: bool = False,
+    sanitizer=None,
 ) -> tuple[list[Any], float]:
     """Run the loop body; returns ``(new_items, execute_cycles)``.
 
     Execution cycles include the algorithm's memory-bandwidth inflation at
-    the machine's thread count.
+    the machine's thread count.  With a ``sanitizer`` attached, the body
+    runs under a recording context and its accesses are diffed against the
+    declared rw-set at this commit point (observation only: no cycles).
     """
-    ctx = algorithm.execute_body(task, checked=checked)
+    ctx = algorithm.execute_body(task, checked=checked, record=sanitizer is not None)
     cycles = inflate_execute(
         machine,
         machine.cost_model.work_cost(ctx.work_done),
         algorithm.memory_bound_fraction,
     )
+    if sanitizer is not None:
+        sanitizer.check(task, ctx)
     return ctx.pushed, cycles
 
 
 def bind_execute_task(
-    algorithm: OrderedAlgorithm, machine: SimMachine, checked: bool = False
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine,
+    checked: bool = False,
+    sanitizer=None,
 ) -> Callable[[Task], tuple[list[Any], float]]:
     """Per-run closure over :func:`execute_task`'s run constants.
 
     The work scale and bandwidth inflation are fixed for a whole run;
     executors call this once and pay one body call plus two multiplies per
     task.  The multiplication order matches :func:`execute_task` exactly,
-    so charged cycles are bit-identical.
+    so charged cycles are bit-identical.  The sanitizing variant is a
+    separate closure so the unsanitized hot path stays untouched.
     """
     execute_body = algorithm.execute_body
     cycles_per_work = machine.cost_model.cycles_per_work
     inflation = machine.cost_model.bandwidth_slowdown(
         machine.num_threads, algorithm.memory_bound_fraction
     )
+
+    if sanitizer is not None:
+        check = sanitizer.check
+
+        def run_task_sanitized(task: Task) -> tuple[list[Any], float]:
+            ctx = execute_body(task, checked=checked, record=True)
+            cycles = (ctx.work_done * cycles_per_work) * inflation
+            check(task, ctx)
+            return ctx.pushed, cycles
+
+        return run_task_sanitized
 
     def run_task(task: Task) -> tuple[list[Any], float]:
         ctx = execute_body(task, checked=checked)

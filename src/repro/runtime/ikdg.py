@@ -37,6 +37,7 @@ def run_ikdg(
     level_windows: bool = False,
     chunk_size: int = 1,
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     """Run ``algorithm`` under the implicit (marking-based) KDG executor.
 
@@ -46,6 +47,8 @@ def run_ikdg(
     ``chunk_size`` is the paper's §3.7 scheduling hint: work items are
     handed to threads in chunks to amortize worklist traffic.
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
+    ``sanitize=True`` diffs each body's accesses against its declared
+    rw-set at commit time (observation only).
     """
     if machine is None:
         machine = SimMachine(1)
@@ -70,11 +73,17 @@ def run_ikdg(
     window_size = policy.first_size(machine.num_threads)
     fuse_test_with_execute = props.stable_source
 
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="ikdg/phase-III")
+
     executed = 0
     rounds = 0
     round_sizes: list[int] = []
     # Hot-loop constants, bound once: these run per task per round.
-    run_task = bind_execute_task(algorithm, machine, checked)
+    run_task = bind_execute_task(algorithm, machine, checked, sanitizer=sanitizer)
     compute_rw_set = algorithm.compute_rw_set
     rw_visit = cm.rw_visit
     mark_cas = cm.mark_cas
@@ -83,6 +92,8 @@ def run_ikdg(
 
     while window or backlog:
         rounds += 1
+        if sanitizer is not None:
+            sanitizer.round_no = rounds
         # Refill the window from the backlog (a priority prefix).
         refill_costs: list[float] = []
         if level_windows:

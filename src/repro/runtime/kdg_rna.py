@@ -99,6 +99,7 @@ def run_kdg_rna(
     asynchronous: bool | None = None,
     chunk_size: int = 1,
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     """Run ``algorithm`` under the explicit KDG executor.
 
@@ -106,7 +107,9 @@ def run_kdg_rna(
     the declared properties allow it (§3.6.3).  ``chunk_size`` is the §3.7
     scheduling hint for the bulk-synchronous phases (ignored by the
     asynchronous variant, whose dispatch is per-task).  ``recorder`` is an
-    optional :class:`repro.oracle.TraceRecorder`.
+    optional :class:`repro.oracle.TraceRecorder`.  ``sanitize=True`` diffs
+    each body's accesses against its declared rw-set at commit time
+    (observation only).
     """
     if machine is None:
         machine = SimMachine(1)
@@ -119,8 +122,10 @@ def run_kdg_rna(
                 f"{algorithm.name}: asynchronous KDG-RNA requires "
                 "structure-based rw-sets and stable sources or a local test"
             )
-        return _run_async(algorithm, machine, checked, check_safety, recorder)
-    return _run_rounds(algorithm, machine, checked, check_safety, chunk_size, recorder)
+        return _run_async(algorithm, machine, checked, check_safety, recorder, sanitize)
+    return _run_rounds(
+        algorithm, machine, checked, check_safety, chunk_size, recorder, sanitize
+    )
 
 
 # ----------------------------------------------------------------------
@@ -133,6 +138,7 @@ def _run_rounds(
     check_safety: bool,
     chunk_size: int = 1,
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     cm = machine.cost_model
     props = algorithm.properties
@@ -141,15 +147,23 @@ def _run_rounds(
     tracker = MinTracker()
     _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
 
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="kdg-rna/execute")
+
     executed = 0
     rounds = 0
-    run_task = bind_execute_task(algorithm, machine, checked)
+    run_task = bind_execute_task(algorithm, machine, checked, sanitizer=sanitizer)
     # Which barriers survive the property-driven fusions (§3.6.3).
     fuse_test_with_execute = props.stable_source or props.local_safe_source_test
     fuse_execute_with_update = props.structure_based_rw_sets
 
     while kdg.not_empty():
         rounds += 1
+        if sanitizer is not None:
+            sanitizer.round_no = rounds
         sources = kdg.sources()
 
         # Phase 1: safe-source test.
@@ -263,6 +277,7 @@ def _run_async(
     checked: bool,
     check_safety: bool,
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     cm = machine.cost_model
     props = algorithm.properties
@@ -271,7 +286,13 @@ def _run_async(
     tracker = MinTracker()
     _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
 
-    run_task = bind_execute_task(algorithm, machine, checked)
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="kdg-rna-async/execute")
+
+    run_task = bind_execute_task(algorithm, machine, checked, sanitizer=sanitizer)
     released: set[Task] = set()
     parked: set[Task] = set()
     test_charges = {"count": 0}

@@ -27,10 +27,13 @@ def run_level_by_level(
     machine: SimMachine | None = None,
     checked: bool = False,
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     """Run ``algorithm`` level by level, recording level statistics.
 
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
+    ``sanitize=True`` diffs each body's accesses against its declared
+    rw-set at commit time (observation only).
     """
     if machine is None:
         machine = SimMachine(1)
@@ -47,12 +50,18 @@ def run_level_by_level(
         Category.SCHEDULE, [cm.pq_cost(len(worklist))] * len(worklist)
     )
 
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="level-by-level/execute")
+
     executed = 0
     num_levels = 0
     sub_rounds = 0
     tasks_per_level: list[int] = []
     # Hot-loop constants, bound once.
-    run_task = bind_execute_task(algorithm, machine, checked)
+    run_task = bind_execute_task(algorithm, machine, checked, sanitizer=sanitizer)
     compute_rw_set = algorithm.compute_rw_set
     rw_visit = cm.rw_visit
     mark_cas = cm.mark_cas
@@ -71,6 +80,8 @@ def run_level_by_level(
 
         while level_tasks:
             sub_rounds += 1
+            if sanitizer is not None:
+                sanitizer.round_no = sub_rounds
             # Marking sub-round: owners of all their marks execute (readers
             # only need no earlier writer — same scheme as the IKDG).
             marks_all: dict[object, Task] = {}

@@ -30,12 +30,15 @@ def run_serial(
     checked: bool = False,
     baseline: str = "heap",
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     """Execute ``algorithm`` serially in priority order.
 
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`; with
     one attached, rw-sets are computed (uncharged, as in checked mode) so
-    the reference trace carries conflict information.
+    the reference trace carries conflict information.  ``sanitize=True``
+    diffs each body's actual accesses against the declared rw-set
+    (observation only; charges no cycles).
     """
     if machine is None:
         machine = SimMachine(1)
@@ -53,11 +56,17 @@ def run_serial(
         count = max(1, len(heap))
         machine.charge_serial(Category.SCHEDULE, 4.0 * count * math.log2(count + 1))
 
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="serial/execute")
+
     executed = 0
     # Hot-loop constants, bound once: one dispatch + one commit per task.
     # Cycles accumulate straight into thread 0's counter row and clock —
     # the same order of float additions charge_serial would perform.
-    run_task = bind_execute_task(algorithm, machine, checked)
+    run_task = bind_execute_task(algorithm, machine, checked, sanitizer=sanitizer)
     is_heap = baseline == "heap"
     pq_cost = cm.pq_cost
     row = machine.stats.rows()[0]
@@ -65,7 +74,7 @@ def run_serial(
     record_commit = machine.stats.record_commit
     pop = heap.pop
     push = heap.push
-    need_rw = checked or recorder is not None
+    need_rw = checked or recorder is not None or sanitizer is not None
     while heap:
         task = pop()
         dispatch = pq_cost(len(heap)) if is_heap else LINEAR_DISPATCH

@@ -41,7 +41,7 @@ class _TraceNode:
 
 
 def _build_trace(
-    algorithm: OrderedAlgorithm, checked: bool
+    algorithm: OrderedAlgorithm, checked: bool, sanitizer=None
 ) -> tuple[dict[int, _TraceNode], list[int]]:
     """Serial pass: execute in priority order, recording the task DAG."""
     factory = algorithm.task_factory()
@@ -51,10 +51,13 @@ def _build_trace(
     nodes: dict[int, _TraceNode] = {}
     compute_rw_set = algorithm.compute_rw_set
     execute_body = algorithm.execute_body
+    record = sanitizer is not None
     while heap:
         task = heap.pop()
         rw = compute_rw_set(task)
-        ctx = execute_body(task, checked=checked)
+        ctx = execute_body(task, checked=checked, record=record)
+        if sanitizer is not None:
+            sanitizer.check(task, ctx)
         node = _TraceNode(task.tid, task.sort_key, rw, task.write_set, ctx.work_done)
         nodes[task.tid] = node
         for item in ctx.pushed:
@@ -307,16 +310,24 @@ def run_speculation(
     machine: SimMachine | None = None,
     checked: bool = False,
     recorder=None,
+    sanitize: bool = False,
 ) -> LoopResult:
     """Run ``algorithm`` under the speculative executor.
 
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`; events
     are emitted in commit order during the replay (in-order commit), using
-    the rw-sets captured by the serial trace pass.
+    the rw-sets captured by the serial trace pass.  ``sanitize=True`` diffs
+    each body's accesses against its declared rw-set during that trace pass
+    (observation only).
     """
     if machine is None:
         machine = SimMachine(1)
-    nodes, roots = _build_trace(algorithm, checked)
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="speculation/trace")
+    nodes, roots = _build_trace(algorithm, checked, sanitizer=sanitizer)
     replay = _Replay(
         nodes, roots, machine, algorithm.memory_bound_fraction, recorder=recorder
     )

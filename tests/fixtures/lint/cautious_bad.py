@@ -1,0 +1,27 @@
+"""Fixture: a non-cautious body — it writes shared state before declaring
+its accesses, so the read-only prefix does not cover the update."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+
+    def apply_update(item, ctx):
+        state.value[item] += 1
+        ctx.access(("node", item))  # LINT-ANCHOR
+        ctx.work(1.0)
+
+    return OrderedAlgorithm(
+        name="fixture-cautious-bad",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True),
+    )

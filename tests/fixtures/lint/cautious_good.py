@@ -1,0 +1,26 @@
+"""Fixture: a cautious body — every access precedes the first write."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+
+    def apply_update(item, ctx):
+        ctx.access(("node", item))
+        state.value[item] += 1
+        ctx.work(1.0)
+
+    return OrderedAlgorithm(
+        name="fixture-cautious-good",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True),
+    )

@@ -1,0 +1,30 @@
+"""Fixture: a body that pushes a child scheduled *before* its parent's
+time-stamp although the algorithm declares ``monotonic`` (Definition 2)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        ctx.push((time - state.delay, node + 1))  # LINT-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-monotonic-bad",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True, monotonic=True),
+    )

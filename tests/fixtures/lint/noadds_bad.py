@@ -1,0 +1,28 @@
+"""Fixture: a body that pushes a new task although the algorithm declares
+``no_new_tasks`` (No-Adds, §3.6.2)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+
+    def apply_update(item, ctx):
+        ctx.access(("node", item))
+        state.value[item] += 1
+        ctx.work(1.0)
+        ctx.push(item + 1)  # LINT-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-noadds-bad",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True, no_new_tasks=True),
+    )

@@ -1,0 +1,34 @@
+"""Fixture: the rw-set visitor reads ``state.links``, which the loop body
+rewires — rw-sets are data-dependent, contradicting
+``structure_based_rw_sets`` (Definition 4)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+        for other in state.links[item]:  # LINT-ANCHOR
+            ctx.read(("node", other))
+
+    def apply_update(item, ctx):
+        ctx.access(("node", item))
+        for other in state.links[item]:
+            ctx.access(("node", other))
+        state.links[item] = state.links[item] + (item,)
+        ctx.work(1.0)
+
+    return OrderedAlgorithm(
+        name="fixture-structure-bad",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(
+            stable_source=True, structure_based_rw_sets=True
+        ),
+    )

@@ -1,0 +1,33 @@
+"""Fixture: structure-based rw-sets — the visitor reads only immutable
+structure (``state.links`` is never written by the body)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+        for other in state.links[item]:
+            ctx.read(("node", other))
+
+    def apply_update(item, ctx):
+        ctx.access(("node", item))
+        for other in state.links[item]:
+            ctx.access(("node", other))
+        state.value[item] += 1
+        ctx.work(1.0)
+
+    return OrderedAlgorithm(
+        name="fixture-structure-good",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(
+            stable_source=True, structure_based_rw_sets=True
+        ),
+    )

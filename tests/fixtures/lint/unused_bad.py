@@ -1,0 +1,31 @@
+"""Fixture: a safe-source test on a ``stable_source`` algorithm — the test
+is dead code (Definition 1 declares every source safe)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+
+    def apply_update(item, ctx):
+        ctx.access(("node", item))
+        state.value[item] += 1
+        ctx.work(1.0)
+
+    def always_safe(task, view):
+        return True
+
+    return OrderedAlgorithm(
+        name="fixture-unused-bad",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True),
+        safe_source_test=always_safe,  # LINT-ANCHOR
+    )

@@ -1,0 +1,31 @@
+"""Fixture: an unstable-source algorithm whose safe-source test is real —
+every declared property takes effect."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("node", item))
+
+    def apply_update(item, ctx):
+        ctx.access(("node", item))
+        state.value[item] += 1
+        ctx.work(1.0)
+
+    def earliest_only(task, view):
+        return view.min_priority is None or task.priority <= view.min_priority
+
+    return OrderedAlgorithm(
+        name="fixture-unused-good",
+        initial_items=list(state.nodes),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=False),
+        safe_source_test=earliest_only,
+    )

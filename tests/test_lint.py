@@ -1,0 +1,125 @@
+"""Static linter tests: fixtures fire their rule at the anchored line,
+shipped apps lint clean, and the CLI emits the machine-readable report."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    RULE_CAUTIOUSNESS,
+    RULE_MONOTONIC,
+    RULE_NO_ADDS,
+    RULE_STRUCTURE_BASED,
+    RULE_UNUSED_PROPERTY,
+    RULES,
+    lint_app,
+    lint_file,
+)
+from repro.apps import APPS
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: fixture stem -> the rule its *_bad variant must fire (and nothing else).
+FIXTURE_RULES = {
+    "cautious": RULE_CAUTIOUSNESS,
+    "noadds": RULE_NO_ADDS,
+    "monotonic": RULE_MONOTONIC,
+    "structure": RULE_STRUCTURE_BASED,
+    "unused": RULE_UNUSED_PROPERTY,
+}
+
+
+def anchor_line(path: Path) -> int:
+    """1-based line of the fixture's ``# LINT-ANCHOR`` marker."""
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if "LINT-ANCHOR" in line:
+            return lineno
+    raise AssertionError(f"{path} has no LINT-ANCHOR marker")
+
+
+def test_every_rule_has_a_fixture_pair():
+    assert set(FIXTURE_RULES.values()) == set(RULES)
+    for stem in FIXTURE_RULES:
+        assert (FIXTURES / f"{stem}_good.py").is_file()
+        assert (FIXTURES / f"{stem}_bad.py").is_file()
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURE_RULES))
+def test_bad_fixture_fires_its_rule_at_the_anchor(stem):
+    path = FIXTURES / f"{stem}_bad.py"
+    findings = lint_file(path)
+    assert len(findings) == 1, [str(f) for f in findings]
+    finding = findings[0]
+    assert finding.rule == FIXTURE_RULES[stem]
+    assert finding.line == anchor_line(path)
+    assert finding.file == str(path)
+
+
+@pytest.mark.parametrize("stem", sorted(FIXTURE_RULES))
+def test_good_fixture_is_clean(stem):
+    assert lint_file(FIXTURES / f"{stem}_good.py") == []
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_shipped_apps_lint_clean(app):
+    assert lint_app(app) == [], [str(f) for f in lint_app(app)]
+
+
+def test_finding_to_dict_roundtrip():
+    findings = lint_file(FIXTURES / "cautious_bad.py")
+    payload = findings[0].to_dict()
+    assert payload["rule"] == RULE_CAUTIOUSNESS
+    assert set(payload) == {"rule", "message", "file", "line", "col"}
+
+
+def test_cli_lint_all_apps_clean(capsys):
+    assert main(["lint", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["schema"] == "repro-lint/v1"
+    assert report["ok"] is True
+    assert set(report["targets"]) == set(APPS)
+    for entry in report["targets"].values():
+        assert entry["findings"] == []
+
+
+def test_cli_lint_fixture_fails_with_anchored_finding(capsys):
+    path = FIXTURES / "noadds_bad.py"
+    assert main(["lint", "--path", str(path), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    (finding,) = report["targets"][str(path)]["findings"]
+    assert finding["rule"] == RULE_NO_ADDS
+    assert finding["line"] == anchor_line(path)
+
+
+def test_cli_lint_rules_table(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULES:
+        assert rule in out
+
+
+def test_cli_lint_dynamic_uses_shared_findings_schema(capsys):
+    assert main(["lint", "lu", "--dynamic", "--max-tasks", "50", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    dynamic = report["targets"]["lu"]["dynamic"]
+    assert dynamic["schema"] == "repro-findings/v1"
+    assert dynamic["consistent"] is True
+    assert dynamic["findings"] == []
+
+
+def test_property_report_to_json_carries_violations():
+    from repro.core.verify import PropertyReport
+
+    report = PropertyReport(monotonic=["child precedes parent"])
+    payload = report.to_json()
+    assert payload["schema"] == "repro-findings/v1"
+    assert payload["consistent"] is False
+    assert payload["findings"] == [
+        {"rule": "dynamic-monotonic", "message": "child precedes parent"}
+    ]
+    assert PropertyReport().to_json()["consistent"] is True

@@ -1,0 +1,106 @@
+"""Runtime access-sanitizer tests.
+
+An under-declared billiards visitor (the second ball of a collision is
+omitted from the rw-set) must be caught under both IKDG and KDG-RNA, with
+the violation fully attributed; the same run without the sanitizer goes
+through silently — which is exactly the hazard the sanitizer closes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import AccessSanitizer
+from repro.apps import APPS
+from repro.apps.billiards.simulation import BALL
+from repro.core.context import RWSetViolation
+from repro.machine import SimMachine
+from repro.oracle.workloads import make_oracle_state
+from repro.runtime import run_ikdg, run_kdg_rna, run_serial
+
+
+def under_declared_billiards():
+    """Billiards whose visitor forgets the collision's second ball."""
+    state = make_oracle_state("billiards", seed=0)
+    algorithm = APPS["billiards"].algorithm(state)
+
+    def forgetful_visit(item, ctx):
+        ctx.write(("ball", item[2]))
+        # BUG under test: for BALL events the body also touches
+        # ("ball", item[3]), which this visitor fails to declare.
+
+    return dataclasses.replace(algorithm, visit_rw_sets=forgetful_visit)
+
+
+@pytest.mark.parametrize(
+    "run,phase",
+    [
+        (run_ikdg, "ikdg/phase-III"),
+        (run_kdg_rna, "kdg-rna/execute"),
+    ],
+    ids=["ikdg", "kdg-rna"],
+)
+def test_under_declared_billiards_is_caught(run, phase):
+    algorithm = under_declared_billiards()
+    with pytest.raises(RWSetViolation) as excinfo:
+        run(algorithm, SimMachine(3), sanitize=True)
+    violation = excinfo.value
+    assert violation.phase == phase
+    assert violation.location[0] == "ball"
+    # The undeclared location is the collision's second ball.
+    assert violation.task.item[1] == BALL
+    assert violation.location == ("ball", violation.task.item[3])
+    assert violation.location not in violation.declared
+    assert violation.priority == violation.task.priority
+    assert "undeclared" in str(violation)
+
+
+@pytest.mark.parametrize("run", [run_ikdg, run_kdg_rna], ids=["ikdg", "kdg-rna"])
+def test_without_sanitizer_the_bug_runs_silently(run):
+    result = run(under_declared_billiards(), SimMachine(3))
+    assert result.executed > 0
+
+
+def test_serial_sanitized_run_is_clean():
+    state = make_oracle_state("lu", seed=0)
+    algorithm = APPS["lu"].algorithm(state)
+    result = run_serial(
+        algorithm, SimMachine(1), baseline=APPS["lu"].serial_baseline, sanitize=True
+    )
+    assert result.executed > 0
+
+
+def test_sanitizer_counts_tasks_and_accesses():
+    state = make_oracle_state("lu", seed=0)
+    algorithm = APPS["lu"].algorithm(state)
+    sanitizer = AccessSanitizer(algorithm, phase="test")
+    task = algorithm.task_factory().make_all(algorithm.initial_items)[0]
+    algorithm.compute_rw_set(task)
+    ctx = algorithm.execute_body(task, record=True)
+    sanitizer.check(task, ctx)
+    assert sanitizer.checked_tasks == 1
+    assert sanitizer.checked_accesses == len(ctx.accessed)
+    assert len(ctx.accessed) >= 1
+
+
+def test_recompute_path_catches_dependences_apps():
+    # treesum's explicit-dependences fast path never computes rw-sets
+    # (rw_valid stays False); the sanitizer must recompute via the visitor
+    # instead of trusting the unbound empty rw-set.
+    state = make_oracle_state("treesum", seed=0)
+    algorithm = APPS["treesum"].algorithm(state)
+    result = run_kdg_rna(algorithm, SimMachine(3), sanitize=True)
+    assert result.executed > 0
+
+    def forgetful_visit(item, ctx):
+        pass  # declares nothing: every body access is undeclared
+
+    broken = dataclasses.replace(algorithm, visit_rw_sets=forgetful_visit)
+    with pytest.raises(RWSetViolation):
+        run_kdg_rna(
+            broken,
+            SimMachine(3),
+            sanitize=True,
+        )
