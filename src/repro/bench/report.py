@@ -6,7 +6,9 @@
       "schema": "repro-bench/v1",
       "quick": bool,                 # workload scale (quick vs full)
       "repeats": int,
-      "host": {"python": "...", "platform": "..."},
+      "engine": "dict" | "flat",     # rw-set index engine used for the run;
+                                     # comparisons refuse mismatched engines
+      "host": {"python": "...", "platform": "...", "numpy": "..."},
       "benchmarks": {
         "<name>": {
           "group": "hotpath" | "e2e",
@@ -62,8 +64,11 @@ def run_suite(
     repeats: int | None = None,
     name_filter: str | None = None,
     verbose: bool = True,
+    engine: str = "dict",
 ) -> dict[str, Any]:
     """Run (a filtered subset of) the suite; returns the results document."""
+    if engine not in ("dict", "flat"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
     if repeats is None:
         repeats = 3 if quick else 5
     selected = {
@@ -75,7 +80,7 @@ def run_suite(
         raise ValueError(f"no benchmarks match filter {name_filter!r}")
     benchmarks: dict[str, Any] = {}
     for name, b in selected.items():
-        payload = b.fn(quick, repeats)
+        payload = b.fn(quick, repeats, engine=engine)
         payload["group"] = b.group
         benchmarks[name] = payload
         if verbose:
@@ -86,13 +91,17 @@ def run_suite(
                 f"  {name:<28} {payload['wall_seconds'] * 1e3:>9.2f} ms "
                 f"({payload['per_op_ns']:>10.0f} ns/op){extra}"
             )
+    import numpy
+
     return {
         "schema": SCHEMA,
         "quick": quick,
         "repeats": repeats,
+        "engine": engine,
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "numpy": numpy.__version__,
         },
         "benchmarks": benchmarks,
     }
@@ -110,7 +119,23 @@ def compare(
     baseline: dict[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
 ) -> dict[str, Any]:
-    """Compare a results document against a same-scale baseline section."""
+    """Compare a results document against a same-scale baseline section.
+
+    Raises :class:`ValueError` when the two documents were produced by
+    different engines: dict-vs-flat wall times measure different code, so
+    the comparison would silently mix representations (the cross-engine
+    speedup table in EXPERIMENTS.md is produced deliberately, from two
+    explicit result files).
+    """
+    results_engine = results.get("engine", "dict")
+    baseline_engine = baseline.get("engine", "dict")
+    if results_engine != baseline_engine:
+        raise ValueError(
+            f"engine mismatch: results were produced with engine="
+            f"{results_engine!r} but the baseline was recorded with engine="
+            f"{baseline_engine!r}; re-run with a matching --engine or "
+            f"refresh the baseline with --update-baseline"
+        )
     per_benchmark: dict[str, Any] = {}
     regressions: list[str] = []
     schedule_changes: list[str] = []
@@ -179,6 +204,7 @@ def update_baseline_file(path: Path, results: dict[str, Any]) -> None:
     }
     section["host"] = results["host"]
     section["repeats"] = results["repeats"]
+    section["engine"] = results.get("engine", "dict")
     section["benchmarks"].update(results["benchmarks"])
     doc[section_key] = section
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -43,11 +43,16 @@ BENCH_THREADS = 8
 
 @dataclass(frozen=True)
 class Bench:
-    """One registered benchmark: ``fn(quick, repeats) -> payload dict``."""
+    """One registered benchmark: ``fn(quick, repeats, engine) -> payload``.
+
+    ``engine`` is keyword-with-default so existing positional callers keep
+    working; benchmarks whose code path has no rw-set index simply ignore
+    it (their dict/flat numbers are the same measurement).
+    """
 
     name: str
     group: str
-    fn: Callable[[bool, int], dict[str, Any]]
+    fn: Callable[..., dict[str, Any]]
 
 
 BENCHES: dict[str, Bench] = {}
@@ -71,7 +76,7 @@ def _size(quick: bool, small: int, full: int) -> int:
 # micro/ — data-structure hot paths
 # ----------------------------------------------------------------------
 @bench("micro/task_key", "hotpath")
-def bench_task_key(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_task_key(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     """Task total-order keys: the comparison fuel of every worklist/sort."""
     n = _size(quick, 2_000, 8_000)
     factory = TaskFactory(lambda item: (item * 7919) % 977)
@@ -92,7 +97,7 @@ def bench_task_key(quick: bool, repeats: int) -> dict[str, Any]:
 
 
 @bench("micro/run_phase_1t", "hotpath")
-def bench_run_phase_1t(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_run_phase_1t(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     """Single-thread bulk-synchronous phase dispatch (serial-ish configs)."""
     n = _size(quick, 5_000, 20_000)
     costs = [{Category.SCHEDULE: 25.0} for _ in range(n)]
@@ -105,7 +110,7 @@ def bench_run_phase_1t(quick: bool, repeats: int) -> dict[str, Any]:
 
 
 @bench("micro/run_phase_8t", "hotpath")
-def bench_run_phase_8t(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_run_phase_8t(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     """Multi-thread phase dispatch with greedy least-loaded chunking."""
     n = _size(quick, 5_000, 20_000)
     costs = [{Category.SCHEDULE: 20.0 + (i % 7)} for i in range(n)]
@@ -118,8 +123,8 @@ def bench_run_phase_8t(quick: bool, repeats: int) -> dict[str, Any]:
 
 
 @bench("micro/rwset_index", "hotpath")
-def bench_rwset_index(quick: bool, repeats: int) -> dict[str, Any]:
-    """RWSetIndex add/remove churn with overlapping location buckets."""
+def bench_rwset_index(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+    """Bipartite index add/remove churn with overlapping location buckets."""
     n = _size(quick, 600, 2_400)
     factory = TaskFactory(lambda item: item)
     tasks = factory.make_all(range(n))
@@ -127,19 +132,36 @@ def bench_rwset_index(quick: bool, repeats: int) -> dict[str, Any]:
         tuple(("loc", (i + offset) % 96) for offset in (0, 5, 11, 17, 23, 31, 41, 53))
         for i in range(n)
     ]
+    if engine == "flat":
+        from ..core.flat import FlatRWIndex, LocationInterner
 
-    def run() -> None:
-        index = RWSetIndex()
+        interner = LocationInterner()
         for task, locs in zip(tasks, rw_sets):
-            index.add(task, locs)
-        for task in tasks:
-            index.remove(task)
+            task.rw_set = locs
+            task.write_set = frozenset(locs[:2])
+        rw_lists = [interner.task_lists(task) for task in tasks]
+
+        def run() -> None:
+            index = FlatRWIndex()
+            for task, (id_list, w_list) in zip(tasks, rw_lists):
+                index.add(task, id_list, w_list)
+            for task in tasks:
+                index.remove(task)
+
+    else:
+
+        def run() -> None:
+            index = RWSetIndex()
+            for task, locs in zip(tasks, rw_sets):
+                index.add(task, locs)
+            for task in tasks:
+                index.remove(task)
 
     return timed_payload(run, repeats, ops=2 * n)
 
 
 @bench("micro/taskgraph", "hotpath")
-def bench_taskgraph(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_taskgraph(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     """TaskGraph node/edge insertion and removal (subrule R churn)."""
     n = _size(quick, 1_500, 6_000)
     factory = TaskFactory(lambda item: item)
@@ -159,8 +181,17 @@ def bench_taskgraph(quick: bool, repeats: int) -> dict[str, Any]:
     return timed_payload(run, repeats, ops=4 * n)
 
 
+def _make_interner(engine: str):
+    """``LocationInterner`` for the flat engine, ``None`` for the dict one."""
+    if engine == "flat":
+        from ..core.flat import LocationInterner
+
+        return LocationInterner()
+    return None
+
+
 @bench("micro/kdg_add_remove", "hotpath")
-def bench_kdg_add_remove(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_kdg_add_remove(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     """Explicit-KDG AddTask/RemoveTask with conflict-edge wiring."""
     n = _size(quick, 400, 1_600)
     factory = TaskFactory(lambda item: item)
@@ -170,9 +201,14 @@ def bench_kdg_add_remove(quick: bool, repeats: int) -> dict[str, Any]:
         for i in range(n)
     ]
     writes = [frozenset(rw[:2]) for rw in rw_sets]
+    # One interner for the whole bench, as in a real executor run (the
+    # interner outlives every KDG the run builds); micro/rwset_index
+    # established the pattern.  The first timed iteration interns cold,
+    # later ones hit the per-task caches — same as windowed rounds.
+    interner = _make_interner(engine)
 
     def run() -> None:
-        kdg = KDG()
+        kdg = KDG(interner=interner)
         for task, rw, wr in zip(tasks, rw_sets, writes):
             kdg.add_task(task, rw, wr)
         for task in tasks:
@@ -181,16 +217,158 @@ def bench_kdg_add_remove(quick: bool, repeats: int) -> dict[str, Any]:
     return timed_payload(run, repeats, ops=2 * n)
 
 
+@bench("micro/kdg_add_tasks_batch", "hotpath")
+def bench_kdg_add_tasks_batch(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+    """Round-batched ``KDG.add_tasks`` (subrule A): one sweep per round's
+    new tasks instead of N independent conflict scans."""
+    n = _size(quick, 512, 2_048)
+    batch = 64
+    factory = TaskFactory(lambda item: item)
+    tasks = factory.make_all(range(n))
+    for i, task in enumerate(tasks):
+        task.rw_set = tuple(
+            ("cell", (i + offset) % 128) for offset in (0, 7, 13, 29)
+        )
+        task.write_set = frozenset(task.rw_set[:2])
+        task.rw_valid = True
+    interner = _make_interner(engine)  # executor-lifetime, see kdg_add_remove
+
+    def run() -> None:
+        kdg = KDG(interner=interner)
+        for start in range(0, n, batch):
+            kdg.add_tasks(tasks[start : start + batch])
+        for task in tasks:
+            kdg.remove_task(task)
+
+    return timed_payload(run, repeats, ops=2 * n)
+
+
+@bench("micro/mark_phase", "hotpath")
+def bench_mark_phase(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+    """IKDG Phase I/II on a carried window: priority-mark every location,
+    then the ownership sweep (the round body of §3.5).  A contended window
+    is re-marked every round until its conflicts drain, so this loop is the
+    executors' hottest path; the flat engine runs it as one grouped-min
+    kernel over the pooled window (:func:`repro.core.flat.pool.pooled_mark_round`)
+    where the dict engine CASes location-keyed dicts task by task."""
+    w = _size(quick, 1_024, 4_096)
+    rounds = 8
+    factory = TaskFactory(lambda item: item)
+    tasks = factory.make_all(range(w))
+    # One written chain location shared 8 ways plus per-task private state:
+    # the carried-window mix (most marks lose on the chain, private locs
+    # pad the rw-set to a realistic width).
+    for i, task in enumerate(tasks):
+        task.rw_set = (
+            ("chain", i % (w // 8)),
+            ("state", i, 0),
+            ("state", i, 1),
+            ("state", i, 2),
+            ("ro", i, 0),
+            ("ro", i, 1),
+        )
+        task.write_set = frozenset(task.rw_set[:4])
+        task.rw_valid = True
+
+    if engine == "flat":
+        from ..core.flat import (
+            LocationInterner,
+            MarkBuffers,
+            RoundPool,
+            pooled_mark_round,
+        )
+
+        interner = LocationInterner()
+        for task in tasks:
+            interner.task_lists(task)  # binds task.flat_cache
+        pool = RoundPool()
+        slots = [pool.add(task, task.flat_cache) for task in tasks]
+        buffers = MarkBuffers()
+
+        def run() -> None:
+            for _ in range(rounds):
+                marked = pooled_mark_round(pool, tasks, slots, buffers, 1.0, 1.0)
+                sources = [t for t, o in zip(tasks, marked.owner) if o]
+                assert sources
+
+    else:
+
+        def run() -> None:
+            for _ in range(rounds):
+                marks_all: dict[Any, Task] = {}
+                marks_writer: dict[Any, Task] = {}
+                mark_costs: list[float] = []
+                min_task: Task | None = None
+                min_key = None
+                for task in tasks:
+                    rw = task.rw_set
+                    key = task.sort_key
+                    if min_key is None or key < min_key:
+                        min_task, min_key = task, key
+                    cas = 0
+                    write_set = task.write_set
+                    for loc in rw:
+                        holder = marks_all.get(loc)
+                        if holder is None or key < holder.sort_key:
+                            marks_all[loc] = task
+                        cas += 1
+                        if loc in write_set:
+                            holder = marks_writer.get(loc)
+                            if holder is None or key < holder.sort_key:
+                                marks_writer[loc] = task
+                            cas += 1
+                    mark_costs.append(1.0 * max(1, len(rw)) + 1.0 * cas)
+                sources = []
+                for task in tasks:
+                    key = task.sort_key
+                    write_set = task.write_set
+                    for loc in task.rw_set:
+                        if loc in write_set:
+                            if marks_all[loc] is not task:
+                                break
+                        else:
+                            writer = marks_writer.get(loc)
+                            if writer is not None and writer.sort_key < key:
+                                break
+                    else:
+                        sources.append(task)
+                assert sources
+
+    return timed_payload(run, repeats, ops=w * rounds)
+
+
 # ----------------------------------------------------------------------
 # exec/ — whole-executor inner loops on synthetic workloads
 # ----------------------------------------------------------------------
+def _visit_private(item: Any, ctx) -> None:
+    """Per-task private state: 5 written + 2 read locations, conflict-free.
+
+    The bundled apps all declare multi-location rw-sets (billiards: two
+    balls plus cells; LU: a block row/column; MST: edge endpoints plus a
+    component), so synthetic workloads that mark a single location per task
+    understate Phase I/II and index-maintenance work.  Private locations
+    enrich every task to a representative 6-8 entries without changing the
+    conflict structure — they are keyed by the item, so no two tasks share
+    them.
+    """
+    for j in range(5):
+        ctx.write(("state", item, j))
+    ctx.read(("ro", item, 0))
+    ctx.read(("ro", item, 1))
+
+
 def _independent_algorithm(n: int) -> OrderedAlgorithm:
     """n tasks, disjoint rw-sets: pure scheduling overhead, zero conflicts."""
+
+    def visit(item, ctx):
+        ctx.write(("cell", item))
+        _visit_private(item, ctx)
+
     return OrderedAlgorithm(
         name="bench-indep",
         initial_items=list(range(n)),
         priority=lambda x: x,
-        visit_rw_sets=lambda item, ctx: ctx.write(("cell", item)),
+        visit_rw_sets=visit,
         apply_update=lambda item, ctx: ctx.work(5.0),
         properties=AlgorithmProperties(
             stable_source=True,
@@ -204,11 +382,16 @@ def _independent_algorithm(n: int) -> OrderedAlgorithm:
 def _chain_algorithm(n: int, chains: int) -> OrderedAlgorithm:
     """n tasks over ``chains`` write-locations: long conflict chains, so the
     window carries tasks across many rounds (rw-set recomputation churn)."""
+
+    def visit(item, ctx):
+        ctx.write(("lock", item % chains))
+        _visit_private(item, ctx)
+
     return OrderedAlgorithm(
         name="bench-chains",
         initial_items=list(range(n)),
         priority=lambda x: x,
-        visit_rw_sets=lambda item, ctx: ctx.write(("lock", item % chains)),
+        visit_rw_sets=visit,
         apply_update=lambda item, ctx: ctx.work(4.0),
         properties=AlgorithmProperties(
             stable_source=True,
@@ -221,11 +404,16 @@ def _chain_algorithm(n: int, chains: int) -> OrderedAlgorithm:
 
 def _level_algorithm(n: int, per_level: int) -> OrderedAlgorithm:
     """Discrete priority levels with intra-level conflicts (BFS-shaped)."""
+
+    def visit(item, ctx):
+        ctx.write(("slot", item % 16))
+        _visit_private(item, ctx)
+
     return OrderedAlgorithm(
         name="bench-levels",
         initial_items=list(range(n)),
         priority=lambda x: x // per_level,
-        visit_rw_sets=lambda item, ctx: ctx.write(("slot", item % 16)),
+        visit_rw_sets=visit,
         apply_update=lambda item, ctx: ctx.work(4.0),
         properties=AlgorithmProperties(
             stable_source=True,
@@ -250,31 +438,36 @@ def _exec_payload(run_fn, repeats: int, ops: int) -> dict[str, Any]:
 
 
 @bench("exec/ikdg_independent", "hotpath")
-def bench_ikdg_independent(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_ikdg_independent(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     n = _size(quick, 800, 3_000)
     return _exec_payload(
-        lambda: run_ikdg(_independent_algorithm(n), SimMachine(BENCH_THREADS)),
+        lambda: run_ikdg(_independent_algorithm(n), SimMachine(BENCH_THREADS), engine=engine),
         repeats,
         ops=n,
     )
 
 
 @bench("exec/ikdg_chains", "hotpath")
-def bench_ikdg_chains(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_ikdg_chains(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+    """Contended-window IKDG: fewer chains than window slots, so most of
+    each round's window loses the marking race and is re-marked next round
+    (the carried-window regime of the paper's apps — a billiards or AVI
+    window is mostly conflicting tasks that wait several rounds)."""
     n = _size(quick, 512, 2_048)
     return _exec_payload(
-        lambda: run_ikdg(_chain_algorithm(n, 64), SimMachine(BENCH_THREADS)),
+        lambda: run_ikdg(_chain_algorithm(n, 16), SimMachine(BENCH_THREADS), engine=engine),
         repeats,
         ops=n,
     )
 
 
 @bench("exec/kdg_rna_rounds", "hotpath")
-def bench_kdg_rna_rounds(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_kdg_rna_rounds(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     n = _size(quick, 384, 1_536)
     return _exec_payload(
         lambda: run_kdg_rna(
-            _chain_algorithm(n, 48), SimMachine(BENCH_THREADS), asynchronous=False
+            _chain_algorithm(n, 48), SimMachine(BENCH_THREADS),
+            asynchronous=False, engine=engine,
         ),
         repeats,
         ops=n,
@@ -282,11 +475,12 @@ def bench_kdg_rna_rounds(quick: bool, repeats: int) -> dict[str, Any]:
 
 
 @bench("exec/kdg_rna_async", "hotpath")
-def bench_kdg_rna_async(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_kdg_rna_async(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     n = _size(quick, 384, 1_536)
     return _exec_payload(
         lambda: run_kdg_rna(
-            _chain_algorithm(n, 48), SimMachine(BENCH_THREADS), asynchronous=True
+            _chain_algorithm(n, 48), SimMachine(BENCH_THREADS),
+            asynchronous=True, engine=engine,
         ),
         repeats,
         ops=n,
@@ -294,11 +488,31 @@ def bench_kdg_rna_async(quick: bool, repeats: int) -> dict[str, Any]:
 
 
 @bench("exec/level_by_level", "hotpath")
-def bench_level_by_level(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_level_by_level(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     n = _size(quick, 512, 2_048)
     return _exec_payload(
         lambda: run_level_by_level(
-            _level_algorithm(n, 64), SimMachine(BENCH_THREADS)
+            _level_algorithm(n, 64), SimMachine(BENCH_THREADS), engine=engine
+        ),
+        repeats,
+        ops=n,
+    )
+
+
+@bench("exec/ikdg_wide_window", "hotpath")
+def bench_ikdg_wide_window(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+    """Wide-window IKDG marking: large rounds are where the vectorized
+    flat kernels amortize best (hundreds of tasks per ``mark_round``), and
+    chains several tasks deep keep the window carried across rounds."""
+    from ..runtime.windowing import AdaptiveWindow
+
+    n = _size(quick, 2_048, 8_192)
+    return _exec_payload(
+        lambda: run_ikdg(
+            _chain_algorithm(n, 128),
+            SimMachine(BENCH_THREADS),
+            window_policy=AdaptiveWindow(initial=1_024),
+            engine=engine,
         ),
         repeats,
         ops=n,
@@ -306,20 +520,20 @@ def bench_level_by_level(quick: bool, repeats: int) -> dict[str, Any]:
 
 
 @bench("exec/serial", "hotpath")
-def bench_serial(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_serial(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     n = _size(quick, 1_000, 4_000)
     return _exec_payload(
-        lambda: run_serial(_independent_algorithm(n)),
+        lambda: run_serial(_independent_algorithm(n), engine=engine),
         repeats,
         ops=n,
     )
 
 
 @bench("exec/speculation", "hotpath")
-def bench_speculation(quick: bool, repeats: int) -> dict[str, Any]:
+def bench_speculation(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
     n = _size(quick, 256, 1_024)
     return _exec_payload(
-        lambda: run_speculation(_chain_algorithm(n, 32), SimMachine(BENCH_THREADS)),
+        lambda: run_speculation(_chain_algorithm(n, 32), SimMachine(BENCH_THREADS), engine=engine),
         repeats,
         ops=n,
     )
@@ -330,7 +544,9 @@ def bench_speculation(quick: bool, repeats: int) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 def _register_e2e(app: str, impl: str) -> None:
     @bench(f"e2e/{app}/{impl}", "e2e")
-    def bench_e2e(quick: bool, repeats: int, app=app, impl=impl) -> dict[str, Any]:
+    def bench_e2e(
+        quick: bool, repeats: int, engine: str = "dict", app=app, impl=impl
+    ) -> dict[str, Any]:
         from ..apps import APPS
         from ..oracle.workloads import make_oracle_state
 
@@ -339,7 +555,9 @@ def _register_e2e(app: str, impl: str) -> None:
         holder: dict[str, Any] = {}
 
         def run(state: Any) -> None:
-            holder["result"] = spec.run(state, impl, SimMachine(BENCH_THREADS))
+            holder["result"] = spec.run(
+                state, impl, SimMachine(BENCH_THREADS), engine=engine
+            )
 
         payload = timed_payload(run, repeats, ops=1, setup=make_state)
         result = holder["result"]

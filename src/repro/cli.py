@@ -9,6 +9,9 @@ Examples::
     python -m repro lint --json
     python -m repro lint lu --dynamic
     python -m repro bench --quick
+    python -m repro run lu --impl ikdg --engine flat
+    python -m repro bench --quick --engine flat --no-compare
+    python -m repro bench --quick --compare --fail-threshold 1.25
     python -m repro list
 """
 
@@ -46,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime access sanitizer (diffs each "
                           "body's accesses against its declared rw-set; "
                           "observation only)")
+    run.add_argument("--engine", choices=("dict", "flat"), default="dict",
+                     help="rw-set index engine for the ordered-model "
+                          "executors (flat = interned ids + vectorized "
+                          "rounds; schedules are identical)")
 
     oracle = sub.add_parser(
         "oracle",
@@ -65,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit one JSON report per (app, seed) to stdout")
     oracle.add_argument("--export-dir", type=Path, default=None,
                         help="write each executor's trace as JSON under DIR")
+    oracle.add_argument("--engine", choices=("dict", "flat"), default="dict",
+                        help="rw-set index engine for the parallel executors "
+                             "(flat must produce bit-identical traces)")
     oracle.add_argument("--properties", action="store_true", dest="properties",
                         help="also run the dynamic property falsifier "
                              "(core/verify.py) per app and fail on any "
@@ -116,6 +126,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "baseline is below this factor")
     bench.add_argument("--no-compare", action="store_true",
                        help="skip the baseline comparison")
+    bench.add_argument("--compare", action="store_true", dest="require_compare",
+                       help="require the baseline comparison: a missing "
+                            "baseline section is an error instead of a skip "
+                            "(for CI perf gates)")
+    bench.add_argument("--fail-threshold", type=float, default=None,
+                       dest="fail_threshold",
+                       help="alias of --threshold for CI perf gates: fail "
+                            "when wall time exceeds this multiple of the "
+                            "baseline (e.g. 1.25 = fail on >25%% regression)")
+    bench.add_argument("--engine", choices=("dict", "flat"), default="dict",
+                       help="rw-set index engine benchmarks run under; the "
+                            "results document records it and comparisons "
+                            "refuse baselines recorded with the other engine")
     bench.add_argument("--list", action="store_true", dest="list_benches",
                        help="list benchmark names and exit")
 
@@ -141,19 +164,24 @@ def cmd_run(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     options: dict = {}
+    # Only the ordered-model executors accept these options; hand-specialized
+    # codes (kdg-manual, other, app extras) bypass execute_body entirely.
+    ordered_impl = args.impl in ("serial", "kdg-auto", "kdg-rna", "ikdg",
+                                 "level-by-level", "speculation") or (
+        args.impl == "serial-best" and spec.run_serial_best is None
+    )
     if args.sanitize:
-        # Only the ordered-model executors run the sanitizer's recording
-        # context; hand-specialized codes (kdg-manual, other, app extras)
-        # bypass execute_body entirely.
-        sanitizable = args.impl in ("serial", "kdg-auto", "kdg-rna", "ikdg",
-                                    "level-by-level", "speculation") or (
-            args.impl == "serial-best" and spec.run_serial_best is None
-        )
-        if not sanitizable:
+        if not ordered_impl:
             print(f"error: --sanitize is not supported for --impl {args.impl}",
                   file=sys.stderr)
             return 2
         options["sanitize"] = True
+    if args.engine != "dict":
+        if not ordered_impl:
+            print(f"error: --engine {args.engine} is not supported for "
+                  f"--impl {args.impl}", file=sys.stderr)
+            return 2
+        options["engine"] = args.engine
     state = spec.make_small() if args.size == "small" else spec.make_large()
     threads = 1 if args.impl in ("serial", "serial-best") else args.threads
     result = spec.run(state, args.impl, SimMachine(threads), **options)
@@ -291,7 +319,7 @@ def cmd_oracle(args: argparse.Namespace) -> int:
         for seed in args.seeds:
             report = diff_executors(
                 app, seed=seed, threads=args.threads, executors=executors,
-                keep_traces=export_dir is not None,
+                keep_traces=export_dir is not None, engine=args.engine,
             )
             if export_dir is not None:
                 for verdict in report.verdicts:
@@ -338,11 +366,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"{name:<30} [{b.group}]")
         return 0
 
+    if args.no_compare and args.require_compare:
+        print("error: --compare and --no-compare are mutually exclusive",
+              file=sys.stderr)
+        return 2
     mode = "quick" if args.quick else "full"
-    print(f"running wall-clock suite ({mode}) ...")
+    print(f"running wall-clock suite ({mode}, engine={args.engine}) ...")
     try:
         results = run_suite(
-            quick=args.quick, repeats=args.repeats, name_filter=args.name_filter
+            quick=args.quick, repeats=args.repeats,
+            name_filter=args.name_filter, engine=args.engine,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -360,12 +393,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not args.no_compare:
         section = load_baseline_section(baseline_path, args.quick)
         if section is None:
+            if args.require_compare:
+                print(f"error: --compare requires a {mode} baseline at "
+                      f"{baseline_path}", file=sys.stderr)
+                return 2
             print(f"no {mode} baseline at {baseline_path}; comparison skipped "
                   f"(run `repro bench {'--quick ' if args.quick else ''}"
                   f"--update-baseline` to create one)")
         else:
-            threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
-            cmp = compare(results, section, threshold=threshold)
+            threshold = args.fail_threshold
+            if threshold is None:
+                threshold = args.threshold
+            if threshold is None:
+                threshold = DEFAULT_THRESHOLD
+            try:
+                cmp = compare(results, section, threshold=threshold)
+            except ValueError as exc:  # engine mismatch — never compare
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
             results["comparison"] = cmp
             for label, key in (("hot-path", "aggregate_speedup_hotpath"),
                                ("end-to-end", "aggregate_speedup_e2e"),

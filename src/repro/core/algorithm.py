@@ -13,7 +13,12 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
-from .context import BodyContext, RecordingBodyContext, RWSetContext
+from .context import (
+    BodyContext,
+    InterningRWSetContext,
+    RecordingBodyContext,
+    RWSetContext,
+)
 from .properties import AlgorithmProperties
 from .task import Task, TaskFactory
 
@@ -106,6 +111,33 @@ class OrderedAlgorithm:
     def invalidate_rw_set(self, task: Task) -> None:
         """Drop a task's memoized rw-set (kinetic refresh, subrule **N**)."""
         task.rw_valid = False
+
+    def compute_rw_lists(self, task: Task, interner):
+        """Flat-engine twin of :meth:`compute_rw_set`: also returns dense ids.
+
+        Returns the task's flat-cache entry ``(interner, rw_set, loc_ids,
+        write_bits, writer_ids, reader_ids)`` — the dense-id lists the flat
+        index and marking kernels consume (see ``Task.flat_cache``).  The
+        visitor runs with :class:`~repro.core.context.InterningRWSetContext`,
+        which interns each location at the declaration boundary and emits
+        the cache entry from the same pass — no second walk over the bound
+        rw-set.  Memoization semantics match :meth:`compute_rw_set`
+        exactly: the entry is keyed by interner and rw-set tuple identity,
+        so carried-over window tasks hit the cache every round while
+        kinetic refreshes miss it.
+        """
+        if task.rw_valid and self.properties.structure_based_rw_sets:
+            cache = task.flat_cache
+            if cache is not None and cache[0] is interner and cache[1] is task.rw_set:
+                return cache
+            # rw-set already bound (e.g. by compute_rw_set, or under another
+            # interner): one tight interning pass over the bound tuple.
+            interner.task_lists(task)
+            return task.flat_cache
+        ctx = InterningRWSetContext(interner)
+        self.visit_rw_sets(task.item, ctx)
+        ctx.finalize(task)
+        return task.flat_cache
 
     def execute_body(
         self, task: Task, checked: bool = False, record: bool = False

@@ -79,6 +79,112 @@ class RWSetContext:
         return frozenset(self._writes)
 
 
+class InterningRWSetContext:
+    """Flat-engine visitor context: record declarations, intern in bulk.
+
+    Drop-in for :class:`RWSetContext` under ``engine="flat"`` — same
+    ``read``/``write`` protocol, same bound ``rw_set`` tuple and
+    ``write_set`` — built for visitor throughput: ``read``/``write`` are
+    two list appends (the raw declaration stream), and *all* interning,
+    dedup, and split-list construction happens once per task in
+    :meth:`finalize`'s tight loop, where the interner probe, the tables,
+    and every sink are locals instead of per-call attribute chases.  Each
+    location is hashed exactly once (the interner's ``dict.setdefault`` is
+    also the dedup probe); per-task bookkeeping runs on dense int ids,
+    which hash to themselves.
+    """
+
+    __slots__ = ("_interner", "_raw", "_flags")
+
+    def __init__(self, interner) -> None:
+        self._interner = interner
+        self._raw: list[Any] = []
+        self._flags: list[bool] = []
+
+    def read(self, location: Any) -> None:
+        """Declare intent to read ``location`` (any hashable id)."""
+        self._raw.append(location)
+        self._flags.append(False)
+
+    def write(self, location: Any) -> None:
+        """Declare intent to write ``location`` (upgrades a prior read)."""
+        self._raw.append(location)
+        self._flags.append(True)
+
+    def finalize(self, task) -> None:
+        """Bind ``rw_set``/``write_set`` and the flat-cache entry to ``task``.
+
+        Produces bit-identical bindings to the dict-engine visitor: the same
+        first-declaration-order ``rw_set`` tuple, an equal ``write_set``,
+        and the same cache lists a post-hoc interning pass would build.
+        """
+        interner = self._interner
+        known = interner._locations
+        known_append = known.append
+        intern = interner._ids.setdefault
+        locations: list[Any] = []
+        ids: list[int] = []
+        w_list: list[bool] = []
+        wids: list[int] = []
+        rids: list[int] = []
+        w_locs: list[Any] = []
+        seen: set[int] = set()
+        write_ids: set[int] = set()
+        loc_append = locations.append
+        id_append = ids.append
+        wl_append = w_list.append
+        seen_add = seen.add
+        upgraded = False
+        for loc, w in zip(self._raw, self._flags):
+            nxt = len(known)
+            dense = intern(loc, nxt)
+            if dense == nxt:
+                known_append(loc)
+            if dense not in seen:
+                seen_add(dense)
+                loc_append(loc)
+                id_append(dense)
+                wl_append(w)
+                if w:
+                    wids.append(dense)
+                    write_ids.add(dense)
+                    w_locs.append(loc)
+                else:
+                    rids.append(dense)
+            elif w and dense not in write_ids:
+                # Read upgraded to write: refilter the split views below.
+                write_ids.add(dense)
+                w_locs.append(loc)
+                upgraded = True
+        if upgraded:
+            w_list = [i in write_ids for i in ids]
+            wids = [i for i in ids if i in write_ids]
+            rids = [i for i in ids if i not in write_ids]
+        rw = tuple(locations)
+        task.rw_set = rw
+        task.write_set = frozenset(w_locs)
+        task.rw_valid = True
+        task.flat_cache = (interner, rw, ids, w_list, wids, rids)
+
+    @property
+    def rw_set(self) -> tuple[Any, ...]:
+        """All declared locations, in first-declaration order."""
+        seen: set[Any] = set()
+        out: list[Any] = []
+        for loc in self._raw:
+            if loc not in seen:
+                seen.add(loc)
+                out.append(loc)
+        return tuple(out)
+
+    @property
+    def write_set(self) -> frozenset:
+        """The subset of locations declared for writing."""
+        return frozenset(
+            loc for loc, w in zip(self._raw, self._flags) if w
+        )
+
+
 class BodyContext:
     """Handle passed to the loop body (the paper's worklist handle ``W&``)."""
 

@@ -1,0 +1,39 @@
+"""Flat (array-based) kinetic engine.
+
+The dict engine represents the KDG's state — marks, buckets, rw-sets — as
+Python dicts keyed by hashable location ids and ``Task`` objects, so every
+round of a bulk-synchronous executor pays one hash + pointer chase per
+location touch.  This package supplies the flat alternative the
+``engine="flat"`` executor option selects:
+
+* :class:`LocationInterner` — maps each run's hashable location ids to
+  dense ``int32`` ids exactly once, so all later per-round work happens in
+  integer arrays (PriorityGraph-style flat representation).
+* :class:`FlatRWIndex` — the bipartite task ↔ location graph ``B`` with
+  freelist slot recycling and per-location member/writer-bit buckets over
+  plain ints, maintained incrementally by the R/N/A subrules.
+* :mod:`kernels <repro.core.flat.kernels>` — vectorized per-round phases:
+  IKDG priority-marking as one rank-ordered fancy assignment plus an
+  ownership-check gather, replacing the per-task CAS loop.
+* :class:`RoundPool` + :func:`pooled_mark_round` — persistent per-window
+  slot arrays so steady-state mark rounds run with no per-task Python at
+  all (entries and sort keys are written once, at window entry).
+
+The flat engine is *schedule-invariant*: simulated makespans and oracle
+traces are bit-identical to the dict engine (the equivalence sweep in
+``tests/test_flat_engine.py`` enforces this).
+"""
+
+from .index import FlatRWIndex
+from .interner import LocationInterner
+from .kernels import MarkBuffers, mark_round
+from .pool import RoundPool, pooled_mark_round
+
+__all__ = [
+    "FlatRWIndex",
+    "LocationInterner",
+    "MarkBuffers",
+    "RoundPool",
+    "mark_round",
+    "pooled_mark_round",
+]

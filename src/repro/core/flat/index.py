@@ -1,0 +1,160 @@
+"""The bipartite task ↔ location graph ``B`` over dense ids.
+
+Flat-engine replacement for :class:`repro.core.rwsets.RWSetIndex`: tasks
+get recycled integer *slots* (freelist), locations are the dense ids of a
+:class:`~repro.core.flat.interner.LocationInterner`, and each location's
+bucket maps member slots to a writer-bit — so conflict discovery compares
+plain ints instead of hashing ``Task`` keys and probing ``frozenset``
+write-sets (tuple location ids don't cache their hashes, so every
+dict-engine probe re-hashes; int keys hash to themselves).
+
+Buckets are int-keyed insertion-ordered dicts rather than parallel lists
+or numpy arrays deliberately: removal from a list bucket is an
+``index()`` + shift-delete — O(members) per location, which loses badly
+on high-sharing workloads where buckets hold dozens of tasks — while dict
+deletion is O(1) and preserves the order of the remaining keys.  The
+batched kernels that do win with numpy
+(:func:`~repro.core.flat.kernels.mark_round`) work from the per-task id
+arrays the interner caches, not from buckets.
+
+Bucket membership is kept in insertion order, so "before mine in the
+bucket" is exactly "inserted before me" — the property batched conflict
+sweeps use to attribute each conflict pair to its later-inserted
+endpoint, the task whose ``AddTask`` would have discovered the pair under
+one-at-a-time insertion.
+"""
+
+from __future__ import annotations
+
+from ..task import Task
+
+_EMPTY: dict = {}
+
+
+class FlatRWIndex:
+    """Bipartite index between task slots and dense location ids."""
+
+    __slots__ = (
+        "_task_of",
+        "_slot_of",
+        "_ids_of",
+        "_free",
+        "_buckets",
+    )
+
+    def __init__(self) -> None:
+        self._task_of: list[Task | None] = []
+        self._slot_of: dict[Task, int] = {}
+        self._ids_of: list[list[int] | None] = []
+        self._free: list[int] = []
+        self._buckets: list[dict[int, bool]] = []
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._slot_of
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, task: Task, ids, wmask) -> int:
+        """Register ``task`` under dense ``ids``; returns edge ops performed.
+
+        ``ids``/``wmask`` are the interner's cached per-task lists (other
+        int/bool sequences are converted).  ``ids`` is aliased, not copied —
+        the engine's cached lists are never mutated, and aliasing means a
+        kinetic refresh that replaces ``task.flat_cache`` cannot disturb
+        what :meth:`remove` will walk.  The op count matches
+        ``RWSetIndex.add`` (1 + locations) so the cost model charges both
+        engines identically.
+        """
+        if task in self._slot_of:
+            raise ValueError(f"task already registered: {task!r}")
+        if type(ids) is list:
+            id_list = ids
+        else:
+            id_list = ids.tolist() if hasattr(ids, "tolist") else list(ids)
+        if type(wmask) is list:
+            w_list = wmask
+        else:
+            w_list = wmask.tolist() if hasattr(wmask, "tolist") else list(wmask)
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._task_of[slot] = task
+            self._ids_of[slot] = id_list
+        else:
+            slot = len(self._task_of)
+            self._task_of.append(task)
+            self._ids_of.append(id_list)
+        self._slot_of[task] = slot
+        buckets = self._buckets
+        try:
+            for loc, w in zip(id_list, w_list):
+                buckets[loc][slot] = w
+        except IndexError:
+            # Grow to the batch's max id and redo the loop — the stores
+            # already made are idempotent re-assignments.
+            for _ in range(max(id_list) + 1 - len(buckets)):
+                buckets.append({})
+            for loc, w in zip(id_list, w_list):
+                buckets[loc][slot] = w
+        return 1 + len(id_list)
+
+    def remove(self, task: Task) -> int:
+        """Unregister ``task``; returns edge ops performed (1 + locations)."""
+        slot = self._slot_of.pop(task)
+        id_list = self._ids_of[slot]
+        buckets = self._buckets
+        for loc in id_list:
+            # O(1); dict deletion preserves the order of remaining members.
+            del buckets[loc][slot]
+        self._task_of[slot] = None
+        self._ids_of[slot] = None
+        self._free.append(slot)
+        return 1 + len(id_list)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def slot_of(self, task: Task) -> int:
+        return self._slot_of[task]
+
+    def slot_capacity(self) -> int:
+        """Number of slots ever allocated (free slots included)."""
+        return len(self._task_of)
+
+    def task_of_slot(self, slot: int) -> Task:
+        task = self._task_of[slot]
+        if task is None:
+            raise ValueError(f"slot {slot} is free")
+        return task
+
+    def ids_of(self, task: Task) -> list[int]:
+        ids = self._ids_of[self._slot_of[task]]
+        assert ids is not None
+        return ids
+
+    def bucket_map(self, loc_id: int) -> dict[int, bool]:
+        """The bucket as ``{slot: writer_bit}``, insertion-ordered.
+
+        The internal dict itself (zero-copy); callers must treat it as
+        read-only and not hold it across mutations.  Unknown ids get a
+        shared empty dict.
+        """
+        buckets = self._buckets
+        if loc_id >= len(buckets):
+            return _EMPTY
+        return buckets[loc_id]
+
+    def bucket(self, loc_id: int) -> tuple[list[int], list[bool]]:
+        """``(slots, writer_bits)`` of the bucket as fresh insertion-ordered
+        lists (convenience for tests; hot paths use :meth:`bucket_map`)."""
+        members = self.bucket_map(loc_id)
+        return list(members), list(members.values())
+
+    def tasks_at(self, loc_id: int) -> list[Task]:
+        """Pending tasks at dense location ``loc_id`` (insertion order)."""
+        task_of = self._task_of
+        return [task_of[s] for s in self.bucket_map(loc_id)]

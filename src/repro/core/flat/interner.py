@@ -1,0 +1,140 @@
+"""Dense-id interning of abstract locations.
+
+Applications keep their hashable location ids (``("vertex", 17)``,
+``("ball", 3)``, plain ints/strings — anything hashable); the flat engine
+needs dense integers so per-round marking and bucket lookups become array
+indexing.  A :class:`LocationInterner` assigns each distinct location id a
+dense ``int32`` exactly once per run; ids are never recycled, so an
+interned id is stable for the lifetime of the run regardless of task churn.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+import numpy as np
+
+from ..task import Task
+
+
+class LocationInterner:
+    """Bijection between an app's hashable location ids and dense int32 ids."""
+
+    __slots__ = ("_ids", "_locations")
+
+    def __init__(self) -> None:
+        self._ids: dict[Any, int] = {}
+        self._locations: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def intern(self, location: Any) -> int:
+        """The dense id for ``location``, allocating one on first sight."""
+        ids = self._ids
+        found = ids.get(location)
+        if found is None:
+            found = len(self._locations)
+            ids[location] = found
+            self._locations.append(location)
+        return found
+
+    def intern_all(self, locations: Iterable[Any]) -> np.ndarray:
+        """Dense ids for ``locations`` in order, as an ``int32`` array."""
+        locs = locations if isinstance(locations, (tuple, list)) else tuple(locations)
+        out = np.empty(len(locs), dtype=np.int32)
+        ids = self._ids
+        interned = self._locations
+        for i, loc in enumerate(locs):
+            found = ids.get(loc)
+            if found is None:
+                found = len(interned)
+                ids[loc] = found
+                interned.append(loc)
+            out[i] = found
+        return out
+
+    def location_of(self, dense_id: int) -> Any:
+        """The original hashable id behind ``dense_id`` (inverse mapping)."""
+        return self._locations[dense_id]
+
+    def task_lists(self, task: Task) -> tuple[list[int], list[bool]]:
+        """``(loc_ids, write_bits)`` for ``task``'s current rw-set, cached.
+
+        Plain Python lists: both the per-round kernels and the per-task
+        index/conflict paths iterate element-wise over small sequences,
+        where lists beat numpy arrays outright (the vector kernel builds
+        its round-wide arrays from these in one conversion).
+
+        The cache lives on the task (``Task.flat_cache``) keyed by both this
+        interner and the identity of the ``task.rw_set`` tuple: the rw-set
+        visitor allocates a fresh tuple whenever it recomputes, so identity
+        tracks staleness exactly — memoized structure-based rw-sets hit the
+        cache every round, kinetic refreshes miss it.  A task that migrates
+        between runs (hence interners) can never leak stale ids.
+        """
+        cache = task.flat_cache
+        if cache is not None and cache[0] is self and cache[1] is task.rw_set:
+            return cache[2], cache[3]
+        return self._fill_cache(task)
+
+    def task_arrays(self, task: Task) -> tuple[np.ndarray, np.ndarray]:
+        """``(loc_ids int32, write_mask bool)`` as fresh numpy arrays.
+
+        Convenience for tests and benchmarks; the engine itself consumes
+        :meth:`task_lists` (the cached form).
+        """
+        id_list, w_list = self.task_lists(task)
+        return (
+            np.array(id_list, dtype=np.int32),
+            np.array(w_list, dtype=np.bool_),
+        )
+
+    def _fill_cache(self, task: Task):
+        # One pass over the rw-set builds all four cached lists at once;
+        # this runs once per task (or kinetic refresh) and is the flat
+        # engine's dominant setup cost.  ``dict.setdefault`` interns each
+        # location with a single hash probe — most locations are
+        # first-sighted here (per-item private state), where get-then-set
+        # would hash the tuple twice.
+        rw = task.rw_set
+        interned = self._locations
+        write_set = task.write_set
+        nxt = len(interned)
+        setdefault = self._ids.setdefault
+        record = interned.append
+        id_list: list[int] = []
+        if write_set:
+            w_list: list[bool] = []
+            wids: list[int] = []
+            rids: list[int] = []
+            put_id = id_list.append
+            put_bit = w_list.append
+            put_w = wids.append
+            put_r = rids.append
+            for loc in rw:
+                found = setdefault(loc, nxt)
+                if found == nxt:
+                    record(loc)
+                    nxt += 1
+                put_id(found)
+                if loc in write_set:
+                    put_bit(True)
+                    put_w(found)
+                else:
+                    put_bit(False)
+                    put_r(found)
+        else:
+            put_id = id_list.append
+            for loc in rw:
+                found = setdefault(loc, nxt)
+                if found == nxt:
+                    record(loc)
+                    nxt += 1
+                put_id(found)
+            w_list = [False] * len(rw)
+            wids = []
+            rids = id_list
+        task.flat_cache = (self, rw, id_list, w_list, wids, rids)
+        return id_list, w_list

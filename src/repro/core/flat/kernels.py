@@ -1,0 +1,227 @@
+"""Per-round marking kernels over dense location ids.
+
+The dict engine's Phase I walks every window task's rw-set and CAS-loops a
+priority mark into two dict tables (all-touchers and writers-only); Phase II
+re-walks every rw-set to test mark ownership.  Every probe hashes a
+location id — typically a tuple, and tuples do not cache their hashes, so
+the dict engine re-hashes each location several times per round.
+
+Over interned ids both phases run on plain ints.  Priorities may be
+arbitrary tuples (numpy cannot compare them), so tasks are first sorted by
+``sort_key`` once in Python and numbered with dense per-round *ranks*,
+after which every mark comparison is an integer comparison.  Each task's
+dense ids come pre-split into writer ids and reader ids (the flat-cache
+entry built by :class:`~repro.core.flat.interner.LocationInterner`), so
+neither phase tests a per-entry writer bit.  Two bodies implement the same
+phases:
+
+* **scalar** (small rounds) — int-keyed dict tables walked in rank order,
+  so the first toucher of a location is its minimum and marking is a
+  single membership probe per entry;
+* **vector** (rounds with at least :data:`VECTOR_CUTOFF` rw-entries) —
+  one flattened ``(location, writer-bit)`` edge list built in rank order,
+  min-marked by a *reversed* fancy assignment (with duplicate indices the
+  last write wins, and reversing a rank-ascending edge list makes the last
+  write per location exactly the minimum rank; an order of magnitude
+  faster than ``np.minimum.at``, whose element-at-a-time inner loop never
+  vectorizes), then ownership as a gather plus one ``np.bincount`` of the
+  failing entries.
+
+Both bodies are cost-model exact: per-task mark costs come out of the same
+formula as the dict loop (``rw_visit * max(1, |rw|) + mark_cas * (|rw| +
+|writes|)``) in float64, so simulated makespans are bit-identical across
+engines and across the cutoff.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from ..task import Task
+
+#: Mark value meaning "no task has marked this location yet" — larger than
+#: any per-round rank, so an untouched writer mark never blocks a reader.
+UNMARKED = np.iinfo(np.int64).max
+
+#: Rounds with at least this many rw-entries take the vectorized body;
+#: below it, numpy's fixed per-call overhead loses to the scalar loop.
+VECTOR_CUTOFF = 2048
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class MarkBuffers:
+    """Persistent mark tables indexed by dense location id (vector body).
+
+    Both tables live across rounds, sized to the interner, and are reset
+    *sparsely* after each round — only the positions the round touched are
+    restored to :data:`UNMARKED`, so per-round cost tracks the window's
+    footprint rather than the whole location universe.
+    """
+
+    __slots__ = ("marks_all", "marks_writer")
+
+    def __init__(self) -> None:
+        self.marks_all: np.ndarray = _EMPTY_I64
+        self.marks_writer: np.ndarray = _EMPTY_I64
+
+    def ensure(self, n_locs: int) -> None:
+        """Grow both tables to cover dense ids ``< n_locs``."""
+        have = len(self.marks_all)
+        if n_locs <= have:
+            return
+        cap = max(n_locs, 2 * have, 1024)
+        grown = np.full(cap, UNMARKED, dtype=np.int64)
+        grown[:have] = self.marks_all
+        self.marks_all = grown
+        grown_w = np.full(cap, UNMARKED, dtype=np.int64)
+        grown_w[:have] = self.marks_writer
+        self.marks_writer = grown_w
+
+
+class MarkResult(NamedTuple):
+    """Phase I/II outputs for one round, aligned with the input task order."""
+
+    #: ``owner[i]`` — task ``i`` owns all of its marks (graph source).
+    owner: list
+    #: ``lens[i]`` — rw-set size of task ``i``.
+    lens: list
+    #: Per-task Phase I cost, dict-loop exact, in input order.
+    mark_costs: list
+    #: Index (into the input list) of the earliest task by ``sort_key``.
+    min_index: int
+
+
+def mark_round(
+    tasks: list[Task],
+    caches: list[tuple],
+    buffers: MarkBuffers,
+    rw_visit: float,
+    mark_cas: float,
+) -> MarkResult:
+    """Priority-mark one round's tasks and test mark ownership.
+
+    ``caches[i]`` is ``tasks[i]``'s flat-cache entry ``(interner, rw_set,
+    loc_ids, write_bits, writer_ids, reader_ids)`` — what
+    :meth:`OrderedAlgorithm.compute_rw_lists` returns.  A writer owns a
+    location iff it holds the all-touchers mark; a reader merely needs no
+    strictly-earlier writer.  Tasks with empty rw-sets own vacuously.
+    """
+    w = len(tasks)
+    # Dense ranks: the only non-vectorizable step, one sort over sort_key
+    # (tid tie-break makes ranks unique).  Keys are pulled out first so the
+    # sort key is a C-level ``list.__getitem__`` instead of a lambda.
+    keys = [task.sort_key for task in tasks]
+    order = sorted(range(w), key=keys.__getitem__)
+    min_index = order[0]
+
+    lens = [0] * w
+    total = 0
+    for i, cache in enumerate(caches):
+        n = len(cache[2])
+        lens[i] = n
+        total += n
+
+    if total and total >= VECTOR_CUTOFF:
+        return _mark_vector(
+            caches, order, lens, total, min_index, buffers, rw_visit, mark_cas
+        )
+    return _mark_scalar(caches, order, lens, min_index, rw_visit, mark_cas)
+
+
+def _mark_scalar(caches, order, lens, min_index, rw_visit, mark_cas):
+    w = len(order)
+    marks_all: dict[int, int] = {}
+    marks_writer: dict[int, int] = {}
+    # Phase I in rank order: the first toucher of a location is its
+    # minimum, so a mark is set at most once per location per table.
+    for rank, i in enumerate(order):
+        cache = caches[i]
+        for loc in cache[2]:
+            if loc not in marks_all:
+                marks_all[loc] = rank
+        for loc in cache[4]:
+            if loc not in marks_writer:
+                marks_writer[loc] = rank
+    # Phase II: rank-vs-mark integer comparisons.
+    owner = [True] * w
+    writer_mark = marks_writer.get
+    for rank, i in enumerate(order):
+        cache = caches[i]
+        for loc in cache[4]:
+            if marks_all[loc] != rank:
+                owner[i] = False
+                break
+        else:
+            for loc in cache[5]:
+                held = writer_mark(loc)
+                if held is not None and held < rank:
+                    owner[i] = False
+                    break
+    mark_costs = [
+        rw_visit * max(1, n) + mark_cas * (n + len(cache[4]))
+        for n, cache in zip(lens, caches)
+    ]
+    return MarkResult(owner, lens, mark_costs, min_index)
+
+
+def _mark_vector(
+    caches, order, lens, total, min_index, buffers, rw_visit, mark_cas
+):
+    w = len(order)
+    # Flattened edge list in *rank* order, writers before readers within a
+    # task (within-task order is irrelevant: all entries share one rank):
+    # entry ranks come out ascending.
+    loc_flat: list[int] = []
+    for i in order:
+        cache = caches[i]
+        loc_flat += cache[4]
+        loc_flat += cache[5]
+    lens_arr = np.array(lens, dtype=np.int64)
+    wlens_arr = np.array([len(cache[4]) for cache in caches], dtype=np.int64)
+    order_arr = np.array(order, dtype=np.int64)
+    rank_lens = lens_arr[order_arr]
+    rank_wlens = wlens_arr[order_arr]
+    loc = np.array(loc_flat, dtype=np.int64)
+    entry_rank = np.repeat(np.arange(w, dtype=np.int64), rank_lens)
+    # Writer bit per entry: writers lead each task's entries, so an entry
+    # is a write iff its offset within the task is below the writer count.
+    starts = np.zeros(w, dtype=np.int64)
+    np.cumsum(rank_lens[:-1], out=starts[1:])
+    offset = np.arange(total, dtype=np.int64) - np.repeat(starts, rank_lens)
+    wbit = offset < np.repeat(rank_wlens, rank_lens)
+
+    buffers.ensure(int(loc.max()) + 1)
+    marks_all = buffers.marks_all
+    marks_writer = buffers.marks_writer
+
+    # Reversed assignment = grouped min: ranks descend, last write wins.
+    marks_all[loc[::-1]] = entry_rank[::-1]
+    wloc = loc[wbit]
+    if len(wloc):
+        marks_writer[wloc[::-1]] = entry_rank[wbit][::-1]
+
+    owner_entry = np.where(
+        wbit,
+        marks_all[loc] == entry_rank,
+        marks_writer[loc] >= entry_rank,
+    )
+    # A task owns iff none of its entries fail; empty rw-sets own vacuously.
+    failing = np.bincount(entry_rank[~owner_entry], minlength=w)
+    owner_arr = np.empty(w, dtype=np.bool_)
+    owner_arr[order] = failing == 0
+    owner = owner_arr.tolist()
+
+    # Sparse reset: only touched positions go back to UNMARKED.
+    marks_all[loc] = UNMARKED
+    if len(wloc):
+        marks_writer[wloc] = UNMARKED
+
+    # Same formula and evaluation order as the scalar body's listcomp —
+    # float64 multiply-then-add either way, so results are bit-identical.
+    mark_costs = (
+        rw_visit * np.maximum(lens_arr, 1) + mark_cas * (lens_arr + wlens_arr)
+    ).tolist()
+    return MarkResult(owner, lens, mark_costs, min_index)

@@ -1,0 +1,293 @@
+"""Slot-pooled window state: zero-per-task-Python mark rounds.
+
+:func:`~repro.core.flat.kernels.mark_round` rebuilds its flattened edge
+list from per-task Python lists every round, which leaves a Python-loop
+residue proportional to the window size even when the marking itself is
+vectorized.  For the common executor regime — structure-based rw-sets and
+numeric priorities — none of that per-round work is necessary: a task's
+dense-id entries and its sort key are immutable for as long as it stays in
+the window, so they can be written into persistent numpy arrays *once*,
+when the task enters the window, and every subsequent round is a handful
+of whole-window gathers:
+
+* rank assignment — ``np.lexsort`` over per-slot ``(priority, tid)``
+  arrays (bit-exact with the Python ``sort_key`` order: priorities are
+  admitted only when their float64 image preserves comparisons, see
+  :meth:`RoundPool.add`);
+* edge-list gather — one fancy index into the entry pool built from
+  per-slot ``starts``/``lens`` by ``np.repeat``/``cumsum``;
+* marking/ownership — the same reversed-assignment min and bincount
+  ownership test as the vector kernel body.
+
+Slots are recycled through a freelist; entry storage is append-only with
+whole-pool compaction when the live fraction drops, so long runs stay
+bounded.  Insertions are buffered as plain Python lists and flushed to the
+arrays in bulk at the next round — per-insert cost stays O(1) appends.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+
+import numpy as np
+
+from ..task import Task
+from .kernels import UNMARKED, VECTOR_CUTOFF, MarkBuffers, MarkResult, _mark_scalar
+
+_I64 = np.int64
+
+#: Largest int whose float64 image is exact; int priorities beyond this
+#: would make the vectorized rank order disagree with Python's, so they
+#: demote the pool to the list-based kernel instead.
+_EXACT_INT = 2**53
+
+
+class RoundPool:
+    """Persistent per-window arrays, one slot per resident task.
+
+    ``add`` returns the slot id the executor stores as the task's window
+    value; ``remove`` recycles it.  ``numeric`` stays True while every
+    admitted priority is an int/float whose float64 image is
+    order-exact — once it flips, :func:`pooled_mark_round` permanently
+    falls back to the list-based kernel (slots still track caches, so the
+    fallback needs no migration).
+    """
+
+    __slots__ = (
+        "loc",
+        "starts",
+        "lens",
+        "wlens",
+        "prio",
+        "tid",
+        "caches",
+        "free",
+        "top",
+        "live_entries",
+        "max_loc",
+        "numeric",
+        "_pending_slots",
+        "_pending_entries",
+    )
+
+    def __init__(self) -> None:
+        self.loc = np.empty(1024, dtype=_I64)  # entry pool (append-only)
+        n = 256
+        self.starts = np.zeros(n, dtype=_I64)
+        self.lens = np.zeros(n, dtype=_I64)
+        self.wlens = np.zeros(n, dtype=_I64)
+        self.prio = np.zeros(n, dtype=np.float64)
+        self.tid = np.zeros(n, dtype=_I64)
+        self.caches: list = [None] * n
+        self.free: list[int] = list(range(n - 1, -1, -1))
+        self.top = 0  # entry-pool watermark
+        self.live_entries = 0
+        self.max_loc = -1
+        self.numeric = True
+        # (slot, n_writers, n_total, priority_f64, tid) per buffered add.
+        self._pending_slots: list[tuple[int, int, int, float, int]] = []
+        self._pending_entries: list[list[int]] = []
+
+    def add(self, task: Task, cache: tuple) -> int:
+        """Register ``task`` (flat-cache entry ``cache``); returns its slot.
+
+        Pure-Python fast path: every numpy scalar store is deferred to
+        :meth:`flush` (a vector round) as buffered metadata, so runs whose
+        windows never reach the vector cutoff pay only list appends here.
+        """
+        free = self.free
+        if not free:
+            self._grow_slots()
+        slot = free.pop()
+        wids = cache[4]
+        rids = cache[5]
+        n = len(wids) + len(rids)
+        self.caches[slot] = cache
+        self.live_entries += n
+        priority = task.priority
+        prio_f = 0.0
+        if self.numeric:
+            if type(priority) is int:
+                if -_EXACT_INT <= priority <= _EXACT_INT:
+                    prio_f = float(priority)
+                else:
+                    self.numeric = False
+            elif type(priority) is float:
+                prio_f = priority
+            else:
+                self.numeric = False
+        # Entries are buffered as lists and written to the pool in bulk at
+        # the next flush — writers first, matching the kernel edge order.
+        # The add-time lengths ride along: a slot can be recycled with a
+        # different rw-set while still pending (scalar rounds defer
+        # flushing), and the flush must lay out each occurrence's block by
+        # the lengths it had when buffered, not the slot's current ones.
+        self._pending_slots.append((slot, len(wids), n, prio_f, task.tid))
+        self._pending_entries.append(wids)
+        self._pending_entries.append(rids)
+        if len(self._pending_slots) > 8192:
+            self.flush()
+        return slot
+
+    def remove(self, slot: int) -> None:
+        """Recycle ``slot``; its entries stay in the pool until compaction."""
+        self.live_entries -= len(self.caches[slot][2])
+        self.caches[slot] = None
+        self.free.append(slot)
+
+    def flush(self) -> None:
+        """Materialize buffered insertions into the entry pool."""
+        pending = self._pending_slots
+        if not pending:
+            return
+        entries = list(chain.from_iterable(self._pending_entries))
+        n = len(entries)
+        top = self.top
+        if top + n > len(self.loc):
+            cap = max(2 * len(self.loc), top + n)
+            grown = np.empty(cap, dtype=_I64)
+            grown[:top] = self.loc[:top]
+            self.loc = grown
+        if n:
+            block = np.array(entries, dtype=_I64)
+            self.loc[top : top + n] = block
+            peak = int(block.max())
+            if peak > self.max_loc:
+                self.max_loc = peak
+        starts = self.starts
+        lens = self.lens
+        wlens = self.wlens
+        prio = self.prio
+        tid = self.tid
+        for slot, n_w, length, prio_f, tid_i in pending:
+            # A recycled slot's later occurrence overwrites its metadata,
+            # so the slot points at its current entries; earlier blocks
+            # become dead pool space reclaimed by compaction.
+            starts[slot] = top
+            lens[slot] = length
+            wlens[slot] = n_w
+            prio[slot] = prio_f
+            tid[slot] = tid_i
+            top += length
+        self.top = top
+        self._pending_slots = []
+        self._pending_entries = []
+        # Compact when dead entries dominate, so churn-heavy runs stay
+        # bounded; live slots are re-packed with one gather per slot batch.
+        if top > 65536 and self.live_entries * 4 < top:
+            self._compact()
+
+    def _grow_slots(self) -> None:
+        n = len(self.lens)
+        cap = 2 * n
+        for name in ("starts", "lens", "wlens", "tid"):
+            arr = getattr(self, name)
+            grown = np.zeros(cap, dtype=_I64)
+            grown[:n] = arr
+            setattr(self, name, grown)
+        grown_p = np.zeros(cap, dtype=np.float64)
+        grown_p[:n] = self.prio
+        self.prio = grown_p
+        self.caches.extend([None] * n)
+        self.free.extend(range(cap - 1, n - 1, -1))
+
+    def _compact(self) -> None:
+        live = [s for s, c in enumerate(self.caches) if c is not None]
+        packed = np.empty(max(1024, self.live_entries), dtype=_I64)
+        top = 0
+        loc = self.loc
+        starts = self.starts
+        lens = self.lens
+        for slot in live:
+            n = int(lens[slot])
+            start = int(starts[slot])
+            packed[top : top + n] = loc[start : start + n]
+            starts[slot] = top
+            top += n
+        self.loc = packed
+        self.top = top
+
+
+def pooled_mark_round(
+    pool: RoundPool,
+    tasks: list[Task],
+    slots: list[int],
+    buffers: MarkBuffers,
+    rw_visit: float,
+    mark_cas: float,
+) -> MarkResult:
+    """One mark round straight off the pool arrays.
+
+    ``slots[i]`` is ``tasks[i]``'s pool slot (the executor's window
+    values); together they must cover the pool's whole live set — the
+    kernel-selection cutoff reads the pool's running entry count rather
+    than summing per-slot lengths.  Results are identical to
+    :func:`~repro.core.flat.kernels.mark_round` over the same tasks —
+    same owners, same costs, same float64 op order — the only difference
+    is that no per-task Python runs on the vector path.  Small rounds and
+    non-numeric pools take the scalar kernel body instead.
+    """
+    w = len(tasks)
+    # ``slots`` is the pool's entire live set (the executor's window), so
+    # the running live-entry count *is* this round's total edge count —
+    # no per-slot gather needed to pick the kernel.
+    total = pool.live_entries
+
+    if not pool.numeric or not total or total < VECTOR_CUTOFF:
+        # Scalar rounds never touch the pool arrays (sizes come from the
+        # caches), so buffered insertions stay pending — a run whose
+        # windows never reach the cutoff skips materialization entirely.
+        caches_all = pool.caches
+        task_caches = [caches_all[s] for s in slots]
+        lens_list = [len(cache[2]) for cache in task_caches]
+        keys = [task.sort_key for task in tasks]
+        order = sorted(range(w), key=keys.__getitem__)
+        return _mark_scalar(
+            task_caches, order, lens_list, order[0], rw_visit, mark_cas
+        )
+
+    pool.flush()
+    slots_arr = np.array(slots, dtype=_I64)
+    lens_w = pool.lens[slots_arr]
+    wlens_w = pool.wlens[slots_arr]
+    order = np.lexsort((pool.tid[slots_arr], pool.prio[slots_arr]))
+    min_index = int(order[0])
+
+    # Gather the rank-ordered edge list from the pool: one fancy index
+    # built from per-slot segment starts/lengths.
+    rl = lens_w[order]
+    ends = np.cumsum(rl)
+    seg_starts = ends - rl
+    entry_rank = np.repeat(np.arange(w, dtype=_I64), rl)
+    offset = np.arange(total, dtype=_I64) - seg_starts[entry_rank]
+    loc = pool.loc[pool.starts[slots_arr][order][entry_rank] + offset]
+    wbit = offset < wlens_w[order][entry_rank]
+
+    buffers.ensure(pool.max_loc + 1)
+    marks_all = buffers.marks_all
+    marks_writer = buffers.marks_writer
+
+    # Reversed assignment = grouped min (see the vector kernel body).
+    marks_all[loc[::-1]] = entry_rank[::-1]
+    wloc = loc[wbit]
+    if len(wloc):
+        marks_writer[wloc[::-1]] = entry_rank[wbit][::-1]
+
+    owner_entry = np.where(
+        wbit,
+        marks_all[loc] == entry_rank,
+        marks_writer[loc] >= entry_rank,
+    )
+    failing = np.bincount(entry_rank[~owner_entry], minlength=w)
+    owner_arr = np.empty(w, dtype=np.bool_)
+    owner_arr[order] = failing == 0
+    owner = owner_arr.tolist()
+
+    marks_all[loc] = UNMARKED
+    if len(wloc):
+        marks_writer[wloc] = UNMARKED
+
+    mark_costs = (
+        rw_visit * np.maximum(lens_w, 1) + mark_cas * (lens_w + wlens_w)
+    ).tolist()
+    return MarkResult(owner, lens_w.tolist(), mark_costs, min_index)

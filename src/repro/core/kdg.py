@@ -1,13 +1,25 @@
 """The Kinetic Dependence Graph: ⟨G, P, U⟩ (Definition 6).
 
 This module materializes the *explicit* KDG: the task graph ``G``
-(:class:`~repro.core.taskgraph.TaskGraph`) plus the rw-set index ``B``
-(:class:`~repro.core.rwsets.RWSetIndex`), with the generic ``AddTask`` /
-``RemoveTask`` procedures of Figure 6.  The safe-source test ``P`` and the
-update rule ``U`` live in the executors; this class supplies the mechanics
-they share and, optionally, *checks the Safety property at runtime*: while a
-task is marked as an executing safe source, any new in-edge to it raises
-:class:`SafetyViolation`.
+(:class:`~repro.core.taskgraph.TaskGraph`) plus the rw-set index ``B``, with
+the generic ``AddTask`` / ``RemoveTask`` procedures of Figure 6.  The
+safe-source test ``P`` and the update rule ``U`` live in the executors; this
+class supplies the mechanics they share and, optionally, *checks the Safety
+property at runtime*: while a task is marked as an executing safe source,
+any new in-edge to it raises :class:`SafetyViolation`.
+
+``B`` comes in two interchangeable representations selected at
+construction: the dict-based :class:`~repro.core.rwsets.RWSetIndex`
+(default), or — when a :class:`~repro.core.flat.LocationInterner` is
+supplied — the flat :class:`~repro.core.flat.FlatRWIndex` over dense
+location ids, whose conflict discovery compares plain ints and whose
+:meth:`KDG.add_tasks` inserts a whole round's new tasks in one pass.  Both
+representations discover the *same* conflict sets and return the same
+:class:`OpCounts`, so simulated schedules are identical.
+
+The KDG also tracks its minimum-key task internally (a lazy-deletion heap):
+:meth:`earliest` and the liveness check used to re-scan every node, which
+made the per-round safe-source plumbing O(n).
 
 Mutators return :class:`OpCounts` so executors can charge graph maintenance
 to the cost model.
@@ -22,6 +34,7 @@ from typing import Any
 from .rwsets import RWSetIndex
 from .task import Task
 from .taskgraph import TaskGraph
+from .tracker import MinTracker
 
 
 class SafetyViolation(RuntimeError):
@@ -48,13 +61,29 @@ class OpCounts:
 
 
 class KDG:
-    """Explicit KDG state: task graph ``G`` + rw-set index ``B``."""
+    """Explicit KDG state: task graph ``G`` + rw-set index ``B``.
 
-    def __init__(self, check_safety: bool = False):
+    ``interner=None`` selects the dict engine (``self.rwsets``);  passing a
+    :class:`~repro.core.flat.LocationInterner` selects the flat engine
+    (``self.flat_index``).  ``G`` is shared: its incremental source tracking
+    is already O(|sources|) per round, so only ``B`` and conflict discovery
+    change representation.
+    """
+
+    def __init__(self, check_safety: bool = False, interner=None):
         self.graph = TaskGraph()
-        self.rwsets = RWSetIndex()
         self.check_safety = check_safety
+        self.tracker = MinTracker()
+        self.interner = interner
         self._protected: set[Task] = set()
+        if interner is None:
+            self.rwsets: RWSetIndex | None = RWSetIndex()
+            self.flat_index = None
+        else:
+            from .flat.index import FlatRWIndex
+
+            self.rwsets = None
+            self.flat_index = FlatRWIndex()
 
     def __len__(self) -> int:
         return len(self.graph)
@@ -78,29 +107,81 @@ class KDG:
         one *writes* it.  ``writes=None`` treats every location as written
         (the conservative single-set model of the paper's Figure 6).
         """
+        ops = self._insert(task, rw_set, writes)
+        self.tracker.add(task)
+        return ops
+
+    def add_tasks(self, tasks: list[Task]) -> list[OpCounts]:
+        """Batched ``AddTask`` for one round's new tasks (subrule **A**).
+
+        Precondition: every task's ``rw_set``/``write_set`` are already
+        bound (the executor ran the cautious prefix).  Returns one
+        :class:`OpCounts` per task, in order, identical to what sequential
+        :meth:`add_task` calls would have returned — each conflict pair is
+        charged to its later-inserted endpoint, exactly the task whose
+        sequential ``AddTask`` would have found it.
+        """
+        if self.interner is None:
+            out = []
+            for task in tasks:
+                out.append(self.add_task(task, task.rw_set, task.write_set))
+            return out
+        return self._flat_add_batch(tasks)
+
+    def remove_task(self, task: Task) -> tuple[list[Task], OpCounts]:
+        """Remove ``task`` (subrule **R**); returns its former neighbors."""
+        neighbors, ops = self._extract(task)
+        self.tracker.remove(task)
+        return neighbors, ops
+
+    def refresh_task(self, task: Task, rw_set: Iterable[Any]) -> OpCounts:
+        """Subrule **N** for one neighbor: re-register with a new rw-set.
+
+        The caller must have re-run the cautious prefix (so ``task.write_set``
+        is current) before calling this.  The min-tracker is left untouched:
+        priorities are immutable, so a refresh cannot move the minimum.
+        """
+        writes = task.write_set
+        _, removed = self._extract(task)
+        removed += self._insert(task, rw_set, writes)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Engine-specific insert / extract
+    # ------------------------------------------------------------------
+    def _insert(
+        self, task: Task, rw_set: Iterable[Any], writes: frozenset | None
+    ) -> OpCounts:
         ops = OpCounts()
         locations = rw_set if type(rw_set) is tuple else tuple(rw_set)
         task.rw_set = locations
         write_set = frozenset(locations) if writes is None else writes
         task.write_set = write_set
         ops.node_ops += self.graph.add_node(task)
-        ops.rw_ops += self.rwsets.add(task, locations)
         key = task.sort_key
-        conflicts: dict[Task, None] = {}
-        tasks_at_view = self.rwsets.tasks_at_view
-        for loc in locations:
-            bucket = tasks_at_view(loc)
-            if len(bucket) < 2:  # only this task touches the location
-                continue
-            i_write = loc in write_set
-            for other in bucket:
-                if other is task or other in conflicts:
-                    continue
-                if i_write or loc in other.write_set:
-                    conflicts[other] = None
         preds: list[Task] = []
         succs: list[Task] = []
-        for other in conflicts:
+        if self.interner is None:
+            ops.rw_ops += self.rwsets.add(task, locations)
+            conflicts: dict[Task, None] = {}
+            tasks_at_view = self.rwsets.tasks_at_view
+            for loc in locations:
+                bucket = tasks_at_view(loc)
+                if len(bucket) < 2:  # only this task touches the location
+                    continue
+                i_write = loc in write_set
+                for other in bucket:
+                    if other is task or other in conflicts:
+                        continue
+                    if i_write or loc in other.write_set:
+                        conflicts[other] = None
+            others: Iterable[Task] = conflicts
+        else:
+            index = self.flat_index
+            id_list, w_list = self.interner.task_lists(task)
+            ops.rw_ops += index.add(task, id_list, w_list)
+            others = self._flat_conflicts_single(index, task, id_list, w_list)
+        for other in others:
             if other.sort_key < key:
                 preds.append(other)
             else:
@@ -113,27 +194,217 @@ class KDG:
         ops.edge_ops += self.graph.wire_edges(task, preds, succs)
         return ops
 
-    def remove_task(self, task: Task) -> tuple[list[Task], OpCounts]:
-        """Remove ``task`` (subrule **R**); returns its former neighbors."""
+    def _extract(self, task: Task) -> tuple[list[Task], OpCounts]:
         ops = OpCounts()
         neighbors, graph_ops = self.graph.remove_node(task)
         ops.node_ops += 1
         ops.edge_ops += graph_ops - 1
-        if task in self.rwsets:
-            ops.rw_ops += self.rwsets.remove(task)
+        if self.interner is None:
+            if task in self.rwsets:
+                ops.rw_ops += self.rwsets.remove(task)
+        elif task in self.flat_index:
+            ops.rw_ops += self.flat_index.remove(task)
         return neighbors, ops
 
-    def refresh_task(self, task: Task, rw_set: Iterable[Any]) -> OpCounts:
-        """Subrule **N** for one neighbor: re-register with a new rw-set.
+    @staticmethod
+    def _flat_conflicts_single(index, task, id_list, w_list) -> list[Task]:
+        """Conflicting tasks for a just-inserted task (it is last in every
+        bucket, so every other member was inserted before it)."""
+        conflicts: dict[int, None] = {}
+        buckets = index._buckets
+        for loc, i_write in zip(id_list, w_list):
+            members = buckets[loc]
+            if len(members) < 2:  # only this task touches the location
+                continue
+            if i_write:
+                for s in members:
+                    conflicts[s] = None
+            else:
+                for s, wbit in members.items():
+                    if wbit:
+                        conflicts[s] = None
+        if not conflicts:
+            return []
+        # The task's own slot was swept up with the rest (it writes, or it
+        # reads a location it also writes — either way its own buckets list
+        # it); drop it without disturbing the discovery order of the others.
+        conflicts.pop(index._slot_of[task], None)
+        task_of = index._task_of
+        return [task_of[s] for s in conflicts]
 
-        The caller must have re-run the cautious prefix (so ``task.write_set``
-        is current) before calling this.
+    def _flat_add_batch(self, tasks: list[Task]) -> list[OpCounts]:
+        # Virgin index (nothing registered, no recycled slots): the whole
+        # batch can be built in one sort-and-sweep over (loc, slot) pairs.
+        # Incremental rounds fall through to insertion-interleaved
+        # discovery: each task is inserted, then its conflicts are read off
+        # the buckets while it is still the last member everywhere.  Both
+        # are exactly sequential ``AddTask`` order, so each pair is charged
+        # to its later-inserted endpoint by construction.  (An earlier
+        # all-buckets-at-the-end sweep for the incremental case needed an
+        # in-batch membership probe per bucket member plus a slot→partners
+        # dict-of-dicts, and measured slower than this loop in CPython.)
+        index = self.flat_index
+        if len(tasks) >= 16 and not index._slot_of and not index._free:
+            return self._flat_build_initial(tasks)
+        task_lists = self.interner.task_lists
+        graph = self.graph
+        add_node = graph.add_node
+        wire_edges = graph.wire_edges
+        tracker_add = self.tracker.add
+        index_add = index.add
+        conflicts_single = self._flat_conflicts_single
+        check_safety = self.check_safety
+        protected = self._protected
+        out: list[OpCounts] = []
+        for task in tasks:
+            id_list, w_list = task_lists(task)
+            add_node(task)
+            tracker_add(task)
+            n_rw = index_add(task, id_list, w_list)
+            others = conflicts_single(index, task, id_list, w_list)
+            edge_ops = 0
+            if others:
+                key = task.sort_key
+                preds: list[Task] = []
+                succs: list[Task] = []
+                for other in others:
+                    if other.sort_key < key:
+                        preds.append(other)
+                    else:
+                        if check_safety and other in protected:
+                            raise SafetyViolation(
+                                f"in-edge added to executing safe source "
+                                f"{other!r} by {task!r}"
+                            )
+                        succs.append(other)
+                edge_ops = wire_edges(task, preds, succs)
+            out.append(OpCounts(node_ops=1, edge_ops=edge_ops, rw_ops=n_rw))
+        return out
+
+    def _flat_build_initial(self, tasks: list[Task]) -> list[OpCounts]:
+        """One-shot batched build of an empty index (General-BuildTaskGraph).
+
+        Slots are assigned in batch order, every bucket is filled in one
+        pass, and conflict pairs are discovered by a single stable sort of
+        all (location, slot) incidences: entries are emitted slot-major, so
+        within each location group the stable sort leaves members in
+        insertion order, and each pair ``(earlier, later)`` is attributed
+        to its *later* slot — the task whose sequential ``AddTask`` would
+        have found it.  Re-sorting pairs by (later slot, rw-set position,
+        bucket position) then reproduces the sequential loop's discovery
+        order exactly, so wired edge order, op counts, and the Safety check
+        are bit-identical to one-at-a-time insertion.
         """
-        writes = task.write_set
-        _, removed = self.remove_task(task)
-        added = self.add_task(task, rw_set, writes)
-        removed += added
-        return removed
+        import numpy as np
+        from itertools import chain
+
+        index = self.flat_index
+        task_lists = self.interner.task_lists
+        n = len(tasks)
+        caches = [task_lists(task) for task in tasks]
+        id_lists = [cache[0] for cache in caches]
+        slot_of = {task: slot for slot, task in enumerate(tasks)}
+        if len(slot_of) != n:
+            raise ValueError("duplicate task in initial batch")
+        index._slot_of = slot_of
+        index._task_of = list(tasks)
+        index._ids_of = list(id_lists)
+        lens = [len(ids) for ids in id_lists]
+        total = sum(lens)
+        partners: dict[int, dict[int, None]] = {}
+        if total:
+            lens_arr = np.fromiter(lens, dtype=np.intp, count=n)
+            loc = np.fromiter(
+                chain.from_iterable(id_lists), dtype=np.intp, count=total
+            )
+            wbit = np.fromiter(
+                chain.from_iterable(cache[1] for cache in caches),
+                dtype=np.bool_,
+                count=total,
+            )
+            slot_arr = np.repeat(np.arange(n, dtype=np.intp), lens_arr)
+            starts = np.cumsum(lens_arr) - lens_arr
+            pos = np.arange(total, dtype=np.intp) - np.repeat(starts, lens_arr)
+            order = np.argsort(loc, kind="stable")
+            sloc = loc[order]
+            # Fill the buckets (grown once to the max id) in slot order.
+            buckets = index._buckets
+            for _ in range(int(sloc[-1]) + 1 - len(buckets)):
+                buckets.append({})
+            for slot, cache in enumerate(caches):
+                for loc_id, w in zip(cache[0], cache[1]):
+                    buckets[loc_id][slot] = w
+            cut = np.flatnonzero(sloc[1:] != sloc[:-1]) + 1
+            bounds = np.concatenate(
+                (np.zeros(1, dtype=np.intp), cut, np.full(1, total, dtype=np.intp))
+            )
+            sizes = np.diff(bounds)
+            # reduceat on bool yields int64 *counts*, so compare > 0 (a raw
+            # bitwise & with the size predicate would drop even counts).
+            writers = np.add.reduceat(wbit[order], bounds[:-1])
+            groups = np.flatnonzero((sizes >= 2) & (writers > 0))
+            if len(groups):
+                sslot = slot_arr[order]
+                swbit = wbit[order]
+                spos = pos[order]
+                pairs: list[tuple[int, int, int, int]] = []
+                record = pairs.append
+                for g in groups.tolist():
+                    lo = int(bounds[g])
+                    hi = int(bounds[g + 1])
+                    members = sslot[lo:hi].tolist()
+                    wflags = swbit[lo:hi].tolist()
+                    positions = spos[lo:hi].tolist()
+                    for j in range(1, hi - lo):
+                        later = members[j]
+                        p = positions[j]
+                        if wflags[j]:
+                            for q in range(j):
+                                record((later, p, q, members[q]))
+                        else:
+                            for q in range(j):
+                                if wflags[q]:
+                                    record((later, p, q, members[q]))
+                pairs.sort()
+                for later, _p, _q, earlier in pairs:
+                    found = partners.get(later)
+                    if found is None:
+                        partners[later] = {earlier: None}
+                    else:
+                        found[earlier] = None  # dup keeps first-seen order
+        graph = self.graph
+        add_node = graph.add_node
+        wire_edges = graph.wire_edges
+        tracker_add = self.tracker.add
+        check_safety = self.check_safety
+        protected = self._protected
+        task_of = index._task_of
+        out: list[OpCounts] = []
+        for slot, task in enumerate(tasks):
+            add_node(task)
+            tracker_add(task)
+            edge_ops = 0
+            found = partners.get(slot)
+            if found:
+                key = task.sort_key
+                preds: list[Task] = []
+                succs: list[Task] = []
+                for earlier in found:
+                    other = task_of[earlier]
+                    if other.sort_key < key:
+                        preds.append(other)
+                    else:
+                        if check_safety and other in protected:
+                            raise SafetyViolation(
+                                f"in-edge added to executing safe source "
+                                f"{other!r} by {task!r}"
+                            )
+                        succs.append(other)
+                edge_ops = wire_edges(task, preds, succs)
+            out.append(
+                OpCounts(node_ops=1, edge_ops=edge_ops, rw_ops=1 + lens[slot])
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Queries and safety instrumentation
@@ -149,24 +420,33 @@ class KDG:
         self._protected.discard(task)
 
     def earliest(self) -> Task | None:
-        """The minimal task under the total order (None when empty)."""
-        best: Task | None = None
-        for task in self.graph.nodes():
-            if best is None or task.sort_key < best.sort_key:
-                best = task
-        return best
+        """The minimal task under the total order (None when empty).
+
+        O(log n) amortized via the internal min-tracker — this used to scan
+        every node.
+        """
+        return self.tracker.min_task()
 
     def assert_liveness(self, safe: Iterable[Task]) -> None:
-        """Liveness: some earliest-*priority* task must be safe (§3.3)."""
-        safe_set = set(safe)
+        """Liveness: some earliest-*priority* task must be safe (§3.3).
+
+        The success path costs one tracker peek plus a scan of ``safe``;
+        only the failure path (about to raise) scans the graph, to count the
+        earliest-priority tasks for the error message.
+        """
         if not self.graph.notEmpty():
             return
-        min_priority = min(task.priority for task in self.graph.nodes())
-        earliest_priority = [
-            task for task in self.graph.nodes() if task.priority == min_priority
-        ]
-        if not any(task in safe_set for task in earliest_priority):
-            raise LivenessViolation(
-                f"none of the {len(earliest_priority)} earliest-priority tasks "
-                "passed the safe-source test"
-            )
+        min_task = self.tracker.min_task()
+        if min_task is not None:
+            min_priority = min_task.priority
+        else:  # graph populated behind the KDG's back (diagnostic use)
+            min_priority = min(task.priority for task in self.graph.nodes())
+        if any(task.priority == min_priority for task in safe):
+            return
+        earliest_priority = sum(
+            1 for task in self.graph.nodes() if task.priority == min_priority
+        )
+        raise LivenessViolation(
+            f"none of the {earliest_priority} earliest-priority tasks "
+            "passed the safe-source test"
+        )

@@ -74,6 +74,11 @@ class RWSetIndex:
 
     def tasks_sharing(self, locations: Iterable[Any]) -> list[Task]:
         """Distinct tasks sharing any of ``locations`` (deterministic order)."""
+        # Single-location rw-sets dominate the pointer-chasing apps (tree
+        # accumulation, BFS); with one bucket there is nothing to
+        # deduplicate, so skip the seen-dict entirely.
+        if type(locations) is tuple and len(locations) == 1:
+            return list(self._tasks_at.get(locations[0], ()))
         seen: dict[Task, None] = {}
         for loc in locations:
             for task in self._tasks_at.get(loc, ()):

@@ -17,7 +17,16 @@ from typing import Any
 class Task:
     """One ordered-loop iteration: a work item plus its priority."""
 
-    __slots__ = ("item", "priority", "tid", "sort_key", "rw_set", "write_set", "rw_valid")
+    __slots__ = (
+        "item",
+        "priority",
+        "tid",
+        "sort_key",
+        "rw_set",
+        "write_set",
+        "rw_valid",
+        "flat_cache",
+    )
 
     def __init__(self, item: Any, priority: Any, tid: int):
         self.item = item
@@ -36,6 +45,11 @@ class Task:
         #: ``invalidate_rw_set``).  Only trusted for structure-based
         #: algorithms, whose rw-sets cannot change under execution.
         self.rw_valid: bool = False
+        #: Flat-engine scratch: ``(interner, rw_set, loc_ids, write_bits,
+        #: writer_ids, reader_ids)`` — dense-id lists cached by the
+        #: interner; keyed by the identity of the first two so it can never
+        #: leak across runs or refreshes.
+        self.flat_cache = None
 
     def writes(self, location: Any) -> bool:
         return location in self.write_set

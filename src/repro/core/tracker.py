@@ -1,0 +1,52 @@
+"""Minimum-priority tracking over live tasks (lazy-deletion heap).
+
+Lives in ``core`` so the :class:`~repro.core.kdg.KDG` can maintain the
+minimum internally (its ``earliest`` / ``assert_liveness`` queries used to
+re-scan every node); executors import it from here (or via the historical
+``repro.runtime.base`` re-export) to supply ``SourceView.min_priority``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any
+
+from .task import Task
+
+
+class MinTracker:
+    """Lazy-deletion heap tracking the minimum key among live tasks.
+
+    ``add``/``remove`` are O(log n) amortized; stale heap entries are
+    discarded when they surface at the top.  Keys are ``sort_key`` with the
+    tid tie-break, so the minimum is unique.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[Any, int]] = []
+        self._live: dict[int, Task] = {}
+        self._seq = 0
+
+    def add(self, task: Task) -> None:
+        self._live[task.tid] = task
+        heapq.heappush(self._heap, (task.sort_key, task.tid))
+
+    def remove(self, task: Task) -> None:
+        self._live.pop(task.tid, None)
+
+    def min_task(self) -> Task | None:
+        while self._heap:
+            _, tid = self._heap[0]
+            task = self._live.get(tid)
+            if task is None:
+                heapq.heappop(self._heap)
+            else:
+                return task
+        return None
+
+    def min_priority(self) -> Any:
+        task = self.min_task()
+        return None if task is None else task.priority
+
+    def __len__(self) -> int:
+        return len(self._live)

@@ -58,6 +58,7 @@ def run_traced(
     threads: int = 3,
     checked: bool = False,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> tuple[Any, ExecutionTrace]:
     """Run ``executor`` over ``state`` with a trace recorder attached.
 
@@ -65,6 +66,9 @@ def run_traced(
     the app's declared properties rule the executor out (callers treat that
     as a skip).  ``sanitize=True`` enables the runtime access sanitizer on
     the underlying run (observation only; traces stay bit-identical).
+    ``engine`` selects the rw-set index implementation on the round-based
+    executors (``"flat"`` is schedule-invariant, so oracle traces are
+    identical either way).
     """
     spec = APPS[app]
     algorithm = spec.algorithm(state)
@@ -74,33 +78,37 @@ def run_traced(
         result = run_serial(
             algorithm, machine, checked=checked,
             baseline=spec.serial_baseline, recorder=recorder, sanitize=sanitize,
+            engine=engine,
         )
     elif executor == "kdg-rna":
         machine = SimMachine(threads)
         result = run_kdg_rna(
             algorithm, machine, checked=checked, asynchronous=False,
-            recorder=recorder, sanitize=sanitize,
+            recorder=recorder, sanitize=sanitize, engine=engine,
         )
     elif executor == "kdg-rna-async":
         machine = SimMachine(threads)
         result = run_kdg_rna(
             algorithm, machine, checked=checked, asynchronous=True,
-            recorder=recorder, sanitize=sanitize,
+            recorder=recorder, sanitize=sanitize, engine=engine,
         )
     elif executor == "ikdg":
         machine = SimMachine(threads)
         result = run_ikdg(
-            algorithm, machine, checked=checked, recorder=recorder, sanitize=sanitize
+            algorithm, machine, checked=checked, recorder=recorder,
+            sanitize=sanitize, engine=engine,
         )
     elif executor == "level-by-level":
         machine = SimMachine(threads)
         result = run_level_by_level(
-            algorithm, machine, checked=checked, recorder=recorder, sanitize=sanitize
+            algorithm, machine, checked=checked, recorder=recorder,
+            sanitize=sanitize, engine=engine,
         )
     elif executor == "speculation":
         machine = SimMachine(threads)
         result = run_speculation(
-            algorithm, machine, checked=checked, recorder=recorder, sanitize=sanitize
+            algorithm, machine, checked=checked, recorder=recorder,
+            sanitize=sanitize, engine=engine,
         )
     else:
         raise ValueError(f"unknown oracle executor {executor!r}")
@@ -194,12 +202,15 @@ def diff_executors(
     executors: tuple[str, ...] | None = None,
     checked: bool = False,
     keep_traces: bool = False,
+    engine: str = "dict",
 ) -> DiffReport:
     """Run ``app`` under every oracle executor on one seeded input and diff.
 
     ``keep_traces=True`` attaches each executor's :class:`ExecutionTrace`
     to its verdict (for JSON export); otherwise traces are dropped after
-    checking to keep memory flat across sweeps.
+    checking to keep memory flat across sweeps.  ``engine`` selects the
+    rw-set index implementation on the parallel executors (the serial
+    reference has no index either way).
     """
     spec = APPS[app]
     executors = ORACLE_EXECUTORS if executors is None else executors
@@ -227,7 +238,9 @@ def diff_executors(
         report.verdicts.append(verdict)
         state = make_oracle_state(app, seed)
         try:
-            result, trace = run_traced(app, executor, state, threads, checked=checked)
+            result, trace = run_traced(
+                app, executor, state, threads, checked=checked, engine=engine
+            )
         except ValueError as exc:
             # Properties rule this executor out for this app (e.g. the
             # asynchronous KDG without structure-based rw-sets).

@@ -8,14 +8,24 @@ a :class:`LoopResult`.
 
 from __future__ import annotations
 
-import heapq
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..core.algorithm import OrderedAlgorithm
 from ..core.task import Task
+from ..core.tracker import MinTracker
 from ..machine import Category, CycleStats, SimMachine
+
+__all__ = [
+    "LoopResult",
+    "MinTracker",
+    "attribute_commits",
+    "bind_execute_task",
+    "execute_task",
+    "inflate_execute",
+    "rw_visit_cost",
+]
 
 
 @dataclass
@@ -43,43 +53,6 @@ class LoopResult:
 
     def breakdown(self) -> dict[Category, float]:
         return self.machine.stats.breakdown()
-
-
-class MinTracker:
-    """Lazy-deletion heap tracking the minimum key among live tasks.
-
-    Used to supply ``SourceView.min_priority`` without scanning the whole
-    task graph every round.
-    """
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[Any, int]] = []
-        self._live: dict[int, Task] = {}
-        self._seq = 0
-
-    def add(self, task: Task) -> None:
-        self._live[task.tid] = task
-        heapq.heappush(self._heap, (task.sort_key, task.tid))
-
-    def remove(self, task: Task) -> None:
-        self._live.pop(task.tid, None)
-
-    def min_task(self) -> Task | None:
-        while self._heap:
-            _, tid = self._heap[0]
-            task = self._live.get(tid)
-            if task is None:
-                heapq.heappop(self._heap)
-            else:
-                return task
-        return None
-
-    def min_priority(self) -> Any:
-        task = self.min_task()
-        return None if task is None else task.priority
-
-    def __len__(self) -> int:
-        return len(self._live)
 
 
 def attribute_commits(

@@ -38,6 +38,7 @@ def run_ikdg(
     chunk_size: int = 1,
     recorder=None,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> LoopResult:
     """Run ``algorithm`` under the implicit (marking-based) KDG executor.
 
@@ -48,10 +49,39 @@ def run_ikdg(
     handed to threads in chunks to amortize worklist traffic.
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
     ``sanitize=True`` diffs each body's accesses against its declared
-    rw-set at commit time (observation only).
+    rw-set at commit time (observation only).  ``engine="flat"`` runs
+    phases I/II as vectorized kernels over interned location ids
+    (:mod:`repro.core.flat`); schedules and charged cycles are identical to
+    the dict engine.
     """
     if machine is None:
         machine = SimMachine(1)
+    if engine not in ("dict", "flat"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
+    flat = engine == "flat"
+    pooled = False
+    if flat:
+        from ..core.flat import (
+            LocationInterner,
+            MarkBuffers,
+            RoundPool,
+            mark_round,
+            pooled_mark_round,
+        )
+
+        interner = LocationInterner()
+        buffers = MarkBuffers()
+        compute_rw_lists = algorithm.compute_rw_lists
+        # With structure-based rw-sets a task's flat-cache entry, once
+        # built, stays valid for the whole run (nothing ever invalidates
+        # it), so the task is registered with the round pool when it
+        # *enters the window* — its pool slot is its window value — and
+        # per-round prep is two C list() calls plus whole-window numpy
+        # gathers.  Kinetic algorithms recompute entries every round via
+        # the list-based kernel instead.
+        pooled = algorithm.properties.structure_based_rw_sets
+        if pooled:
+            pool = RoundPool()
     cm = machine.cost_model
     props = algorithm.properties
     policy = window_policy if window_policy is not None else AdaptiveWindow()
@@ -105,9 +135,21 @@ def run_ikdg(
                 current_level is None or backlog.current_level() <= current_level
             ):
                 _, level_tasks = backlog.pop_level()
-                for task in level_tasks:
-                    window[task] = None
-                    refill_costs.append(cm.worklist_op)
+                if pooled:
+                    for task in level_tasks:
+                        window[task] = pool.add(
+                            task, compute_rw_lists(task, interner)
+                        )
+                        refill_costs.append(cm.worklist_op)
+                else:
+                    for task in level_tasks:
+                        window[task] = None
+                        refill_costs.append(cm.worklist_op)
+        elif pooled:
+            while len(window) < window_size and backlog:
+                task = backlog.pop()
+                window[task] = pool.add(task, compute_rw_lists(task, interner))
+                refill_costs.append(pq_cost(len(backlog)))
         else:
             while len(window) < window_size and backlog:
                 task = backlog.pop()
@@ -131,53 +173,77 @@ def run_ikdg(
         # mark tables implement the read/write distinction: a writer must be
         # earliest among *all* touchers of the location, a reader only needs
         # no earlier *writer* (read-read sharing does not conflict).
-        marks_all: dict[object, Task] = {}
-        marks_writer: dict[object, Task] = {}
-        mark_costs: list[float] = []
-        min_task: Task | None = None
-        min_key = None
-        for task in window:
-            rw = compute_rw_set(task)
-            key = task.sort_key
-            if min_key is None or key < min_key:
-                min_task, min_key = task, key
-            cas = 0
-            write_set = task.write_set
-            for loc in rw:
-                holder = marks_all.get(loc)
-                if holder is None or key < holder.sort_key:
-                    marks_all[loc] = task
-                cas += 1
-                if loc in write_set:
-                    holder = marks_writer.get(loc)
-                    if holder is None or key < holder.sort_key:
-                        marks_writer[loc] = task
-                    cas += 1
-            mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
-        machine.run_phase_scalar(
-            Category.SCHEDULE, mark_costs, chunk_size=chunk_size
-        )
-
         # Phase II: mark owners are sources; apply the safe-source test.
-        def is_mark_owner(task: Task) -> bool:
-            key = task.sort_key
-            write_set = task.write_set
-            for loc in task.rw_set:
-                if loc in write_set:
-                    if marks_all[loc] is not task:
-                        return False
-                else:
-                    writer = marks_writer.get(loc)
-                    if writer is not None and writer.sort_key < key:
-                        return False
-            return True
-
         sources = []
-        check_costs: list[dict[Category, float]] = []
-        for task in window:
-            check_costs.append({Category.SCHEDULE: mark_reset * len(task.rw_set)})
-            if is_mark_owner(task):
-                sources.append(task)
+        reset_costs: list[float] = []
+        safety_costs: list[float] = []
+        if flat:
+            window_tasks = list(window)
+            if pooled:
+                # Entries were pooled when each task entered the window.
+                marked = pooled_mark_round(
+                    pool, window_tasks, list(window.values()),
+                    buffers, rw_visit, mark_cas,
+                )
+            else:
+                caches = [
+                    compute_rw_lists(task, interner) for task in window_tasks
+                ]
+                marked = mark_round(
+                    window_tasks, caches, buffers, rw_visit, mark_cas
+                )
+            machine.run_phase_scalar(
+                Category.SCHEDULE, marked.mark_costs, chunk_size=chunk_size
+            )
+            min_task = window_tasks[marked.min_index]
+            owner = marked.owner
+            reset_costs = [mark_reset * n for n in marked.lens]
+            sources = [t for t, o in zip(window_tasks, owner) if o]
+        else:
+            marks_all: dict[object, Task] = {}
+            marks_writer: dict[object, Task] = {}
+            mark_costs: list[float] = []
+            min_task: Task | None = None
+            min_key = None
+            for task in window:
+                rw = compute_rw_set(task)
+                key = task.sort_key
+                if min_key is None or key < min_key:
+                    min_task, min_key = task, key
+                cas = 0
+                write_set = task.write_set
+                for loc in rw:
+                    holder = marks_all.get(loc)
+                    if holder is None or key < holder.sort_key:
+                        marks_all[loc] = task
+                    cas += 1
+                    if loc in write_set:
+                        holder = marks_writer.get(loc)
+                        if holder is None or key < holder.sort_key:
+                            marks_writer[loc] = task
+                        cas += 1
+                mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
+            machine.run_phase_scalar(
+                Category.SCHEDULE, mark_costs, chunk_size=chunk_size
+            )
+
+            def is_mark_owner(task: Task) -> bool:
+                key = task.sort_key
+                write_set = task.write_set
+                for loc in task.rw_set:
+                    if loc in write_set:
+                        if marks_all[loc] is not task:
+                            return False
+                    else:
+                        writer = marks_writer.get(loc)
+                        if writer is not None and writer.sort_key < key:
+                            return False
+                return True
+
+            for task in window:
+                reset_costs.append(mark_reset * len(task.rw_set))
+                if is_mark_owner(task):
+                    sources.append(task)
         safe: list[Task]
         if props.stable_source:
             safe = sources
@@ -186,7 +252,7 @@ def run_ikdg(
             test_cost = cm.safe_test_base + algorithm.safe_test_work
             safe = []
             for task in sources:
-                check_costs.append({Category.SAFETY_TEST: test_cost})
+                safety_costs.append(test_cost)
                 if algorithm.is_safe(task, view):
                     safe.append(task)
         if not safe:
@@ -194,20 +260,51 @@ def run_ikdg(
                 f"{algorithm.name}: IKDG round with {len(window)} window tasks "
                 f"and {len(sources)} sources produced no safe source"
             )
+        # Reset/safety charges go out as scalar phases: the greedy scheduler
+        # is memoryless given the thread clocks, so consecutive unbarriered
+        # phases assign and charge exactly like one phase over the
+        # concatenated items — minus one dict per item.  Chunked runs keep
+        # the one-phase form: a chunk may span the reset/safety/commit
+        # boundary, which a split would realign.
         if not fuse_test_with_execute:
-            machine.run_phase(check_costs)
-            check_costs = []
+            if chunk_size == 1:
+                machine.run_phase_scalar(
+                    Category.SCHEDULE, reset_costs, barrier=False
+                )
+                machine.run_phase_scalar(Category.SAFETY_TEST, safety_costs)
+            else:
+                machine.run_phase(
+                    [{Category.SCHEDULE: c} for c in reset_costs]
+                    + [{Category.SAFETY_TEST: c} for c in safety_costs],
+                    chunk_size=chunk_size,
+                )
+            reset_costs = []
+            safety_costs = []
 
         # Phase III: execute safe sources, reset marks, route new tasks.
+        # In the fused (stable-source) case the window resets head this
+        # phase's cost list; with chunk_size == 1 they go out as an
+        # unbarriered scalar phase instead — same greedy assignment, same
+        # single barrier (the execute phase's), minus one dict per item.
         safe.sort(key=SORT_KEY)
         worklist_cycles = cm.worklist_cost(machine.num_threads)
-        exec_costs = list(check_costs)
+        exec_costs: list[dict[Category, float]] = []
+        if reset_costs:
+            if chunk_size == 1:
+                machine.run_phase_scalar(
+                    Category.SCHEDULE, reset_costs, barrier=False
+                )
+            else:
+                exec_costs = [{Category.SCHEDULE: c} for c in reset_costs]
         committed: list[tuple[Task, int]] = []  # (task, index into exec_costs)
         for task in safe:
             if recorder is not None:
                 recorder.commit(task, round_no=rounds)
             new_items, exec_cycles = run_task(task)
-            del window[task]
+            if pooled:
+                pool.remove(window.pop(task))
+            else:
+                del window[task]
             cost = {
                 Category.EXECUTE: exec_cycles + worklist_cycles,
                 Category.SCHEDULE: mark_reset * len(task.rw_set),
@@ -220,11 +317,19 @@ def run_ikdg(
                 # priority must be handled within the current window.
                 if level_windows:
                     if algorithm.level(child) == algorithm.level(task):
-                        window[child] = None
+                        window[child] = (
+                            pool.add(child, compute_rw_lists(child, interner))
+                            if pooled
+                            else None
+                        )
                     else:
                         backlog.push(child)
                 elif child.sort_key <= window_max_key:
-                    window[child] = None
+                    window[child] = (
+                        pool.add(child, compute_rw_lists(child, interner))
+                        if pooled
+                        else None
+                    )
                 else:
                     backlog.push(child)
                 cost[Category.SCHEDULE] += pq_cost(len(backlog))
@@ -233,8 +338,9 @@ def run_ikdg(
             executed += 1
         assigned = machine.run_phase(exec_costs, chunk_size=chunk_size)
         attribute_commits(machine, recorder, committed, assigned)
-        marks_all.clear()
-        marks_writer.clear()
+        if not flat:  # flat mark buffers reset themselves sparsely
+            marks_all.clear()
+            marks_writer.clear()
         window_size = policy.next_size(window_size, len(safe), machine.num_threads)
 
     return LoopResult(

@@ -27,7 +27,6 @@ from ..core.task import SORT_KEY, Task
 from ..machine import Category, SimMachine, simulate_async
 from .base import (
     LoopResult,
-    MinTracker,
     attribute_commits,
     bind_execute_task,
     rw_visit_cost,
@@ -51,22 +50,26 @@ def _build_kdg(
     algorithm: OrderedAlgorithm,
     machine: SimMachine,
     kdg: KDG,
-    tracker: MinTracker,
     tasks: list[Task],
 ) -> None:
     """General-BuildTaskGraph: compute rw-sets and wire the initial graph.
 
     With an explicit ``dependences`` hint and no task creation (§4.7, tree
     traversal), rw-set computation is disabled and edges are wired directly.
+    The general path runs the cautious prefix for every task, then inserts
+    the whole set through :meth:`KDG.add_tasks` — one batched conflict
+    sweep under the flat engine, a plain loop under the dict engine, with
+    identical per-task op counts either way.
     """
     cm = machine.cost_model
     if algorithm.dependences is not None and algorithm.properties.no_new_tasks:
         by_item = {task.item: task for task in tasks}
         add_node = kdg.graph.add_node
         add_edge = kdg.graph.add_edge
+        tracker_add = kdg.tracker.add
         for task in tasks:
             add_node(task)
-            tracker.add(task)
+            tracker_add(task)
         graph_add_node = cm.graph_add_node
         graph_add_edge = cm.graph_add_edge
         costs: list[float] = []
@@ -79,15 +82,21 @@ def _build_kdg(
             costs.append(graph_add_node + edge_ops * graph_add_edge)
         machine.run_phase_scalar(Category.SCHEDULE, costs)
         return
-    compute_rw_set = algorithm.compute_rw_set
-    add_task = kdg.add_task
+    if kdg.interner is not None:
+        compute_rw_lists = algorithm.compute_rw_lists
+        interner = kdg.interner
+        for task in tasks:
+            compute_rw_lists(task, interner)
+    else:
+        compute_rw_set = algorithm.compute_rw_set
+        for task in tasks:
+            compute_rw_set(task)
+    ops_list = kdg.add_tasks(tasks)
     rw_visit = cm.rw_visit
-    costs = []
-    for task in tasks:
-        rw = compute_rw_set(task)
-        ops = add_task(task, rw, task.write_set)
-        tracker.add(task)
-        costs.append(rw_visit * max(1, len(rw)) + _ops_cycles(machine, ops))
+    costs = [
+        rw_visit * max(1, len(task.rw_set)) + _ops_cycles(machine, ops)
+        for task, ops in zip(tasks, ops_list)
+    ]
     machine.run_phase_scalar(Category.SCHEDULE, costs)
 
 
@@ -100,6 +109,7 @@ def run_kdg_rna(
     chunk_size: int = 1,
     recorder=None,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> LoopResult:
     """Run ``algorithm`` under the explicit KDG executor.
 
@@ -109,10 +119,16 @@ def run_kdg_rna(
     asynchronous variant, whose dispatch is per-task).  ``recorder`` is an
     optional :class:`repro.oracle.TraceRecorder`.  ``sanitize=True`` diffs
     each body's accesses against its declared rw-set at commit time
-    (observation only).
+    (observation only).  ``engine="flat"`` gives the round-based variant a
+    flat rw-set index over interned location ids with batched subrule-**A**
+    insertion (:mod:`repro.core.flat`); schedules are identical to the dict
+    engine.  The asynchronous variant is event-driven — there is no round
+    to batch — so it always uses the dict index and ignores ``engine``.
     """
     if machine is None:
         machine = SimMachine(1)
+    if engine not in ("dict", "flat"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
     props = algorithm.properties
     if asynchronous is None:
         asynchronous = props.supports_asynchronous
@@ -124,7 +140,8 @@ def run_kdg_rna(
             )
         return _run_async(algorithm, machine, checked, check_safety, recorder, sanitize)
     return _run_rounds(
-        algorithm, machine, checked, check_safety, chunk_size, recorder, sanitize
+        algorithm, machine, checked, check_safety, chunk_size, recorder, sanitize,
+        engine,
     )
 
 
@@ -139,13 +156,24 @@ def _run_rounds(
     chunk_size: int = 1,
     recorder=None,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> LoopResult:
     cm = machine.cost_model
     props = algorithm.properties
     factory = algorithm.task_factory()
-    kdg = KDG(check_safety=check_safety)
-    tracker = MinTracker()
-    _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
+    if engine == "flat":
+        from ..core.flat import LocationInterner
+
+        interner = LocationInterner()
+        kdg = KDG(check_safety=check_safety, interner=interner)
+
+        def compute_rw(task: Task) -> tuple:
+            return algorithm.compute_rw_lists(task, interner)[1]
+    else:
+        kdg = KDG(check_safety=check_safety)
+        compute_rw = algorithm.compute_rw_set
+    tracker = kdg.tracker
+    _build_kdg(algorithm, machine, kdg, factory.make_all(algorithm.initial_items))
 
     sanitizer = None
     if sanitize:
@@ -164,7 +192,14 @@ def _run_rounds(
         rounds += 1
         if sanitizer is not None:
             sanitizer.round_no = rounds
+        # Canonical source order: both engines wire conflict edges in a
+        # representation-specific order, which leaks into the adjacency
+        # (hence sources()) iteration order.  Sorting makes the round's
+        # source view engine-independent; safe sources are re-sorted for
+        # execution anyway, and phase-1 test costs are uniform, so the
+        # simulated schedule is unchanged.
         sources = kdg.sources()
+        sources.sort(key=SORT_KEY)
 
         # Phase 1: safe-source test.
         if props.stable_source:
@@ -199,7 +234,6 @@ def _run_rounds(
                 recorder.commit(w, round_no=rounds)
             new_items, exec_cycles = run_task(w)
             neighbors, ops = kdg.remove_task(w)
-            tracker.remove(w)
             records.append((w, new_items, neighbors))
             committed.append((w, len(exec_costs)))
             exec_costs.append(
@@ -223,11 +257,14 @@ def _run_rounds(
                 for n in neighbors:
                     if n in kdg.graph:
                         refreshed[n] = None
-            for n in refreshed:
+            # Canonical refresh order: the set of refreshed neighbors is
+            # engine-independent but its discovery order is not (it follows
+            # the adjacency iteration order) — sort by the total order.
+            for n in sorted(refreshed, key=SORT_KEY):
                 # Subrule N re-runs the cautious prefix: drop any memoized
                 # rw-set so kinetic algorithms see fresh data.
                 algorithm.invalidate_rw_set(n)
-                rw = algorithm.compute_rw_set(n)
+                rw = compute_rw(n)
                 ops = kdg.refresh_task(n, rw)
                 update_costs.append(
                     {
@@ -236,17 +273,25 @@ def _run_rounds(
                     }
                 )
         if not props.no_new_tasks:
+            # Subrule A, batched: create and visit every child first, then
+            # insert the whole round's batch at once — one conflict sweep
+            # under the flat engine, op-count identical to one-at-a-time
+            # insertion either way.
+            children: list[Task] = []
             for parent, new_items, _ in records:
                 for item in new_items:
                     child = factory.make(item)
                     if recorder is not None:
                         recorder.push(parent, child)
-                    rw = algorithm.compute_rw_set(child)
-                    ops = kdg.add_task(child, rw, child.write_set)
-                    tracker.add(child)
+                    compute_rw(child)
+                    children.append(child)
+            if children:
+                for child, ops in zip(children, kdg.add_tasks(children)):
                     update_costs.append(
                         {
-                            Category.SCHEDULE: rw_visit_cost(algorithm, machine, len(rw))
+                            Category.SCHEDULE: rw_visit_cost(
+                                algorithm, machine, len(child.rw_set)
+                            )
                             + _ops_cycles(machine, ops)
                         }
                     )
@@ -283,8 +328,8 @@ def _run_async(
     props = algorithm.properties
     factory = algorithm.task_factory()
     kdg = KDG(check_safety=check_safety)
-    tracker = MinTracker()
-    _build_kdg(algorithm, machine, kdg, tracker, factory.make_all(algorithm.initial_items))
+    tracker = kdg.tracker
+    _build_kdg(algorithm, machine, kdg, factory.make_all(algorithm.initial_items))
 
     sanitizer = None
     if sanitize:
@@ -343,7 +388,6 @@ def _run_async(
         new_items, exec_cycles = run_task(task)
         breakdown[Category.EXECUTE] += exec_cycles
         neighbors, ops = kdg.remove_task(task)
-        tracker.remove(task)
         breakdown[Category.SCHEDULE] += (
             ops.node_ops * graph_add_node
             + ops.edge_ops * graph_add_edge
@@ -360,7 +404,6 @@ def _run_async(
                 recorder.push(task, child)
             rw = compute_rw_set(child)
             child_ops = kdg.add_task(child, rw, child.write_set)
-            tracker.add(child)
             children.append(child)
             breakdown[Category.SCHEDULE] += rw_visit * max(1, len(rw)) + (
                 child_ops.node_ops * graph_add_node

@@ -28,12 +28,15 @@ def run_level_by_level(
     checked: bool = False,
     recorder=None,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> LoopResult:
     """Run ``algorithm`` level by level, recording level statistics.
 
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
     ``sanitize=True`` diffs each body's accesses against its declared
-    rw-set at commit time (observation only).
+    rw-set at commit time (observation only).  ``engine="flat"`` runs each
+    level's marking sub-rounds as vectorized kernels over interned location
+    ids (:mod:`repro.core.flat`), bit-identical to the dict engine.
     """
     if machine is None:
         machine = SimMachine(1)
@@ -41,6 +44,16 @@ def run_level_by_level(
         raise ValueError(
             f"{algorithm.name}: level-by-level execution requires monotonicity"
         )
+    if engine not in ("dict", "flat"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
+    flat = engine == "flat"
+    if flat:
+        from ..core.flat import LocationInterner, MarkBuffers, mark_round
+
+        interner = LocationInterner()
+        buffers = MarkBuffers()
+        compute_rw_lists = algorithm.compute_rw_lists
+        memo_ok = algorithm.properties.structure_based_rw_sets
     cm = machine.cost_model
     factory = algorithm.task_factory()
     worklist: OrderedWorklist[Task] = OrderedWorklist(
@@ -84,44 +97,66 @@ def run_level_by_level(
                 sanitizer.round_no = sub_rounds
             # Marking sub-round: owners of all their marks execute (readers
             # only need no earlier writer — same scheme as the IKDG).
-            marks_all: dict[object, Task] = {}
-            marks_writer: dict[object, Task] = {}
-            mark_costs: list[float] = []
-            for task in level_tasks:
-                rw = compute_rw_set(task)
-                key = task.sort_key
-                cas = 0
-                write_set = task.write_set
-                for loc in rw:
-                    holder = marks_all.get(loc)
-                    if holder is None or key < holder.sort_key:
-                        marks_all[loc] = task
-                    cas += 1
-                    if loc in write_set:
-                        holder = marks_writer.get(loc)
-                        if holder is None or key < holder.sort_key:
-                            marks_writer[loc] = task
-                        cas += 1
-                mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
-            machine.run_phase_scalar(Category.SCHEDULE, mark_costs)
-
-            def is_mark_owner(task: Task) -> bool:
-                key = task.sort_key
-                write_set = task.write_set
-                for loc in task.rw_set:
-                    if loc in write_set:
-                        if marks_all[loc] is not task:
-                            return False
-                    else:
-                        writer = marks_writer.get(loc)
-                        if writer is not None and writer.sort_key < key:
-                            return False
-                return True
-
             winners = []
             losers = []
-            for t in level_tasks:
-                (winners if is_mark_owner(t) else losers).append(t)
+            if flat:
+                if memo_ok:
+                    # Tasks are created fresh for this run, so a non-None
+                    # flat cache was necessarily built here, with this
+                    # interner, and structure-based rw-sets never go stale.
+                    caches = []
+                    c_append = caches.append
+                    for task in level_tasks:
+                        cache = task.flat_cache
+                        if cache is None:
+                            cache = compute_rw_lists(task, interner)
+                        c_append(cache)
+                else:
+                    caches = [
+                        compute_rw_lists(task, interner) for task in level_tasks
+                    ]
+                marked = mark_round(level_tasks, caches, buffers, rw_visit, mark_cas)
+                machine.run_phase_scalar(Category.SCHEDULE, marked.mark_costs)
+                owner = marked.owner
+                winners = [t for t, o in zip(level_tasks, owner) if o]
+                losers = [t for t, o in zip(level_tasks, owner) if not o]
+            else:
+                marks_all: dict[object, Task] = {}
+                marks_writer: dict[object, Task] = {}
+                mark_costs: list[float] = []
+                for task in level_tasks:
+                    rw = compute_rw_set(task)
+                    key = task.sort_key
+                    cas = 0
+                    write_set = task.write_set
+                    for loc in rw:
+                        holder = marks_all.get(loc)
+                        if holder is None or key < holder.sort_key:
+                            marks_all[loc] = task
+                        cas += 1
+                        if loc in write_set:
+                            holder = marks_writer.get(loc)
+                            if holder is None or key < holder.sort_key:
+                                marks_writer[loc] = task
+                            cas += 1
+                    mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
+                machine.run_phase_scalar(Category.SCHEDULE, mark_costs)
+
+                def is_mark_owner(task: Task) -> bool:
+                    key = task.sort_key
+                    write_set = task.write_set
+                    for loc in task.rw_set:
+                        if loc in write_set:
+                            if marks_all[loc] is not task:
+                                return False
+                        else:
+                            writer = marks_writer.get(loc)
+                            if writer is not None and writer.sort_key < key:
+                                return False
+                    return True
+
+                for t in level_tasks:
+                    (winners if is_mark_owner(t) else losers).append(t)
             winners.sort(key=SORT_KEY)
             exec_costs = []
             committed: list[tuple[Task, int]] = []
@@ -156,8 +191,9 @@ def run_level_by_level(
                 level_count += 1
             assigned = machine.run_phase(exec_costs)
             attribute_commits(machine, recorder, committed, assigned)
-            marks_all.clear()
-            marks_writer.clear()
+            if not flat:  # flat mark buffers reset themselves sparsely
+                marks_all.clear()
+                marks_writer.clear()
             level_tasks = next_batch
         tasks_per_level.append(level_count)
 

@@ -31,6 +31,7 @@ def run_serial(
     baseline: str = "heap",
     recorder=None,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> LoopResult:
     """Execute ``algorithm`` serially in priority order.
 
@@ -38,8 +39,11 @@ def run_serial(
     one attached, rw-sets are computed (uncharged, as in checked mode) so
     the reference trace carries conflict information.  ``sanitize=True``
     diffs each body's actual accesses against the declared rw-set
-    (observation only; charges no cycles).
+    (observation only; charges no cycles).  ``engine`` is accepted for
+    executor-signature uniformity and ignored: the serial baseline keeps no
+    rw-set index to flatten.
     """
+    del engine  # no rounds, no index — nothing for the flat engine to do
     if machine is None:
         machine = SimMachine(1)
     if machine.num_threads != 1:

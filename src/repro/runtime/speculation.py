@@ -311,6 +311,7 @@ def run_speculation(
     checked: bool = False,
     recorder=None,
     sanitize: bool = False,
+    engine: str = "dict",
 ) -> LoopResult:
     """Run ``algorithm`` under the speculative executor.
 
@@ -318,8 +319,11 @@ def run_speculation(
     are emitted in commit order during the replay (in-order commit), using
     the rw-sets captured by the serial trace pass.  ``sanitize=True`` diffs
     each body's accesses against its declared rw-set during that trace pass
-    (observation only).
+    (observation only).  ``engine`` is accepted for executor-signature
+    uniformity and ignored: the replay works off the captured trace, not a
+    live rw-set index.
     """
+    del engine  # trace-replay executor — no live index to flatten
     if machine is None:
         machine = SimMachine(1)
     sanitizer = None

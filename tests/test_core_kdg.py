@@ -161,3 +161,42 @@ class TestSafetyAndLiveness:
 
     def test_liveness_trivial_when_empty(self):
         KDG().assert_liveness([])
+
+
+class TestMinQueriesAvoidNodeScans:
+    """``earliest``/``assert_liveness`` run off the internal min-tracker;
+    regression guard against the old O(n) full-graph scans per round."""
+
+    @staticmethod
+    def _counting_kdg(n_tasks):
+        kdg = KDG()
+        tasks = [Task(f"t{i}", i, i) for i in range(n_tasks)]
+        for t in tasks:
+            kdg.add_task(t, [f"loc{t.tid}"])
+        visits = {"count": 0}
+        real_nodes = kdg.graph.nodes
+
+        def counting_nodes():
+            visits["count"] += 1
+            return real_nodes()
+
+        kdg.graph.nodes = counting_nodes
+        return kdg, tasks, visits
+
+    def test_earliest_visits_no_nodes(self):
+        kdg, tasks, visits = self._counting_kdg(16)
+        assert kdg.earliest() is tasks[0]
+        kdg.remove_task(tasks[0])
+        assert kdg.earliest() is tasks[1]
+        assert visits["count"] == 0
+
+    def test_liveness_success_path_visits_no_nodes(self):
+        kdg, tasks, visits = self._counting_kdg(16)
+        kdg.assert_liveness([tasks[0]])
+        assert visits["count"] == 0
+
+    def test_liveness_failure_path_still_diagnoses(self):
+        kdg, tasks, visits = self._counting_kdg(4)
+        with pytest.raises(LivenessViolation, match="1 earliest-priority"):
+            kdg.assert_liveness([tasks[3]])
+        assert visits["count"] == 1  # scan only to build the message

@@ -1,0 +1,481 @@
+"""Flat-array kinetic engine: interner, marking kernel, engine equivalence.
+
+Three layers of defense for the ``engine="flat"`` option:
+
+* unit tests for :class:`LocationInterner` (dense, collision-free, stable
+  ids over mixed hashable location types; per-task caching semantics);
+* a randomized differential test pitting :func:`mark_round` against a
+  straight port of the dict executor's Phase I/II loops;
+* whole-app equivalence: every app × every round-based executor must
+  produce bit-identical simulated cycles, commit counts, rounds and final
+  state snapshots under both engines (the tentpole's schedule-invariance
+  contract).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import SimMachine
+from repro.apps import APPS
+from repro.core.flat import FlatRWIndex, LocationInterner, MarkBuffers, mark_round
+from repro.core.flat.kernels import UNMARKED
+from repro.core.task import Task
+
+from .helpers import TINY_STATES
+
+
+class TestLocationInterner:
+    def test_dense_collision_free_over_mixed_types(self):
+        interner = LocationInterner()
+        locations = [
+            ("vertex", 17),
+            "row:3",
+            42,
+            ("ball", 3, "x"),
+            frozenset({1, 2}),
+            ("vertex", 18),
+            0,
+            "row:4",
+        ]
+        ids = [interner.intern(loc) for loc in locations]
+        # Dense: exactly 0..n-1, each allocated in first-sight order.
+        assert ids == list(range(len(locations)))
+        assert len(interner) == len(locations)
+        # Collision-free inverse.
+        for loc, dense in zip(locations, ids):
+            assert interner.location_of(dense) == loc
+
+    def test_ids_stable_under_churn(self):
+        interner = LocationInterner()
+        first = {loc: interner.intern(loc) for loc in ["a", ("b", 1), 7]}
+        # Interleave thousands of new locations...
+        interner.intern_all([("churn", i) for i in range(2000)])
+        # ...and the original ids are unchanged (never recycled).
+        for loc, dense in first.items():
+            assert interner.intern(loc) == dense
+        assert len(interner) == 3 + 2000
+
+    def test_intern_all_matches_intern(self):
+        interner = LocationInterner()
+        locs = [("x", i % 5) for i in range(12)]
+        arr = interner.intern_all(locs)
+        assert arr.dtype == np.int32
+        assert arr.tolist() == [interner.intern(loc) for loc in locs]
+        assert len(interner) == 5
+
+    def _task(self, rw, writes, tid=0):
+        task = Task(item=None, priority=tid, tid=tid)
+        task.rw_set = tuple(rw)
+        task.write_set = frozenset(writes)
+        task.rw_valid = True
+        return task
+
+    def test_task_lists_cached_and_arrays_agree(self):
+        interner = LocationInterner()
+        task = self._task(["a", ("b", 1), "c"], {"a", "c"})
+        id_list, w_list = interner.task_lists(task)
+        assert w_list == [True, False, True]
+        ids, wmask = interner.task_arrays(task)
+        assert ids.tolist() == id_list
+        assert wmask.tolist() == w_list
+        # Same rw-set tuple → cache hit, identical list objects.
+        assert interner.task_lists(task)[0] is id_list
+
+    def test_cache_misses_on_rw_set_refresh_and_interner_change(self):
+        interner = LocationInterner()
+        task = self._task(["a", "b"], {"a"})
+        id_list = interner.task_lists(task)[0]
+        # Kinetic refresh allocates a fresh tuple → miss, new ids appended.
+        task.rw_set = ("a", "d")
+        assert interner.task_lists(task)[0] is not id_list
+        assert interner.task_lists(task)[0] == [0, 2]
+        # A different interner never sees another run's cache.
+        other = LocationInterner()
+        assert other.task_lists(task)[0] == [0, 1]
+
+
+class TestFlatRWIndexSlots:
+    def test_slot_recycling_and_order_preserving_removal(self):
+        index = FlatRWIndex()
+        tasks = [Task(None, i, i) for i in range(4)]
+        for i, task in enumerate(tasks):
+            assert index.add(task, [0, i + 1], [True, False]) == 3
+        assert [s for s, _ in [index.bucket(0)]][0] == [0, 1, 2, 3]
+        index.remove(tasks[1])
+        # Shift-delete keeps the survivors in insertion order.
+        assert index.bucket(0)[0] == [0, 2, 3]
+        # Freed slot is recycled by the next add.
+        late = Task(None, 9, 9)
+        index.add(late, [0], [False])
+        assert index.slot_of(late) == 1
+        assert index.bucket(0) == ([0, 2, 3, 1], [True, True, True, False])
+        assert index.task_of_slot(1) is late
+        with pytest.raises(ValueError):
+            index.add(late, [0], [False])
+
+
+def _mark_round_reference(tasks, rw_visit, mark_cas):
+    """Straight port of the IKDG dict executor's Phase I/II loops."""
+    marks_all = {}
+    marks_writer = {}
+    mark_costs = []
+    min_task = None
+    for task in tasks:
+        if min_task is None or task.sort_key < min_task.sort_key:
+            min_task = task
+        cas = 0
+        for loc in task.rw_set:
+            holder = marks_all.get(loc)
+            if holder is None or task.sort_key < holder.sort_key:
+                marks_all[loc] = task
+            cas += 1
+            if loc in task.write_set:
+                holder = marks_writer.get(loc)
+                if holder is None or task.sort_key < holder.sort_key:
+                    marks_writer[loc] = task
+                cas += 1
+        mark_costs.append(rw_visit * max(1, len(task.rw_set)) + mark_cas * cas)
+
+    def owns(task):
+        for loc in task.rw_set:
+            if loc in task.write_set:
+                if marks_all[loc] is not task:
+                    return False
+            else:
+                writer = marks_writer.get(loc)
+                if writer is not None and writer.sort_key < task.sort_key:
+                    return False
+        return True
+
+    return [owns(t) for t in tasks], mark_costs, tasks.index(min_task)
+
+
+class TestMarkRound:
+    # cutoff=0 forces the vector body, a huge cutoff forces the scalar
+    # body: both must be exact against the dict reference.
+    @pytest.mark.parametrize("cutoff", [0, 10**9], ids=["vector", "scalar"])
+    def test_differential_vs_dict_reference(self, cutoff, monkeypatch):
+        from repro.core.flat import kernels
+
+        monkeypatch.setattr(kernels, "VECTOR_CUTOFF", cutoff)
+        rng = random.Random(42)
+        interner = LocationInterner()
+        buffers = MarkBuffers()
+        rw_visit, mark_cas = 3.0, 7.0
+        for trial in range(120):
+            w = rng.randrange(1, 24)
+            tuple_pr = rng.random() < 0.5  # one priority kind per round
+            tasks = []
+            for tid in range(w):
+                pr = rng.randrange(6)
+                task = Task(None, (pr, rng.randrange(3)) if tuple_pr else pr, tid)
+                n = rng.randrange(0, 6)
+                rw = tuple(dict.fromkeys(("loc", rng.randrange(40)) for _ in range(n)))
+                task.rw_set = rw
+                task.write_set = frozenset(
+                    loc for loc in rw if rng.random() < 0.5
+                )
+                tasks.append(task)
+            caches = []
+            for t in tasks:
+                interner.task_lists(t)
+                caches.append(t.flat_cache)
+            got = mark_round(tasks, caches, buffers, rw_visit, mark_cas)
+            want_owner, want_costs, want_min = _mark_round_reference(
+                tasks, rw_visit, mark_cas
+            )
+            assert got.owner == want_owner, f"trial {trial}"
+            assert got.mark_costs == want_costs, f"trial {trial}"
+            assert got.min_index == want_min, f"trial {trial}"
+            assert got.lens == [len(t.rw_set) for t in tasks]
+        # Sparse reset left no stale marks behind (vector body only; the
+        # scalar body never touches the persistent buffers).
+        assert (buffers.marks_all == UNMARKED).all()
+        assert (buffers.marks_writer == UNMARKED).all()
+
+    def test_empty_rw_sets_own_vacuously(self):
+        tasks = [Task(None, i, i) for i in range(3)]
+        interner = LocationInterner()
+        for t in tasks:
+            interner.task_lists(t)
+        got = mark_round(tasks, [t.flat_cache for t in tasks], MarkBuffers(), 2.0, 5.0)
+        assert all(got.owner)
+        assert got.mark_costs == [2.0, 2.0, 2.0]  # rw_visit * max(1, 0)
+
+
+ROUND_EXECUTORS = ["ikdg", "kdg-rna", "level-by-level"]
+
+
+def _run(spec, state, impl, engine):
+    result = spec.run(state, impl, SimMachine(4), engine=engine)
+    return (
+        result.elapsed_cycles,
+        result.executed,
+        result.rounds,
+        result.machine.stats.breakdown(),
+        spec.snapshot(state),
+    )
+
+
+@pytest.mark.parametrize("impl", ROUND_EXECUTORS)
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_flat_engine_bit_identical_across_apps(app, impl):
+    spec = APPS[app]
+    make_state = TINY_STATES[app]
+    assert _run(spec, make_state(), impl, "dict") == _run(
+        spec, make_state(), impl, "flat"
+    )
+
+
+def test_flat_engine_bit_identical_seeded_billiards_small():
+    # One paper-scale point on top of the tiny matrix: the billiards app is
+    # the most kinetic workload (rw-sets refresh every commit).
+    spec = APPS["billiards"]
+    assert _run(spec, spec.make_small(), "ikdg", "dict") == _run(
+        spec, spec.make_small(), "ikdg", "flat"
+    )
+
+
+class TestInterningRWSetContext:
+    """The flat-engine visitor context must mirror ``RWSetContext``."""
+
+    def test_randomized_parity_with_dict_context(self):
+        from repro.core.context import InterningRWSetContext, RWSetContext
+
+        rng = random.Random(7)
+        interner = LocationInterner()
+        for trial in range(200):
+            ops = [
+                (rng.random() < 0.4, ("loc", rng.randrange(8)))
+                for _ in range(rng.randrange(0, 12))
+            ]
+            ref = RWSetContext()
+            ctx = InterningRWSetContext(interner)
+            for is_write, loc in ops:
+                (ref.write if is_write else ref.read)(loc)
+                (ctx.write if is_write else ctx.read)(loc)
+            # Pre-finalize property views agree with the dict context.
+            assert ctx.rw_set == ref.rw_set, f"trial {trial}"
+            assert ctx.write_set == ref.write_set, f"trial {trial}"
+            task = Task(None, 0, trial)
+            ctx.finalize(task)
+            assert task.rw_set == ref.rw_set
+            assert task.write_set == ref.write_set
+            assert task.rw_valid
+            bound, rw, ids, w_list, wids, rids = task.flat_cache
+            assert bound is interner
+            assert rw is task.rw_set
+            # Dense ids line up with the interner, writer flags with the
+            # write-set, and the split views partition ids in order.
+            assert ids == [interner.intern(loc) for loc in rw]
+            assert w_list == [loc in task.write_set for loc in rw]
+            assert wids == [i for i, w in zip(ids, w_list) if w]
+            assert rids == [i for i, w in zip(ids, w_list) if not w]
+
+    def test_read_upgraded_to_write_refilters_split_views(self):
+        from repro.core.context import InterningRWSetContext
+
+        ctx = InterningRWSetContext(LocationInterner())
+        ctx.read("a")
+        ctx.write("b")
+        ctx.write("a")  # upgrade: 'a' keeps its first-declaration position
+        task = Task(None, 0, 0)
+        ctx.finalize(task)
+        assert task.rw_set == ("a", "b")
+        assert task.write_set == frozenset({"a", "b"})
+        _, _, ids, w_list, wids, rids = task.flat_cache
+        assert w_list == [True, True]
+        assert wids == ids
+        assert rids == []
+
+
+def _pool_tasks(rng, interner, w, *, numeric=True, max_loc=40):
+    tasks = []
+    for tid in range(w):
+        pr = rng.randrange(6)
+        task = Task(None, pr if numeric else (pr, tid), tid)
+        n = rng.randrange(0, 6)
+        rw = tuple(dict.fromkeys(("loc", rng.randrange(max_loc)) for _ in range(n)))
+        task.rw_set = rw
+        task.write_set = frozenset(loc for loc in rw if rng.random() < 0.5)
+        interner.task_lists(task)
+        tasks.append(task)
+    return tasks
+
+
+class TestRoundPool:
+    def _pooled(self, pool, tasks, slots, rw_visit=3.0, mark_cas=7.0):
+        from repro.core.flat.pool import pooled_mark_round
+
+        return pooled_mark_round(
+            pool, tasks, slots, MarkBuffers(), rw_visit, mark_cas
+        )
+
+    @pytest.mark.parametrize("cutoff", [0, 10**9], ids=["vector", "scalar"])
+    def test_matches_mark_round_under_churn(self, cutoff, monkeypatch):
+        # Random add/remove churn across rounds: the pooled kernel must
+        # equal the per-round kernel on the same window, slot recycling,
+        # deferred flushes and compaction notwithstanding.
+        from repro.core.flat import kernels, pool as pool_mod
+        from repro.core.flat.pool import RoundPool
+
+        monkeypatch.setattr(kernels, "VECTOR_CUTOFF", cutoff)
+        monkeypatch.setattr(pool_mod, "VECTOR_CUTOFF", cutoff)
+        rng = random.Random(99)
+        interner = LocationInterner()
+        pool = RoundPool()
+        live: list[tuple[Task, int]] = []
+        for _ in range(30):
+            for task in _pool_tasks(rng, interner, rng.randrange(1, 8)):
+                live.append((task, pool.add(task, task.flat_cache)))
+            rng.shuffle(live)
+            for _ in range(rng.randrange(0, len(live))):
+                _, slot = live.pop()
+                pool.remove(slot)
+            if not live:
+                continue
+            tasks = [t for t, _ in live]
+            slots = [s for _, s in live]
+            got = self._pooled(pool, tasks, slots)
+            want = mark_round(
+                tasks, [t.flat_cache for t in tasks], MarkBuffers(), 3.0, 7.0
+            )
+            assert got == want
+
+    def test_scalar_rounds_never_materialize_arrays(self):
+        from repro.core.flat.pool import RoundPool
+
+        rng = random.Random(1)
+        interner = LocationInterner()
+        pool = RoundPool()
+        tasks = _pool_tasks(rng, interner, 6)
+        slots = [pool.add(t, t.flat_cache) for t in tasks]
+        self._pooled(pool, tasks, slots)
+        # Below the vector cutoff nothing was flushed: the entry pool is
+        # untouched and the insertions are still buffered.
+        assert pool.top == 0
+        assert pool._pending_slots
+
+    def test_recycled_slot_with_pending_flush_lays_out_current_entries(self):
+        from repro.core.flat.pool import RoundPool
+
+        interner = LocationInterner()
+        pool = RoundPool()
+        a = Task(None, 0, 0)
+        a.rw_set = (("loc", 0), ("loc", 1), ("loc", 2))
+        a.write_set = frozenset({("loc", 0)})
+        interner.task_lists(a)
+        slot_a = pool.add(a, a.flat_cache)
+        pool.remove(slot_a)  # still pending: flush was never forced
+        b = Task(None, 1, 1)
+        b.rw_set = (("loc", 3),)
+        b.write_set = frozenset({("loc", 3)})
+        interner.task_lists(b)
+        slot_b = pool.add(b, b.flat_cache)
+        assert slot_b == slot_a  # recycled while its first add is pending
+        pool.flush()
+        # The slot's metadata describes the *current* occupant, and its
+        # entry block holds b's single location, not a stale 3-long block.
+        assert int(pool.lens[slot_b]) == 1
+        assert int(pool.wlens[slot_b]) == 1
+        assert int(pool.tid[slot_b]) == 1
+        start = int(pool.starts[slot_b])
+        assert int(pool.loc[start]) == interner.intern(("loc", 3))
+
+    def test_non_numeric_priority_demotes_to_scalar_kernel(self):
+        from repro.core.flat import pool as pool_mod
+        from repro.core.flat.pool import RoundPool
+
+        rng = random.Random(5)
+        interner = LocationInterner()
+        pool = RoundPool()
+        tasks = _pool_tasks(rng, interner, 10, numeric=False)
+        slots = [pool.add(t, t.flat_cache) for t in tasks]
+        assert not pool.numeric
+        got = self._pooled(pool, tasks, slots)
+        want = mark_round(
+            tasks, [t.flat_cache for t in tasks], MarkBuffers(), 3.0, 7.0
+        )
+        assert got == want
+        # Exact-float demotion: a 2**53+1 int priority can't round-trip.
+        pool2 = RoundPool()
+        huge = Task(None, 2**53 + 1, 0)
+        huge.rw_set = ()
+        huge.write_set = frozenset()
+        interner.task_lists(huge)
+        pool2.add(huge, huge.flat_cache)
+        assert not pool2.numeric
+
+
+class TestFlatBatchBuild:
+    """Virgin-index sort-and-sweep vs. one-at-a-time insertion."""
+
+    def _graph_shape(self, kdg, tasks):
+        graph = kdg.graph
+        return [
+            (
+                sorted(t.tid for t in graph.predecessors(task)),
+                sorted(t.tid for t in graph.successors(task)),
+            )
+            for task in tasks
+        ]
+
+    def _make(self, specs):
+        tasks = []
+        for tid, (priority, rw, writes) in enumerate(specs):
+            task = Task(None, priority, tid)
+            task.rw_set = tuple(rw)
+            task.write_set = frozenset(writes)
+            tasks.append(task)
+        return tasks
+
+    def _check_batch_equals_sequential(self, specs):
+        from repro.core.kdg import KDG
+
+        batch_kdg = KDG(interner=LocationInterner())
+        batch_tasks = self._make(specs)
+        for t in batch_tasks:
+            batch_kdg.interner.task_lists(t)
+        batch_ops = batch_kdg.add_tasks(batch_tasks)
+
+        seq_kdg = KDG(interner=LocationInterner())
+        seq_tasks = self._make(specs)
+        seq_ops = []
+        for t in seq_tasks:
+            seq_kdg.interner.task_lists(t)
+            # One-task batches take the insertion-interleaved path.
+            seq_ops.extend(seq_kdg.add_tasks([t]))
+
+        assert batch_ops == seq_ops
+        assert self._graph_shape(batch_kdg, batch_tasks) == self._graph_shape(
+            seq_kdg, seq_tasks
+        )
+
+    def test_randomized_against_sequential_insertion(self):
+        rng = random.Random(2024)
+        for _ in range(40):
+            n = rng.randrange(16, 40)  # >= 16 takes the virgin build
+            specs = []
+            for _ in range(n):
+                rw = tuple(
+                    dict.fromkeys(("loc", rng.randrange(12)) for _ in range(4))
+                )
+                writes = frozenset(loc for loc in rw if rng.random() < 0.4)
+                specs.append((rng.randrange(8), rw, writes))
+            self._check_batch_equals_sequential(specs)
+
+    def test_group_with_even_writer_count(self):
+        # Regression: np.add.reduceat over the writer bits yields int64
+        # *counts*; a bitwise AND against the size mask silently dropped
+        # groups whose writer count was even (1 & 2 == 0).
+        shared = ("shared", 0)
+        specs = []
+        for tid in range(20):
+            rw = [("private", tid), shared]
+            writes = {shared} if tid < 2 else set()  # exactly 2 writers
+            specs.append((tid, rw, writes))
+        self._check_batch_equals_sequential(specs)

@@ -1,0 +1,117 @@
+"""Property-based tests for the bipartite rw-set indexes.
+
+Random add/remove interleavings against a naive reference model, run
+simultaneously through the dict :class:`repro.core.rwsets.RWSetIndex` and
+the flat :class:`repro.core.flat.index.FlatRWIndex` (with a shared
+:class:`repro.core.flat.interner.LocationInterner`).  Both must agree with
+the model — and with each other — on membership, bucket contents and
+order, edge-op counts, and the empty state after a full round trip.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flat.index import FlatRWIndex
+from repro.core.flat.interner import LocationInterner
+from repro.core.rwsets import RWSetIndex
+from repro.core.task import Task
+
+# A tiny location alphabet forces heavy sharing; mixed types exercise the
+# interner's hashable-anything contract.
+LOCATIONS = st.sampled_from(
+    ["x", "y", ("edge", 0), ("edge", 1), 7, ("cell", 2, 3)]
+)
+
+RW_SETS = st.lists(LOCATIONS, min_size=0, max_size=4, unique=True)
+
+# An op is ("add", rw_set, n_writes) | ("remove", index): the index selects
+# one of the currently registered tasks (modulo their count), and the first
+# ``n_writes`` locations of the rw-set are declared written.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), RW_SETS, st.integers(min_value=0, max_value=4)),
+        st.tuples(st.just("remove"), st.integers(min_value=0, max_value=63)),
+    ),
+    max_size=60,
+)
+
+
+def _make_task(tid: int, rw: list, n_writes: int) -> Task:
+    task = Task(item=tid, priority=tid, tid=tid)
+    task.rw_set = tuple(rw)
+    task.write_set = frozenset(rw[:n_writes])
+    task.rw_valid = True
+    return task
+
+
+class TestIndexModel:
+    @given(ops=OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_dict_and_flat_match_naive_model(self, ops):
+        dict_index = RWSetIndex()
+        interner = LocationInterner()
+        flat_index = FlatRWIndex()
+        # Model: insertion-ordered list of live tasks.
+        model: list[Task] = []
+        tid = 0
+        for op in ops:
+            if op[0] == "add":
+                task = _make_task(tid, op[1], op[2])
+                tid += 1
+                ids, wmask = interner.task_arrays(task)
+                d_ops = dict_index.add(task, task.rw_set)
+                f_ops = flat_index.add(task, ids, wmask)
+                assert d_ops == f_ops == 1 + len(task.rw_set)
+                model.append(task)
+            else:
+                if not model:
+                    continue
+                task = model.pop(op[1] % len(model))
+                d_ops = dict_index.remove(task)
+                f_ops = flat_index.remove(task)
+                assert d_ops == f_ops == 1 + len(task.rw_set)
+
+            # Membership and size agree everywhere.
+            assert len(dict_index) == len(flat_index) == len(model)
+            for t in model:
+                assert t in dict_index
+                assert t in flat_index
+                assert dict_index.rw_set(t) == t.rw_set
+            # Per-location buckets hold the same tasks in insertion order
+            # (FlatRWIndex's shift-delete preserves it; RWSetIndex's dict
+            # buckets do natively).
+            live_locs = {loc for t in model for loc in t.rw_set}
+            for loc in live_locs:
+                expected = [t for t in model if loc in t.rw_set]
+                expected.sort(key=lambda t: t.tid)
+                assert dict_index.tasks_at(loc) == expected
+                assert flat_index.tasks_at(interner.intern(loc)) == expected
+            # tasks_sharing: distinct tasks over any subset of locations,
+            # including the single-location short-circuit path.
+            for probe in [(), *[(loc,) for loc in live_locs], tuple(live_locs)]:
+                expected = [t for t in model if set(probe) & set(t.rw_set)]
+                got = dict_index.tasks_sharing(probe)
+                assert sorted(got, key=lambda t: t.tid) == expected
+                assert len(got) == len(set(got))
+
+        # Full round trip: removing every survivor leaves both indexes empty.
+        for task in list(model):
+            assert dict_index.remove(task) == flat_index.remove(task)
+        assert len(dict_index) == len(flat_index) == 0
+        assert dict_index.tasks_sharing(("x",)) == []
+        assert flat_index.tasks_at(interner.intern("x")) == []
+
+    def test_tasks_sharing_single_location_short_circuit(self):
+        """The tuple-of-one fast path returns the bucket verbatim."""
+        index = RWSetIndex()
+        t1 = _make_task(0, ["x", "y"], 1)
+        t2 = _make_task(1, ["x"], 0)
+        index.add(t1, t1.rw_set)
+        index.add(t2, t2.rw_set)
+        assert index.tasks_sharing(("x",)) == [t1, t2]
+        assert index.tasks_sharing(("y",)) == [t1]
+        assert index.tasks_sharing(("z",)) == []
+        # General path still deduplicates across buckets.
+        assert index.tasks_sharing(("x", "y")) == [t1, t2]
