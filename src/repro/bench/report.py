@@ -8,10 +8,12 @@
       "repeats": int,
       "engine": "dict" | "flat",     # rw-set index engine used for the run;
                                      # comparisons refuse mismatched engines
+      "backend": "inline" | "mp",    # mark-phase execution backend; also
+      "workers": int | null,         # refused on mismatch
       "host": {"python": "...", "platform": "...", "numpy": "..."},
       "benchmarks": {
         "<name>": {
-          "group": "hotpath" | "e2e",
+          "group": "hotpath" | "e2e" | "mp",
           "wall_seconds": float,     # best-of-repeats wall time
           "ops": float, "per_op_ns": float,
           "all_seconds": [float, ...],
@@ -65,10 +67,24 @@ def run_suite(
     name_filter: str | None = None,
     verbose: bool = True,
     engine: str = "dict",
+    backend: str = "inline",
+    workers: int = 2,
 ) -> dict[str, Any]:
-    """Run (a filtered subset of) the suite; returns the results document."""
+    """Run (a filtered subset of) the suite; returns the results document.
+
+    ``backend="mp"`` requires ``engine="flat"`` and runs the executor
+    benches' mark rounds on one shared pool of ``workers`` worker
+    processes (spawned once, closed after the last bench); the dedicated
+    ``exec/mp_scaling/*`` benches manage their own backends and ignore it.
+    """
     if engine not in ("dict", "flat"):
         raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
+    if backend not in ("inline", "mp"):
+        raise ValueError(f"unknown backend {backend!r} (expected 'inline' or 'mp')")
+    if backend == "mp" and engine != "flat":
+        raise ValueError(
+            f"backend='mp' requires engine='flat' (got engine={engine!r})"
+        )
     if repeats is None:
         repeats = 3 if quick else 5
     selected = {
@@ -78,19 +94,31 @@ def run_suite(
     }
     if not selected:
         raise ValueError(f"no benchmarks match filter {name_filter!r}")
+    shared_backend: Any = "inline"
+    if backend == "mp":
+        from ..runtime.mp_backend import MPMarkBackend
+
+        shared_backend = MPMarkBackend(workers=workers)
     benchmarks: dict[str, Any] = {}
-    for name, b in selected.items():
-        payload = b.fn(quick, repeats, engine=engine)
-        payload["group"] = b.group
-        benchmarks[name] = payload
-        if verbose:
-            extra = ""
-            if "sim_cycles" in payload:
-                extra = f"  sim={payload['sim_cycles']:.0f}cy"
-            print(
-                f"  {name:<28} {payload['wall_seconds'] * 1e3:>9.2f} ms "
-                f"({payload['per_op_ns']:>10.0f} ns/op){extra}"
+    try:
+        for name, b in selected.items():
+            payload = b.fn(
+                quick, repeats, engine=engine,
+                backend=shared_backend, workers=workers,
             )
+            payload["group"] = b.group
+            benchmarks[name] = payload
+            if verbose:
+                extra = ""
+                if "sim_cycles" in payload:
+                    extra = f"  sim={payload['sim_cycles']:.0f}cy"
+                print(
+                    f"  {name:<28} {payload['wall_seconds'] * 1e3:>9.2f} ms "
+                    f"({payload['per_op_ns']:>10.0f} ns/op){extra}"
+                )
+    finally:
+        if shared_backend != "inline":
+            shared_backend.close()
     import numpy
 
     return {
@@ -98,6 +126,8 @@ def run_suite(
         "quick": quick,
         "repeats": repeats,
         "engine": engine,
+        "backend": backend,
+        "workers": workers if backend == "mp" else None,
         "host": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -122,10 +152,11 @@ def compare(
     """Compare a results document against a same-scale baseline section.
 
     Raises :class:`ValueError` when the two documents were produced by
-    different engines: dict-vs-flat wall times measure different code, so
-    the comparison would silently mix representations (the cross-engine
-    speedup table in EXPERIMENTS.md is produced deliberately, from two
-    explicit result files).
+    different engines or different execution backends: dict-vs-flat (or
+    inline-vs-mp) wall times measure different code, so the comparison
+    would silently mix representations (the cross-engine speedup table in
+    EXPERIMENTS.md is produced deliberately, from two explicit result
+    files).
     """
     results_engine = results.get("engine", "dict")
     baseline_engine = baseline.get("engine", "dict")
@@ -134,6 +165,15 @@ def compare(
             f"engine mismatch: results were produced with engine="
             f"{results_engine!r} but the baseline was recorded with engine="
             f"{baseline_engine!r}; re-run with a matching --engine or "
+            f"refresh the baseline with --update-baseline"
+        )
+    results_backend = results.get("backend", "inline")
+    baseline_backend = baseline.get("backend", "inline")
+    if results_backend != baseline_backend:
+        raise ValueError(
+            f"backend mismatch: results were produced with backend="
+            f"{results_backend!r} but the baseline was recorded with backend="
+            f"{baseline_backend!r}; re-run with a matching --backend or "
             f"refresh the baseline with --update-baseline"
         )
     per_benchmark: dict[str, Any] = {}
@@ -205,6 +245,7 @@ def update_baseline_file(path: Path, results: dict[str, Any]) -> None:
     section["host"] = results["host"]
     section["repeats"] = results["repeats"]
     section["engine"] = results.get("engine", "dict")
+    section["backend"] = results.get("backend", "inline")
     section["benchmarks"].update(results["benchmarks"])
     doc[section_key] = section
     path.parent.mkdir(parents=True, exist_ok=True)

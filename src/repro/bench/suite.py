@@ -76,7 +76,8 @@ def _size(quick: bool, small: int, full: int) -> int:
 # micro/ — data-structure hot paths
 # ----------------------------------------------------------------------
 @bench("micro/task_key", "hotpath")
-def bench_task_key(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_task_key(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Task total-order keys: the comparison fuel of every worklist/sort."""
     n = _size(quick, 2_000, 8_000)
     factory = TaskFactory(lambda item: (item * 7919) % 977)
@@ -97,7 +98,8 @@ def bench_task_key(quick: bool, repeats: int, engine: str = "dict") -> dict[str,
 
 
 @bench("micro/run_phase_1t", "hotpath")
-def bench_run_phase_1t(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_run_phase_1t(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Single-thread bulk-synchronous phase dispatch (serial-ish configs)."""
     n = _size(quick, 5_000, 20_000)
     costs = [{Category.SCHEDULE: 25.0} for _ in range(n)]
@@ -110,7 +112,8 @@ def bench_run_phase_1t(quick: bool, repeats: int, engine: str = "dict") -> dict[
 
 
 @bench("micro/run_phase_8t", "hotpath")
-def bench_run_phase_8t(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_run_phase_8t(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Multi-thread phase dispatch with greedy least-loaded chunking."""
     n = _size(quick, 5_000, 20_000)
     costs = [{Category.SCHEDULE: 20.0 + (i % 7)} for i in range(n)]
@@ -123,7 +126,8 @@ def bench_run_phase_8t(quick: bool, repeats: int, engine: str = "dict") -> dict[
 
 
 @bench("micro/rwset_index", "hotpath")
-def bench_rwset_index(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_rwset_index(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Bipartite index add/remove churn with overlapping location buckets."""
     n = _size(quick, 600, 2_400)
     factory = TaskFactory(lambda item: item)
@@ -161,7 +165,8 @@ def bench_rwset_index(quick: bool, repeats: int, engine: str = "dict") -> dict[s
 
 
 @bench("micro/taskgraph", "hotpath")
-def bench_taskgraph(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_taskgraph(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """TaskGraph node/edge insertion and removal (subrule R churn)."""
     n = _size(quick, 1_500, 6_000)
     factory = TaskFactory(lambda item: item)
@@ -191,7 +196,8 @@ def _make_interner(engine: str):
 
 
 @bench("micro/kdg_add_remove", "hotpath")
-def bench_kdg_add_remove(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_kdg_add_remove(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Explicit-KDG AddTask/RemoveTask with conflict-edge wiring."""
     n = _size(quick, 400, 1_600)
     factory = TaskFactory(lambda item: item)
@@ -218,7 +224,8 @@ def bench_kdg_add_remove(quick: bool, repeats: int, engine: str = "dict") -> dic
 
 
 @bench("micro/kdg_add_tasks_batch", "hotpath")
-def bench_kdg_add_tasks_batch(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_kdg_add_tasks_batch(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Round-batched ``KDG.add_tasks`` (subrule A): one sweep per round's
     new tasks instead of N independent conflict scans."""
     n = _size(quick, 512, 2_048)
@@ -244,7 +251,8 @@ def bench_kdg_add_tasks_batch(quick: bool, repeats: int, engine: str = "dict") -
 
 
 @bench("micro/mark_phase", "hotpath")
-def bench_mark_phase(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_mark_phase(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """IKDG Phase I/II on a carried window: priority-mark every location,
     then the ownership sweep (the round body of §3.5).  A contended window
     is re-marked every round until its conflicts drain, so this loop is the
@@ -438,36 +446,41 @@ def _exec_payload(run_fn, repeats: int, ops: int) -> dict[str, Any]:
 
 
 @bench("exec/ikdg_independent", "hotpath")
-def bench_ikdg_independent(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_ikdg_independent(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 800, 3_000)
     return _exec_payload(
-        lambda: run_ikdg(_independent_algorithm(n), SimMachine(BENCH_THREADS), engine=engine),
+        lambda: run_ikdg(_independent_algorithm(n), SimMachine(BENCH_THREADS),
+                         engine=engine, backend=backend, workers=workers),
         repeats,
         ops=n,
     )
 
 
 @bench("exec/ikdg_chains", "hotpath")
-def bench_ikdg_chains(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_ikdg_chains(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Contended-window IKDG: fewer chains than window slots, so most of
     each round's window loses the marking race and is re-marked next round
     (the carried-window regime of the paper's apps — a billiards or AVI
     window is mostly conflicting tasks that wait several rounds)."""
     n = _size(quick, 512, 2_048)
     return _exec_payload(
-        lambda: run_ikdg(_chain_algorithm(n, 16), SimMachine(BENCH_THREADS), engine=engine),
+        lambda: run_ikdg(_chain_algorithm(n, 16), SimMachine(BENCH_THREADS),
+                         engine=engine, backend=backend, workers=workers),
         repeats,
         ops=n,
     )
 
 
 @bench("exec/kdg_rna_rounds", "hotpath")
-def bench_kdg_rna_rounds(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_kdg_rna_rounds(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 384, 1_536)
     return _exec_payload(
         lambda: run_kdg_rna(
             _chain_algorithm(n, 48), SimMachine(BENCH_THREADS),
-            asynchronous=False, engine=engine,
+            asynchronous=False, engine=engine, backend=backend, workers=workers,
         ),
         repeats,
         ops=n,
@@ -475,12 +488,13 @@ def bench_kdg_rna_rounds(quick: bool, repeats: int, engine: str = "dict") -> dic
 
 
 @bench("exec/kdg_rna_async", "hotpath")
-def bench_kdg_rna_async(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_kdg_rna_async(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 384, 1_536)
     return _exec_payload(
         lambda: run_kdg_rna(
             _chain_algorithm(n, 48), SimMachine(BENCH_THREADS),
-            asynchronous=True, engine=engine,
+            asynchronous=True, engine=engine, backend=backend, workers=workers,
         ),
         repeats,
         ops=n,
@@ -488,11 +502,13 @@ def bench_kdg_rna_async(quick: bool, repeats: int, engine: str = "dict") -> dict
 
 
 @bench("exec/level_by_level", "hotpath")
-def bench_level_by_level(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_level_by_level(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 512, 2_048)
     return _exec_payload(
         lambda: run_level_by_level(
-            _level_algorithm(n, 64), SimMachine(BENCH_THREADS), engine=engine
+            _level_algorithm(n, 64), SimMachine(BENCH_THREADS),
+            engine=engine, backend=backend, workers=workers,
         ),
         repeats,
         ops=n,
@@ -500,7 +516,8 @@ def bench_level_by_level(quick: bool, repeats: int, engine: str = "dict") -> dic
 
 
 @bench("exec/ikdg_wide_window", "hotpath")
-def bench_ikdg_wide_window(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_ikdg_wide_window(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     """Wide-window IKDG marking: large rounds are where the vectorized
     flat kernels amortize best (hundreds of tasks per ``mark_round``), and
     chains several tasks deep keep the window carried across rounds."""
@@ -512,7 +529,7 @@ def bench_ikdg_wide_window(quick: bool, repeats: int, engine: str = "dict") -> d
             _chain_algorithm(n, 128),
             SimMachine(BENCH_THREADS),
             window_policy=AdaptiveWindow(initial=1_024),
-            engine=engine,
+            engine=engine, backend=backend, workers=workers,
         ),
         repeats,
         ops=n,
@@ -520,7 +537,8 @@ def bench_ikdg_wide_window(quick: bool, repeats: int, engine: str = "dict") -> d
 
 
 @bench("exec/serial", "hotpath")
-def bench_serial(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_serial(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 1_000, 4_000)
     return _exec_payload(
         lambda: run_serial(_independent_algorithm(n), engine=engine),
@@ -530,7 +548,8 @@ def bench_serial(quick: bool, repeats: int, engine: str = "dict") -> dict[str, A
 
 
 @bench("exec/speculation", "hotpath")
-def bench_speculation(quick: bool, repeats: int, engine: str = "dict") -> dict[str, Any]:
+def bench_speculation(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 256, 1_024)
     return _exec_payload(
         lambda: run_speculation(_chain_algorithm(n, 32), SimMachine(BENCH_THREADS), engine=engine),
@@ -540,12 +559,95 @@ def bench_speculation(quick: bool, repeats: int, engine: str = "dict") -> dict[s
 
 
 # ----------------------------------------------------------------------
+# exec/mp_scaling — the mp backend at 1/2/4 workers vs. inline
+# ----------------------------------------------------------------------
+def _mp_scaling_algorithm(n: int) -> OrderedAlgorithm:
+    """A mark-phase-bound workload: wide carried windows of fat rw-sets.
+
+    Few shared locks relative to the window keep most tasks losing the
+    marking race for many rounds, and ~14 entries per task (1 contended +
+    9 private writes + 4 reads) make each round's mark phase the dominant
+    cost — the regime where sharding the marking across processes can pay.
+    """
+
+    def visit(item, ctx):
+        ctx.write(("lock", item % max(1, n // 24)))
+        for j in range(9):
+            ctx.write(("state", item, j))
+        for j in range(4):
+            ctx.read(("ro", item, j))
+
+    return OrderedAlgorithm(
+        name="bench-mp-scaling",
+        initial_items=list(range(n)),
+        priority=lambda x: x,
+        visit_rw_sets=visit,
+        apply_update=lambda item, ctx: ctx.work(4.0),
+        properties=AlgorithmProperties(
+            stable_source=True,
+            monotonic=True,
+            no_new_tasks=True,
+            structure_based_rw_sets=True,
+        ),
+    )
+
+
+def _register_mp_scaling(label: str, mp_workers: int | None) -> None:
+    @bench(f"exec/mp_scaling/{label}", "mp")
+    def bench_mp_scaling(
+        quick: bool, repeats: int, engine: str = "dict",
+        backend: Any = "inline", workers: int = 2,
+        mp_workers=mp_workers,
+    ) -> dict[str, Any]:
+        """Identical simulated run at every label; only the host-side mark
+        execution differs, so the wall-clock ratios are the scaling curve.
+        Each label manages its own backend (the suite-level ``backend``
+        argument is ignored here) and always runs the flat engine."""
+        from ..runtime.mp_backend import MPMarkBackend
+        from ..runtime.windowing import AdaptiveWindow
+
+        n = _size(quick, 4_096, 16_384)
+
+        def run_once(be):
+            return run_ikdg(
+                _mp_scaling_algorithm(n),
+                SimMachine(BENCH_THREADS),
+                window_policy=AdaptiveWindow(initial=2_048),
+                engine="flat",
+                backend=be,
+            )
+
+        if mp_workers is None:
+            payload = _exec_payload(lambda: run_once(None), repeats, ops=n)
+            payload["mp_workers"] = 0
+            return payload
+        with MPMarkBackend(workers=mp_workers) as be:
+            holder: dict[str, Any] = {}
+
+            def run() -> None:
+                holder["result"] = run_once(be)
+
+            payload = timed_payload(run, repeats, ops=n)
+            result = holder["result"]
+            payload["sim_cycles"] = result.elapsed_cycles
+            payload["executed"] = result.executed
+            payload["mp_workers"] = mp_workers
+            payload["mp"] = be.wall_stats().summary()
+        return payload
+
+
+for _label, _workers in (("inline", None), ("w1", 1), ("w2", 2), ("w4", 4)):
+    _register_mp_scaling(_label, _workers)
+
+
+# ----------------------------------------------------------------------
 # e2e/ — the seven paper applications, wall seconds + simulated cycles
 # ----------------------------------------------------------------------
 def _register_e2e(app: str, impl: str) -> None:
     @bench(f"e2e/{app}/{impl}", "e2e")
     def bench_e2e(
-        quick: bool, repeats: int, engine: str = "dict", app=app, impl=impl
+        quick: bool, repeats: int, engine: str = "dict",
+        backend: Any = "inline", workers: int = 2, app=app, impl=impl,
     ) -> dict[str, Any]:
         from ..apps import APPS
         from ..oracle.workloads import make_oracle_state
@@ -554,9 +656,16 @@ def _register_e2e(app: str, impl: str) -> None:
         make_state = (lambda: make_oracle_state(app, 0)) if quick else spec.make_small
         holder: dict[str, Any] = {}
 
+        options: dict[str, Any] = {"engine": engine}
+        if backend is not None and backend != "inline":
+            # Both registered e2e impls (kdg-auto, ikdg) are ordered-model
+            # executors, so the backend threads straight through spec.run.
+            options["backend"] = backend
+            options["workers"] = workers
+
         def run(state: Any) -> None:
             holder["result"] = spec.run(
-                state, impl, SimMachine(BENCH_THREADS), engine=engine
+                state, impl, SimMachine(BENCH_THREADS), **options
             )
 
         payload = timed_payload(run, repeats, ops=1, setup=make_state)

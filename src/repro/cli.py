@@ -49,10 +49,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime access sanitizer (diffs each "
                           "body's accesses against its declared rw-set; "
                           "observation only)")
-    run.add_argument("--engine", choices=("dict", "flat"), default="dict",
+    run.add_argument("--engine", choices=("dict", "flat"), default=None,
                      help="rw-set index engine for the ordered-model "
                           "executors (flat = interned ids + vectorized "
-                          "rounds; schedules are identical)")
+                          "rounds; schedules are identical; default dict, "
+                          "or flat when --backend mp)")
+    run.add_argument("--backend", choices=("inline", "mp"), default="inline",
+                     help="mark-phase execution backend: inline (default) "
+                          "or mp = real worker processes over shared-memory "
+                          "arrays (requires the flat engine; results are "
+                          "bit-identical)")
+    run.add_argument("--workers", type=int, default=2,
+                     help="worker processes for --backend mp (default: 2)")
 
     oracle = sub.add_parser(
         "oracle",
@@ -72,9 +80,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit one JSON report per (app, seed) to stdout")
     oracle.add_argument("--export-dir", type=Path, default=None,
                         help="write each executor's trace as JSON under DIR")
-    oracle.add_argument("--engine", choices=("dict", "flat"), default="dict",
+    oracle.add_argument("--engine", choices=("dict", "flat"), default=None,
                         help="rw-set index engine for the parallel executors "
-                             "(flat must produce bit-identical traces)")
+                             "(flat must produce bit-identical traces; "
+                             "default dict, or flat when --backend mp)")
+    oracle.add_argument("--backend", choices=("inline", "mp"), default="inline",
+                        help="mark-phase backend for the parallel executors; "
+                             "mp shares one worker pool across the whole "
+                             "sweep and must stay bit-identical")
+    oracle.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --backend mp (default: 2)")
     oracle.add_argument("--properties", action="store_true", dest="properties",
                         help="also run the dynamic property falsifier "
                              "(core/verify.py) per app and fail on any "
@@ -135,10 +150,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="alias of --threshold for CI perf gates: fail "
                             "when wall time exceeds this multiple of the "
                             "baseline (e.g. 1.25 = fail on >25%% regression)")
-    bench.add_argument("--engine", choices=("dict", "flat"), default="dict",
+    bench.add_argument("--engine", choices=("dict", "flat"), default=None,
                        help="rw-set index engine benchmarks run under; the "
                             "results document records it and comparisons "
-                            "refuse baselines recorded with the other engine")
+                            "refuse baselines recorded with the other engine "
+                            "(default dict, or flat when --backend mp)")
+    bench.add_argument("--backend", choices=("inline", "mp"), default="inline",
+                       help="mark-phase backend benchmarks run under; the "
+                            "results document records it and comparisons "
+                            "refuse baselines recorded with the other backend")
+    bench.add_argument("--workers", type=int, default=2,
+                       help="worker processes for --backend mp (default: 2)")
     bench.add_argument("--list", action="store_true", dest="list_benches",
                        help="list benchmark names and exit")
 
@@ -176,12 +198,26 @@ def cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["sanitize"] = True
-    if args.engine != "dict":
+    engine = args.engine
+    if engine is None:
+        engine = "flat" if args.backend == "mp" else "dict"
+    if engine != "dict":
         if not ordered_impl:
-            print(f"error: --engine {args.engine} is not supported for "
+            print(f"error: --engine {engine} is not supported for "
                   f"--impl {args.impl}", file=sys.stderr)
             return 2
-        options["engine"] = args.engine
+        options["engine"] = engine
+    if args.backend == "mp":
+        if args.impl not in ("kdg-auto", "kdg-rna", "ikdg", "level-by-level"):
+            print(f"error: --backend mp is not supported for --impl "
+                  f"{args.impl}", file=sys.stderr)
+            return 2
+        if engine != "flat":
+            print("error: --backend mp requires --engine flat",
+                  file=sys.stderr)
+            return 2
+        options["backend"] = "mp"
+        options["workers"] = args.workers
     state = spec.make_small() if args.size == "small" else spec.make_large()
     threads = 1 if args.impl in ("serial", "serial-best") else args.threads
     result = spec.run(state, args.impl, SimMachine(threads), **options)
@@ -200,8 +236,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     for category, cycles in sorted(breakdown.items(), key=lambda kv: -kv[1]):
         if cycles:
             print(f"  {category.value:<12} {cycles:>14.0f}  ({cycles / total:6.1%} of thread time)")
+    mp_summary = result.metrics.get("mp")
     for key, value in result.metrics.items():
+        if key == "mp":
+            continue
         print(f"metric     : {key} = {value}")
+    if mp_summary is not None:
+        utils = ", ".join(
+            f"{w['utilization']:.0%}" for w in mp_summary["per_worker"]
+        )
+        print(f"mp backend : {mp_summary['workers']} worker(s), "
+              f"{mp_summary['mp_rounds']} mp round(s) "
+              f"(+{mp_summary['fallback_rounds']} inline), "
+              f"utilization [{utils}]")
     if args.sanitize:
         # The sanitizer raises RWSetViolation on the first undeclared
         # access, so reaching this line means the run was clean.
@@ -300,48 +347,67 @@ def cmd_oracle(args: argparse.Namespace) -> int:
     export_dir: Path | None = args.export_dir
     if export_dir is not None:
         export_dir.mkdir(parents=True, exist_ok=True)
+    engine = args.engine
+    if engine is None:
+        engine = "flat" if args.backend == "mp" else "dict"
+    backend = None
+    if args.backend == "mp":
+        if engine != "flat":
+            print("error: --backend mp requires --engine flat", file=sys.stderr)
+            return 2
+        from .runtime.mp_backend import MPMarkBackend
+
+        # One pool for the whole sweep (worker startup amortized);
+        # threshold=0 dispatches every pooled round to the workers so even
+        # tiny oracle inputs exercise the mp protocol.
+        backend = MPMarkBackend(workers=args.workers, threshold=0)
 
     failures = 0
-    for app in apps:
-        if args.properties:
-            # Shared findings schema with `repro lint --dynamic`.
-            dynamic = _dynamic_report(app)
-            if args.as_json:
-                print(json.dumps({"app": app, **dynamic}))
-            else:
-                mark = "ok  " if dynamic["consistent"] else "FAIL"
-                print(f"{mark} {app:<10} properties "
-                      f"({len(dynamic['findings'])} finding(s))")
-                for finding in dynamic["findings"]:
-                    print(f"     [{finding['rule']}] {finding['message']}")
-            if not dynamic["consistent"]:
-                failures += 1
-        for seed in args.seeds:
-            report = diff_executors(
-                app, seed=seed, threads=args.threads, executors=executors,
-                keep_traces=export_dir is not None, engine=args.engine,
-            )
-            if export_dir is not None:
-                for verdict in report.verdicts:
-                    if verdict.trace is None:
-                        continue
-                    path = export_dir / f"{app}-s{seed}-{verdict.executor}.json"
-                    path.write_text(verdict.trace.to_json())
-            if args.as_json:
-                print(json.dumps(report.to_dict(), default=repr))
-            else:
-                for verdict in report.verdicts:
-                    mark = {"ok": "ok  ", "skip": "skip", "fail": "FAIL"}[verdict.status]
-                    line = (f"{mark} {app:<10} seed={seed} "
-                            f"{verdict.executor:<15} tasks={verdict.executed}")
-                    if verdict.status == "skip":
-                        line += f"  ({verdict.reason})"
-                    first = verdict.first_violation()
-                    if first is not None:
-                        line += f"\n     [{first.kind}] {first.message}"
-                    print(line)
-            if not report.ok:
-                failures += 1
+    try:
+        for app in apps:
+            if args.properties:
+                # Shared findings schema with `repro lint --dynamic`.
+                dynamic = _dynamic_report(app)
+                if args.as_json:
+                    print(json.dumps({"app": app, **dynamic}))
+                else:
+                    mark = "ok  " if dynamic["consistent"] else "FAIL"
+                    print(f"{mark} {app:<10} properties "
+                          f"({len(dynamic['findings'])} finding(s))")
+                    for finding in dynamic["findings"]:
+                        print(f"     [{finding['rule']}] {finding['message']}")
+                if not dynamic["consistent"]:
+                    failures += 1
+            for seed in args.seeds:
+                report = diff_executors(
+                    app, seed=seed, threads=args.threads, executors=executors,
+                    keep_traces=export_dir is not None, engine=engine,
+                    backend=backend, workers=args.workers,
+                )
+                if export_dir is not None:
+                    for verdict in report.verdicts:
+                        if verdict.trace is None:
+                            continue
+                        path = export_dir / f"{app}-s{seed}-{verdict.executor}.json"
+                        path.write_text(verdict.trace.to_json())
+                if args.as_json:
+                    print(json.dumps(report.to_dict(), default=repr))
+                else:
+                    for verdict in report.verdicts:
+                        mark = {"ok": "ok  ", "skip": "skip", "fail": "FAIL"}[verdict.status]
+                        line = (f"{mark} {app:<10} seed={seed} "
+                                f"{verdict.executor:<15} tasks={verdict.executed}")
+                        if verdict.status == "skip":
+                            line += f"  ({verdict.reason})"
+                        first = verdict.first_violation()
+                        if first is not None:
+                            line += f"\n     [{first.kind}] {first.message}"
+                        print(line)
+                if not report.ok:
+                    failures += 1
+    finally:
+        if backend is not None:
+            backend.close()
     if failures:
         print(f"oracle: {failures} (app, seed) combination(s) diverged",
               file=sys.stderr)
@@ -370,12 +436,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("error: --compare and --no-compare are mutually exclusive",
               file=sys.stderr)
         return 2
+    engine = args.engine
+    if engine is None:
+        engine = "flat" if args.backend == "mp" else "dict"
     mode = "quick" if args.quick else "full"
-    print(f"running wall-clock suite ({mode}, engine={args.engine}) ...")
+    print(f"running wall-clock suite ({mode}, engine={engine}, "
+          f"backend={args.backend}) ...")
     try:
         results = run_suite(
             quick=args.quick, repeats=args.repeats,
-            name_filter=args.name_filter, engine=args.engine,
+            name_filter=args.name_filter, engine=engine,
+            backend=args.backend, workers=args.workers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

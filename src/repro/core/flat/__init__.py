@@ -28,12 +28,15 @@ from .index import FlatRWIndex
 from .interner import LocationInterner
 from .kernels import MarkBuffers, mark_round
 from .pool import RoundPool, pooled_mark_round
+from .shm import SharedArena, attach_array
 
 __all__ = [
     "FlatRWIndex",
     "LocationInterner",
     "MarkBuffers",
     "RoundPool",
+    "SharedArena",
+    "attach_array",
     "mark_round",
     "pooled_mark_round",
 ]

@@ -42,6 +42,29 @@ _I64 = np.int64
 _EXACT_INT = 2**53
 
 
+class _PrivateAllocator:
+    """Default array source: ordinary process-private numpy arrays.
+
+    The pool asks its allocator for every backing array it creates, keyed
+    by a stable tag, so the mp backend can substitute
+    :class:`~repro.core.flat.shm.SharedArena` and have the same arrays land
+    in named shared-memory segments — the pool's logic is identical either
+    way (growth and compaction allocate a fresh array and copy; nothing is
+    ever resized in place).
+    """
+
+    __slots__ = ()
+
+    def empty(self, tag: str, length: int, dtype) -> np.ndarray:
+        return np.empty(length, dtype=dtype)
+
+    def zeros(self, tag: str, length: int, dtype) -> np.ndarray:
+        return np.zeros(length, dtype=dtype)
+
+
+_PRIVATE = _PrivateAllocator()
+
+
 class RoundPool:
     """Persistent per-window arrays, one slot per resident task.
 
@@ -66,18 +89,21 @@ class RoundPool:
         "live_entries",
         "max_loc",
         "numeric",
+        "_alloc",
         "_pending_slots",
         "_pending_entries",
     )
 
-    def __init__(self) -> None:
-        self.loc = np.empty(1024, dtype=_I64)  # entry pool (append-only)
+    def __init__(self, allocator=None) -> None:
+        alloc = _PRIVATE if allocator is None else allocator
+        self._alloc = alloc
+        self.loc = alloc.empty("loc", 1024, _I64)  # entry pool (append-only)
         n = 256
-        self.starts = np.zeros(n, dtype=_I64)
-        self.lens = np.zeros(n, dtype=_I64)
-        self.wlens = np.zeros(n, dtype=_I64)
-        self.prio = np.zeros(n, dtype=np.float64)
-        self.tid = np.zeros(n, dtype=_I64)
+        self.starts = alloc.zeros("starts", n, _I64)
+        self.lens = alloc.zeros("lens", n, _I64)
+        self.wlens = alloc.zeros("wlens", n, _I64)
+        self.prio = alloc.zeros("prio", n, np.float64)
+        self.tid = alloc.zeros("tid", n, _I64)
         self.caches: list = [None] * n
         self.free: list[int] = list(range(n - 1, -1, -1))
         self.top = 0  # entry-pool watermark
@@ -145,7 +171,7 @@ class RoundPool:
         top = self.top
         if top + n > len(self.loc):
             cap = max(2 * len(self.loc), top + n)
-            grown = np.empty(cap, dtype=_I64)
+            grown = self._alloc.empty("loc", cap, _I64)
             grown[:top] = self.loc[:top]
             self.loc = grown
         if n:
@@ -182,10 +208,10 @@ class RoundPool:
         cap = 2 * n
         for name in ("starts", "lens", "wlens", "tid"):
             arr = getattr(self, name)
-            grown = np.zeros(cap, dtype=_I64)
+            grown = self._alloc.zeros(name, cap, _I64)
             grown[:n] = arr
             setattr(self, name, grown)
-        grown_p = np.zeros(cap, dtype=np.float64)
+        grown_p = self._alloc.zeros("prio", cap, np.float64)
         grown_p[:n] = self.prio
         self.prio = grown_p
         self.caches.extend([None] * n)
@@ -193,7 +219,7 @@ class RoundPool:
 
     def _compact(self) -> None:
         live = [s for s, c in enumerate(self.caches) if c is not None]
-        packed = np.empty(max(1024, self.live_entries), dtype=_I64)
+        packed = self._alloc.empty("loc", max(1024, self.live_entries), _I64)
         top = 0
         loc = self.loc
         starts = self.starts

@@ -1,0 +1,162 @@
+"""Shared-memory array allocation for the real-parallel mp backend.
+
+The flat engine's per-round state is already dense int64/float64 numpy
+arrays (:mod:`repro.core.flat.pool`), which is exactly the representation
+that can cross a process boundary without serialization: allocate the
+backing store in named ``multiprocessing.shared_memory`` segments and hand
+workers the segment names.  :class:`SharedArena` is a tag-based allocator
+that plugs into :class:`~repro.core.flat.pool.RoundPool` (and the backend's
+own scratch tables):
+
+* every allocation creates a **new** named segment and bumps the arena
+  ``version`` — arrays are never resized in place, so a worker holding an
+  old view keeps reading valid (stale) memory until it re-attaches; the
+  backend republishes the layout whenever the version moved, and workers
+  swap views between rounds, never during one;
+* segments are kept until :meth:`close` (geometric growth in the pool
+  bounds the waste to a constant factor of the live arrays);
+* :meth:`close` always **unlinks** every segment.  ``close()`` on the
+  mapping can legitimately fail with :class:`BufferError` while numpy
+  views are still alive — the unlink must not be skipped in that case, or
+  a crashed run leaks ``/dev/shm`` space until reboot (the fault-injection
+  tests pin this down).
+
+Worker processes attach with :func:`attach_array`, which works around the
+resource-tracker over-accounting wart: a plain ``SharedMemory(name=...)``
+in a child registers the segment with the child's tracker, which then
+"cleans it up" (unlinks it!) when the child exits — yanking the memory out
+from under the parent.  Python 3.13 grew ``track=False`` for exactly this;
+on 3.10–3.12 tracker registration is suppressed around the attach.  (It
+must be *suppressed*, not undone with ``unregister``: under the fork start
+method child and parent share one tracker process whose cache is a plain
+set, so a child-side unregister would delete the parent's own registration
+and the parent's later ``unlink`` would make the tracker error at exit.)
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArena", "attach_array"]
+
+
+def attach_array(
+    name: str, dtype: str, length: int
+) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach an existing segment and view it as a 1-D array.
+
+    Returns ``(shm, array)``; the caller owns closing ``shm`` (never
+    unlinking — the creating arena does that).
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    return shm, np.ndarray(length, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+class SharedArena:
+    """Tag-based allocator backing numpy arrays with named shm segments.
+
+    Satisfies the :class:`~repro.core.flat.pool.RoundPool` allocator
+    protocol (``empty``/``zeros``); :meth:`full` additionally pre-fills,
+    which the backend uses for its UNMARKED-initialized mark tables (a
+    fresh segment's contents must never be assumed — Linux zero-fills, the
+    mark kernels need the sentinel).
+    """
+
+    def __init__(self, prefix: str | None = None) -> None:
+        # Short names: macOS caps POSIX shm names at ~31 chars.
+        self._prefix = prefix or f"kdg{os.getpid() % 100000:05d}{secrets.token_hex(3)}"
+        self._seq = 0
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._current: dict[str, tuple[str, str, int]] = {}
+        self._arrays: dict[str, np.ndarray] = {}
+        self.version = 0
+        self.closed = False
+
+    def _new(self, tag: str, length: int, dtype) -> np.ndarray:
+        if self.closed:
+            raise ValueError("allocation from a closed SharedArena")
+        dt = np.dtype(dtype)
+        name = f"{self._prefix}n{self._seq}"
+        self._seq += 1
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, int(length) * dt.itemsize)
+        )
+        self._segments.append(shm)
+        arr = np.ndarray(length, dtype=dt, buffer=shm.buf)
+        self._current[tag] = (shm.name, dt.str, int(length))
+        self._arrays[tag] = arr
+        self.version += 1
+        return arr
+
+    # -- RoundPool allocator protocol ----------------------------------
+    def empty(self, tag: str, length: int, dtype) -> np.ndarray:
+        return self._new(tag, length, dtype)
+
+    def zeros(self, tag: str, length: int, dtype) -> np.ndarray:
+        arr = self._new(tag, length, dtype)
+        arr[:] = 0
+        return arr
+
+    # -- backend extras -------------------------------------------------
+    def full(self, tag: str, length: int, dtype, fill) -> np.ndarray:
+        arr = self._new(tag, length, dtype)
+        arr[:] = fill
+        return arr
+
+    def get(self, tag: str) -> np.ndarray:
+        """The current array for ``tag`` (parent-side view)."""
+        return self._arrays[tag]
+
+    def layout(self, tags=None) -> dict[str, tuple[str, str, int]]:
+        """``tag -> (segment name, dtype str, length)`` for re-attachment."""
+        if tags is None:
+            return dict(self._current)
+        return {tag: self._current[tag] for tag in tags if tag in self._current}
+
+    def segment_names(self) -> list[str]:
+        """Names of every segment ever allocated (for leak tests)."""
+        return [shm.name for shm in self._segments]
+
+    def close(self) -> None:
+        """Unlink every segment.  Idempotent.
+
+        A mapping whose numpy views are still alive refuses ``close()``
+        with BufferError; the unlink happens regardless, so no named
+        segment outlives the arena (the memory itself is reclaimed when
+        the last view is garbage-collected).
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._arrays.clear()
+        self._current.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -3,7 +3,7 @@
 from .async_sim import simulate_async
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .simcore import SimMachine
-from .stats import Category, CycleStats
+from .stats import Category, CycleStats, WallPhaseStats
 
 __all__ = [
     "Category",
@@ -11,5 +11,6 @@ __all__ = [
     "CycleStats",
     "DEFAULT_COST_MODEL",
     "SimMachine",
+    "WallPhaseStats",
     "simulate_async",
 ]

@@ -41,6 +41,10 @@ class SimMachine:
         self.clocks = [0.0] * num_threads
         self.barrier_count = 0
         self.phase_count = 0
+        #: Wall-clock per-worker stats, attached by a real-parallel backend
+        #: (:class:`repro.machine.stats.WallPhaseStats`); ``None`` for the
+        #: inline backends.  Simulated cycles above are never affected.
+        self.wall_stats = None
 
     # ------------------------------------------------------------------
     # Low-level charging

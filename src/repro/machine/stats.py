@@ -121,3 +121,77 @@ class CycleStats:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         bd = {cat.value: round(c, 1) for cat, c in self.breakdown().items() if c}
         return f"CycleStats(threads={self.num_threads}, {bd})"
+
+
+class WallPhaseStats:
+    """Wall-clock per-worker phase accounting for real-parallel backends.
+
+    ``CycleStats`` counts *simulated* cycles; this counts measured seconds
+    on the host, per worker process and per bulk-synchronous phase, so the
+    mp backend's scaling behavior is attributable: ``mark`` is the sharded
+    Phase-A scatter, ``reduce`` the cross-slab min merge, ``ownership`` the
+    Phase-C gather + failure count, and ``wait`` the time a worker sat in
+    barrier receives.  ``utilization()`` (busy / (busy + wait)) is the
+    number that says whether more workers would help.
+    """
+
+    PHASES = ("mark", "reduce", "ownership", "wait")
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.seconds = [dict.fromkeys(self.PHASES, 0.0) for _ in range(workers)]
+        self.rounds = [0] * workers
+        #: Parent-side per-round bookkeeping (sort, headers, barrier turns).
+        self.parent_seconds = 0.0
+        #: Rounds dispatched to the worker pool / handled inline instead.
+        self.mp_rounds = 0
+        self.fallback_rounds = 0
+
+    def record(self, worker: int, phase: str, seconds: float) -> None:
+        if phase not in self.seconds[worker]:
+            raise ValueError(f"unknown phase {phase!r}")
+        if seconds < 0:
+            raise ValueError(f"negative wall charge: {seconds}")
+        self.seconds[worker][phase] += seconds
+
+    def busy(self, worker: int) -> float:
+        row = self.seconds[worker]
+        return sum(v for phase, v in row.items() if phase != "wait")
+
+    def utilization(self) -> list[float]:
+        """Busy share of each worker's accounted time (0.0 when idle)."""
+        out = []
+        for worker in range(self.workers):
+            busy = self.busy(worker)
+            total = busy + self.seconds[worker]["wait"]
+            out.append(busy / total if total > 0 else 0.0)
+        return out
+
+    def summary(self) -> dict:
+        """JSON-ready digest for ``LoopResult.metrics`` / bench payloads."""
+        utils = self.utilization()
+        return {
+            "workers": self.workers,
+            "mp_rounds": self.mp_rounds,
+            "fallback_rounds": self.fallback_rounds,
+            "parent_seconds": self.parent_seconds,
+            "per_worker": [
+                {
+                    "busy_seconds": self.busy(w),
+                    "wait_seconds": self.seconds[w]["wait"],
+                    "rounds": self.rounds[w],
+                    "utilization": utils[w],
+                    "phase_seconds": dict(self.seconds[w]),
+                }
+                for w in range(self.workers)
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        utils = ", ".join(f"{u:.0%}" for u in self.utilization())
+        return (
+            f"WallPhaseStats(workers={self.workers}, mp_rounds={self.mp_rounds}, "
+            f"utilization=[{utils}])"
+        )

@@ -59,6 +59,8 @@ def run_traced(
     checked: bool = False,
     sanitize: bool = False,
     engine: str = "dict",
+    backend=None,
+    workers: int = 2,
 ) -> tuple[Any, ExecutionTrace]:
     """Run ``executor`` over ``state`` with a trace recorder attached.
 
@@ -68,13 +70,21 @@ def run_traced(
     the underlying run (observation only; traces stay bit-identical).
     ``engine`` selects the rw-set index implementation on the round-based
     executors (``"flat"`` is schedule-invariant, so oracle traces are
-    identical either way).
+    identical either way).  ``backend`` — ``"mp"`` or a shared
+    :class:`~repro.runtime.mp_backend.MPMarkBackend` — runs the flat
+    engine's mark rounds on real worker processes; traces stay
+    bit-identical there too (executors that cannot honor it raise
+    ``ValueError``, which sweeps report as a skip).
     """
     spec = APPS[app]
     algorithm = spec.algorithm(state)
     recorder = TraceRecorder()
     if executor == "serial":
         machine = SimMachine(1)
+        if backend is not None and backend != "inline":
+            raise ValueError(
+                "serial: backend='mp' is not supported (no parallel phases)"
+            )
         result = run_serial(
             algorithm, machine, checked=checked,
             baseline=spec.serial_baseline, recorder=recorder, sanitize=sanitize,
@@ -85,30 +95,32 @@ def run_traced(
         result = run_kdg_rna(
             algorithm, machine, checked=checked, asynchronous=False,
             recorder=recorder, sanitize=sanitize, engine=engine,
+            backend=backend, workers=workers,
         )
     elif executor == "kdg-rna-async":
         machine = SimMachine(threads)
         result = run_kdg_rna(
             algorithm, machine, checked=checked, asynchronous=True,
             recorder=recorder, sanitize=sanitize, engine=engine,
+            backend=backend, workers=workers,
         )
     elif executor == "ikdg":
         machine = SimMachine(threads)
         result = run_ikdg(
             algorithm, machine, checked=checked, recorder=recorder,
-            sanitize=sanitize, engine=engine,
+            sanitize=sanitize, engine=engine, backend=backend, workers=workers,
         )
     elif executor == "level-by-level":
         machine = SimMachine(threads)
         result = run_level_by_level(
             algorithm, machine, checked=checked, recorder=recorder,
-            sanitize=sanitize, engine=engine,
+            sanitize=sanitize, engine=engine, backend=backend, workers=workers,
         )
     elif executor == "speculation":
         machine = SimMachine(threads)
         result = run_speculation(
             algorithm, machine, checked=checked, recorder=recorder,
-            sanitize=sanitize, engine=engine,
+            sanitize=sanitize, engine=engine, backend=backend, workers=workers,
         )
     else:
         raise ValueError(f"unknown oracle executor {executor!r}")
@@ -203,6 +215,8 @@ def diff_executors(
     checked: bool = False,
     keep_traces: bool = False,
     engine: str = "dict",
+    backend=None,
+    workers: int = 2,
 ) -> DiffReport:
     """Run ``app`` under every oracle executor on one seeded input and diff.
 
@@ -210,7 +224,10 @@ def diff_executors(
     to its verdict (for JSON export); otherwise traces are dropped after
     checking to keep memory flat across sweeps.  ``engine`` selects the
     rw-set index implementation on the parallel executors (the serial
-    reference has no index either way).
+    reference has no index either way).  ``backend`` is threaded to the
+    parallel executors; pass a shared
+    :class:`~repro.runtime.mp_backend.MPMarkBackend` to amortize worker
+    startup across a sweep.
     """
     spec = APPS[app]
     executors = ORACLE_EXECUTORS if executors is None else executors
@@ -239,7 +256,8 @@ def diff_executors(
         state = make_oracle_state(app, seed)
         try:
             result, trace = run_traced(
-                app, executor, state, threads, checked=checked, engine=engine
+                app, executor, state, threads, checked=checked, engine=engine,
+                backend=backend, workers=workers,
             )
         except ValueError as exc:
             # Properties rule this executor out for this app (e.g. the

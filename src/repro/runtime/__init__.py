@@ -25,6 +25,16 @@ EXECUTORS = {
 }
 
 
+def __getattr__(name):
+    # Lazy: the mp backend pulls in numpy, which the dict-engine paths
+    # otherwise never import.
+    if name in ("MPMarkBackend", "WorkerDied"):
+        from . import mp_backend
+
+        return getattr(mp_backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def choose_executor(properties: AlgorithmProperties) -> str:
     """Pick the executor the declared properties justify (§3.6).
 
@@ -45,6 +55,8 @@ __all__ = [
     "EXECUTORS",
     "LoopResult",
     "MinTracker",
+    "MPMarkBackend",
+    "WorkerDied",
     "choose_executor",
     "run_ikdg",
     "run_kdg_rna",

@@ -39,6 +39,8 @@ def run_ikdg(
     recorder=None,
     sanitize: bool = False,
     engine: str = "dict",
+    backend=None,
+    workers: int = 2,
 ) -> LoopResult:
     """Run ``algorithm`` under the implicit (marking-based) KDG executor.
 
@@ -52,12 +54,24 @@ def run_ikdg(
     rw-set at commit time (observation only).  ``engine="flat"`` runs
     phases I/II as vectorized kernels over interned location ids
     (:mod:`repro.core.flat`); schedules and charged cycles are identical to
-    the dict engine.
+    the dict engine.  ``backend="mp"`` (or an
+    :class:`~repro.runtime.mp_backend.MPMarkBackend` instance, shared
+    across runs) additionally executes the pooled mark rounds on
+    ``workers`` real processes over shared-memory arrays — results stay
+    bit-identical; only host wall-clock changes.  It requires
+    ``engine="flat"``; on algorithms without structure-based rw-sets the
+    marking is per-round list-based and the backend is a validated no-op.
     """
     if machine is None:
         machine = SimMachine(1)
     if engine not in ("dict", "flat"):
         raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
+    mp_backend = None
+    owns_backend = False
+    if backend is not None and backend != "inline":
+        from .mp_backend import resolve_backend
+
+        mp_backend, owns_backend = resolve_backend(backend, engine, workers, "ikdg")
     flat = engine == "flat"
     pooled = False
     if flat:
@@ -78,10 +92,16 @@ def run_ikdg(
         # *enters the window* — its pool slot is its window value — and
         # per-round prep is two C list() calls plus whole-window numpy
         # gathers.  Kinetic algorithms recompute entries every round via
-        # the list-based kernel instead.
+        # the list-based kernel instead (the mp backend only accelerates
+        # pooled rounds, so it degrades to a no-op for them).
         pooled = algorithm.properties.structure_based_rw_sets
         if pooled:
-            pool = RoundPool()
+            if mp_backend is not None:
+                pool = mp_backend.new_pool()
+                mark_pooled = mp_backend.mark_round
+            else:
+                pool = RoundPool()
+                mark_pooled = pooled_mark_round
     cm = machine.cost_model
     props = algorithm.properties
     policy = window_policy if window_policy is not None else AdaptiveWindow()
@@ -120,203 +140,215 @@ def run_ikdg(
     mark_reset = cm.mark_reset
     pq_cost = cm.pq_cost
 
-    while window or backlog:
-        rounds += 1
-        if sanitizer is not None:
-            sanitizer.round_no = rounds
-        # Refill the window from the backlog (a priority prefix).
-        refill_costs: list[float] = []
-        if level_windows:
-            # One full priority level per window (§3.6.1).
-            current_level = None
-            if window:
-                current_level = min(algorithm.level(t) for t in window)
-            if backlog and (
-                current_level is None or backlog.current_level() <= current_level
-            ):
-                _, level_tasks = backlog.pop_level()
-                if pooled:
-                    for task in level_tasks:
-                        window[task] = pool.add(
-                            task, compute_rw_lists(task, interner)
-                        )
-                        refill_costs.append(cm.worklist_op)
-                else:
-                    for task in level_tasks:
-                        window[task] = None
-                        refill_costs.append(cm.worklist_op)
-        elif pooled:
-            while len(window) < window_size and backlog:
-                task = backlog.pop()
-                window[task] = pool.add(task, compute_rw_lists(task, interner))
-                refill_costs.append(pq_cost(len(backlog)))
-        else:
-            while len(window) < window_size and backlog:
-                task = backlog.pop()
-                window[task] = None
-                refill_costs.append(pq_cost(len(backlog)))
-        if refill_costs:
-            machine.run_phase_scalar(Category.SCHEDULE, refill_costs, barrier=False)
-        if not window:
-            # A healthy refill never leaves the window empty while work is
-            # pending; reaching this means a window policy returned a
-            # non-positive size or ``level_of`` misclassified every task.
-            raise LivenessViolation(
-                f"{algorithm.name}: IKDG round {rounds} produced an empty "
-                f"window with {len(backlog)} backlog task(s) pending "
-                f"(window_size={window_size}, level_windows={level_windows})"
-            )
-        window_max_key = max(task.sort_key for task in window)
-        round_sizes.append(len(window))
-
-        # Phase I: compute rw-sets and priority-mark every location.  Two
-        # mark tables implement the read/write distinction: a writer must be
-        # earliest among *all* touchers of the location, a reader only needs
-        # no earlier *writer* (read-read sharing does not conflict).
-        # Phase II: mark owners are sources; apply the safe-source test.
-        sources = []
-        reset_costs: list[float] = []
-        safety_costs: list[float] = []
-        if flat:
-            window_tasks = list(window)
-            if pooled:
-                # Entries were pooled when each task entered the window.
-                marked = pooled_mark_round(
-                    pool, window_tasks, list(window.values()),
-                    buffers, rw_visit, mark_cas,
-                )
-            else:
-                caches = [
-                    compute_rw_lists(task, interner) for task in window_tasks
-                ]
-                marked = mark_round(
-                    window_tasks, caches, buffers, rw_visit, mark_cas
-                )
-            machine.run_phase_scalar(
-                Category.SCHEDULE, marked.mark_costs, chunk_size=chunk_size
-            )
-            min_task = window_tasks[marked.min_index]
-            owner = marked.owner
-            reset_costs = [mark_reset * n for n in marked.lens]
-            sources = [t for t, o in zip(window_tasks, owner) if o]
-        else:
-            marks_all: dict[object, Task] = {}
-            marks_writer: dict[object, Task] = {}
-            mark_costs: list[float] = []
-            min_task: Task | None = None
-            min_key = None
-            for task in window:
-                rw = compute_rw_set(task)
-                key = task.sort_key
-                if min_key is None or key < min_key:
-                    min_task, min_key = task, key
-                cas = 0
-                write_set = task.write_set
-                for loc in rw:
-                    holder = marks_all.get(loc)
-                    if holder is None or key < holder.sort_key:
-                        marks_all[loc] = task
-                    cas += 1
-                    if loc in write_set:
-                        holder = marks_writer.get(loc)
-                        if holder is None or key < holder.sort_key:
-                            marks_writer[loc] = task
-                        cas += 1
-                mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
-            machine.run_phase_scalar(
-                Category.SCHEDULE, mark_costs, chunk_size=chunk_size
-            )
-
-            def is_mark_owner(task: Task) -> bool:
-                key = task.sort_key
-                write_set = task.write_set
-                for loc in task.rw_set:
-                    if loc in write_set:
-                        if marks_all[loc] is not task:
-                            return False
+    try:
+        while window or backlog:
+            rounds += 1
+            if sanitizer is not None:
+                sanitizer.round_no = rounds
+            # Refill the window from the backlog (a priority prefix).
+            refill_costs: list[float] = []
+            if level_windows:
+                # One full priority level per window (§3.6.1).
+                current_level = None
+                if window:
+                    current_level = min(algorithm.level(t) for t in window)
+                if backlog and (
+                    current_level is None or backlog.current_level() <= current_level
+                ):
+                    _, level_tasks = backlog.pop_level()
+                    if pooled:
+                        for task in level_tasks:
+                            window[task] = pool.add(
+                                task, compute_rw_lists(task, interner)
+                            )
+                            refill_costs.append(cm.worklist_op)
                     else:
-                        writer = marks_writer.get(loc)
-                        if writer is not None and writer.sort_key < key:
-                            return False
-                return True
-
-            for task in window:
-                reset_costs.append(mark_reset * len(task.rw_set))
-                if is_mark_owner(task):
-                    sources.append(task)
-        safe: list[Task]
-        if props.stable_source:
-            safe = sources
-        else:
-            view = SourceView(sources, min_task.priority if min_task else None)
-            test_cost = cm.safe_test_base + algorithm.safe_test_work
-            safe = []
-            for task in sources:
-                safety_costs.append(test_cost)
-                if algorithm.is_safe(task, view):
-                    safe.append(task)
-        if not safe:
-            raise LivenessViolation(
-                f"{algorithm.name}: IKDG round with {len(window)} window tasks "
-                f"and {len(sources)} sources produced no safe source"
-            )
-        # Reset/safety charges go out as scalar phases: the greedy scheduler
-        # is memoryless given the thread clocks, so consecutive unbarriered
-        # phases assign and charge exactly like one phase over the
-        # concatenated items — minus one dict per item.  Chunked runs keep
-        # the one-phase form: a chunk may span the reset/safety/commit
-        # boundary, which a split would realign.
-        if not fuse_test_with_execute:
-            if chunk_size == 1:
+                        for task in level_tasks:
+                            window[task] = None
+                            refill_costs.append(cm.worklist_op)
+            elif pooled:
+                while len(window) < window_size and backlog:
+                    task = backlog.pop()
+                    window[task] = pool.add(task, compute_rw_lists(task, interner))
+                    refill_costs.append(pq_cost(len(backlog)))
+            else:
+                while len(window) < window_size and backlog:
+                    task = backlog.pop()
+                    window[task] = None
+                    refill_costs.append(pq_cost(len(backlog)))
+            if refill_costs:
                 machine.run_phase_scalar(
-                    Category.SCHEDULE, reset_costs, barrier=False
+                    Category.SCHEDULE, refill_costs, barrier=False
                 )
-                machine.run_phase_scalar(Category.SAFETY_TEST, safety_costs)
-            else:
-                machine.run_phase(
-                    [{Category.SCHEDULE: c} for c in reset_costs]
-                    + [{Category.SAFETY_TEST: c} for c in safety_costs],
-                    chunk_size=chunk_size,
+            if not window:
+                # A healthy refill never leaves the window empty while work is
+                # pending; reaching this means a window policy returned a
+                # non-positive size or ``level_of`` misclassified every task.
+                raise LivenessViolation(
+                    f"{algorithm.name}: IKDG round {rounds} produced an empty "
+                    f"window with {len(backlog)} backlog task(s) pending "
+                    f"(window_size={window_size}, level_windows={level_windows})"
                 )
-            reset_costs = []
-            safety_costs = []
+            window_max_key = max(task.sort_key for task in window)
+            round_sizes.append(len(window))
 
-        # Phase III: execute safe sources, reset marks, route new tasks.
-        # In the fused (stable-source) case the window resets head this
-        # phase's cost list; with chunk_size == 1 they go out as an
-        # unbarriered scalar phase instead — same greedy assignment, same
-        # single barrier (the execute phase's), minus one dict per item.
-        safe.sort(key=SORT_KEY)
-        worklist_cycles = cm.worklist_cost(machine.num_threads)
-        exec_costs: list[dict[Category, float]] = []
-        if reset_costs:
-            if chunk_size == 1:
+            # Phase I: compute rw-sets and priority-mark every location.  Two
+            # mark tables implement the read/write distinction: a writer must
+            # be earliest among *all* touchers of the location, a reader only
+            # needs no earlier *writer* (read-read sharing does not conflict).
+            # Phase II: mark owners are sources; apply the safe-source test.
+            sources = []
+            reset_costs: list[float] = []
+            safety_costs: list[float] = []
+            if flat:
+                window_tasks = list(window)
+                if pooled:
+                    # Entries were pooled when each task entered the window.
+                    marked = mark_pooled(
+                        pool, window_tasks, list(window.values()),
+                        buffers, rw_visit, mark_cas,
+                    )
+                else:
+                    caches = [
+                        compute_rw_lists(task, interner) for task in window_tasks
+                    ]
+                    marked = mark_round(
+                        window_tasks, caches, buffers, rw_visit, mark_cas
+                    )
                 machine.run_phase_scalar(
-                    Category.SCHEDULE, reset_costs, barrier=False
+                    Category.SCHEDULE, marked.mark_costs, chunk_size=chunk_size
                 )
+                min_task = window_tasks[marked.min_index]
+                owner = marked.owner
+                reset_costs = [mark_reset * n for n in marked.lens]
+                sources = [t for t, o in zip(window_tasks, owner) if o]
             else:
-                exec_costs = [{Category.SCHEDULE: c} for c in reset_costs]
-        committed: list[tuple[Task, int]] = []  # (task, index into exec_costs)
-        for task in safe:
-            if recorder is not None:
-                recorder.commit(task, round_no=rounds)
-            new_items, exec_cycles = run_task(task)
-            if pooled:
-                pool.remove(window.pop(task))
+                marks_all: dict[object, Task] = {}
+                marks_writer: dict[object, Task] = {}
+                mark_costs: list[float] = []
+                min_task: Task | None = None
+                min_key = None
+                for task in window:
+                    rw = compute_rw_set(task)
+                    key = task.sort_key
+                    if min_key is None or key < min_key:
+                        min_task, min_key = task, key
+                    cas = 0
+                    write_set = task.write_set
+                    for loc in rw:
+                        holder = marks_all.get(loc)
+                        if holder is None or key < holder.sort_key:
+                            marks_all[loc] = task
+                        cas += 1
+                        if loc in write_set:
+                            holder = marks_writer.get(loc)
+                            if holder is None or key < holder.sort_key:
+                                marks_writer[loc] = task
+                            cas += 1
+                    mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
+                machine.run_phase_scalar(
+                    Category.SCHEDULE, mark_costs, chunk_size=chunk_size
+                )
+
+                def is_mark_owner(task: Task) -> bool:
+                    key = task.sort_key
+                    write_set = task.write_set
+                    for loc in task.rw_set:
+                        if loc in write_set:
+                            if marks_all[loc] is not task:
+                                return False
+                        else:
+                            writer = marks_writer.get(loc)
+                            if writer is not None and writer.sort_key < key:
+                                return False
+                    return True
+
+                for task in window:
+                    reset_costs.append(mark_reset * len(task.rw_set))
+                    if is_mark_owner(task):
+                        sources.append(task)
+            safe: list[Task]
+            if props.stable_source:
+                safe = sources
             else:
-                del window[task]
-            cost = {
-                Category.EXECUTE: exec_cycles + worklist_cycles,
-                Category.SCHEDULE: mark_reset * len(task.rw_set),
-            }
-            for item in new_items:
-                child = factory.make(item)
+                view = SourceView(sources, min_task.priority if min_task else None)
+                test_cost = cm.safe_test_base + algorithm.safe_test_work
+                safe = []
+                for task in sources:
+                    safety_costs.append(test_cost)
+                    if algorithm.is_safe(task, view):
+                        safe.append(task)
+            if not safe:
+                raise LivenessViolation(
+                    f"{algorithm.name}: IKDG round with {len(window)} window "
+                    f"tasks and {len(sources)} sources produced no safe source"
+                )
+            # Reset/safety charges go out as scalar phases: the greedy
+            # scheduler is memoryless given the thread clocks, so consecutive
+            # unbarriered phases assign and charge exactly like one phase over
+            # the concatenated items — minus one dict per item.  Chunked runs
+            # keep the one-phase form: a chunk may span the
+            # reset/safety/commit boundary, which a split would realign.
+            if not fuse_test_with_execute:
+                if chunk_size == 1:
+                    machine.run_phase_scalar(
+                        Category.SCHEDULE, reset_costs, barrier=False
+                    )
+                    machine.run_phase_scalar(Category.SAFETY_TEST, safety_costs)
+                else:
+                    machine.run_phase(
+                        [{Category.SCHEDULE: c} for c in reset_costs]
+                        + [{Category.SAFETY_TEST: c} for c in safety_costs],
+                        chunk_size=chunk_size,
+                    )
+                reset_costs = []
+                safety_costs = []
+
+            # Phase III: execute safe sources, reset marks, route new tasks.
+            # In the fused (stable-source) case the window resets head this
+            # phase's cost list; with chunk_size == 1 they go out as an
+            # unbarriered scalar phase instead — same greedy assignment, same
+            # single barrier (the execute phase's), minus one dict per item.
+            safe.sort(key=SORT_KEY)
+            worklist_cycles = cm.worklist_cost(machine.num_threads)
+            exec_costs: list[dict[Category, float]] = []
+            if reset_costs:
+                if chunk_size == 1:
+                    machine.run_phase_scalar(
+                        Category.SCHEDULE, reset_costs, barrier=False
+                    )
+                else:
+                    exec_costs = [{Category.SCHEDULE: c} for c in reset_costs]
+            committed: list[tuple[Task, int]] = []  # (task, exec_costs index)
+            for task in safe:
                 if recorder is not None:
-                    recorder.push(task, child)
-                # Prefix condition: a child earlier than the window's latest
-                # priority must be handled within the current window.
-                if level_windows:
-                    if algorithm.level(child) == algorithm.level(task):
+                    recorder.commit(task, round_no=rounds)
+                new_items, exec_cycles = run_task(task)
+                if pooled:
+                    pool.remove(window.pop(task))
+                else:
+                    del window[task]
+                cost = {
+                    Category.EXECUTE: exec_cycles + worklist_cycles,
+                    Category.SCHEDULE: mark_reset * len(task.rw_set),
+                }
+                for item in new_items:
+                    child = factory.make(item)
+                    if recorder is not None:
+                        recorder.push(task, child)
+                    # Prefix condition: a child earlier than the window's
+                    # latest priority must be handled within the current
+                    # window.
+                    if level_windows:
+                        if algorithm.level(child) == algorithm.level(task):
+                            window[child] = (
+                                pool.add(child, compute_rw_lists(child, interner))
+                                if pooled
+                                else None
+                            )
+                        else:
+                            backlog.push(child)
+                    elif child.sort_key <= window_max_key:
                         window[child] = (
                             pool.add(child, compute_rw_lists(child, interner))
                             if pooled
@@ -324,24 +356,27 @@ def run_ikdg(
                         )
                     else:
                         backlog.push(child)
-                elif child.sort_key <= window_max_key:
-                    window[child] = (
-                        pool.add(child, compute_rw_lists(child, interner))
-                        if pooled
-                        else None
-                    )
-                else:
-                    backlog.push(child)
-                cost[Category.SCHEDULE] += pq_cost(len(backlog))
-            committed.append((task, len(exec_costs)))
-            exec_costs.append(cost)
-            executed += 1
-        assigned = machine.run_phase(exec_costs, chunk_size=chunk_size)
-        attribute_commits(machine, recorder, committed, assigned)
-        if not flat:  # flat mark buffers reset themselves sparsely
-            marks_all.clear()
-            marks_writer.clear()
-        window_size = policy.next_size(window_size, len(safe), machine.num_threads)
+                    cost[Category.SCHEDULE] += pq_cost(len(backlog))
+                committed.append((task, len(exec_costs)))
+                exec_costs.append(cost)
+                executed += 1
+            assigned = machine.run_phase(exec_costs, chunk_size=chunk_size)
+            attribute_commits(machine, recorder, committed, assigned)
+            if not flat:  # flat mark buffers reset themselves sparsely
+                marks_all.clear()
+                marks_writer.clear()
+            window_size = policy.next_size(
+                window_size, len(safe), machine.num_threads
+            )
+
+        mp_metrics = {}
+        if mp_backend is not None:
+            machine.wall_stats = mp_backend.wall_stats()
+            mp_metrics["mp"] = machine.wall_stats.summary()
+            mp_metrics["mp_workers"] = mp_backend.workers
+    finally:
+        if owns_backend:
+            mp_backend.close()
 
     return LoopResult(
         algorithm=algorithm.name,
@@ -353,5 +388,6 @@ def run_ikdg(
             "tasks_created": factory.created,
             "final_window_size": window_size,
             "mean_round_size": sum(round_sizes) / len(round_sizes) if round_sizes else 0,
+            **mp_metrics,
         },
     )

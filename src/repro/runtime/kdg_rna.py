@@ -110,6 +110,8 @@ def run_kdg_rna(
     recorder=None,
     sanitize: bool = False,
     engine: str = "dict",
+    backend=None,
+    workers: int = 2,
 ) -> LoopResult:
     """Run ``algorithm`` under the explicit KDG executor.
 
@@ -124,11 +126,23 @@ def run_kdg_rna(
     insertion (:mod:`repro.core.flat`); schedules are identical to the dict
     engine.  The asynchronous variant is event-driven — there is no round
     to batch — so it always uses the dict index and ignores ``engine``.
+    ``backend``/``workers`` are accepted (and validated) for executor
+    uniformity but are a documented no-op: KDG-RNA maintains the graph
+    incrementally and has no bulk mark phase to shard.
     """
     if machine is None:
         machine = SimMachine(1)
     if engine not in ("dict", "flat"):
         raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
+    if backend is not None and backend != "inline":
+        from .mp_backend import resolve_backend
+
+        mp_backend, owns_backend = resolve_backend(
+            backend, engine, workers, "kdg-rna"
+        )
+        # No bulk-synchronous marking here — nothing to dispatch to workers.
+        if owns_backend:
+            mp_backend.close()
     props = algorithm.properties
     if asynchronous is None:
         asynchronous = props.supports_asynchronous

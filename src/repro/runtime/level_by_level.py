@@ -29,6 +29,8 @@ def run_level_by_level(
     recorder=None,
     sanitize: bool = False,
     engine: str = "dict",
+    backend=None,
+    workers: int = 2,
 ) -> LoopResult:
     """Run ``algorithm`` level by level, recording level statistics.
 
@@ -37,6 +39,11 @@ def run_level_by_level(
     rw-set at commit time (observation only).  ``engine="flat"`` runs each
     level's marking sub-rounds as vectorized kernels over interned location
     ids (:mod:`repro.core.flat`), bit-identical to the dict engine.
+    ``backend="mp"`` (or a shared
+    :class:`~repro.runtime.mp_backend.MPMarkBackend`) runs the pooled
+    sub-round marking on real worker processes over shared memory; it
+    requires ``engine="flat"`` and degrades to a validated no-op for
+    algorithms without structure-based rw-sets.
     """
     if machine is None:
         machine = SimMachine(1)
@@ -46,14 +53,42 @@ def run_level_by_level(
         )
     if engine not in ("dict", "flat"):
         raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
+    mp_backend = None
+    owns_backend = False
+    if backend is not None and backend != "inline":
+        from .mp_backend import resolve_backend
+
+        mp_backend, owns_backend = resolve_backend(
+            backend, engine, workers, "level-by-level"
+        )
     flat = engine == "flat"
+    pooled = False
     if flat:
-        from ..core.flat import LocationInterner, MarkBuffers, mark_round
+        from ..core.flat import (
+            LocationInterner,
+            MarkBuffers,
+            RoundPool,
+            mark_round,
+            pooled_mark_round,
+        )
 
         interner = LocationInterner()
         buffers = MarkBuffers()
         compute_rw_lists = algorithm.compute_rw_lists
-        memo_ok = algorithm.properties.structure_based_rw_sets
+        # Structure-based rw-sets never go stale, so a task entering a
+        # level's sub-rounds registers with the round pool once (losers keep
+        # their slot across retries; winners release it at commit).  The
+        # pool's live set therefore always equals the current batch, which
+        # is exactly :func:`pooled_mark_round`'s contract.
+        pooled = algorithm.properties.structure_based_rw_sets
+        if pooled:
+            if mp_backend is not None:
+                pool = mp_backend.new_pool()
+                mark_pooled = mp_backend.mark_round
+            else:
+                pool = RoundPool()
+                mark_pooled = pooled_mark_round
+            slot_of: dict[Task, int] = {}
     cm = machine.cost_model
     factory = algorithm.task_factory()
     worklist: OrderedWorklist[Task] = OrderedWorklist(
@@ -82,120 +117,144 @@ def run_level_by_level(
     pq_cost = cm.pq_cost
     worklist_cycles = cm.worklist_cost(machine.num_threads)
 
-    while worklist:
-        # Gather the current priority level (the level key strips tie-breaks).
-        level_key = algorithm.level(worklist.peek())
-        level_tasks: list[Task] = []
-        while worklist and algorithm.level(worklist.peek()) == level_key:
-            level_tasks.append(worklist.pop())
-        num_levels += 1
-        level_count = 0
+    try:
+        while worklist:
+            # Gather the current priority level (its key strips tie-breaks).
+            level_key = algorithm.level(worklist.peek())
+            level_tasks: list[Task] = []
+            while worklist and algorithm.level(worklist.peek()) == level_key:
+                level_tasks.append(worklist.pop())
+            num_levels += 1
+            level_count = 0
 
-        while level_tasks:
-            sub_rounds += 1
-            if sanitizer is not None:
-                sanitizer.round_no = sub_rounds
-            # Marking sub-round: owners of all their marks execute (readers
-            # only need no earlier writer — same scheme as the IKDG).
-            winners = []
-            losers = []
-            if flat:
-                if memo_ok:
-                    # Tasks are created fresh for this run, so a non-None
-                    # flat cache was necessarily built here, with this
-                    # interner, and structure-based rw-sets never go stale.
-                    caches = []
-                    c_append = caches.append
-                    for task in level_tasks:
-                        cache = task.flat_cache
-                        if cache is None:
-                            cache = compute_rw_lists(task, interner)
-                        c_append(cache)
-                else:
-                    caches = [
-                        compute_rw_lists(task, interner) for task in level_tasks
-                    ]
-                marked = mark_round(level_tasks, caches, buffers, rw_visit, mark_cas)
-                machine.run_phase_scalar(Category.SCHEDULE, marked.mark_costs)
-                owner = marked.owner
-                winners = [t for t, o in zip(level_tasks, owner) if o]
-                losers = [t for t, o in zip(level_tasks, owner) if not o]
-            else:
-                marks_all: dict[object, Task] = {}
-                marks_writer: dict[object, Task] = {}
-                mark_costs: list[float] = []
-                for task in level_tasks:
-                    rw = compute_rw_set(task)
-                    key = task.sort_key
-                    cas = 0
-                    write_set = task.write_set
-                    for loc in rw:
-                        holder = marks_all.get(loc)
-                        if holder is None or key < holder.sort_key:
-                            marks_all[loc] = task
-                        cas += 1
-                        if loc in write_set:
-                            holder = marks_writer.get(loc)
-                            if holder is None or key < holder.sort_key:
-                                marks_writer[loc] = task
-                            cas += 1
-                    mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
-                machine.run_phase_scalar(Category.SCHEDULE, mark_costs)
-
-                def is_mark_owner(task: Task) -> bool:
-                    key = task.sort_key
-                    write_set = task.write_set
-                    for loc in task.rw_set:
-                        if loc in write_set:
-                            if marks_all[loc] is not task:
-                                return False
-                        else:
-                            writer = marks_writer.get(loc)
-                            if writer is not None and writer.sort_key < key:
-                                return False
-                    return True
-
-                for t in level_tasks:
-                    (winners if is_mark_owner(t) else losers).append(t)
-            winners.sort(key=SORT_KEY)
-            exec_costs = []
-            committed: list[tuple[Task, int]] = []
-            next_batch: list[Task] = list(losers)
-            for task in winners:
-                if recorder is not None:
-                    recorder.commit(task, round_no=sub_rounds)
-                new_items, exec_cycles = run_task(task)
-                cost = {
-                    Category.EXECUTE: exec_cycles + worklist_cycles,
-                    Category.SCHEDULE: mark_reset * len(task.rw_set),
-                }
-                for item in new_items:
-                    child = factory.make(item)
-                    if recorder is not None:
-                        recorder.push(task, child)
-                    child_level = algorithm.level(child)
-                    if child_level < level_key:
-                        raise ValueError(
-                            f"{algorithm.name}: monotonicity violated — child "
-                            f"level {child_level!r} precedes level "
-                            f"{level_key!r}"
+            while level_tasks:
+                sub_rounds += 1
+                if sanitizer is not None:
+                    sanitizer.round_no = sub_rounds
+                # Marking sub-round: owners of all their marks execute
+                # (readers only need no earlier writer — same scheme as the
+                # IKDG).
+                winners = []
+                losers = []
+                if flat:
+                    if pooled:
+                        # Register batch newcomers (level entrants and
+                        # in-level children); losers already hold slots.
+                        slots: list[int] = []
+                        s_append = slots.append
+                        for task in level_tasks:
+                            slot = slot_of.get(task)
+                            if slot is None:
+                                cache = task.flat_cache
+                                if cache is None:
+                                    cache = compute_rw_lists(task, interner)
+                                slot = pool.add(task, cache)
+                                slot_of[task] = slot
+                            s_append(slot)
+                        marked = mark_pooled(
+                            pool, level_tasks, slots, buffers, rw_visit, mark_cas
                         )
-                    if child_level == level_key:
-                        next_batch.append(child)
                     else:
-                        worklist.push(child)
-                    cost[Category.SCHEDULE] += pq_cost(len(worklist))
-                committed.append((task, len(exec_costs)))
-                exec_costs.append(cost)
-                executed += 1
-                level_count += 1
-            assigned = machine.run_phase(exec_costs)
-            attribute_commits(machine, recorder, committed, assigned)
-            if not flat:  # flat mark buffers reset themselves sparsely
-                marks_all.clear()
-                marks_writer.clear()
-            level_tasks = next_batch
-        tasks_per_level.append(level_count)
+                        caches = [
+                            compute_rw_lists(task, interner)
+                            for task in level_tasks
+                        ]
+                        marked = mark_round(
+                            level_tasks, caches, buffers, rw_visit, mark_cas
+                        )
+                    machine.run_phase_scalar(Category.SCHEDULE, marked.mark_costs)
+                    owner = marked.owner
+                    winners = [t for t, o in zip(level_tasks, owner) if o]
+                    losers = [t for t, o in zip(level_tasks, owner) if not o]
+                else:
+                    marks_all: dict[object, Task] = {}
+                    marks_writer: dict[object, Task] = {}
+                    mark_costs: list[float] = []
+                    for task in level_tasks:
+                        rw = compute_rw_set(task)
+                        key = task.sort_key
+                        cas = 0
+                        write_set = task.write_set
+                        for loc in rw:
+                            holder = marks_all.get(loc)
+                            if holder is None or key < holder.sort_key:
+                                marks_all[loc] = task
+                            cas += 1
+                            if loc in write_set:
+                                holder = marks_writer.get(loc)
+                                if holder is None or key < holder.sort_key:
+                                    marks_writer[loc] = task
+                                cas += 1
+                        mark_costs.append(
+                            rw_visit * max(1, len(rw)) + mark_cas * cas
+                        )
+                    machine.run_phase_scalar(Category.SCHEDULE, mark_costs)
+
+                    def is_mark_owner(task: Task) -> bool:
+                        key = task.sort_key
+                        write_set = task.write_set
+                        for loc in task.rw_set:
+                            if loc in write_set:
+                                if marks_all[loc] is not task:
+                                    return False
+                            else:
+                                writer = marks_writer.get(loc)
+                                if writer is not None and writer.sort_key < key:
+                                    return False
+                        return True
+
+                    for t in level_tasks:
+                        (winners if is_mark_owner(t) else losers).append(t)
+                winners.sort(key=SORT_KEY)
+                exec_costs = []
+                committed: list[tuple[Task, int]] = []
+                next_batch: list[Task] = list(losers)
+                for task in winners:
+                    if recorder is not None:
+                        recorder.commit(task, round_no=sub_rounds)
+                    new_items, exec_cycles = run_task(task)
+                    if pooled:
+                        pool.remove(slot_of.pop(task))
+                    cost = {
+                        Category.EXECUTE: exec_cycles + worklist_cycles,
+                        Category.SCHEDULE: mark_reset * len(task.rw_set),
+                    }
+                    for item in new_items:
+                        child = factory.make(item)
+                        if recorder is not None:
+                            recorder.push(task, child)
+                        child_level = algorithm.level(child)
+                        if child_level < level_key:
+                            raise ValueError(
+                                f"{algorithm.name}: monotonicity violated — "
+                                f"child level {child_level!r} precedes level "
+                                f"{level_key!r}"
+                            )
+                        if child_level == level_key:
+                            next_batch.append(child)
+                        else:
+                            worklist.push(child)
+                        cost[Category.SCHEDULE] += pq_cost(len(worklist))
+                    committed.append((task, len(exec_costs)))
+                    exec_costs.append(cost)
+                    executed += 1
+                    level_count += 1
+                assigned = machine.run_phase(exec_costs)
+                attribute_commits(machine, recorder, committed, assigned)
+                if not flat:  # flat mark buffers reset themselves sparsely
+                    marks_all.clear()
+                    marks_writer.clear()
+                level_tasks = next_batch
+            tasks_per_level.append(level_count)
+
+        mp_metrics = {}
+        if mp_backend is not None:
+            machine.wall_stats = mp_backend.wall_stats()
+            mp_metrics["mp"] = machine.wall_stats.summary()
+            mp_metrics["mp_workers"] = mp_backend.workers
+    finally:
+        if owns_backend:
+            mp_backend.close()
 
     avg_tasks = executed / num_levels if num_levels else 0.0
     return LoopResult(
@@ -209,5 +268,6 @@ def run_level_by_level(
             "avg_tasks_per_level": avg_tasks,
             "max_tasks_per_level": max(tasks_per_level) if tasks_per_level else 0,
             "tasks_created": factory.created,
+            **mp_metrics,
         },
     )

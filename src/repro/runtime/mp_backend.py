@@ -1,0 +1,623 @@
+"""Real-parallel mark phases over worker processes (``backend="mp"``).
+
+Every engine so far simulates parallelism on one core.  This backend runs
+the flat engine's bulk-synchronous Phase I/II — the grouped-min priority
+marking of :func:`~repro.core.flat.pool.pooled_mark_round` — across a
+persistent pool of worker processes, with all per-round state living in
+``multiprocessing.shared_memory``-backed numpy arrays (allocated through
+:class:`~repro.core.flat.shm.SharedArena`, which also backs the
+:class:`~repro.core.flat.pool.RoundPool` the executor fills).  Only tiny
+control messages cross the pipes; per-round data never gets pickled.
+
+One mark round is three sharded phases separated by pipe barriers::
+
+    parent: flush pool, lexsort the window, write ranked header arrays
+            (h_starts/h_rl/h_wl/h_ends), broadcast ("round", ...)
+    A  each worker k, over entry shard [k*total//W, (k+1)*total//W):
+       rebuild its shard of the rank-ordered edge list from the headers
+       (searchsorted over h_ends), then scatter per-shard min ranks into
+       its OWN slab pair via the reversed-assignment trick (valid because
+       entry ranks ascend within a shard)
+    B  each worker k, over location range [k*n_locs//W, ...): overwrite
+       the global mark tables with the elementwise min of all W slabs in
+       fixed worker order — the range is fully rewritten every round, so
+       the global tables never need resetting
+    C  each worker k, over its entry shard again: ownership gather
+       (all-marks test for writers, no-earlier-writer test for readers),
+       per-shard failure counts into its own out_fail row, then sparse
+       reset of its own slab; parent sums the rows and scatters
+            owner[order] = (failures == 0)
+
+Determinism and bit-identity with the single-process kernels need no
+locks: shard boundaries are fixed functions of ``(total, W)``, integer
+``min`` is commutative and exact, the slab reduce runs in fixed worker
+order, and a sum of per-shard ``bincount`` rows equals the global
+``bincount``.  The parent computes ``order``/``min_index``/``lens``/
+``mark_costs`` with exactly the same float64 operations as
+:func:`pooled_mark_round`, so traces, makespans and snapshots are
+bit-identical (the cross-backend differential matrix enforces this).
+
+Rounds below ``threshold`` entries (default: the vector cutoff) fall back
+inline to :func:`pooled_mark_round` — identical results, no pipe turns.
+Worker death never hangs the parent: barriers poll connection readiness
+with liveness checks and a deadline, raise a structured
+:class:`WorkerDied`, and tear the shared segments down (no leak, no
+half-written state survives because failed rounds are never consumed).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from multiprocessing.connection import wait as _conn_wait
+
+import numpy as np
+
+from ..core.flat.kernels import UNMARKED, VECTOR_CUTOFF, MarkResult
+from ..core.flat.pool import RoundPool, pooled_mark_round
+from ..core.flat.shm import SharedArena, attach_array
+from ..machine.stats import WallPhaseStats
+
+_I64 = np.int64
+
+#: Segment tags a worker attaches (the pool's slot arrays stay parent-only:
+#: the ranked header arrays are what workers index with).
+_WORKER_TAGS = (
+    "loc",
+    "h_starts", "h_rl", "h_wl", "h_ends",
+    "s_all", "s_writer",
+    "g_all", "g_writer",
+    "out_fail", "wstats",
+)
+
+#: float64 slots per worker in the shared wall-stats array.
+_WSTATS_STRIDE = 8
+
+
+class WorkerDied(RuntimeError):
+    """A pool worker exited (or stopped responding) mid-protocol.
+
+    Carries enough structure for callers to report and for tests to
+    assert on; the backend is unusable afterwards (``close()`` already
+    ran, all shared segments are unlinked).
+    """
+
+    def __init__(self, message, worker=None, exitcode=None, phase=None, round_no=None):
+        super().__init__(message)
+        self.worker = worker
+        self.exitcode = exitcode
+        self.phase = phase
+        self.round_no = round_no
+
+
+def shard_bounds(total: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous shard ``[lo, hi)`` per worker — a pure function of the
+    inputs, so every process derives identical boundaries."""
+    return [
+        (k * total // workers, (k + 1) * total // workers)
+        for k in range(workers)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pure per-shard phase bodies (shared by the worker loop and the
+# in-process reference used by the shard-boundary property tests).
+# ----------------------------------------------------------------------
+def _shard_edges(lo, hi, h_starts, h_rl, h_wl, h_ends, pool_loc, w):
+    """Rebuild entries ``[lo, hi)`` of the rank-ordered edge list.
+
+    Returns ``(loc, rank, wbit)`` — exactly the slice the single-process
+    kernel's ``np.repeat`` edge list would hold at those indices.
+    """
+    idx = np.arange(lo, hi, dtype=_I64)
+    rank = np.searchsorted(h_ends[:w], idx, side="right")
+    offset = idx - (h_ends[rank] - h_rl[rank])
+    loc = pool_loc[h_starts[rank] + offset]
+    wbit = offset < h_wl[rank]
+    return loc, rank, wbit
+
+
+def _scatter_min_shard(slab_all, slab_writer, loc, rank, wbit):
+    """Grouped min of ``rank`` by ``loc`` into a worker-private slab.
+
+    Reversed assignment = min because ranks ascend within a shard (the
+    same trick as the vector kernel, restricted to one shard).  Returns
+    the writer locations for the Phase-C sparse reset.
+    """
+    slab_all[loc[::-1]] = rank[::-1]
+    wloc = loc[wbit]
+    if len(wloc):
+        slab_writer[wloc[::-1]] = rank[wbit][::-1]
+    return wloc
+
+
+def _reduce_range(table, rows, lo, hi):
+    """``table[lo:hi] = elementwise min over rows`` in fixed order.
+
+    Fully overwrites the range (no read of the previous round's values),
+    which is what lets the global tables skip resetting.
+    """
+    table[lo:hi] = rows[0][lo:hi]
+    for row in rows[1:]:
+        np.minimum(table[lo:hi], row[lo:hi], out=table[lo:hi])
+
+
+def _shard_failures(g_all, g_writer, loc, rank, wbit, w):
+    """Per-rank count of lost marks within one shard (int64 bincount)."""
+    owner_entry = np.where(wbit, g_all[loc] == rank, g_writer[loc] >= rank)
+    return np.bincount(rank[~owner_entry], minlength=w)
+
+
+def simulate_sharded_round(
+    pool: RoundPool,
+    tasks: list,
+    slots: list[int],
+    rw_visit: float,
+    mark_cas: float,
+    entry_bounds: list[tuple[int, int]],
+    loc_bounds: list[tuple[int, int]] | None = None,
+) -> MarkResult:
+    """Run the three mp phases sequentially in-process, with **arbitrary**
+    shard boundaries.
+
+    This is the executable statement of the shard-boundary property: for
+    any partition of the entry range (and any partition of the location
+    range), the result equals :func:`pooled_mark_round` bit for bit.  The
+    hypothesis suite drives it with adversarial partitions; the live
+    backend is this function with ``shard_bounds`` partitions and each
+    loop iteration on its own process.
+    """
+    if not pool.numeric:
+        raise ValueError("sharded marking requires a numeric pool")
+    pool.flush()
+    w = len(tasks)
+    n_locs = max(1, pool.max_loc + 1)
+    slots_arr = np.array(slots, dtype=_I64)
+    lens_w = pool.lens[slots_arr]
+    wlens_w = pool.wlens[slots_arr]
+    order = np.lexsort((pool.tid[slots_arr], pool.prio[slots_arr]))
+    rl = lens_w[order]
+    h_ends = np.cumsum(rl)
+    h_starts = pool.starts[slots_arr][order]
+    h_wl = wlens_w[order]
+
+    shards = len(entry_bounds)
+    slabs_all = np.full((shards, n_locs), UNMARKED, dtype=_I64)
+    slabs_writer = np.full((shards, n_locs), UNMARKED, dtype=_I64)
+    edges = []
+    for k, (lo, hi) in enumerate(entry_bounds):
+        loc, rank, wbit = _shard_edges(lo, hi, h_starts, rl, h_wl, h_ends, pool.loc, w)
+        _scatter_min_shard(slabs_all[k], slabs_writer[k], loc, rank, wbit)
+        edges.append((loc, rank, wbit))
+    g_all = np.empty(n_locs, dtype=_I64)
+    g_writer = np.empty(n_locs, dtype=_I64)
+    for lo, hi in loc_bounds if loc_bounds is not None else shard_bounds(n_locs, shards):
+        _reduce_range(g_all, slabs_all, lo, hi)
+        _reduce_range(g_writer, slabs_writer, lo, hi)
+    failing = np.zeros(w, dtype=_I64)
+    for loc, rank, wbit in edges:
+        failing += _shard_failures(g_all, g_writer, loc, rank, wbit, w)
+    owner_arr = np.empty(w, dtype=np.bool_)
+    owner_arr[order] = failing == 0
+    mark_costs = (
+        rw_visit * np.maximum(lens_w, 1) + mark_cas * (lens_w + wlens_w)
+    ).tolist()
+    return MarkResult(owner_arr.tolist(), lens_w.tolist(), mark_costs, int(order[0]))
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(index: int, workers: int, conn) -> None:
+    """Pool worker: attach segments on layout messages, run A/B/C per round.
+
+    Exits cleanly on ("stop",) or pipe EOF; any other failure propagates,
+    printing a traceback and exiting nonzero so the parent's liveness
+    check converts it into :class:`WorkerDied`.
+    """
+    segments: dict[str, tuple[str, object]] = {}
+    arrays: dict[str, np.ndarray] = {}
+    busy = [0.0, 0.0, 0.0]
+    wait = 0.0
+    rounds = 0
+
+    def timed_recv():
+        nonlocal wait
+        t0 = time.perf_counter()
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            msg = ("stop",)
+        wait += time.perf_counter() - t0
+        return msg
+
+    try:
+        while True:
+            msg = timed_recv()
+            kind = msg[0]
+            if kind == "stop":
+                return
+            if kind == "layout":
+                _, version, layout = msg
+                for tag, (name, dtype, length) in layout.items():
+                    old = segments.get(tag)
+                    if old is not None and old[0] == name:
+                        continue
+                    shm, arr = attach_array(name, dtype, length)
+                    arrays[tag] = arr
+                    segments[tag] = (name, shm)
+                    if old is not None:
+                        try:
+                            old[1].close()
+                        except BufferError:
+                            pass
+                conn.send(("ack", version))
+                continue
+            if kind != "round":
+                raise RuntimeError(f"worker {index}: unexpected message {msg!r}")
+            _, w, total, n_locs, cap_w, cap_locs = msg
+            a_lo, a_hi = index * total // workers, (index + 1) * total // workers
+            b_lo, b_hi = index * n_locs // workers, (index + 1) * n_locs // workers
+            s_all, s_writer = arrays["s_all"], arrays["s_writer"]
+            my_all = s_all[index * cap_locs : (index + 1) * cap_locs]
+            my_writer = s_writer[index * cap_locs : (index + 1) * cap_locs]
+
+            # Phase A: shard edge rebuild + private-slab min scatter.
+            t0 = time.perf_counter()
+            loc, rank, wbit = _shard_edges(
+                a_lo, a_hi,
+                arrays["h_starts"], arrays["h_rl"], arrays["h_wl"],
+                arrays["h_ends"], arrays["loc"], w,
+            )
+            wloc = _scatter_min_shard(my_all, my_writer, loc, rank, wbit)
+            busy[0] += time.perf_counter() - t0
+            conn.send(("ack", "A"))
+            if timed_recv()[0] != "go":
+                return
+
+            # Phase B: location-range min reduce over all slabs.
+            t0 = time.perf_counter()
+            rows_all = [
+                s_all[k * cap_locs : (k + 1) * cap_locs] for k in range(workers)
+            ]
+            rows_writer = [
+                s_writer[k * cap_locs : (k + 1) * cap_locs] for k in range(workers)
+            ]
+            _reduce_range(arrays["g_all"], rows_all, b_lo, b_hi)
+            _reduce_range(arrays["g_writer"], rows_writer, b_lo, b_hi)
+            busy[1] += time.perf_counter() - t0
+            conn.send(("ack", "B"))
+            if timed_recv()[0] != "go":
+                return
+
+            # Phase C: ownership gather, failure counts, own-slab reset.
+            t0 = time.perf_counter()
+            fail = _shard_failures(
+                arrays["g_all"], arrays["g_writer"], loc, rank, wbit, w
+            )
+            arrays["out_fail"][index * cap_w : index * cap_w + w] = fail
+            my_all[loc] = UNMARKED
+            if len(wloc):
+                my_writer[wloc] = UNMARKED
+            busy[2] += time.perf_counter() - t0
+            rounds += 1
+            base = index * _WSTATS_STRIDE
+            wstats = arrays["wstats"]
+            wstats[base : base + 5] = (busy[0], busy[1], busy[2], wait, rounds)
+            conn.send(("ack", "C"))
+    finally:
+        for _, shm in segments.values():
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side backend
+# ----------------------------------------------------------------------
+class MPMarkBackend:
+    """Persistent worker pool running shared-memory mark rounds.
+
+    Create once, hand to an executor via ``backend=<instance>`` (or let
+    ``backend="mp"`` construct a run-scoped one), and :meth:`close` when
+    done — or use it as a context manager.  Workers are spawned lazily on
+    the first round that crosses ``threshold`` entries, so runs whose
+    windows never get big enough pay nothing.  One live pool at a time:
+    :meth:`new_pool` retargets the shared segments, invalidating the
+    previous pool's backing (executors create one pool per run and runs
+    are sequential, so reuse across a sweep is safe).
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        threshold: int | None = None,
+        barrier_timeout: float = 60.0,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.threshold = VECTOR_CUTOFF if threshold is None else threshold
+        self.barrier_timeout = barrier_timeout
+        self._start_method = start_method
+        self._arena = SharedArena()
+        self._procs: list = []
+        self._conns: list = []
+        self._conn_index: dict = {}
+        self._started = False
+        self._closed = False
+        self._broken = False
+        self._published = -1
+        self._cap_w = 0
+        self._cap_locs = 0
+        self._round_no = 0
+        self.mp_rounds = 0
+        self.fallback_rounds = 0
+        self._parent_seconds = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "MPMarkBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def new_pool(self) -> RoundPool:
+        """A :class:`RoundPool` whose arrays live in this backend's arena."""
+        if self._closed:
+            raise ValueError("new_pool() on a closed MPMarkBackend")
+        return RoundPool(allocator=self._arena)
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        methods = mp.get_all_start_methods()
+        method = self._start_method or ("fork" if "fork" in methods else "spawn")
+        ctx = mp.get_context(method)
+        self._arena.zeros("wstats", self.workers * _WSTATS_STRIDE, np.float64)
+        for k in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(k, self.workers, child_conn),
+                daemon=True,
+                name=f"kdg-mp-{k}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+            self._conn_index[parent_conn] = k
+        self._started = True
+
+    def _ensure_scratch(self, w: int, n_locs: int) -> None:
+        arena = self._arena
+        if w > self._cap_w or self._cap_w == 0:
+            cap = max(2 * self._cap_w, w, 256)
+            arena.empty("h_starts", cap, _I64)
+            arena.empty("h_rl", cap, _I64)
+            arena.empty("h_wl", cap, _I64)
+            arena.empty("h_ends", cap, _I64)
+            arena.zeros("out_fail", self.workers * cap, _I64)
+            self._cap_w = cap
+        if n_locs > self._cap_locs or self._cap_locs == 0:
+            cap = max(2 * self._cap_locs, n_locs, 1024)
+            # Global tables are fully overwritten per round; slabs must
+            # start at the sentinel (sparse resets only ever restore it).
+            arena.empty("g_all", cap, _I64)
+            arena.empty("g_writer", cap, _I64)
+            arena.full("s_all", self.workers * cap, _I64, UNMARKED)
+            arena.full("s_writer", self.workers * cap, _I64, UNMARKED)
+            self._cap_locs = cap
+
+    def _fail(self, message, worker=None, exitcode=None, phase=None):
+        self._broken = True
+        error = WorkerDied(
+            message, worker=worker, exitcode=exitcode,
+            phase=phase, round_no=self._round_no,
+        )
+        self.close()
+        raise error
+
+    def _send_all(self, msg, phase: str) -> None:
+        for k, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (OSError, ValueError):
+                exitcode = self._procs[k].exitcode
+                self._fail(
+                    f"mp backend worker {k} unreachable (exitcode {exitcode}) "
+                    f"while sending {phase!r} in round {self._round_no}",
+                    worker=k, exitcode=exitcode, phase=phase,
+                )
+
+    def _await_acks(self, phase: str) -> list:
+        deadline = time.monotonic() + self.barrier_timeout
+        pending = set(range(self.workers))
+        acks = [None] * self.workers
+        while pending:
+            ready = _conn_wait(
+                [self._conns[k] for k in pending], timeout=0.05
+            )
+            for conn in ready:
+                k = self._conn_index[conn]
+                try:
+                    acks[k] = conn.recv()
+                except (EOFError, OSError):
+                    exitcode = self._procs[k].exitcode
+                    self._fail(
+                        f"mp backend worker {k} hung up (exitcode {exitcode}) "
+                        f"during phase {phase!r} of round {self._round_no}",
+                        worker=k, exitcode=exitcode, phase=phase,
+                    )
+                pending.discard(k)
+            if not pending:
+                break
+            if not ready:
+                for k in sorted(pending):
+                    if not self._procs[k].is_alive():
+                        exitcode = self._procs[k].exitcode
+                        self._fail(
+                            f"mp backend worker {k} died (exitcode {exitcode}) "
+                            f"during phase {phase!r} of round {self._round_no}",
+                            worker=k, exitcode=exitcode, phase=phase,
+                        )
+                if time.monotonic() > deadline:
+                    self._fail(
+                        f"mp backend timed out after {self.barrier_timeout:.1f}s "
+                        f"waiting for phase {phase!r} acks from workers "
+                        f"{sorted(pending)} in round {self._round_no} "
+                        f"(possible barrier deadlock)",
+                        phase=phase,
+                    )
+        return acks
+
+    def _publish_layout(self) -> None:
+        if self._published == self._arena.version:
+            return
+        layout = self._arena.layout(_WORKER_TAGS)
+        self._send_all(("layout", self._arena.version, layout), "layout")
+        self._await_acks("layout")
+        self._published = self._arena.version
+
+    # -- the round ------------------------------------------------------
+    def mark_round(self, pool, tasks, slots, buffers, rw_visit, mark_cas):
+        """Drop-in for :func:`pooled_mark_round`, dispatched to the pool.
+
+        Small or non-numeric rounds run inline (bit-identical by the
+        pool's own contract); everything else runs the three-phase
+        sharded protocol.
+        """
+        if self._closed or self._broken:
+            raise WorkerDied(
+                "mp backend is closed (a worker died or close() already ran)",
+                round_no=self._round_no,
+            )
+        if pool._alloc is not self._arena:
+            raise ValueError(
+                "pool was not created by this backend's new_pool(); its "
+                "arrays are not in the shared arena"
+            )
+        total = pool.live_entries
+        if not pool.numeric or len(tasks) < 1 or total < self.threshold:
+            self.fallback_rounds += 1
+            return pooled_mark_round(pool, tasks, slots, buffers, rw_visit, mark_cas)
+
+        t_start = time.perf_counter()
+        pool.flush()
+        w = len(tasks)
+        n_locs = pool.max_loc + 1
+        self._ensure_started()
+        self._ensure_scratch(w, n_locs)
+        self._publish_layout()
+        arena = self._arena
+
+        # Parent prep: identical ops to pooled_mark_round's preamble.
+        slots_arr = np.array(slots, dtype=_I64)
+        lens_w = pool.lens[slots_arr]
+        wlens_w = pool.wlens[slots_arr]
+        order = np.lexsort((pool.tid[slots_arr], pool.prio[slots_arr]))
+        min_index = int(order[0])
+        rl = lens_w[order]
+        ends = np.cumsum(rl)
+        arena.get("h_starts")[:w] = pool.starts[slots_arr][order]
+        arena.get("h_rl")[:w] = rl
+        arena.get("h_wl")[:w] = wlens_w[order]
+        arena.get("h_ends")[:w] = ends
+
+        self._round_no += 1
+        self._send_all(
+            ("round", w, int(total), int(n_locs), self._cap_w, self._cap_locs),
+            "round",
+        )
+        self._await_acks("A")
+        self._send_all(("go",), "A-release")
+        self._await_acks("B")
+        self._send_all(("go",), "B-release")
+        self._await_acks("C")
+
+        cap_w = self._cap_w
+        fail_rows = arena.get("out_fail")[: self.workers * cap_w]
+        failing = fail_rows.reshape(self.workers, cap_w)[:, :w].sum(axis=0)
+        owner_arr = np.empty(w, dtype=np.bool_)
+        owner_arr[order] = failing == 0
+        mark_costs = (
+            rw_visit * np.maximum(lens_w, 1) + mark_cas * (lens_w + wlens_w)
+        ).tolist()
+        self.mp_rounds += 1
+        self._parent_seconds += time.perf_counter() - t_start
+        return MarkResult(owner_arr.tolist(), lens_w.tolist(), mark_costs, min_index)
+
+    # -- stats ----------------------------------------------------------
+    def wall_stats(self) -> WallPhaseStats:
+        """Snapshot of the per-worker wall-clock phase accounting."""
+        stats = WallPhaseStats(self.workers)
+        stats.mp_rounds = self.mp_rounds
+        stats.fallback_rounds = self.fallback_rounds
+        stats.parent_seconds = self._parent_seconds
+        if self._started and not self._arena.closed:
+            arr = self._arena.get("wstats")
+            for k in range(self.workers):
+                base = k * _WSTATS_STRIDE
+                stats.record(k, "mark", float(arr[base]))
+                stats.record(k, "reduce", float(arr[base + 1]))
+                stats.record(k, "ownership", float(arr[base + 2]))
+                stats.record(k, "wait", float(arr[base + 3]))
+                stats.rounds[k] = int(arr[base + 4])
+        return stats
+
+    # -- shutdown -------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and unlink every shared segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._arena.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def resolve_backend(backend, engine: str, workers: int, executor: str):
+    """Normalize an executor's ``backend`` argument.
+
+    Returns ``(MPMarkBackend | None, owns)`` — ``owns`` marks a backend
+    this run constructed and must close.  ``"inline"``/``None`` mean the
+    single-process engines; ``"mp"`` or an :class:`MPMarkBackend` instance
+    require ``engine="flat"`` (the dict engine has no shareable arrays).
+    """
+    if backend is None or backend == "inline":
+        return None, False
+    if isinstance(backend, MPMarkBackend) or backend == "mp":
+        if engine != "flat":
+            raise ValueError(
+                f"{executor}: backend='mp' requires engine='flat' "
+                f"(got engine={engine!r})"
+            )
+        if isinstance(backend, MPMarkBackend):
+            return backend, False
+        return MPMarkBackend(workers=workers), True
+    raise ValueError(
+        f"unknown backend {backend!r} (expected 'inline' or 'mp')"
+    )

@@ -312,6 +312,8 @@ def run_speculation(
     recorder=None,
     sanitize: bool = False,
     engine: str = "dict",
+    backend=None,
+    workers: int = 2,
 ) -> LoopResult:
     """Run ``algorithm`` under the speculative executor.
 
@@ -321,9 +323,16 @@ def run_speculation(
     each body's accesses against its declared rw-set during that trace pass
     (observation only).  ``engine`` is accepted for executor-signature
     uniformity and ignored: the replay works off the captured trace, not a
-    live rw-set index.
+    live rw-set index.  ``backend="mp"`` is rejected outright — the serial
+    trace pass has no phase worker processes could share.
     """
     del engine  # trace-replay executor — no live index to flatten
+    if backend is not None and backend != "inline":
+        raise ValueError(
+            "speculation: backend='mp' is not supported (trace-replay "
+            "executor has no parallel mark phase)"
+        )
+    del workers
     if machine is None:
         machine = SimMachine(1)
     sanitizer = None

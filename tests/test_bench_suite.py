@@ -62,11 +62,12 @@ class TestRegistry:
         assert BENCHES
         for name, b in BENCHES.items():
             assert b.name == name
-            assert b.group in ("hotpath", "e2e")
+            assert b.group in ("hotpath", "e2e", "mp")
             prefix = name.split("/")[0]
             assert prefix in ("micro", "exec", "e2e")
-            # e2e group iff e2e/ prefix.
+            # e2e group iff e2e/ prefix; mp group iff exec/mp_scaling/.
             assert (b.group == "e2e") == (prefix == "e2e")
+            assert (b.group == "mp") == name.startswith("exec/mp_scaling/")
 
     def test_expected_coverage(self):
         # One executor bench per runtime loop, one e2e bench per app.
@@ -82,6 +83,12 @@ class TestRegistry:
             assert name in BENCHES
         e2e_apps = {n.split("/")[1] for n in BENCHES if n.startswith("e2e/")}
         assert e2e_apps >= {"avi", "bfs", "billiards", "des", "lu", "mst", "treesum"}
+
+    def test_mp_scaling_ladder_registered(self):
+        # One inline rung plus the 1/2/4-worker rungs (satellite: the
+        # mp-scaling bench family, EXPERIMENTS.md's scaling table).
+        for label in ("inline", "w1", "w2", "w4"):
+            assert f"exec/mp_scaling/{label}" in BENCHES
 
 
 class TestRunSuite:
@@ -99,6 +106,27 @@ class TestRunSuite:
     def test_unknown_filter_raises(self):
         with pytest.raises(ValueError, match="no benchmarks match"):
             run_suite(quick=True, repeats=1, name_filter="nope/never", verbose=False)
+
+    def test_backend_mp_requires_flat_engine(self):
+        with pytest.raises(ValueError, match="requires engine='flat'"):
+            run_suite(quick=True, repeats=1, name_filter="micro/task_key",
+                      verbose=False, engine="dict", backend="mp")
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_suite(quick=True, repeats=1, name_filter="micro/task_key",
+                      verbose=False, engine="flat", backend="threads")
+
+    def test_backend_recorded_in_results(self):
+        results = run_suite(
+            quick=True, repeats=1, name_filter="micro/task_key",
+            verbose=False, engine="flat", backend="mp", workers=2,
+        )
+        assert results["backend"] == "mp"
+        assert results["workers"] == 2
+        inline = run_suite(
+            quick=True, repeats=1, name_filter="micro/task_key", verbose=False
+        )
+        assert inline["backend"] == "inline"
+        assert inline["workers"] is None
 
     def test_executor_bench_sim_cycles_deterministic(self):
         # The schedule-invariance check rides on sim_cycles being exactly
@@ -160,6 +188,29 @@ class TestCompare:
         cmp = compare(now, base, threshold=1.5)
         assert "new" not in cmp["per_benchmark"]
 
+    def test_refuses_cross_engine_baseline(self):
+        base = _fake_results(a=(1.0, None, "hotpath"))
+        now = dict(_fake_results(a=(1.0, None, "hotpath")), engine="flat")
+        with pytest.raises(ValueError, match="engine mismatch"):
+            compare(now, base, threshold=1.5)
+
+    def test_refuses_cross_backend_baseline(self):
+        # Satellite: inline-vs-mp wall times measure different code, so a
+        # --compare against a mismatched-backend baseline must refuse just
+        # like the cross-engine case (missing key defaults to "inline").
+        base = _fake_results(a=(1.0, None, "hotpath"))
+        now = dict(_fake_results(a=(1.0, None, "hotpath")), backend="mp")
+        with pytest.raises(ValueError, match="backend mismatch"):
+            compare(now, base, threshold=1.5)
+        with pytest.raises(ValueError, match="backend mismatch"):
+            compare(base, dict(_fake_results(a=(1.0, None, "hotpath")),
+                               backend="mp"), threshold=1.5)
+
+    def test_same_backend_baseline_accepted(self):
+        base = dict(_fake_results(a=(1.0, None, "hotpath")), backend="mp")
+        now = dict(_fake_results(a=(1.0, None, "hotpath")), backend="mp")
+        assert compare(now, base, threshold=1.5)["regressions"] == []
+
 
 class TestBaselineFile:
     def test_roundtrip_and_section_isolation(self, tmp_path):
@@ -179,6 +230,17 @@ class TestBaselineFile:
         assert load_baseline_section(path, quick=False)["benchmarks"]["a"][
             "wall_seconds"
         ] == 4.0
+
+    def test_sections_record_backend(self, tmp_path):
+        path = tmp_path / "BASELINE.json"
+        update_baseline_file(path, dict(
+            _fake_results(a=(1.0, None, "hotpath")), backend="mp"
+        ))
+        section = load_baseline_section(path, quick=True)
+        assert section["backend"] == "mp"
+        # Docs without the key (pre-mp baselines) default to inline.
+        update_baseline_file(path, _fake_results(b=(1.0, None, "hotpath")))
+        assert load_baseline_section(path, quick=True)["backend"] == "inline"
 
     def test_missing_or_invalid_baseline_returns_none(self, tmp_path):
         assert load_baseline_section(tmp_path / "nope.json", quick=True) is None
@@ -233,6 +295,24 @@ class TestCLI:
         ])
         assert rc == 0
         assert load_baseline_section(baseline, quick=True) is not None
+
+    def test_bench_refuses_cross_backend_baseline(self, tmp_path, capsys):
+        # Satellite: `repro bench --compare` against a baseline recorded
+        # with a different backend exits 2 without comparing.
+        out = tmp_path / "res.json"
+        baseline = tmp_path / "base.json"
+        results = run_suite(
+            quick=True, repeats=1, name_filter="micro/task_key",
+            verbose=False, engine="flat",
+        )
+        update_baseline_file(baseline, results)
+        rc = main([
+            "bench", "--quick", "--repeats", "1", "--filter", "micro/task_key",
+            "--engine", "flat", "--backend", "mp", "--workers", "2",
+            "--output", str(out), "--baseline", str(baseline),
+        ])
+        assert rc == 2
+        assert "backend mismatch" in capsys.readouterr().err
 
     def test_write_results(self, tmp_path):
         path = tmp_path / "r.json"

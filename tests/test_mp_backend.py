@@ -1,0 +1,322 @@
+"""The mp execution backend: bit-identity, lifecycle, fault injection.
+
+Four layers of defense for ``backend="mp"``:
+
+* kernel-level: :meth:`MPMarkBackend.mark_round` against
+  :func:`pooled_mark_round` on the same pool, under add/remove churn,
+  at 1/2/4 workers with every round forced onto the workers;
+* executor-level: ``run_ikdg``/``run_level_by_level`` with real mp rounds
+  (int-priority synthetic workloads) bit-identical to inline runs, and
+  the validated no-op/refusal paths (kdg-rna, dict engine, speculation);
+* lifecycle: lazy spawn, context manager, idempotent close, use-after-close;
+* fault injection: a SIGKILLed worker must surface as a structured
+  :class:`WorkerDied` — promptly, with no hang — and teardown must always
+  unlink every shared-memory segment (no leaks even on the failure path).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro import SimMachine
+from repro.core.flat import LocationInterner, MarkBuffers
+from repro.core.flat.pool import pooled_mark_round
+from repro.core.flat.shm import attach_array
+from repro.core.task import Task
+from repro.runtime import run_ikdg, run_kdg_rna, run_level_by_level
+from repro.runtime.mp_backend import (
+    MPMarkBackend,
+    WorkerDied,
+    resolve_backend,
+    shard_bounds,
+)
+
+
+def _make_tasks(rng, interner, w, *, numeric=True, max_loc=40):
+    tasks = []
+    for tid in range(w):
+        pr = rng.randrange(6)
+        task = Task(None, pr if numeric else (pr, tid), tid)
+        n = rng.randrange(0, 6)
+        rw = tuple(dict.fromkeys(("loc", rng.randrange(max_loc)) for _ in range(n)))
+        task.rw_set = rw
+        task.write_set = frozenset(loc for loc in rw if rng.random() < 0.5)
+        interner.task_lists(task)
+        tasks.append(task)
+    return tasks
+
+
+def _chain_workload(n: int, chains: int = 12):
+    """Int-priority workload with long conflict chains: windows carry many
+    tasks across rounds, so pooled marking (and mp dispatch) engages."""
+    from repro.core.algorithm import OrderedAlgorithm
+    from repro.core.properties import AlgorithmProperties
+
+    def visit(item, ctx):
+        ctx.write(("lock", item % chains))
+        ctx.write(("cell", item))
+        ctx.read(("ro", item))
+
+    return OrderedAlgorithm(
+        name="mp-test-chains",
+        initial_items=list(range(n)),
+        priority=lambda x: x,
+        visit_rw_sets=visit,
+        apply_update=lambda item, ctx: ctx.work(4.0),
+        properties=AlgorithmProperties(
+            stable_source=True,
+            monotonic=True,
+            no_new_tasks=True,
+            structure_based_rw_sets=True,
+        ),
+    )
+
+
+class TestKernelEquality:
+    """backend.mark_round == pooled_mark_round, bit for bit, under churn."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_pooled_under_churn(self, workers):
+        rng = random.Random(workers)
+        interner = LocationInterner()
+        with MPMarkBackend(workers=workers, threshold=0) as backend:
+            pool = backend.new_pool()
+            live: list[tuple[Task, int]] = []
+            for _ in range(12):
+                for task in _make_tasks(rng, interner, rng.randrange(1, 12)):
+                    live.append((task, pool.add(task, task.flat_cache)))
+                rng.shuffle(live)
+                for _ in range(rng.randrange(0, len(live))):
+                    _, slot = live.pop()
+                    pool.remove(slot)
+                if not live:
+                    continue
+                tasks = [t for t, _ in live]
+                slots = [s for _, s in live]
+                got = backend.mark_round(
+                    pool, tasks, slots, MarkBuffers(), 3.0, 7.0
+                )
+                want = pooled_mark_round(
+                    pool, tasks, slots, MarkBuffers(), 3.0, 7.0
+                )
+                assert got == want
+            assert backend.mp_rounds > 0
+
+    def test_non_numeric_pool_falls_back_inline(self):
+        rng = random.Random(7)
+        interner = LocationInterner()
+        with MPMarkBackend(workers=2, threshold=0) as backend:
+            pool = backend.new_pool()
+            tasks = _make_tasks(rng, interner, 8, numeric=False)
+            slots = [pool.add(t, t.flat_cache) for t in tasks]
+            got = backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+            want = pooled_mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+            assert got == want
+            assert backend.mp_rounds == 0
+            assert backend.fallback_rounds == 1
+            # Lazy start: a run that never crosses the threshold spawns
+            # no worker processes at all.
+            assert not backend._procs
+
+    def test_threshold_gates_dispatch(self):
+        rng = random.Random(11)
+        interner = LocationInterner()
+        with MPMarkBackend(workers=2, threshold=10**9) as backend:
+            pool = backend.new_pool()
+            tasks = _make_tasks(rng, interner, 8)
+            slots = [pool.add(t, t.flat_cache) for t in tasks]
+            backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+            assert backend.mp_rounds == 0
+            assert backend.fallback_rounds == 1
+
+    def test_foreign_pool_rejected(self):
+        from repro.core.flat.pool import RoundPool
+
+        with MPMarkBackend(workers=1, threshold=0) as backend:
+            foreign = RoundPool()  # private allocator, not the arena
+            with pytest.raises(ValueError, match="new_pool"):
+                backend.mark_round(foreign, [], [], MarkBuffers(), 3.0, 7.0)
+
+    def test_shard_bounds_cover_and_partition(self):
+        for total in (0, 1, 7, 64, 1000):
+            for workers in (1, 2, 3, 4, 7):
+                bounds = shard_bounds(total, workers)
+                assert bounds[0][0] == 0 and bounds[-1][1] == total
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+
+
+class TestExecutorLevel:
+    """Real mp rounds inside real executors, bit-identical to inline."""
+
+    def _run(self, executor, backend):
+        machine = SimMachine(4)
+        if executor == "ikdg":
+            result = run_ikdg(
+                _chain_workload(400), machine, engine="flat", backend=backend
+            )
+        else:
+            result = run_level_by_level(
+                _chain_workload(400), machine, engine="flat", backend=backend
+            )
+        return result
+
+    @pytest.mark.parametrize("executor", ["ikdg", "level-by-level"])
+    def test_mp_bit_identical_with_real_rounds(self, executor):
+        inline = self._run(executor, None)
+        with MPMarkBackend(workers=2, threshold=0) as backend:
+            mp_result = self._run(executor, backend)
+            assert backend.mp_rounds > 0
+        assert mp_result.executed == inline.executed
+        assert mp_result.rounds == inline.rounds
+        assert mp_result.elapsed_cycles == inline.elapsed_cycles
+        assert mp_result.breakdown() == inline.breakdown()
+        # The run reports its wall-clock accounting through the metrics.
+        assert mp_result.metrics["mp"]["mp_rounds"] == backend.mp_rounds
+        assert mp_result.metrics["mp_workers"] == 2
+        assert "mp" not in inline.metrics
+
+    def test_owned_backend_string_form_closes_itself(self):
+        result = run_ikdg(
+            _chain_workload(200), SimMachine(4), engine="flat",
+            backend="mp", workers=2,
+        )
+        inline = run_ikdg(_chain_workload(200), SimMachine(4), engine="flat")
+        assert result.elapsed_cycles == inline.elapsed_cycles
+        assert result.metrics["mp_workers"] == 2
+
+    def test_kdg_rna_accepts_mp_as_validated_noop(self):
+        # The incremental-graph executor has no bulk mark phase; mp must be
+        # accepted (the CLI offers it) and change nothing.
+        inline = run_kdg_rna(_chain_workload(200), SimMachine(4), engine="flat")
+        mp_result = run_kdg_rna(
+            _chain_workload(200), SimMachine(4), engine="flat",
+            backend="mp", workers=2,
+        )
+        assert mp_result.elapsed_cycles == inline.elapsed_cycles
+        assert mp_result.executed == inline.executed
+
+    def test_dict_engine_refuses_mp(self):
+        with pytest.raises(ValueError, match="requires engine='flat'"):
+            run_ikdg(
+                _chain_workload(50), SimMachine(4), engine="dict", backend="mp"
+            )
+
+    def test_speculation_refuses_mp(self):
+        from repro.runtime import run_speculation
+
+        with pytest.raises(ValueError, match="speculation"):
+            run_speculation(
+                _chain_workload(50), SimMachine(4), backend="mp"
+            )
+
+    def test_resolve_backend_contract(self):
+        assert resolve_backend(None, "dict", 2, "x") == (None, False)
+        assert resolve_backend("inline", "dict", 2, "x") == (None, False)
+        backend, owns = resolve_backend("mp", "flat", 3, "x")
+        try:
+            assert owns and backend.workers == 3
+        finally:
+            backend.close()
+        shared = MPMarkBackend(workers=1)
+        try:
+            assert resolve_backend(shared, "flat", 2, "x") == (shared, False)
+            with pytest.raises(ValueError, match="requires engine='flat'"):
+                resolve_backend(shared, "dict", 2, "x")
+        finally:
+            shared.close()
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("threads", "flat", 2, "x")
+
+
+def _spin_up(backend):
+    """One real round: starts the workers and allocates every segment."""
+    rng = random.Random(3)
+    interner = LocationInterner()
+    pool = backend.new_pool()
+    tasks = _make_tasks(rng, interner, 16)
+    slots = [pool.add(t, t.flat_cache) for t in tasks]
+    backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+    return pool, tasks, slots
+
+
+def _assert_all_unlinked(names):
+    for name, dtype, length in names:
+        with pytest.raises(FileNotFoundError):
+            attach_array(name, dtype, length)
+
+
+class TestLifecycleAndFaults:
+    def test_close_unlinks_every_segment(self):
+        backend = MPMarkBackend(workers=2, threshold=0)
+        _spin_up(backend)
+        layout = backend._arena.layout()
+        assert layout  # the round really allocated shared segments
+        backend.close()
+        backend.close()  # idempotent
+        _assert_all_unlinked(layout.values())
+
+    def test_context_manager_unlinks_on_exception(self):
+        layout = {}
+        with pytest.raises(RuntimeError, match="boom"):
+            with MPMarkBackend(workers=2, threshold=0) as backend:
+                _spin_up(backend)
+                layout = backend._arena.layout()
+                raise RuntimeError("boom")
+        _assert_all_unlinked(layout.values())
+
+    def test_use_after_close_raises(self):
+        backend = MPMarkBackend(workers=1, threshold=0)
+        pool, tasks, slots = _spin_up(backend)
+        backend.close()
+        with pytest.raises(ValueError, match="closed"):
+            backend.new_pool()
+        with pytest.raises(WorkerDied):
+            backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+
+    def test_killed_worker_raises_structured_error_without_hanging(self):
+        backend = MPMarkBackend(workers=2, threshold=0, barrier_timeout=30.0)
+        try:
+            pool, tasks, slots = _spin_up(backend)
+            layout = backend._arena.layout()
+            victim = backend._procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+            start = time.monotonic()
+            with pytest.raises(WorkerDied) as excinfo:
+                backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+            # Promptly — via the liveness check, not the deadlock deadline.
+            assert time.monotonic() - start < 20.0
+            err = excinfo.value
+            assert err.worker == 0
+            assert err.round_no == 2
+            assert err.phase is not None
+            # The failure path tears everything down: no leaked segments,
+            # no hung workers, and the backend refuses further rounds.
+            _assert_all_unlinked(layout.values())
+            for proc in backend._procs:
+                assert not proc.is_alive()
+            with pytest.raises(WorkerDied):
+                backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+        finally:
+            backend.close()
+
+    def test_wall_stats_survive_close(self):
+        backend = MPMarkBackend(workers=2, threshold=0)
+        _spin_up(backend)
+        stats = backend.wall_stats()
+        assert stats.mp_rounds == 1
+        assert sum(stats.rounds) == 2  # both workers saw the round
+        summary = stats.summary()
+        assert summary["workers"] == 2
+        assert len(summary["per_worker"]) == 2
+        backend.close()
+        # After close the shared array is gone; stats still summarize.
+        post = backend.wall_stats()
+        assert post.mp_rounds == 1
+        assert sum(post.rounds) == 0

@@ -1,0 +1,196 @@
+"""Property tests for the shared-memory pool substrate and shard protocol.
+
+Two invariants carry the mp backend's bit-identity argument, and both are
+stated here as hypothesis properties:
+
+* **view coherence** — a :class:`RoundPool` allocated from a
+  :class:`SharedArena` behaves exactly like a process-private pool under
+  adversarial add/remove/flush/compact churn, and a "worker" that attaches
+  the arena's segments by name (exactly as the worker processes do) always
+  observes the parent's arrays bit for bit;
+* **shard invariance** — for *any* partition of a round's entry range and
+  *any* partition of its location range, the three-phase sharded protocol
+  (:func:`simulate_sharded_round`, the in-process reference for the live
+  workers) produces the same :class:`MarkResult` as the single-process
+  :func:`pooled_mark_round`, so the worker count and shard boundaries can
+  never leak into schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flat import LocationInterner, MarkBuffers
+from repro.core.flat.pool import RoundPool, pooled_mark_round
+from repro.core.flat.shm import SharedArena, attach_array
+from repro.core.task import Task
+from repro.runtime.mp_backend import simulate_sharded_round
+
+#: Small alphabets force heavy location sharing (contended marking).
+TASK_SPECS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),              # priority
+        st.lists(st.integers(min_value=0, max_value=23),    # locations
+                 min_size=0, max_size=5, unique=True),
+        st.integers(min_value=0, max_value=5),              # n written
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+#: add/remove/flush/compact churn programs for the view-coherence property.
+CHURN_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(0, 7),
+                  st.lists(st.integers(0, 23), max_size=5, unique=True),
+                  st.integers(0, 5)),
+        st.tuples(st.just("remove"), st.integers(0, 127)),
+        st.tuples(st.just("flush"), st.just(0)),
+        st.tuples(st.just("compact"), st.just(0)),
+    ),
+    max_size=40,
+)
+
+
+def _build_task(tid, priority, locs, n_writes, interner):
+    task = Task(None, priority, tid)
+    rw = tuple(("loc", loc) for loc in locs)
+    task.rw_set = rw
+    task.write_set = frozenset(rw[:n_writes])
+    interner.task_lists(task)
+    return task
+
+
+def _fill(pool, specs, interner):
+    tasks, slots = [], []
+    for tid, (priority, locs, n_writes) in enumerate(specs):
+        task = _build_task(tid, priority, locs, n_writes, interner)
+        tasks.append(task)
+        slots.append(pool.add(task, task.flat_cache))
+    return tasks, slots
+
+
+def _partition(bounds_points, total):
+    """Cut points (arbitrary ints) -> a covering partition of [0, total)."""
+    cuts = sorted({p % (total + 1) for p in bounds_points})
+    edges = [0] + cuts + [total]
+    # Duplicate edges yield zero-width shards: legal, and must be harmless.
+    return list(zip(edges, edges[1:]))
+
+
+class TestShardInvariance:
+    @given(
+        specs=TASK_SPECS,
+        entry_cuts=st.lists(st.integers(min_value=0), max_size=6),
+        loc_cuts=st.lists(st.integers(min_value=0), max_size=6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_partition_matches_pooled(self, specs, entry_cuts, loc_cuts):
+        interner = LocationInterner()
+        pool = RoundPool()
+        tasks, slots = _fill(pool, specs, interner)
+        # Flush before reading the ranges the partitions must cover —
+        # ``max_loc`` is maintained at flush time, exactly as the live
+        # backend reads it (after its own ``pool.flush()``).
+        pool.flush()
+        want = pooled_mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
+        total = pool.live_entries
+        n_locs = max(1, pool.max_loc + 1)
+        got = simulate_sharded_round(
+            pool, tasks, slots, 3.0, 7.0,
+            entry_bounds=_partition(entry_cuts, total),
+            loc_bounds=_partition(loc_cuts, n_locs),
+        )
+        assert got == want
+
+    def test_non_numeric_pool_rejected(self):
+        interner = LocationInterner()
+        pool = RoundPool()
+        task = _build_task(0, (1, 0), [1, 2], 1, interner)
+        slots = [pool.add(task, task.flat_cache)]
+        with pytest.raises(ValueError, match="numeric"):
+            simulate_sharded_round(pool, [task], slots, 3.0, 7.0, [(0, 2)])
+
+
+class TestViewCoherence:
+    #: The pool-owned tags a worker-side attach must see coherently.
+    POOL_TAGS = ("loc", "starts", "lens", "wlens", "prio", "tid")
+
+    def _run_program(self, ops, pool, interner, live):
+        tid = len(live)
+        for op in ops:
+            if op[0] == "add":
+                _, priority, locs, n_writes = op
+                task = _build_task(tid, priority, locs, n_writes, interner)
+                tid += 1
+                live.append((task, pool.add(task, task.flat_cache)))
+            elif op[0] == "remove":
+                if live:
+                    _, slot = live.pop(op[1] % len(live))
+                    pool.remove(slot)
+            elif op[0] == "flush":
+                pool.flush()
+            else:  # compact: flush first — pending entries reference slots
+                pool.flush()
+                pool._compact()
+
+    @given(ops=CHURN_OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_shared_pool_equals_private_pool_and_worker_view(self, ops):
+        arena = SharedArena()
+        try:
+            shared = RoundPool(allocator=arena)
+            private = RoundPool()
+            interner = LocationInterner()
+            live_s: list = []
+            live_p: list = []
+            self._run_program(ops, shared, interner, live_s)
+            self._run_program(ops, private, interner, live_p)
+            shared.flush()
+            private.flush()
+
+            # Shared-allocator pool is behaviorally identical to a private
+            # one: same watermark, same live set, same array contents.
+            assert shared.top == private.top
+            assert shared.live_entries == private.live_entries
+            assert shared.numeric == private.numeric
+            assert np.array_equal(shared.loc[: shared.top],
+                                  private.loc[: private.top])
+            for tag in ("starts", "lens", "wlens", "prio", "tid"):
+                a, b = getattr(shared, tag), getattr(private, tag)
+                n = min(len(a), len(b))
+                assert np.array_equal(a[:n], b[:n]), tag
+
+            # A worker attaching the arena's segments by name sees the
+            # parent's arrays bit for bit — including after growth and
+            # compaction retarget a tag to a fresh segment.
+            layout = arena.layout(self.POOL_TAGS)
+            for tag, (name, dtype, length) in layout.items():
+                shm, view = attach_array(name, dtype, length)
+                try:
+                    parent = getattr(shared, tag)
+                    assert len(view) == len(parent), tag
+                    assert view.dtype == parent.dtype, tag
+                    assert np.array_equal(view, parent), tag
+                finally:
+                    shm.close()
+
+            # Marking runs identically on both pools (when still usable).
+            if live_s and shared.numeric:
+                tasks = [t for t, _ in live_s]
+                slots = [s for _, s in live_s]
+                got = pooled_mark_round(
+                    shared, tasks, slots, MarkBuffers(), 3.0, 7.0
+                )
+                want = pooled_mark_round(
+                    private,
+                    [t for t, _ in live_p],
+                    [s for _, s in live_p],
+                    MarkBuffers(), 3.0, 7.0,
+                )
+                assert got == want
+        finally:
+            arena.close()

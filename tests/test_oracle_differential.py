@@ -241,6 +241,74 @@ class TestTraceExport:
         assert violations and violations[0].kind == "task-set"
 
 
+class TestCrossBackendMatrix:
+    """Tentpole acceptance: the dict engine, the inline flat engine, and the
+    flat engine with real worker processes (``backend="mp"``) are one
+    executor three ways — traces, simulated makespans, round counts, cycle
+    breakdowns, and final-state snapshots must be bit-identical across the
+    full app × executor × seed matrix."""
+
+    #: The executors that accept a backend (speculation raises, serial has
+    #: no parallel phases, kdg-rna-async shares kdg-rna's entry point).
+    BACKEND_EXECUTORS = ("kdg-rna", "ikdg", "level-by-level")
+
+    @pytest.fixture(scope="class")
+    def mp_backend(self):
+        from repro.runtime.mp_backend import MPMarkBackend
+
+        # threshold=0 dispatches every numeric pooled round to the workers;
+        # one shared pool amortizes process startup across the matrix.
+        with MPMarkBackend(workers=2, threshold=0) as backend:
+            yield backend
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("app", sorted(ORACLE_STATES))
+    def test_backends_bit_identical(self, app, seed, mp_backend):
+        spec = APPS[app]
+        for executor in self.BACKEND_EXECUTORS:
+            runs = {}
+            for label, kwargs in (
+                ("dict", {"engine": "dict"}),
+                ("flat", {"engine": "flat"}),
+                ("mp", {"engine": "flat", "backend": mp_backend}),
+            ):
+                state = make_oracle_state(app, seed)
+                try:
+                    result, trace = run_traced(
+                        app, executor, state, threads=3, **kwargs
+                    )
+                except ValueError:
+                    runs[label] = None
+                    continue
+                runs[label] = (result, trace, spec.snapshot(state))
+            ref = runs["dict"]
+            if ref is None:
+                # Properties rule the executor out — identically everywhere.
+                assert runs["flat"] is None and runs["mp"] is None
+                continue
+            r0, t0, s0 = ref
+            for label in ("flat", "mp"):
+                assert runs[label] is not None, (app, executor, label)
+                r1, t1, s1 = runs[label]
+                ctx = (app, executor, label, seed)
+                assert r1.executed == r0.executed, ctx
+                assert r1.rounds == r0.rounds, ctx
+                assert r1.elapsed_cycles == r0.elapsed_cycles, ctx
+                assert r1.breakdown() == r0.breakdown(), ctx
+                assert t1.events == t0.events, ctx
+                assert s1 == s0, ctx
+
+    def test_speculation_refuses_mp(self):
+        state = make_oracle_state("bfs", 0)
+        with pytest.raises(ValueError, match="speculation.*backend"):
+            run_traced("bfs", "speculation", state, threads=3, backend="mp")
+
+    def test_serial_refuses_mp(self):
+        state = make_oracle_state("bfs", 0)
+        with pytest.raises(ValueError, match="serial.*backend"):
+            run_traced("bfs", "serial", state, backend="mp")
+
+
 class TestSanitizerSweep:
     """Satellite acceptance: the sanitizer is observation-only and the
     shipped apps are violation-free under every executor."""
