@@ -98,7 +98,11 @@ class BilliardsState:
                 wall = 1 if axis == 0 else 3
             else:
                 continue
-            hit = self.ball_time[ball] + tau
+            # Plain float, not np.float64: event times are priority tuple
+            # elements, and the declared Event type (and the flat engine's
+            # rank encoder, which admits exact builtin types only) expects
+            # builtin floats.  Value-identical — no rounding happens.
+            hit = float(self.ball_time[ball] + tau)
             if tau >= 0 and hit < best_t:
                 best_t, best_w = hit, wall
         return best_t, best_w

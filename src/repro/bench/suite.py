@@ -250,18 +250,12 @@ def bench_kdg_add_tasks_batch(quick: bool, repeats: int, engine: str = "dict",
     return timed_payload(run, repeats, ops=2 * n)
 
 
-@bench("micro/mark_phase", "hotpath")
-def bench_mark_phase(quick: bool, repeats: int, engine: str = "dict",
-                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
-    """IKDG Phase I/II on a carried window: priority-mark every location,
-    then the ownership sweep (the round body of §3.5).  A contended window
-    is re-marked every round until its conflicts drain, so this loop is the
-    executors' hottest path; the flat engine runs it as one grouped-min
-    kernel over the pooled window (:func:`repro.core.flat.pool.pooled_mark_round`)
-    where the dict engine CASes location-keyed dicts task by task."""
+def _mark_phase_payload(quick: bool, repeats: int, engine: str,
+                        priority_fn) -> dict[str, Any]:
+    """Shared body of the ``micro/mark_phase*`` benches (see below)."""
     w = _size(quick, 1_024, 4_096)
     rounds = 8
-    factory = TaskFactory(lambda item: item)
+    factory = TaskFactory(priority_fn)
     tasks = factory.make_all(range(w))
     # One written chain location shared 8 ways plus per-task private state:
     # the carried-window mix (most marks lose on the chain, private locs
@@ -343,6 +337,31 @@ def bench_mark_phase(quick: bool, repeats: int, engine: str = "dict",
                 assert sources
 
     return timed_payload(run, repeats, ops=w * rounds)
+
+
+@bench("micro/mark_phase", "hotpath")
+def bench_mark_phase(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
+    """IKDG Phase I/II on a carried window: priority-mark every location,
+    then the ownership sweep (the round body of §3.5).  A contended window
+    is re-marked every round until its conflicts drain, so this loop is the
+    executors' hottest path; the flat engine runs it as one grouped-min
+    kernel over the pooled window (:func:`repro.core.flat.pool.pooled_mark_round`)
+    where the dict engine CASes location-keyed dicts task by task."""
+    return _mark_phase_payload(quick, repeats, engine, lambda item: item)
+
+
+@bench("micro/mark_phase_tuple", "hotpath")
+def bench_mark_phase_tuple(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
+    """``micro/mark_phase`` with app-shaped tuple priorities (every bundled
+    app declares tuples).  Before the rank encoder these demoted the pool
+    to the scalar kernel on the first ``add``; now they rank-encode once at
+    window entry and the vector kernel engages — this bench times exactly
+    the case the apps hit."""
+    return _mark_phase_payload(
+        quick, repeats, engine, lambda item: (item % 97, 0, item // 97, item)
+    )
 
 
 # ----------------------------------------------------------------------

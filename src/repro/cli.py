@@ -59,8 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "or mp = real worker processes over shared-memory "
                           "arrays (requires the flat engine; results are "
                           "bit-identical)")
-    run.add_argument("--workers", type=int, default=2,
-                     help="worker processes for --backend mp (default: 2)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for --backend mp (default: 2; "
+                          "only valid with --backend mp)")
 
     oracle = sub.add_parser(
         "oracle",
@@ -88,8 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="mark-phase backend for the parallel executors; "
                              "mp shares one worker pool across the whole "
                              "sweep and must stay bit-identical")
-    oracle.add_argument("--workers", type=int, default=2,
-                        help="worker processes for --backend mp (default: 2)")
+    oracle.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --backend mp (default: 2; "
+                             "only valid with --backend mp)")
     oracle.add_argument("--properties", action="store_true", dest="properties",
                         help="also run the dynamic property falsifier "
                              "(core/verify.py) per app and fail on any "
@@ -159,13 +161,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mark-phase backend benchmarks run under; the "
                             "results document records it and comparisons "
                             "refuse baselines recorded with the other backend")
-    bench.add_argument("--workers", type=int, default=2,
-                       help="worker processes for --backend mp (default: 2)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker processes for --backend mp (default: 2; "
+                            "only valid with --backend mp)")
     bench.add_argument("--list", action="store_true", dest="list_benches",
                        help="list benchmark names and exit")
 
     sub.add_parser("list", help="list applications and their implementations")
     return parser
+
+
+def _resolve_workers(args: argparse.Namespace) -> int | None:
+    """Worker count for ``--backend mp`` (default 2); None = usage error.
+
+    ``--workers`` used to be silently ignored without ``--backend mp``
+    (the flag parsed on every subcommand but only the mp branch read it);
+    now it is rejected so a typo'd invocation can't masquerade as a
+    parallel run.
+    """
+    if args.workers is not None and args.backend != "mp":
+        print("error: --workers requires --backend mp", file=sys.stderr)
+        return None
+    return 2 if args.workers is None else args.workers
 
 
 def cmd_list() -> int:
@@ -184,6 +201,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if not spec.has_impl(args.impl) and args.impl not in EXTRA_IMPLS:
         print(f"error: {args.app} has no implementation {args.impl!r}",
               file=sys.stderr)
+        return 2
+    workers = _resolve_workers(args)
+    if workers is None:
         return 2
     options: dict = {}
     # Only the ordered-model executors accept these options; hand-specialized
@@ -217,7 +237,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         options["backend"] = "mp"
-        options["workers"] = args.workers
+        options["workers"] = workers
     state = spec.make_small() if args.size == "small" else spec.make_large()
     threads = 1 if args.impl in ("serial", "serial-best") else args.threads
     result = spec.run(state, args.impl, SimMachine(threads), **options)
@@ -329,6 +349,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def cmd_oracle(args: argparse.Namespace) -> int:
     from .oracle import ORACLE_EXECUTORS, diff_executors
 
+    workers = _resolve_workers(args)
+    if workers is None:
+        return 2
     apps = args.apps or sorted(APPS)
     if args.all_apps:
         apps = sorted(APPS)
@@ -360,7 +383,7 @@ def cmd_oracle(args: argparse.Namespace) -> int:
         # One pool for the whole sweep (worker startup amortized);
         # threshold=0 dispatches every pooled round to the workers so even
         # tiny oracle inputs exercise the mp protocol.
-        backend = MPMarkBackend(workers=args.workers, threshold=0)
+        backend = MPMarkBackend(workers=workers, threshold=0)
 
     failures = 0
     try:
@@ -382,7 +405,7 @@ def cmd_oracle(args: argparse.Namespace) -> int:
                 report = diff_executors(
                     app, seed=seed, threads=args.threads, executors=executors,
                     keep_traces=export_dir is not None, engine=engine,
-                    backend=backend, workers=args.workers,
+                    backend=backend, workers=workers,
                 )
                 if export_dir is not None:
                     for verdict in report.verdicts:
@@ -436,6 +459,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("error: --compare and --no-compare are mutually exclusive",
               file=sys.stderr)
         return 2
+    workers = _resolve_workers(args)
+    if workers is None:
+        return 2
     engine = args.engine
     if engine is None:
         engine = "flat" if args.backend == "mp" else "dict"
@@ -446,7 +472,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         results = run_suite(
             quick=args.quick, repeats=args.repeats,
             name_filter=args.name_filter, engine=engine,
-            backend=args.backend, workers=args.workers,
+            backend=args.backend, workers=workers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -18,6 +18,9 @@ location touch.  This package supplies the flat alternative the
 * :class:`RoundPool` + :func:`pooled_mark_round` — persistent per-window
   slot arrays so steady-state mark rounds run with no per-task Python at
   all (entries and sort keys are written once, at window entry).
+* :class:`RankEncoder` — order-preserving map from arbitrary comparable
+  priorities (the bundled apps' tuples included) to int64 ranks, so pools
+  stay numeric and the vectorized/mp mark phases engage on real apps.
 
 The flat engine is *schedule-invariant*: simulated makespans and oracle
 traces are bit-identical to the dict engine (the equivalence sweep in
@@ -28,12 +31,14 @@ from .index import FlatRWIndex
 from .interner import LocationInterner
 from .kernels import MarkBuffers, mark_round
 from .pool import RoundPool, pooled_mark_round
+from .ranks import RankEncoder
 from .shm import SharedArena, attach_array
 
 __all__ = [
     "FlatRWIndex",
     "LocationInterner",
     "MarkBuffers",
+    "RankEncoder",
     "RoundPool",
     "SharedArena",
     "attach_array",

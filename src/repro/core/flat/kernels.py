@@ -7,9 +7,13 @@ location id — typically a tuple, and tuples do not cache their hashes, so
 the dict engine re-hashes each location several times per round.
 
 Over interned ids both phases run on plain ints.  Priorities may be
-arbitrary tuples (numpy cannot compare them), so tasks are first sorted by
-``sort_key`` once in Python and numbered with dense per-round *ranks*,
-after which every mark comparison is an integer comparison.  Each task's
+arbitrary tuples (numpy cannot compare them), so here tasks are first
+sorted by ``sort_key`` once in Python and numbered with dense per-round
+*ranks*, after which every mark comparison is an integer comparison.
+(The pooled path in :mod:`~repro.core.flat.pool` goes further: its
+:class:`~repro.core.flat.ranks.RankEncoder` maintains persistent int64
+ranks across rounds, so even the per-round Python sort disappears into a
+``np.lexsort``.)  Each task's
 dense ids come pre-split into writer ids and reader ids (the flat-cache
 entry built by :class:`~repro.core.flat.interner.LocationInterner`), so
 neither phase tests a per-entry writer bit.  Two bodies implement the same

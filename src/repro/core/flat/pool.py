@@ -10,10 +10,11 @@ the window, so they can be written into persistent numpy arrays *once*,
 when the task enters the window, and every subsequent round is a handful
 of whole-window gathers:
 
-* rank assignment — ``np.lexsort`` over per-slot ``(priority, tid)``
-  arrays (bit-exact with the Python ``sort_key`` order: priorities are
-  admitted only when their float64 image preserves comparisons, see
-  :meth:`RoundPool.add`);
+* rank assignment — ``np.lexsort`` over per-slot ``(rank, tid)`` arrays,
+  where ranks come from the pool's order-preserving
+  :class:`~repro.core.flat.ranks.RankEncoder` (bit-exact with the Python
+  ``sort_key`` order: slots store stable *key ids* and the current ranks
+  are gathered at sort time, see :meth:`RoundPool.window_order`);
 * edge-list gather — one fancy index into the entry pool built from
   per-slot ``starts``/``lens`` by ``np.repeat``/``cumsum``;
 * marking/ownership — the same reversed-assignment min and bincount
@@ -33,13 +34,9 @@ import numpy as np
 
 from ..task import Task
 from .kernels import UNMARKED, VECTOR_CUTOFF, MarkBuffers, MarkResult, _mark_scalar
+from .ranks import RankEncoder
 
 _I64 = np.int64
-
-#: Largest int whose float64 image is exact; int priorities beyond this
-#: would make the vectorized rank order disagree with Python's, so they
-#: demote the pool to the list-based kernel instead.
-_EXACT_INT = 2**53
 
 
 class _PrivateAllocator:
@@ -70,10 +67,15 @@ class RoundPool:
 
     ``add`` returns the slot id the executor stores as the task's window
     value; ``remove`` recycles it.  ``numeric`` stays True while every
-    admitted priority is an int/float whose float64 image is
-    order-exact — once it flips, :func:`pooled_mark_round` permanently
-    falls back to the list-based kernel (slots still track caches, so the
-    fallback needs no migration).
+    admitted priority is accepted by the pool's
+    :class:`~repro.core.flat.ranks.RankEncoder` (any comparable mix of
+    ints, finite floats, strings, bytes and tuples/lists thereof — all
+    seven bundled apps' tuple priorities included) — once it flips,
+    :func:`pooled_mark_round` permanently falls back to the list-based
+    kernel (slots still track caches, so the fallback needs no
+    migration).  Per slot the pool stores the priority's stable *key id*;
+    ranks are gathered through the encoder at sort time, so encoder
+    renumbers never touch pool state.
     """
 
     __slots__ = (
@@ -81,7 +83,7 @@ class RoundPool:
         "starts",
         "lens",
         "wlens",
-        "prio",
+        "keyid",
         "tid",
         "caches",
         "free",
@@ -89,12 +91,13 @@ class RoundPool:
         "live_entries",
         "max_loc",
         "numeric",
+        "ranks",
         "_alloc",
         "_pending_slots",
         "_pending_entries",
     )
 
-    def __init__(self, allocator=None) -> None:
+    def __init__(self, allocator=None, ranks: RankEncoder | None = None) -> None:
         alloc = _PRIVATE if allocator is None else allocator
         self._alloc = alloc
         self.loc = alloc.empty("loc", 1024, _I64)  # entry pool (append-only)
@@ -102,7 +105,7 @@ class RoundPool:
         self.starts = alloc.zeros("starts", n, _I64)
         self.lens = alloc.zeros("lens", n, _I64)
         self.wlens = alloc.zeros("wlens", n, _I64)
-        self.prio = alloc.zeros("prio", n, np.float64)
+        self.keyid = alloc.zeros("keyid", n, _I64)
         self.tid = alloc.zeros("tid", n, _I64)
         self.caches: list = [None] * n
         self.free: list[int] = list(range(n - 1, -1, -1))
@@ -110,8 +113,12 @@ class RoundPool:
         self.live_entries = 0
         self.max_loc = -1
         self.numeric = True
-        # (slot, n_writers, n_total, priority_f64, tid) per buffered add.
-        self._pending_slots: list[tuple[int, int, int, float, int]] = []
+        # The rank encoder is parent-private (workers never sort), so it
+        # never goes through the allocator; sharing one across pools is
+        # allowed — key ids are append-only and order-stable.
+        self.ranks = RankEncoder() if ranks is None else ranks
+        # (slot, n_writers, n_total, priority_key_id, tid) per buffered add.
+        self._pending_slots: list[tuple[int, int, int, int, int]] = []
         self._pending_entries: list[list[int]] = []
 
     def add(self, task: Task, cache: tuple) -> int:
@@ -130,34 +137,40 @@ class RoundPool:
         n = len(wids) + len(rids)
         self.caches[slot] = cache
         self.live_entries += n
-        priority = task.priority
-        prio_f = 0.0
+        kid = 0
         if self.numeric:
-            if type(priority) is int:
-                if -_EXACT_INT <= priority <= _EXACT_INT:
-                    prio_f = float(priority)
-                else:
-                    self.numeric = False
-            elif type(priority) is float:
-                prio_f = priority
-            else:
+            kid = self.ranks.key_id_for(task)
+            if kid is None:
                 self.numeric = False
+                kid = 0
         # Entries are buffered as lists and written to the pool in bulk at
         # the next flush — writers first, matching the kernel edge order.
         # The add-time lengths ride along: a slot can be recycled with a
         # different rw-set while still pending (scalar rounds defer
         # flushing), and the flush must lay out each occurrence's block by
         # the lengths it had when buffered, not the slot's current ones.
-        self._pending_slots.append((slot, len(wids), n, prio_f, task.tid))
+        self._pending_slots.append((slot, len(wids), n, kid, task.tid))
         self._pending_entries.append(wids)
         self._pending_entries.append(rids)
         if len(self._pending_slots) > 8192:
             self.flush()
         return slot
 
+    def add_batch(self, tasks: list[Task], caches: list[tuple]) -> list[int]:
+        """Register a batch; returns the slot per task (in order).
+
+        Equivalent to ``[self.add(t, c) for t, c in zip(tasks, caches)]``
+        but primes the rank encoder first, so a window build dense-ranks
+        its distinct priorities in one sort instead of N bisected inserts.
+        """
+        if self.numeric:
+            self.ranks.prime(tasks)
+        return [self.add(task, cache) for task, cache in zip(tasks, caches)]
+
     def remove(self, slot: int) -> None:
         """Recycle ``slot``; its entries stay in the pool until compaction."""
-        self.live_entries -= len(self.caches[slot][2])
+        cache = self.caches[slot]
+        self.live_entries -= len(cache[4]) + len(cache[5])
         self.caches[slot] = None
         self.free.append(slot)
 
@@ -183,16 +196,16 @@ class RoundPool:
         starts = self.starts
         lens = self.lens
         wlens = self.wlens
-        prio = self.prio
+        keyid = self.keyid
         tid = self.tid
-        for slot, n_w, length, prio_f, tid_i in pending:
+        for slot, n_w, length, kid, tid_i in pending:
             # A recycled slot's later occurrence overwrites its metadata,
             # so the slot points at its current entries; earlier blocks
             # become dead pool space reclaimed by compaction.
             starts[slot] = top
             lens[slot] = length
             wlens[slot] = n_w
-            prio[slot] = prio_f
+            keyid[slot] = kid
             tid[slot] = tid_i
             top += length
         self.top = top
@@ -203,17 +216,27 @@ class RoundPool:
         if top > 65536 and self.live_entries * 4 < top:
             self._compact()
 
+    def window_order(self, slots_arr: np.ndarray) -> np.ndarray:
+        """Rank order of a window's slots — the scalar ``sort_key`` order.
+
+        Gathers the encoder's current int64 ranks through the per-slot key
+        ids and lexsorts with tid as the tie-breaker; exact by the
+        encoder's order-preservation contract.  Callers must have flushed
+        pending insertions first (the key-id array is flush-materialized
+        like every other slot column).
+        """
+        return np.lexsort(
+            (self.tid[slots_arr], self.ranks.ranks_of(self.keyid[slots_arr]))
+        )
+
     def _grow_slots(self) -> None:
         n = len(self.lens)
         cap = 2 * n
-        for name in ("starts", "lens", "wlens", "tid"):
+        for name in ("starts", "lens", "wlens", "keyid", "tid"):
             arr = getattr(self, name)
             grown = self._alloc.zeros(name, cap, _I64)
             grown[:n] = arr
             setattr(self, name, grown)
-        grown_p = self._alloc.zeros("prio", cap, np.float64)
-        grown_p[:n] = self.prio
-        self.prio = grown_p
         self.caches.extend([None] * n)
         self.free.extend(range(cap - 1, n - 1, -1))
 
@@ -276,7 +299,7 @@ def pooled_mark_round(
     slots_arr = np.array(slots, dtype=_I64)
     lens_w = pool.lens[slots_arr]
     wlens_w = pool.wlens[slots_arr]
-    order = np.lexsort((pool.tid[slots_arr], pool.prio[slots_arr]))
+    order = pool.window_order(slots_arr)
     min_index = int(order[0])
 
     # Gather the rank-ordered edge list from the pool: one fancy index

@@ -1,0 +1,248 @@
+"""Order-preserving encoding of app priorities into int64 ranks.
+
+Every bundled app declares *tuple* priorities (``(time, ball)``,
+``(row, col, k, phase)``, …), which numpy cannot compare — so without
+help the :class:`~repro.core.flat.pool.RoundPool` demotes to the scalar
+kernel on the first ``add`` and the vectorized/mp mark phases never run
+on real workloads.  A :class:`RankEncoder` fixes that with the
+PriorityGraph move (dense integer buckets for app-level priorities) plus
+DePa-style order maintenance (explicit integer ranks answering order
+queries in O(1)):
+
+* each **distinct** priority gets a stable *key id* (dense, append-only)
+  and a mutable int64 *rank* whose numeric order always equals the
+  priority order;
+* a window build batch-encodes its priorities in one sort
+  (:meth:`prime` — sort-and-dense-rank with wide gaps);
+* kinetic re-adds insert incrementally at the bisected position, taking
+  the midpoint of the neighboring ranks; when a gap is exhausted the
+  encoder renumbers every rank with even spacing (amortized O(1) per
+  insert for any sane adversary — the rank space is 2**62 wide, so a
+  renumber buys ~60 consecutive midpoint splits per neighbor pair).
+
+Pools store the *key id* per slot and gather current ranks through the
+encoder at sort time, so a renumber is encoder-local: no pool array, no
+buffered insertion, and no cached value ever goes stale.
+
+Schedule invariance is the contract: for priorities the encoder admits,
+``(rank(p), tid) < (rank(q), tid')`` iff ``(p, tid) < (q, tid')`` — the
+scalar ``sort_key`` order, bit for bit.  To keep that airtight the
+encoder only admits values whose equality agrees with their ordering:
+ints, bools, strs, bytes, *finite* floats, and tuples/lists thereof
+(exact types only).  NaN — whose reflexive ``==`` is False while ``<``
+is never True — and every other type return ``None`` from
+:meth:`key_id`, demoting the pool to the (always-correct) scalar kernel.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from math import isfinite
+from typing import Any
+
+import numpy as np
+
+#: Usable rank space ``[0, _SPAN)`` — comfortably inside int64 so the
+#: mark kernels' ``UNMARKED`` sentinel (int64 max) stays unreachable.
+_SPAN = 1 << 62
+
+#: Dict-miss sentinel (``None`` is a real value: "known unencodable").
+_MISS = object()
+
+
+def _encodable(priority: Any) -> bool:
+    """Whether ``priority`` may enter the total order.
+
+    Exact builtin types only: a subclass (or a numpy scalar) may override
+    ``__eq__``/``__lt__`` inconsistently with the dict collapsing the
+    encoder relies on.  Floats must be finite — NaN breaks both ordering
+    and equality, and ±inf would still order correctly but is rejected
+    alongside for simplicity of the contract (and of the tests).
+    """
+    t = type(priority)
+    if t is int or t is str or t is bool or t is bytes:
+        return True
+    if t is float:
+        return isfinite(priority)
+    if t is tuple or t is list:
+        for element in priority:
+            if not _encodable(element):
+                return False
+        return True
+    return False
+
+
+class RankEncoder:
+    """Order-preserving map from comparable priorities to int64 ranks.
+
+    ``key_id`` returns a priority's stable key id (allocating one on
+    first sight) or ``None`` when the priority cannot be admitted;
+    ``ranks_of`` gathers the *current* ranks for an array of key ids.
+    One encoder per pool (or per flat KDG); key ids are meaningless
+    across encoders.
+    """
+
+    __slots__ = ("_key_of", "_keys", "_order", "_rank", "_rank_arr", "renumbers")
+
+    def __init__(self) -> None:
+        self._key_of: dict[Any, int | None] = {}  # priority -> kid (None = rejected)
+        self._keys: list[Any] = []                # kid -> priority
+        self._order: list[int] = []               # kids, sorted by priority
+        self._rank: list[int] = []                # kid -> current rank
+        self._rank_arr: np.ndarray = np.empty(64, dtype=np.int64)
+        self.renumbers = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def key_id(self, priority: Any) -> int | None:
+        """Stable key id for ``priority``; ``None`` if unencodable."""
+        try:
+            kid = self._key_of.get(priority, _MISS)
+        except TypeError:  # unhashable priority: nothing to key the dict on
+            return None
+        if kid is not _MISS:
+            return kid
+        return self._insert(priority)
+
+    def key_id_for(self, task) -> int | None:
+        """:meth:`key_id` memoized on ``task.rank_cache``.
+
+        The cache is keyed by encoder identity (the ``flat_cache`` idiom),
+        so a task migrating between runs can never leak a stale id; a
+        rejection is cached too — kinetic re-adds of a demoted task stay
+        O(1).
+        """
+        cached = task.rank_cache
+        if cached is not None and cached[0] is self:
+            return cached[1]
+        kid = self.key_id(task.priority)
+        task.rank_cache = (self, kid)
+        return kid
+
+    def prime(self, tasks: list) -> None:
+        """Batch-encode a window's priorities (sets every ``rank_cache``).
+
+        A virgin encoder dense-ranks the batch's distinct priorities in
+        one sort with even gap spacing; later batches insert their new
+        distinct priorities in sorted order (so midpoint gaps erode
+        geometrically, not linearly).  Unencodable priorities are cached
+        as rejections; the pool's ``add`` demotes on seeing them.
+        """
+        fresh = []
+        key_of = self._key_of
+        for task in tasks:
+            cached = task.rank_cache
+            if cached is not None and cached[0] is self:
+                continue
+            try:
+                kid = key_of.get(task.priority, _MISS)
+            except TypeError:
+                task.rank_cache = (self, None)
+                continue
+            if kid is not _MISS:
+                task.rank_cache = (self, kid)
+                continue
+            fresh.append(task)
+        if not fresh:
+            return
+        distinct: dict[Any, None] = {}
+        for task in fresh:
+            distinct[task.priority] = None
+        if not self._keys and self._dense_build(list(distinct)):
+            for task in fresh:
+                task.rank_cache = (self, key_of[task.priority])
+            return
+        # Incremental: admit new keys smallest-first so each insert lands
+        # against a fresh neighbor gap instead of splitting one repeatedly.
+        new_keys = list(distinct)
+        try:
+            new_keys.sort()
+        except TypeError:
+            pass  # mixed/incomparable: per-key classification below
+        for priority in new_keys:
+            self.key_id(priority)
+        for task in fresh:
+            task.rank_cache = (self, self.key_id(task.priority))
+
+    # ------------------------------------------------------------------
+    # Rank queries
+    # ------------------------------------------------------------------
+    def rank(self, kid: int) -> int:
+        """Current rank of key id ``kid`` (valid until the next insert)."""
+        return self._rank[kid]
+
+    def ranks_of(self, kids: np.ndarray) -> np.ndarray:
+        """Current int64 ranks for an array of key ids (one gather)."""
+        return self._rank_arr[kids]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dense_build(self, new_keys: list) -> bool:
+        """Even-gap build of an empty encoder; False if any key is bad."""
+        for priority in new_keys:
+            if not _encodable(priority):
+                return False
+        try:
+            new_keys.sort()
+        except TypeError:  # admitted types, but mutually incomparable
+            return False
+        n = len(new_keys)
+        gap = _SPAN // (n + 1)
+        self._keys = new_keys
+        self._order = list(range(n))
+        self._rank = [(i + 1) * gap for i in range(n)]
+        key_of = self._key_of
+        for kid, priority in enumerate(new_keys):
+            key_of[priority] = kid
+        arr = self._rank_arr
+        if n > len(arr):
+            arr = self._rank_arr = np.empty(max(2 * len(arr), n), dtype=np.int64)
+        arr[:n] = self._rank
+        return True
+
+    def _insert(self, priority: Any) -> int | None:
+        if not _encodable(priority):
+            self._key_of[priority] = None
+            return None
+        order = self._order
+        keys = self._keys
+        try:
+            pos = bisect_left(order, priority, key=keys.__getitem__)
+        except TypeError:  # incomparable with an already-admitted priority
+            self._key_of[priority] = None
+            return None
+        rank = self._rank
+        lo = rank[order[pos - 1]] if pos else -1
+        hi = rank[order[pos]] if pos < len(order) else _SPAN
+        if hi - lo < 2:  # gap exhausted: respace every rank evenly
+            self._renumber()
+            lo = rank[order[pos - 1]] if pos else -1
+            hi = rank[order[pos]] if pos < len(order) else _SPAN
+        kid = len(keys)
+        keys.append(priority)
+        self._key_of[priority] = kid
+        order.insert(pos, kid)
+        new_rank = (lo + hi) // 2
+        rank.append(new_rank)
+        arr = self._rank_arr
+        if kid >= len(arr):
+            grown = np.empty(2 * len(arr), dtype=np.int64)
+            grown[:kid] = arr[:kid]
+            arr = self._rank_arr = grown
+        arr[kid] = new_rank
+        return kid
+
+    def _renumber(self) -> None:
+        gap = _SPAN // (len(self._order) + 1)
+        rank = self._rank
+        value = 0
+        for kid in self._order:
+            value += gap
+            rank[kid] = value
+        self._rank_arr[: len(rank)] = rank
+        self.renumbers += 1

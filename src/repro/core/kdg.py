@@ -79,11 +79,17 @@ class KDG:
         if interner is None:
             self.rwsets: RWSetIndex | None = RWSetIndex()
             self.flat_index = None
+            self.ranks = None
         else:
             from .flat.index import FlatRWIndex
+            from .flat.ranks import RankEncoder
 
             self.rwsets = None
             self.flat_index = FlatRWIndex()
+            #: Priority rank encoder for the batched build: int64 rank
+            #: compares replace (possibly deeply nested) tuple compares in
+            #: the predecessor/successor classification, order-identically.
+            self.ranks = RankEncoder()
 
     def __len__(self) -> int:
         return len(self.graph)
@@ -303,6 +309,20 @@ class KDG:
         n = len(tasks)
         caches = [task_lists(task) for task in tasks]
         id_lists = [cache[0] for cache in caches]
+        # Rank-encode the batch's priorities so the classification loop
+        # below compares (int64 rank, tid) pairs instead of arbitrary
+        # (often nested-tuple) sort keys.  Order-identical by the
+        # encoder's contract; any rejected priority falls back to the
+        # plain sort keys for the whole batch.
+        ranks = self.ranks
+        ranks.prime(tasks)
+        keys: list[tuple] = []
+        for task in tasks:
+            kid = task.rank_cache[1]
+            if kid is None:
+                keys = [t.sort_key for t in tasks]
+                break
+            keys.append((ranks.rank(kid), task.tid))
         slot_of = {task: slot for slot, task in enumerate(tasks)}
         if len(slot_of) != n:
             raise ValueError("duplicate task in initial batch")
@@ -386,12 +406,12 @@ class KDG:
             edge_ops = 0
             found = partners.get(slot)
             if found:
-                key = task.sort_key
+                key = keys[slot]
                 preds: list[Task] = []
                 succs: list[Task] = []
                 for earlier in found:
                     other = task_of[earlier]
-                    if other.sort_key < key:
+                    if keys[earlier] < key:
                         preds.append(other)
                     else:
                         if check_safety and other in protected:

@@ -26,6 +26,7 @@ class Task:
         "write_set",
         "rw_valid",
         "flat_cache",
+        "rank_cache",
     )
 
     def __init__(self, item: Any, priority: Any, tid: int):
@@ -50,6 +51,12 @@ class Task:
         #: interner; keyed by the identity of the first two so it can never
         #: leak across runs or refreshes.
         self.flat_cache = None
+        #: Rank-encoder scratch: ``(encoder, key_id)`` memoizing this
+        #: task's priority key in one :class:`~repro.core.flat.ranks.
+        #: RankEncoder` (``key_id`` is None when the priority was
+        #: rejected).  Same identity-keyed idiom as ``flat_cache``:
+        #: priorities are immutable, so only the encoder can go stale.
+        self.rank_cache = None
 
     def writes(self, location: Any) -> bool:
         return location in self.write_set

@@ -157,20 +157,27 @@ def run_ikdg(
                 ):
                     _, level_tasks = backlog.pop_level()
                     if pooled:
-                        for task in level_tasks:
-                            window[task] = pool.add(
-                                task, compute_rw_lists(task, interner)
-                            )
+                        caches = [
+                            compute_rw_lists(task, interner) for task in level_tasks
+                        ]
+                        for task, slot in zip(
+                            level_tasks, pool.add_batch(level_tasks, caches)
+                        ):
+                            window[task] = slot
                             refill_costs.append(cm.worklist_op)
                     else:
                         for task in level_tasks:
                             window[task] = None
                             refill_costs.append(cm.worklist_op)
             elif pooled:
-                while len(window) < window_size and backlog:
-                    task = backlog.pop()
-                    window[task] = pool.add(task, compute_rw_lists(task, interner))
+                batch: list = []
+                while len(window) + len(batch) < window_size and backlog:
+                    batch.append(backlog.pop())
                     refill_costs.append(pq_cost(len(backlog)))
+                if batch:
+                    caches = [compute_rw_lists(task, interner) for task in batch]
+                    for task, slot in zip(batch, pool.add_batch(batch, caches)):
+                        window[task] = slot
             else:
                 while len(window) < window_size and backlog:
                     task = backlog.pop()
@@ -374,6 +381,10 @@ def run_ikdg(
             machine.wall_stats = mp_backend.wall_stats()
             mp_metrics["mp"] = machine.wall_stats.summary()
             mp_metrics["mp_workers"] = mp_backend.workers
+        if pooled:
+            # True iff every admitted priority rank-encoded, i.e. the
+            # vectorized/mp kernels were eligible for the whole run.
+            mp_metrics["flat_pool_numeric"] = pool.numeric
     finally:
         if owns_backend:
             mp_backend.close()

@@ -140,17 +140,18 @@ def run_level_by_level(
                     if pooled:
                         # Register batch newcomers (level entrants and
                         # in-level children); losers already hold slots.
-                        slots: list[int] = []
-                        s_append = slots.append
-                        for task in level_tasks:
-                            slot = slot_of.get(task)
-                            if slot is None:
-                                cache = task.flat_cache
-                                if cache is None:
-                                    cache = compute_rw_lists(task, interner)
-                                slot = pool.add(task, cache)
-                                slot_of[task] = slot
-                            s_append(slot)
+                        newcomers = [t for t in level_tasks if t not in slot_of]
+                        if newcomers:
+                            caches = [
+                                t.flat_cache
+                                if t.flat_cache is not None
+                                else compute_rw_lists(t, interner)
+                                for t in newcomers
+                            ]
+                            slot_of.update(
+                                zip(newcomers, pool.add_batch(newcomers, caches))
+                            )
+                        slots = [slot_of[t] for t in level_tasks]
                         marked = mark_pooled(
                             pool, level_tasks, slots, buffers, rw_visit, mark_cas
                         )
@@ -252,6 +253,10 @@ def run_level_by_level(
             machine.wall_stats = mp_backend.wall_stats()
             mp_metrics["mp"] = machine.wall_stats.summary()
             mp_metrics["mp_workers"] = mp_backend.workers
+        if pooled:
+            # True iff every admitted priority rank-encoded, i.e. the
+            # vectorized/mp kernels were eligible for the whole run.
+            mp_metrics["flat_pool_numeric"] = pool.numeric
     finally:
         if owns_backend:
             mp_backend.close()

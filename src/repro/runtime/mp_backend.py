@@ -11,7 +11,7 @@ control messages cross the pipes; per-round data never gets pickled.
 
 One mark round is three sharded phases separated by pipe barriers::
 
-    parent: flush pool, lexsort the window, write ranked header arrays
+    parent: flush pool, rank-order the window, write ranked header arrays
             (h_starts/h_rl/h_wl/h_ends), broadcast ("round", ...)
     A  each worker k, over entry shard [k*total//W, (k+1)*total//W):
        rebuild its shard of the rank-ordered edge list from the headers
@@ -175,7 +175,7 @@ def simulate_sharded_round(
     slots_arr = np.array(slots, dtype=_I64)
     lens_w = pool.lens[slots_arr]
     wlens_w = pool.wlens[slots_arr]
-    order = np.lexsort((pool.tid[slots_arr], pool.prio[slots_arr]))
+    order = pool.window_order(slots_arr)
     rl = lens_w[order]
     h_ends = np.cumsum(rl)
     h_starts = pool.starts[slots_arr][order]
@@ -518,7 +518,7 @@ class MPMarkBackend:
         slots_arr = np.array(slots, dtype=_I64)
         lens_w = pool.lens[slots_arr]
         wlens_w = pool.wlens[slots_arr]
-        order = np.lexsort((pool.tid[slots_arr], pool.prio[slots_arr]))
+        order = pool.window_order(slots_arr)
         min_index = int(order[0])
         rl = lens_w[order]
         ends = np.cumsum(rl)

@@ -35,3 +35,25 @@ class TestCLI:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "not-an-app"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "lu", "--impl", "ikdg", "--workers", "4"],
+            ["oracle", "lu", "--seeds", "0", "--workers", "4"],
+            ["bench", "--quick", "--no-compare", "--workers", "4"],
+        ],
+        ids=["run", "oracle", "bench"],
+    )
+    def test_workers_without_mp_backend_errors(self, argv, capsys):
+        # Regression: --workers used to parse on every subcommand but was
+        # silently ignored unless --backend mp was also given.
+        assert main(argv) == 2
+        assert "--workers requires --backend mp" in capsys.readouterr().err
+
+    def test_workers_with_mp_backend_accepted(self, capsys):
+        assert main(
+            ["run", "lu", "--impl", "ikdg", "--backend", "mp", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mp backend : 2 worker(s)" in out

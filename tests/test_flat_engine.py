@@ -386,8 +386,10 @@ class TestRoundPool:
         start = int(pool.starts[slot_b])
         assert int(pool.loc[start]) == interner.intern(("loc", 3))
 
-    def test_non_numeric_priority_demotes_to_scalar_kernel(self):
-        from repro.core.flat import pool as pool_mod
+    def test_tuple_priorities_stay_numeric(self):
+        # The rank encoder admits the apps' tuple priorities, so the pool
+        # no longer demotes on them (the PR-6 caveat) — and the vector
+        # kernel result still matches the list-based reference.
         from repro.core.flat.pool import RoundPool
 
         rng = random.Random(5)
@@ -395,20 +397,43 @@ class TestRoundPool:
         pool = RoundPool()
         tasks = _pool_tasks(rng, interner, 10, numeric=False)
         slots = [pool.add(t, t.flat_cache) for t in tasks]
-        assert not pool.numeric
+        assert pool.numeric
         got = self._pooled(pool, tasks, slots)
         want = mark_round(
             tasks, [t.flat_cache for t in tasks], MarkBuffers(), 3.0, 7.0
         )
         assert got == want
-        # Exact-float demotion: a 2**53+1 int priority can't round-trip.
+        # Huge ints are encodable too: ranks are int64 key-id indirections,
+        # not float64 images, so 2**53+1 no longer demotes.
         pool2 = RoundPool()
         huge = Task(None, 2**53 + 1, 0)
         huge.rw_set = ()
         huge.write_set = frozenset()
         interner.task_lists(huge)
         pool2.add(huge, huge.flat_cache)
-        assert not pool2.numeric
+        assert pool2.numeric
+
+    def test_non_encodable_priority_demotes_to_scalar_kernel(self):
+        from repro.core.flat.pool import RoundPool
+
+        rng = random.Random(5)
+        interner = LocationInterner()
+        pool = RoundPool()
+        tasks = _pool_tasks(rng, interner, 10)
+        # NaN breaks ordering-vs-equality consistency; the encoder rejects
+        # it and the pool permanently falls back to the scalar kernel.
+        poison = Task(None, float("nan"), len(tasks))
+        poison.rw_set = (("loc", 0),)
+        poison.write_set = frozenset()
+        interner.task_lists(poison)
+        tasks.append(poison)
+        slots = [pool.add(t, t.flat_cache) for t in tasks]
+        assert not pool.numeric
+        got = self._pooled(pool, tasks[:-1], slots[:-1])
+        want = mark_round(
+            tasks[:-1], [t.flat_cache for t in tasks[:-1]], MarkBuffers(), 3.0, 7.0
+        )
+        assert got == want
 
 
 class TestFlatBatchBuild:

@@ -108,12 +108,20 @@ class TestKernelEquality:
             assert backend.mp_rounds > 0
 
     def test_non_numeric_pool_falls_back_inline(self):
+        # Tuple priorities rank-encode (they no longer demote), so a
+        # genuinely unencodable NaN priority stands in for "non-numeric".
         rng = random.Random(7)
         interner = LocationInterner()
         with MPMarkBackend(workers=2, threshold=0) as backend:
             pool = backend.new_pool()
-            tasks = _make_tasks(rng, interner, 8, numeric=False)
+            tasks = _make_tasks(rng, interner, 8)
+            poison = Task(None, float("nan"), len(tasks))
+            poison.rw_set = (("loc", 0),)
+            poison.write_set = frozenset()
+            interner.task_lists(poison)
+            tasks.append(poison)
             slots = [pool.add(t, t.flat_cache) for t in tasks]
+            assert not pool.numeric
             got = backend.mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
             want = pooled_mark_round(pool, tasks, slots, MarkBuffers(), 3.0, 7.0)
             assert got == want

@@ -107,17 +107,20 @@ class TestShardInvariance:
         assert got == want
 
     def test_non_numeric_pool_rejected(self):
+        # Tuple priorities rank-encode now, so only a genuinely
+        # unencodable priority (NaN) demotes the pool.
         interner = LocationInterner()
         pool = RoundPool()
-        task = _build_task(0, (1, 0), [1, 2], 1, interner)
+        task = _build_task(0, float("nan"), [1, 2], 1, interner)
         slots = [pool.add(task, task.flat_cache)]
+        assert not pool.numeric
         with pytest.raises(ValueError, match="numeric"):
             simulate_sharded_round(pool, [task], slots, 3.0, 7.0, [(0, 2)])
 
 
 class TestViewCoherence:
     #: The pool-owned tags a worker-side attach must see coherently.
-    POOL_TAGS = ("loc", "starts", "lens", "wlens", "prio", "tid")
+    POOL_TAGS = ("loc", "starts", "lens", "wlens", "keyid", "tid")
 
     def _run_program(self, ops, pool, interner, live):
         tid = len(live)
@@ -159,7 +162,7 @@ class TestViewCoherence:
             assert shared.numeric == private.numeric
             assert np.array_equal(shared.loc[: shared.top],
                                   private.loc[: private.top])
-            for tag in ("starts", "lens", "wlens", "prio", "tid"):
+            for tag in ("starts", "lens", "wlens", "keyid", "tid"):
                 a, b = getattr(shared, tag), getattr(private, tag)
                 n = min(len(a), len(b))
                 assert np.array_equal(a[:n], b[:n]), tag
@@ -178,6 +181,15 @@ class TestViewCoherence:
                 finally:
                     shm.close()
 
+            # live_entries is exactly the summed rw-set sizes of the live
+            # caches (add and remove count the same thing), at every point
+            # of any churn program — compaction sizing depends on it.
+            for pool in (shared, private):
+                want = sum(
+                    len(c[4]) + len(c[5]) for c in pool.caches if c is not None
+                )
+                assert pool.live_entries == want
+
             # Marking runs identically on both pools (when still usable).
             if live_s and shared.numeric:
                 tasks = [t for t, _ in live_s]
@@ -194,3 +206,54 @@ class TestViewCoherence:
                 assert got == want
         finally:
             arena.close()
+
+
+class TestNonFinitePriorities:
+    """Regression: NaN/inf float priorities must demote, not poison.
+
+    A NaN admitted as "numeric" used to poison the vectorized ordering
+    (NaN compares False against everything); the rank encoder now rejects
+    every non-finite float — bare or nested inside a tuple — so such
+    pools permanently take the scalar (always-correct) kernel.
+    """
+
+    @given(
+        bad=st.sampled_from([float("nan"), float("inf"), float("-inf")]),
+        nest=st.integers(min_value=0, max_value=2),
+        prefix=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False), max_size=3
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_non_finite_always_demotes(self, bad, nest, prefix):
+        interner = LocationInterner()
+        pool = RoundPool()
+        priority = bad
+        for _ in range(nest):
+            priority = (*prefix, priority)
+        task = _build_task(0, priority, [1], 1, interner)
+        pool.add(task, task.flat_cache)
+        assert not pool.numeric
+
+    @given(
+        prios=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_finite_floats_stay_numeric_and_ordered(self, prios):
+        interner = LocationInterner()
+        pool = RoundPool()
+        tasks = [
+            _build_task(tid, pr, [tid % 5], 1, interner)
+            for tid, pr in enumerate(prios)
+        ]
+        for task in tasks:
+            pool.add(task, task.flat_cache)
+        assert pool.numeric
+        ranks = pool.ranks
+        got = sorted(tasks, key=lambda t: (ranks.rank(t.rank_cache[1]), t.tid))
+        want = sorted(tasks, key=lambda t: t.sort_key)
+        assert [t.tid for t in got] == [t.tid for t in want]

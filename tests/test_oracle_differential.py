@@ -261,18 +261,29 @@ class TestCrossBackendMatrix:
         with MPMarkBackend(workers=2, threshold=0) as backend:
             yield backend
 
+    #: (executor, app) combinations whose flat runs pool their windows:
+    #: the pooled mark path needs structure-based rw-sets, which every
+    #: bundled app but MST declares.  These combinations must rank-encode
+    #: (pool stays numeric) and really dispatch worker rounds under mp —
+    #: passing the bit-identity matrix via the inline fallback would hide
+    #: exactly the regression this PR fixes.
+    POOLED_EXECUTORS = ("ikdg", "level-by-level")
+    UNPOOLED_APPS = ("mst",)
+
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("app", sorted(ORACLE_STATES))
     def test_backends_bit_identical(self, app, seed, mp_backend):
         spec = APPS[app]
         for executor in self.BACKEND_EXECUTORS:
             runs = {}
+            mp_delta = 0
             for label, kwargs in (
                 ("dict", {"engine": "dict"}),
                 ("flat", {"engine": "flat"}),
                 ("mp", {"engine": "flat", "backend": mp_backend}),
             ):
                 state = make_oracle_state(app, seed)
+                mp_before = mp_backend.mp_rounds
                 try:
                     result, trace = run_traced(
                         app, executor, state, threads=3, **kwargs
@@ -280,6 +291,8 @@ class TestCrossBackendMatrix:
                 except ValueError:
                     runs[label] = None
                     continue
+                if label == "mp":
+                    mp_delta = mp_backend.mp_rounds - mp_before
                 runs[label] = (result, trace, spec.snapshot(state))
             ref = runs["dict"]
             if ref is None:
@@ -287,6 +300,10 @@ class TestCrossBackendMatrix:
                 assert runs["flat"] is None and runs["mp"] is None
                 continue
             r0, t0, s0 = ref
+            pooled = (
+                executor in self.POOLED_EXECUTORS
+                and app not in self.UNPOOLED_APPS
+            )
             for label in ("flat", "mp"):
                 assert runs[label] is not None, (app, executor, label)
                 r1, t1, s1 = runs[label]
@@ -297,6 +314,15 @@ class TestCrossBackendMatrix:
                 assert r1.breakdown() == r0.breakdown(), ctx
                 assert t1.events == t0.events, ctx
                 assert s1 == s0, ctx
+                # Engagement, not just equivalence: pooled combinations
+                # must rank-encode every app priority end-of-run ...
+                assert r1.metrics.get("flat_pool_numeric") is (
+                    True if pooled else None
+                ), ctx
+            # ... and their mp runs must have dispatched real worker
+            # rounds (threshold=0: every pooled round goes to workers).
+            if pooled:
+                assert mp_delta > 0, (app, executor, seed)
 
     def test_speculation_refuses_mp(self):
         state = make_oracle_state("bfs", 0)

@@ -1,0 +1,184 @@
+"""RankEncoder: order preservation, batch/incremental equivalence, renumber.
+
+The encoder carries the whole schedule-invariance argument for rank-encoded
+pools: for every priority it admits, ``(rank(p), tid)`` must order exactly
+like ``(p, tid)`` — the scalar ``sort_key`` order.  These tests state that
+as a hypothesis property over the apps' priority shapes (ints, floats,
+strings, nested tuples), check that batched :meth:`prime` and one-at-a-time
+:meth:`key_id` produce the same order, force gap exhaustion to exercise
+renumbering, and pin down the rejection contract (non-finite floats, numpy
+scalars, unhashables, incomparable mixes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flat import RankEncoder
+from repro.core.flat import ranks as ranks_mod
+from repro.core.task import Task
+
+#: Priority shapes drawn from what the bundled apps actually use:
+#: ints (bfs/treesum levels), (float, int) pairs (avi/des/billiards-like),
+#: 4-tuples (lu), plus strings and deeper nesting for good measure.
+FINITE_FLOATS = st.floats(allow_nan=False, allow_infinity=False)
+PRIORITIES = st.one_of(
+    st.integers(),
+    st.tuples(FINITE_FLOATS, st.integers()),
+    st.tuples(st.integers(), st.integers(), st.integers(), st.integers()),
+    st.tuples(st.text(max_size=3), st.tuples(st.integers(), FINITE_FLOATS)),
+)
+
+
+def _order_of(encoder, priorities):
+    kids = [encoder.key_id(p) for p in priorities]
+    assert all(k is not None for k in kids)
+    return sorted(range(len(priorities)), key=lambda i: (encoder.rank(kids[i]), i))
+
+
+class TestOrderPreservation:
+    @given(prios=st.lists(st.integers(), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_int_ranks_sort_like_values(self, prios):
+        enc = RankEncoder()
+        got = _order_of(enc, prios)
+        want = sorted(range(len(prios)), key=lambda i: (prios[i], i))
+        assert got == want
+
+    @given(prios=st.lists(PRIORITIES, min_size=1, max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_app_shaped_ranks_sort_like_values(self, prios):
+        # Within one shape priorities are mutually comparable; mixed shapes
+        # may or may not be — either the whole batch encodes and orders
+        # exactly, or some key is rejected (never a wrong order).
+        enc = RankEncoder()
+        kids = []
+        for p in prios:
+            kid = enc.key_id(p)
+            if kid is None:
+                return  # incomparable mix: rejection is the contract
+            kids.append(kid)
+        got = sorted(range(len(prios)), key=lambda i: (enc.rank(kids[i]), i))
+        want = sorted(range(len(prios)), key=lambda i: (prios[i], i))
+        assert got == want
+
+    @given(prios=st.lists(st.integers(), min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_prime_equals_incremental(self, prios):
+        batch = RankEncoder()
+        tasks = [Task(None, p, tid) for tid, p in enumerate(prios)]
+        batch.prime(tasks)
+        incremental = RankEncoder()
+        inc_kids = [incremental.key_id(p) for p in prios]
+        order_b = sorted(
+            range(len(prios)),
+            key=lambda i: (batch.rank(tasks[i].rank_cache[1]), i),
+        )
+        order_i = sorted(
+            range(len(prios)), key=lambda i: (incremental.rank(inc_kids[i]), i)
+        )
+        assert order_b == order_i
+
+    def test_duplicate_priorities_share_one_key_id(self):
+        enc = RankEncoder()
+        a = enc.key_id((1.5, 3))
+        b = enc.key_id((1.5, 3))
+        assert a == b
+        assert len(enc) == 1
+        # Equal-by-value across int/float/bool collapses too — safe
+        # because for these types dict equality == ordering equality.
+        enc2 = RankEncoder()
+        assert enc2.key_id(1) == enc2.key_id(1.0) == enc2.key_id(True)
+        assert len(enc2) == 1
+
+    def test_ranks_of_gathers_current_ranks(self):
+        enc = RankEncoder()
+        kids = [enc.key_id(p) for p in (30, 10, 20)]
+        arr = enc.ranks_of(np.array(kids, dtype=np.int64))
+        assert list(np.argsort(arr, kind="stable")) == [1, 2, 0]
+
+
+class TestRenumber:
+    def test_midpoint_exhaustion_triggers_renumber(self, monkeypatch):
+        # A tiny rank space forces gap exhaustion almost immediately;
+        # order must survive every renumber.
+        monkeypatch.setattr(ranks_mod, "_SPAN", 1 << 6)
+        enc = RankEncoder()
+        prios = [0, 1000]
+        for kid, p in enumerate(prios):
+            assert enc.key_id(p) == kid
+        # Repeated bisection of the same neighbor gap: 500, 250, 125, ...
+        value = 1000
+        while value > 1:
+            value //= 2
+            prios.append(value)
+            enc.key_id(value)
+        assert enc.renumbers > 0
+        order = _order_of(enc, prios)
+        want = sorted(range(len(prios)), key=lambda i: (prios[i], i))
+        assert order == want
+
+    @given(prios=st.lists(st.integers(0, 200), min_size=2, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_order_survives_renumbers(self, prios):
+        enc = RankEncoder()
+        old_span = ranks_mod._SPAN
+        ranks_mod._SPAN = 1 << 8
+        try:
+            got = _order_of(enc, prios)
+        finally:
+            ranks_mod._SPAN = old_span
+        want = sorted(range(len(prios)), key=lambda i: (prios[i], i))
+        assert got == want
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            float("nan"),
+            float("inf"),
+            float("-inf"),
+            (1.0, float("nan")),
+            [0, (1, float("inf"))],
+            np.float64(1.5),  # numpy scalar: not an exact builtin type
+            np.int64(3),
+            (np.float64(1.5), 0),
+            object(),
+            None,
+            {"a": 1},  # unhashable
+            ([1], 2),  # hashable? no — list inside tuple is unhashable
+        ],
+        ids=repr,
+    )
+    def test_unencodable_returns_none(self, bad):
+        enc = RankEncoder()
+        assert enc.key_id(bad) is None
+
+    def test_incomparable_mix_rejects_second_type(self):
+        enc = RankEncoder()
+        assert enc.key_id((1, 2)) is not None
+        # str-vs-tuple comparison raises TypeError inside the bisect; the
+        # offender is rejected, the admitted key survives.
+        assert enc.key_id("zebra") is None
+        assert enc.key_id((0, 9)) is not None
+
+    def test_rejection_is_cached_on_task(self):
+        enc = RankEncoder()
+        task = Task(None, float("nan"), 0)
+        assert enc.key_id_for(task) is None
+        assert task.rank_cache == (enc, None)
+        # A different encoder does not trust the stale cache entry.
+        other = RankEncoder()
+        assert other.key_id_for(task) is None
+        assert task.rank_cache == (other, None)
+
+    def test_prime_caches_rejections_for_unhashables(self):
+        enc = RankEncoder()
+        tasks = [Task(None, {"no": 1}, 0), Task(None, 5, 1)]
+        enc.prime(tasks)
+        assert tasks[0].rank_cache == (enc, None)
+        assert tasks[1].rank_cache[1] is not None
