@@ -14,6 +14,7 @@ from .app import (
     make_random_state,
 )
 from .manual import run_manual, run_other
+from .stream import BFSAdapter
 
 SPEC = AppSpec(
     name="bfs",
@@ -27,9 +28,11 @@ SPEC = AppSpec(
     run_manual=run_manual,
     run_other=run_other,
     auto_options={"level_windows": True},
+    stream_adapter=BFSAdapter,
 )
 
 __all__ = [
+    "BFSAdapter",
     "BFSState",
     "BFS_PROPERTIES",
     "SPEC",

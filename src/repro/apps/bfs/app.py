@@ -70,7 +70,15 @@ def make_random_state(num_nodes: int, avg_degree: float = 4.0, seed: int = 0) ->
     return BFSState(graph, source=0)
 
 
-def make_algorithm(state: BFSState) -> OrderedAlgorithm:
+def make_algorithm(
+    state: BFSState, seed_items: list[tuple[int, int]] | None = None
+) -> OrderedAlgorithm:
+    """The ordered BFS algorithm over ``state``.
+
+    ``seed_items`` replaces the cold start ``[(source, 0)]`` with a repair
+    frontier (streaming sessions): tasks relax from existing distance
+    labels instead of from scratch.
+    """
     graph, dist = state.graph, state.dist
 
     def priority(item: tuple[int, int]) -> tuple[int, int]:
@@ -103,7 +111,11 @@ def make_algorithm(state: BFSState) -> OrderedAlgorithm:
     return OrderedAlgorithm(
         memory_bound_fraction=MEM_FRACTION,
         name="bfs",
-        initial_items=[(state.source, 0)],
+        initial_items=(
+            [(state.source, 0)]
+            if seed_items is None
+            else [(int(n), int(level)) for n, level in seed_items]
+        ),
         priority=priority,
         visit_rw_sets=visit_rw_sets,
         apply_update=apply_update,

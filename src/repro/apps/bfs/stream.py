@@ -1,0 +1,66 @@
+"""Streaming mutation adapter for BFS (edge insertions).
+
+Adding an edge can only *shorten* distances, so the existing labels stay a
+pointwise upper bound and ordered relaxation from the endpoints converges
+to the new exact distances: seed ``(v, dist[u] + 1)`` and ``(u, dist[v] +
+1)`` for each labelled endpoint and let pushes cascade the improvement.
+Edge deletions are unsupported — a deletion can *increase* distances,
+which monotone relaxation cannot express (it would need invalidation, the
+classic decremental-SSSP gap), so ``RemoveEdge`` raises
+:class:`~repro.core.mutations.UnsupportedMutationError`.
+
+The CSR graph is immutable; the adapter keeps the undirected edge list and
+rebuilds the CSR on each insertion (host-side bookkeeping, not simulated
+work — the executor only charges the repair tasks).
+"""
+
+from __future__ import annotations
+
+from ...core.mutations import AddEdge, MutationAdapter, MutationError
+from ...galois.graphs import CSRGraph
+from .app import BFSState, make_algorithm
+
+
+class BFSAdapter(MutationAdapter):
+    supported = (AddEdge,)
+    watermark_policy = "fixpoint"
+    executor = "ikdg"
+    level_windows = True
+
+    def __init__(self, state: BFSState):
+        super().__init__(state)
+        # CSR stores both directions; keep one canonical copy per edge.
+        self._edges = {
+            (min(int(u), int(v)), max(int(u), int(v)))
+            for u, v in state.graph.edges()
+        }
+
+    def make_algorithm(self, seed_items=None, state=None):
+        return make_algorithm(
+            self.state if state is None else state, seed_items
+        )
+
+    def fork_cold(self) -> BFSState:
+        return BFSState(self.state.graph, self.state.source)
+
+    def apply(self, mutation) -> list[tuple[int, int]]:
+        state = self.state
+        u, v = int(mutation.u), int(mutation.v)
+        n = state.graph.num_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            raise MutationError(
+                f"bfs: edge ({u}, {v}) outside node range [0, {n})"
+            )
+        if u == v:
+            raise MutationError(f"bfs: self-loop ({u}, {u}) not allowed")
+        key = (min(u, v), max(u, v))
+        if key in self._edges:
+            return []
+        self._edges.add(key)
+        state.graph = CSRGraph.from_undirected_edges(n, sorted(self._edges))
+        seeds: list[tuple[int, int]] = []
+        if state.dist[u] >= 0:
+            seeds.append((v, int(state.dist[u]) + 1))
+        if state.dist[v] >= 0:
+            seeds.append((u, int(state.dist[v]) + 1))
+        return seeds

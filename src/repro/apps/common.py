@@ -70,6 +70,13 @@ class AppSpec:
     #: strips it before comparing task multisets and last-writer digests.
     #: ``None`` compares priorities verbatim.
     oracle_task_key: Callable[[Any], Any] | None = None
+    #: :class:`~repro.core.mutations.MutationAdapter` subclass wiring this
+    #: app into :class:`~repro.runtime.session.KineticSession`; ``None``
+    #: means the app has no streaming support.
+    stream_adapter: type | None = None
+    #: Dedicated tiny-state builder for property probes and oracle inputs;
+    #: ``None`` falls back to ``make_small``.
+    make_tiny_fn: Callable[[], Any] | None = None
     #: Cached result of :meth:`auto_executor` — the property-driven choice
     #: depends only on the algorithm's declarations, never on state, but
     #: probing it builds (and throws away) a full application state.
@@ -84,22 +91,59 @@ class AppSpec:
 
     def make_tiny(self) -> Any:
         """Smallest state, for property probes; defaults to small."""
+        if self.make_tiny_fn is not None:
+            return self.make_tiny_fn()
         return self.make_small()
 
+    def _executor_config(self, options: dict[str, Any], **defaults: Any):
+        """Build the :class:`~repro.runtime.base.RunConfig` for an
+        ordered-model executor run.
+
+        ``options`` may be RunConfig fields (the common case) or a single
+        ``config=RunConfig(...)`` passthrough; mixing the two is an error.
+        Constructing the config here keeps internal call sites off the
+        executors' legacy-kwarg deprecation shim.  ``defaults`` are
+        app-level settings (``auto_options``, the serial baseline); they
+        fill any config field the caller left at its dataclass default, so
+        e.g. BFS keeps ``level_windows=True`` under a passed-in config.
+        """
+        import dataclasses
+
+        from ..runtime.base import RunConfig
+
+        config = options.pop("config", None)
+        if config is not None:
+            if options:
+                raise TypeError(
+                    f"{self.name}: pass either config= or executor options, "
+                    f"not both (got {sorted(options)})"
+                )
+            base = RunConfig()
+            fill = {
+                key: value
+                for key, value in defaults.items()
+                if getattr(config, key) == getattr(base, key)
+            }
+            return dataclasses.replace(config, **fill) if fill else config
+        return RunConfig(**{**defaults, **options})
+
     def run(self, state: Any, impl: str, machine: SimMachine, **options: Any) -> LoopResult:
-        """Run one implementation over ``state`` on ``machine``."""
-        if impl == "serial":
-            options.setdefault("baseline", self.serial_baseline)
-            return EXECUTORS["serial"](self.algorithm(state), machine=machine, **options)
+        """Run one implementation over ``state`` on ``machine``.
+
+        For the ordered-model executors, ``options`` are
+        :class:`~repro.runtime.base.RunConfig` fields (or one ``config=``
+        instance); hand-specialized implementations (``kdg-manual``,
+        ``other``, app extras) receive ``options`` verbatim.
+        """
+        if impl == "serial" or (impl == "serial-best" and self.run_serial_best is None):
+            cfg = self._executor_config(options, baseline=self.serial_baseline)
+            return EXECUTORS["serial"](self.algorithm(state), machine, cfg)
         if impl == "serial-best":
-            if self.run_serial_best is not None:
-                return self.run_serial_best(state, machine, **options)
-            options.setdefault("baseline", self.serial_baseline)
-            return EXECUTORS["serial"](self.algorithm(state), machine=machine, **options)
+            return self.run_serial_best(state, machine, **options)
         if impl == "kdg-auto":
             name = self.auto_executor()
-            merged = {**self.auto_options, **options}
-            return EXECUTORS[name](self.algorithm(state), machine=machine, **merged)
+            cfg = self._executor_config(options, **self.auto_options)
+            return EXECUTORS[name](self.algorithm(state), machine, cfg)
         if impl == "kdg-manual":
             if self.run_manual is None:
                 raise ValueError(f"{self.name} has no manual executor")
@@ -111,7 +155,7 @@ class AppSpec:
         if impl in self.extra_impls:
             return self.extra_impls[impl](state, machine, **options)
         if impl in EXECUTORS:
-            return EXECUTORS[impl](self.algorithm(state), machine=machine, **options)
+            return EXECUTORS[impl](self.algorithm(state), machine, self._executor_config(options))
         raise ValueError(f"unknown implementation {impl!r}")
 
     def has_impl(self, impl: str) -> bool:

@@ -13,6 +13,11 @@ from .app import (
     make_multiplier_state,
 )
 from .manual import run_manual, run_other
+from .stream import (
+    DESAdapter,
+    make_stream_adder_state,
+    make_stream_multiplier_state,
+)
 from .timewarp import TimeWarpDES, run_timewarp
 from .simulation import DESState
 
@@ -30,15 +35,19 @@ SPEC = AppSpec(
     # counter used only as a FIFO tie-break, and creation order is
     # schedule-dependent.  The logical event (time, gate, port) is not.
     oracle_task_key=lambda priority: priority[:3],
+    stream_adapter=DESAdapter,
 )
 
 __all__ = [
+    "DESAdapter",
     "DESState",
     "DES_PROPERTIES",
     "SPEC",
     "make_adder_state",
     "make_algorithm",
     "make_multiplier_state",
+    "make_stream_adder_state",
+    "make_stream_multiplier_state",
     "run_manual",
     "run_other",
     "run_timewarp",

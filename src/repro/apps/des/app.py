@@ -55,7 +55,15 @@ def make_multiplier_state(bits: int, vectors: int = 8, seed: int = 0) -> DESStat
     return DESState(circuit, _random_vectors(circuit, vectors, seed))
 
 
-def make_algorithm(state: DESState) -> OrderedAlgorithm:
+def make_algorithm(
+    state: DESState, seed_items: list[Event] | None = None
+) -> OrderedAlgorithm:
+    """The ordered DES algorithm over ``state``.
+
+    ``seed_items`` replaces the cold start (``state.initial_events``) with
+    freshly injected stimulus events (streaming sessions): the simulation
+    resumes from its live channel state instead of replaying from t = 0.
+    """
     def priority(item: Event) -> tuple[float, int, int, int]:
         time, gate, port, eid, _, _ = item
         return (time, gate, port, eid)
@@ -79,7 +87,9 @@ def make_algorithm(state: DESState) -> OrderedAlgorithm:
     return OrderedAlgorithm(
         memory_bound_fraction=MEM_FRACTION,
         name="des",
-        initial_items=state.initial_events,
+        initial_items=(
+            state.initial_events if seed_items is None else list(seed_items)
+        ),
         priority=priority,
         visit_rw_sets=visit_rw_sets,
         apply_update=apply_update,

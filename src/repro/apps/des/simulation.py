@@ -48,11 +48,29 @@ class DESState:
         vectors: list[dict[str, int]],
         period: float = 50.0,
         emit_nulls: bool = False,
+        defer_flush: bool = False,
+        schedule: list[tuple[float, dict[str, int]]] | None = None,
     ):
         self.circuit = circuit
-        self.vectors = vectors
+        self.vectors = list(vectors)
         self.period = period
         self.emit_nulls = emit_nulls
+        #: Streaming mode: no flush stimulus is emitted, so channels stay
+        #: open and later vectors can be injected (:meth:`inject_vector`).
+        #: Termination then needs an executor that does not rely on the
+        #: Chandy–Misra safe test (level-by-level drains by time).
+        self.defer_flush = defer_flush
+        #: Explicit (time, vector) stimulus plan.  Defaults to one vector
+        #: per period, which reproduces the classic constructor behavior;
+        #: a streaming session's cold re-run passes the full injected
+        #: schedule so stimulus arrival order (and hence event ids) match.
+        if schedule is None:
+            self._schedule = [
+                (k * period, dict(vec)) for k, vec in enumerate(self.vectors)
+            ]
+        else:
+            self._schedule = [(float(t), dict(vec)) for t, vec in schedule]
+            self.vectors = [dict(vec) for _, vec in self._schedule]
         n = circuit.num_gates
         self.nports = [max(1, len(g.fanin)) for g in circuit.gates]
         self.input_vals = [[0] * self.nports[g.gid] for g in circuit.gates]
@@ -99,17 +117,43 @@ class DESState:
     def _build_stimulus(self) -> list[Event]:
         """Initial tasks: value changes per vector, then the final flush."""
         items: list[Event] = []
-        current = {name: 0 for name in self.circuit.inputs}
-        for k, vector in enumerate(self.vectors):
-            t = k * self.period
+        self._input_levels = {name: 0 for name in self.circuit.inputs}
+        current = self._input_levels
+        for t, vector in self._schedule:
             for name, gid in self.circuit.inputs.items():
                 value = int(vector.get(name, current[name]))
                 if value != current[name]:
                     current[name] = value
                     items.append(self._arrive(t, gid, 0, VAL, value))
-        t_end = len(self.vectors) * self.period
-        for gid in self.circuit.inputs.values():
-            items.append(self._arrive(t_end, gid, 0, FLUSH, 0))
+        if not self.defer_flush:
+            t_end = (
+                self._schedule[-1][0] + self.period if self._schedule else 0.0
+            )
+            for gid in self.circuit.inputs.values():
+                items.append(self._arrive(t_end, gid, 0, FLUSH, 0))
+        return items
+
+    def inject_vector(self, time: float, vector: dict[str, int]) -> list[Event]:
+        """Apply a stimulus vector to the primary inputs at ``time``.
+
+        Only valid in ``defer_flush`` mode (channels must still be open).
+        Returns the task items to push; the vector also joins
+        ``self.vectors`` so :meth:`validate`'s functional oracle sees it.
+        """
+        if not self.defer_flush:
+            raise RuntimeError(
+                "inject_vector requires defer_flush=True (channels are "
+                "closed once the flush stimulus is emitted)"
+            )
+        items: list[Event] = []
+        current = self._input_levels
+        for name, gid in self.circuit.inputs.items():
+            value = int(vector.get(name, current[name]))
+            if value != current[name]:
+                current[name] = value
+                items.append(self._arrive(time, gid, 0, VAL, value))
+        self.vectors.append({k: int(v) for k, v in vector.items()})
+        self._schedule.append((float(time), dict(vector)))
         return items
 
     # ------------------------------------------------------------------

@@ -1,0 +1,97 @@
+"""Streaming mutation adapter for DES (live stimulus injection).
+
+A streaming DES session keeps the gate-level simulation *open*: the state
+is built with ``defer_flush=True`` so no flush stimulus ever closes the
+channels, and each :class:`~repro.core.mutations.InjectEvent` applies a
+new input vector at a simulation time.  Repair runs resume from the live
+channel state — per-port clocks, FIFO queues, wire values — so only the
+newly injected activity is simulated, never the already-drained past.
+
+DES is the *ordered*-watermark case: simulated time already committed is
+irrevocable (rolling it back would mean un-processing events), so an
+injection at or before the committed-priority watermark raises
+:class:`~repro.core.mutations.WatermarkError` instead of silently
+reordering history.  Repairs run under the level-by-level executor, which
+drains strictly by time level and therefore never needs the Chandy–Misra
+flush protocol to terminate.
+"""
+
+from __future__ import annotations
+
+from ...core.mutations import InjectEvent, MutationAdapter, MutationError, WatermarkError
+from ...inputs.circuits import kogge_stone_adder, tree_multiplier
+from .app import _random_vectors, make_algorithm
+from .simulation import DESState
+
+
+def make_stream_multiplier_state(
+    bits: int = 8, vectors: int = 4, seed: int = 0
+) -> DESState:
+    """An open (flush-deferred) tree-multiplier simulation for sessions."""
+    circuit = tree_multiplier(bits)
+    return DESState(
+        circuit, _random_vectors(circuit, vectors, seed), defer_flush=True
+    )
+
+
+def make_stream_adder_state(
+    bits: int = 16, vectors: int = 6, seed: int = 0
+) -> DESState:
+    """An open (flush-deferred) Kogge–Stone adder simulation for sessions."""
+    circuit = kogge_stone_adder(bits)
+    return DESState(
+        circuit, _random_vectors(circuit, vectors, seed), defer_flush=True
+    )
+
+
+class DESAdapter(MutationAdapter):
+    supported = (InjectEvent,)
+    watermark_policy = "ordered"
+    executor = "level-by-level"
+    level_windows = False
+
+    def __init__(self, state: DESState):
+        if not state.defer_flush:
+            raise ValueError(
+                "des: streaming sessions need a DESState built with "
+                "defer_flush=True (a flushed simulation has closed its "
+                "channels; see make_stream_multiplier_state)"
+            )
+        super().__init__(state)
+
+    def make_algorithm(self, seed_items=None, state=None):
+        return make_algorithm(
+            self.state if state is None else state, seed_items
+        )
+
+    def fork_cold(self) -> DESState:
+        # The injected schedule, replayed in injection order: the cold
+        # state assigns event ids in the same sequence the live session
+        # did, so stimulus arrival (and the per-link epsilon bumps) match.
+        return DESState(
+            self.state.circuit,
+            [],
+            self.state.period,
+            defer_flush=True,
+            schedule=[(t, dict(vec)) for t, vec in self.state._schedule],
+        )
+
+    def check_watermark(self, mutation, watermark) -> None:
+        # watermark is the highest committed priority (time, gate, port,
+        # eid); committed simulated time cannot be re-entered.
+        if mutation.time <= watermark[0]:
+            raise WatermarkError(mutation, (mutation.time,), watermark)
+
+    def apply(self, mutation) -> list:
+        vector = mutation.payload
+        if not isinstance(vector, dict):
+            raise MutationError(
+                f"des: InjectEvent payload must be an input-vector dict, "
+                f"got {type(vector).__name__}"
+            )
+        unknown = set(vector) - set(self.state.circuit.inputs)
+        if unknown:
+            raise MutationError(
+                f"des: unknown circuit inputs {sorted(unknown)}"
+            )
+        return self.state.inject_vector(float(mutation.time), vector)

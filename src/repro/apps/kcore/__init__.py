@@ -1,0 +1,43 @@
+"""k-core decomposition — the streaming flagship app.
+
+Not in the original paper's suite: added as the canonical batched-update
+workload (Liu, Shun & Zablotchi 2024, PAPERS.md) for
+:class:`~repro.runtime.session.KineticSession`.  One-shot runs compute
+coreness as an h-operator fixpoint under every ordered executor; the
+streaming adapter repairs it under edge insertions and deletions.
+"""
+
+from ..common import AppSpec
+from .app import (
+    KCORE_PROPERTIES,
+    KCoreState,
+    make_algorithm,
+    make_large_state,
+    make_small_state,
+    make_tiny_state,
+)
+from .stream import KCoreAdapter
+
+SPEC = AppSpec(
+    name="kcore",
+    make_small=lambda: make_small_state(seed=3),
+    make_large=lambda: make_large_state(seed=3),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="linear",
+    auto_options={"level_windows": True},
+    stream_adapter=KCoreAdapter,
+    make_tiny_fn=lambda: make_tiny_state(seed=3),
+)
+
+__all__ = [
+    "KCORE_PROPERTIES",
+    "KCoreAdapter",
+    "KCoreState",
+    "SPEC",
+    "make_algorithm",
+    "make_large_state",
+    "make_small_state",
+    "make_tiny_state",
+]

@@ -1,0 +1,206 @@
+"""k-core decomposition in the ordered model — the streaming flagship.
+
+Coreness is computed as the fixpoint of the local *h-operator* (Lü et al.;
+Liu, Shun & Zablotchi 2024, PAPERS.md): every vertex keeps an estimate
+``est[v]``, initialized to its degree, and a task ``(v, r)`` lowers it to
+``H({est[u] : u ∈ N(v)})`` — the largest ``h`` such that at least ``h``
+neighbors have estimate ``≥ h``.  Any labeling that is pointwise ≥ the true
+coreness and satisfies ``est[v] ≤ H(N(v))`` everywhere *is* the coreness
+(the h-index locality theorem), so the fixpoint is unique and independent
+of execution order — which is exactly what makes the app streamable: a
+mutation only has to restore the upper-bound invariant and seed the
+vertices whose h-value it disturbed.
+
+Round-based tasks ``(v, r)`` with priority ``(r, v)`` are monotonic and
+level-structured (children land in round ``r + 1``), so the app runs under
+every round executor.  Push dedup goes through per-run scheduling cells
+``("sched", v)`` declared in the rw-set: two same-round updaters of a
+common neighbor conflict on its sched cell and serialize in priority
+order, so at most one task per ``(v, r)`` exists and the committed task
+set is schedule-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm, SourceView
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...core.task import Task
+from ...inputs.graphs import random_graph
+
+KCORE_PROPERTIES = AlgorithmProperties(
+    monotonic=True,
+    structure_based_rw_sets=True,
+    stable_source=False,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.85
+
+#: Ops per h-index evaluation plus ops per scanned neighbor — k-core is
+#: neighbor-gather bound, like BFS but with a small counting pass on top.
+NODE_WORK = 60.0
+EDGE_WORK = 20.0
+
+
+class KCoreState:
+    """Mutable undirected graph and the coreness estimates over it.
+
+    The adjacency is a list of neighbor sets — mutable on purpose, this is
+    the app streaming mutations target.  ``est`` starts at the degrees (a
+    pointwise upper bound of coreness) and converges to the coreness.
+    """
+
+    def __init__(self, num_nodes: int, edges: list[tuple[int, int]]):
+        self.num_nodes = num_nodes
+        self.adj: list[set[int]] = [set() for _ in range(num_nodes)]
+        for u, v in edges:
+            if u != v:
+                self.adj[u].add(v)
+                self.adj[v].add(u)
+        self.est = np.array([len(n) for n in self.adj], dtype=np.int64)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Each undirected edge once, ``(min, max)``-ordered, sorted."""
+        return sorted(
+            (u, v) for u in range(self.num_nodes) for v in self.adj[u] if u < v
+        )
+
+    def snapshot(self) -> bytes:
+        return self.est.tobytes()
+
+    def validate(self) -> None:
+        """``est`` must equal the true coreness (checked two ways).
+
+        The self-contained check verifies the h-index locality conditions
+        that characterize coreness exactly; when networkx is importable the
+        estimates are additionally compared against its ``core_number``.
+        """
+        est, adj = self.est, self.adj
+        for v in range(self.num_nodes):
+            k = int(est[v])
+            # Sub-solution: at least est[v] neighbors with est ≥ est[v].
+            assert sum(1 for u in adj[v] if est[u] >= k) >= k, (
+                f"vertex {v}: est {k} exceeds its h-index"
+            )
+        # Super-solution: {v: est[v] ≥ t} must be the t-core's superset —
+        # equivalently each maximal level set induces min degree ≥ t, which
+        # the sub-solution check already gives.  Cross-check exactly:
+        try:
+            import networkx as nx
+        except ImportError:
+            return
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_nodes))
+        g.add_edges_from(self.edges())
+        core = nx.core_number(g)
+        for v in range(self.num_nodes):
+            assert int(est[v]) == core[v], (
+                f"vertex {v}: est {int(est[v])} != coreness {core[v]}"
+            )
+
+
+def make_small_state(seed: int = 0) -> KCoreState:
+    _, edges, _ = random_graph(120, avg_degree=6.0, seed=seed)
+    return KCoreState(120, edges)
+
+
+def make_large_state(seed: int = 0) -> KCoreState:
+    _, edges, _ = random_graph(2000, avg_degree=8.0, seed=seed)
+    return KCoreState(2000, edges)
+
+
+def make_tiny_state(seed: int = 0) -> KCoreState:
+    _, edges, _ = random_graph(28, avg_degree=4.0, seed=seed)
+    return KCoreState(28, edges)
+
+
+def make_algorithm(
+    state: KCoreState, seed_items: list[tuple[int, int]] | None = None
+) -> OrderedAlgorithm:
+    """Build the h-operator fixpoint loop over the current graph.
+
+    ``seed_items`` restricts the initial round-0 tasks to the given
+    vertices (the streaming repair path); ``None`` seeds every vertex (cold
+    run).  The per-run ``sched`` array dedups pushes: at most one task per
+    ``(v, round)`` ever exists, so same-priority ties cannot arise and
+    every serializable schedule commits the identical task set.
+    """
+    adj, est = state.adj, state.est
+    n = state.num_nodes
+    sched = np.full(n, -1, dtype=np.int64)
+    if seed_items is None:
+        initial = [(v, 0) for v in range(n)]
+    else:
+        initial = [
+            (int(v), 0) for v in dict.fromkeys(v for v, _ in seed_items)
+        ]
+    for v, _ in initial:
+        sched[v] = 0
+
+    def priority(item: tuple[int, int]) -> tuple[int, int]:
+        vertex, rnd = item
+        return (rnd, vertex)
+
+    def level_of(item: tuple[int, int]) -> int:
+        return item[1]
+
+    def visit_rw_sets(item: tuple[int, int], ctx: RWSetContext) -> None:
+        vertex = item[0]
+        ctx.write(("core", vertex))
+        for u in adj[vertex]:
+            ctx.read(("core", u))
+            # Push dedup cell — written when scheduling u's recompute.
+            ctx.write(("sched", u))
+
+    def apply_update(item: tuple[int, int], ctx: BodyContext) -> None:
+        vertex, rnd = item
+        ctx.access(("core", vertex))
+        ctx.work(NODE_WORK)
+        cap = int(est[vertex])
+        if cap == 0:
+            return
+        # H-operator, counting pass clipped at the current estimate.
+        bins = [0] * (cap + 1)
+        for u in adj[vertex]:
+            ctx.access(("core", u))
+            ctx.work(EDGE_WORK)
+            e = int(est[u])
+            bins[cap if e >= cap else e] += 1
+        h = 0
+        count = 0
+        for level in range(cap, 0, -1):
+            count += bins[level]
+            if count >= level:
+                h = level
+                break
+        if h >= cap:
+            return
+        nxt = rnd + 1
+        # Only neighbors whose estimate exceeded the new value can see
+        # their h-index drop; the sched cell dedups rival pushers.
+        targets = [u for u in adj[vertex] if est[u] > h and sched[u] < nxt]
+        for u in targets:
+            ctx.access(("sched", u))
+        est[vertex] = h
+        for u in targets:
+            sched[u] = nxt
+            ctx.push((int(u), nxt))
+
+    def safe_source_test(task: Task, view: SourceView) -> bool:
+        # Safe exactly at the current global minimum round.
+        return view.min_priority is not None and task.priority[0] == view.min_priority[0]
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="kcore",
+        initial_items=initial,
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=KCORE_PROPERTIES,
+        safe_source_test=safe_source_test,
+        level_of=level_of,
+    )

@@ -1,0 +1,98 @@
+"""Streaming mutation adapter for k-core (Sarıyüce-style edge updates).
+
+Edge deletions keep the estimate array a pointwise upper bound of the new
+coreness for free (deleting an edge never raises coreness), so the
+endpoints alone reseed the h-operator repair.  Edge insertions can raise
+coreness by at most one, and only inside the *subcore* (Sarıyüce et al.,
+Theorem 1): vertices at the insertion level ``k = min(core(u), core(v))``
+reachable from the level-``k`` endpoints through paths of coreness-``k``
+vertices.  The adapter peels the subcore with candidate-degree eviction —
+leaving exactly the promoted vertices — bumps their estimates and seeds
+them, so the repair run certifies the new fixpoint rather than searching
+for it.  Computing ``k`` and the subcore needs *converged* estimates,
+hence ``flush_before`` on insertions.
+"""
+
+from __future__ import annotations
+
+from ...core.mutations import AddEdge, MutationAdapter, MutationError, RemoveEdge
+from .app import KCoreState, make_algorithm
+
+
+class KCoreAdapter(MutationAdapter):
+    supported = (AddEdge, RemoveEdge)
+    watermark_policy = "fixpoint"
+    executor = "ikdg"
+    level_windows = True
+
+    def make_algorithm(self, seed_items=None, state=None):
+        return make_algorithm(
+            self.state if state is None else state, seed_items
+        )
+
+    def fork_cold(self) -> KCoreState:
+        return KCoreState(self.state.num_nodes, self.state.edges())
+
+    def flush_before(self, mutation) -> bool:
+        # The subcore bump reads converged estimates.
+        return isinstance(mutation, AddEdge)
+
+    def apply(self, mutation) -> list[tuple[int, int]]:
+        state = self.state
+        u, v = int(mutation.u), int(mutation.v)
+        n = state.num_nodes
+        if not (0 <= u < n and 0 <= v < n):
+            raise MutationError(
+                f"kcore: edge ({u}, {v}) outside vertex range [0, {n})"
+            )
+        if u == v:
+            raise MutationError(f"kcore: self-loop ({u}, {u}) not allowed")
+        if isinstance(mutation, RemoveEdge):
+            if v not in state.adj[u]:
+                return []
+            state.adj[u].discard(v)
+            state.adj[v].discard(u)
+            return [(u, 0), (v, 0)]
+        if v in state.adj[u]:
+            return []
+        est = state.est
+        # Estimates are converged coreness here (flush_before drained the
+        # frontier), so the subcore rule applies exactly.
+        k = int(min(est[u], est[v]))
+        state.adj[u].add(v)
+        state.adj[v].add(u)
+        # Subcore traversal: only level-k vertices connected to a level-k
+        # endpoint through level-k paths can be promoted (the new edge
+        # itself bridges the endpoints' subcores, so roots are both
+        # endpoints at level k).
+        roots = [w for w in (u, v) if est[w] == k]
+        subcore = set(roots)
+        stack = list(roots)
+        while stack:
+            w = stack.pop()
+            for x in state.adj[w]:
+                if x not in subcore and est[x] == k:
+                    subcore.add(x)
+                    stack.append(x)
+        # Candidate-degree peeling: w can only reach coreness k+1 through
+        # neighbors already at coreness > k (the old (k+1)-core survives
+        # the insertion) or fellow candidates.  Evicting every candidate
+        # whose count drops to ≤ k — cascading — leaves exactly the
+        # promoted set, so the estimates below are the *new* coreness and
+        # the seeded repair tasks merely certify the fixpoint.
+        cd = {
+            w: sum(1 for x in state.adj[w] if est[x] > k or x in subcore)
+            for w in subcore
+        }
+        evict = [w for w, c in cd.items() if c <= k]
+        while evict:
+            w = evict.pop()
+            subcore.discard(w)
+            for x in state.adj[w]:
+                if x in subcore:
+                    cd[x] -= 1
+                    if cd[x] == k:
+                        evict.append(x)
+        for w in subcore:
+            est[w] += 1
+        return [(w, 0) for w in sorted(subcore)]

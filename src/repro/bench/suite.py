@@ -33,6 +33,7 @@ from ..runtime import (
     run_serial,
     run_speculation,
 )
+from ..runtime.base import RunConfig
 from .timing import timed_payload
 
 #: Threads used by executor and end-to-end benchmarks.  Kept below the
@@ -461,6 +462,10 @@ def _exec_payload(run_fn, repeats: int, ops: int) -> dict[str, Any]:
     result = holder["result"]
     payload["sim_cycles"] = result.elapsed_cycles
     payload["executed"] = result.executed
+    if result.config is not None:
+        # The *resolved* configuration, straight from the run — reports no
+        # longer reconstruct it from CLI flags.
+        payload["config"] = result.config.describe()
     return payload
 
 
@@ -470,7 +475,7 @@ def bench_ikdg_independent(quick: bool, repeats: int, engine: str = "dict",
     n = _size(quick, 800, 3_000)
     return _exec_payload(
         lambda: run_ikdg(_independent_algorithm(n), SimMachine(BENCH_THREADS),
-                         engine=engine, backend=backend, workers=workers),
+                         RunConfig(engine=engine, backend=backend, workers=workers)),
         repeats,
         ops=n,
     )
@@ -486,7 +491,7 @@ def bench_ikdg_chains(quick: bool, repeats: int, engine: str = "dict",
     n = _size(quick, 512, 2_048)
     return _exec_payload(
         lambda: run_ikdg(_chain_algorithm(n, 16), SimMachine(BENCH_THREADS),
-                         engine=engine, backend=backend, workers=workers),
+                         RunConfig(engine=engine, backend=backend, workers=workers)),
         repeats,
         ops=n,
     )
@@ -499,7 +504,8 @@ def bench_kdg_rna_rounds(quick: bool, repeats: int, engine: str = "dict",
     return _exec_payload(
         lambda: run_kdg_rna(
             _chain_algorithm(n, 48), SimMachine(BENCH_THREADS),
-            asynchronous=False, engine=engine, backend=backend, workers=workers,
+            RunConfig(asynchronous=False, engine=engine, backend=backend,
+                      workers=workers),
         ),
         repeats,
         ops=n,
@@ -513,7 +519,8 @@ def bench_kdg_rna_async(quick: bool, repeats: int, engine: str = "dict",
     return _exec_payload(
         lambda: run_kdg_rna(
             _chain_algorithm(n, 48), SimMachine(BENCH_THREADS),
-            asynchronous=True, engine=engine, backend=backend, workers=workers,
+            RunConfig(asynchronous=True, engine=engine, backend=backend,
+                      workers=workers),
         ),
         repeats,
         ops=n,
@@ -527,7 +534,7 @@ def bench_level_by_level(quick: bool, repeats: int, engine: str = "dict",
     return _exec_payload(
         lambda: run_level_by_level(
             _level_algorithm(n, 64), SimMachine(BENCH_THREADS),
-            engine=engine, backend=backend, workers=workers,
+            RunConfig(engine=engine, backend=backend, workers=workers),
         ),
         repeats,
         ops=n,
@@ -547,8 +554,8 @@ def bench_ikdg_wide_window(quick: bool, repeats: int, engine: str = "dict",
         lambda: run_ikdg(
             _chain_algorithm(n, 128),
             SimMachine(BENCH_THREADS),
-            window_policy=AdaptiveWindow(initial=1_024),
-            engine=engine, backend=backend, workers=workers,
+            RunConfig(window_policy=AdaptiveWindow(initial=1_024),
+                      engine=engine, backend=backend, workers=workers),
         ),
         repeats,
         ops=n,
@@ -560,7 +567,7 @@ def bench_serial(quick: bool, repeats: int, engine: str = "dict",
                    backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 1_000, 4_000)
     return _exec_payload(
-        lambda: run_serial(_independent_algorithm(n), engine=engine),
+        lambda: run_serial(_independent_algorithm(n), config=RunConfig(engine=engine)),
         repeats,
         ops=n,
     )
@@ -571,7 +578,8 @@ def bench_speculation(quick: bool, repeats: int, engine: str = "dict",
                    backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
     n = _size(quick, 256, 1_024)
     return _exec_payload(
-        lambda: run_speculation(_chain_algorithm(n, 32), SimMachine(BENCH_THREADS), engine=engine),
+        lambda: run_speculation(_chain_algorithm(n, 32), SimMachine(BENCH_THREADS),
+                                RunConfig(engine=engine)),
         repeats,
         ops=n,
     )
@@ -631,9 +639,8 @@ def _register_mp_scaling(label: str, mp_workers: int | None) -> None:
             return run_ikdg(
                 _mp_scaling_algorithm(n),
                 SimMachine(BENCH_THREADS),
-                window_policy=AdaptiveWindow(initial=2_048),
-                engine="flat",
-                backend=be,
+                RunConfig(window_policy=AdaptiveWindow(initial=2_048),
+                          engine="flat", backend=be),
             )
 
         if mp_workers is None:
@@ -696,6 +703,8 @@ def _register_e2e(app: str, impl: str) -> None:
         payload["sim_cycles"] = result.elapsed_cycles
         payload["executed"] = result.executed
         payload["executor"] = result.executor
+        if result.config is not None:
+            payload["config"] = result.config.describe()
         return payload
 
 

@@ -167,6 +167,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true", dest="list_benches",
                        help="list benchmark names and exit")
 
+    stream = sub.add_parser(
+        "stream",
+        help="replay a mutation trace through a KineticSession "
+             "(incremental repair vs. cold rebuild)",
+    )
+    stream.add_argument("trace", nargs="?", type=Path,
+                        help="trace file (schema repro.stream.trace/v1); "
+                             "omit and pass --app to generate one")
+    stream.add_argument("--app", default=None,
+                        help="generate a trace for this app instead of "
+                             "reading one (kcore, bfs, des)")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="input/trace seed for --app (default: 0)")
+    stream.add_argument("--schedule", default="mixed",
+                        help="batch-size schedule for --app "
+                             "(singles, bursts, mixed; default: mixed)")
+    stream.add_argument("--engine", choices=("dict", "flat"), default="dict",
+                        help="rw-set index engine the session runs under")
+    stream.add_argument("--threads", type=int, default=3)
+    stream.add_argument("--no-check", action="store_true",
+                        help="skip the per-batch bit-identity comparison "
+                             "against a cold rebuild (timing only)")
+    stream.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full report as JSON to stdout")
+    stream.add_argument("--save", type=Path, default=None,
+                        help="write the (generated or loaded) trace to FILE")
+
     sub.add_parser("list", help="list applications and their implementations")
     return parser
 
@@ -240,11 +267,26 @@ def cmd_run(args: argparse.Namespace) -> int:
         options["workers"] = workers
     state = spec.make_small() if args.size == "small" else spec.make_large()
     threads = 1 if args.impl in ("serial", "serial-best") else args.threads
-    result = spec.run(state, args.impl, SimMachine(threads), **options)
+    if ordered_impl:
+        from .runtime.base import RunConfig
+
+        result = spec.run(state, args.impl, SimMachine(threads),
+                          config=RunConfig(**options))
+    else:
+        result = spec.run(state, args.impl, SimMachine(threads), **options)
     spec.validate(state)
 
     print(f"app        : {args.app} ({args.size})")
     print(f"executor   : {result.executor} @ {threads} threads")
+    if result.config is not None:
+        # Resolved straight from the run, not echoed CLI flags.
+        desc = result.config.describe()
+        line = f"config     : engine={desc['engine']} backend={desc['backend']}"
+        if desc["workers"]:
+            line += f" workers={desc['workers']}"
+        if desc["sanitize"]:
+            line += " sanitize"
+        print(line)
     print(f"tasks      : {result.executed}")
     if result.rounds:
         print(f"rounds     : {result.rounds}")
@@ -541,6 +583,65 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    from .oracle.stream import SCHEDULES, generate_trace, load_trace, replay_trace
+
+    if args.trace is not None and args.app is not None:
+        print("error: pass a trace file or --app, not both", file=sys.stderr)
+        return 2
+    if args.trace is None and args.app is None:
+        print("error: pass a trace file or --app to generate one",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.app is not None:
+            if args.schedule not in SCHEDULES:
+                print(f"error: unknown schedule {args.schedule!r} "
+                      f"(have {', '.join(sorted(SCHEDULES))})", file=sys.stderr)
+                return 2
+            trace = generate_trace(args.app, seed=args.seed,
+                                   schedule=args.schedule)
+        else:
+            trace = load_trace(args.trace)
+        if args.save is not None:
+            args.save.write_text(json.dumps(trace, indent=2) + "\n")
+        report = replay_trace(trace, engine=args.engine, threads=args.threads,
+                              check=not args.no_check)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+
+    print(f"app        : {report.app} (seed {report.seed})")
+    print(f"session    : engine={report.engine} threads={report.threads}"
+          + (f" schedule={report.schedule}" if report.schedule else ""))
+    print(f"bootstrap  : {report.bootstrap_cycles:,.0f} simulated cycles")
+    print(f"{'batch':>5} {'size':>4} {'rerun':>5} {'rounds':>6} "
+          f"{'repair':>12} {'rebuild':>12} {'ratio':>7}  state")
+    for b in report.batches:
+        ratio = ("-" if not b.rebuild_cycles
+                 else f"{b.repair_cycles / b.rebuild_cycles:.4f}")
+        state = {True: "match", False: "DIVERGED", None: "-"}[b.match]
+        rebuild = "-" if b.rebuild_cycles is None else f"{b.rebuild_cycles:,.0f}"
+        print(f"{b.index:>5} {b.size:>4} {b.tasks_rerun:>5} {b.rounds:>6} "
+              f"{b.repair_cycles:>12,.0f} {rebuild:>12} {ratio:>7}  {state}")
+    ratio = report.cycle_ratio
+    if ratio is not None:
+        print(f"total      : repair {report.repair_cycles:,.0f} vs rebuild "
+              f"{report.rebuild_cycles:,.0f} cycles "
+              f"(ratio {ratio:.4f}, {1 / ratio:.1f}x faster)"
+              if ratio > 0 else
+              f"total      : repair {report.repair_cycles:,.0f} cycles")
+    if not report.ok:
+        print("stream: session state DIVERGED from cold rebuild",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -551,6 +652,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_lint(args)
     if args.command == "bench":
         return cmd_bench(args)
+    if args.command == "stream":
+        return cmd_stream(args)
     return cmd_run(args)
 
 

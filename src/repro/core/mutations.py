@@ -1,0 +1,227 @@
+"""Typed input mutations and the per-app adapters that interpret them.
+
+A :class:`~repro.runtime.session.KineticSession` accepts *batches* of the
+mutation types below and maps them — through an app-specific
+:class:`MutationAdapter` — into repair seeds: the ordered tasks whose
+re-execution restores the app state to what a cold run on the mutated
+input would compute.  This is the paper's update rule U (§3.4) lifted to
+the input level: instead of rebuilding the kinetic dependence graph per
+run, a mutation invalidates only the locations it touches and the session
+re-executes the affected frontier.
+
+Mutation types (one per input domain):
+
+* :class:`AddEdge` / :class:`RemoveEdge` — graph workloads (k-core, BFS).
+* :class:`InjectEvent` — event-driven workloads (DES: a new input vector
+  arriving at a simulation time).
+* :class:`UpdateCell` — dense numeric workloads (reserved for matrix
+  updates; no bundled adapter yet).
+
+Adapters declare a ``watermark_policy``:
+
+* ``"fixpoint"`` — the app state is the unique fixpoint of a monotone
+  repair operator (k-core's H-operator, BFS relaxation), so repair tasks
+  may be seeded at *any* priority; batches can arrive in any order.
+* ``"ordered"`` — committed priorities are irrevocable (DES: simulated
+  time already drained cannot be re-entered), so a mutation below the
+  session's committed-priority watermark raises :class:`WatermarkError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "AddEdge",
+    "InjectEvent",
+    "MutationAdapter",
+    "MutationError",
+    "RemoveEdge",
+    "UnsupportedMutationError",
+    "UpdateCell",
+    "WatermarkError",
+    "mutation_from_dict",
+    "mutation_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    """Insert edge ``(u, v)`` (graphs are undirected unless the app says
+    otherwise); ``weight`` is ignored by unweighted apps."""
+
+    u: int
+    v: int
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class RemoveEdge:
+    """Delete edge ``(u, v)``; a no-op if the edge is absent."""
+
+    u: int
+    v: int
+
+
+@dataclass(frozen=True)
+class InjectEvent:
+    """Inject an input stimulus at simulation time ``time``.
+
+    For DES, ``payload`` is an input vector (tuple of 0/1 levels, one per
+    circuit input) applied to the primary inputs at ``time``.
+    """
+
+    time: float
+    payload: Any
+
+
+@dataclass(frozen=True)
+class UpdateCell:
+    """Overwrite one cell of a dense input (``matrix[i, j] = value``)."""
+
+    i: int
+    j: int
+    value: float
+
+
+#: ``op`` tag <-> mutation class, for trace files (``repro stream``).
+_MUTATION_OPS = {
+    "add_edge": AddEdge,
+    "remove_edge": RemoveEdge,
+    "inject": InjectEvent,
+    "update_cell": UpdateCell,
+}
+_OP_NAMES = {cls: op for op, cls in _MUTATION_OPS.items()}
+
+
+def mutation_to_dict(mutation: Any) -> dict[str, Any]:
+    """JSON-ready form of a mutation (see ``repro stream`` trace files)."""
+    try:
+        op = _OP_NAMES[type(mutation)]
+    except KeyError:
+        raise ValueError(
+            f"not a mutation: {type(mutation).__name__}"
+        ) from None
+    fields = {
+        key: value
+        for key, value in vars(mutation).items()
+    }
+    return {"op": op, **fields}
+
+
+def mutation_from_dict(data: dict[str, Any]) -> Any:
+    """Inverse of :func:`mutation_to_dict`."""
+    payload = dict(data)
+    op = payload.pop("op", None)
+    try:
+        cls = _MUTATION_OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation op {op!r} (expected one of "
+            f"{sorted(_MUTATION_OPS)})"
+        ) from None
+    return cls(**payload)
+
+
+class MutationError(Exception):
+    """Base class for mutation-application failures."""
+
+
+class UnsupportedMutationError(MutationError):
+    """The adapter does not understand this mutation type."""
+
+    def __init__(self, adapter: str, mutation: Any):
+        self.adapter = adapter
+        self.mutation = mutation
+        super().__init__(
+            f"{adapter}: unsupported mutation {type(mutation).__name__}"
+        )
+
+
+class WatermarkError(MutationError):
+    """A mutation arrived below the session's committed-priority watermark.
+
+    Raised by ordered-watermark adapters (DES): once the session has
+    committed tasks up to ``watermark``, injecting work at an earlier
+    priority would require rolling back state the executor already
+    finalized.  Carries the offending mutation, its would-be priority and
+    the watermark for structured handling.
+    """
+
+    def __init__(self, mutation: Any, priority: Any, watermark: Any):
+        self.mutation = mutation
+        self.priority = priority
+        self.watermark = watermark
+        super().__init__(
+            f"mutation {mutation!r} at priority {priority!r} is below the "
+            f"session's committed-priority watermark {watermark!r}"
+        )
+
+
+class MutationAdapter:
+    """Maps typed mutations onto one app's state and repair seeds.
+
+    Subclasses set :attr:`supported` to the mutation types they accept and
+    :attr:`watermark_policy` to ``"fixpoint"`` or ``"ordered"`` (see module
+    docstring), and implement :meth:`apply`.  The session calls, per
+    mutation: ``flush_before`` (may demand the pending frontier be drained
+    first), then ``apply`` — which mutates the app state *input* (graph,
+    pending events, matrix) and returns the seed items whose re-execution
+    repairs the derived state.
+    """
+
+    #: Mutation classes this adapter accepts.
+    supported: tuple[type, ...] = ()
+    #: ``"fixpoint"`` (any-order batches) or ``"ordered"`` (watermarked).
+    watermark_policy: str = "fixpoint"
+    #: Executor the session should run repairs under (``"ikdg"`` or
+    #: ``"level-by-level"``).
+    executor: str = "ikdg"
+    #: Whether repair runs use IKDG's level windowing (§3.6.1).
+    level_windows: bool = False
+
+    def __init__(self, state: Any):
+        self.state = state
+
+    def make_algorithm(self, seed_items: list[Any] | None = None, state: Any = None):
+        """(Re)build the ordered algorithm over ``state`` (default: live).
+
+        ``seed_items`` restricts the initial tasks to the repair frontier;
+        ``None`` means a cold (full) run.  Rebuilt per executor invocation
+        because app closures may capture input structures (e.g. a CSR
+        graph) that mutations replace.
+        """
+        raise NotImplementedError
+
+    def fork_cold(self) -> Any:
+        """A fresh state representing the current (mutated) input, as a
+        cold run would construct it — the differential harness and the
+        rebuild-cost measurement run the one-shot algorithm over it."""
+        raise NotImplementedError
+
+    def flush_before(self, mutation: Any) -> bool:
+        """Whether pending repair seeds must drain before this mutation.
+
+        Structural mutations whose seed computation reads *converged*
+        derived state (k-core's subcore rule) return True; purely additive
+        mutations return False.
+        """
+        return False
+
+    def check(self, mutation: Any) -> None:
+        """Type-check ``mutation``; raise :class:`UnsupportedMutationError`."""
+        if not isinstance(mutation, self.supported):
+            raise UnsupportedMutationError(type(self).__name__, mutation)
+
+    def check_watermark(self, mutation: Any, watermark: Any) -> None:
+        """Reject mutations below the committed-priority ``watermark``.
+
+        Only called under ``watermark_policy == "ordered"`` (and only once
+        the session has committed work); implementations raise
+        :class:`WatermarkError`.  Fixpoint adapters never see this call.
+        """
+
+    def apply(self, mutation: Any) -> list[Any]:
+        """Mutate the input state; return repair seed *items* (not tasks)."""
+        raise NotImplementedError

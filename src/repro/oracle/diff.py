@@ -34,6 +34,7 @@ from ..runtime import (
     run_serial,
     run_speculation,
 )
+from ..runtime.base import RunConfig
 from .check import CheckReport, Violation, check_trace, diff_traces
 from .trace import ExecutionTrace, TraceRecorder
 from .workloads import make_oracle_state
@@ -79,49 +80,35 @@ def run_traced(
     spec = APPS[app]
     algorithm = spec.algorithm(state)
     recorder = TraceRecorder()
+    base = dict(
+        checked=checked, recorder=recorder, sanitize=sanitize,
+        engine=engine, backend=backend, workers=workers,
+    )
     if executor == "serial":
         machine = SimMachine(1)
-        if backend is not None and backend != "inline":
-            raise ValueError(
-                "serial: backend='mp' is not supported (no parallel phases)"
-            )
         result = run_serial(
-            algorithm, machine, checked=checked,
-            baseline=spec.serial_baseline, recorder=recorder, sanitize=sanitize,
-            engine=engine,
+            algorithm, machine,
+            RunConfig(baseline=spec.serial_baseline, **base),
         )
     elif executor == "kdg-rna":
         machine = SimMachine(threads)
         result = run_kdg_rna(
-            algorithm, machine, checked=checked, asynchronous=False,
-            recorder=recorder, sanitize=sanitize, engine=engine,
-            backend=backend, workers=workers,
+            algorithm, machine, RunConfig(asynchronous=False, **base)
         )
     elif executor == "kdg-rna-async":
         machine = SimMachine(threads)
         result = run_kdg_rna(
-            algorithm, machine, checked=checked, asynchronous=True,
-            recorder=recorder, sanitize=sanitize, engine=engine,
-            backend=backend, workers=workers,
+            algorithm, machine, RunConfig(asynchronous=True, **base)
         )
     elif executor == "ikdg":
         machine = SimMachine(threads)
-        result = run_ikdg(
-            algorithm, machine, checked=checked, recorder=recorder,
-            sanitize=sanitize, engine=engine, backend=backend, workers=workers,
-        )
+        result = run_ikdg(algorithm, machine, RunConfig(**base))
     elif executor == "level-by-level":
         machine = SimMachine(threads)
-        result = run_level_by_level(
-            algorithm, machine, checked=checked, recorder=recorder,
-            sanitize=sanitize, engine=engine, backend=backend, workers=workers,
-        )
+        result = run_level_by_level(algorithm, machine, RunConfig(**base))
     elif executor == "speculation":
         machine = SimMachine(threads)
-        result = run_speculation(
-            algorithm, machine, checked=checked, recorder=recorder,
-            sanitize=sanitize, engine=engine, backend=backend, workers=workers,
-        )
+        result = run_speculation(algorithm, machine, RunConfig(**base))
     else:
         raise ValueError(f"unknown oracle executor {executor!r}")
     trace = recorder.trace(
@@ -147,6 +134,9 @@ class ExecutorVerdict:
     violations: list[Violation] = field(default_factory=list)
     snapshot_matches: bool | None = None
     trace: ExecutionTrace | None = None
+    #: Resolved run configuration (``RunConfig.describe()``), straight from
+    #: the executor's ``LoopResult`` — not reconstructed from CLI flags.
+    config: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -165,6 +155,8 @@ class ExecutorVerdict:
             "executed": self.executed,
             "snapshot_matches": self.snapshot_matches,
         }
+        if self.config is not None:
+            out["config"] = self.config
         if self.reason:
             out["reason"] = self.reason
         first = self.first_violation()
@@ -241,6 +233,7 @@ def diff_executors(
     ref_verdict = ExecutorVerdict(
         app, "serial", seed, 1, executed=ref_result.executed,
         snapshot_matches=True, trace=ref_trace if keep_traces else None,
+        config=ref_result.config.describe() if ref_result.config else None,
     )
     ref_check = check_trace(ref_trace)
     if not ref_check.ok:
@@ -266,6 +259,7 @@ def diff_executors(
             verdict.reason = str(exc)
             continue
         verdict.executed = result.executed
+        verdict.config = result.config.describe() if result.config else None
         if keep_traces:
             verdict.trace = trace
         try:

@@ -1,0 +1,305 @@
+"""Differential harness for streaming sessions (the correctness bar).
+
+After every batch a :class:`~repro.runtime.session.KineticSession` commits,
+its live app state must be **bit-identical** to a cold one-shot run over
+the mutated input (``adapter.fork_cold()``).  This module generates
+deterministic mutation traces (app × seed × batch schedule), replays them
+through a session, performs that comparison per batch, and reports the
+repair-vs-rebuild cycle ratio alongside — the ``repro stream`` CLI and the
+CI ``stream-smoke`` job both drive it.
+
+Trace files are JSON (schema ``repro.stream.trace/v1``)::
+
+    {"schema": "repro.stream.trace/v1", "app": "kcore", "seed": 3,
+     "batches": [[{"op": "add_edge", "u": 3, "v": 9}], ...]}
+
+so interesting mutation histories can be committed as fixtures and
+replayed under any engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.mutations import (
+    AddEdge,
+    InjectEvent,
+    RemoveEdge,
+    mutation_from_dict,
+    mutation_to_dict,
+)
+from ..machine import SimMachine
+from ..runtime.base import RunConfig
+from ..runtime.session import _SESSION_EXECUTORS, KineticSession
+
+TRACE_SCHEMA = "repro.stream.trace/v1"
+
+#: Batch-size plans the harness sweeps (the acceptance matrix needs >= 3).
+SCHEDULES: dict[str, list[int]] = {
+    "singles": [1] * 6,
+    "bursts": [4] * 3,
+    "mixed": [1, 3, 2, 5],
+}
+
+
+def _stream_state(app: str, seed: int) -> Any:
+    """A streaming-ready tiny state (DES needs its flush deferred)."""
+    from ..apps import bfs, des, kcore
+
+    builders = {
+        "kcore": lambda: kcore.make_small_state(seed=seed),
+        "bfs": lambda: bfs.make_random_state(200, avg_degree=3.0, seed=seed),
+        "des": lambda: des.make_stream_multiplier_state(6, vectors=3, seed=seed),
+    }
+    try:
+        return builders[app]()
+    except KeyError:
+        raise ValueError(
+            f"no streaming workload for {app!r} (have {sorted(builders)})"
+        ) from None
+
+
+STREAM_APPS = ("kcore", "bfs", "des")
+
+
+def _next_mutations(app: str, session: KineticSession, rng, count: int) -> list[Any]:
+    """``count`` valid mutations against the session's *current* state."""
+    muts: list[Any] = []
+    if app == "kcore":
+        state = session.state
+        n = state.num_nodes
+        while len(muts) < count:
+            if rng.random() < 0.35:
+                edges = state.edges()
+                if not edges:
+                    continue
+                u, v = edges[int(rng.integers(len(edges)))]
+                muts.append(RemoveEdge(int(u), int(v)))
+            else:
+                u, v = int(rng.integers(n)), int(rng.integers(n))
+                if u == v:
+                    continue
+                muts.append(AddEdge(u, v))
+    elif app == "bfs":
+        n = session.state.graph.num_nodes
+        while len(muts) < count:
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u == v:
+                continue
+            muts.append(AddEdge(u, v))
+    elif app == "des":
+        names = sorted(session.state.circuit.inputs)
+        time = float(int(session.watermark[0]) + 1)
+        for j in range(count):
+            time += 40.0 + float(rng.integers(20))
+            vector = {name: int(rng.integers(2)) for name in names}
+            muts.append(InjectEvent(time, vector))
+    else:
+        raise ValueError(f"no mutation generator for {app!r}")
+    return muts
+
+
+def generate_trace(app: str, seed: int = 0, schedule: str = "singles") -> dict:
+    """A deterministic mutation trace for ``app``.
+
+    Batches are generated against the live session state (removals pick
+    existing edges, injections respect the watermark), so the trace is
+    valid by construction and replayable from scratch.
+    """
+    import numpy as np
+
+    sizes = SCHEDULES[schedule]
+    rng = np.random.default_rng([seed, len(sizes), sum(sizes)])
+    session = KineticSession(_spec(app), _stream_state(app, seed))
+    batches: list[list[dict]] = []
+    try:
+        for size in sizes:
+            muts = _next_mutations(app, session, rng, size)
+            session.apply(muts)
+            batches.append([mutation_to_dict(m) for m in muts])
+    finally:
+        session.close()
+    return {
+        "schema": TRACE_SCHEMA,
+        "app": app,
+        "seed": seed,
+        "schedule": schedule,
+        "batches": batches,
+    }
+
+
+def _spec(app: str):
+    from ..apps import APPS
+
+    spec = APPS[app]
+    if spec.stream_adapter is None:
+        raise ValueError(f"{app}: app has no streaming adapter")
+    return spec
+
+
+@dataclass
+class BatchVerdict:
+    """One batch: did the session state match a cold rebuild, at what cost."""
+
+    index: int
+    size: int
+    tasks_rerun: int
+    locations_touched: int
+    rounds: int
+    repair_cycles: float
+    rebuild_cycles: float | None
+    match: bool | None  # None = comparison skipped
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class StreamReport:
+    """A replayed trace: per-batch verdicts plus aggregate cycle ratios."""
+
+    app: str
+    seed: int
+    engine: str
+    threads: int
+    schedule: str | None
+    bootstrap_cycles: float
+    batches: list[BatchVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(b.match is not False for b in self.batches)
+
+    @property
+    def repair_cycles(self) -> float:
+        return sum(b.repair_cycles for b in self.batches)
+
+    @property
+    def rebuild_cycles(self) -> float | None:
+        measured = [b.rebuild_cycles for b in self.batches]
+        if any(m is None for m in measured):
+            return None
+        return sum(measured)
+
+    @property
+    def cycle_ratio(self) -> float | None:
+        """Total repair cycles over total rebuild cycles (< 1 = repair won)."""
+        rebuild = self.rebuild_cycles
+        if rebuild is None or rebuild <= 0:
+            return None
+        return self.repair_cycles / rebuild
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.stream.report/v1",
+            "app": self.app,
+            "seed": self.seed,
+            "engine": self.engine,
+            "threads": self.threads,
+            "schedule": self.schedule,
+            "ok": self.ok,
+            "bootstrap_cycles": self.bootstrap_cycles,
+            "repair_cycles": self.repair_cycles,
+            "rebuild_cycles": self.rebuild_cycles,
+            "cycle_ratio": self.cycle_ratio,
+            "batches": [b.to_dict() for b in self.batches],
+        }
+
+
+def _cold_snapshot(session: KineticSession) -> Any:
+    """What a cold run over the session's mutated input computes."""
+    cold = session.adapter.fork_cold()
+    algorithm = session.adapter.make_algorithm(state=cold)
+    run = _SESSION_EXECUTORS[session.adapter.executor]
+    run(
+        algorithm,
+        SimMachine(session.machine.num_threads),
+        dataclasses.replace(session.config, recorder=None),
+    )
+    return session.spec.snapshot(cold)
+
+
+def replay_trace(
+    trace: dict,
+    engine: str = "dict",
+    threads: int = 3,
+    check: bool = True,
+    measure_rebuild: bool = True,
+) -> StreamReport:
+    """Replay a mutation trace through a fresh session.
+
+    ``check=True`` compares the live state against a cold rebuild after
+    *every* batch (the bit-identity bar); ``measure_rebuild`` also prices
+    the cold run so the report carries repair-vs-rebuild cycle ratios.
+    """
+    if trace.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"not a stream trace (schema={trace.get('schema')!r}, "
+            f"expected {TRACE_SCHEMA!r})"
+        )
+    app = trace["app"]
+    seed = int(trace.get("seed", 0))
+    session = KineticSession(
+        _spec(app),
+        _stream_state(app, seed),
+        config=RunConfig(engine=engine),
+        threads=threads,
+    )
+    report = StreamReport(
+        app=app,
+        seed=seed,
+        engine=engine,
+        threads=threads,
+        schedule=trace.get("schedule"),
+        bootstrap_cycles=session.bootstrap_cycles,
+    )
+    try:
+        for index, batch in enumerate(trace["batches"]):
+            muts = [mutation_from_dict(m) for m in batch]
+            result = session.apply(muts, measure_rebuild=measure_rebuild)
+            match = None
+            if check:
+                match = session.snapshot() == _cold_snapshot(session)
+            report.batches.append(
+                BatchVerdict(
+                    index=index,
+                    size=result.batch_size,
+                    tasks_rerun=result.tasks_rerun,
+                    locations_touched=result.locations_touched,
+                    rounds=result.rounds,
+                    repair_cycles=result.repair_cycles,
+                    rebuild_cycles=result.rebuild_cycles,
+                    match=match,
+                )
+            )
+        # Domain invariants only make sense on a state that already
+        # matched the cold rebuilds — a diverged report is the finding,
+        # and should surface as such, not as an assertion crash.
+        if check and report.ok:
+            session.validate()
+    finally:
+        session.close()
+    return report
+
+
+def check_session(
+    app: str,
+    seed: int = 0,
+    schedule: str = "singles",
+    engine: str = "dict",
+    threads: int = 3,
+) -> StreamReport:
+    """Generate + replay + verify one (app, seed, schedule, engine) cell."""
+    return replay_trace(
+        generate_trace(app, seed=seed, schedule=schedule),
+        engine=engine,
+        threads=threads,
+    )
+
+
+def load_trace(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..apps import avi, bfs, billiards, des, lu, mst, treesum
+from ..apps import avi, bfs, billiards, des, kcore, lu, mst, treesum
 
 #: ``app -> seed -> fresh state``; sizes chosen so one (app, executor, seed)
 #: run is a few milliseconds of Python.
@@ -24,6 +24,7 @@ ORACLE_STATES = {
     "des": lambda seed: des.make_adder_state(7, vectors=3, seed=seed),
     "bfs": lambda seed: bfs.make_grid_state(12, 12, seed=seed),
     "treesum": lambda seed: treesum.make_state(500, leaf_size=8, seed=seed),
+    "kcore": lambda seed: kcore.make_tiny_state(seed=seed),
 }
 
 

@@ -27,11 +27,15 @@ EXECUTORS = {
 
 def __getattr__(name):
     # Lazy: the mp backend pulls in numpy, which the dict-engine paths
-    # otherwise never import.
+    # otherwise never import; sessions pull in the oracle tracer.
     if name in ("MPMarkBackend", "WorkerDied"):
         from . import mp_backend
 
         return getattr(mp_backend, name)
+    if name in ("KineticSession", "RepairResult", "SessionState"):
+        from . import session
+
+        return getattr(session, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -53,9 +57,12 @@ def choose_executor(properties: AlgorithmProperties) -> str:
 __all__ = [
     "AdaptiveWindow",
     "EXECUTORS",
+    "KineticSession",
     "LoopResult",
     "MinTracker",
     "MPMarkBackend",
+    "RepairResult",
+    "SessionState",
     "WorkerDied",
     "choose_executor",
     "run_ikdg",

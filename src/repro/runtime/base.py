@@ -8,6 +8,7 @@ a :class:`LoopResult`.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
@@ -20,12 +21,166 @@ from ..machine import Category, CycleStats, SimMachine
 __all__ = [
     "LoopResult",
     "MinTracker",
+    "RunConfig",
     "attribute_commits",
     "bind_execute_task",
+    "coerce_config",
     "execute_task",
     "inflate_execute",
+    "reset_legacy_warning",
     "rw_visit_cost",
 ]
+
+
+@dataclass
+class RunConfig:
+    """One execution configuration shared by every ``run_*`` executor.
+
+    Historically each executor copy-pasted the same 8-10 keyword arguments
+    (``checked, recorder, sanitize, engine, backend, workers, ...``) and
+    re-validated them locally.  ``RunConfig`` is the single home for those
+    options and their validation; executors take ``config=RunConfig(...)``
+    and ignore the fields that do not apply to them (``baseline`` outside
+    the serial executor, ``window_policy`` outside IKDG, and so on) — one
+    config object can drive any executor.  The legacy keyword form still
+    works through a deprecation shim (:func:`coerce_config`) and is
+    bit-identical to the config form.
+    """
+
+    #: Run loop bodies in checked mode (bodies verify their declared rw-sets).
+    checked: bool = False
+    #: Optional :class:`repro.oracle.TraceRecorder` (observation only).
+    recorder: Any = None
+    #: Diff each body's accesses against its declared rw-set at commit time.
+    sanitize: bool = False
+    #: rw-set index engine: ``"dict"`` or ``"flat"`` (vectorized, interned).
+    engine: str = "dict"
+    #: Mark-phase backend: ``None``/``"inline"``, ``"mp"``, or a shared
+    #: :class:`~repro.runtime.mp_backend.MPMarkBackend` instance.
+    backend: Any = None
+    #: Worker processes for ``backend="mp"`` (matches the CLI default).
+    workers: int = 2
+    #: §3.7 scheduling hint for bulk-synchronous phases (ikdg, kdg-rna).
+    chunk_size: int = 1
+    #: IKDG window policy (defaults to :class:`AdaptiveWindow` inside ikdg).
+    window_policy: Any = None
+    #: IKDG level-windowing strategy (§3.6.1, used for BFS).
+    level_windows: bool = False
+    #: Serial scheduling baseline: ``"heap"`` or ``"linear"`` (§5.1).
+    baseline: str = "heap"
+    #: KDG-RNA: verify subrule R removals against the live conflict graph.
+    check_safety: bool = False
+    #: KDG-RNA: force (True/False) or auto-select (None) the async variant.
+    asynchronous: bool | None = None
+
+    def validate_for(self, executor: str) -> None:
+        """Centralized validation, previously scattered per executor."""
+        if self.engine not in ("dict", "flat"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} (expected 'dict' or 'flat')"
+            )
+        uses_mp = self.backend is not None and self.backend != "inline"
+        if executor == "serial":
+            if self.baseline not in ("heap", "linear"):
+                raise ValueError(f"unknown serial baseline {self.baseline!r}")
+            if uses_mp:
+                raise ValueError(
+                    "serial: backend='mp' is not supported (no parallel phases)"
+                )
+        if executor == "speculation" and uses_mp:
+            raise ValueError(
+                "speculation: backend='mp' is not supported (trace-replay "
+                "executor has no parallel mark phase)"
+            )
+
+    def describe(self) -> dict[str, Any]:
+        """The *resolved* configuration, as carried by :class:`LoopResult`.
+
+        Bench reports and oracle traces read this instead of reconstructing
+        the configuration from CLI flags.  The backend is normalized to its
+        kind (``"inline"``/``"mp"``) and ``workers`` reflects a shared
+        backend instance's real worker count when one was passed.
+        """
+        backend = self.backend
+        if backend is None or backend == "inline":
+            kind, workers = "inline", None
+        else:
+            kind = "mp"
+            workers = getattr(backend, "workers", self.workers)
+        return {
+            "engine": self.engine,
+            "backend": kind,
+            "workers": workers,
+            "sanitize": self.sanitize,
+            "checked": self.checked,
+        }
+
+
+#: Legacy keyword set each executor accepted before :class:`RunConfig`;
+#: the shim rejects keywords outside an executor's historical signature so
+#: typos keep failing loudly (as the old explicit signatures did).
+_LEGACY_KEYS = {
+    "serial": frozenset({"checked", "baseline", "recorder", "sanitize", "engine"}),
+    "kdg-rna": frozenset({
+        "checked", "check_safety", "asynchronous", "chunk_size",
+        "recorder", "sanitize", "engine", "backend", "workers",
+    }),
+    "ikdg": frozenset({
+        "checked", "window_policy", "level_windows", "chunk_size",
+        "recorder", "sanitize", "engine", "backend", "workers",
+    }),
+    "level-by-level": frozenset({
+        "checked", "recorder", "sanitize", "engine", "backend", "workers",
+    }),
+    "speculation": frozenset({
+        "checked", "recorder", "sanitize", "engine", "backend", "workers",
+    }),
+}
+
+_legacy_warned = False
+
+
+def reset_legacy_warning() -> None:
+    """Re-arm the once-per-process legacy-kwargs warning (for tests)."""
+    global _legacy_warned
+    _legacy_warned = False
+
+
+def coerce_config(executor: str, config: RunConfig | None, legacy: dict) -> RunConfig:
+    """Resolve an executor's ``(config=..., **legacy)`` call into a RunConfig.
+
+    The legacy keyword form warns once per process (``DeprecationWarning``)
+    and builds an equivalent config, so results are bit-identical either
+    way.  Mixing both forms is an error; so is a legacy keyword the
+    executor's historical signature never accepted.
+    """
+    global _legacy_warned
+    if legacy:
+        if config is not None:
+            raise TypeError(
+                f"{executor}: pass either config=RunConfig(...) or legacy "
+                f"keyword arguments, not both (got {sorted(legacy)})"
+            )
+        unknown = set(legacy) - _LEGACY_KEYS[executor]
+        if unknown:
+            raise TypeError(
+                f"{executor}: unexpected keyword argument(s) "
+                f"{sorted(unknown)}"
+            )
+        if not _legacy_warned:
+            _legacy_warned = True
+            warnings.warn(
+                f"executor keyword arguments (seen on {executor}: "
+                f"{sorted(legacy)}) are deprecated; pass "
+                "config=RunConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        config = RunConfig(**legacy)
+    elif config is None:
+        config = RunConfig()
+    config.validate_for(executor)
+    return config
 
 
 @dataclass
@@ -38,6 +193,9 @@ class LoopResult:
     executed: int
     rounds: int = 0
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: The resolved :class:`RunConfig` this run executed under (None only
+    #: for hand-specialized app codes that bypass the ordered executors).
+    config: RunConfig | None = None
 
     @property
     def stats(self) -> CycleStats:

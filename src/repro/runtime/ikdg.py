@@ -25,25 +25,22 @@ from ..core.task import SORT_KEY, Task
 from ..galois.bucketed import BucketedWorklist
 from ..galois.worklist import OrderedWorklist
 from ..machine import Category, SimMachine
-from .base import LoopResult, attribute_commits, bind_execute_task
+from .base import LoopResult, RunConfig, attribute_commits, bind_execute_task, coerce_config
 from .windowing import AdaptiveWindow
 
 
 def run_ikdg(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
-    checked: bool = False,
-    window_policy: AdaptiveWindow | None = None,
-    level_windows: bool = False,
-    chunk_size: int = 1,
-    recorder=None,
-    sanitize: bool = False,
-    engine: str = "dict",
-    backend=None,
-    workers: int = 2,
+    config: RunConfig | None = None,
+    *,
+    session=None,
+    **legacy,
 ) -> LoopResult:
     """Run ``algorithm`` under the implicit (marking-based) KDG executor.
 
+    ``config`` is a :class:`~repro.runtime.base.RunConfig`; the legacy
+    keyword form still works through a deprecation shim.
     ``level_windows=True`` selects the level-by-level windowing strategy of
     §3.6.1 (used for BFS): each window is exactly the tasks of the earliest
     priority level, as given by the algorithm's ``level_of``.
@@ -61,14 +58,34 @@ def run_ikdg(
     bit-identical; only host wall-clock changes.  It requires
     ``engine="flat"``; on algorithms without structure-based rw-sets the
     marking is per-round list-based and the backend is a validated no-op.
+
+    ``session`` is a live :class:`~repro.runtime.session.SessionState`: the
+    run then draws its initial tasks from the session's pending batch and
+    reuses the session's persistent task factory, interner, mark buffers
+    and round pool instead of building fresh ones — the repair path of a
+    :class:`~repro.runtime.session.KineticSession`.  The fresh-run path is
+    untouched; per-task charging is identical either way.
     """
+    cfg = coerce_config("ikdg", config, legacy)
+    checked = cfg.checked
+    window_policy = cfg.window_policy
+    level_windows = cfg.level_windows
+    chunk_size = cfg.chunk_size
+    recorder = cfg.recorder
+    sanitize = cfg.sanitize
+    engine = cfg.engine
+    backend = cfg.backend
+    workers = cfg.workers
     if machine is None:
         machine = SimMachine(1)
-    if engine not in ("dict", "flat"):
-        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
     mp_backend = None
     owns_backend = False
     if backend is not None and backend != "inline":
+        if session is not None:
+            raise ValueError(
+                "ikdg: backend='mp' is not supported inside a KineticSession "
+                "(worker pools cannot adopt a session's live round pool)"
+            )
         from .mp_backend import resolve_backend
 
         mp_backend, owns_backend = resolve_backend(backend, engine, workers, "ikdg")
@@ -83,8 +100,12 @@ def run_ikdg(
             pooled_mark_round,
         )
 
-        interner = LocationInterner()
-        buffers = MarkBuffers()
+        if session is not None:
+            interner = session.interner
+            buffers = session.buffers
+        else:
+            interner = LocationInterner()
+            buffers = MarkBuffers()
         compute_rw_lists = algorithm.compute_rw_lists
         # With structure-based rw-sets a task's flat-cache entry, once
         # built, stays valid for the whole run (nothing ever invalidates
@@ -99,15 +120,22 @@ def run_ikdg(
             if mp_backend is not None:
                 pool = mp_backend.new_pool()
                 mark_pooled = mp_backend.mark_round
+            elif session is not None:
+                pool = session.round_pool()
+                mark_pooled = pooled_mark_round
             else:
                 pool = RoundPool()
                 mark_pooled = pooled_mark_round
     cm = machine.cost_model
     props = algorithm.properties
     policy = window_policy if window_policy is not None else AdaptiveWindow()
-    factory = algorithm.task_factory()
 
-    initial_tasks = factory.make_all(algorithm.initial_items)
+    if session is not None:
+        factory = session.factory
+        initial_tasks = session.take_batch()
+    else:
+        factory = algorithm.task_factory()
+        initial_tasks = factory.make_all(algorithm.initial_items)
     if level_windows:
         # OBIM-style bucketed worklist: O(1) transfers per level.
         backlog = BucketedWorklist(algorithm.level, initial_tasks)
@@ -401,4 +429,5 @@ def run_ikdg(
             "mean_round_size": sum(round_sizes) / len(round_sizes) if round_sizes else 0,
             **mp_metrics,
         },
+        config=cfg,
     )

@@ -27,8 +27,10 @@ from ..core.task import SORT_KEY, Task
 from ..machine import Category, SimMachine, simulate_async
 from .base import (
     LoopResult,
+    RunConfig,
     attribute_commits,
     bind_execute_task,
+    coerce_config,
     rw_visit_cost,
 )
 
@@ -103,18 +105,13 @@ def _build_kdg(
 def run_kdg_rna(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
-    checked: bool = False,
-    check_safety: bool = False,
-    asynchronous: bool | None = None,
-    chunk_size: int = 1,
-    recorder=None,
-    sanitize: bool = False,
-    engine: str = "dict",
-    backend=None,
-    workers: int = 2,
+    config: RunConfig | None = None,
+    **legacy,
 ) -> LoopResult:
     """Run ``algorithm`` under the explicit KDG executor.
 
+    ``config`` is a :class:`~repro.runtime.base.RunConfig`; the legacy
+    keyword form still works through a deprecation shim.
     ``asynchronous=None`` picks the asynchronous variant automatically when
     the declared properties allow it (§3.6.3).  ``chunk_size`` is the §3.7
     scheduling hint for the bulk-synchronous phases (ignored by the
@@ -130,10 +127,18 @@ def run_kdg_rna(
     uniformity but are a documented no-op: KDG-RNA maintains the graph
     incrementally and has no bulk mark phase to shard.
     """
+    cfg = coerce_config("kdg-rna", config, legacy)
+    checked = cfg.checked
+    check_safety = cfg.check_safety
+    asynchronous = cfg.asynchronous
+    chunk_size = cfg.chunk_size
+    recorder = cfg.recorder
+    sanitize = cfg.sanitize
+    engine = cfg.engine
+    backend = cfg.backend
+    workers = cfg.workers
     if machine is None:
         machine = SimMachine(1)
-    if engine not in ("dict", "flat"):
-        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
     if backend is not None and backend != "inline":
         from .mp_backend import resolve_backend
 
@@ -152,11 +157,16 @@ def run_kdg_rna(
                 f"{algorithm.name}: asynchronous KDG-RNA requires "
                 "structure-based rw-sets and stable sources or a local test"
             )
-        return _run_async(algorithm, machine, checked, check_safety, recorder, sanitize)
-    return _run_rounds(
-        algorithm, machine, checked, check_safety, chunk_size, recorder, sanitize,
-        engine,
-    )
+        result = _run_async(
+            algorithm, machine, checked, check_safety, recorder, sanitize
+        )
+    else:
+        result = _run_rounds(
+            algorithm, machine, checked, check_safety, chunk_size, recorder,
+            sanitize, engine,
+        )
+    result.config = cfg
+    return result
 
 
 # ----------------------------------------------------------------------

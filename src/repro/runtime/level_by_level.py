@@ -19,21 +19,21 @@ from ..core.algorithm import OrderedAlgorithm
 from ..core.task import SORT_KEY, Task
 from ..galois.worklist import OrderedWorklist
 from ..machine import Category, SimMachine
-from .base import LoopResult, attribute_commits, bind_execute_task
+from .base import LoopResult, RunConfig, attribute_commits, bind_execute_task, coerce_config
 
 
 def run_level_by_level(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
-    checked: bool = False,
-    recorder=None,
-    sanitize: bool = False,
-    engine: str = "dict",
-    backend=None,
-    workers: int = 2,
+    config: RunConfig | None = None,
+    *,
+    session=None,
+    **legacy,
 ) -> LoopResult:
     """Run ``algorithm`` level by level, recording level statistics.
 
+    ``config`` is a :class:`~repro.runtime.base.RunConfig`; the legacy
+    keyword form still works through a deprecation shim.
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`.
     ``sanitize=True`` diffs each body's accesses against its declared
     rw-set at commit time (observation only).  ``engine="flat"`` runs each
@@ -44,18 +44,34 @@ def run_level_by_level(
     sub-round marking on real worker processes over shared memory; it
     requires ``engine="flat"`` and degrades to a validated no-op for
     algorithms without structure-based rw-sets.
+
+    ``session`` is a live :class:`~repro.runtime.session.SessionState` —
+    the run draws its tasks from the session's pending batch and reuses the
+    session's persistent factory, interner, buffers and round pool (the
+    repair path of :class:`~repro.runtime.session.KineticSession`).
     """
+    cfg = coerce_config("level-by-level", config, legacy)
+    checked = cfg.checked
+    recorder = cfg.recorder
+    sanitize = cfg.sanitize
+    engine = cfg.engine
+    backend = cfg.backend
+    workers = cfg.workers
     if machine is None:
         machine = SimMachine(1)
     if not algorithm.properties.monotonic:
         raise ValueError(
             f"{algorithm.name}: level-by-level execution requires monotonicity"
         )
-    if engine not in ("dict", "flat"):
-        raise ValueError(f"unknown engine {engine!r} (expected 'dict' or 'flat')")
     mp_backend = None
     owns_backend = False
     if backend is not None and backend != "inline":
+        if session is not None:
+            raise ValueError(
+                "level-by-level: backend='mp' is not supported inside a "
+                "KineticSession (worker pools cannot adopt a session's live "
+                "round pool)"
+            )
         from .mp_backend import resolve_backend
 
         mp_backend, owns_backend = resolve_backend(
@@ -72,8 +88,12 @@ def run_level_by_level(
             pooled_mark_round,
         )
 
-        interner = LocationInterner()
-        buffers = MarkBuffers()
+        if session is not None:
+            interner = session.interner
+            buffers = session.buffers
+        else:
+            interner = LocationInterner()
+            buffers = MarkBuffers()
         compute_rw_lists = algorithm.compute_rw_lists
         # Structure-based rw-sets never go stale, so a task entering a
         # level's sub-rounds registers with the round pool once (losers keep
@@ -85,15 +105,21 @@ def run_level_by_level(
             if mp_backend is not None:
                 pool = mp_backend.new_pool()
                 mark_pooled = mp_backend.mark_round
+            elif session is not None:
+                pool = session.round_pool()
+                mark_pooled = pooled_mark_round
             else:
                 pool = RoundPool()
                 mark_pooled = pooled_mark_round
             slot_of: dict[Task, int] = {}
     cm = machine.cost_model
-    factory = algorithm.task_factory()
-    worklist: OrderedWorklist[Task] = OrderedWorklist(
-        SORT_KEY, factory.make_all(algorithm.initial_items)
-    )
+    if session is not None:
+        factory = session.factory
+        initial_tasks = session.take_batch()
+    else:
+        factory = algorithm.task_factory()
+        initial_tasks = factory.make_all(algorithm.initial_items)
+    worklist: OrderedWorklist[Task] = OrderedWorklist(SORT_KEY, initial_tasks)
     machine.run_phase_scalar(
         Category.SCHEDULE, [cm.pq_cost(len(worklist))] * len(worklist)
     )
@@ -275,4 +301,5 @@ def run_level_by_level(
             "tasks_created": factory.created,
             **mp_metrics,
         },
+        config=cfg,
     )

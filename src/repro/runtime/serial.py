@@ -18,7 +18,7 @@ from ..core.algorithm import OrderedAlgorithm
 from ..core.task import SORT_KEY
 from ..galois.priorityqueue import BinaryHeap
 from ..machine import Category, SimMachine
-from .base import LoopResult, bind_execute_task
+from .base import LoopResult, RunConfig, bind_execute_task, coerce_config
 
 #: Per-item dispatch cost of a sorted-sequence serial loop.
 LINEAR_DISPATCH = 8.0
@@ -27,29 +27,30 @@ LINEAR_DISPATCH = 8.0
 def run_serial(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
-    checked: bool = False,
-    baseline: str = "heap",
-    recorder=None,
-    sanitize: bool = False,
-    engine: str = "dict",
+    config: RunConfig | None = None,
+    **legacy,
 ) -> LoopResult:
     """Execute ``algorithm`` serially in priority order.
 
-    ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`; with
-    one attached, rw-sets are computed (uncharged, as in checked mode) so
-    the reference trace carries conflict information.  ``sanitize=True``
-    diffs each body's actual accesses against the declared rw-set
-    (observation only; charges no cycles).  ``engine`` is accepted for
-    executor-signature uniformity and ignored: the serial baseline keeps no
-    rw-set index to flatten.
+    ``config`` is a :class:`~repro.runtime.base.RunConfig`; the legacy
+    keyword form (``checked=``, ``baseline=``, ``recorder=``,
+    ``sanitize=``, ``engine=``) still works through a deprecation shim.
+    With a ``recorder`` attached, rw-sets are computed (uncharged, as in
+    checked mode) so the reference trace carries conflict information.
+    ``sanitize=True`` diffs each body's actual accesses against the
+    declared rw-set (observation only; charges no cycles).  ``engine`` is
+    accepted for executor-signature uniformity and ignored: the serial
+    baseline keeps no rw-set index to flatten.
     """
-    del engine  # no rounds, no index — nothing for the flat engine to do
+    cfg = coerce_config("serial", config, legacy)
+    checked = cfg.checked
+    baseline = cfg.baseline
+    recorder = cfg.recorder
+    sanitize = cfg.sanitize
     if machine is None:
         machine = SimMachine(1)
     if machine.num_threads != 1:
         raise ValueError("the serial executor requires a 1-thread machine")
-    if baseline not in ("heap", "linear"):
-        raise ValueError(f"unknown serial baseline {baseline!r}")
     cm = machine.cost_model
     factory = algorithm.task_factory()
     heap = BinaryHeap(SORT_KEY, factory.make_all(algorithm.initial_items))
@@ -111,4 +112,5 @@ def run_serial(
         executor="serial",
         machine=machine,
         executed=executed,
+        config=cfg,
     )

@@ -1,0 +1,338 @@
+"""Streaming KDG sessions: first-class incremental updates (§3.4 lifted).
+
+A :class:`KineticSession` holds one app's executor state *live* across
+calls: the app state, the task factory (so task ids stay globally unique),
+and — under the flat engine — the location interner, mark buffers and
+round pool.  Callers feed it batches of typed input mutations
+(:mod:`repro.core.mutations`); the session maps them through the app's
+:class:`~repro.core.mutations.MutationAdapter` into repair seeds and
+re-executes only the affected frontier under the adapter's executor,
+instead of rebuilding the kinetic dependence graph and re-running the
+whole computation.  Each batch returns a :class:`RepairResult` with the
+work actually redone (tasks re-run, locations touched, simulated repair
+cycles) and, on request, the cycles a cold rebuild of the mutated input
+would have cost.
+
+Correctness bar: after every batch the session's app state must be
+bit-identical to a cold run over the mutated input
+(``adapter.fork_cold()``) — the differential harness in
+:mod:`repro.oracle.stream` checks exactly that, per batch, for every
+bundled streaming app.
+
+Sessions are single-process by construction: the mp mark backend is
+rejected up front because worker pools cannot adopt a session's live
+round pool (slot state lives in the parent's arrays).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from ..machine import SimMachine
+from .base import LoopResult, RunConfig
+from .ikdg import run_ikdg
+from .level_by_level import run_level_by_level
+
+#: Executors a MutationAdapter may select for repair runs.  kdg-rna and
+#: speculation build per-run global structures (the explicit KDG, a
+#: recorded trace) that do not survive incremental task injection.
+_SESSION_EXECUTORS = {
+    "ikdg": run_ikdg,
+    "level-by-level": run_level_by_level,
+}
+
+
+class SessionState:
+    """The executor state a session keeps warm between batches.
+
+    Executors running with ``session=`` draw their initial tasks from
+    :meth:`take_batch` and reuse :attr:`factory`, :attr:`interner`,
+    :attr:`buffers` and :meth:`round_pool` instead of building fresh
+    ones.  Flat-engine members are lazy: dict-engine sessions never
+    import numpy-backed structures.
+    """
+
+    def __init__(self, factory):
+        self.factory = factory
+        self._staged: list = []
+        self._interner = None
+        self._buffers = None
+        self._pool = None
+
+    @property
+    def interner(self):
+        if self._interner is None:
+            from ..core.flat import LocationInterner
+
+            self._interner = LocationInterner()
+        return self._interner
+
+    @property
+    def buffers(self):
+        if self._buffers is None:
+            from ..core.flat import MarkBuffers
+
+            self._buffers = MarkBuffers()
+        return self._buffers
+
+    def round_pool(self):
+        if self._pool is None:
+            from ..core.flat import RoundPool
+
+            self._pool = RoundPool()
+        return self._pool
+
+    def stage(self, tasks: list) -> None:
+        """Queue tasks for the next executor invocation."""
+        self._staged.extend(tasks)
+
+    def take_batch(self) -> list:
+        """Hand the staged tasks to the executor (cleared on take)."""
+        staged, self._staged = self._staged, []
+        return staged
+
+    def release(self) -> None:
+        """Drop pooled resources; safe to call repeatedly or mid-failure."""
+        self._staged = []
+        if self._pool is not None:
+            self._pool.flush()
+            self._pool = None
+        self._buffers = None
+        self._interner = None
+
+
+@dataclass
+class RepairResult:
+    """What one mutation batch cost the session."""
+
+    batch_size: int
+    #: Tasks committed by the repair runs of this batch.
+    tasks_rerun: int
+    #: Distinct locations in the committed tasks' rw-sets.
+    locations_touched: int
+    #: Simulated cycles the repair runs added to the session machine.
+    repair_cycles: float
+    #: Simulated cycles a cold run over the mutated input costs
+    #: (``None`` unless the batch was applied with ``measure_rebuild``).
+    rebuild_cycles: float | None
+    #: Executor rounds across the batch's repair runs.
+    rounds: int
+    #: The committed schedule of the repair runs (``None`` for a no-op).
+    trace: Any = None
+
+    @property
+    def speedup(self) -> float | None:
+        """Rebuild-over-repair cycle ratio (> 1 means repairing won)."""
+        if self.rebuild_cycles is None or self.repair_cycles <= 0:
+            return None
+        return self.rebuild_cycles / self.repair_cycles
+
+
+class KineticSession:
+    """A live, incrementally-updatable run of one streaming app.
+
+    ``spec`` is an :class:`~repro.apps.common.AppSpec` with a
+    ``stream_adapter``; ``state`` defaults to the app's small input.  The
+    constructor *bootstraps*: it runs the algorithm to completion once
+    through the session path, so the app state is converged and the warm
+    executor structures (factory, interner, pool) are populated before
+    the first batch arrives.
+
+    Use as a context manager, or call :meth:`close` — idempotent, and
+    required to release flat-pool resources even after a failed batch.
+    """
+
+    def __init__(
+        self,
+        spec,
+        state: Any = None,
+        config: RunConfig | None = None,
+        machine: SimMachine | None = None,
+        threads: int = 3,
+    ):
+        if getattr(spec, "stream_adapter", None) is None:
+            raise ValueError(f"{spec.name}: app has no streaming adapter")
+        cfg = config if config is not None else RunConfig()
+        if cfg.backend is not None and cfg.backend != "inline":
+            raise ValueError(
+                "KineticSession: backend='mp' is not supported (worker "
+                "pools cannot adopt a session's live round pool); run "
+                "one-shot executors for mp, or pass backend=None"
+            )
+        self.spec = spec
+        self.state = state if state is not None else spec.make_small()
+        self.adapter = spec.stream_adapter(self.state)
+        if self.adapter.executor not in _SESSION_EXECUTORS:
+            raise ValueError(
+                f"{spec.name}: adapter requests executor "
+                f"{self.adapter.executor!r}; sessions support "
+                f"{sorted(_SESSION_EXECUTORS)}"
+            )
+        self._run = _SESSION_EXECUTORS[self.adapter.executor]
+        cfg = dataclasses.replace(
+            cfg, level_windows=cfg.level_windows or self.adapter.level_windows
+        )
+        cfg.validate_for(self.adapter.executor)
+        self.config = cfg
+        self.machine = machine if machine is not None else SimMachine(threads)
+        self._closed = False
+        self._poisoned = False
+        self._watermark: Any = None
+        self.batches_applied = 0
+
+        algorithm = self.adapter.make_algorithm()
+        self._session_state = SessionState(algorithm.task_factory())
+        from ..oracle.trace import TraceRecorder
+
+        self._recorder_cls = TraceRecorder
+        recorder = TraceRecorder()
+        self._session_state.stage(
+            self._session_state.factory.make_all(algorithm.initial_items)
+        )
+        self.bootstrap: LoopResult = self._run(
+            algorithm,
+            self.machine,
+            dataclasses.replace(cfg, recorder=recorder),
+            session=self._session_state,
+        )
+        self._advance_watermark(recorder)
+        self.bootstrap_cycles = self.machine.elapsed_cycles()
+
+    @classmethod
+    def open(
+        cls,
+        app: str,
+        state: Any = None,
+        config: RunConfig | None = None,
+        machine: SimMachine | None = None,
+        threads: int = 3,
+    ) -> "KineticSession":
+        """Open a session on a registered app by name."""
+        from ..apps import APPS
+
+        if app not in APPS:
+            raise ValueError(f"unknown app {app!r} (have {sorted(APPS)})")
+        return cls(APPS[app], state, config, machine, threads)
+
+    # ------------------------------------------------------------------
+    def apply(self, mutations, measure_rebuild: bool = False) -> RepairResult:
+        """Apply one batch of mutations; repair; report the work done.
+
+        Validation is transactional: every mutation is type- and
+        watermark-checked *before* any is applied, so a rejected batch
+        leaves the session untouched.  A failure mid-application poisons
+        the session (state may be partially mutated); only :meth:`close`
+        is valid afterwards.
+        """
+        if self._closed:
+            raise RuntimeError("KineticSession is closed")
+        if self._poisoned:
+            raise RuntimeError(
+                "KineticSession is poisoned by an earlier failed batch; "
+                "close() it and open a fresh session"
+            )
+        batch = list(mutations)
+        ordered = self.adapter.watermark_policy == "ordered"
+        for mutation in batch:
+            self.adapter.check(mutation)
+            if ordered and self._watermark is not None:
+                self.adapter.check_watermark(mutation, self._watermark)
+        if not batch:
+            return RepairResult(0, 0, 0, 0.0, None, 0, None)
+
+        recorder = self._recorder_cls()
+        cycles_before = self.machine.elapsed_cycles()
+        rounds = 0
+        pending: list = []
+        try:
+            for mutation in batch:
+                if pending and self.adapter.flush_before(mutation):
+                    rounds += self._run_items(pending, recorder)
+                    pending = []
+                pending.extend(self.adapter.apply(mutation))
+            if pending:
+                rounds += self._run_items(pending, recorder)
+        except Exception:
+            self._poisoned = True
+            raise
+        self._advance_watermark(recorder)
+        self.batches_applied += 1
+        repair_cycles = self.machine.elapsed_cycles() - cycles_before
+
+        rebuild_cycles = None
+        if measure_rebuild:
+            rebuild_cycles = self._measure_rebuild()
+        locations: set = set()
+        for event in recorder.events:
+            locations.update(event.rw_set)
+        return RepairResult(
+            batch_size=len(batch),
+            tasks_rerun=len(recorder.events),
+            locations_touched=len(locations),
+            repair_cycles=repair_cycles,
+            rebuild_cycles=rebuild_cycles,
+            rounds=rounds,
+            trace=recorder.trace(
+                self.spec.name,
+                f"session:{self.adapter.executor}",
+                self.machine.num_threads,
+                rw_stable=True,
+            ),
+        )
+
+    def _run_items(self, items: list, recorder) -> int:
+        """One repair run over the staged seed items; returns its rounds."""
+        algorithm = self.adapter.make_algorithm(seed_items=items)
+        self._session_state.stage(
+            self._session_state.factory.make_all(algorithm.initial_items)
+        )
+        result = self._run(
+            algorithm,
+            self.machine,
+            dataclasses.replace(self.config, recorder=recorder),
+            session=self._session_state,
+        )
+        return result.rounds
+
+    def _measure_rebuild(self) -> float:
+        """Cycles a cold run over the current (mutated) input costs."""
+        cold_state = self.adapter.fork_cold()
+        cold_machine = SimMachine(self.machine.num_threads)
+        algorithm = self.adapter.make_algorithm(state=cold_state)
+        self._run(algorithm, cold_machine, self.config)
+        return cold_machine.elapsed_cycles()
+
+    def _advance_watermark(self, recorder) -> None:
+        if recorder.events:
+            top = max(event.priority for event in recorder.events)
+            if self._watermark is None or top > self._watermark:
+                self._watermark = top
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Any:
+        """The app's deterministic final-state digest, live."""
+        return self.spec.snapshot(self.state)
+
+    def validate(self) -> None:
+        """The app's domain invariants over the live state."""
+        self.spec.validate(self.state)
+
+    @property
+    def watermark(self) -> Any:
+        """Highest committed priority so far (ordered-policy sessions)."""
+        return self._watermark
+
+    def close(self) -> None:
+        """Release pooled resources; idempotent, valid after poisoning."""
+        if self._closed:
+            return
+        self._closed = True
+        self._session_state.release()
+
+    def __enter__(self) -> "KineticSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -27,7 +27,7 @@ from ..core.algorithm import OrderedAlgorithm
 from ..core.task import SORT_KEY
 from ..galois.priorityqueue import BinaryHeap
 from ..machine import Category, SimMachine
-from .base import LoopResult
+from .base import LoopResult, RunConfig, coerce_config
 
 
 @dataclass
@@ -308,15 +308,13 @@ class _Replay:
 def run_speculation(
     algorithm: OrderedAlgorithm,
     machine: SimMachine | None = None,
-    checked: bool = False,
-    recorder=None,
-    sanitize: bool = False,
-    engine: str = "dict",
-    backend=None,
-    workers: int = 2,
+    config: RunConfig | None = None,
+    **legacy,
 ) -> LoopResult:
     """Run ``algorithm`` under the speculative executor.
 
+    ``config`` is a :class:`~repro.runtime.base.RunConfig`; the legacy
+    keyword form still works through a deprecation shim.
     ``recorder`` is an optional :class:`repro.oracle.TraceRecorder`; events
     are emitted in commit order during the replay (in-order commit), using
     the rw-sets captured by the serial trace pass.  ``sanitize=True`` diffs
@@ -326,13 +324,10 @@ def run_speculation(
     live rw-set index.  ``backend="mp"`` is rejected outright — the serial
     trace pass has no phase worker processes could share.
     """
-    del engine  # trace-replay executor — no live index to flatten
-    if backend is not None and backend != "inline":
-        raise ValueError(
-            "speculation: backend='mp' is not supported (trace-replay "
-            "executor has no parallel mark phase)"
-        )
-    del workers
+    cfg = coerce_config("speculation", config, legacy)
+    checked = cfg.checked
+    recorder = cfg.recorder
+    sanitize = cfg.sanitize
     if machine is None:
         machine = SimMachine(1)
     sanitizer = None
@@ -351,4 +346,5 @@ def run_speculation(
         machine=machine,
         executed=executed,
         metrics={"aborts": replay.aborts, "commits": replay.commits},
+        config=cfg,
     )

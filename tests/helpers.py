@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro import AlgorithmProperties, OrderedAlgorithm
-from repro.apps import avi, bfs, billiards, des, lu, mst, treesum
+from repro.apps import avi, bfs, billiards, des, kcore, lu, mst, treesum
 
 #: Tiny state builders per app: fast enough for the full executor matrix.
 TINY_STATES = {
@@ -14,6 +14,7 @@ TINY_STATES = {
     "des": lambda: des.make_adder_state(8, vectors=4, seed=11),
     "bfs": lambda: bfs.make_grid_state(16, 16, seed=11),
     "treesum": lambda: treesum.make_state(800, leaf_size=8, seed=11),
+    "kcore": lambda: kcore.make_tiny_state(seed=11),
 }
 
 

@@ -1,0 +1,149 @@
+"""RunConfig: one configuration object for every executor, shim bit-identity."""
+
+import warnings
+
+import pytest
+
+from repro import SimMachine
+from repro.runtime import EXECUTORS
+from repro.runtime.base import RunConfig, coerce_config, reset_legacy_warning
+
+from .helpers import ChainCounter
+
+ORDERED_EXECUTORS = sorted(EXECUTORS)
+
+
+def run_pair(name, **legacy):
+    """Run one executor twice — legacy kwargs vs. equivalent RunConfig —
+    and return both (sums, elapsed_cycles) observations."""
+    observed = []
+    for use_config in (False, True):
+        counter = ChainCounter(cells=4, steps=6)
+        machine = SimMachine(1 if name == "serial" else 3)
+        if use_config:
+            result = EXECUTORS[name](
+                counter.algorithm(), machine, RunConfig(**legacy)
+            )
+        else:
+            reset_legacy_warning()
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                result = EXECUTORS[name](counter.algorithm(), machine, **legacy)
+        observed.append((counter.sums, machine.elapsed_cycles(), result))
+    return observed
+
+
+class TestShimEquivalence:
+    @pytest.mark.parametrize("name", ORDERED_EXECUTORS)
+    def test_legacy_kwargs_bit_identical_to_config(self, name):
+        legacy, config = run_pair(name, checked=True)
+        assert legacy[0] == config[0] == [21] * 4
+        assert legacy[1] == config[1]
+
+    def test_engine_kwarg_equivalent(self):
+        legacy, config = run_pair("ikdg", engine="flat")
+        assert legacy[0] == config[0]
+        assert legacy[1] == config[1]
+
+    def test_warns_once_per_process(self):
+        reset_legacy_warning()
+        with pytest.warns(DeprecationWarning):
+            EXECUTORS["serial"](
+                ChainCounter().algorithm(), SimMachine(1), checked=True
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            EXECUTORS["serial"](
+                ChainCounter().algorithm(), SimMachine(1), checked=True
+            )
+
+    def test_mixing_config_and_legacy_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            EXECUTORS["ikdg"](
+                ChainCounter().algorithm(), SimMachine(2),
+                RunConfig(), checked=True,
+            )
+
+    @pytest.mark.parametrize("name,bad", [
+        ("serial", "window_policy"),    # never in serial's signature
+        ("level-by-level", "baseline"),
+        ("ikdg", "definitely_a_typo"),
+    ])
+    def test_unknown_legacy_kwarg_rejected(self, name, bad):
+        reset_legacy_warning()
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            EXECUTORS[name](
+                ChainCounter().algorithm(), SimMachine(2), **{bad: True}
+            )
+
+
+class TestValidation:
+    def test_bad_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            RunConfig(engine="quantum").validate_for("ikdg")
+
+    def test_serial_rejects_mp(self):
+        with pytest.raises(ValueError, match="serial.*not supported"):
+            RunConfig(backend="mp").validate_for("serial")
+
+    def test_speculation_rejects_mp(self):
+        with pytest.raises(ValueError, match="speculation.*not supported"):
+            RunConfig(backend="mp").validate_for("speculation")
+
+    def test_bad_baseline(self):
+        with pytest.raises(ValueError, match="baseline"):
+            RunConfig(baseline="quadratic").validate_for("serial")
+
+    def test_coerce_defaults(self):
+        cfg = coerce_config("ikdg", None, {})
+        assert cfg == RunConfig()
+
+
+class TestResolvedConfig:
+    @pytest.mark.parametrize("name", ORDERED_EXECUTORS)
+    def test_result_carries_config(self, name):
+        cfg = RunConfig(sanitize=True)
+        machine = SimMachine(1 if name == "serial" else 3)
+        result = EXECUTORS[name](ChainCounter().algorithm(), machine, cfg)
+        assert result.config is cfg
+        described = result.config.describe()
+        assert described["engine"] == "dict"
+        assert described["backend"] == "inline"
+        assert described["workers"] is None
+        assert described["sanitize"] is True
+
+    def test_describe_normalizes_backend_instance(self):
+        class FakeBackend:
+            workers = 5
+
+        described = RunConfig(backend=FakeBackend(), workers=2).describe()
+        assert described["backend"] == "mp"
+        assert described["workers"] == 5
+
+    def test_app_run_resolves_config(self):
+        from repro.apps import APPS
+
+        spec = APPS["bfs"]
+        result = spec.run(spec.make_tiny(), "kdg-auto", SimMachine(3))
+        assert result.config is not None
+        assert result.config.level_windows  # bfs auto_options preserved
+
+    def test_app_run_fills_defaults_into_passed_config(self):
+        from repro.apps import APPS
+
+        spec = APPS["bfs"]
+        result = spec.run(
+            spec.make_tiny(), "kdg-auto", SimMachine(3),
+            config=RunConfig(engine="flat"),
+        )
+        assert result.config.engine == "flat"
+        assert result.config.level_windows
+
+    def test_app_run_rejects_config_plus_options(self):
+        from repro.apps import APPS
+
+        spec = APPS["bfs"]
+        with pytest.raises(TypeError, match="not both"):
+            spec.run(
+                spec.make_tiny(), "kdg-auto", SimMachine(3),
+                config=RunConfig(), checked=True,
+            )

@@ -1,0 +1,277 @@
+"""Streaming sessions: lifecycle edges and the differential bit-identity bar."""
+
+import json
+
+import pytest
+
+from repro.apps import APPS, bfs, des, kcore
+from repro.core.mutations import (
+    AddEdge,
+    InjectEvent,
+    MutationError,
+    RemoveEdge,
+    UnsupportedMutationError,
+    WatermarkError,
+    mutation_from_dict,
+    mutation_to_dict,
+)
+from repro.oracle.stream import (
+    SCHEDULES,
+    check_session,
+    generate_trace,
+    load_trace,
+    replay_trace,
+)
+from repro.runtime.base import RunConfig
+from repro.runtime.session import KineticSession
+
+
+def kcore_session(engine="dict", seed=3):
+    return KineticSession(
+        APPS["kcore"],
+        kcore.make_tiny_state(seed=seed),
+        config=RunConfig(engine=engine),
+    )
+
+
+def des_session(seed=4):
+    return KineticSession(
+        APPS["des"], des.make_stream_multiplier_state(4, vectors=2, seed=seed)
+    )
+
+
+class TestLifecycle:
+    def test_open_by_name(self):
+        with KineticSession.open("kcore", kcore.make_tiny_state(seed=3)) as sess:
+            assert sess.spec.name == "kcore"
+            assert sess.batches_applied == 0
+            sess.validate()
+
+    def test_open_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            KineticSession.open("nope")
+
+    def test_app_without_adapter_rejected(self):
+        with pytest.raises(ValueError, match="no streaming adapter"):
+            KineticSession.open("mst")
+
+    def test_empty_batch_is_noop(self):
+        with kcore_session() as sess:
+            before = sess.snapshot()
+            cycles = sess.machine.elapsed_cycles()
+            result = sess.apply([])
+            assert result.batch_size == 0
+            assert result.tasks_rerun == 0
+            assert result.repair_cycles == 0.0
+            assert result.trace is None
+            assert sess.snapshot() == before
+            assert sess.machine.elapsed_cycles() == cycles
+            assert sess.batches_applied == 0
+
+    def test_mp_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend='mp' is not supported"):
+            KineticSession(
+                APPS["kcore"],
+                kcore.make_tiny_state(seed=3),
+                config=RunConfig(engine="flat", backend="mp"),
+            )
+
+    def test_close_is_idempotent(self):
+        sess = kcore_session(engine="flat")
+        sess.apply([AddEdge(0, 9)])
+        assert sess._session_state._pool is not None
+        sess.close()
+        assert sess._session_state._pool is None
+        sess.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            sess.apply([AddEdge(1, 5)])
+
+    def test_unsupported_mutation_does_not_poison(self):
+        with kcore_session() as sess:
+            before = sess.snapshot()
+            with pytest.raises(UnsupportedMutationError) as exc:
+                sess.apply([AddEdge(0, 9), InjectEvent(1.0, {})])
+            assert exc.value.adapter == "KCoreAdapter"
+            # Pre-validation is transactional: nothing was applied.
+            assert sess.snapshot() == before
+            sess.apply([AddEdge(0, 9)])
+            sess.validate()
+
+    def test_failed_application_poisons_session(self):
+        sess = KineticSession(
+            APPS["bfs"], bfs.make_random_state(60, avg_degree=3.0, seed=3)
+        )
+        with pytest.raises(MutationError, match="outside node range"):
+            sess.apply([AddEdge(0, 10**6)])
+        with pytest.raises(RuntimeError, match="poisoned"):
+            sess.apply([AddEdge(0, 1)])
+        sess.close()  # close() stays valid after poisoning
+
+    def test_close_releases_pool_after_failed_batch(self):
+        sess = KineticSession(
+            APPS["bfs"],
+            bfs.make_random_state(60, avg_degree=3.0, seed=3),
+            config=RunConfig(engine="flat"),
+        )
+        sess.apply([AddEdge(0, 1)])
+        assert sess._session_state._pool is not None
+        with pytest.raises(MutationError):
+            sess.apply([AddEdge(0, 10**6)])
+        sess.close()
+        assert sess._session_state._pool is None
+
+
+class TestWatermark:
+    def test_fixpoint_sessions_have_no_watermark_checks(self):
+        with kcore_session() as sess:
+            # Any batch order is fine: remove then re-add the same edge.
+            u, v = sess.state.edges()[0]
+            sess.apply([RemoveEdge(u, v)])
+            sess.apply([AddEdge(u, v)])
+            sess.validate()
+
+    def test_injection_below_watermark_is_structured_error(self):
+        with des_session() as sess:
+            watermark = sess.watermark
+            assert watermark is not None
+            stale = InjectEvent(0.0, {})
+            with pytest.raises(WatermarkError) as exc:
+                sess.apply([stale])
+            assert exc.value.mutation is stale
+            assert exc.value.priority == (0.0,)
+            assert exc.value.watermark == watermark
+            # Rejected before application: session is not poisoned.
+            names = sorted(sess.state.circuit.inputs)
+            late = float(int(watermark[0]) + 10)
+            sess.apply([InjectEvent(late, {n: 1 for n in names})])
+            assert sess.watermark > watermark
+
+    def test_watermark_advances_monotonically(self):
+        with des_session() as sess:
+            names = sorted(sess.state.circuit.inputs)
+            seen = [sess.watermark]
+            for step in (10, 20):
+                t = float(int(seen[-1][0]) + step)
+                sess.apply([InjectEvent(t, {n: step % 2 for n in names})])
+                seen.append(sess.watermark)
+            assert seen == sorted(seen)
+
+
+class TestMutationCodec:
+    @pytest.mark.parametrize("mutation", [
+        AddEdge(3, 9),
+        AddEdge(1, 2, weight=0.5),
+        RemoveEdge(4, 7),
+        InjectEvent(120.0, {"a0": 1}),
+    ])
+    def test_roundtrip(self, mutation):
+        data = mutation_to_dict(mutation)
+        assert json.loads(json.dumps(data)) == data
+        assert mutation_from_dict(data) == mutation
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation op"):
+            mutation_from_dict({"op": "frobnicate"})
+
+    def test_non_mutation_rejected(self):
+        with pytest.raises(ValueError, match="not a mutation"):
+            mutation_to_dict(object())
+
+
+class TestDifferential:
+    """The acceptance matrix: session state bit-identical to a cold run
+    after every batch, across schedules x seeds x engines."""
+
+    @pytest.mark.parametrize("engine", ["dict", "flat"])
+    @pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    @pytest.mark.parametrize("app", ["kcore", "bfs"])
+    def test_session_matches_cold_rebuild(self, app, seed, schedule, engine):
+        report = check_session(app, seed=seed, schedule=schedule, engine=engine)
+        assert report.ok, [b.index for b in report.batches if b.match is False]
+        assert all(b.match is True for b in report.batches)
+
+    @pytest.mark.parametrize("seed", [4, 9])
+    def test_des_session_matches_cold_rebuild(self, seed):
+        report = check_session("des", seed=seed, schedule="mixed")
+        assert report.ok
+
+    def test_dict_and_flat_sessions_agree(self):
+        trace = generate_trace("kcore", seed=7, schedule="bursts")
+        reports = {
+            engine: replay_trace(trace, engine=engine) for engine in ("dict", "flat")
+        }
+        d, f = reports["dict"], reports["flat"]
+        assert d.ok and f.ok
+        assert [b.tasks_rerun for b in d.batches] == [b.tasks_rerun for b in f.batches]
+        assert [b.repair_cycles for b in d.batches] == [
+            b.repair_cycles for b in f.batches
+        ]
+
+    def test_small_batches_repair_far_cheaper_than_rebuild(self):
+        report = check_session("kcore", seed=3, schedule="singles")
+        assert report.cycle_ratio is not None
+        assert report.cycle_ratio < 0.5
+
+    def test_repair_result_speedup(self):
+        with kcore_session() as sess:
+            u, v = sess.state.edges()[0]
+            result = sess.apply([RemoveEdge(u, v)], measure_rebuild=True)
+            assert result.rebuild_cycles is not None
+            if result.repair_cycles > 0:
+                assert result.speedup == pytest.approx(
+                    result.rebuild_cycles / result.repair_cycles
+                )
+
+    def test_repair_trace_carries_committed_schedule(self):
+        with kcore_session() as sess:
+            u, v = sess.state.edges()[0]
+            result = sess.apply([RemoveEdge(u, v)])
+            assert result.trace is not None
+            assert len(result.trace) == result.tasks_rerun
+            assert result.trace.executor == "session:ikdg"
+
+
+class TestTraceFiles:
+    def test_fixture_replays_clean(self, tmp_path):
+        trace = load_trace("tests/fixtures/stream/kcore_mixed.json")
+        assert trace["schema"] == "repro.stream.trace/v1"
+        report = replay_trace(trace, measure_rebuild=False)
+        assert report.ok
+
+    def test_generate_is_deterministic(self):
+        a = generate_trace("bfs", seed=5, schedule="singles")
+        b = generate_trace("bfs", seed=5, schedule="singles")
+        assert a == b
+
+    def test_replay_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="not a stream trace"):
+            replay_trace({"schema": "something/else"})
+
+
+class TestStreamCLI:
+    def test_replay_fixture(self, capsys):
+        from repro.cli import main
+
+        assert main(["stream", "tests/fixtures/stream/kcore_mixed.json"]) == 0
+        out = capsys.readouterr().out
+        assert "match" in out and "DIVERGED" not in out
+
+    def test_generate_and_json(self, capsys, tmp_path):
+        from repro.cli import main
+
+        save = tmp_path / "trace.json"
+        code = main([
+            "stream", "--app", "kcore", "--seed", "3", "--schedule", "bursts",
+            "--save", str(save), "--json",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert json.loads(save.read_text())["schema"] == "repro.stream.trace/v1"
+
+    def test_trace_and_app_are_exclusive(self, capsys):
+        from repro.cli import main
+
+        assert main(["stream", "x.json", "--app", "kcore"]) == 2
+        assert main(["stream"]) == 2
