@@ -1,16 +1,41 @@
 """Static and dynamic checking of declared algorithm properties.
 
-Two complementary tools:
+Three complementary tools:
 
-- :mod:`repro.analysis.linter` — an AST-based linter that falsifies
-  declared :class:`~repro.core.properties.AlgorithmProperties` against the
-  source of an application's ``OrderedAlgorithm`` (cautiousness, no-adds,
+- :mod:`repro.analysis.linter` — an AST-based *falsifier*: syntactic rules
+  that contradict declared
+  :class:`~repro.core.properties.AlgorithmProperties` against the source of
+  an application's ``OrderedAlgorithm`` (cautiousness, no-adds,
   monotonicity, structure-based rw-sets, unused properties).
+- :mod:`repro.analysis.effects` / :mod:`repro.analysis.infer` — an
+  interprocedural *prover*: abstract interpretation of the operator
+  functions (and everything they call) into effect summaries, from which
+  each property flag gets a ``holds`` / ``violated`` / ``unknown`` verdict;
+  unsound declarations become errors, undeclared-but-proved flags become
+  missed-optimization suggestions.
 - :mod:`repro.analysis.sanitizer` — a runtime access sanitizer every
   executor can enable via ``sanitize=True``, diffing each committed task's
   actual accesses against its declared rw-set.
 """
 
+from .effects import OperatorEffects, Summary, summarize_file
+from .infer import (
+    HOLDS,
+    RULE_MISSED,
+    RULE_UNSOUND,
+    UNKNOWN,
+    VIOLATED,
+    InferenceResult,
+    InferFinding,
+    UnsoundDeclarationError,
+    Verdict,
+    audit_app,
+    infer_app,
+    infer_path,
+    infer_source,
+    infer_unit,
+    verified_properties,
+)
 from .linter import (
     RULE_CAUTIOUSNESS,
     RULE_MONOTONIC,
@@ -28,13 +53,31 @@ from .sanitizer import AccessSanitizer
 __all__ = [
     "AccessSanitizer",
     "Finding",
+    "HOLDS",
+    "InferFinding",
+    "InferenceResult",
+    "OperatorEffects",
     "RULES",
     "RULE_CAUTIOUSNESS",
+    "RULE_MISSED",
     "RULE_MONOTONIC",
     "RULE_NO_ADDS",
     "RULE_STRUCTURE_BASED",
+    "RULE_UNSOUND",
     "RULE_UNUSED_PROPERTY",
+    "Summary",
+    "UNKNOWN",
+    "UnsoundDeclarationError",
+    "VIOLATED",
+    "Verdict",
+    "audit_app",
+    "infer_app",
+    "infer_path",
+    "infer_source",
+    "infer_unit",
     "lint_app",
     "lint_file",
     "lint_source",
+    "summarize_file",
+    "verified_properties",
 ]

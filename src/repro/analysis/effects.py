@@ -1,0 +1,1533 @@
+"""Interprocedural effect summaries for ordered-algorithm operators.
+
+The linter (:mod:`.linter`) falsifies property declarations from *source
+form*; this module goes further and builds the abstract-interpretation
+substrate a prover needs.  For every ``OrderedAlgorithm(...)`` construction
+it summarizes the operator functions — ``visit_rw_sets``, ``apply_update``,
+``safe_source_test`` and the helpers they call, resolved across the app's
+module graph — into an :class:`OperatorEffects` record:
+
+* shared locations **read** and **written**, as attribute paths rooted at
+  the operator's closure (``("state", "est")`` for ``est[v] = h`` under a
+  ``est = state.est`` alias), with writes split into three confidence
+  classes: *direct* (an assignment the analysis saw), *opaque* (a shared
+  object flowed into a call that mutates it, e.g. an LU kernel mutating a
+  block in place — the container is known, the element granularity is
+  lost) and *weak* (a shared receiver passed to a call the analysis could
+  not resolve: no mutation proven, none excluded);
+* every ``ctx.push`` site with an **abstract payload** — a symbolic value
+  over the incoming item's components — plus the path condition it was
+  pushed under (``item[0] == "fwd"``);
+* the rw-set visitor's declared keys and which item components they
+  depend on;
+* whether a ``safe_source_test`` reads the global :class:`SourceView`.
+
+Abstract values form a small algebra (item projections, constants, shared
+paths, ``base + const`` offsets, ``max(...)``, tuples, opaque-with-taint)
+that is just rich enough to evaluate the app's ``priority`` function
+symbolically on a pushed payload and compare it lexicographically against
+the parent's priority — the engine behind the conclusive ``monotonic``
+verdicts in :mod:`.infer` and the priority-aware linter rule.
+
+The analysis never imports or executes the analyzed module: cross-module
+resolution walks package ``__init__``-delimited source trees only.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Boolean flags of AlgorithmProperties, in declaration order.
+PROPERTY_FLAGS = (
+    "stable_source",
+    "monotonic",
+    "non_increasing_rw_sets",
+    "structure_based_rw_sets",
+    "no_new_tasks",
+    "local_safe_source_test",
+)
+
+#: Method names that grow a container in place (Definition 3 evidence).
+GROW_METHODS = frozenset(
+    {"append", "appendleft", "add", "insert", "extend", "update", "setdefault", "push"}
+)
+
+#: Calls that preserve the ordering of their single argument.
+_ORDER_PRESERVING = frozenset({"int", "float", "abs"})
+
+_BUILTINS = frozenset(
+    {
+        "len", "range", "sorted", "enumerate", "zip", "sum", "min", "max",
+        "abs", "int", "float", "bool", "str", "tuple", "list", "set", "dict",
+        "frozenset", "print", "isinstance", "iter", "next", "reversed", "map",
+        "filter", "all", "any", "repr", "round", "divmod", "slice", "id",
+        "hash", "None", "True", "False", "Exception", "ValueError",
+        "RuntimeError", "AssertionError", "KeyError", "IndexError",
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Abstract values
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AV:
+    """One abstract value; ``kind`` selects which fields are meaningful."""
+
+    kind: str                       # item|const|shared|opaque|tuple|offset|max|ctx|task|view|ref|ext
+    proj: tuple = ()                # item: projection path into the item
+    value: Any = None               # const: the literal
+    path: tuple = ()                # shared: attribute path from a root name
+    base: "AV | None" = None        # offset: base + delta
+    delta: Any = None               # offset: numeric constant
+    elems: tuple = ()               # tuple / max arguments
+    deps: frozenset = frozenset()   # item projections this value depends on
+    cls: Any = None                 # shared: resolved ClassInfo, if known
+    ref: Any = None                 # ref: ("func",mi,fn) | ("method",ci,fn,recv,sub) | ("module",mi)
+
+
+def ITEM(proj: tuple = ()) -> AV:
+    return AV(kind="item", proj=proj, deps=frozenset({proj}))
+
+
+def CONST(value: Any) -> AV:
+    return AV(kind="const", value=value)
+
+
+def SHARED(path: tuple, cls: Any = None, deps: frozenset = frozenset()) -> AV:
+    return AV(kind="shared", path=path, cls=cls, deps=deps)
+
+
+def OPAQUE(deps: frozenset = frozenset()) -> AV:
+    return AV(kind="opaque", deps=deps)
+
+
+def TUP(elems: tuple) -> AV:
+    return AV(kind="tuple", elems=tuple(elems),
+              deps=frozenset().union(*(e.deps for e in elems)) if elems else frozenset())
+
+
+def OFFSET(base: AV, delta: Any) -> AV:
+    if base.kind == "const" and isinstance(base.value, (int, float)):
+        return CONST(base.value + delta)
+    if base.kind == "offset":
+        return OFFSET(base.base, base.delta + delta)
+    return AV(kind="offset", base=base, delta=delta, deps=base.deps)
+
+
+def MAXV(elems: tuple) -> AV:
+    return AV(kind="max", elems=tuple(elems),
+              deps=frozenset().union(*(e.deps for e in elems)) if elems else frozenset())
+
+
+_EXT = AV(kind="ext")
+_CTX = AV(kind="ctx")
+_TASK = AV(kind="task")
+_VIEW = AV(kind="view")
+_OPAQUE = OPAQUE()
+
+
+def av_equal(a: AV, b: AV) -> bool:
+    """Structural equality strong enough to mean "provably the same value"."""
+    if a.kind != b.kind:
+        return False
+    if a.kind == "item":
+        return a.proj == b.proj
+    if a.kind == "const":
+        return type(a.value) is type(b.value) and a.value == b.value
+    if a.kind == "shared":
+        return a.path == b.path
+    if a.kind == "offset":
+        return a.delta == b.delta and av_equal(a.base, b.base)
+    if a.kind in ("tuple", "max"):
+        return len(a.elems) == len(b.elems) and all(
+            av_equal(x, y) for x, y in zip(a.elems, b.elems)
+        )
+    return False  # opaque/ext/ctx/... are never provably equal
+
+
+# ----------------------------------------------------------------------
+# Symbolic priority comparison
+# ----------------------------------------------------------------------
+def _cmp_component(child: AV, parent: AV) -> str:
+    """Compare one priority component: ``gt``/``ge``/``eq``/``lt``/``unknown``."""
+    if av_equal(child, parent):
+        return "eq"
+    if child.kind == "const" and parent.kind == "const":
+        try:
+            if child.value > parent.value:
+                return "gt"
+            if child.value < parent.value:
+                return "lt"
+            return "eq"
+        except TypeError:
+            return "unknown"
+    if child.kind == "offset" and av_equal(child.base, parent):
+        if child.delta > 0:
+            return "gt"
+        if child.delta < 0:
+            return "lt"
+        return "eq"
+    if parent.kind == "offset" and av_equal(parent.base, child):
+        if parent.delta > 0:
+            return "lt"
+        if parent.delta < 0:
+            return "gt"
+        return "eq"
+    if (
+        child.kind == "offset"
+        and parent.kind == "offset"
+        and av_equal(child.base, parent.base)
+    ):
+        if child.delta > parent.delta:
+            return "gt"
+        if child.delta < parent.delta:
+            return "lt"
+        return "eq"
+    if child.kind == "max":
+        # max(a, ...) >= a: a lower bound >= parent bounds the max.
+        best = "unknown"
+        for arm in child.elems:
+            cmp = _cmp_component(arm, parent)
+            if cmp == "gt":
+                return "gt"
+            if cmp in ("eq", "ge"):
+                best = "ge"
+        return best
+    return "unknown"
+
+
+def compare_priorities(child: AV, parent: AV) -> str:
+    """Lexicographic compare of two abstract priorities.
+
+    Returns ``gt``/``ge``/``eq`` (child never precedes parent), ``lt``
+    (child provably precedes: Definition 2 is violated) or ``unknown``.
+    """
+    if child.kind == "tuple" and parent.kind == "tuple":
+        if len(child.elems) != len(parent.elems):
+            return "unknown"
+        pairs = list(zip(child.elems, parent.elems))
+    else:
+        pairs = [(child, parent)]
+    ge_seen = False
+    for c, p in pairs:
+        cmp = _cmp_component(c, p)
+        if cmp == "eq":
+            continue
+        if cmp == "gt":
+            return "gt"
+        if cmp == "ge":
+            ge_seen = True
+            continue
+        # A later decrease (or unknown) only matters if every earlier
+        # component was provably equal; under a pending ">=" the earlier
+        # component may already be strictly greater.
+        return "unknown" if ge_seen else cmp if cmp == "lt" else "unknown"
+    return "ge" if ge_seen else "eq"
+
+
+# ----------------------------------------------------------------------
+# Module graph
+# ----------------------------------------------------------------------
+@dataclass
+class ClassInfo:
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    _attr_types: dict[str, "ClassInfo | None"] | None = None
+
+    def attr_type(self, index: "ProgramIndex", attr: str) -> "ClassInfo | None":
+        """Resolved class of ``self.<attr>``, from ``__init__`` or AnnAssign."""
+        if self._attr_types is None:
+            self._attr_types = {}
+            init = self.methods.get("__init__")
+            if init is not None:
+                params = {
+                    a.arg: a.annotation
+                    for a in init.args.posonlyargs + init.args.args
+                    if a.annotation is not None
+                }
+                for node in ast.walk(init):
+                    target = value = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                        target, value = node.target, node.value
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    cls: ClassInfo | None = None
+                    if isinstance(value, ast.Call):
+                        cls = index.resolve_class_expr(self.module, value.func)
+                    elif isinstance(value, ast.Name) and value.id in params:
+                        cls = index.resolve_class_expr(self.module, params[value.id])
+                    if cls is not None:
+                        self._attr_types.setdefault(target.attr, cls)
+        return self._attr_types.get(attr)
+
+
+@dataclass
+class ModuleInfo:
+    dotted: str                      # "repro.apps.bfs.app" ("" when unknown)
+    path: Path
+    tree: ast.Module
+    functions: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    constants: dict[str, Any] = field(default_factory=dict)
+    imports: dict[str, tuple[str, str | None]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, dotted: str) -> "ModuleInfo":
+        return _index_tree(path, dotted, ast.parse(path.read_text(), filename=str(path)))
+
+
+class ProgramIndex:
+    """Parsed modules reachable from one entry file, resolved by source path
+    only (nothing is imported)."""
+
+    def __init__(self, entry: Path):
+        self.entry = Path(entry).resolve()
+        self._modules: dict[str, ModuleInfo | None] = {}
+        # Find the package root: walk up while __init__.py exists.
+        parent = self.entry.parent
+        parts: list[str] = []
+        while (parent / "__init__.py").is_file():
+            parts.append(parent.name)
+            parent = parent.parent
+        self.root = parent
+        self.entry_dotted = ".".join(reversed(parts + []))
+        if self.entry_dotted:
+            self.entry_dotted += "." + self.entry.stem
+        self.entry_module = ModuleInfo.parse(self.entry, self.entry_dotted)
+        if self.entry_dotted:
+            self._modules[self.entry_dotted] = self.entry_module
+
+    def module(self, dotted: str) -> ModuleInfo | None:
+        if dotted in self._modules:
+            return self._modules[dotted]
+        mi: ModuleInfo | None = None
+        if dotted:
+            base = self.root / Path(*dotted.split("."))
+            for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+                if candidate.is_file():
+                    try:
+                        mi = ModuleInfo.parse(candidate, dotted)
+                    except SyntaxError:
+                        mi = None
+                    break
+        self._modules[dotted] = mi
+        return mi
+
+    def resolve_name(self, mi: ModuleInfo, name: str):
+        """What a module-scope name denotes: ('func',mi,fn) | ('class',ci) |
+        ('module',mi) | ('const',value) | None."""
+        if name in mi.functions:
+            return ("func", mi, mi.functions[name])
+        if name in mi.classes:
+            return ("class", mi.classes[name])
+        if name in mi.constants:
+            return ("const", mi.constants[name])
+        if name in mi.imports:
+            target, attr = mi.imports[name]
+            if attr is None:
+                sub = self.module(target)
+                return ("module", sub) if sub is not None else None
+            sub = self.module(target)
+            if sub is not None:
+                if attr in sub.functions or attr in sub.classes or attr in sub.constants:
+                    return self.resolve_name(sub, attr)
+            # "from . import kernels" arrives as ImportFrom(module=None).
+            child = self.module((target + "." if target else "") + attr)
+            if child is not None:
+                return ("module", child)
+        return None
+
+    def resolve_class_expr(self, mi: ModuleInfo, node: ast.AST | None) -> ClassInfo | None:
+        """A class named by an expression: ``Name``, ``mod.Name`` or a
+        string annotation."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):  # Optional[X], list[X] → not a class
+            return None
+        if isinstance(node, ast.BinOp):  # X | None → X
+            return self.resolve_class_expr(mi, node.left)
+        if isinstance(node, ast.Name):
+            hit = self.resolve_name(mi, node.id)
+            return hit[1] if hit is not None and hit[0] == "class" else None
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            hit = self.resolve_name(mi, node.value.id)
+            if hit is not None and hit[0] == "module":
+                sub = hit[1]
+                inner = self.resolve_name(sub, node.attr)
+                return inner[1] if inner is not None and inner[0] == "class" else None
+        return None
+
+
+# ----------------------------------------------------------------------
+# Effect summaries
+# ----------------------------------------------------------------------
+@dataclass
+class PushSite:
+    payload: AV
+    node: ast.Call
+    line: int
+    constraints: tuple[tuple[tuple, Any], ...]  # ((proj, const-value), ...)
+
+
+@dataclass
+class Decl:
+    """One ``ctx.read``/``ctx.write`` (visitor) or ``ctx.access`` (body)."""
+
+    op: str
+    key: AV
+    line: int
+
+
+@dataclass
+class Summary:
+    """Effects of one operator function, interprocedurally resolved."""
+
+    reads: dict[tuple, int] = field(default_factory=dict)
+    writes: dict[tuple, int] = field(default_factory=dict)         # direct
+    opaque_writes: dict[tuple, int] = field(default_factory=dict)  # via calls
+    grow_writes: dict[tuple, int] = field(default_factory=dict)    # append/add/...
+    weak_writes: dict[tuple, int] = field(default_factory=dict)    # unresolved call
+    pushes: list[PushSite] = field(default_factory=list)
+    decls: list[Decl] = field(default_factory=list)
+    view_uses: list[tuple[str, int]] = field(default_factory=list)
+    unresolved: list[tuple[str, int]] = field(default_factory=list)
+    ctx_escapes: bool = False      # ctx handed to an unresolved call
+    view_escapes: bool = False     # SourceView handed to any call
+    ret: AV = field(default_factory=lambda: _OPAQUE)
+
+    def all_write_paths(self) -> dict[tuple, int]:
+        out = dict(self.writes)
+        for src in (self.opaque_writes, self.weak_writes):
+            for p, line in src.items():
+                out.setdefault(p, line)
+        return out
+
+    def _rec(self, table: dict[tuple, int], path: tuple, line: int) -> None:
+        if path:
+            table.setdefault(tuple(path), line)
+
+
+def paths_overlap(a: tuple, b: tuple) -> bool:
+    n = min(len(a), len(b))
+    return a[:n] == b[:n]
+
+
+_MAX_CALL_DEPTH = 6
+
+
+class _FunctionAnalyzer(ast.NodeVisitor):
+    """Abstract interpretation of one function body.
+
+    ``env`` maps local names to abstract values; free names fall through to
+    ``closure`` (the enclosing ``make_algorithm`` scope or module scope).
+    Effects accumulate into ``self.summary`` with paths already expressed
+    in the *caller's* frame (callee analysis happens in its own frame and
+    is substituted at the call site).
+    """
+
+    def __init__(
+        self,
+        engine: "EffectsEngine",
+        mi: ModuleInfo,
+        fn: ast.FunctionDef | ast.Lambda,
+        env: dict[str, AV],
+        closure: dict[str, AV],
+        depth: int = 0,
+    ):
+        self.engine = engine
+        self.index = engine.index
+        self.mi = mi
+        self.fn = fn
+        self.env = env
+        self.closure = closure
+        self.depth = depth
+        self.summary = Summary()
+        self.ctx_name: str | None = None
+        self.constraints: dict[tuple, Any] = {}
+        self._returns: list[AV] = []
+
+    # -- name / environment helpers ------------------------------------
+    def _params(self) -> list[ast.arg]:
+        return self.fn.args.posonlyargs + self.fn.args.args
+
+    def _lookup(self, name: str) -> AV:
+        if name in self.env:
+            return self.env[name]
+        if name in self.closure:
+            return self.closure[name]
+        hit = self.index.resolve_name(self.mi, name)
+        if hit is not None:
+            if hit[0] == "const":
+                return CONST(hit[1])
+            if hit[0] in ("func", "class", "module"):
+                return AV(kind="ref", ref=hit)
+        if name in _BUILTINS:
+            return _EXT
+        # A true closure/global whose binding we cannot see: shared state
+        # addressed by its own name.
+        return SHARED((name,))
+
+    def _bind(self, target: ast.expr, value: AV, line: int) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for i, elt in enumerate(target.elts):
+                if isinstance(elt, ast.Starred):
+                    self._bind(elt.value, OPAQUE(value.deps), line)
+                    continue
+                self._bind(elt, self._project(value, i), line)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            path = self._target_path(target)
+            if path is not None:
+                self.summary._rec(self.summary.writes, path, line)
+
+    def _project(self, value: AV, i: int) -> AV:
+        if value.kind == "item":
+            return ITEM(value.proj + (i,))
+        if value.kind == "tuple" and i < len(value.elems):
+            return value.elems[i]
+        if value.kind == "shared":
+            return SHARED(value.path, cls=None, deps=value.deps)
+        return OPAQUE(value.deps)
+
+    def _target_path(self, node: ast.expr) -> tuple | None:
+        """Shared path of an assignment target (subscript-transparent)."""
+        attrs: list[str] = []
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute):
+                attrs.append(node.attr)
+            else:
+                self._eval(node.slice)  # indices are reads
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._lookup(node.id)
+        if node.id in self.env and base.kind != "shared":
+            return None  # write to a local object the caller can't see
+        attrs.reverse()
+        if base.kind == "shared":
+            return base.path + tuple(attrs)
+        if base.kind in ("ref", "ext", "ctx", "task", "view", "const"):
+            return None
+        # Closure name bound to an opaque per-run value (e.g. a scratch
+        # numpy array created in make_algorithm): address it by name.
+        if node.id not in self.env:
+            return (node.id, *attrs)
+        return None
+
+    # -- expression evaluation -----------------------------------------
+    def _eval(self, node: ast.expr | None, inner: bool = False) -> AV:
+        if node is None:
+            return _OPAQUE
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node, inner)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child)
+        return _OPAQUE
+
+    def _eval_Constant(self, node: ast.Constant, inner: bool) -> AV:
+        return CONST(node.value)
+
+    def _eval_Name(self, node: ast.Name, inner: bool) -> AV:
+        value = self._lookup(node.id)
+        if value.kind == "item" and value.proj in self.constraints:
+            return CONST(self.constraints[value.proj])
+        if value.kind == "shared" and not inner and node.id not in self.env:
+            self.summary._rec(self.summary.reads, value.path, node.lineno)
+        return value
+
+    def _eval_Tuple(self, node: ast.Tuple, inner: bool) -> AV:
+        return TUP(tuple(self._eval(e) for e in node.elts))
+
+    _eval_List = _eval_Tuple
+
+    def _eval_Attribute(self, node: ast.Attribute, inner: bool) -> AV:
+        base = self._eval(node.value, inner=True)
+        if base.kind == "view":
+            self.summary.view_uses.append((node.attr, node.lineno))
+            return OPAQUE()
+        if base.kind == "task":
+            if node.attr == "item":
+                return ITEM(())
+            return _OPAQUE
+        if base.kind == "ref":
+            kind = base.ref[0]
+            if kind == "module":
+                hit = self.index.resolve_name(base.ref[1], node.attr)
+                if hit is not None:
+                    if hit[0] == "const":
+                        return CONST(hit[1])
+                    return AV(kind="ref", ref=hit)
+                return _EXT
+            if kind == "class":
+                ci = base.ref[1]
+                if node.attr in ci.methods:
+                    return AV(kind="ref", ref=("func", ci.module, ci.methods[node.attr]))
+            return _EXT
+        if base.kind == "ext":
+            return _EXT
+        if base.kind == "shared":
+            cls = None
+            if base.cls is not None:
+                # Attribute may itself have a known class; method lookups
+                # happen in _eval_Call, data attributes here.
+                cls = base.cls.attr_type(self.index, node.attr)
+            value = SHARED(base.path + (node.attr,), cls=cls, deps=base.deps)
+            if not inner:
+                self.summary._rec(self.summary.reads, value.path, node.lineno)
+            return value
+        return OPAQUE(base.deps)
+
+    def _eval_Subscript(self, node: ast.Subscript, inner: bool) -> AV:
+        base = self._eval(node.value, inner=True)
+        idx = self._eval(node.slice)
+        if base.kind == "item" and idx.kind == "const" and isinstance(idx.value, int):
+            value = ITEM(base.proj + (idx.value,))
+            if value.proj in self.constraints:
+                return CONST(self.constraints[value.proj])
+            return value
+        if base.kind == "tuple" and idx.kind == "const" and isinstance(idx.value, int):
+            if -len(base.elems) <= idx.value < len(base.elems):
+                return base.elems[idx.value]
+            return _OPAQUE
+        if base.kind == "shared":
+            value = SHARED(base.path, cls=None, deps=base.deps | idx.deps)
+            if not inner:
+                self.summary._rec(self.summary.reads, value.path, node.lineno)
+            return value
+        if base.kind == "const" and idx.kind == "const":
+            try:
+                return CONST(base.value[idx.value])
+            except Exception:
+                return _OPAQUE
+        return OPAQUE(base.deps | idx.deps)
+
+    def _eval_BinOp(self, node: ast.BinOp, inner: bool) -> AV:
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if left.kind == "const" and right.kind == "const":
+            try:
+                return CONST(_apply_binop(node.op, left.value, right.value))
+            except Exception:
+                return _OPAQUE
+        if isinstance(node.op, ast.Add):
+            if right.kind == "const" and isinstance(right.value, (int, float)):
+                return OFFSET(left, right.value)
+            if left.kind == "const" and isinstance(left.value, (int, float)):
+                return OFFSET(right, left.value)
+        if isinstance(node.op, ast.Sub) and right.kind == "const" and isinstance(
+            right.value, (int, float)
+        ):
+            return OFFSET(left, -right.value)
+        return OPAQUE(left.deps | right.deps)
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, inner: bool) -> AV:
+        operand = self._eval(node.operand)
+        if operand.kind == "const" and isinstance(node.op, ast.USub):
+            try:
+                return CONST(-operand.value)
+            except Exception:
+                return _OPAQUE
+        return OPAQUE(operand.deps)
+
+    def _eval_BoolOp(self, node: ast.BoolOp, inner: bool) -> AV:
+        deps: frozenset = frozenset()
+        for v in node.values:
+            deps |= self._eval(v).deps
+        return OPAQUE(deps)
+
+    def _eval_Compare(self, node: ast.Compare, inner: bool) -> AV:
+        deps = self._eval(node.left).deps
+        for comp in node.comparators:
+            deps |= self._eval(comp).deps
+        return OPAQUE(deps)
+
+    def _eval_IfExp(self, node: ast.IfExp, inner: bool) -> AV:
+        self._eval(node.test)
+        a = self._eval(node.body)
+        b = self._eval(node.orelse)
+        if av_equal(a, b):
+            return a
+        return OPAQUE(a.deps | b.deps)
+
+    def _eval_JoinedStr(self, node: ast.JoinedStr, inner: bool) -> AV:
+        for v in node.values:
+            self._eval(v)
+        return _OPAQUE
+
+    def _eval_FormattedValue(self, node: ast.FormattedValue, inner: bool) -> AV:
+        self._eval(node.value)
+        return _OPAQUE
+
+    def _eval_Starred(self, node: ast.Starred, inner: bool) -> AV:
+        return self._eval(node.value)
+
+    def _comprehension(self, node, parts: list[ast.expr]) -> AV:
+        saved = dict(self.env)
+        deps: frozenset = frozenset()
+        for gen in node.generators:
+            it = self._eval(gen.iter)
+            deps |= it.deps
+            self._bind(gen.target, OPAQUE(it.deps), node.lineno)
+            for cond in gen.ifs:
+                deps |= self._eval(cond).deps
+        for part in parts:
+            deps |= self._eval(part).deps
+        self.env = saved
+        return OPAQUE(deps)
+
+    def _eval_ListComp(self, node: ast.ListComp, inner: bool) -> AV:
+        return self._comprehension(node, [node.elt])
+
+    _eval_SetComp = _eval_ListComp
+    _eval_GeneratorExp = _eval_ListComp
+
+    def _eval_DictComp(self, node: ast.DictComp, inner: bool) -> AV:
+        return self._comprehension(node, [node.key, node.value])
+
+    def _eval_Dict(self, node: ast.Dict, inner: bool) -> AV:
+        deps: frozenset = frozenset()
+        for k, v in zip(node.keys, node.values):
+            if k is not None:
+                deps |= self._eval(k).deps
+            deps |= self._eval(v).deps
+        return OPAQUE(deps)
+
+    def _eval_Lambda(self, node: ast.Lambda, inner: bool) -> AV:
+        return _OPAQUE
+
+    # -- calls ---------------------------------------------------------
+    def _eval_Call(self, node: ast.Call, inner: bool, discarded: bool = False) -> AV:
+        func = node.func
+        # ctx.<op>(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.ctx_name
+        ):
+            return self._ctx_call(func.attr, node)
+        func_av = self._eval(func, inner=True)
+        args = [self._eval(a) for a in node.args]
+        kw_avs = [self._eval(kw.value) for kw in node.keywords]
+        if any(a.kind == "view" for a in args + kw_avs):
+            self.summary.view_escapes = True
+        arg_deps = frozenset().union(*(a.deps for a in args)) if args else frozenset()
+
+        if func_av.kind == "ext":
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+            if name == "max" and len(args) >= 2:
+                return MAXV(tuple(args))
+            if name in _ORDER_PRESERVING and len(args) == 1:
+                return args[0]
+            if self._ctx_in_args(node):
+                self.summary.ctx_escapes = True
+            return OPAQUE(arg_deps)
+
+        if func_av.kind == "ref" and func_av.ref[0] == "func":
+            return self._resolved_call(func_av.ref[1], func_av.ref[2], node, args)
+
+        if func_av.kind == "ref" and func_av.ref[0] == "class":
+            return OPAQUE(arg_deps)  # constructing a fresh object
+
+        # Method on a shared object?
+        if isinstance(func, ast.Attribute):
+            recv = self._eval(func.value, inner=True)
+            if recv.kind == "shared":
+                if recv.cls is not None and func.attr in recv.cls.methods:
+                    return self._resolved_call(
+                        recv.cls.module,
+                        recv.cls.methods[func.attr],
+                        node,
+                        args,
+                        recv=recv,
+                        recv_subscripted=isinstance(func.value, ast.Subscript),
+                    )
+                # Unresolved method on shared state.
+                self.summary._rec(self.summary.reads, recv.path, node.lineno)
+                for a in args:
+                    if a.kind == "shared":
+                        self.summary._rec(self.summary.reads, a.path, node.lineno)
+                if discarded:
+                    self.summary._rec(self.summary.opaque_writes, recv.path, node.lineno)
+                    if func.attr in GROW_METHODS:
+                        self.summary._rec(self.summary.grow_writes, recv.path, node.lineno)
+                else:
+                    self.summary._rec(self.summary.weak_writes, recv.path, node.lineno)
+                self.summary.unresolved.append((func.attr, node.lineno))
+                if self._ctx_in_args(node):
+                    self.summary.ctx_escapes = True
+                return OPAQUE(arg_deps | recv.deps)
+
+        # Fully unresolved callable: taint shared arguments weakly.
+        for a in args:
+            if a.kind == "shared":
+                self.summary._rec(self.summary.reads, a.path, node.lineno)
+                self.summary._rec(self.summary.weak_writes, a.path, node.lineno)
+        if self._ctx_in_args(node):
+            self.summary.ctx_escapes = True
+        name = getattr(func, "id", getattr(func, "attr", "?"))
+        self.summary.unresolved.append((str(name), node.lineno))
+        return OPAQUE(arg_deps)
+
+    def _ctx_in_args(self, node: ast.Call) -> bool:
+        for a in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(a, ast.Name) and a.id == self.ctx_name:
+                return True
+        return False
+
+    def _ctx_call(self, op: str, node: ast.Call) -> AV:
+        args = [self._eval(a) for a in node.args]
+        if op == "push" and args:
+            self.summary.pushes.append(
+                PushSite(
+                    payload=args[0],
+                    node=node,
+                    line=node.lineno,
+                    constraints=tuple(sorted(self.constraints.items())),
+                )
+            )
+        elif op in ("read", "write", "access") and args:
+            self.summary.decls.append(Decl(op=op, key=args[0], line=node.lineno))
+        return _OPAQUE
+
+    def _resolved_call(
+        self,
+        callee_mi: ModuleInfo,
+        callee: ast.FunctionDef,
+        node: ast.Call,
+        args: list[AV],
+        recv: AV | None = None,
+        recv_subscripted: bool = False,
+    ) -> AV:
+        if self.depth >= _MAX_CALL_DEPTH or id(callee) in self.engine.call_stack:
+            if recv is not None:
+                self.summary._rec(self.summary.weak_writes, recv.path, node.lineno)
+            return _OPAQUE
+        sub = self.engine.generic_summary(callee_mi, callee, self.depth + 1)
+        params = [a.arg for a in callee.args.posonlyargs + callee.args.args]
+        binding: dict[str, tuple[AV, bool]] = {}
+        pos = list(args)
+        if recv is not None and params:
+            binding[params[0]] = (recv, recv_subscripted)
+            params = params[1:]
+        for pname, (aexpr, aval) in zip(params, zip(node.args, pos)):
+            binding[pname] = (
+                aval,
+                isinstance(aexpr, ast.Subscript),
+            )
+        for kw in node.keywords:
+            if kw.arg is not None:
+                binding[kw.arg] = (self._eval(kw.value), isinstance(kw.value, ast.Subscript))
+        self._absorb(sub, binding, callee_mi, node.lineno)
+        return _substitute_av(sub.ret, binding)
+
+    def _absorb(
+        self,
+        sub: Summary,
+        binding: dict[str, tuple[AV, bool]],
+        callee_mi: ModuleInfo,
+        line: int,
+    ) -> None:
+        """Fold a callee summary into this one through an argument binding."""
+
+        def rebase(path: tuple, writing: bool) -> tuple | None:
+            root, rest = path[0], path[1:]
+            if root in binding:
+                av, subscripted = binding[root]
+                if av.kind == "shared":
+                    if writing and subscripted:
+                        # Writing *into an element* of the caller's object:
+                        # the container is affected, precision is lost.
+                        return ("__opaque__",) + av.path
+                    return av.path + rest
+                if av.kind == "item":
+                    return ("$item",) if writing else None
+                return None  # const/opaque arguments: nothing addressable
+            if root.startswith("$") or ":" in root:
+                return path
+            # Callee's own module-level state.
+            return (f"{callee_mi.dotted or callee_mi.path.name}:{root}", *rest)
+
+        for p, ln in sub.reads.items():
+            rb = rebase(p, writing=False)
+            if rb is not None:
+                self.summary._rec(self.summary.reads, rb, line)
+        for table_name in ("writes", "opaque_writes", "grow_writes", "weak_writes"):
+            for p, ln in getattr(sub, table_name).items():
+                rb = rebase(p, writing=True)
+                if rb is None:
+                    continue
+                if rb[0] == "__opaque__":
+                    rb = rb[1:]
+                    target = (
+                        self.summary.grow_writes
+                        if table_name == "grow_writes"
+                        else self.summary.opaque_writes
+                    )
+                else:
+                    target = getattr(self.summary, table_name)
+                self.summary._rec(target, rb, line)
+        for push in sub.pushes:
+            self.summary.pushes.append(
+                PushSite(
+                    payload=_substitute_av(push.payload, binding),
+                    node=push.node,
+                    line=push.line,
+                    constraints=tuple(sorted(self.constraints.items())),
+                )
+            )
+        for name, ln in sub.unresolved:
+            self.summary.unresolved.append((name, ln))
+        self.summary.view_uses.extend(sub.view_uses)
+        if sub.ctx_escapes:
+            self.summary.ctx_escapes = True
+        if sub.view_escapes:
+            self.summary.view_escapes = True
+
+    # -- statements ----------------------------------------------------
+    def exec_block(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        line = stmt.lineno
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.env[stmt.name] = _OPAQUE
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._returns.append(self._eval(stmt.value))
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = self._eval(stmt.value) if stmt.value is not None else _OPAQUE
+            if isinstance(stmt, ast.AugAssign):
+                target = stmt.target
+                path = self._target_path(target) if not isinstance(target, ast.Name) else None
+                if isinstance(target, ast.Name):
+                    base = self._lookup(target.id)
+                    if target.id in self.env:
+                        self.env[target.id] = OPAQUE(base.deps | value.deps)
+                    elif base.kind == "shared":
+                        self.summary._rec(self.summary.reads, base.path, line)
+                        self.summary._rec(self.summary.writes, base.path, line)
+                elif path is not None:
+                    self.summary._rec(self.summary.reads, path, line)
+                    self.summary._rec(self.summary.writes, path, line)
+                return
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                self._bind(target, value, line)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Call):
+                self._eval_Call(stmt.value, inner=False, discarded=True)
+            else:
+                self._eval(stmt.value)
+            return
+        if isinstance(stmt, ast.If):
+            test_constraint = self._extract_constraint(stmt.test)
+            self._eval(stmt.test)
+            saved_env = dict(self.env)
+            if test_constraint is not None:
+                proj, val = test_constraint
+                old = self.constraints.get(proj, _MISSING)
+                self.constraints[proj] = val
+                self.exec_block(stmt.body)
+                if old is _MISSING:
+                    del self.constraints[proj]
+                else:
+                    self.constraints[proj] = old
+            else:
+                self.exec_block(stmt.body)
+            env_then = self.env
+            self.env = saved_env
+            self.exec_block(stmt.orelse)
+            self.env = _merge_env(env_then, self.env)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            it = self._eval(stmt.iter)
+            self._bind(stmt.target, OPAQUE(it.deps), line)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+            self.exec_block(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+            return
+        if isinstance(stmt, (ast.Raise, ast.Pass, ast.Break, ast.Continue,
+                             ast.Global, ast.Nonlocal, ast.Import, ast.ImportFrom)):
+            if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                self._eval(stmt.exc)
+            return
+        self.generic_visit(stmt)
+
+    def _extract_constraint(self, test: ast.expr) -> tuple[tuple, Any] | None:
+        """``item[0] == SOME_CONST`` (either side) → (projection, value)."""
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            return None
+        left = self._eval(test.left)
+        right = self._eval(test.comparators[0])
+        if left.kind == "item" and right.kind == "const":
+            return (left.proj, right.value)
+        if right.kind == "item" and left.kind == "const":
+            return (right.proj, left.value)
+        return None
+
+    def run(self) -> Summary:
+        body = self.fn.body if isinstance(self.fn, ast.FunctionDef) else [ast.Return(value=self.fn.body)]
+        if isinstance(self.fn, ast.Lambda):
+            self._returns.append(self._eval(self.fn.body))
+        else:
+            self.exec_block(body)
+        if self._returns:
+            first = self._returns[0]
+            if all(av_equal(first, r) for r in self._returns[1:]):
+                self.summary.ret = first
+        return self.summary
+
+
+_MISSING = object()
+
+
+def _merge_env(a: dict[str, AV], b: dict[str, AV]) -> dict[str, AV]:
+    out = dict(a)
+    for k, v in b.items():
+        if k not in out:
+            out[k] = v
+        elif not av_equal(out[k], v):
+            out[k] = OPAQUE(out[k].deps | v.deps)
+    return out
+
+
+def _substitute_av(av: AV, binding: dict[str, tuple[AV, bool]]) -> AV:
+    """Rewrite a callee-frame abstract value into the caller's frame."""
+    if av.kind == "shared" and av.path:
+        root = av.path[0]
+        if root in binding:
+            repl, _ = binding[root]
+            if repl.kind == "shared":
+                return SHARED(repl.path + av.path[1:], deps=repl.deps)
+            if not av.path[1:]:
+                return repl
+            if repl.kind == "item" and all(
+                False for _ in av.path[1:]
+            ):
+                return repl
+            return OPAQUE(repl.deps)
+        return av
+    if av.kind == "tuple":
+        return TUP(tuple(_substitute_av(e, binding) for e in av.elems))
+    if av.kind == "max":
+        return MAXV(tuple(_substitute_av(e, binding) for e in av.elems))
+    if av.kind == "offset":
+        return OFFSET(_substitute_av(av.base, binding), av.delta)
+    return av
+
+
+def _apply_binop(op: ast.operator, a: Any, b: Any) -> Any:
+    if isinstance(op, ast.Add):
+        return a + b
+    if isinstance(op, ast.Sub):
+        return a - b
+    if isinstance(op, ast.Mult):
+        return a * b
+    if isinstance(op, ast.FloorDiv):
+        return a // b
+    if isinstance(op, ast.Mod):
+        return a % b
+    raise TypeError("unsupported constant fold")
+
+
+# ----------------------------------------------------------------------
+# Engine: per-unit operator effects
+# ----------------------------------------------------------------------
+@dataclass
+class OperatorEffects:
+    """Everything the inference pass needs about one OrderedAlgorithm."""
+
+    name: str
+    file: str
+    call_line: int
+    declared: dict[str, bool]
+    effective: dict[str, bool]       # with the Definition-4 coupling applied
+    properties_line: int
+    visitor: Summary | None
+    body: Summary | None
+    safe_test: Summary | None
+    has_safe_test: bool
+    priority_fn: ast.FunctionDef | ast.Lambda | None
+    visitor_key_deps: frozenset      # item projections the rw-set keys use
+    closure: dict[str, AV]
+    module: ModuleInfo
+    engine: "EffectsEngine"
+
+    def push_comparisons(self) -> list[tuple[PushSite, str]]:
+        """(push site, compare_priorities verdict) for every reachable push."""
+        out: list[tuple[PushSite, str]] = []
+        if self.body is None:
+            return out
+        for push in self.body.pushes:
+            out.append((push, self.engine.compare_push(self, push)))
+        return out
+
+
+class EffectsEngine:
+    """Analyzes one module file; caches generic callee summaries."""
+
+    def __init__(self, path: str | Path, source: str | None = None):
+        self.path = Path(path)
+        if source is not None:
+            # Parse from the given text (unsaved buffers, tests): no
+            # package root, so cross-module resolution is disabled.
+            self.index = ProgramIndex.__new__(ProgramIndex)
+            self.index.entry = self.path
+            self.index._modules = {}
+            self.index.root = self.path.parent
+            self.index.entry_dotted = ""
+            self.index.entry_module = _index_tree(
+                self.path, "", ast.parse(source, filename=str(self.path))
+            )
+        else:
+            self.index = ProgramIndex(self.path)
+        self.mi = self.index.entry_module
+        self.call_stack: set[int] = set()
+        self._generic: dict[int, Summary] = {}
+        self._priority_cache: dict[tuple, AV | None] = {}
+
+    # -- generic callee summaries --------------------------------------
+    def generic_summary(self, mi: ModuleInfo, fn: ast.FunctionDef, depth: int) -> Summary:
+        key = id(fn)
+        if key in self._generic:
+            return self._generic[key]
+        self.call_stack.add(key)
+        owner = None
+        for ci in mi.classes.values():
+            if fn in ci.methods.values():
+                owner = ci
+                break
+        env: dict[str, AV] = {}
+        ctx_param: str | None = None
+        params = fn.args.posonlyargs + fn.args.args
+        for i, arg in enumerate(params):
+            cls = self.index.resolve_class_expr(mi, arg.annotation)
+            if cls is None and i == 0 and owner is not None and arg.arg in ("self", "cls"):
+                cls = owner
+            ann = arg.annotation
+            ann_name = (
+                ann.id
+                if isinstance(ann, ast.Name)
+                else ann.attr
+                if isinstance(ann, ast.Attribute)
+                else None
+            )
+            if arg.arg == "ctx" or ann_name in ("BodyContext", "RWSetContext"):
+                env[arg.arg] = _CTX
+                ctx_param = arg.arg
+            else:
+                env[arg.arg] = SHARED((arg.arg,), cls=cls)
+        analyzer = _FunctionAnalyzer(self, mi, fn, env, closure={}, depth=depth)
+        if ctx_param is not None:
+            analyzer.ctx_name = ctx_param
+        # Shared roots here are the parameters themselves; locals that
+        # shadow them are handled by _bind overwriting env.
+        for name in list(env):
+            analyzer.env[name] = env[name]
+        summary = analyzer.run()
+        self.call_stack.discard(key)
+        self._generic[key] = summary
+        return summary
+
+    # -- operator analysis ---------------------------------------------
+    def analyze_operator(
+        self,
+        fn: ast.FunctionDef | ast.Lambda,
+        closure: dict[str, AV],
+        kind: str,
+    ) -> Summary:
+        env: dict[str, AV] = {}
+        params = fn.args.posonlyargs + fn.args.args
+        analyzer = _FunctionAnalyzer(self, self.mi, fn, env, closure)
+        if kind in ("visitor", "body"):
+            if params:
+                env[params[0].arg] = ITEM(())
+            if len(params) > 1:
+                env[params[1].arg] = _CTX
+                analyzer.ctx_name = params[1].arg
+        elif kind == "safe_test":
+            if params:
+                env[params[0].arg] = _TASK
+            if len(params) > 1:
+                env[params[1].arg] = _VIEW
+        for extra in params[2:]:
+            env.setdefault(extra.arg, _OPAQUE)
+        return analyzer.run()
+
+    def eval_priority(
+        self,
+        fn: ast.FunctionDef | ast.Lambda | None,
+        item: AV,
+        closure: dict[str, AV],
+        constraints: dict[tuple, Any] | None = None,
+    ) -> AV | None:
+        """Symbolically run the priority function on an abstract item.
+
+        Returns ``None`` when branching on unresolvable state makes the
+        result ambiguous.
+        """
+        if fn is None:
+            return None
+        params = fn.args.posonlyargs + fn.args.args
+        if not params:
+            return None
+        env: dict[str, AV] = {params[0].arg: item}
+        analyzer = _FunctionAnalyzer(self, self.mi, fn, env, closure)
+        if constraints:
+            analyzer.constraints.update(constraints)
+        if isinstance(fn, ast.Lambda):
+            return analyzer._eval(fn.body)
+        result = _run_priority_block(analyzer, fn.body)
+        if result is _AMBIGUOUS or result is None:
+            return None
+        return result
+
+    def compare_push(self, unit: "OperatorEffects", push: PushSite) -> str:
+        """compare_priorities(priority(payload), priority(parent item))."""
+        constraints = dict(push.constraints)
+        parent = self.eval_priority(
+            unit.priority_fn, ITEM(()), unit.closure, constraints
+        )
+        child = self.eval_priority(unit.priority_fn, push.payload, unit.closure)
+        if parent is None or child is None:
+            return "unknown"
+        return compare_priorities(child, parent)
+
+
+_AMBIGUOUS = object()
+
+
+def _run_priority_block(analyzer: _FunctionAnalyzer, stmts: list[ast.stmt]):
+    """Execute a priority function's statements; returns the AV of the
+    single reachable Return, _AMBIGUOUS, or None for fallthrough."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Return):
+            return analyzer._eval(stmt.value)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = analyzer._eval(stmt.value) if stmt.value is not None else _OPAQUE
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for t in targets:
+                analyzer._bind(t, value, stmt.lineno)
+            continue
+        if isinstance(stmt, ast.If):
+            decided = _decide_test(analyzer, stmt.test)
+            if decided is True:
+                result = _run_priority_block(analyzer, stmt.body)
+                if result is not None:
+                    return result
+                continue
+            if decided is False:
+                result = _run_priority_block(analyzer, stmt.orelse)
+                if result is not None:
+                    return result
+                continue
+            # Undecidable branch: both arms must agree.
+            then_r = _run_priority_block(analyzer, stmt.body)
+            else_r = _run_priority_block(analyzer, stmt.orelse)
+            if then_r is _AMBIGUOUS or else_r is _AMBIGUOUS:
+                return _AMBIGUOUS
+            if then_r is not None and else_r is not None:
+                if isinstance(then_r, AV) and isinstance(else_r, AV) and av_equal(then_r, else_r):
+                    return then_r
+                return _AMBIGUOUS
+            if then_r is not None or else_r is not None:
+                return _AMBIGUOUS  # one arm returns, the other falls through
+            continue
+        if isinstance(stmt, (ast.Expr, ast.Pass, ast.Assert)):
+            continue
+        return _AMBIGUOUS  # loops/try/etc. in a priority fn: give up
+    return None
+
+
+def _decide_test(analyzer: _FunctionAnalyzer, test: ast.expr) -> bool | None:
+    if isinstance(test, ast.Compare) and len(test.ops) == 1:
+        left = analyzer._eval(test.left)
+        right = analyzer._eval(test.comparators[0])
+        if left.kind == "const" and right.kind == "const":
+            op = test.ops[0]
+            try:
+                if isinstance(op, ast.Eq):
+                    return bool(left.value == right.value)
+                if isinstance(op, ast.NotEq):
+                    return bool(left.value != right.value)
+                if isinstance(op, ast.Lt):
+                    return bool(left.value < right.value)
+                if isinstance(op, ast.LtE):
+                    return bool(left.value <= right.value)
+                if isinstance(op, ast.Gt):
+                    return bool(left.value > right.value)
+                if isinstance(op, ast.GtE):
+                    return bool(left.value >= right.value)
+            except TypeError:
+                return None
+    return None
+
+
+def _index_tree(path: Path, dotted: str, tree: ast.Module) -> ModuleInfo:
+    """Build a :class:`ModuleInfo` index over an already-parsed tree."""
+    mi = ModuleInfo(dotted=dotted, path=path, tree=tree)
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            mi.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            ci = ClassInfo(name=node.name, module=mi, node=node)
+            for sub in node.body:
+                if isinstance(sub, ast.FunctionDef):
+                    ci.methods[sub.name] = sub
+            mi.classes[node.name] = ci
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Constant):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    mi.constants[target.id] = node.value.value
+        elif (
+            # Multi-constant form: LU0, FWD = "lu0", "fwd"
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Tuple)
+            and isinstance(node.value, ast.Tuple)
+            and len(node.targets[0].elts) == len(node.value.elts)
+        ):
+            for t, v in zip(node.targets[0].elts, node.value.elts):
+                if isinstance(t, ast.Name) and isinstance(v, ast.Constant):
+                    mi.constants[t.id] = v.value
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                mi.imports[alias.asname or alias.name.split(".")[0]] = (alias.name, None)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = dotted.split(".") if dotted else []
+                # Relative to the containing package of this module.
+                base = parts[: max(0, len(parts) - node.level)]
+                target = ".".join(base + ([node.module] if node.module else []))
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                mi.imports[alias.asname or alias.name] = (target, alias.name)
+    return mi
+
+
+# ----------------------------------------------------------------------
+# Unit extraction (scope-aware: closures resolved via make_algorithm)
+# ----------------------------------------------------------------------
+def _call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _bool_kwargs(call: ast.Call) -> dict[str, bool]:
+    out: dict[str, bool] = {}
+    for kw in call.keywords:
+        if kw.arg in PROPERTY_FLAGS and isinstance(kw.value, ast.Constant):
+            out[kw.arg] = bool(kw.value.value)
+    return out
+
+
+def summarize_file(path: str | Path, source: str | None = None) -> list[OperatorEffects]:
+    """All OrderedAlgorithm units in a module, fully summarized."""
+    engine = EffectsEngine(path, source=source)
+    mi = engine.mi
+    tree = mi.tree
+
+    # Parent links so each OrderedAlgorithm call knows its enclosing defs.
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    property_calls: dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _call_name(node.value) == "AlgorithmProperties":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        property_calls[target.id] = node.value
+
+    units: list[OperatorEffects] = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and _call_name(node) == "OrderedAlgorithm"):
+            continue
+        # Enclosing function chain (innermost first).
+        chain: list[ast.FunctionDef] = []
+        cursor: ast.AST | None = node
+        while cursor is not None:
+            cursor = parents.get(cursor)
+            if isinstance(cursor, ast.FunctionDef):
+                chain.append(cursor)
+        enclosing = chain[0] if chain else None
+
+        # Nested function definitions visible at the call site.
+        local_fns: dict[str, ast.FunctionDef] = dict(mi.functions)
+        for fn in reversed(chain):
+            for stmt in ast.walk(fn):
+                if isinstance(stmt, ast.FunctionDef) and stmt is not fn:
+                    local_fns[stmt.name] = stmt
+
+        declared: dict[str, bool] = {}
+        properties_line = node.lineno
+        name = "<anonymous>"
+        visit_fn = update_fn = prio_fn = test_fn = None
+        has_safe_test = False
+        for kw in node.keywords:
+            if kw.arg == "name" and isinstance(kw.value, ast.Constant):
+                name = str(kw.value.value)
+            elif kw.arg == "properties":
+                props_call = None
+                if isinstance(kw.value, ast.Call) and _call_name(kw.value) == "AlgorithmProperties":
+                    props_call = kw.value
+                elif isinstance(kw.value, ast.Name):
+                    props_call = property_calls.get(kw.value.id)
+                if props_call is not None:
+                    declared = _bool_kwargs(props_call)
+                    properties_line = props_call.lineno
+            elif kw.arg in ("visit_rw_sets", "apply_update", "priority", "safe_source_test"):
+                resolved: ast.FunctionDef | ast.Lambda | None = None
+                if isinstance(kw.value, ast.Name):
+                    resolved = local_fns.get(kw.value.id)
+                elif isinstance(kw.value, ast.Lambda):
+                    resolved = kw.value
+                if kw.arg == "visit_rw_sets":
+                    visit_fn = resolved
+                elif kw.arg == "apply_update":
+                    update_fn = resolved
+                elif kw.arg == "priority":
+                    prio_fn = resolved
+                else:
+                    if not (isinstance(kw.value, ast.Constant) and kw.value.value is None):
+                        has_safe_test = True
+                    test_fn = resolved
+
+        # Closure environment: abstract-execute the enclosing scope chain.
+        closure: dict[str, AV] = {}
+        for fn in reversed(chain):
+            closure = _scope_env(engine, fn, closure)
+
+        visitor = (
+            engine.analyze_operator(visit_fn, closure, "visitor")
+            if visit_fn is not None
+            else None
+        )
+        body = (
+            engine.analyze_operator(update_fn, closure, "body")
+            if update_fn is not None
+            else None
+        )
+        safe = (
+            engine.analyze_operator(test_fn, closure, "safe_test")
+            if test_fn is not None
+            else None
+        )
+
+        key_deps: frozenset = frozenset()
+        if visitor is not None:
+            for decl in visitor.decls:
+                key_deps |= decl.key.deps
+
+        effective = dict(declared)
+        if effective.get("structure_based_rw_sets"):
+            effective["non_increasing_rw_sets"] = True  # Definition 4 ⊃ 3
+
+        units.append(
+            OperatorEffects(
+                name=name,
+                file=str(path),
+                call_line=node.lineno,
+                declared=declared,
+                effective=effective,
+                properties_line=properties_line,
+                visitor=visitor,
+                body=body,
+                safe_test=safe,
+                has_safe_test=has_safe_test,
+                priority_fn=prio_fn,
+                visitor_key_deps=key_deps,
+                closure=closure,
+                module=mi,
+                engine=engine,
+            )
+        )
+    return units
+
+
+def _scope_env(
+    engine: EffectsEngine, fn: ast.FunctionDef, outer: dict[str, AV]
+) -> dict[str, AV]:
+    """Abstract bindings established by a ``make_algorithm``-style scope."""
+    env: dict[str, AV] = {}
+    analyzer = _FunctionAnalyzer(engine, engine.mi, fn, env, outer)
+    for arg in fn.args.posonlyargs + fn.args.args:
+        cls = engine.index.resolve_class_expr(engine.mi, arg.annotation)
+        env[arg.arg] = SHARED((arg.arg,), cls=cls)
+    for stmt in fn.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = analyzer._eval(stmt.value) if stmt.value is not None else _OPAQUE
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for t in targets:
+                analyzer._bind(t, value, stmt.lineno)
+        elif isinstance(stmt, ast.If):
+            # Both arms straight-lined; conflicting bindings opaque-merge.
+            saved = dict(analyzer.env)
+            analyzer.exec_block(stmt.body)
+            then_env = analyzer.env
+            analyzer.env = saved
+            analyzer.exec_block(stmt.orelse)
+            analyzer.env = _merge_env(then_env, analyzer.env)
+        elif isinstance(stmt, (ast.For, ast.While, ast.Expr)):
+            analyzer._exec(stmt)
+        elif isinstance(stmt, ast.FunctionDef):
+            analyzer.env[stmt.name] = _OPAQUE
+    merged = dict(outer)
+    merged.update(analyzer.env)
+    return merged

@@ -1,0 +1,466 @@
+"""Property inference: prove or refute §3.2 declarations from effect summaries.
+
+The linter (``repro lint``) is a *falsifier*: a syntactic rule either
+contradicts a declaration or stays silent, and silence proves nothing.  This
+module is the complementary *prover* the paper gestures at ("a compiler could
+determine some of these algorithmic properties"): it consumes the
+interprocedural effect summaries of :mod:`repro.analysis.effects` and derives,
+for each of the six :class:`~repro.core.properties.AlgorithmProperties` flags,
+a three-valued verdict:
+
+* ``holds``    — the summaries *prove* the property for every execution.
+* ``violated`` — the summaries exhibit a concrete counterexample, anchored to
+  a ``file:line``.
+* ``unknown``  — the analysis is inconclusive (opaque writes, unresolved
+  calls, data-dependent priorities); the dynamic falsifier in
+  :mod:`repro.core.verify` can cross-validate these.
+
+The cross-check against the declaration runs both directions:
+
+* declared (effectively) ``True`` + inferred ``violated`` → an **unsound
+  declaration** error finding — the executor would drop a phase/subrule it
+  actually needs;
+* declared ``False`` + inferred ``holds`` → a **missed optimization**
+  suggestion naming the §3.6 phase, subrule or barrier the flag would delete.
+
+``repro infer`` serializes these as ``repro-lint/v2`` JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .effects import (
+    PROPERTY_FLAGS,
+    OperatorEffects,
+    Summary,
+    paths_overlap,
+    summarize_file,
+)
+from .linter import app_source_path
+
+HOLDS = "holds"
+VIOLATED = "violated"
+UNKNOWN = "unknown"
+
+RULE_UNSOUND = "unsound-declaration"
+RULE_MISSED = "missed-optimization"
+
+#: §3.6 optimization each property unlocks — quoted verbatim in
+#: missed-optimization suggestions so the reader knows what declaring the
+#: flag would buy.
+OPTIMIZATIONS: dict[str, str] = {
+    "stable_source": (
+        "deletes the safe-source test phase and its barrier (§3.6.1: every "
+        "source is safe)"
+    ),
+    "monotonic": (
+        "makes level-by-level windowing sound, enabling the IKDG round "
+        "executor (§3.4)"
+    ),
+    "non_increasing_rw_sets": (
+        "deletes kinetic invalidation subrule N on commit (§3.6.2)"
+    ),
+    "structure_based_rw_sets": (
+        "removes the execute/update barrier, enabling the asynchronous "
+        "executor (§3.6.3)"
+    ),
+    "no_new_tasks": "deletes kinetic insertion subrule A on commit (§3.6.2)",
+    "local_safe_source_test": (
+        "fuses the safe-source test with execution, removing one barrier "
+        "per round (§3.6.3)"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Inference outcome for one property flag of one operator."""
+
+    flag: str
+    status: str          # holds | violated | unknown
+    line: int | None     # anchor: offending line for violated, else None
+    reason: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "flag": self.flag,
+            "status": self.status,
+            "line": self.line,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class InferFinding:
+    """A cross-check finding (unsound declaration or missed optimization)."""
+
+    rule: str            # unsound-declaration | missed-optimization
+    flag: str
+    severity: str        # error | suggestion
+    message: str
+    file: str
+    line: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "flag": self.flag,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: {self.severity}: {self.rule}: {self.message}"
+
+
+@dataclass
+class InferenceResult:
+    """Per-operator verdict table plus the findings it implies."""
+
+    unit: OperatorEffects
+    verdicts: dict[str, Verdict]
+    findings: list[InferFinding]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "operator": self.unit.name,
+            "file": self.unit.file,
+            "line": self.unit.call_line,
+            "declared": dict(self.unit.declared),
+            "effective": dict(self.unit.effective),
+            "verdicts": {f: v.to_dict() for f, v in self.verdicts.items()},
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class UnsoundDeclarationError(ValueError):
+    """Raised by verified executor selection when a declaration is refuted."""
+
+    def __init__(self, target: str, findings: list[InferFinding]):
+        self.target = target
+        self.findings = findings
+        lines = "; ".join(str(f) for f in findings)
+        super().__init__(f"unsound property declarations in {target}: {lines}")
+
+
+# ----------------------------------------------------------------------
+# Verdict derivation
+# ----------------------------------------------------------------------
+def _first_overlap(
+    reads: dict[tuple, int], writes: dict[tuple, int]
+) -> tuple[tuple, tuple, int] | None:
+    """First (read path, write path, write line) pair that can alias."""
+    for rp in sorted(reads):
+        for wp, line in sorted(writes.items()):
+            if paths_overlap(rp, wp):
+                return rp, wp, line
+    return None
+
+
+def _fmt(path: tuple) -> str:
+    return ".".join(str(p) for p in path)
+
+
+def infer_unit(unit: OperatorEffects) -> dict[str, Verdict]:
+    """Derive a verdict for each of the six property flags."""
+    body = unit.body if unit.body is not None else Summary()
+    visitor = unit.visitor
+    comps = unit.push_comparisons()
+
+    verdicts: dict[str, Verdict] = {}
+
+    # -- no_new_tasks (No-Adds, §3.6.2) --------------------------------
+    if body.pushes:
+        push = body.pushes[0]
+        verdicts["no_new_tasks"] = Verdict(
+            "no_new_tasks", VIOLATED, push.line, "ctx.push is reachable in the body"
+        )
+    elif body.ctx_escapes:
+        verdicts["no_new_tasks"] = Verdict(
+            "no_new_tasks", UNKNOWN, None,
+            "ctx escapes into an unresolved call that could push",
+        )
+    else:
+        verdicts["no_new_tasks"] = Verdict(
+            "no_new_tasks", HOLDS, None, "no reachable ctx.push in the body"
+        )
+
+    # -- monotonic (Definition 2) --------------------------------------
+    mono: Verdict | None = None
+    for push, cmp in comps:
+        if cmp == "lt":
+            mono = Verdict(
+                "monotonic", VIOLATED, push.line,
+                "pushed payload has provably lower priority than its parent",
+            )
+            break
+    if mono is None:
+        if body.ctx_escapes:
+            mono = Verdict(
+                "monotonic", UNKNOWN, None,
+                "ctx escapes into an unresolved call that could push",
+            )
+        elif all(cmp in ("gt", "ge", "eq") for _, cmp in comps):
+            reason = (
+                "every pushed payload has provably non-decreasing priority"
+                if comps
+                else "no tasks are pushed (vacuously monotonic)"
+            )
+            mono = Verdict("monotonic", HOLDS, None, reason)
+        else:
+            line = next(p.line for p, c in comps if c not in ("gt", "ge", "eq"))
+            mono = Verdict(
+                "monotonic", UNKNOWN, line,
+                "a pushed priority cannot be compared to its parent symbolically",
+            )
+    verdicts["monotonic"] = mono
+
+    # -- structure_based_rw_sets (Definition 4) ------------------------
+    if visitor is None:
+        struct = Verdict(
+            "structure_based_rw_sets", UNKNOWN, None, "no rw-set visitor to analyze"
+        )
+    elif visitor.writes or visitor.opaque_writes or visitor.weak_writes:
+        struct = Verdict(
+            "structure_based_rw_sets", UNKNOWN, None,
+            "the rw-set visitor itself may mutate shared state",
+        )
+    else:
+        hit = _first_overlap(visitor.reads, body.writes)
+        if hit is not None:
+            rp, wp, line = hit
+            struct = Verdict(
+                "structure_based_rw_sets", VIOLATED, line,
+                f"the body writes {_fmt(wp)}, which the rw-set visitor reads "
+                f"({_fmt(rp)}): rw-sets are data-dependent",
+            )
+        else:
+            soft: dict[tuple, int] = dict(body.opaque_writes)
+            soft.update(body.weak_writes)
+            hit = _first_overlap(visitor.reads, soft)
+            if hit is not None:
+                rp, wp, line = hit
+                struct = Verdict(
+                    "structure_based_rw_sets", UNKNOWN, line,
+                    f"a call may write {_fmt(wp)}, which the rw-set visitor "
+                    f"reads ({_fmt(rp)})",
+                )
+            else:
+                struct = Verdict(
+                    "structure_based_rw_sets", HOLDS, None,
+                    "the visitor's shared reads are disjoint from every "
+                    "location the body can write",
+                )
+    verdicts["structure_based_rw_sets"] = struct
+
+    # -- non_increasing_rw_sets (Definition 3) -------------------------
+    if struct.status == HOLDS:
+        noninc = Verdict(
+            "non_increasing_rw_sets", HOLDS, None,
+            "rw-sets are structure-based, hence constant (Definition 4 ⊃ 3)",
+        )
+    else:
+        grow_hit = (
+            _first_overlap(visitor.reads, body.grow_writes)
+            if visitor is not None
+            else None
+        )
+        if grow_hit is not None:
+            rp, wp, line = grow_hit
+            noninc = Verdict(
+                "non_increasing_rw_sets", VIOLATED, line,
+                f"the body grows {_fmt(wp)}, a collection the rw-set visitor "
+                f"reads ({_fmt(rp)}): rw-sets can gain locations",
+            )
+        else:
+            noninc = Verdict(
+                "non_increasing_rw_sets", UNKNOWN, None,
+                "rw-sets are data-dependent or writes are opaque; growth "
+                "cannot be bounded statically",
+            )
+    verdicts["non_increasing_rw_sets"] = noninc
+
+    # -- stable_source (Definition 1) ----------------------------------
+    lt_push = next((p for p, c in comps if c == "lt"), None)
+    if not body.pushes and not body.ctx_escapes:
+        stable = Verdict(
+            "stable_source", HOLDS, None,
+            "no new tasks are ever created: the KDG holds every conflict up "
+            "front, so a source has no earlier pending conflictor",
+        )
+    elif lt_push is not None:
+        stable = Verdict(
+            "stable_source", VIOLATED, lt_push.line,
+            "a strictly earlier task is pushed after scheduling: an "
+            "executing source can retroactively gain a predecessor",
+        )
+    else:
+        stable = Verdict(
+            "stable_source", UNKNOWN, None,
+            "new tasks are pushed; Definition 1 needs a domain argument the "
+            "summaries cannot supply",
+        )
+    verdicts["stable_source"] = stable
+
+    # -- local_safe_source_test (§3.6.3) -------------------------------
+    test = unit.safe_test
+    if not unit.has_safe_test or test is None:
+        local = Verdict(
+            "local_safe_source_test", UNKNOWN, None, "no safe_source_test to analyze"
+        )
+    elif test.view_uses:
+        attr, line = test.view_uses[0]
+        local = Verdict(
+            "local_safe_source_test", VIOLATED, line,
+            f"the test reads view.{attr}: it consults global source "
+            "information, not just the task's own state",
+        )
+    elif not test.view_escapes:
+        local = Verdict(
+            "local_safe_source_test", HOLDS, None,
+            "the test provably never consults the SourceView",
+        )
+    else:
+        local = Verdict(
+            "local_safe_source_test", UNKNOWN, None,
+            "the SourceView escapes into a call the analysis cannot resolve",
+        )
+    verdicts["local_safe_source_test"] = local
+
+    return verdicts
+
+
+# ----------------------------------------------------------------------
+# Declaration cross-check
+# ----------------------------------------------------------------------
+def cross_check(
+    unit: OperatorEffects, verdicts: dict[str, Verdict]
+) -> list[InferFinding]:
+    """Unsound declarations (errors) and missed optimizations (suggestions)."""
+    findings: list[InferFinding] = []
+    for flag in PROPERTY_FLAGS:
+        verdict = verdicts[flag]
+        declared = bool(unit.effective.get(flag))
+        if declared and verdict.status == VIOLATED:
+            findings.append(
+                InferFinding(
+                    rule=RULE_UNSOUND,
+                    flag=flag,
+                    severity="error",
+                    message=(
+                        f"{unit.name}: declared {flag}=True is refuted: "
+                        f"{verdict.reason}"
+                    ),
+                    file=unit.file,
+                    line=verdict.line or unit.properties_line,
+                )
+            )
+        elif not declared and verdict.status == HOLDS:
+            if flag == "local_safe_source_test" and unit.effective.get(
+                "stable_source"
+            ):
+                continue  # stable_source already deletes the whole test phase
+            findings.append(
+                InferFinding(
+                    rule=RULE_MISSED,
+                    flag=flag,
+                    severity="suggestion",
+                    message=(
+                        f"{unit.name}: {flag} provably holds but is not "
+                        f"declared; declaring it {OPTIMIZATIONS[flag]}"
+                    ),
+                    file=unit.file,
+                    line=unit.properties_line,
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _display(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def infer_path(path: str | Path, source: str | None = None) -> list[InferenceResult]:
+    """Run inference over every OrderedAlgorithm in a module file."""
+    path = Path(path)
+    display = _display(path)
+    results: list[InferenceResult] = []
+    for unit in summarize_file(path, source=source):
+        unit.file = display
+        verdicts = infer_unit(unit)
+        results.append(InferenceResult(unit, verdicts, cross_check(unit, verdicts)))
+    return results
+
+
+def infer_source(source: str, file: str = "<source>") -> list[InferenceResult]:
+    """Inference over source text (tests, unsaved buffers).
+
+    Cross-module resolution is disabled in this mode; anything the module
+    does not define degrades to ``unknown`` rather than ``violated``.
+    """
+    results: list[InferenceResult] = []
+    for unit in summarize_file(Path(file), source=source):
+        unit.file = file
+        verdicts = infer_unit(unit)
+        results.append(InferenceResult(unit, verdicts, cross_check(unit, verdicts)))
+    return results
+
+
+def infer_app(app: str) -> list[InferenceResult]:
+    """Inference over a registered application's ``app.py``."""
+    return infer_path(app_source_path(app))
+
+
+def audit_app(app: str) -> list[InferenceResult]:
+    """Inference that *raises* :class:`UnsoundDeclarationError` on errors.
+
+    This is the entry point verified executor selection uses: a sound
+    declaration set passes through untouched (bit-identical schedules),
+    an unsound one refuses to run.
+    """
+    results = infer_app(app)
+    errors = [f for r in results for f in r.findings if f.severity == "error"]
+    if errors:
+        raise UnsoundDeclarationError(app, errors)
+    return results
+
+
+def verified_properties(app: str):
+    """The app's declared :class:`AlgorithmProperties`, audited by inference.
+
+    Raises :class:`UnsoundDeclarationError` if any effectively declared flag
+    is statically refuted; otherwise returns the declaration unchanged, so
+    executor selection on the result is bit-identical to trusting it.
+    """
+    from ..core.properties import AlgorithmProperties
+
+    results = audit_app(app)
+    declared = results[0].unit.declared if results else {}
+    return AlgorithmProperties(**{k: v for k, v in declared.items() if k in PROPERTY_FLAGS})
+
+
+def report_to_json(targets: dict[str, list[InferenceResult]]) -> dict[str, Any]:
+    """``repro-lint/v2`` report over named targets (apps or files)."""
+    out: dict[str, Any] = {"schema": "repro-lint/v2", "targets": {}}
+    for name, results in targets.items():
+        out["targets"][name] = {
+            "operators": [r.to_dict() for r in results],
+            "errors": sum(
+                1 for r in results for f in r.findings if f.severity == "error"
+            ),
+            "suggestions": sum(
+                1 for r in results for f in r.findings if f.severity == "suggestion"
+            ),
+        }
+    return out

@@ -22,10 +22,15 @@ Rules (ids are stable; tests and the JSON report depend on them):
     ``no_new_tasks`` ("No-Adds", §3.6.2).
 
 ``monotonic``
-    A pushed item contains a component computed by subtracting from (or
-    negating) a value derived from the incoming item, so a child's priority
-    can decrease below its parent's (Definition 2).  Heuristic: opaque
-    priority computations inside application state are not analyzed.
+    A pushed item's priority can decrease below its parent's
+    (Definition 2).  Each push is first compared symbolically against the
+    parent's priority via :mod:`repro.analysis.effects`: a provable
+    decrease fires the rule outright, while a provably non-decreasing push
+    (``max(parent, child)`` clamps, tuple-prefix copies) is exempt.  Only
+    when the comparator is inconclusive does the syntactic fallback run: a
+    component computed by subtracting from (or negating) a value derived
+    from the incoming item.  Opaque priority computations inside
+    application state remain unanalyzed.
 
 ``structure-based``
     Under ``structure_based_rw_sets`` the rw-set visitor reads state the
@@ -66,8 +71,9 @@ RULES: dict[str, str] = {
     ),
     RULE_NO_ADDS: "ctx.push in the body of an algorithm declaring no_new_tasks",
     RULE_MONOTONIC: (
-        "a pushed item derives a component by subtracting from the incoming "
-        "item, so a child's priority can decrease under monotonic"
+        "a pushed item's priority can decrease below its parent's under "
+        "monotonic (symbolic comparison, with a subtraction heuristic "
+        "fallback; provably non-decreasing pushes are exempt)"
     ),
     RULE_STRUCTURE_BASED: (
         "the rw-set visitor reads state the loop body writes, so rw-sets "
@@ -528,10 +534,39 @@ def _decreasing_subexpr(
     return None
 
 
+def _push_priority_comparisons(file: str, source: str) -> dict[int, str]:
+    """Symbolic child-vs-parent priority verdict per ``ctx.push`` line.
+
+    Runs the effects engine (:mod:`repro.analysis.effects`) over the module
+    and maps each reachable push to ``compare_priorities``'s verdict
+    (``gt``/``ge``/``eq``/``lt``/``unknown``).  Full cross-module resolution
+    is used when ``file`` matches what is on disk; otherwise the engine
+    analyzes the given text alone.  Any analysis failure degrades to an
+    empty map — the syntactic heuristic then judges every push.
+    """
+    try:
+        from .effects import summarize_file
+
+        path = Path(file)
+        if path.is_file() and path.read_text() == source:
+            units = summarize_file(path)
+        else:
+            units = summarize_file(path, source=source)
+        verdicts: dict[int, str] = {}
+        for unit in units:
+            for push, verdict in unit.push_comparisons():
+                verdicts.setdefault(push.line, verdict)
+        return verdicts
+    except Exception:  # noqa: BLE001 - a linter must not crash on odd input
+        return {}
+
+
 # ----------------------------------------------------------------------
 # Per-unit rule application
 # ----------------------------------------------------------------------
-def _lint_unit(unit: AlgorithmUnit, file: str) -> list[Finding]:
+def _lint_unit(
+    unit: AlgorithmUnit, file: str, push_verdicts: dict[int, str] | None = None
+) -> list[Finding]:
     findings: list[Finding] = []
     props = unit.properties
 
@@ -562,7 +597,28 @@ def _lint_unit(unit: AlgorithmUnit, file: str) -> list[Finding]:
 
     if update_scan is not None and props.get("monotonic"):
         derived, rhs = _item_derived_names(unit.update_fn)
+        verdicts = push_verdicts or {}
         for push in update_scan.pushes:
+            verdict = verdicts.get(push.lineno)
+            if verdict in ("gt", "ge", "eq"):
+                # Provably non-decreasing — e.g. a max(parent, child) clamp
+                # or a tuple-prefix copy of the priority components.  The
+                # symbolic comparison supersedes the subtraction heuristic,
+                # which would false-positive on the inner subtraction.
+                continue
+            if verdict == "lt":
+                findings.append(
+                    Finding(
+                        RULE_MONOTONIC,
+                        "pushed item's priority is provably lower than its "
+                        "parent's; the child precedes its parent "
+                        "(Definition 2)",
+                        file,
+                        push.lineno,
+                        push.col_offset,
+                    )
+                )
+                continue
             for arg in push.args:
                 hit = _decreasing_subexpr(arg, derived, rhs)
                 if hit is not None:
@@ -646,9 +702,13 @@ def _lint_unit(unit: AlgorithmUnit, file: str) -> list[Finding]:
 def lint_source(source: str, file: str = "<string>") -> list[Finding]:
     """Lint Python source text; returns findings sorted by location."""
     tree = ast.parse(source, filename=file)
+    units = _extract_units(tree)
+    push_verdicts: dict[int, str] | None = None
+    if any(u.properties.get("monotonic") and u.update_fn is not None for u in units):
+        push_verdicts = _push_priority_comparisons(file, source)
     findings: list[Finding] = []
-    for unit in _extract_units(tree):
-        findings.extend(_lint_unit(unit, file))
+    for unit in units:
+        findings.extend(_lint_unit(unit, file, push_verdicts))
     return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
 
 

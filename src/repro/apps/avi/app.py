@@ -7,6 +7,13 @@ element's three vertices plus its own clock.  AVI is stable-source,
 monotonic and has structure-based rw-sets (a child updates the same
 element), so the automatic runtime selects the asynchronous KDG-RNA
 executor with subrules R and A only (§4.1).
+
+Inference audit (``repro infer avi``): ``structure_based_rw_sets`` (and
+hence ``non_increasing``) is *proved* — the visitor reads only the static
+mesh.  ``monotonic`` and ``stable_source`` rest on the domain argument
+that an element's clock only advances, which the effect summaries cannot
+express: both stay a justified ``unknown`` and are cross-validated
+dynamically.
 """
 
 from __future__ import annotations

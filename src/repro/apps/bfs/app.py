@@ -7,6 +7,12 @@ already a source), so the safe-source test admits a source only when its
 level equals the current global minimum — exactly the insight behind
 level-by-level BFS.  The automatic runtime uses IKDG with the level
 windowing strategy (§3.6.1).
+
+Inference audit (``repro infer bfs``): ``monotonic`` and
+``structure_based_rw_sets`` are *proved* (children land at level ``L + 1``
+on the static graph).  The safe-source test provably reads
+``view.min_priority`` — confirming ``local_safe_source_test`` is correctly
+left undeclared.
 """
 
 from __future__ import annotations

@@ -9,6 +9,12 @@ could possibly reach its participants before it fires, or if it is the
 globally earliest event.  The test reads global state (every ball), so it
 is not local — the automatic runtime selects IKDG with windowing, which
 also suits the fact that many non-source predictions turn stale (§4.3).
+
+Inference audit (``repro infer billiards``): ``structure_based_rw_sets``
+is *proved*; ``monotonic`` is a justified ``unknown`` (predicted collision
+times come out of the physics state).  The bounded-lag test provably
+consults the global ``SourceView`` — confirming it is correctly not
+declared local.
 """
 
 from __future__ import annotations

@@ -81,6 +81,8 @@ class AppSpec:
     #: depends only on the algorithm's declarations, never on state, but
     #: probing it builds (and throws away) a full application state.
     _auto_name: str | None = field(default=None, repr=False, compare=False)
+    #: Cached result of :meth:`verified_executor` (inference audit passed).
+    _verified_name: str | None = field(default=None, repr=False, compare=False)
 
     def auto_executor(self) -> str:
         """The executor §3.6's rules select for this app's properties."""
@@ -88,6 +90,27 @@ class AppSpec:
             probe = self.algorithm(self.make_tiny())
             self._auto_name = choose_executor(probe.properties)
         return self._auto_name
+
+    def verified_executor(self) -> str:
+        """:meth:`auto_executor` on declarations *audited* by inference.
+
+        Runs the static inference pass over the app's source and raises
+        :class:`~repro.analysis.infer.UnsoundDeclarationError` if any
+        effectively declared property is refuted.  A sound declaration set
+        passes through unchanged, so the selected executor — and therefore
+        the schedule — is bit-identical to the declared mode.
+        """
+        if self._verified_name is None:
+            from ..analysis.infer import verified_properties
+
+            self._verified_name = choose_executor(verified_properties(self.name))
+        return self._verified_name
+
+    def _apply_properties_mode(self, cfg: Any) -> str:
+        """Resolve ``cfg.properties`` to the auto-executor name to run."""
+        if getattr(cfg, "properties", "declared") == "inferred":
+            return self.verified_executor()
+        return self.auto_executor()
 
     def make_tiny(self) -> Any:
         """Smallest state, for property probes; defaults to small."""
@@ -137,12 +160,14 @@ class AppSpec:
         """
         if impl == "serial" or (impl == "serial-best" and self.run_serial_best is None):
             cfg = self._executor_config(options, baseline=self.serial_baseline)
+            if getattr(cfg, "properties", "declared") == "inferred":
+                self.verified_executor()  # audit only; raises when unsound
             return EXECUTORS["serial"](self.algorithm(state), machine, cfg)
         if impl == "serial-best":
             return self.run_serial_best(state, machine, **options)
         if impl == "kdg-auto":
-            name = self.auto_executor()
             cfg = self._executor_config(options, **self.auto_options)
+            name = self._apply_properties_mode(cfg)
             return EXECUTORS[name](self.algorithm(state), machine, cfg)
         if impl == "kdg-manual":
             if self.run_manual is None:
@@ -155,7 +180,10 @@ class AppSpec:
         if impl in self.extra_impls:
             return self.extra_impls[impl](state, machine, **options)
         if impl in EXECUTORS:
-            return EXECUTORS[impl](self.algorithm(state), machine, self._executor_config(options))
+            cfg = self._executor_config(options)
+            if getattr(cfg, "properties", "declared") == "inferred":
+                self.verified_executor()  # audit only; raises when unsound
+            return EXECUTORS[impl](self.algorithm(state), machine, cfg)
         raise ValueError(f"unknown implementation {impl!r}")
 
     def has_impl(self, impl: str) -> bool:

@@ -8,6 +8,13 @@ process its earliest event regardless of global time.  DES is therefore
 unstable-source with a local test, monotonic (gate delays are positive) and
 structure-based — the automatic runtime selects the *asynchronous* explicit
 KDG executor, just like AVI (§4.5).
+
+Inference audit (``repro infer des``): ``structure_based_rw_sets`` is
+*proved*, and so is ``local_safe_source_test`` — the interprocedural
+summary shows the Chandy–Misra test never touches the ``SourceView``,
+turning the declaration the asynchronous executor depends on into a
+theorem.  ``monotonic`` stays ``unknown`` (gate delays live in state) and
+is cross-validated dynamically.
 """
 
 from __future__ import annotations

@@ -18,6 +18,11 @@ every round executor.  Push dedup goes through per-run scheduling cells
 common neighbor conflict on its sched cell and serialize in priority
 order, so at most one task per ``(v, r)`` exists and the committed task
 set is schedule-independent.
+
+Inference audit (``repro infer kcore``): ``monotonic`` and
+``structure_based_rw_sets`` are *proved* (round ``r + 1`` children, static
+adjacency); the round-gate safe-source test provably reads the global
+view, confirming it is correctly not declared local.
 """
 
 from __future__ import annotations

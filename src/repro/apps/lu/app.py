@@ -12,6 +12,13 @@ runtime picks the asynchronous KDG-RNA executor with subrules R and A —
 
 A symbolic-factorization pre-pass allocates fill blocks first, so the block
 pattern is static during the ordered loop.
+
+Inference audit (``repro infer lu``): ``monotonic`` is *proved* (children
+carry stage ``k + 1``).  ``structure_based_rw_sets`` and ``stable_source``
+stay a justified ``unknown``: they rest on exactly the symbolic-fill
+argument above (the visitor walks ``state.blocks``, which the body also
+writes — but only into pre-allocated fill), which the summaries cannot
+see.  Both are cross-validated dynamically.
 """
 
 from __future__ import annotations

@@ -7,6 +7,12 @@ contraction (union) grows the rw-sets of pending edges, so Kruskal does
 *not* have non-increasing rw-sets; it is stable-source and creates no new
 tasks, which sends the automatic runtime to the IKDG executor with
 windowing (§4.2).
+
+Inference audit (``repro infer mst``): ``stable_source``, ``monotonic``
+and ``no_new_tasks`` are all *proved* (no pushes at all).  The analysis
+also proves ``structure_based_rw_sets`` would be a lie — the body writes
+the union-find structure the visitor reads — which is precisely why the
+flag is not declared.
 """
 
 from __future__ import annotations

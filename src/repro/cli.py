@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes for --backend mp (default: 2; "
                           "only valid with --backend mp)")
+    run.add_argument("--properties", choices=("declared", "inferred"),
+                     default="declared",
+                     help="property trust model for executor selection: "
+                          "'inferred' audits the declarations with the "
+                          "static inference pass and refuses to run if any "
+                          "is refuted (schedules are bit-identical when "
+                          "declarations are sound)")
 
     oracle = sub.add_parser(
         "oracle",
@@ -116,6 +123,31 @@ def build_parser() -> argparse.ArgumentParser:
                            "app's smallest input")
     lint.add_argument("--max-tasks", type=int, default=500,
                       help="task budget for --dynamic (default: 500)")
+
+    infer = sub.add_parser(
+        "infer",
+        help="interprocedural property inference (prove/refute §3.2 "
+             "declarations, suggest missed optimizations)",
+    )
+    infer.add_argument("apps", nargs="*", metavar="app",
+                       help=f"apps to analyze ({', '.join(sorted(APPS))}; "
+                            f"default: all)")
+    infer.add_argument("--path", type=Path, action="append", default=None,
+                       dest="paths", metavar="FILE",
+                       help="analyze a standalone Python file (repeatable)")
+    infer.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit one machine-readable repro-lint/v2 report")
+    infer.add_argument("--fail-on", choices=("unsound", "any"),
+                       default="unsound",
+                       help="exit non-zero on unsound declarations only "
+                            "(default) or on any finding including "
+                            "missed-optimization suggestions")
+    infer.add_argument("--dynamic", action="store_true",
+                       help="cross-validate statically-unknown verdicts with "
+                            "the dynamic property falsifier on each app's "
+                            "smallest input")
+    infer.add_argument("--max-tasks", type=int, default=500,
+                       help="task budget for --dynamic (default: 500)")
 
     bench = sub.add_parser(
         "bench",
@@ -265,6 +297,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             return 2
         options["backend"] = "mp"
         options["workers"] = workers
+    if args.properties != "declared":
+        if not ordered_impl:
+            print(f"error: --properties {args.properties} is not supported "
+                  f"for --impl {args.impl}", file=sys.stderr)
+            return 2
+        options["properties"] = args.properties
     state = spec.make_small() if args.size == "small" else spec.make_large()
     threads = 1 if args.impl in ("serial", "serial-best") else args.threads
     if ordered_impl:
@@ -386,6 +424,117 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(f"lint: {total} finding(s)", file=sys.stderr)
     return 0 if total == 0 else 1
+
+
+def _infer_dynamic(app: str, results, max_tasks: int) -> dict:
+    """Cross-validate statically-``unknown`` verdicts on an app dynamically.
+
+    Probes every unknown flag (in addition to the declared ones) through
+    :func:`repro.core.verify.verify_properties` and reports, per flag,
+    whether the sampled execution refuted it.
+    """
+    import dataclasses
+
+    from .core.properties import AlgorithmProperties
+    from .core.verify import verify_properties
+
+    spec = APPS[app]
+    algorithm = spec.algorithm(spec.make_tiny())
+    declared = dataclasses.asdict(algorithm.properties)
+    unknown = sorted(
+        {
+            flag
+            for r in results
+            for flag, v in r.verdicts.items()
+            if v.status == "unknown"
+        }
+    )
+    probe = dict(declared)
+    for flag in unknown:
+        probe[flag] = True
+    report = verify_properties(
+        algorithm, max_tasks=max_tasks, properties=AlgorithmProperties(**probe)
+    )
+    violations = {
+        flag: msgs[:3] for flag, msgs in report.violations().items()
+    }
+    return {
+        "probed_unknown": unknown,
+        "consistent": report.consistent,
+        "violations": violations,
+        "refuted_unknown": sorted(set(unknown) & set(violations)),
+        "refuted_declared": sorted(
+            flag for flag in violations if declared.get(flag)
+        ),
+    }
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    from .analysis.infer import infer_app, infer_path, report_to_json
+
+    apps = args.apps or sorted(APPS)
+    unknown_apps = [a for a in apps if a not in APPS]
+    if unknown_apps:
+        print(f"error: unknown app(s) {', '.join(unknown_apps)}", file=sys.stderr)
+        return 2
+    paths = args.paths or []
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        print(f"error: no such file(s) {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    if args.apps or not paths:
+        targets = [(app, lambda a=app: infer_app(a)) for app in apps]
+    else:
+        targets = []  # --path only: don't drag every app in implicitly
+    targets += [(str(p), lambda p=p: infer_path(p)) for p in paths]
+
+    all_results = {}
+    errors = suggestions = 0
+    dynamic: dict[str, dict] = {}
+    for name, run in targets:
+        results = run()
+        all_results[name] = results
+        for r in results:
+            errors += sum(1 for f in r.findings if f.severity == "error")
+            suggestions += sum(1 for f in r.findings if f.severity == "suggestion")
+        if args.dynamic and name in APPS:
+            dynamic[name] = _infer_dynamic(name, results, args.max_tasks)
+            # A declared flag refuted on a sampled run is as unsound as a
+            # statically refuted one.
+            errors += len(dynamic[name]["refuted_declared"])
+
+    if args.as_json:
+        report = report_to_json(all_results)
+        for name, entry in dynamic.items():
+            report["targets"][name]["dynamic"] = entry
+        report["errors"] = errors
+        report["suggestions"] = suggestions
+        report["ok"] = not (errors or (args.fail_on == "any" and suggestions))
+        print(json.dumps(report))
+    else:
+        for name, results in all_results.items():
+            dyn = dynamic.get(name, {})
+            for r in results:
+                print(f"=== {r.unit.name} ({r.unit.file}:{r.unit.call_line})")
+                for flag, v in r.verdicts.items():
+                    declared = bool(r.unit.effective.get(flag))
+                    anchor = f" @{v.line}" if v.line else ""
+                    note = ""
+                    if flag in dyn.get("refuted_unknown", []) or (
+                        flag in dyn.get("refuted_declared", [])
+                    ):
+                        note = "  [dynamic: refuted]"
+                    elif flag in dyn.get("probed_unknown", []):
+                        note = "  [dynamic: consistent]"
+                    print(f"  {flag:<26} declared={str(declared):<5} "
+                          f"{v.status}{anchor}{note}")
+                for f in r.findings:
+                    print(f"  {f}")
+        print(f"infer: {errors} error(s), {suggestions} suggestion(s) "
+              f"across {len(targets)} target(s)")
+    failing = errors or (args.fail_on == "any" and suggestions)
+    return 1 if failing else 0
 
 
 def cmd_oracle(args: argparse.Namespace) -> int:
@@ -650,6 +799,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_oracle(args)
     if args.command == "lint":
         return cmd_lint(args)
+    if args.command == "infer":
+        return cmd_infer(args)
     if args.command == "bench":
         return cmd_bench(args)
     if args.command == "stream":

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..galois.priorityqueue import BinaryHeap
-from .algorithm import OrderedAlgorithm
+from .algorithm import OrderedAlgorithm, SourceView
+from .properties import AlgorithmProperties
 from .task import Task
 
 
@@ -28,6 +29,8 @@ class PropertyReport:
     structure_based_rw_sets: list[str] = field(default_factory=list)
     non_increasing_rw_sets: list[str] = field(default_factory=list)
     no_new_tasks: list[str] = field(default_factory=list)
+    stable_source: list[str] = field(default_factory=list)
+    local_safe_source_test: list[str] = field(default_factory=list)
 
     @property
     def consistent(self) -> bool:
@@ -36,6 +39,8 @@ class PropertyReport:
             or self.structure_based_rw_sets
             or self.non_increasing_rw_sets
             or self.no_new_tasks
+            or self.stable_source
+            or self.local_safe_source_test
         )
 
     def violations(self) -> dict[str, list[str]]:
@@ -61,14 +66,19 @@ class PropertyReport:
 
 
 def verify_properties(
-    algorithm: OrderedAlgorithm, max_tasks: int = 500
+    algorithm: OrderedAlgorithm,
+    max_tasks: int = 500,
+    properties: AlgorithmProperties | None = None,
 ) -> PropertyReport:
     """Execute up to ``max_tasks`` tasks serially, checking declarations.
 
     Mutates the algorithm's application state (run it on a throwaway state).
-    Only declared properties are checked; undeclared ones are not inferred.
+    By default only declared properties are checked; pass ``properties`` to
+    override which flags are probed — ``repro infer --dynamic`` uses this to
+    cross-validate statically ``unknown`` verdicts on flags the app never
+    declared.
     """
-    props = algorithm.properties
+    props = properties if properties is not None else algorithm.properties
     report = PropertyReport()
     factory = algorithm.task_factory()
     initial = factory.make_all(algorithm.initial_items)
@@ -90,11 +100,45 @@ def verify_properties(
         for task in initial:
             recorded_rw[task.tid] = fresh_rw(task)
 
+    # stable_source (Definition 1): a committed task must never turn out to
+    # have been unsafe — i.e. no later-created task may both precede it and
+    # conflict with it.  Keep a bounded history of executed tasks to check
+    # each pushed child against.
+    history: list[tuple[object, object, set]] = []
+
     executed = 0
     while heap and executed < max_tasks:
         task = heap.pop()
         del pending[task.tid]
         parent_rw = fresh_rw(task)
+
+        # local_safe_source_test (§3.6.3): the test's answer for a task must
+        # not depend on the global SourceView.  Probe the latest pending
+        # task (the one most likely to consult min_priority/sources) with
+        # the real view versus a view reduced to the task itself.
+        if (
+            props.local_safe_source_test
+            and algorithm.safe_source_test is not None
+            and pending
+            and len(pending) <= 64
+        ):
+            cand = max(pending.values(), key=Task.key)
+            real_view = SourceView(list(pending.values()), task.priority)
+            task_view = SourceView([cand], cand.priority)
+            try:
+                real = bool(algorithm.safe_source_test(cand, real_view))
+                local = bool(algorithm.safe_source_test(cand, task_view))
+            except Exception as exc:  # noqa: BLE001 - any crash is evidence
+                report.local_safe_source_test.append(
+                    f"safe_source_test raised {exc!r} on a task-local view: "
+                    "it requires global source information"
+                )
+            else:
+                if real != local:
+                    report.local_safe_source_test.append(
+                        f"safe_source_test({cand.item!r}) answers {real} with "
+                        f"the global view but {local} with a task-local view"
+                    )
         if props.structure_based_rw_sets and task.tid in recorded_rw:
             if parent_rw != recorded_rw.pop(task.tid):
                 report.structure_based_rw_sets.append(
@@ -124,6 +168,16 @@ def verify_properties(
                     f"child {item!r} (priority {child.priority!r}) precedes "
                     f"parent {task.item!r} ({task.priority!r})"
                 )
+            if props.stable_source:
+                child_rw = fresh_rw(child)
+                for executed_item, executed_prio, executed_rw in history:
+                    if child.priority < executed_prio and child_rw & executed_rw:
+                        report.stable_source.append(
+                            f"{executed_item!r} was executed as a source, but "
+                            f"later-created {item!r} precedes and conflicts "
+                            "with it (the source was never safe)"
+                        )
+                        break
             if props.structure_based_rw_sets:
                 child_rw = fresh_rw(child)
                 if not child_rw <= parent_rw:
@@ -141,4 +195,9 @@ def verify_properties(
                     f"executing {task.item!r} grew the rw-set of "
                     f"{other.item!r} by {sorted(map(repr, after - before))[:3]}"
                 )
+
+        if props.stable_source:
+            history.append((task.item, task.priority, parent_rw))
+            if len(history) > 128:
+                del history[0]
     return report

@@ -72,12 +72,24 @@ class RunConfig:
     check_safety: bool = False
     #: KDG-RNA: force (True/False) or auto-select (None) the async variant.
     asynchronous: bool | None = None
+    #: Property trust model for executor selection: ``"declared"`` trusts
+    #: the app's :class:`~repro.core.properties.AlgorithmProperties` as-is;
+    #: ``"inferred"`` audits them with the static inference pass first
+    #: (:func:`repro.analysis.infer.audit_app`) and refuses to run on an
+    #: unsound declaration.  Sound declarations select the same executor
+    #: either way, so schedules are bit-identical.
+    properties: str = "declared"
 
     def validate_for(self, executor: str) -> None:
         """Centralized validation, previously scattered per executor."""
         if self.engine not in ("dict", "flat"):
             raise ValueError(
                 f"unknown engine {self.engine!r} (expected 'dict' or 'flat')"
+            )
+        if self.properties not in ("declared", "inferred"):
+            raise ValueError(
+                f"unknown properties mode {self.properties!r} "
+                "(expected 'declared' or 'inferred')"
             )
         uses_mp = self.backend is not None and self.backend != "inline"
         if executor == "serial":

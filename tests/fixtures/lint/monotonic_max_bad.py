@@ -1,0 +1,31 @@
+"""Fixture: a ``max(...)`` clamp that does *not* include the parent's
+time-stamp — every arm subtracts from it, so the child can still precede
+its parent although the algorithm declares ``monotonic`` (Definition 2)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        ctx.push((max(time - 1, time - state.delay), node + 1))  # LINT-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-monotonic-max-bad",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True, monotonic=True),
+    )

@@ -1,0 +1,31 @@
+"""Fixture: the pushed item decrements the priority-determining component —
+the child *provably* precedes its parent (Definition 2), no heuristic
+needed; the symbolic comparator fires the rule on its own."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        ctx.push((time - 1, node))  # LINT-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-monotonic-prefix-bad",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(stable_source=True, monotonic=True),
+    )

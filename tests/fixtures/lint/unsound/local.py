@@ -1,0 +1,37 @@
+"""Unsound fixture: declares ``local_safe_source_test`` but the test reads
+``view.min_priority`` — it consults global source information, so it cannot
+be fused with execution (§3.6.3)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def safe_source_test(task, view):
+        return task.item[0] <= view.min_priority  # INFER-ANCHOR
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        ctx.push((time + state.delay, node + 1))
+
+    return OrderedAlgorithm(
+        name="fixture-unsound-local",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        safe_source_test=safe_source_test,
+        properties=AlgorithmProperties(
+            local_safe_source_test=True, structure_based_rw_sets=True
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Unsound fixture: declares ``monotonic`` but every child is scheduled one
+tick *before* its parent — the symbolic comparator proves the decrease."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        ctx.push((time - 1, node + 1))  # INFER-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-unsound-monotonic",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(
+            monotonic=True, structure_based_rw_sets=True
+        ),
+    )

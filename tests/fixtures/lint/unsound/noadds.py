@@ -1,0 +1,37 @@
+"""Unsound fixture: declares ``no_new_tasks`` but pushes a child through an
+interprocedural helper the abstract interpreter must follow (the syntactic
+linter only sees ``ctx.push`` spelled out in the body itself)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def schedule_child(ctx, time, node):
+    ctx.push((time + 1, node + 1))  # INFER-ANCHOR
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        schedule_child(ctx, time, node)
+
+    return OrderedAlgorithm(
+        name="fixture-unsound-noadds",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(
+            structure_based_rw_sets=True, no_new_tasks=True
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Unsound fixture: declares ``non_increasing_rw_sets`` but the body grows
+the edge lists the rw-set visitor iterates — a pending task's rw-set can
+gain locations when this task commits (Definition 3 is refuted)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        for other in state.edges[node]:
+            ctx.write(("node", other))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        state.edges[node + 1].append(node)  # INFER-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-unsound-nonincreasing",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(non_increasing_rw_sets=True),
+    )

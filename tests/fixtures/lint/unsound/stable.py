@@ -1,0 +1,33 @@
+"""Unsound fixture: declares ``stable_source`` but pushes a child that
+provably precedes its parent — an executing source can retroactively gain a
+predecessor, so sources are not safe at scheduling time (Definition 1)."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        ctx.write(("node", node))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.done[node] = time
+        ctx.work(1.0)
+        ctx.push((time - 1, node + 1))  # INFER-ANCHOR
+
+    return OrderedAlgorithm(
+        name="fixture-unsound-stable",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(
+            stable_source=True, structure_based_rw_sets=True
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Unsound fixture: declares ``structure_based_rw_sets`` but the body
+rewrites the adjacency structure the rw-set visitor reads — rw-sets are
+data-dependent, so neither clause of Definition 4 can hold."""
+
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item[0]
+
+    def visit_rw_sets(item, ctx):
+        time, node = item
+        for other in state.adj[node]:
+            ctx.write(("node", other))
+
+    def apply_update(item, ctx):
+        time, node = item
+        ctx.access(("node", node))
+        state.adj[node] = []  # INFER-ANCHOR
+        state.done[node] = time
+        ctx.work(1.0)
+
+    return OrderedAlgorithm(
+        name="fixture-unsound-structure",
+        initial_items=list(state.events),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(structure_based_rw_sets=True),
+    )

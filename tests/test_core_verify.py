@@ -164,6 +164,78 @@ class TestVerifier:
         report = verify_properties(algorithm)
         assert report.consistent, report.violations()
 
+    def test_detects_unstable_source(self):
+        # Item 10 pushes -1, which precedes the already-executed 0 and
+        # conflicts with it: 0 was never a safe source (Definition 1).
+        def body(item, ctx):
+            if item == 10:
+                ctx.push(-1)
+
+        algorithm = OrderedAlgorithm(
+            name="retroactive",
+            initial_items=[0, 10],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("c"),
+            apply_update=body,
+            properties=AlgorithmProperties(stable_source=True),
+        )
+        report = verify_properties(algorithm)
+        assert report.stable_source
+        assert not report.consistent
+
+    def test_stable_source_accepts_forward_conflicts(self):
+        # Children conflict but never precede an executed task.
+        def body(item, ctx):
+            if item < 3:
+                ctx.push(item + 1)
+
+        algorithm = OrderedAlgorithm(
+            name="forward-chain",
+            initial_items=[0],
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write("c"),
+            apply_update=body,
+            properties=AlgorithmProperties(stable_source=True),
+        )
+        assert verify_properties(algorithm).consistent
+
+    def test_detects_nonlocal_safe_source_test(self):
+        # The test's answer flips between the global view and a view
+        # reduced to the probed task itself.
+        algorithm = OrderedAlgorithm(
+            name="view-reader",
+            initial_items=list(range(6)),
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write(("c", item)),
+            apply_update=lambda item, ctx: ctx.access(("c", item)),
+            safe_source_test=lambda task, view: task.priority <= view.min_priority + 1,
+            properties=AlgorithmProperties(local_safe_source_test=True),
+        )
+        report = verify_properties(algorithm)
+        assert report.local_safe_source_test
+        assert not report.consistent
+
+    def test_local_safe_source_test_accepts_task_local_test(self):
+        algorithm = OrderedAlgorithm(
+            name="task-local",
+            initial_items=list(range(6)),
+            priority=lambda x: x,
+            visit_rw_sets=lambda item, ctx: ctx.write(("c", item)),
+            apply_update=lambda item, ctx: ctx.access(("c", item)),
+            safe_source_test=lambda task, view: task.item >= 0,
+            properties=AlgorithmProperties(local_safe_source_test=True),
+        )
+        assert verify_properties(algorithm).consistent
+
+    def test_properties_override_probes_undeclared_flags(self):
+        # ChainCounter pushes on every step; it never declares no_new_tasks,
+        # but `repro infer --dynamic` probes statically-unknown flags by
+        # passing an override — the falsifier must then refute the flag.
+        app = ChainCounter()
+        probe = AlgorithmProperties(stable_source=True, no_new_tasks=True)
+        report = verify_properties(app.algorithm(), properties=probe)
+        assert report.no_new_tasks
+
     def test_sample_limit_respected(self):
         app = ChainCounter(cells=2, steps=100)
         verify_properties(app.algorithm(), max_tasks=10)

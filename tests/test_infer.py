@@ -1,0 +1,275 @@
+"""Property-inference tests.
+
+Four contracts, matching the acceptance criteria of the inference engine:
+
+* the injected-defect corpus (``tests/fixtures/lint/unsound/``) is caught
+  with **zero false negatives**, each finding anchored to its seeded
+  ``file:line``;
+* every shipped application's declared properties infer ``holds`` or a
+  justified ``unknown`` — never a false ``violated`` — so the audit passes;
+* ``RunConfig(properties="inferred")`` selects the same executor and
+  produces bit-identical runs when declarations are sound, and refuses to
+  run (``UnsoundDeclarationError``) when they are not;
+* provable-but-undeclared flags surface as missed-optimization suggestions
+  naming the §3.6 phase or subrule they would delete.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    HOLDS,
+    RULE_MISSED,
+    RULE_UNSOUND,
+    UNKNOWN,
+    VIOLATED,
+    UnsoundDeclarationError,
+    audit_app,
+    infer_app,
+    infer_path,
+    infer_source,
+    verified_properties,
+)
+from repro.analysis.effects import PROPERTY_FLAGS
+from repro.apps import APPS
+from repro.cli import main
+from repro.machine import SimMachine
+from repro.runtime.base import RunConfig
+
+from .helpers import TINY_STATES
+
+UNSOUND = Path(__file__).parent / "fixtures" / "lint" / "unsound"
+
+#: fixture stem -> the property its seeded defect refutes.
+UNSOUND_FLAGS = {
+    "noadds": "no_new_tasks",
+    "monotonic": "monotonic",
+    "structure": "structure_based_rw_sets",
+    "nonincreasing": "non_increasing_rw_sets",
+    "stable": "stable_source",
+    "local": "local_safe_source_test",
+}
+
+
+def anchor_line(path: Path) -> int:
+    """1-based line of the fixture's ``# INFER-ANCHOR`` marker."""
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if "INFER-ANCHOR" in line:
+            return lineno
+    raise AssertionError(f"{path} has no INFER-ANCHOR marker")
+
+
+# ----------------------------------------------------------------------
+# Injected-defect corpus: zero false negatives, anchored output
+# ----------------------------------------------------------------------
+def test_corpus_covers_every_property():
+    assert set(UNSOUND_FLAGS.values()) == set(PROPERTY_FLAGS)
+    for stem in UNSOUND_FLAGS:
+        assert (UNSOUND / f"{stem}.py").is_file()
+
+
+@pytest.mark.parametrize("stem", sorted(UNSOUND_FLAGS))
+def test_unsound_fixture_is_caught_at_the_anchor(stem):
+    path = UNSOUND / f"{stem}.py"
+    flag = UNSOUND_FLAGS[stem]
+    (result,) = infer_path(path)
+    assert result.verdicts[flag].status == VIOLATED
+    errors = [f for f in result.findings if f.severity == "error"]
+    assert len(errors) == 1, [str(f) for f in errors]
+    finding = errors[0]
+    assert finding.rule == RULE_UNSOUND
+    assert finding.flag == flag
+    assert finding.line == anchor_line(path)
+    assert finding.file.endswith(f"{stem}.py")
+
+
+# ----------------------------------------------------------------------
+# Shipped apps: no false `violated` on any declared flag
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_shipped_app_declarations_are_never_refuted(app):
+    results = infer_app(app)
+    assert results, f"no OrderedAlgorithm found in {app}'s module"
+    for result in results:
+        for flag in PROPERTY_FLAGS:
+            if result.unit.effective.get(flag):
+                assert result.verdicts[flag].status in (HOLDS, UNKNOWN), (
+                    flag,
+                    result.verdicts[flag],
+                )
+        assert [f for f in result.findings if f.severity == "error"] == []
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+def test_verified_properties_equal_declared(app):
+    spec = APPS[app]
+    algorithm = spec.algorithm(spec.make_tiny())
+    assert verified_properties(app) == algorithm.properties
+
+
+# ----------------------------------------------------------------------
+# Inferred-mode executor selection: bit-identical when sound
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("app", sorted(TINY_STATES))
+def test_inferred_mode_is_bit_identical(app):
+    spec = APPS[app]
+    runs = []
+    for mode in ("declared", "inferred"):
+        state = TINY_STATES[app]()
+        result = spec.run(
+            state, "kdg-auto", SimMachine(2), config=RunConfig(properties=mode)
+        )
+        runs.append(
+            (
+                result.executor,
+                result.executed,
+                result.machine.elapsed_cycles(),
+                spec.snapshot(state),
+            )
+        )
+    assert runs[0] == runs[1]
+
+
+def test_inferred_mode_refuses_unsound_declaration(monkeypatch):
+    import repro.analysis.infer as infer_mod
+
+    monkeypatch.setattr(
+        infer_mod, "app_source_path", lambda app: UNSOUND / "stable.py"
+    )
+    spec = copy.copy(APPS["treesum"])
+    spec._verified_name = None
+    with pytest.raises(UnsoundDeclarationError) as excinfo:
+        spec.verified_executor()
+    assert excinfo.value.target == "treesum"
+    assert "stable_source" in str(excinfo.value)
+    # Declared mode remains unaffected by the failed audit.
+    assert spec.auto_executor() in ("kdg-rna", "kdg-rna-async", "ikdg")
+
+
+def test_audit_app_raises_with_anchored_findings(monkeypatch):
+    import repro.analysis.infer as infer_mod
+
+    path = UNSOUND / "monotonic.py"
+    monkeypatch.setattr(infer_mod, "app_source_path", lambda app: path)
+    with pytest.raises(UnsoundDeclarationError) as excinfo:
+        audit_app("bogus")
+    (finding,) = excinfo.value.findings
+    assert finding.flag == "monotonic"
+    assert finding.line == anchor_line(path)
+
+
+# ----------------------------------------------------------------------
+# Streaming adapters and session repair seeds
+# ----------------------------------------------------------------------
+STREAM_MODULES = (
+    "apps/kcore/stream.py",
+    "apps/bfs/stream.py",
+    "apps/des/stream.py",
+    "runtime/session.py",
+)
+
+
+@pytest.mark.parametrize("rel", STREAM_MODULES)
+def test_streaming_modules_lint_and_infer_clean(rel):
+    """The streaming adapters feed mutations and repair seeds back through
+    their app's audited operators; they must neither define an unsound
+    OrderedAlgorithm of their own nor trip any lint rule."""
+    from repro.analysis import lint_file
+
+    path = Path(__file__).parent.parent / "src" / "repro" / rel
+    assert path.is_file(), path
+    assert lint_file(path) == []
+    for result in infer_path(path):
+        assert [f for f in result.findings if f.severity == "error"] == []
+
+
+# ----------------------------------------------------------------------
+# Missed optimizations: provable-but-undeclared flags become suggestions
+# ----------------------------------------------------------------------
+NO_PUSH_SOURCE = '''
+from repro.core.algorithm import OrderedAlgorithm
+from repro.core.properties import AlgorithmProperties
+
+
+def make_algorithm(state):
+    def priority(item):
+        return item
+
+    def visit_rw_sets(item, ctx):
+        ctx.write(("cell", item))
+
+    def apply_update(item, ctx):
+        ctx.access(("cell", item))
+        state.done[item] = True
+        ctx.work(1.0)
+
+    return OrderedAlgorithm(
+        name="no-push",
+        initial_items=list(state.cells),
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=AlgorithmProperties(),
+    )
+'''
+
+
+def test_missed_optimizations_are_suggested():
+    (result,) = infer_source(NO_PUSH_SOURCE, file="no_push.py")
+    suggestions = {f.flag: f for f in result.findings if f.severity == "suggestion"}
+    # A push-free body proves No-Adds, monotonicity (vacuously), stability,
+    # and structure-based rw-sets (disjoint from all writes) at once.
+    for flag in (
+        "no_new_tasks",
+        "monotonic",
+        "stable_source",
+        "structure_based_rw_sets",
+    ):
+        assert result.verdicts[flag].status == HOLDS, result.verdicts[flag]
+        assert suggestions[flag].rule == RULE_MISSED
+        assert "§3.6" in suggestions[flag].message or "§3.4" in suggestions[flag].message
+    assert [f for f in result.findings if f.severity == "error"] == []
+
+
+def test_stable_source_suppresses_local_test_suggestion():
+    # With stable_source effective, the safe-source test phase is deleted
+    # wholesale — suggesting local_safe_source_test would be noise.
+    source = NO_PUSH_SOURCE.replace(
+        "AlgorithmProperties()", "AlgorithmProperties(stable_source=True)"
+    )
+    (result,) = infer_source(source, file="no_push.py")
+    flags = {f.flag for f in result.findings}
+    assert "local_safe_source_test" not in flags
+
+
+# ----------------------------------------------------------------------
+# CLI: repro infer
+# ----------------------------------------------------------------------
+def test_cli_infer_all_apps_clean(capsys):
+    assert main(["infer", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-lint/v2"
+    assert payload["ok"] is True
+    assert payload["errors"] == 0
+    assert set(payload["targets"]) == set(APPS)
+
+
+def test_cli_infer_fails_on_unsound_fixture(capsys):
+    path = str(UNSOUND / "monotonic.py")
+    assert main(["infer", "--path", path, "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["errors"] == 1
+
+
+def test_cli_infer_fail_on_any_escalates_suggestions(tmp_path, capsys):
+    target = tmp_path / "no_push.py"
+    target.write_text(NO_PUSH_SOURCE)
+    assert main(["infer", "--path", str(target)]) == 0
+    capsys.readouterr()
+    assert main(["infer", "--path", str(target), "--fail-on", "any"]) == 1

@@ -28,6 +28,12 @@ FIXTURE_RULES = {
     "cautious": RULE_CAUTIOUSNESS,
     "noadds": RULE_NO_ADDS,
     "monotonic": RULE_MONOTONIC,
+    # Blind-spot regressions: max(parent, ...) clamps and tuple-prefix
+    # copies are provably non-decreasing (good variants lint clean despite
+    # containing subtractions); a clamp missing the parent arm and a
+    # decremented priority prefix still fire.
+    "monotonic_max": RULE_MONOTONIC,
+    "monotonic_prefix": RULE_MONOTONIC,
     "structure": RULE_STRUCTURE_BASED,
     "unused": RULE_UNUSED_PROPERTY,
 }
@@ -62,6 +68,40 @@ def test_bad_fixture_fires_its_rule_at_the_anchor(stem):
 @pytest.mark.parametrize("stem", sorted(FIXTURE_RULES))
 def test_good_fixture_is_clean(stem):
     assert lint_file(FIXTURES / f"{stem}_good.py") == []
+
+
+@pytest.mark.parametrize("stem", ["monotonic_max", "monotonic_prefix"])
+def test_monotonic_good_fixture_defeats_the_heuristic(stem):
+    """The good variants contain subtractions the syntactic heuristic alone
+    would flag; only the symbolic priority comparison exonerates them."""
+    import ast
+
+    from repro.analysis.linter import (
+        _BodyScan,
+        _decreasing_subexpr,
+        _extract_units,
+        _item_derived_names,
+    )
+
+    path = FIXTURES / f"{stem}_good.py"
+    (unit,) = _extract_units(ast.parse(path.read_text()))
+    scan = _BodyScan(unit.update_fn, str(path))
+    scan.scan()
+    derived, rhs = _item_derived_names(unit.update_fn)
+    hits = [
+        _decreasing_subexpr(arg, derived, rhs)
+        for push in scan.pushes
+        for arg in push.args
+    ]
+    assert any(hit is not None for hit in hits)
+    assert lint_file(path) == []
+
+
+def test_monotonic_provable_decrease_fires_without_heuristic():
+    """A conclusive child < parent comparison anchors on the push itself."""
+    findings = lint_file(FIXTURES / "monotonic_prefix_bad.py")
+    assert len(findings) == 1
+    assert "provably lower" in findings[0].message
 
 
 @pytest.mark.parametrize("app", sorted(APPS))
