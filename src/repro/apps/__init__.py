@@ -1,11 +1,12 @@
 """The paper's seven benchmark applications (§4), under a uniform harness,
-plus k-core decomposition — the streaming-session flagship workload."""
+plus k-core decomposition — the streaming-session flagship workload — and
+the relaxed-executor flagships SSSP and A*."""
 
-from . import avi, bfs, billiards, des, kcore, lu, mst, treesum
+from . import astar, avi, bfs, billiards, des, kcore, lu, mst, sssp, treesum
 from .common import PAPER_IMPLS, AppSpec
 
 #: Registry in the order of the paper's Figure 11a; post-paper additions
-#: (k-core) follow.
+#: (k-core, the relaxed-scheduling workloads sssp and astar) follow.
 APPS: dict[str, AppSpec] = {
     "avi": avi.SPEC,
     "mst": mst.SPEC,
@@ -15,6 +16,8 @@ APPS: dict[str, AppSpec] = {
     "bfs": bfs.SPEC,
     "treesum": treesum.SPEC,
     "kcore": kcore.SPEC,
+    "sssp": sssp.SPEC,
+    "astar": astar.SPEC,
 }
 
 __all__ = ["APPS", "AppSpec", "PAPER_IMPLS"]

@@ -1,0 +1,43 @@
+"""A* point-to-point search on grid meshes.
+
+Corner-to-corner queries on weighted 2-D grids: the Manhattan heuristic
+steers expansion into a corridor around the optimal path, and goal pruning
+caps the explored region.  The observable result (the goal's path cost)
+validates against a reference Dijkstra; expanded-node sets are
+schedule-sensitive, so cross-executor digests compare the goal label only.
+"""
+
+from ..common import AppSpec
+from .app import (
+    ASTAR_PROPERTIES,
+    DEFAULT_DELTA,
+    AStarState,
+    make_algorithm,
+    make_grid_state,
+)
+
+SPEC = AppSpec(
+    name="astar",
+    make_small=lambda: make_grid_state(60, 60, seed=7),
+    make_large=lambda: make_grid_state(160, 160, seed=7),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="heap",
+    make_tiny_fn=lambda: make_grid_state(8, 8, seed=1),
+    relaxed_delta=DEFAULT_DELTA,
+    # Goal pruning reads the goal label outside the declared rw-set, so the
+    # set of *expanded* tasks races at equal f-values between serializable
+    # schedules (like billiards' void re-predictions).  The observable
+    # result — the goal label the snapshot digests — is schedule-invariant.
+    deterministic_task_set=False,
+)
+
+__all__ = [
+    "ASTAR_PROPERTIES",
+    "AStarState",
+    "DEFAULT_DELTA",
+    "SPEC",
+    "make_algorithm",
+    "make_grid_state",
+]

@@ -1,0 +1,151 @@
+"""A* point-to-point search on grid meshes, in the ordered model.
+
+A task ``(n, g)`` lowers node ``n``'s path cost from the start to ``g``;
+tasks are ordered by ``f = g + h(n)`` where ``h`` is the Manhattan-distance
+heuristic.  On a grid with positive integer weights ``h`` is *consistent*
+(one step changes the Manhattan distance by at most 1 and costs at least
+1), so ``f`` never decreases along a path and expanding in ``f`` order is
+Dijkstra's order under a re-weighting.  Once the goal is labelled, any task
+with ``f >= g(goal)`` is pruned: a consistent heuristic makes ``f`` a lower
+bound on every start-goal path through the task's node, so no pruned task
+can improve the goal.  The goal label — the app's observable result — is
+therefore exactly the shortest-path distance under every serializable
+schedule, while the set of *expanded* nodes is schedule-sensitive in
+general; the snapshot digests the goal label only.
+
+Like SSSP, A* is relaxable: relaxation reorders expansions and can only
+cost wasted work, never goal optimality (pruning compares against a live
+upper bound that only decreases).
+
+Inference audit (``repro infer astar``): ``monotonic`` holds by heuristic
+consistency (``f(child) = g + w + h(v) >= g + h(u) = f(parent)``) —
+the symbolic comparator cannot see this through the ``h`` closure, so the
+verdict is *unknown*, not refuted; ``structure_based_rw_sets`` is proved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm, SourceView
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...core.task import Task
+from ...inputs.graphs import grid2d
+from ..sssp.app import dijkstra_distances
+
+ASTAR_PROPERTIES = AlgorithmProperties(
+    monotonic=True,
+    structure_based_rw_sets=True,
+    stable_source=False,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.9
+
+#: Base ops per expansion plus ops per scanned edge; an expansion also
+#: evaluates the heuristic per neighbor.
+NODE_WORK = 100.0
+EDGE_WORK = 35.0
+
+#: Default delta-bucket width for the relaxed executor (f-value buckets).
+DEFAULT_DELTA = 8
+
+
+class AStarState:
+    """Grid mesh, start/goal corners, and the g-labels being computed."""
+
+    def __init__(self, nx: int, ny: int, max_weight: int = 15, seed: int = 0):
+        graph, _, _ = grid2d(nx, ny, max_weight=max_weight, seed=seed)
+        self.graph = graph
+        self.nx = nx
+        self.ny = ny
+        self.start = 0
+        self.goal = nx * ny - 1
+        self.g = np.full(graph.num_nodes, -1, dtype=np.int64)
+
+    def heuristic(self, node: int) -> int:
+        """Manhattan distance to the goal (consistent: weights are >= 1)."""
+        ix, iy = node % self.nx, node // self.nx
+        gx, gy = self.goal % self.nx, self.goal // self.nx
+        return abs(ix - gx) + abs(iy - gy)
+
+    def snapshot(self) -> bytes:
+        """Digest of the observable result: the goal's path cost.
+
+        Expanded-node labels vary between serializable schedules (pruning
+        races against expansion order at equal ``f``), so they stay out of
+        the cross-executor equality digest.
+        """
+        return int(self.g[self.goal]).to_bytes(8, "little", signed=True)
+
+    def validate(self) -> None:
+        """Goal label must be the true shortest-path distance; every other
+        label must be a real path cost (never below the true distance)."""
+        expect = dijkstra_distances(self.graph, self.start)
+        assert self.g[self.start] == 0
+        assert self.g[self.goal] == expect[self.goal], (
+            f"goal label {int(self.g[self.goal])} != "
+            f"shortest path {int(expect[self.goal])}"
+        )
+        labelled = np.nonzero(self.g != -1)[0]
+        low = labelled[self.g[labelled] < expect[labelled]]
+        assert low.size == 0, f"label below true distance at node {int(low[0])}"
+
+
+def make_grid_state(nx: int, ny: int, max_weight: int = 15, seed: int = 0) -> AStarState:
+    return AStarState(nx, ny, max_weight=max_weight, seed=seed)
+
+
+def make_algorithm(state: AStarState) -> OrderedAlgorithm:
+    """The ordered A* algorithm over ``state``."""
+    graph, g = state.graph, state.g
+    goal = state.goal
+    heuristic = state.heuristic
+    weights = graph.edge_weights
+    column_ids = graph.column_ids
+
+    def priority(item: tuple[int, int]) -> tuple[int, int]:
+        node, dist = item
+        return (dist + heuristic(node), node)
+
+    def level_of(item: tuple[int, int]) -> int:
+        return item[1] + heuristic(item[0])
+
+    def visit_rw_sets(item: tuple[int, int], ctx: RWSetContext) -> None:
+        ctx.write(("node", item[0]))
+
+    def apply_update(item: tuple[int, int], ctx: BodyContext) -> None:
+        node, dist = item
+        ctx.access(("node", node))
+        ctx.work(NODE_WORK)
+        if g[node] != -1 and g[node] <= dist:
+            return  # stale update
+        goal_cost = g[goal]
+        if goal_cost != -1 and dist + heuristic(node) >= goal_cost:
+            return  # pruned: cannot improve the goal (consistent heuristic)
+        g[node] = dist
+        for eid in graph.edge_range(node):
+            ctx.work(EDGE_WORK)
+            nd = dist + int(weights[eid])
+            neighbor = int(column_ids[eid])
+            labelled = g[neighbor]
+            if labelled == -1 or labelled > nd:
+                ctx.push((neighbor, nd))
+
+    def safe_source_test(task: Task, view: SourceView) -> bool:
+        # Safe exactly at the current global minimum f-value.
+        return view.min_priority is not None and task.priority[0] == view.min_priority[0]
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="astar",
+        initial_items=[(state.start, 0)],
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=ASTAR_PROPERTIES,
+        safe_source_test=safe_source_test,
+        level_of=level_of,
+        relaxable=True,
+    )

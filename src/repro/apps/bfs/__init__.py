@@ -29,6 +29,7 @@ SPEC = AppSpec(
     run_other=run_other,
     auto_options={"level_windows": True},
     stream_adapter=BFSAdapter,
+    relaxed_delta=2,
 )
 
 __all__ = [

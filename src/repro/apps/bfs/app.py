@@ -128,4 +128,8 @@ def make_algorithm(
         properties=BFS_PROPERTIES,
         safe_source_test=safe_source_test,
         level_of=level_of,
+        # Label-correcting: out-of-order relaxations converge to the same
+        # distance fixpoint (stale updates no-op), so the relaxed executor
+        # may reorder BFS freely — order only bounds wasted work.
+        relaxable=True,
     )

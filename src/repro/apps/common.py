@@ -77,6 +77,11 @@ class AppSpec:
     #: Dedicated tiny-state builder for property probes and oracle inputs;
     #: ``None`` falls back to ``make_small``.
     make_tiny_fn: Callable[[], Any] | None = None
+    #: Preferred delta-bucket width for the relaxed executor's fused-bucket
+    #: mode (used by the oracle's ``relaxed-delta`` variant and the bench
+    #: configs).  ``None`` means the app declares no delta-friendly integer
+    #: levels — the oracle then skips the delta variant.
+    relaxed_delta: int | None = None
     #: Cached result of :meth:`auto_executor` — the property-driven choice
     #: depends only on the algorithm's declarations, never on state, but
     #: probing it builds (and throws away) a full application state.

@@ -1,0 +1,41 @@
+"""Single-source shortest paths (delta-stepping flagship).
+
+Weighted counterparts of the BFS inputs: a 2-D grid (road stand-in, long
+weighted diameter) and a low-diameter random graph.  Small integer weights
+keep distance levels dense, so the relaxed executor's delta buckets hold
+real parallelism; final labels validate against a reference Dijkstra.
+"""
+
+from ..common import AppSpec
+from .app import (
+    DEFAULT_DELTA,
+    SSSP_PROPERTIES,
+    SSSPState,
+    dijkstra_distances,
+    make_algorithm,
+    make_grid_state,
+    make_random_state,
+)
+
+SPEC = AppSpec(
+    name="sssp",
+    make_small=lambda: make_grid_state(60, 60, seed=5),
+    make_large=lambda: make_random_state(20000, avg_degree=4.0, seed=5),
+    algorithm=make_algorithm,
+    snapshot=lambda state: state.snapshot(),
+    validate=lambda state: state.validate(),
+    serial_baseline="heap",
+    make_tiny_fn=lambda: make_grid_state(8, 8, seed=1),
+    relaxed_delta=DEFAULT_DELTA,
+)
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "SSSPState",
+    "SSSP_PROPERTIES",
+    "SPEC",
+    "dijkstra_distances",
+    "make_algorithm",
+    "make_grid_state",
+    "make_random_state",
+]

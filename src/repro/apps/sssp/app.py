@@ -1,0 +1,163 @@
+"""Single-source shortest paths in the ordered model (delta-stepping).
+
+A task ``(n, d)`` lowers node ``n``'s distance label to ``d``; updates must
+appear to execute in increasing distance order (Dijkstra's order).  Like
+BFS, SSSP is *not* stable-source — a shorter tentative distance for a node
+can be created after a longer one is already a source — so the safe-source
+test admits a source only at the current global minimum distance.  Unlike
+BFS the levels are weighted distances, so exact ordering leaves very little
+parallelism per level: this is the flagship workload for the *relaxed*
+executor, whose delta mode fuses ``delta`` consecutive distance values into
+one bucket (delta-stepping, Meyer & Sanders 2003) and whose MultiQueue mode
+pops approximately-least tasks.  The algorithm is *relaxable*: the body is
+a monotone relax step (labels only decrease, stale updates no-op), so any
+execution order converges to the Dijkstra fixpoint.
+
+Inference audit (``repro infer sssp``): ``monotonic`` holds because edge
+weights are positive (children land at ``d + w``, ``w >= 1``);
+``structure_based_rw_sets`` is proved (the visitor writes the task's node
+on the static graph and reads nothing the body writes).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ...core.algorithm import OrderedAlgorithm, SourceView
+from ...core.context import BodyContext, RWSetContext
+from ...core.properties import AlgorithmProperties
+from ...core.task import Task
+from ...galois.graphs import CSRGraph
+from ...inputs.graphs import grid2d, random_graph
+
+SSSP_PROPERTIES = AlgorithmProperties(
+    monotonic=True,
+    structure_based_rw_sets=True,
+    stable_source=False,
+)
+
+#: Memory-bound share of task execution (bandwidth model, DESIGN.md).
+MEM_FRACTION = 0.9
+
+#: Base ops per relax plus ops per scanned edge; SSSP is latency-bound
+#: like BFS but touches edge weights too, so edges cost a little more.
+NODE_WORK = 90.0
+EDGE_WORK = 30.0
+
+#: Default delta-bucket width for the relaxed executor: about half the
+#: mean edge weight of the bundled inputs, the classic delta-stepping
+#: sweet spot between bucket parallelism and wasted re-relaxations.
+DEFAULT_DELTA = 8
+
+
+class SSSPState:
+    """Weighted graph, source, and the distance labels being computed."""
+
+    def __init__(self, graph: CSRGraph, source: int = 0):
+        if graph.edge_weights is None:
+            raise ValueError("SSSP requires an edge-weighted graph")
+        self.graph = graph
+        self.source = source
+        self.dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+
+    def snapshot(self) -> bytes:
+        return self.dist.tobytes()
+
+    def validate(self) -> None:
+        """Final labels must be exactly Dijkstra's distances."""
+        expect = dijkstra_distances(self.graph, self.source)
+        assert self.dist[self.source] == 0
+        mismatched = np.nonzero(self.dist != expect)[0]
+        assert mismatched.size == 0, (
+            f"{mismatched.size} label(s) differ from Dijkstra "
+            f"(first: node {int(mismatched[0])}, "
+            f"got {int(self.dist[mismatched[0]])}, "
+            f"want {int(expect[mismatched[0]])})"
+        )
+
+
+def dijkstra_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Reference solver: textbook binary-heap Dijkstra (int distances)."""
+    dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    heap: list[tuple[int, int]] = [(0, source)]
+    weights = graph.edge_weights
+    column_ids = graph.column_ids
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d > dist[node]:
+            continue  # stale heap entry
+        for eid in graph.edge_range(node):
+            nd = d + int(weights[eid])
+            neighbor = int(column_ids[eid])
+            if dist[neighbor] == -1 or nd < dist[neighbor]:
+                dist[neighbor] = nd
+                heapq.heappush(heap, (nd, neighbor))
+    return dist
+
+
+def make_grid_state(nx: int, ny: int, max_weight: int = 15, seed: int = 0) -> SSSPState:
+    """Road-network stand-in: a 2-D grid with small integer weights."""
+    graph, _, _ = grid2d(nx, ny, max_weight=max_weight, seed=seed)
+    return SSSPState(graph, source=0)
+
+
+def make_random_state(
+    num_nodes: int, avg_degree: float = 4.0, max_weight: int = 15, seed: int = 0
+) -> SSSPState:
+    """Low-diameter random graph: many distance ties, fat delta buckets."""
+    graph, _, _ = random_graph(
+        num_nodes, avg_degree=avg_degree, max_weight=max_weight, seed=seed
+    )
+    return SSSPState(graph, source=0)
+
+
+def make_algorithm(state: SSSPState) -> OrderedAlgorithm:
+    """The ordered SSSP algorithm over ``state``."""
+    graph, dist = state.graph, state.dist
+    weights = graph.edge_weights
+    column_ids = graph.column_ids
+
+    def priority(item: tuple[int, int]) -> tuple[int, int]:
+        node, d = item
+        return (d, node)
+
+    def level_of(item: tuple[int, int]) -> int:
+        return item[1]
+
+    def visit_rw_sets(item: tuple[int, int], ctx: RWSetContext) -> None:
+        ctx.write(("node", item[0]))
+
+    def apply_update(item: tuple[int, int], ctx: BodyContext) -> None:
+        node, d = item
+        ctx.access(("node", node))
+        ctx.work(NODE_WORK)
+        if dist[node] != -1 and dist[node] <= d:
+            return  # stale update
+        dist[node] = d
+        for eid in graph.edge_range(node):
+            ctx.work(EDGE_WORK)
+            nd = d + int(weights[eid])
+            neighbor = int(column_ids[eid])
+            labelled = dist[neighbor]
+            if labelled == -1 or labelled > nd:
+                ctx.push((neighbor, nd))
+
+    def safe_source_test(task: Task, view: SourceView) -> bool:
+        # Safe exactly at the current global minimum distance.
+        return view.min_priority is not None and task.priority[0] == view.min_priority[0]
+
+    return OrderedAlgorithm(
+        memory_bound_fraction=MEM_FRACTION,
+        name="sssp",
+        initial_items=[(state.source, 0)],
+        priority=priority,
+        visit_rw_sets=visit_rw_sets,
+        apply_update=apply_update,
+        properties=SSSP_PROPERTIES,
+        safe_source_test=safe_source_test,
+        level_of=level_of,
+        relaxable=True,
+    )

@@ -30,6 +30,7 @@ from ..runtime import (
     run_ikdg,
     run_kdg_rna,
     run_level_by_level,
+    run_relaxed,
     run_serial,
     run_speculation,
 )
@@ -582,6 +583,49 @@ def bench_speculation(quick: bool, repeats: int, engine: str = "dict",
                                 RunConfig(engine=engine)),
         repeats,
         ops=n,
+    )
+
+
+@bench("exec/sssp_delta", "hotpath")
+def bench_sssp_delta(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
+    """Delta-stepping SSSP through the relaxed executor: the fused bucket
+    worklist serves whole priority buckets as commit windows and drains
+    each to fixpoint, so scheduling cost is one O(1) bucket op per task
+    instead of a heap op — the speedup the rank-error oracle prices.
+    Ignores the suite backend (the relaxed executor is inline-only)."""
+    from ..apps.sssp import DEFAULT_DELTA, make_algorithm, make_grid_state
+
+    n = _size(quick, 24, 48)
+    return _exec_payload(
+        lambda: run_relaxed(
+            make_algorithm(make_grid_state(n, n, seed=3)),
+            SimMachine(BENCH_THREADS),
+            RunConfig(delta=DEFAULT_DELTA, engine=engine),
+        ),
+        repeats,
+        ops=n * n,
+    )
+
+
+@bench("exec/astar", "hotpath")
+def bench_astar(quick: bool, repeats: int, engine: str = "dict",
+                   backend: Any = "inline", workers: int = 2) -> dict[str, Any]:
+    """A* corner-to-corner through the relaxed executor's bucket worklist:
+    f-value buckets mix heuristic guidance with relaxed intra-bucket order,
+    and goal pruning keeps the expanded region a corridor.  Inline-only,
+    like ``exec/sssp_delta``."""
+    from ..apps.astar import DEFAULT_DELTA, make_algorithm, make_grid_state
+
+    n = _size(quick, 28, 56)
+    return _exec_payload(
+        lambda: run_relaxed(
+            make_algorithm(make_grid_state(n, n, seed=9)),
+            SimMachine(BENCH_THREADS),
+            RunConfig(delta=DEFAULT_DELTA, engine=engine),
+        ),
+        repeats,
+        ops=n * n,
     )
 
 

@@ -26,7 +26,8 @@ from . import SimMachine
 from .apps import APPS
 from .machine import Category
 
-EXTRA_IMPLS = ("serial", "serial-best", "kdg-rna", "ikdg", "level-by-level", "speculation")
+EXTRA_IMPLS = ("serial", "serial-best", "kdg-rna", "ikdg", "level-by-level",
+               "speculation", "relaxed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app", choices=sorted(APPS))
     run.add_argument("--impl", default="kdg-auto",
                      help="serial, serial-best, kdg-auto, kdg-manual, other, "
-                          "kdg-rna, ikdg, level-by-level, speculation")
+                          "kdg-rna, ikdg, level-by-level, speculation, relaxed")
     run.add_argument("--threads", type=int, default=8)
     run.add_argument("--size", choices=("small", "large"), default="small")
     run.add_argument("--validate", action="store_true",
@@ -62,6 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="worker processes for --backend mp (default: 2; "
                           "only valid with --backend mp)")
+    run.add_argument("--relaxation", type=int, default=1,
+                     help="MultiQueue relaxation factor for --impl relaxed "
+                          "(number of internal queues; 1 = exact order, "
+                          "bit-identical to ikdg; default: 1)")
+    run.add_argument("--delta", type=int, default=None,
+                     help="bucket width for the delta-stepping worklist of "
+                          "--impl relaxed (mutually exclusive with "
+                          "--relaxation > 1)")
     run.add_argument("--properties", choices=("declared", "inferred"),
                      default="declared",
                      help="property trust model for executor selection: "
@@ -83,7 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="input seeds (default: 0 1)")
     oracle.add_argument("--threads", type=int, default=3)
     oracle.add_argument("--executors", nargs="+", default=None,
-                        help="subset of oracle executors (default: all six)")
+                        help="subset of oracle executors (default: all, "
+                             "including the relaxed-mq/relaxed-delta "
+                             "rank-error variants)")
     oracle.add_argument("--json", action="store_true", dest="as_json",
                         help="emit one JSON report per (app, seed) to stdout")
     oracle.add_argument("--export-dir", type=Path, default=None,
@@ -268,9 +279,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     # Only the ordered-model executors accept these options; hand-specialized
     # codes (kdg-manual, other, app extras) bypass execute_body entirely.
     ordered_impl = args.impl in ("serial", "kdg-auto", "kdg-rna", "ikdg",
-                                 "level-by-level", "speculation") or (
+                                 "level-by-level", "speculation", "relaxed") or (
         args.impl == "serial-best" and spec.run_serial_best is None
     )
+    if args.relaxation != 1 or args.delta is not None:
+        if args.impl != "relaxed":
+            print("error: --relaxation/--delta are relaxed-executor knobs; "
+                  f"--impl {args.impl} runs in exact priority order "
+                  "(use --impl relaxed)", file=sys.stderr)
+            return 2
+    if args.impl == "relaxed":
+        if args.relaxation != 1:
+            options["relaxation"] = args.relaxation
+        if args.delta is not None:
+            options["delta"] = args.delta
     if args.sanitize:
         if not ordered_impl:
             print(f"error: --sanitize is not supported for --impl {args.impl}",
@@ -308,8 +330,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if ordered_impl:
         from .runtime.base import RunConfig
 
-        result = spec.run(state, args.impl, SimMachine(threads),
-                          config=RunConfig(**options))
+        try:
+            result = spec.run(state, args.impl, SimMachine(threads),
+                              config=RunConfig(**options))
+        except ValueError as exc:
+            # Config/algorithm rejections (e.g. relaxation knobs on a
+            # non-relaxable algorithm) are usage errors, not crashes.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
         result = spec.run(state, args.impl, SimMachine(threads), **options)
     spec.validate(state)
@@ -613,6 +641,12 @@ def cmd_oracle(args: argparse.Namespace) -> int:
                                 f"{verdict.executor:<15} tasks={verdict.executed}")
                         if verdict.status == "skip":
                             line += f"  ({verdict.reason})"
+                        if verdict.rank_error is not None:
+                            re_ = verdict.rank_error
+                            line += (f"  rank<= {re_['max_rank_error']} "
+                                     f"mean {re_['mean_rank_error']}")
+                            if "excess_commits" in re_:
+                                line += f" waste +{re_['excess_commits']}"
                         first = verdict.first_violation()
                         if first is not None:
                             line += f"\n     [{first.kind}] {first.message}"

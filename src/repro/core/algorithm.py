@@ -68,6 +68,14 @@ class OrderedAlgorithm:
     #: from these edges and rw-set computation is disabled entirely ("we
     #: disable the computation of rw-sets", tree traversal).
     dependences: Callable[[Any], list[Any]] | None = None
+    #: Declares that out-of-priority-order execution still converges to the
+    #: serializable fixpoint (label-correcting algorithms: BFS, SSSP, A*).
+    #: Bodies of relaxable algorithms must be monotonic and idempotent on
+    #: stale inputs — a task observing an already-improved state does no
+    #: harm (it re-checks and pushes nothing).  Only relaxable algorithms
+    #: may run under the relaxed executor's ``relaxation > 1`` / ``delta``
+    #: modes; priority order then bounds *wasted work*, not correctness.
+    relaxable: bool = False
 
     def __post_init__(self) -> None:
         if not self.properties.stable_source and self.safe_source_test is None:

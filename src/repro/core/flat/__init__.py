@@ -27,6 +27,7 @@ traces are bit-identical to the dict engine (the equivalence sweep in
 ``tests/test_flat_engine.py`` enforces this).
 """
 
+from .bucketed import FlatBucketWorklist
 from .index import FlatRWIndex
 from .interner import LocationInterner
 from .kernels import MarkBuffers, mark_round
@@ -35,6 +36,7 @@ from .ranks import RankEncoder
 from .shm import SharedArena, attach_array
 
 __all__ = [
+    "FlatBucketWorklist",
     "FlatRWIndex",
     "LocationInterner",
     "MarkBuffers",

@@ -1,0 +1,191 @@
+"""OBIM-style delta-bucket worklist for the flat engine (PriorityGraph).
+
+GraphIt/PriorityGraph (Zhang et al. 2020) get their ordered-graph wins from
+three scheduling moves over the same round structure the KDG executors run:
+
+* **delta-bucketing** — priorities are integer levels (the rank-encoder
+  shape PR 7 established); bucket ``level // delta`` coarsens the order so
+  one bucket holds a whole window of work and every transfer is O(1).
+* **bucket fusion** — the executor drains the front bucket to fixpoint
+  before advancing: children whose level lands in the bucket being served
+  go straight back into the round, never through the global structure.
+* **lazy bucket updates** — when an item's priority *decreases*, it is
+  appended to its new bucket immediately but the stale entry in the old
+  bucket is not touched; the re-bucketing work is deferred until that
+  bucket is served, where the stale entry is skipped in O(1).
+
+:class:`FlatBucketWorklist` implements the structure those moves need.
+Batch pushes compute bucket ids vectorized over int64 level arrays (numpy),
+buckets are dense per-id lists served through a lazy min-heap of bucket
+ids, and every entry carries a ticket so a re-bucketed item loses its old
+position without an eager removal.  With ``delta == 1`` and no decreases
+the pop order is bit-identical to
+:class:`~repro.galois.bucketed.BucketedWorklist` over the same operations
+(level order, FIFO within a level) — the property suite enforces this; with
+decrease churn it matches the eager :meth:`BucketedWorklist.decrease` pop
+order while doing O(1) work per decrease.
+
+An item may be queued at most once at a time (re-pushing it after it was
+popped is fine); the KDG worklists only ever hold unique pending tasks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, Generic, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class FlatBucketWorklist(Generic[T]):
+    """Delta-bucketed worklist: int levels, O(1) transfers, lazy re-level."""
+
+    def __init__(
+        self,
+        level_of: Callable[[T], Any],
+        delta: int = 1,
+        items: Iterable[T] = (),
+    ):
+        if delta < 1:
+            raise ValueError(f"delta must be >= 1 (got {delta})")
+        self.level_of = level_of
+        self.delta = delta
+        #: bucket id -> append-only entry list ``[(item, ticket), ...]``.
+        self._buckets: dict[int, list[tuple[T, int]]] = {}
+        #: read cursor per bucket (entries before it were served/skipped).
+        self._heads: dict[int, int] = {}
+        self._bucket_heap: list[int] = []
+        #: item -> (live bucket id, live ticket); stale entries disagree.
+        self._live: dict[T, tuple[int, int]] = {}
+        self._ticket = 0
+        self.pushes = 0
+        self.pops = 0
+        #: Stale entries skipped so far (the deferred re-bucketing work).
+        self.lazy_skips = 0
+        items = list(items)
+        if items:
+            self.push_batch(items)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def bucket_of(self, level: Any) -> int:
+        """The bucket an (integer) level falls in."""
+        return int(level) // self.delta
+
+    def _append(self, item: T, bucket: int) -> None:
+        entries = self._buckets.get(bucket)
+        if entries is None:
+            entries = []
+            self._buckets[bucket] = entries
+            self._heads[bucket] = 0
+            heapq.heappush(self._bucket_heap, bucket)
+        ticket = self._ticket
+        self._ticket += 1
+        entries.append((item, ticket))
+        self._live[item] = (bucket, ticket)
+
+    def push(self, item: T) -> None:
+        self._append(item, self.bucket_of(self.level_of(item)))
+        self.pushes += 1
+
+    def push_batch(
+        self, items: Sequence[T], levels: Sequence[int] | np.ndarray | None = None
+    ) -> None:
+        """Push many items at once; bucket ids are computed vectorized.
+
+        ``levels`` (int64-coercible) skips the per-item ``level_of`` calls
+        when the caller already holds the levels as an array — the flat
+        executors do (rank arrays come straight from the
+        :class:`~repro.core.flat.ranks.RankEncoder`).
+        """
+        if levels is None:
+            levels = [self.level_of(item) for item in items]
+        ids = np.asarray(levels, dtype=np.int64) // self.delta
+        if len(ids) != len(items):
+            raise ValueError(
+                f"push_batch: {len(items)} item(s) but {len(ids)} level(s)"
+            )
+        for item, bucket in zip(items, ids.tolist()):
+            self._append(item, bucket)
+        self.pushes += len(items)
+
+    def decrease(self, item: T, new_level: Any) -> None:
+        """Lazy re-level after ``item``'s priority decreased.
+
+        O(1): the item is appended to its new bucket under a fresh ticket;
+        the stale entry keeps its slot in the old bucket and is skipped
+        (also O(1)) when that bucket is eventually served.  A decrease that
+        stays inside the item's current bucket still re-tickets it — pop
+        order matches the eager pop-and-repush exactly.
+        """
+        if item not in self._live:
+            raise KeyError(f"item {item!r} is not queued")
+        self._append(item, self.bucket_of(new_level))
+
+    def _front_bucket(self) -> int:
+        """Earliest bucket with a live entry (compacts drained buckets)."""
+        while self._bucket_heap:
+            bucket = self._bucket_heap[0]
+            entries = self._buckets.get(bucket)
+            if entries is not None:
+                head = self._heads[bucket]
+                while head < len(entries):
+                    item, ticket = entries[head]
+                    if self._live.get(item) == (bucket, ticket):
+                        self._heads[bucket] = head
+                        return bucket
+                    head += 1
+                    self.lazy_skips += 1
+                # Only stale entries left: drop the bucket wholesale.
+                del self._buckets[bucket]
+                del self._heads[bucket]
+            heapq.heappop(self._bucket_heap)
+        raise IndexError("empty bucket worklist")
+
+    def current_bucket(self) -> int:
+        """The earliest non-empty bucket id."""
+        return self._front_bucket()
+
+    def peek(self) -> T:
+        bucket = self._front_bucket()
+        return self._buckets[bucket][self._heads[bucket]][0]
+
+    def pop(self) -> T:
+        bucket = self._front_bucket()
+        head = self._heads[bucket]
+        item, _ = self._buckets[bucket][head]
+        self._heads[bucket] = head + 1
+        del self._live[item]
+        self.pops += 1
+        return item
+
+    def pop_bucket(self) -> tuple[int, list[T]]:
+        """Remove and return the entire front bucket's live items, in order.
+
+        This is the fusion entry point: the executor takes the whole bucket
+        as its round window and drains it to fixpoint before the next call
+        advances to a later bucket.
+        """
+        bucket = self._front_bucket()
+        entries = self._buckets.pop(bucket)
+        head = self._heads.pop(bucket)
+        items: list[T] = []
+        for item, ticket in entries[head:]:
+            if self._live.get(item) == (bucket, ticket):
+                del self._live[item]
+                items.append(item)
+            else:
+                self.lazy_skips += 1
+        self.pops += len(items)
+        return bucket, items
+
+    def num_buckets(self) -> int:
+        """Buckets holding at least one live entry."""
+        return len({bucket for bucket, _ in self._live.values()})

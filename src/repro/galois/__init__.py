@@ -3,6 +3,7 @@
 from .bucketed import BucketedWorklist
 from .graphs import CSRGraph
 from .mesh import TriangularMesh
+from .multiqueue import MultiQueue
 from .priorityqueue import BinaryHeap, PairingHeap
 from .tracked import TrackedArray
 from .unionfind import UnionFind
@@ -12,6 +13,7 @@ __all__ = [
     "BinaryHeap",
     "BucketedWorklist",
     "CSRGraph",
+    "MultiQueue",
     "OrderedWorklist",
     "PairingHeap",
     "PerThreadWorklists",

@@ -78,5 +78,32 @@ class BucketedWorklist(Generic[T]):
         self._size -= len(items)
         return level, items
 
+    def decrease(self, item: T, old_level: Any) -> None:
+        """Re-level ``item`` after its priority decreased.
+
+        ``old_level`` is the level the item was pushed under (the caller
+        knows it — ``level_of`` typically reads mutated state, so the old
+        level cannot be recomputed here).  The item loses its FIFO position
+        in the old bucket and is appended to its new bucket, exactly as a
+        pop-and-repush would place it — but without disturbing the rest of
+        the old level, which previously had to be popped wholesale.
+
+        Raises :class:`KeyError` when the item is not queued at
+        ``old_level``.  Removal is O(old bucket); the flat worklist
+        (:class:`repro.core.flat.bucketed.FlatBucketWorklist`) defers it
+        instead.
+        """
+        bucket = self._buckets.get(old_level)
+        if bucket is None:
+            raise KeyError(f"no bucket at level {old_level!r}")
+        try:
+            bucket.remove(item)
+        except ValueError:
+            raise KeyError(
+                f"item {item!r} is not queued at level {old_level!r}"
+            ) from None
+        self._size -= 1
+        self.push(item)
+
     def num_levels(self) -> int:
         return sum(1 for bucket in self._buckets.values() if bucket)

@@ -1,0 +1,133 @@
+"""Bounded-relaxation MultiQueue scheduler (Alistarh et al., SPAA 2015/2018).
+
+A MultiQueue spreads one logical priority queue over ``c`` independent
+sequential heaps.  ``push`` round-robins over the heaps; ``pop`` samples two
+of them and pops the head with the earlier key ("power of two choices").
+Every heap serves its own minimum, so any pending item earlier than a pop
+lives in one of the other ``c - 1`` heaps — with ``c = 2`` both heaps are
+always sampled and every pop is an exact key-minimum; for larger ``c`` the
+rank error of a pop is bounded in expectation (O(c), Alistarh et al.), not
+worst-case, which is exactly why the rank-error oracle *measures* it
+instead of assuming it.  Real MultiQueues trade that slack for uncontended
+per-thread heaps; here the pay-off is modeled as cheaper per-queue
+scheduling charges in the relaxed executor.
+
+Sampling is deterministic: a per-instance xorshift generator seeded from a
+constructor argument drives queue selection, so a run is exactly
+reproducible — the property the differential oracle and the bench suite's
+``sim_cycles`` gate rely on.  With ``relaxation=1`` there is a single heap,
+every sample hits it, and push/pop order is bit-identical to
+:class:`~repro.galois.worklist.OrderedWorklist` (the exact shared worklist),
+which both the relaxed executor's exact mode and the property suite exploit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any, Generic, TypeVar
+
+from .priorityqueue import BinaryHeap
+
+T = TypeVar("T")
+
+_MASK64 = (1 << 64) - 1
+
+
+class MultiQueue(Generic[T]):
+    """``c`` sequential heaps behind one relaxed priority-queue interface."""
+
+    def __init__(
+        self,
+        key: Callable[[T], Any],
+        items: Iterable[T] = (),
+        relaxation: int = 1,
+        seed: int = 0x9E3779B9,
+    ):
+        if relaxation < 1:
+            raise ValueError(f"relaxation must be >= 1 (got {relaxation})")
+        self.key = key
+        self.relaxation = relaxation
+        self._queues: list[BinaryHeap[T]] = [
+            BinaryHeap(key) for _ in range(relaxation)
+        ]
+        self._push_cursor = 0
+        # Non-zero xorshift64 state; the seed only shapes *which* legal
+        # relaxed schedule a run takes, never whether it is legal.
+        self._rng_state = (seed or 0x9E3779B9) & _MASK64
+        self._size = 0
+        self.pushes = 0
+        self.pops = 0
+        for item in items:
+            self.push(item)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def _rand(self) -> int:
+        x = self._rng_state
+        x ^= (x << 13) & _MASK64
+        x ^= x >> 7
+        x ^= (x << 17) & _MASK64
+        self._rng_state = x
+        return x
+
+    def push(self, item: T) -> None:
+        """Insert ``item`` into the next heap in round-robin order."""
+        self._queues[self._push_cursor].push(item)
+        self._push_cursor += 1
+        if self._push_cursor == self.relaxation:
+            self._push_cursor = 0
+        self._size += 1
+        self.pushes += 1
+
+    def target_queue_len(self) -> int:
+        """Length of the heap the *next* push lands in (charging hook)."""
+        return len(self._queues[self._push_cursor])
+
+    def _sample(self) -> BinaryHeap[T]:
+        """Pick the serving heap: best-of-two among non-empty heaps."""
+        if self.relaxation == 1:
+            return self._queues[0]
+        nonempty = [q for q in self._queues if q]
+        if len(nonempty) == 1:
+            return nonempty[0]
+        i = self._rand() % len(nonempty)
+        j = self._rand() % (len(nonempty) - 1)
+        if j >= i:
+            j += 1
+        a, b = nonempty[i], nonempty[j]
+        ka, kb = self.key(a.peek()), self.key(b.peek())
+        if kb < ka:
+            return b
+        return a
+
+    def pop(self) -> T:
+        """Pop the earlier of two sampled heap heads (the relaxed pop)."""
+        if not self._size:
+            raise IndexError("pop from empty MultiQueue")
+        queue = self._sample()
+        self._last_queue_len = len(queue)
+        self._size -= 1
+        self.pops += 1
+        return queue.pop()
+
+    def last_queue_len(self) -> int:
+        """Length (pre-pop) of the heap the last :meth:`pop` served from."""
+        return getattr(self, "_last_queue_len", 0)
+
+    def peek(self) -> T:
+        """The globally earliest item (exact — a scan, not the relaxed pop)."""
+        if not self._size:
+            raise IndexError("peek from empty MultiQueue")
+        best: T | None = None
+        best_key: Any = None
+        for queue in self._queues:
+            if queue:
+                head = queue.peek()
+                head_key = self.key(head)
+                if best is None or head_key < best_key:
+                    best, best_key = head, head_key
+        return best  # type: ignore[return-value]

@@ -11,11 +11,13 @@ executors against the serial reference on seeded inputs
 from .check import CheckReport, Violation, check_trace, diff_traces
 from .diff import (
     ORACLE_EXECUTORS,
+    RELAXED_ORACLE_EXECUTORS,
     DiffReport,
     ExecutorVerdict,
     diff_executors,
     run_traced,
 )
+from .rank_error import RankErrorReport, rank_error_report
 from .trace import ExecutionTrace, TraceEvent, TraceRecorder
 from .workloads import ORACLE_STATES, make_oracle_state
 
@@ -26,6 +28,8 @@ __all__ = [
     "ExecutorVerdict",
     "ORACLE_EXECUTORS",
     "ORACLE_STATES",
+    "RELAXED_ORACLE_EXECUTORS",
+    "RankErrorReport",
     "TraceEvent",
     "TraceRecorder",
     "Violation",
@@ -33,5 +37,6 @@ __all__ = [
     "diff_executors",
     "diff_traces",
     "make_oracle_state",
+    "rank_error_report",
     "run_traced",
 ]

@@ -31,17 +31,26 @@ from ..runtime import (
     run_ikdg,
     run_kdg_rna,
     run_level_by_level,
+    run_relaxed,
     run_serial,
     run_speculation,
 )
 from ..runtime.base import RunConfig
 from .check import CheckReport, Violation, check_trace, diff_traces
+from .rank_error import rank_error_report
 from .trace import ExecutionTrace, TraceRecorder
 from .workloads import make_oracle_state
 
-#: The six executors the oracle compares (§3.4–§3.6 and the two study
-#: executors).  ``kdg-rna`` is forced round-based; ``kdg-rna-async`` is the
-#: barrier-free §3.6.3 variant, skipped where properties disallow it.
+#: The executors the oracle compares (§3.4–§3.6, the two study executors,
+#: and the relaxed family).  ``kdg-rna`` is forced round-based;
+#: ``kdg-rna-async`` is the barrier-free §3.6.3 variant, skipped where
+#: properties disallow it.  ``relaxed`` is the relaxed executor with
+#: relaxation *disabled* — its schedule must stay bit-identical to the
+#: exact executors; ``relaxed-mq`` (MultiQueue, c = 4) and
+#: ``relaxed-delta`` (fused buckets at the app's declared width) reorder
+#: commits, so they are held to convergence checks (final state, domain
+#: invariants) plus *measured* rank-error/wasted-work bounds instead of
+#: serializability, and skip on apps that are not relaxable.
 ORACLE_EXECUTORS = (
     "serial",
     "kdg-rna",
@@ -49,7 +58,17 @@ ORACLE_EXECUTORS = (
     "ikdg",
     "level-by-level",
     "speculation",
+    "relaxed",
+    "relaxed-mq",
+    "relaxed-delta",
 )
+
+#: The ORACLE_EXECUTORS entries that intentionally commit out of priority
+#: order (their traces are *not* conflict-serializable in priority order).
+RELAXED_ORACLE_EXECUTORS = frozenset({"relaxed-mq", "relaxed-delta"})
+
+#: MultiQueue width used by the ``relaxed-mq`` oracle variant.
+ORACLE_MQ_RELAXATION = 4
 
 
 def run_traced(
@@ -109,6 +128,25 @@ def run_traced(
     elif executor == "speculation":
         machine = SimMachine(threads)
         result = run_speculation(algorithm, machine, RunConfig(**base))
+    elif executor == "relaxed":
+        machine = SimMachine(threads)
+        result = run_relaxed(algorithm, machine, RunConfig(**base))
+    elif executor == "relaxed-mq":
+        machine = SimMachine(threads)
+        result = run_relaxed(
+            algorithm, machine,
+            RunConfig(relaxation=ORACLE_MQ_RELAXATION, **base),
+        )
+    elif executor == "relaxed-delta":
+        machine = SimMachine(threads)
+        if spec.relaxed_delta is None:
+            raise ValueError(
+                f"{app}: no relaxed_delta declared (delta bucketing needs "
+                "integer priority levels)"
+            )
+        result = run_relaxed(
+            algorithm, machine, RunConfig(delta=spec.relaxed_delta, **base)
+        )
     else:
         raise ValueError(f"unknown oracle executor {executor!r}")
     trace = recorder.trace(
@@ -137,6 +175,10 @@ class ExecutorVerdict:
     #: Resolved run configuration (``RunConfig.describe()``), straight from
     #: the executor's ``LoopResult`` — not reconstructed from CLI flags.
     config: dict[str, Any] | None = None
+    #: Rank-error/wasted-work measurement
+    #: (:meth:`~repro.oracle.rank_error.RankErrorReport.to_dict`), attached
+    #: to the relaxed executor family's verdicts.
+    rank_error: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -157,6 +199,8 @@ class ExecutorVerdict:
         }
         if self.config is not None:
             out["config"] = self.config
+        if self.rank_error is not None:
+            out["rank_error"] = self.rank_error
         if self.reason:
             out["reason"] = self.reason
         first = self.first_violation()
@@ -278,15 +322,30 @@ def diff_executors(
                     f"({app}/{executor}@{threads} threads, seed {seed})",
                 )
             )
-        verdict.violations.extend(check_trace(trace).violations)
-        verdict.violations.extend(
-            diff_traces(
-                ref_trace,
-                trace,
-                compare_tasks=spec.deterministic_task_set,
-                task_key=spec.oracle_task_key,
-            ).violations
-        )
+        if executor in RELAXED_ORACLE_EXECUTORS:
+            # Intentionally out-of-order: held to convergence (snapshot +
+            # domain invariants above), with the disorder *measured*, not
+            # forbidden — serializability and task-multiset checks would
+            # fail by design.
+            verdict.rank_error = rank_error_report(
+                trace, reference=ref_trace
+            ).to_dict()
+        else:
+            if executor == "relaxed":
+                # Relaxation disabled: the schedule must not only be
+                # serializable but stay exactly in priority order.
+                verdict.rank_error = rank_error_report(
+                    trace, reference=ref_trace
+                ).to_dict()
+            verdict.violations.extend(check_trace(trace).violations)
+            verdict.violations.extend(
+                diff_traces(
+                    ref_trace,
+                    trace,
+                    compare_tasks=spec.deterministic_task_set,
+                    task_key=spec.oracle_task_key,
+                ).violations
+            )
         if verdict.violations:
             verdict.status = "fail"
     return report

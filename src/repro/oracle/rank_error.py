@@ -1,0 +1,140 @@
+"""Rank-error analysis: how far a relaxed schedule strays from priority order.
+
+Relaxed schedulers trade strict priority order for parallelism; the
+literature bounds how far (a MultiQueue pop's *rank error* — the number of
+strictly earlier pending tasks it jumped — is under ``c`` per pop), but
+neither Alistarh et al. 2018 nor PriorityGraph ever *measured* schedules
+against a serializable reference.  Our executors record full commit traces,
+so the measurement is a replay: walk the trace in commit order while
+maintaining the pending-task set (initial tasks plus children, added at
+their parent's commit, exactly when the executor could first have scheduled
+them), and for each commit count the pending tasks whose total-order key
+``(priority, tid)`` is strictly earlier.  For an exact executor the count
+is 0 at every commit; for the relaxed modes its maximum and mean quantify
+the disorder the speedup bought.
+
+*Wasted work* is the flip side: a relaxation that jumps ahead may relax a
+node with a stale label and have to do it again.  Two counters capture it:
+``re_relaxations`` (commits minus distinct written locations — for
+label-correcting algorithms, exactly the re-writes) and, when a reference
+trace is supplied, ``excess_commits`` over the exact schedule's count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Any
+
+from .trace import ExecutionTrace
+
+__all__ = ["RankErrorReport", "rank_error_report"]
+
+
+@dataclass
+class RankErrorReport:
+    """Disorder and wasted-work metrics for one executed trace."""
+
+    algorithm: str
+    executor: str
+    commits: int
+    #: Largest number of strictly-earlier pending tasks jumped by a commit.
+    max_rank_error: int
+    #: Mean rank error over all commits.
+    mean_rank_error: float
+    #: Commits with a non-zero rank error (out-of-order commits).
+    inversions: int
+    #: Commits that re-targeted an already-written location.  Duplicate
+    #: pushes make this non-zero even under exact order (a stale task still
+    #: commits as a no-op); relaxation grows it — the delta-stepping
+    #: literature's re-relaxation count.
+    re_relaxations: int
+    #: Commits beyond the reference executor's count (None without a
+    #: reference trace).
+    excess_commits: int | None = None
+
+    @property
+    def ordered(self) -> bool:
+        """True iff the schedule never jumped priority order."""
+        return self.inversions == 0
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "executor": self.executor,
+            "commits": self.commits,
+            "max_rank_error": self.max_rank_error,
+            "mean_rank_error": round(self.mean_rank_error, 4),
+            "inversions": self.inversions,
+            "re_relaxations": self.re_relaxations,
+        }
+        if self.excess_commits is not None:
+            out["excess_commits"] = self.excess_commits
+        return out
+
+
+def rank_error_report(
+    trace: ExecutionTrace, reference: ExecutionTrace | None = None
+) -> RankErrorReport:
+    """Replay ``trace`` and measure its deviation from priority order.
+
+    ``reference`` — the exact executor's trace for the same input — adds
+    the ``excess_commits`` wasted-work count.  The replay is exact, not
+    sampled: every commit is ranked against the full pending set at its
+    commit point.  Children pushed by a commit enter the pending set at
+    that commit (the earliest any executor could schedule them); a pushed
+    tid with no commit event of its own (possible only in truncated
+    traces) is ignored.
+    """
+    key_of = {e.tid: (e.priority, e.tid) for e in trace.events}
+    pushed_tids = {tid for e in trace.events for tid in e.pushed}
+    pending: list[tuple[Any, int]] = sorted(
+        key for tid, key in key_of.items() if tid not in pushed_tids
+    )
+
+    max_rank = 0
+    total_rank = 0
+    inversions = 0
+    for event in trace.events:
+        key = key_of[event.tid]
+        index = bisect_left(pending, key)
+        # All pending keys before ``index`` are strictly earlier: keys are
+        # unique (tid tie-break), so bisect_left is exactly the rank.
+        if index:
+            inversions += 1
+            total_rank += index
+            if index > max_rank:
+                max_rank = index
+        if index >= len(pending) or pending[index] != key:
+            raise ValueError(
+                f"trace replay lost task {event.tid} (priority "
+                f"{event.priority!r}): committed while not pending"
+            )
+        pending.pop(index)
+        for child in event.pushed:
+            child_key = key_of.get(child)
+            if child_key is not None:
+                insort(pending, child_key)
+
+    written: set[Any] = set()
+    re_relaxations = 0
+    for event in trace.events:
+        for loc in event.write_set:
+            if loc in written:
+                re_relaxations += 1
+            else:
+                written.add(loc)
+
+    commits = len(trace.events)
+    return RankErrorReport(
+        algorithm=trace.algorithm,
+        executor=trace.executor,
+        commits=commits,
+        max_rank_error=max_rank,
+        mean_rank_error=total_rank / commits if commits else 0.0,
+        inversions=inversions,
+        re_relaxations=re_relaxations,
+        excess_commits=(
+            commits - len(reference.events) if reference is not None else None
+        ),
+    )

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..apps import avi, bfs, billiards, des, kcore, lu, mst, treesum
+from ..apps import astar, avi, bfs, billiards, des, kcore, lu, mst, sssp, treesum
 
 #: ``app -> seed -> fresh state``; sizes chosen so one (app, executor, seed)
 #: run is a few milliseconds of Python.
@@ -25,6 +25,8 @@ ORACLE_STATES = {
     "bfs": lambda seed: bfs.make_grid_state(12, 12, seed=seed),
     "treesum": lambda seed: treesum.make_state(500, leaf_size=8, seed=seed),
     "kcore": lambda seed: kcore.make_tiny_state(seed=seed),
+    "sssp": lambda seed: sssp.make_grid_state(10, 10, seed=seed),
+    "astar": lambda seed: astar.make_grid_state(12, 12, seed=seed),
 }
 
 

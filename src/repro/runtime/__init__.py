@@ -12,6 +12,7 @@ from .base import LoopResult, MinTracker
 from .ikdg import run_ikdg
 from .kdg_rna import run_kdg_rna
 from .level_by_level import run_level_by_level
+from .relaxed import run_relaxed
 from .serial import run_serial
 from .speculation import run_speculation
 from .windowing import AdaptiveWindow
@@ -22,6 +23,7 @@ EXECUTORS = {
     "ikdg": run_ikdg,
     "level-by-level": run_level_by_level,
     "speculation": run_speculation,
+    "relaxed": run_relaxed,
 }
 
 
@@ -68,6 +70,7 @@ __all__ = [
     "run_ikdg",
     "run_kdg_rna",
     "run_level_by_level",
+    "run_relaxed",
     "run_serial",
     "run_speculation",
 ]

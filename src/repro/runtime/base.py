@@ -72,6 +72,14 @@ class RunConfig:
     check_safety: bool = False
     #: KDG-RNA: force (True/False) or auto-select (None) the async variant.
     asynchronous: bool | None = None
+    #: Relaxed executor: number of MultiQueue heaps ``c`` (sample-2-of-c).
+    #: ``1`` disables relaxation — pops are exact and the relaxed executor
+    #: is bit-identical to IKDG.  Per-pop rank error is bounded by ``c``.
+    relaxation: int = 1
+    #: Relaxed executor: OBIM delta-bucket width over integer priority
+    #: levels.  ``None`` disables bucketing; set, the executor serves one
+    #: fused bucket (``level // delta``) to fixpoint before advancing.
+    delta: int | None = None
     #: Property trust model for executor selection: ``"declared"`` trusts
     #: the app's :class:`~repro.core.properties.AlgorithmProperties` as-is;
     #: ``"inferred"`` audits them with the static inference pass first
@@ -92,6 +100,38 @@ class RunConfig:
                 "(expected 'declared' or 'inferred')"
             )
         uses_mp = self.backend is not None and self.backend != "inline"
+        if executor != "relaxed":
+            if self.relaxation != 1 or self.delta is not None:
+                raise ValueError(
+                    f"{executor}: relaxation knobs (relaxation="
+                    f"{self.relaxation}, delta={self.delta}) require the "
+                    "'relaxed' executor — exact executors always run in "
+                    "strict priority order"
+                )
+        else:
+            if self.relaxation < 1:
+                raise ValueError(
+                    f"relaxed: relaxation must be >= 1 (got {self.relaxation})"
+                )
+            if self.delta is not None and self.delta < 1:
+                raise ValueError(
+                    f"relaxed: delta must be >= 1 (got {self.delta})"
+                )
+            if self.relaxation > 1 and self.delta is not None:
+                raise ValueError(
+                    "relaxed: pick one relaxation mode — relaxation > 1 "
+                    "(MultiQueue) or delta (fused buckets), not both"
+                )
+            if self.level_windows:
+                raise ValueError(
+                    "relaxed: level_windows is not supported (delta "
+                    "bucketing subsumes level windowing)"
+                )
+            if uses_mp:
+                raise ValueError(
+                    "relaxed: backend='mp' is not supported (relaxed rounds "
+                    "are too fine-grained to amortize worker dispatch)"
+                )
         if executor == "serial":
             if self.baseline not in ("heap", "linear"):
                 raise ValueError(f"unknown serial baseline {self.baseline!r}")
@@ -146,6 +186,10 @@ _LEGACY_KEYS = {
     }),
     "speculation": frozenset({
         "checked", "recorder", "sanitize", "engine", "backend", "workers",
+    }),
+    "relaxed": frozenset({
+        "checked", "relaxation", "delta", "window_policy", "chunk_size",
+        "recorder", "sanitize", "engine", "backend", "workers",
     }),
 }
 

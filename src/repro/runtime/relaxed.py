@@ -1,0 +1,416 @@
+"""Relaxed-priority executor: IKDG rounds over a relaxed scheduler.
+
+The exact executors pay a shared ordered worklist on every hot path and a
+safe-source test that serializes commits to the earliest pending priority.
+Relaxed schedulers (Alistarh et al. 2018) drop strict pop order for bounded
+rank error; PriorityGraph (Zhang et al. 2020) coarsens it into delta
+buckets served to fixpoint.  ``run_relaxed`` keeps the kinetic mark/commit
+phases — conflicting tasks still never commit in the same round, so every
+run is *some* linearization of the loop — and swaps only the schedule:
+
+* ``relaxation == 1, delta == None`` (**exact mode**, the default): the
+  backlog is a :class:`~repro.galois.multiqueue.MultiQueue` with one heap,
+  whose pop order is bit-identical to the
+  :class:`~repro.galois.worklist.OrderedWorklist` IKDG uses.  Every phase,
+  charge and routing decision mirrors ``run_ikdg``'s non-level path, so
+  traces, makespans and final states are bit-identical to IKDG — the
+  differential oracle enforces this.
+* ``relaxation = c > 1`` (**MultiQueue mode**): pops sample two of ``c``
+  heaps and serve the earlier head; per-pop rank error is bounded by
+  ``c``.  Scheduling charges shrink to the *served queue's* length
+  (``pq_cost(n/c)`` instead of ``pq_cost(n)``) and the safe-source test is
+  skipped — mark owners commit immediately.
+* ``delta = d`` (**fused-bucket mode**): the backlog is a
+  :class:`~repro.core.flat.bucketed.FlatBucketWorklist`; each window is an
+  entire priority bucket (``level // d``) drained to fixpoint — children
+  landing in the bucket being served join the window directly — and every
+  worklist transfer is O(1) (``worklist_op``, no heap).
+
+The relaxed modes require :attr:`OrderedAlgorithm.relaxable`: the body
+must converge to the serializable fixpoint under out-of-order execution
+(label-correcting algorithms — BFS, SSSP, A*).  Priority order then only
+bounds wasted work, which ``repro.oracle.rank_error`` measures per trace.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.algorithm import OrderedAlgorithm, SourceView
+from ..core.kdg import LivenessViolation
+from ..core.task import SORT_KEY, Task
+from ..galois.multiqueue import MultiQueue
+from ..machine import Category, SimMachine
+from .base import LoopResult, RunConfig, attribute_commits, bind_execute_task, coerce_config
+from .windowing import AdaptiveWindow
+
+
+def run_relaxed(
+    algorithm: OrderedAlgorithm,
+    machine: SimMachine | None = None,
+    config: RunConfig | None = None,
+    **legacy,
+) -> LoopResult:
+    """Run ``algorithm`` under the relaxed-scheduler executor.
+
+    ``config.relaxation`` picks the MultiQueue width ``c`` (1 = exact),
+    ``config.delta`` the fused-bucket width (None = off); the two modes are
+    mutually exclusive (see :meth:`RunConfig.validate_for`).  With both at
+    their defaults the run is bit-identical to ``run_ikdg`` — same trace,
+    same charged cycles, same final state.  Relaxed settings additionally
+    require ``algorithm.relaxable`` and, for ``delta``, an integer
+    ``level_of``.  ``engine="flat"`` and the sanitizer/recorder hooks work
+    exactly as in IKDG; ``backend="mp"`` and ``level_windows`` are
+    rejected up front.
+    """
+    cfg = coerce_config("relaxed", config, legacy)
+    checked = cfg.checked
+    chunk_size = cfg.chunk_size
+    recorder = cfg.recorder
+    sanitize = cfg.sanitize
+    engine = cfg.engine
+    relaxation = cfg.relaxation
+    delta = cfg.delta
+    relaxed = relaxation > 1 or delta is not None
+    if relaxed and not getattr(algorithm, "relaxable", False):
+        raise ValueError(
+            f"{algorithm.name}: relaxed scheduling (relaxation={relaxation}, "
+            f"delta={delta}) requires a relaxable algorithm — the body must "
+            "converge to the serializable fixpoint under out-of-order "
+            "execution"
+        )
+    if delta is not None and algorithm.level_of is None:
+        raise ValueError(
+            f"{algorithm.name}: delta bucketing requires the algorithm to "
+            "declare an integer level_of (the bucket metric)"
+        )
+    if machine is None:
+        machine = SimMachine(1)
+    flat = engine == "flat"
+    pooled = False
+    if flat:
+        from ..core.flat import (
+            LocationInterner,
+            MarkBuffers,
+            RoundPool,
+            mark_round,
+            pooled_mark_round,
+        )
+
+        interner = LocationInterner()
+        buffers = MarkBuffers()
+        compute_rw_lists = algorithm.compute_rw_lists
+        pooled = algorithm.properties.structure_based_rw_sets
+        if pooled:
+            pool = RoundPool()
+    cm = machine.cost_model
+    props = algorithm.properties
+    policy = cfg.window_policy if cfg.window_policy is not None else AdaptiveWindow()
+
+    factory = algorithm.task_factory()
+    initial_tasks = factory.make_all(algorithm.initial_items)
+    mode = "delta" if delta is not None else (
+        "multiqueue" if relaxation > 1 else "exact"
+    )
+    current_bucket = None
+    if mode == "delta":
+        from ..core.flat.bucketed import FlatBucketWorklist
+
+        level = algorithm.level
+        backlog: Any = FlatBucketWorklist(level, delta=delta, items=initial_tasks)
+        machine.run_phase_scalar(
+            Category.SCHEDULE, [cm.worklist_op] * len(backlog)
+        )
+    elif mode == "multiqueue":
+        backlog = MultiQueue(SORT_KEY, relaxation=relaxation)
+        init_costs: list[float] = []
+        for task in initial_tasks:
+            # Per-queue charge: a push touches one of c heaps, not the
+            # shared structure — the MultiQueue's whole point.
+            init_costs.append(cm.pq_cost(backlog.target_queue_len() + 1))
+            backlog.push(task)
+        machine.run_phase_scalar(Category.SCHEDULE, init_costs)
+    else:
+        backlog = MultiQueue(SORT_KEY, initial_tasks)
+        machine.run_phase_scalar(
+            Category.SCHEDULE, [cm.pq_cost(len(backlog))] * len(backlog)
+        )
+    window: dict[Task, Any] = {}
+    window_size = policy.first_size(machine.num_threads)
+    # Relaxed modes never run the safe-source test (mark owners commit
+    # immediately), so they always take the fused charging shape.
+    fuse_test_with_execute = props.stable_source or relaxed
+
+    sanitizer = None
+    if sanitize:
+        from ..analysis.sanitizer import AccessSanitizer
+
+        sanitizer = AccessSanitizer(algorithm, phase="relaxed/phase-III")
+
+    executed = 0
+    rounds = 0
+    buckets_served = 0
+    round_sizes: list[int] = []
+    run_task = bind_execute_task(algorithm, machine, checked, sanitizer=sanitizer)
+    compute_rw_set = algorithm.compute_rw_set
+    rw_visit = cm.rw_visit
+    mark_cas = cm.mark_cas
+    mark_reset = cm.mark_reset
+    pq_cost = cm.pq_cost
+    worklist_op = cm.worklist_op
+
+    while window or backlog:
+        rounds += 1
+        if sanitizer is not None:
+            sanitizer.round_no = rounds
+        # Refill.  Exact/MultiQueue modes keep an adaptive priority-prefix
+        # window; delta mode serves whole buckets to fixpoint — the window
+        # refills only once the previous bucket fully drained.
+        refill_costs: list[float] = []
+        if mode == "delta":
+            if not window and backlog:
+                current_bucket, bucket_tasks = backlog.pop_bucket()
+                buckets_served += 1
+                if pooled:
+                    caches = [
+                        compute_rw_lists(task, interner) for task in bucket_tasks
+                    ]
+                    for task, slot in zip(
+                        bucket_tasks, pool.add_batch(bucket_tasks, caches)
+                    ):
+                        window[task] = slot
+                        refill_costs.append(worklist_op)
+                else:
+                    for task in bucket_tasks:
+                        window[task] = None
+                        refill_costs.append(worklist_op)
+        elif pooled:
+            batch: list = []
+            while len(window) + len(batch) < window_size and backlog:
+                batch.append(backlog.pop())
+                refill_costs.append(
+                    pq_cost(backlog.last_queue_len())
+                    if mode == "multiqueue"
+                    else pq_cost(len(backlog))
+                )
+            if batch:
+                caches = [compute_rw_lists(task, interner) for task in batch]
+                for task, slot in zip(batch, pool.add_batch(batch, caches)):
+                    window[task] = slot
+        else:
+            while len(window) < window_size and backlog:
+                task = backlog.pop()
+                window[task] = None
+                refill_costs.append(
+                    pq_cost(backlog.last_queue_len())
+                    if mode == "multiqueue"
+                    else pq_cost(len(backlog))
+                )
+        if refill_costs:
+            machine.run_phase_scalar(
+                Category.SCHEDULE, refill_costs, barrier=False
+            )
+        if not window:
+            raise LivenessViolation(
+                f"{algorithm.name}: relaxed round {rounds} produced an empty "
+                f"window with {len(backlog)} backlog task(s) pending "
+                f"(mode={mode}, window_size={window_size})"
+            )
+        if mode == "exact":
+            window_max_key = max(task.sort_key for task in window)
+        round_sizes.append(len(window))
+
+        # Phase I/II: identical to IKDG — priority-mark, then take mark
+        # owners as sources.  The window's earliest task always owns all
+        # of its marks, so a non-empty window yields a source even under
+        # relaxed pops.
+        sources = []
+        reset_costs: list[float] = []
+        safety_costs: list[float] = []
+        if flat:
+            window_tasks = list(window)
+            if pooled:
+                marked = pooled_mark_round(
+                    pool, window_tasks, list(window.values()),
+                    buffers, rw_visit, mark_cas,
+                )
+            else:
+                caches = [
+                    compute_rw_lists(task, interner) for task in window_tasks
+                ]
+                marked = mark_round(
+                    window_tasks, caches, buffers, rw_visit, mark_cas
+                )
+            machine.run_phase_scalar(
+                Category.SCHEDULE, marked.mark_costs, chunk_size=chunk_size
+            )
+            min_task = window_tasks[marked.min_index]
+            owner = marked.owner
+            reset_costs = [mark_reset * n for n in marked.lens]
+            sources = [t for t, o in zip(window_tasks, owner) if o]
+        else:
+            marks_all: dict[object, Task] = {}
+            marks_writer: dict[object, Task] = {}
+            mark_costs: list[float] = []
+            min_task: Task | None = None
+            min_key = None
+            for task in window:
+                rw = compute_rw_set(task)
+                key = task.sort_key
+                if min_key is None or key < min_key:
+                    min_task, min_key = task, key
+                cas = 0
+                write_set = task.write_set
+                for loc in rw:
+                    holder = marks_all.get(loc)
+                    if holder is None or key < holder.sort_key:
+                        marks_all[loc] = task
+                    cas += 1
+                    if loc in write_set:
+                        holder = marks_writer.get(loc)
+                        if holder is None or key < holder.sort_key:
+                            marks_writer[loc] = task
+                        cas += 1
+                mark_costs.append(rw_visit * max(1, len(rw)) + mark_cas * cas)
+            machine.run_phase_scalar(
+                Category.SCHEDULE, mark_costs, chunk_size=chunk_size
+            )
+
+            def is_mark_owner(task: Task) -> bool:
+                key = task.sort_key
+                write_set = task.write_set
+                for loc in task.rw_set:
+                    if loc in write_set:
+                        if marks_all[loc] is not task:
+                            return False
+                    else:
+                        writer = marks_writer.get(loc)
+                        if writer is not None and writer.sort_key < key:
+                            return False
+                return True
+
+            for task in window:
+                reset_costs.append(mark_reset * len(task.rw_set))
+                if is_mark_owner(task):
+                    sources.append(task)
+        safe: list[Task]
+        if props.stable_source or relaxed:
+            safe = sources
+        else:
+            view = SourceView(sources, min_task.priority if min_task else None)
+            test_cost = cm.safe_test_base + algorithm.safe_test_work
+            safe = []
+            for task in sources:
+                safety_costs.append(test_cost)
+                if algorithm.is_safe(task, view):
+                    safe.append(task)
+        if not safe:
+            raise LivenessViolation(
+                f"{algorithm.name}: relaxed round with {len(window)} window "
+                f"tasks and {len(sources)} sources produced no safe source"
+            )
+        if not fuse_test_with_execute:
+            if chunk_size == 1:
+                machine.run_phase_scalar(
+                    Category.SCHEDULE, reset_costs, barrier=False
+                )
+                machine.run_phase_scalar(Category.SAFETY_TEST, safety_costs)
+            else:
+                machine.run_phase(
+                    [{Category.SCHEDULE: c} for c in reset_costs]
+                    + [{Category.SAFETY_TEST: c} for c in safety_costs],
+                    chunk_size=chunk_size,
+                )
+            reset_costs = []
+            safety_costs = []
+
+        # Phase III: execute safe sources, reset marks, route new tasks.
+        safe.sort(key=SORT_KEY)
+        worklist_cycles = cm.worklist_cost(machine.num_threads)
+        exec_costs: list[dict[Category, float]] = []
+        if reset_costs:
+            if chunk_size == 1:
+                machine.run_phase_scalar(
+                    Category.SCHEDULE, reset_costs, barrier=False
+                )
+            else:
+                exec_costs = [{Category.SCHEDULE: c} for c in reset_costs]
+        committed: list[tuple[Task, int]] = []
+        for task in safe:
+            if recorder is not None:
+                recorder.commit(task, round_no=rounds)
+            new_items, exec_cycles = run_task(task)
+            if pooled:
+                pool.remove(window.pop(task))
+            else:
+                del window[task]
+            cost = {
+                Category.EXECUTE: exec_cycles + worklist_cycles,
+                Category.SCHEDULE: mark_reset * len(task.rw_set),
+            }
+            for item in new_items:
+                child = factory.make(item)
+                if recorder is not None:
+                    recorder.push(task, child)
+                if mode == "delta":
+                    # Bucket fusion: a child landing in the bucket being
+                    # served joins the running window directly.
+                    if backlog.bucket_of(level(child)) == current_bucket:
+                        window[child] = (
+                            pool.add(child, compute_rw_lists(child, interner))
+                            if pooled
+                            else None
+                        )
+                    else:
+                        backlog.push(child)
+                    cost[Category.SCHEDULE] += worklist_op
+                elif mode == "multiqueue":
+                    cost[Category.SCHEDULE] += pq_cost(
+                        backlog.target_queue_len() + 1
+                    )
+                    backlog.push(child)
+                elif child.sort_key <= window_max_key:
+                    # Exact mode: IKDG's prefix condition, verbatim.
+                    window[child] = (
+                        pool.add(child, compute_rw_lists(child, interner))
+                        if pooled
+                        else None
+                    )
+                    cost[Category.SCHEDULE] += pq_cost(len(backlog))
+                else:
+                    backlog.push(child)
+                    cost[Category.SCHEDULE] += pq_cost(len(backlog))
+            committed.append((task, len(exec_costs)))
+            exec_costs.append(cost)
+            executed += 1
+        assigned = machine.run_phase(exec_costs, chunk_size=chunk_size)
+        attribute_commits(machine, recorder, committed, assigned)
+        if not flat:
+            marks_all.clear()
+            marks_writer.clear()
+        window_size = policy.next_size(
+            window_size, len(safe), machine.num_threads
+        )
+
+    metrics: dict[str, Any] = {
+        "tasks_created": factory.created,
+        "final_window_size": window_size,
+        "mean_round_size": sum(round_sizes) / len(round_sizes) if round_sizes else 0,
+        "relaxed_mode": mode,
+        "relaxation": relaxation,
+        "delta": delta,
+    }
+    if mode == "delta":
+        metrics["buckets_served"] = buckets_served
+        metrics["lazy_skips"] = backlog.lazy_skips
+    if pooled:
+        metrics["flat_pool_numeric"] = pool.numeric
+    return LoopResult(
+        algorithm=algorithm.name,
+        executor="relaxed",
+        machine=machine,
+        executed=executed,
+        rounds=rounds,
+        metrics=metrics,
+        config=cfg,
+    )

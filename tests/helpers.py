@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro import AlgorithmProperties, OrderedAlgorithm
-from repro.apps import avi, bfs, billiards, des, kcore, lu, mst, treesum
+from repro.apps import astar, avi, bfs, billiards, des, kcore, lu, mst, sssp, treesum
 
 #: Tiny state builders per app: fast enough for the full executor matrix.
 TINY_STATES = {
@@ -15,6 +15,8 @@ TINY_STATES = {
     "bfs": lambda: bfs.make_grid_state(16, 16, seed=11),
     "treesum": lambda: treesum.make_state(800, leaf_size=8, seed=11),
     "kcore": lambda: kcore.make_tiny_state(seed=11),
+    "sssp": lambda: sssp.make_grid_state(12, 12, seed=11),
+    "astar": lambda: astar.make_grid_state(14, 14, seed=11),
 }
 
 

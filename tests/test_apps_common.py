@@ -15,7 +15,7 @@ class TestRegistry:
     PAPER_APPS = {"avi", "mst", "billiards", "lu", "des", "bfs", "treesum"}
 
     def test_all_apps_registered(self):
-        assert set(APPS) == self.PAPER_APPS | {"kcore"}
+        assert set(APPS) == self.PAPER_APPS | {"kcore", "sssp", "astar"}
 
     def test_paper_impls(self):
         assert PAPER_IMPLS == ("serial", "kdg-auto", "kdg-manual", "other")
@@ -52,6 +52,8 @@ class TestAutoExecutorSelection:
             ("billiards", "ikdg"),    # global safe test + stale events
             ("bfs", "ikdg"),          # level windowing
             ("kcore", "ikdg"),        # h-operator fixpoint, level windows
+            ("sssp", "ikdg"),         # relaxed is opt-in, never auto
+            ("astar", "ikdg"),        # same: exact ordering by default
         ],
     )
     def test_choice_matches_paper(self, app, expected):
@@ -85,6 +87,7 @@ class TestRunDispatch:
     def test_executors_registry_complete(self):
         assert set(EXECUTORS) == {
             "serial", "kdg-rna", "ikdg", "level-by-level", "speculation",
+            "relaxed",
         }
 
     @pytest.mark.parametrize("app", sorted(TINY_STATES))

@@ -1,0 +1,140 @@
+"""Tests for the relaxed-executor flagship apps: SSSP and A*.
+
+Both apps validate against the textbook Dijkstra reference, so the
+reference itself gets direct coverage here (hand-checked graphs, grid
+symmetry, unreachable nodes), then the ordered formulations are checked
+against it under the serial executor and the relaxed modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import astar, sssp
+from repro.apps.sssp import dijkstra_distances, make_grid_state
+from repro.galois.graphs import CSRGraph
+from repro.machine import SimMachine
+from repro.runtime import run_serial
+from repro.runtime.base import RunConfig
+
+
+def _graph(num_nodes, edges):
+    """Build a CSRGraph from (src, dst, weight) triples (directed)."""
+    adjacency = [[] for _ in range(num_nodes)]
+    for src, dst, weight in edges:
+        adjacency[src].append((dst, weight))
+    indptr = [0]
+    column_ids = []
+    weights = []
+    for row in adjacency:
+        for dst, weight in row:
+            column_ids.append(dst)
+            weights.append(weight)
+        indptr.append(len(column_ids))
+    return CSRGraph(
+        num_nodes,
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(column_ids, dtype=np.int64),
+        edge_weights=np.asarray(weights, dtype=np.int64),
+    )
+
+
+class TestDijkstraReference:
+    def test_hand_checked_graph(self):
+        # 0 -> 1 (4), 0 -> 2 (1), 2 -> 1 (2), 1 -> 3 (1): best 0->1 is 3.
+        graph = _graph(4, [(0, 1, 4), (0, 2, 1), (2, 1, 2), (1, 3, 1)])
+        dist = dijkstra_distances(graph, 0)
+        assert dist.tolist() == [0, 3, 1, 4]
+
+    def test_unreachable_nodes_stay_minus_one(self):
+        graph = _graph(3, [(0, 1, 5)])
+        assert dijkstra_distances(graph, 0).tolist() == [0, 5, -1]
+
+    def test_unweighted_grid_is_manhattan(self):
+        # max_weight=1 degenerates to BFS hop counts on the grid.
+        state = make_grid_state(5, 4, max_weight=1, seed=0)
+        dist = dijkstra_distances(state.graph, 0)
+        for node in range(20):
+            assert dist[node] == node % 5 + node // 5
+
+
+class TestSSSPApp:
+    def test_spec_flags(self):
+        algorithm = sssp.SPEC.algorithm(sssp.SPEC.make_tiny_fn())
+        assert algorithm.relaxable
+        assert algorithm.level_of is not None
+        assert sssp.SPEC.relaxed_delta == sssp.DEFAULT_DELTA
+
+    def test_serial_run_matches_dijkstra(self):
+        state = make_grid_state(12, 9, seed=2)
+        run_serial(sssp.SPEC.algorithm(state), SimMachine(1))
+        state.validate()  # labels == Dijkstra, checked internally
+
+    def test_validate_rejects_wrong_labels(self):
+        state = make_grid_state(6, 6, seed=0)
+        run_serial(sssp.SPEC.algorithm(state), SimMachine(1))
+        state.dist[7] += 1
+        with pytest.raises(AssertionError, match="differ from Dijkstra"):
+            state.validate()
+
+
+class TestAStarApp:
+    def test_spec_flags(self):
+        algorithm = astar.SPEC.algorithm(astar.SPEC.make_tiny_fn())
+        assert algorithm.relaxable
+        assert algorithm.level_of is not None
+        assert not astar.SPEC.deterministic_task_set
+
+    def test_heuristic_is_consistent_on_grid(self):
+        state = astar.SPEC.make_tiny_fn()
+        graph = state.graph
+        for node in range(graph.num_nodes):
+            h = state.heuristic(node)
+            for eid in graph.edge_range(node):
+                neighbor = int(graph.column_ids[eid])
+                w = int(graph.edge_weights[eid])
+                assert h <= w + state.heuristic(neighbor)
+        assert state.heuristic(state.goal) == 0
+
+    def test_goal_label_is_shortest_path(self):
+        state = astar.make_grid_state(12, 12, seed=4)
+        run_serial(astar.SPEC.algorithm(state), SimMachine(1))
+        expect = dijkstra_distances(state.graph, state.start)
+        assert state.g[state.goal] == expect[state.goal]
+        state.validate()
+
+    def test_goal_pruning_drops_unimprovable_tasks(self):
+        # Once the goal is labelled, a task whose f-value meets or exceeds
+        # that label must neither write its node nor push children.
+        state = astar.make_grid_state(6, 6, seed=4)
+        algorithm = astar.SPEC.algorithm(state)
+        state.g[state.goal] = 10
+
+        class Ctx:
+            pushed = []
+
+            def access(self, loc):
+                pass
+
+            def work(self, cycles):
+                pass
+
+            def push(self, item):
+                self.pushed.append(item)
+
+        node = 1  # h(1) = manhattan to the far corner = 9
+        algorithm.apply_update((node, 1), Ctx())  # f = 1 + 9 >= 10: pruned
+        assert state.g[node] == -1
+        assert Ctx.pushed == []
+        algorithm.apply_update((node, 0), Ctx())  # f = 9 < 10: expands
+        assert state.g[node] == 0
+        assert Ctx.pushed != []
+
+    def test_relaxed_modes_preserve_goal_optimality(self):
+        from repro.runtime import run_relaxed
+
+        for config in (RunConfig(relaxation=4), RunConfig(delta=astar.DEFAULT_DELTA)):
+            state = astar.make_grid_state(16, 16, seed=3)
+            run_relaxed(astar.SPEC.algorithm(state), SimMachine(4), config)
+            state.validate()

@@ -57,3 +57,57 @@ class TestCLI:
         ) == 0
         out = capsys.readouterr().out
         assert "mp backend : 2 worker(s)" in out
+
+
+class TestRelaxedCLI:
+    def test_run_relaxed_exact_mode(self, capsys):
+        assert main(
+            ["run", "sssp", "--impl", "relaxed", "--threads", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "relaxed_mode" in out
+        assert "exact" in out
+
+    def test_run_relaxed_delta(self, capsys):
+        assert main(
+            ["run", "sssp", "--impl", "relaxed", "--threads", "4",
+             "--delta", "8", "--validate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "buckets_served" in out
+        assert "lazy_skips" in out
+
+    def test_run_relaxed_multiqueue(self, capsys):
+        assert main(
+            ["run", "sssp", "--impl", "relaxed", "--threads", "4",
+             "--relaxation", "4", "--validate"]
+        ) == 0
+        assert "multiqueue" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("impl", ["ikdg", "serial", "level-by-level"])
+    def test_knobs_rejected_on_exact_executors(self, impl, capsys):
+        assert main(
+            ["run", "sssp", "--impl", impl, "--relaxation", "4"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "relaxed-executor knobs" in err
+        assert "--impl relaxed" in err
+
+    def test_delta_rejected_on_exact_executor(self, capsys):
+        assert main(["run", "sssp", "--impl", "ikdg", "--delta", "8"]) == 2
+        assert "relaxed-executor knobs" in capsys.readouterr().err
+
+    def test_relaxation_on_non_relaxable_app_errors(self, capsys):
+        assert main(
+            ["run", "mst", "--impl", "relaxed", "--relaxation", "4"]
+        ) == 2
+        assert "relaxable" in capsys.readouterr().err
+
+    def test_oracle_includes_relaxed_executors(self, capsys):
+        assert main(
+            ["oracle", "sssp", "--seeds", "0", "--threads", "3",
+             "--executors", "serial", "ikdg", "relaxed", "relaxed-mq"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "relaxed-mq" in out
+        assert "rank<=" in out

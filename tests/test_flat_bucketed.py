@@ -1,0 +1,182 @@
+"""Tests for the flat delta-bucket worklist (PriorityGraph scheduling).
+
+The pop-order contract: with ``delta=1`` the lazy, ticketed
+:class:`~repro.core.flat.bucketed.FlatBucketWorklist` is operation-for-
+operation equivalent to the eager :class:`~repro.galois.bucketed.
+BucketedWorklist` under arbitrary push/pop/decrease churn — the lazy
+tombstone scheme is an implementation detail, never an observable one.
+Delta-bucketing and fusion (``pop_bucket``) get their own checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flat import FlatBucketWorklist
+from repro.galois import BucketedWorklist
+
+LEVELS = st.integers(min_value=0, max_value=9)
+
+
+class TestFlatBucketBasics:
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError, match="delta"):
+            FlatBucketWorklist(level_of=lambda x: x, delta=0)
+
+    def test_empty(self):
+        wl = FlatBucketWorklist(level_of=lambda x: x)
+        assert len(wl) == 0 and not wl
+        with pytest.raises(IndexError):
+            wl.pop()
+        with pytest.raises(IndexError):
+            wl.peek()
+        with pytest.raises(IndexError):
+            wl.current_bucket()
+
+    def test_delta_groups_levels(self):
+        wl = FlatBucketWorklist(level_of=lambda x: x[0], delta=4,
+                                items=[(5, "b"), (2, "a"), (9, "c")])
+        assert wl.bucket_of(5) == 1
+        assert wl.current_bucket() == 0
+        bucket, items = wl.pop_bucket()
+        assert bucket == 0 and items == [(2, "a")]
+        bucket, items = wl.pop_bucket()
+        assert bucket == 1 and items == [(5, "b")]
+        assert wl.pop() == (9, "c")
+        assert not wl
+
+    def test_fifo_within_bucket(self):
+        wl = FlatBucketWorklist(level_of=lambda x: x[0],
+                                items=[(1, "a"), (0, "z"), (1, "b")])
+        assert wl.pop() == (0, "z")
+        assert wl.pop() == (1, "a")
+        assert wl.pop() == (1, "b")
+
+    def test_push_batch_with_level_array(self):
+        import numpy as np
+
+        wl = FlatBucketWorklist(level_of=lambda x: 0, delta=2)
+        wl.push_batch(["a", "b", "c"], levels=np.array([4, 1, 7]))
+        assert wl.pop() == "b"
+        assert wl.pop() == "a"
+        assert wl.pop() == "c"
+
+    def test_push_batch_length_mismatch(self):
+        wl = FlatBucketWorklist(level_of=lambda x: 0)
+        with pytest.raises(ValueError, match="push_batch"):
+            wl.push_batch(["a", "b"], levels=[1])
+
+    def test_decrease_requires_queued_item(self):
+        wl = FlatBucketWorklist(level_of=lambda x: 1, items=["a"])
+        with pytest.raises(KeyError):
+            wl.decrease("ghost", 0)
+
+    def test_decrease_is_lazy(self):
+        levels = {"a": 5, "b": 5}
+        wl = FlatBucketWorklist(level_of=levels.__getitem__,
+                                items=["a", "b"])
+        levels["a"] = 1
+        wl.decrease("a", 1)
+        assert len(wl) == 2          # stale entry is invisible to len
+        assert wl.pop() == "a"       # served from the new bucket first
+        # The stale level-5 entry for "a" sits ahead of "b" and is skipped
+        # lazily when bucket 5 is served.
+        assert wl.pop() == "b"
+        assert wl.lazy_skips == 1
+        assert not wl
+
+    def test_pop_bucket_skips_stale_entries(self):
+        levels = {"a": 4, "b": 4, "c": 4}
+        wl = FlatBucketWorklist(level_of=levels.__getitem__,
+                                items=["a", "b", "c"])
+        levels["b"] = 0
+        wl.decrease("b", 0)
+        assert wl.pop() == "b"
+        bucket, items = wl.pop_bucket()
+        assert (bucket, items) == (4, ["a", "c"])
+
+    def test_num_buckets_counts_live_only(self):
+        levels = {"a": 0, "b": 7}
+        wl = FlatBucketWorklist(level_of=levels.__getitem__, delta=2,
+                                items=["a", "b"])
+        assert wl.num_buckets() == 2
+        levels["b"] = 1
+        wl.decrease("b", 1)
+        assert wl.num_buckets() == 1
+
+
+# An op stream over unique string items with mutable levels.  ``decrease``
+# picks a queued item and lowers its level — the only legal direction.
+CHURN = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), LEVELS),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("decrease"), st.integers(0, 63), LEVELS),
+    ),
+    max_size=80,
+)
+
+
+class TestEquivalenceWithEagerWorklist:
+    @given(ops=CHURN)
+    @settings(max_examples=250, deadline=None)
+    def test_delta1_matches_bucketed_worklist_under_churn(self, ops):
+        levels: dict[str, int] = {}
+        lazy = FlatBucketWorklist(level_of=levels.__getitem__)
+        eager = BucketedWorklist(level_of=levels.__getitem__)
+        queued: dict[str, int] = {}  # item -> its current (pushed) level
+        next_id = 0
+        for op in ops:
+            if op[0] == "push":
+                item = f"t{next_id}"
+                next_id += 1
+                levels[item] = op[1]
+                lazy.push(item)
+                eager.push(item)
+                queued[item] = op[1]
+            elif op[0] == "pop":
+                if not queued:
+                    with pytest.raises(IndexError):
+                        lazy.pop()
+                    continue
+                got = lazy.pop()
+                assert got == eager.pop()
+                del queued[got]
+            else:
+                if not queued:
+                    continue
+                item = sorted(queued)[op[1] % len(queued)]
+                old = queued[item]
+                new = min(old, op[2])
+                levels[item] = new
+                lazy.decrease(item, new)
+                eager.decrease(item, old)
+                queued[item] = new
+            assert len(lazy) == len(eager) == len(queued)
+            if queued:
+                assert lazy.peek() == eager.peek()
+                assert lazy.current_bucket() == eager.current_level()
+        # Drain whatever churn left behind: orders must still agree.
+        while eager:
+            assert lazy.pop() == eager.pop()
+        assert not lazy
+
+    @given(values=st.lists(LEVELS, max_size=40),
+           delta=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=150, deadline=None)
+    def test_pop_bucket_partitions_and_orders(self, values, delta):
+        items = [(v, i) for i, v in enumerate(values)]
+        wl = FlatBucketWorklist(level_of=lambda p: p[0], delta=delta,
+                                items=items)
+        served: list[tuple[int, int]] = []
+        last_bucket = None
+        while wl:
+            bucket, batch = wl.pop_bucket()
+            if last_bucket is not None:
+                assert bucket > last_bucket
+            last_bucket = bucket
+            assert all(p[0] // delta == bucket for p in batch)
+            served.extend(batch)
+        assert sorted(served) == sorted(items)

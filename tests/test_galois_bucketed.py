@@ -51,6 +51,39 @@ class TestBucketedWorklist:
         wl = BucketedWorklist(level_of=lambda x: x % 3, items=[0, 1, 2, 3, 4])
         assert wl.num_levels() == 3
 
+    def test_decrease_relevels_item(self):
+        levels = {"a": 5, "b": 5, "c": 2}
+        wl = BucketedWorklist(level_of=levels.__getitem__,
+                              items=["a", "b", "c"])
+        levels["b"] = 2
+        wl.decrease("b", 5)
+        assert len(wl) == 3
+        # "b" joins the level-2 bucket *behind* "c" (append semantics) and
+        # its old slot in the level-5 bucket is gone.
+        assert wl.pop() == "c"
+        assert wl.pop() == "b"
+        assert wl.pop() == "a"
+        assert not wl
+
+    def test_decrease_loses_fifo_position(self):
+        levels = {"a": 3, "b": 3, "c": 3}
+        wl = BucketedWorklist(level_of=levels.__getitem__,
+                              items=["a", "b", "c"])
+        wl.decrease("a", 3)  # same level: re-append moves it to the back
+        assert [wl.pop() for _ in range(3)] == ["b", "c", "a"]
+
+    def test_decrease_unknown_level_raises(self):
+        wl = BucketedWorklist(level_of=lambda x: 1, items=["a"])
+        with pytest.raises(KeyError, match="no bucket"):
+            wl.decrease("a", 9)
+
+    def test_decrease_item_not_in_bucket_raises(self):
+        levels = {"a": 1, "b": 2}
+        wl = BucketedWorklist(level_of=levels.__getitem__, items=["a", "b"])
+        with pytest.raises(KeyError, match="not queued"):
+            wl.decrease("b", 1)  # level 1 bucket exists but holds only "a"
+        assert len(wl) == 2  # failed decrease leaves the worklist intact
+
     @given(st.lists(st.integers(0, 9)))
     def test_pop_sequence_is_level_sorted_stable(self, values):
         wl = BucketedWorklist(level_of=lambda x: x[0],

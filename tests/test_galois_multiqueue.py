@@ -1,0 +1,197 @@
+"""Tests for the bounded-relaxation MultiQueue scheduler.
+
+The load-bearing properties: ``relaxation=1`` is bit-identical to the
+exact shared worklist (the relaxed executor's drop-in guarantee), pops are
+deterministic for a fixed seed (the oracle and sim_cycles gates), and the
+structural relaxation invariants hold — ``c=2`` pops are exact key minima
+(best-of-two over two heaps samples both), and every pop is the minimum of
+the heap that served it, so disorder only ever comes from *which* heap was
+sampled, never from within one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.galois import MultiQueue, OrderedWorklist
+
+# Small key range forces ties; (key, seq) items keep the total order unique.
+KEYS = st.integers(min_value=0, max_value=7)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), KEYS),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("peek")),
+    ),
+    max_size=80,
+)
+
+
+class TestMultiQueueBasics:
+    def test_relaxation_must_be_positive(self):
+        with pytest.raises(ValueError, match="relaxation"):
+            MultiQueue(key=lambda x: x, relaxation=0)
+
+    def test_empty_pop_and_peek_raise(self):
+        mq = MultiQueue(key=lambda x: x)
+        assert len(mq) == 0 and not mq
+        with pytest.raises(IndexError):
+            mq.pop()
+        with pytest.raises(IndexError):
+            mq.peek()
+
+    def test_counters(self):
+        mq = MultiQueue(key=lambda x: x, items=[3, 1, 2], relaxation=2)
+        assert mq.pushes == 3
+        mq.pop()
+        assert mq.pops == 1
+        assert len(mq) == 2
+
+    def test_peek_is_exact_across_queues(self):
+        # Round-robin spreads the items over both heaps; peek must scan.
+        mq = MultiQueue(key=lambda x: x, relaxation=2)
+        for value in (5, 1, 4, 0):
+            mq.push(value)
+        assert mq.peek() == 0
+
+    def test_charging_hooks(self):
+        mq = MultiQueue(key=lambda x: x, relaxation=2)
+        assert mq.target_queue_len() == 0
+        mq.push(1)          # queue 0
+        assert mq.target_queue_len() == 0  # next push lands in queue 1
+        mq.push(2)
+        assert mq.target_queue_len() == 1
+        mq.pop()
+        assert mq.last_queue_len() == 1
+
+    def test_same_seed_same_schedule(self):
+        def drain(seed):
+            mq = MultiQueue(key=lambda x: x[0], relaxation=4, seed=seed)
+            for i in range(40):
+                mq.push(((i * 13) % 11, i))
+            return [mq.pop() for _ in range(len(mq))]
+
+        assert drain(7) == drain(7)
+
+    def test_pop_drains_all_items(self):
+        mq = MultiQueue(key=lambda x: x, items=list(range(20)), relaxation=3)
+        out = sorted(mq.pop() for _ in range(20))
+        assert out == list(range(20))
+        assert not mq
+
+
+class TestExactDegeneration:
+    """``relaxation=1``: one heap, no sampling — the exact shared worklist."""
+
+    @given(ops=OPS)
+    @settings(max_examples=200, deadline=None)
+    def test_c1_matches_ordered_worklist(self, ops):
+        mq = MultiQueue(key=lambda pair: pair[0], relaxation=1)
+        wl = OrderedWorklist(key=lambda pair: pair[0])
+        seq = 0
+        for op in ops:
+            if op[0] == "push":
+                item = (op[1], seq)
+                seq += 1
+                mq.push(item)
+                wl.push(item)
+            elif op[0] == "pop":
+                if not wl:
+                    with pytest.raises(IndexError):
+                        mq.pop()
+                    continue
+                assert mq.pop() == wl.pop()
+            else:
+                if not wl:
+                    with pytest.raises(IndexError):
+                        mq.peek()
+                    continue
+                assert mq.peek() == wl.peek()
+            assert len(mq) == len(wl)
+            assert bool(mq) == bool(wl)
+
+    @given(values=st.lists(KEYS, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_c1_construction_matches_incremental(self, values):
+        items = [(v, i) for i, v in enumerate(values)]
+        built = MultiQueue(key=lambda p: p[0], items=items)
+        fed = MultiQueue(key=lambda p: p[0])
+        for item in items:
+            fed.push(item)
+        assert [built.pop() for _ in range(len(built))] == [
+            fed.pop() for _ in range(len(fed))
+        ]
+
+
+class TestRelaxationInvariants:
+    """The structure the (expected-O(c)) rank-error bound rests on."""
+
+    PUSH_POP = st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), KEYS),
+            st.tuples(st.just("pop")),
+        ),
+        max_size=120,
+    )
+
+    @given(ops=PUSH_POP, seed=st.integers(min_value=1, max_value=2**32))
+    @settings(max_examples=200, deadline=None)
+    def test_c2_pops_are_exact_key_minima(self, ops, seed):
+        """Best-of-two over two heaps samples *both* heaps: every pop's key
+        is the global pending minimum (only equal-key order can differ from
+        the exact worklist)."""
+        mq = MultiQueue(key=lambda pair: pair[0], relaxation=2, seed=seed)
+        pending: list[tuple[int, int]] = []
+        next_seq = 0
+        for op in ops:
+            if op[0] == "push":
+                item = (op[1], next_seq)
+                next_seq += 1
+                mq.push(item)
+                pending.append(item)
+            else:
+                if not pending:
+                    continue
+                item = mq.pop()
+                assert item[0] == min(p[0] for p in pending), (item, pending)
+                pending.remove(item)
+        assert len(mq) == len(pending)
+
+    @given(
+        ops=PUSH_POP,
+        relaxation=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=1, max_value=2**32),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pop_is_minimum_of_serving_heap(self, ops, relaxation, seed):
+        """Disorder comes only from heap *selection*: after a pop, the
+        serving heap's new head is never earlier than the popped item, and
+        ``last_queue_len`` reports that heap's pre-pop length (the relaxed
+        executor's scheduling charge)."""
+        mq = MultiQueue(
+            key=lambda pair: pair[0], relaxation=relaxation, seed=seed
+        )
+        next_seq = 0
+        live = 0
+        for op in ops:
+            if op[0] == "push":
+                mq.push((op[1], next_seq))
+                next_seq += 1
+                live += 1
+            else:
+                if not live:
+                    continue
+                before = [len(q) for q in mq._queues]
+                item = mq.pop()
+                live -= 1
+                after = [len(q) for q in mq._queues]
+                (served,) = [
+                    i for i in range(relaxation) if after[i] != before[i]
+                ]
+                assert mq.last_queue_len() == before[served]
+                if mq._queues[served]:
+                    head = mq._queues[served].peek()
+                    assert mq.key(head) >= mq.key(item)

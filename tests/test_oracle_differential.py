@@ -1,9 +1,11 @@
 """Cross-executor equivalence tests driven by the serializability oracle.
 
-Every bundled app runs under all six oracle executors on seeded tiny
-inputs; the oracle must report every real executor serializable and
-equivalent to the serial reference.  A deliberately corrupted schedule
-(two conflicting commits swapped out of priority order) must be flagged.
+Every bundled app runs under every oracle executor on seeded tiny inputs;
+the oracle must report every exact executor serializable and equivalent to
+the serial reference, and hold the relaxed variants (``relaxed-mq``,
+``relaxed-delta``) to final-state equality plus a measured rank-error
+report.  A deliberately corrupted schedule (two conflicting commits
+swapped out of priority order) must be flagged.
 """
 
 from __future__ import annotations
@@ -47,7 +49,13 @@ def test_all_executors_serializable_and_equivalent(app, seed):
         assert verdict.executed > 0
     for verdict in report.verdicts:
         if verdict.status == "skip":
-            assert verdict.executor == "kdg-rna-async"
+            # Declared properties rule executors out: async RNA needs stable
+            # sources/local tests; the relaxed variants need a relaxable
+            # (label-correcting) algorithm, and relaxed-delta additionally a
+            # declared bucket width.
+            assert verdict.executor in (
+                "kdg-rna-async", "relaxed-mq", "relaxed-delta",
+            )
             assert verdict.reason
 
 
@@ -59,6 +67,7 @@ def test_executor_list_matches_module():
     assert ORACLE_EXECUTORS == (
         "serial", "kdg-rna", "kdg-rna-async", "ikdg",
         "level-by-level", "speculation",
+        "relaxed", "relaxed-mq", "relaxed-delta",
     )
 
 

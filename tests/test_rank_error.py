@@ -1,0 +1,153 @@
+"""Tests for the rank-error replay oracle (``repro.oracle.rank_error``).
+
+The replay is deterministic bookkeeping over a trace, so it can be checked
+exactly on synthetic traces with hand-computed ranks, then cross-checked on
+real executor traces: a serial run never inverts priority order, and the
+relaxed modes report the disorder the oracle exists to measure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.rank_error import rank_error_report
+from repro.oracle.trace import ExecutionTrace, TraceEvent
+
+
+def _trace(events, executor="test", algorithm="synthetic"):
+    return ExecutionTrace(
+        algorithm=algorithm, executor=executor, threads=1, events=events
+    )
+
+
+def _event(seq, tid, priority, pushed=(), write_set=(), rw_set=None):
+    write_set = frozenset(write_set)
+    return TraceEvent(
+        seq=seq,
+        tid=tid,
+        priority=priority,
+        round=1,
+        thread=0,
+        rw_set=tuple(write_set) if rw_set is None else tuple(rw_set),
+        write_set=write_set,
+        pushed=list(pushed),
+    )
+
+
+class TestSyntheticTraces:
+    def test_in_order_trace_has_zero_rank_error(self):
+        report = rank_error_report(_trace([
+            _event(0, 0, 1),
+            _event(1, 1, 2),
+            _event(2, 2, 3),
+        ]))
+        assert report.ordered
+        assert (report.max_rank_error, report.mean_rank_error) == (0, 0.0)
+        assert report.inversions == 0
+        assert report.commits == 3
+
+    def test_swapped_commits_are_ranked(self):
+        # tid 2 (priority 3) jumps two strictly-earlier pending tasks.
+        report = rank_error_report(_trace([
+            _event(0, 2, 3),
+            _event(1, 0, 1),
+            _event(2, 1, 2),
+        ]))
+        assert not report.ordered
+        assert report.inversions == 1
+        assert report.max_rank_error == 2
+        assert report.mean_rank_error == pytest.approx(2 / 3)
+
+    def test_children_pend_from_parent_commit(self):
+        # tid 1 enters the pending set only at its parent's (tid 0) commit.
+        # After tid 0 commits, pending = {tid 1 (p2), tid 2 (p5)}; committing
+        # tid 2 jumps exactly one strictly-earlier task — the fresh child.
+        report = rank_error_report(_trace([
+            _event(0, 0, 1, pushed=[1]),
+            _event(1, 2, 5),
+            _event(2, 1, 2),
+        ]))
+        assert report.inversions == 1
+        assert report.max_rank_error == 1
+
+    def test_empty_trace(self):
+        report = rank_error_report(_trace([]))
+        assert report.commits == 0
+        assert report.mean_rank_error == 0.0
+        assert report.ordered
+
+    def test_corrupt_replay_raises(self):
+        # tid 1 is a pushed child of tid 0 but commits *before* its parent:
+        # it is not pending at its commit point.
+        with pytest.raises(ValueError, match="not pending"):
+            rank_error_report(_trace([
+                _event(0, 1, 2),
+                _event(1, 0, 1, pushed=[1]),
+            ]))
+
+    def test_re_relaxations_count_rewrites(self):
+        report = rank_error_report(_trace([
+            _event(0, 0, 1, write_set=[("node", 7)]),
+            _event(1, 1, 2, write_set=[("node", 8)]),
+            _event(2, 2, 3, write_set=[("node", 7), ("node", 9)]),
+        ]))
+        assert report.re_relaxations == 1  # ("node", 7) written twice
+
+    def test_excess_commits_against_reference(self):
+        events = [_event(i, i, i) for i in range(5)]
+        reference = _trace(events[:3])
+        report = rank_error_report(_trace(events), reference=reference)
+        assert report.excess_commits == 2
+        assert rank_error_report(_trace(events)).excess_commits is None
+
+    def test_to_dict_rounds_and_gates_optional_fields(self):
+        report = rank_error_report(_trace([
+            _event(0, 1, 2),
+            _event(1, 0, 1),
+            _event(2, 2, 3),
+        ]))
+        out = report.to_dict()
+        assert out["mean_rank_error"] == pytest.approx(1 / 3, abs=1e-4)
+        assert "excess_commits" not in out
+
+
+class TestExecutorTraces:
+    def test_serial_trace_is_perfectly_ordered(self):
+        from repro.apps import APPS
+        from repro.machine import SimMachine
+        from repro.oracle.trace import TraceRecorder
+        from repro.runtime import run_serial
+        from repro.runtime.base import RunConfig
+
+        spec = APPS["sssp"]
+        state = spec.make_tiny_fn()
+        recorder = TraceRecorder()
+        run_serial(
+            spec.algorithm(state), SimMachine(1), RunConfig(recorder=recorder)
+        )
+        report = rank_error_report(recorder.trace("sssp", "serial", 1))
+        assert report.ordered
+        assert report.max_rank_error == 0
+
+    def test_multiqueue_trace_reports_disorder(self):
+        from repro.apps import APPS
+        from repro.machine import SimMachine
+        from repro.oracle.trace import TraceRecorder
+        from repro.runtime import run_relaxed
+        from repro.runtime.base import RunConfig
+
+        spec = APPS["sssp"]
+        state = spec.make_small()
+        recorder = TraceRecorder()
+        run_relaxed(
+            spec.algorithm(state),
+            SimMachine(4),
+            RunConfig(relaxation=4, recorder=recorder),
+        )
+        spec.validate(state)
+        report = rank_error_report(recorder.trace("sssp", "relaxed-mq", 4))
+        # The whole point of the oracle: relaxation produces measurable,
+        # bounded disorder while the final state stays exact.
+        assert report.inversions > 0
+        assert report.max_rank_error > 0
+        assert report.commits > 0

@@ -1,0 +1,147 @@
+"""Tests for the relaxed-priority executor (``run_relaxed``).
+
+The drop-in guarantee is the load-bearing property: with the knobs at
+their defaults the relaxed executor is *bit-identical* to ``run_ikdg`` —
+same charged cycles, same final state, same commit trace — across engines
+and apps.  The relaxed modes (MultiQueue, fused delta buckets) keep the
+final state serializable (validated per app) while reordering commits;
+their knobs are rejected everywhere they cannot hold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.sssp import DEFAULT_DELTA
+from repro.machine import SimMachine
+from repro.oracle.trace import TraceRecorder
+from repro.runtime import run_ikdg, run_relaxed
+from repro.runtime.base import RunConfig
+
+RELAXABLE = ("bfs", "sssp", "astar")
+
+
+def _run(run, spec, threads, config):
+    state = spec.make_small()
+    algorithm = spec.algorithm(state)
+    machine = SimMachine(threads)
+    result = run(algorithm, machine, config)
+    return state, machine, result
+
+
+class TestExactModeIsIKDG:
+    @pytest.mark.parametrize("app", ["sssp", "bfs", "mst", "des"])
+    @pytest.mark.parametrize("engine", ["dict", "flat"])
+    def test_bit_identical_to_ikdg(self, app, engine):
+        spec = APPS[app]
+        fingerprints = []
+        for run in (run_ikdg, run_relaxed):
+            recorder = TraceRecorder()
+            state, machine, _ = _run(
+                run, spec, 3, RunConfig(engine=engine, recorder=recorder)
+            )
+            fingerprints.append(
+                (
+                    machine.elapsed_cycles(),
+                    spec.snapshot(state),
+                    [(e.tid, e.priority) for e in recorder.events],
+                )
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_exact_mode_metrics(self):
+        _, _, result = _run(run_relaxed, APPS["sssp"], 2, RunConfig())
+        assert result.metrics["relaxed_mode"] == "exact"
+        assert result.metrics["relaxation"] == 1
+        assert result.metrics["delta"] is None
+        assert "buckets_served" not in result.metrics
+
+
+class TestRelaxedModes:
+    @pytest.mark.parametrize("app", RELAXABLE)
+    def test_multiqueue_mode_validates(self, app):
+        spec = APPS[app]
+        state, _, result = _run(
+            run_relaxed, spec, 4, RunConfig(relaxation=4)
+        )
+        spec.validate(state)
+        assert result.metrics["relaxed_mode"] == "multiqueue"
+        assert result.metrics["relaxation"] == 4
+
+    @pytest.mark.parametrize("app", RELAXABLE)
+    @pytest.mark.parametrize("engine", ["dict", "flat"])
+    def test_delta_mode_validates(self, app, engine):
+        spec = APPS[app]
+        state, _, result = _run(
+            run_relaxed, spec, 4, RunConfig(delta=4, engine=engine)
+        )
+        spec.validate(state)
+        assert result.metrics["relaxed_mode"] == "delta"
+        assert result.metrics["buckets_served"] >= 1
+        assert result.metrics["lazy_skips"] >= 0
+
+    def test_relaxed_final_state_matches_exact(self):
+        spec = APPS["sssp"]
+        snapshots = []
+        for config in (
+            RunConfig(),
+            RunConfig(relaxation=4),
+            RunConfig(delta=DEFAULT_DELTA),
+        ):
+            state, _, _ = _run(run_relaxed, spec, 4, config)
+            snapshots.append(spec.snapshot(state))
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_delta_beats_ikdg_on_sssp(self):
+        spec = APPS["sssp"]
+        _, exact_machine, _ = _run(run_ikdg, spec, 8, RunConfig())
+        state, relaxed_machine, _ = _run(
+            run_relaxed, spec, 8, RunConfig(delta=DEFAULT_DELTA)
+        )
+        spec.validate(state)
+        assert (
+            relaxed_machine.elapsed_cycles() < exact_machine.elapsed_cycles()
+        )
+
+
+class TestKnobGates:
+    def test_relaxed_requires_relaxable_algorithm(self):
+        spec = APPS["mst"]
+        with pytest.raises(ValueError, match="relaxable"):
+            _run(run_relaxed, spec, 2, RunConfig(relaxation=2))
+
+    def test_delta_requires_level_of(self):
+        spec = APPS["sssp"]
+        state = spec.make_small()
+        algorithm = dataclasses.replace(spec.algorithm(state), level_of=None)
+        with pytest.raises(ValueError, match="level_of"):
+            run_relaxed(algorithm, SimMachine(2), RunConfig(delta=4))
+
+    def test_relaxation_and_delta_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            _run(
+                run_relaxed, APPS["sssp"], 2,
+                RunConfig(relaxation=2, delta=4),
+            )
+
+    def test_level_windows_rejected(self):
+        with pytest.raises(ValueError, match="level_windows"):
+            _run(run_relaxed, APPS["sssp"], 2, RunConfig(level_windows=True))
+
+    def test_mp_backend_rejected(self):
+        with pytest.raises(ValueError, match="mp"):
+            _run(
+                run_relaxed, APPS["sssp"], 2,
+                RunConfig(backend="mp", workers=2),
+            )
+
+    @pytest.mark.parametrize("config", [
+        RunConfig(relaxation=2),
+        RunConfig(delta=4),
+    ])
+    def test_exact_executors_reject_relaxation_knobs(self, config):
+        with pytest.raises(ValueError, match="relaxed"):
+            _run(run_ikdg, APPS["sssp"], 2, config)
